@@ -1,0 +1,378 @@
+//! OKB entity / relation linking baselines (paper §4.3, Table 3 and
+//! Figure 3).
+//!
+//! All entity linkers return one `Option<EntityId>` per dense NP mention;
+//! relation linkers one `Option<RelationId>` per RP mention.
+
+use jocl_kb::{
+    CandidateGen, CandidateOptions, Ckb, EntityId, NpMention, NpSlot, Okb, RelationId, RpMention,
+};
+use jocl_rules::ParaphraseStore;
+use jocl_text::fx::FxHashMap;
+use jocl_text::normalize::morph_normalize_rp;
+use jocl_text::sim::{levenshtein_sim, ngram_jaccard};
+
+/// **Spotlight**-style linking: popularity prior blended with lexical
+/// similarity, every mention independent.
+pub fn spotlight(okb: &Okb, ckb: &Ckb) -> Vec<Option<EntityId>> {
+    let gen = CandidateGen::new(
+        ckb,
+        CandidateOptions { lexical_weight: 0.35, ..Default::default() },
+    );
+    let mut cache: FxHashMap<String, Option<EntityId>> = FxHashMap::default();
+    okb.np_mentions()
+        .map(|m| {
+            let phrase = okb.np_phrase(m);
+            *cache
+                .entry(phrase.to_lowercase())
+                .or_insert_with(|| gen.entity_candidates(phrase).first().map(|s| s.id))
+        })
+        .collect()
+}
+
+/// **TagMe**-style collective linking: within each triple, candidates of
+/// one NP vote for candidates of the other through CKB relatedness
+/// (fact co-occurrence), added to the popularity prior.
+pub fn tagme(okb: &Okb, ckb: &Ckb) -> Vec<Option<EntityId>> {
+    let gen = CandidateGen::new(ckb, CandidateOptions::default());
+    let mut out = vec![None; okb.num_np_mentions()];
+    for (t, tr) in okb.triples() {
+        let subj_cands = gen.entity_candidates(&tr.subject);
+        let obj_cands = gen.entity_candidates(&tr.object);
+        let vote = |own: &[jocl_kb::candidates::Scored<EntityId>],
+                    other: &[jocl_kb::candidates::Scored<EntityId>]|
+         -> Option<EntityId> {
+            own.iter()
+                .map(|c| {
+                    let relatedness: f64 = other
+                        .iter()
+                        .map(|o| f64::from(ckb.cooccurs(c.id, o.id)) * o.score)
+                        .sum::<f64>()
+                        / (other.len().max(1) as f64);
+                    (c.id, c.score + relatedness)
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| b.0.cmp(&a.0)))
+                .map(|(id, _)| id)
+        };
+        out[NpMention { triple: t, slot: NpSlot::Subject }.dense()] =
+            vote(&subj_cands, &obj_cands);
+        out[NpMention { triple: t, slot: NpSlot::Object }.dense()] =
+            vote(&obj_cands, &subj_cands);
+    }
+    out
+}
+
+/// **Falcon**-style joint linking: English-morphology candidate expansion
+/// (full phrase → head word), n-gram alias matching, then joint
+/// re-ranking of `(subject, relation, object)` combinations by fact
+/// existence. Returns both entity and relation links.
+pub fn falcon(okb: &Okb, ckb: &Ckb) -> (Vec<Option<EntityId>>, Vec<Option<RelationId>>) {
+    let gen = CandidateGen::new(ckb, CandidateOptions::default());
+    let mut np_links = vec![None; okb.num_np_mentions()];
+    let mut rp_links = vec![None; okb.num_rp_mentions()];
+    for (t, tr) in okb.triples() {
+        // Morphology-driven candidate retrieval: try the full phrase,
+        // fall back to the headword (last token).
+        let retrieve = |phrase: &str| -> Vec<jocl_kb::candidates::Scored<EntityId>> {
+            let full = gen.entity_candidates(phrase);
+            if !full.is_empty() {
+                return full;
+            }
+            match jocl_text::tokenize(phrase).last() {
+                Some(head) => gen.entity_candidates(head),
+                None => Vec::new(),
+            }
+        };
+        let subj_cands = retrieve(&tr.subject);
+        let obj_cands = retrieve(&tr.object);
+        let rel_cands = gen.relation_candidates(&tr.predicate);
+        // Joint re-rank: lexical scores plus a fact-existence bonus.
+        let mut best: Option<(f64, EntityId, RelationId, EntityId)> = None;
+        for s in subj_cands.iter().take(4) {
+            for r in rel_cands.iter().take(4) {
+                for o in obj_cands.iter().take(4) {
+                    let mut score = s.score + r.score + o.score;
+                    if ckb.has_fact(s.id, r.id, o.id) {
+                        score += 2.0;
+                    }
+                    if best.as_ref().is_none_or(|b| score > b.0) {
+                        best = Some((score, s.id, r.id, o.id));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, s, r, o)) => {
+                np_links[NpMention { triple: t, slot: NpSlot::Subject }.dense()] = Some(s);
+                np_links[NpMention { triple: t, slot: NpSlot::Object }.dense()] = Some(o);
+                rp_links[RpMention(t).dense()] = Some(r);
+            }
+            None => {
+                // Partial fallbacks.
+                np_links[NpMention { triple: t, slot: NpSlot::Subject }.dense()] =
+                    subj_cands.first().map(|c| c.id);
+                np_links[NpMention { triple: t, slot: NpSlot::Object }.dense()] =
+                    obj_cands.first().map(|c| c.id);
+                rp_links[RpMention(t).dense()] = rel_cands.first().map(|c| c.id);
+            }
+        }
+    }
+    (np_links, rp_links)
+}
+
+/// **EARL**-style joint linking: candidates are scored by *connection
+/// density* in the CKB graph (structure over popularity), approximating
+/// the GTSP formulation with pairwise co-occurrence plus degree
+/// normalization.
+pub fn earl(okb: &Okb, ckb: &Ckb) -> (Vec<Option<EntityId>>, Vec<Option<RelationId>>) {
+    let gen = CandidateGen::new(
+        ckb,
+        CandidateOptions { lexical_weight: 0.9, ..Default::default() },
+    );
+    let mut np_links = vec![None; okb.num_np_mentions()];
+    let mut rp_links = vec![None; okb.num_rp_mentions()];
+    for (t, tr) in okb.triples() {
+        let subj_cands = gen.entity_candidates(&tr.subject);
+        let obj_cands = gen.entity_candidates(&tr.object);
+        let rel_cands = gen.relation_candidates(&tr.predicate);
+        let mut best: Option<(f64, EntityId, RelationId, EntityId)> = None;
+        for s in subj_cands.iter().take(5) {
+            for r in rel_cands.iter().take(5) {
+                for o in obj_cands.iter().take(5) {
+                    // Connection density: direct fact, co-occurrence and a
+                    // light degree prior; lexical scores as tie-breakers.
+                    let mut density = 0.0;
+                    if ckb.has_fact(s.id, r.id, o.id) {
+                        density += 3.0;
+                    }
+                    if ckb.cooccurs(s.id, o.id) {
+                        density += 1.0;
+                    }
+                    density += (ckb.degree(s.id) as f64 + 1.0).ln() * 0.05;
+                    density += (ckb.degree(o.id) as f64 + 1.0).ln() * 0.05;
+                    let score = density + 0.5 * (s.score + r.score + o.score);
+                    if best.as_ref().is_none_or(|b| score > b.0) {
+                        best = Some((score, s.id, r.id, o.id));
+                    }
+                }
+            }
+        }
+        if let Some((_, s, r, o)) = best {
+            np_links[NpMention { triple: t, slot: NpSlot::Subject }.dense()] = Some(s);
+            np_links[NpMention { triple: t, slot: NpSlot::Object }.dense()] = Some(o);
+            rp_links[RpMention(t).dense()] = Some(r);
+        }
+    }
+    (np_links, rp_links)
+}
+
+/// **KBPearl**-style linking: a pseudo-document of `window` consecutive
+/// triples forms one semantic graph over all candidates; a greedy
+/// dense-subgraph peeling (remove the weakest candidate until each
+/// mention keeps one) produces the assignment.
+pub fn kbpearl(
+    okb: &Okb,
+    ckb: &Ckb,
+    window: usize,
+) -> (Vec<Option<EntityId>>, Vec<Option<RelationId>>) {
+    let gen = CandidateGen::new(ckb, CandidateOptions::default());
+    let mut np_links = vec![None; okb.num_np_mentions()];
+    let mut rp_links = vec![None; okb.num_rp_mentions()];
+    let window = window.max(1);
+    let triples: Vec<_> = okb.triples().collect();
+    for chunk in triples.chunks(window) {
+        // Mentions of this pseudo-document with their candidates.
+        struct MentionSlot {
+            np_dense: Option<usize>,
+            rp_dense: Option<usize>,
+            candidates: Vec<(u32, f64)>, // entity or relation id + lexical score
+            is_np: bool,
+        }
+        let mut slots: Vec<MentionSlot> = Vec::new();
+        for (t, tr) in chunk {
+            for (slot, phrase) in
+                [(NpSlot::Subject, &tr.subject), (NpSlot::Object, &tr.object)]
+            {
+                slots.push(MentionSlot {
+                    np_dense: Some(NpMention { triple: *t, slot }.dense()),
+                    rp_dense: None,
+                    candidates: gen
+                        .entity_candidates(phrase)
+                        .into_iter()
+                        .map(|c| (c.id.0, c.score))
+                        .collect(),
+                    is_np: true,
+                });
+            }
+            slots.push(MentionSlot {
+                np_dense: None,
+                rp_dense: Some(RpMention(*t).dense()),
+                candidates: gen
+                    .relation_candidates(&tr.predicate)
+                    .into_iter()
+                    .map(|c| (c.id.0, c.score))
+                    .collect(),
+                is_np: false,
+            });
+        }
+        // Greedy peeling: repeatedly drop the lowest-support candidate of
+        // any slot with > 1 candidate. Support = lexical score + CKB
+        // coherence with all other slots' surviving candidates.
+        let coherence = |slot_i: usize, cand: (u32, f64), slots: &[MentionSlot]| -> f64 {
+            let mut score = cand.1;
+            for (j, other) in slots.iter().enumerate() {
+                if j == slot_i || other.candidates.is_empty() {
+                    continue;
+                }
+                let best_rel = other
+                    .candidates
+                    .iter()
+                    .map(|&(oc, _)| {
+                        if slots[slot_i].is_np && other.is_np {
+                            f64::from(ckb.cooccurs(EntityId(cand.0), EntityId(oc)))
+                        } else {
+                            0.0
+                        }
+                    })
+                    .fold(0.0, f64::max);
+                score += 0.2 * best_rel;
+            }
+            score
+        };
+        loop {
+            let mut worst: Option<(usize, usize, f64)> = None;
+            for (i, slot) in slots.iter().enumerate() {
+                if slot.candidates.len() <= 1 {
+                    continue;
+                }
+                for (ci, &cand) in slot.candidates.iter().enumerate() {
+                    let s = coherence(i, cand, &slots);
+                    if worst.as_ref().is_none_or(|w| s < w.2) {
+                        worst = Some((i, ci, s));
+                    }
+                }
+            }
+            match worst {
+                Some((i, ci, _)) => {
+                    slots[i].candidates.remove(ci);
+                }
+                None => break,
+            }
+        }
+        for slot in slots {
+            let winner = slot.candidates.first().map(|&(id, _)| id);
+            if let (Some(d), Some(w)) = (slot.np_dense, winner) {
+                np_links[d] = Some(EntityId(w));
+            }
+            if let (Some(d), Some(w)) = (slot.rp_dense, winner) {
+                rp_links[d] = Some(RelationId(w));
+            }
+        }
+    }
+    (np_links, rp_links)
+}
+
+/// **Rematch**-style relation linking: Levenshtein distance plus
+/// synonym-set expansion against relation surface forms.
+pub fn rematch(okb: &Okb, ckb: &Ckb, synsets: &ParaphraseStore) -> Vec<Option<RelationId>> {
+    let mut cache: FxHashMap<String, Option<RelationId>> = FxHashMap::default();
+    okb.rp_mentions()
+        .map(|m| {
+            let phrase = okb.rp_phrase(m);
+            *cache.entry(phrase.to_lowercase()).or_insert_with(|| {
+                let normed = morph_normalize_rp(phrase);
+                let mut best: Option<(f64, RelationId)> = None;
+                for (rid, rel) in ckb.relations() {
+                    for sf in &rel.surface_forms {
+                        let sf_norm = morph_normalize_rp(sf);
+                        let mut s = levenshtein_sim(&normed, &sf_norm)
+                            .max(ngram_jaccard(&normed, &sf_norm));
+                        if synsets.sim(&normed, &sf_norm) == 1.0 {
+                            s = 1.0;
+                        }
+                        if best.is_none_or(|b| s > b.0) {
+                            best = Some((s, rid));
+                        }
+                    }
+                }
+                best.and_then(|(s, r)| (s >= 0.4).then_some(r))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocl_core::example::figure1;
+    use jocl_kb::TripleId;
+
+    fn np(t: u32, slot: NpSlot) -> usize {
+        NpMention { triple: TripleId(t), slot }.dense()
+    }
+
+    #[test]
+    fn spotlight_links_by_popularity() {
+        let ex = figure1();
+        let links = spotlight(&ex.okb, &ex.ckb);
+        // "Maryland" is dominated by the state in the anchor statistics.
+        assert_eq!(links[np(0, NpSlot::Object)], Some(ex.e_maryland));
+        assert_eq!(links[np(1, NpSlot::Subject)], Some(ex.e_umd));
+    }
+
+    #[test]
+    fn tagme_votes_with_cooccurrence() {
+        let ex = figure1();
+        let links = tagme(&ex.okb, &ex.ckb);
+        // Subject "UMD" and object "Universitas 21" co-occur in a fact.
+        assert_eq!(links[np(1, NpSlot::Subject)], Some(ex.e_umd));
+        assert_eq!(links[np(1, NpSlot::Object)], Some(ex.e_u21));
+    }
+
+    #[test]
+    fn falcon_joint_reranking_uses_facts() {
+        let ex = figure1();
+        let (np_links, rp_links) = falcon(&ex.okb, &ex.ckb);
+        assert_eq!(np_links[np(2, NpSlot::Subject)], Some(ex.e_uva));
+        assert_eq!(rp_links[RpMention(TripleId(1)).dense()], Some(ex.r_member));
+    }
+
+    #[test]
+    fn earl_prefers_connected_candidates() {
+        let ex = figure1();
+        let (np_links, _) = earl(&ex.okb, &ex.ckb);
+        // (UVA, member, U21) is a fact → connection density picks it.
+        assert_eq!(np_links[np(2, NpSlot::Subject)], Some(ex.e_uva));
+        assert_eq!(np_links[np(2, NpSlot::Object)], Some(ex.e_u21));
+    }
+
+    #[test]
+    fn kbpearl_produces_full_assignments() {
+        let ex = figure1();
+        let (np_links, rp_links) = kbpearl(&ex.okb, &ex.ckb, 3);
+        let linked = np_links.iter().flatten().count();
+        assert!(linked >= 5, "most mentions should be linked: {np_links:?}");
+        assert!(rp_links.iter().flatten().count() >= 2);
+    }
+
+    #[test]
+    fn rematch_links_relations_by_morphology() {
+        let ex = figure1();
+        let links = rematch(&ex.okb, &ex.ckb, &ParaphraseStore::new());
+        assert_eq!(links[RpMention(TripleId(0)).dense()], Some(ex.r_location));
+        assert_eq!(links[RpMention(TripleId(1)).dense()], Some(ex.r_member));
+        // "be an early member of" normalizes close to "member of".
+        assert_eq!(links[RpMention(TripleId(2)).dense()], Some(ex.r_member));
+    }
+
+    #[test]
+    fn empty_okb_yields_empty_links() {
+        let ex = figure1();
+        let empty = Okb::new();
+        assert!(spotlight(&empty, &ex.ckb).is_empty());
+        assert!(tagme(&empty, &ex.ckb).is_empty());
+        let (a, b) = falcon(&empty, &ex.ckb);
+        assert!(a.is_empty() && b.is_empty());
+    }
+}

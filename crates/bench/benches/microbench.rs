@@ -1,0 +1,198 @@
+//! Criterion microbenchmarks for the performance-critical kernels:
+//! similarity signals, LBP sweeps (dense vs sparse U4 tables, serial vs
+//! parallel), HAC, blocking and candidate generation, plus an end-to-end
+//! pipeline scaling series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jocl_core::signals::build_signals;
+use jocl_core::{block_pairs, build_graph, Jocl, JoclConfig};
+use jocl_datagen::reverb45k_like;
+use jocl_embed::SgnsOptions;
+use jocl_fg::lbp::LbpEngine;
+use jocl_fg::{FactorGraph, LbpOptions, Params, Potential, VarId};
+use jocl_kb::{CandidateGen, CandidateOptions};
+use jocl_text::sim::{jaro_winkler, levenshtein_sim, ngram_jaccard};
+use jocl_text::IdfIndex;
+use std::hint::black_box;
+
+fn bench_similarities(c: &mut Criterion) {
+    let idf = IdfIndex::build([
+        "university of maryland",
+        "university of virginia",
+        "the oracle of omaha",
+        "warren buffett",
+    ]);
+    let a = "the university of maryland at college park";
+    let b = "university of maryland";
+    let mut g = c.benchmark_group("similarity");
+    g.bench_function("idf_token_overlap", |bench| {
+        bench.iter(|| black_box(idf.sim(black_box(a), black_box(b))))
+    });
+    g.bench_function("jaro_winkler", |bench| {
+        bench.iter(|| black_box(jaro_winkler(black_box(a), black_box(b))))
+    });
+    g.bench_function("levenshtein", |bench| {
+        bench.iter(|| black_box(levenshtein_sim(black_box(a), black_box(b))))
+    });
+    g.bench_function("ngram_jaccard", |bench| {
+        bench.iter(|| black_box(ngram_jaccard(black_box(a), black_box(b))))
+    });
+    g.finish();
+}
+
+/// LBP over a ring with ternary factors: dense Scores vs sparse TwoLevel.
+fn bench_lbp_tables(c: &mut Criterion) {
+    let build = |sparse: bool| -> (FactorGraph, Params) {
+        let mut g = FactorGraph::new();
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![1.5]);
+        let k = 8u32;
+        let vars: Vec<VarId> = (0..60).map(|_| g.add_var(k)).collect();
+        for w in vars.windows(3) {
+            let size = (k * k * k) as usize;
+            let high: Vec<u32> = (0..size as u32).filter(|x| x % 37 == 0).collect();
+            let pot = if sparse {
+                Potential::two_level(grp, size, high, 0.9, 0.1)
+            } else {
+                let mut scores = vec![0.1; size];
+                for &h in &high {
+                    scores[h as usize] = 0.9;
+                }
+                Potential::Scores { group: grp, scores }
+            };
+            g.add_factor(&[w[0], w[1], w[2]], pot, 0);
+        }
+        (g, params)
+    };
+    let opts = LbpOptions { max_iters: 5, ..Default::default() };
+    let mut group = c.benchmark_group("lbp_u4_table");
+    for (name, sparse) in [("dense", false), ("sparse_two_level", true)] {
+        let (g, params) = build(sparse);
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                let mut eng = LbpEngine::new(&g);
+                black_box(eng.run(&params, &opts))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lbp_threads(c: &mut Criterion) {
+    let mut g = FactorGraph::new();
+    let mut params = Params::new();
+    let grp = params.add_group_with(vec![1.0]);
+    let vars: Vec<VarId> = (0..400).map(|_| g.add_var(4)).collect();
+    for i in 0..400 {
+        let j = (i + 1) % 400;
+        let scores: Vec<f64> = (0..16).map(|x| (x % 5) as f64 * 0.2).collect();
+        g.add_factor(&[vars[i], vars[j]], Potential::Scores { group: grp, scores }, 0);
+    }
+    let mut group = c.benchmark_group("lbp_threads");
+    for threads in [1usize, 4] {
+        let opts = LbpOptions { max_iters: 10, threads, ..Default::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &opts, |bench, opts| {
+            bench.iter(|| {
+                let mut eng = LbpEngine::new(&g);
+                black_box(eng.run(&params, opts))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let dataset = reverb45k_like(5, 0.005);
+    let signals = build_signals(
+        &dataset.okb,
+        &dataset.ckb,
+        &dataset.ppdb,
+        &dataset.corpus,
+        &SgnsOptions { dim: 24, epochs: 2, ..Default::default() },
+    );
+    let config = JoclConfig::default();
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(10);
+    group.bench_function("blocking", |bench| {
+        bench.iter(|| black_box(block_pairs(&dataset.okb, &signals, &config)))
+    });
+    let blocking = block_pairs(&dataset.okb, &signals, &config);
+    group.bench_function("graph_build", |bench| {
+        bench.iter(|| {
+            black_box(build_graph(
+                &dataset.okb,
+                &dataset.ckb,
+                &signals,
+                &blocking,
+                &config,
+            ))
+        })
+    });
+    group.bench_function("candidate_generation", |bench| {
+        let gen = CandidateGen::new(&dataset.ckb, CandidateOptions::default());
+        bench.iter(|| {
+            for (_, t) in dataset.okb.triples().take(50) {
+                black_box(gen.entity_candidates(&t.subject));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jocl_end_to_end");
+    group.sample_size(10);
+    for scale in [0.002f64, 0.005] {
+        let dataset = reverb45k_like(5, scale);
+        let signals = build_signals(
+            &dataset.okb,
+            &dataset.ckb,
+            &dataset.ppdb,
+            &dataset.corpus,
+            &SgnsOptions { dim: 24, epochs: 2, ..Default::default() },
+        );
+        let input = jocl_core::JoclInput {
+            okb: &dataset.okb,
+            ckb: &dataset.ckb,
+            ppdb: &dataset.ppdb,
+            corpus: &dataset.corpus,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}triples", dataset.okb.len())),
+            &(),
+            |bench, ()| {
+                let config = JoclConfig { train_epochs: 0, ..Default::default() };
+                bench.iter(|| black_box(Jocl::new(config.clone()).run_with_signals(input, &signals, None)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hac(c: &mut Criterion) {
+    use jocl_cluster::{hac_threshold, Linkage};
+    let n = 2000usize;
+    let edges: Vec<(usize, usize, f64)> = (0..n)
+        .flat_map(|i| {
+            [(i, (i + 1) % n, 0.8), (i, (i + 7) % n, 0.4)]
+        })
+        .collect();
+    let mut group = c.benchmark_group("hac");
+    for linkage in [Linkage::Single, Linkage::Average, Linkage::Complete] {
+        group.bench_function(format!("{linkage:?}"), |bench| {
+            bench.iter(|| black_box(hac_threshold(n, &edges, linkage, 0.6)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_similarities,
+    bench_lbp_tables,
+    bench_lbp_threads,
+    bench_pipeline_stages,
+    bench_end_to_end,
+    bench_hac
+);
+criterion_main!(benches);

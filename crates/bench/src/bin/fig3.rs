@@ -1,0 +1,44 @@
+//! **Figure 3** — Performance on the OKB relation linking task
+//! (ReVerb45K, accuracy bar chart).
+//!
+//! Methods: Falcon, EARL, KBPearl, Rematch, JOCL. Expected shape: JOCL
+//! best; absolute numbers lower than entity linking (the paper notes the
+//! task is harder because relations have more surface variation).
+
+use jocl_baselines as baselines;
+use jocl_bench::{env_scale, env_seed, ExperimentContext};
+use jocl_core::{FeatureSet, Variant};
+use jocl_datagen::reverb45k_like;
+use jocl_eval::BarChart;
+
+fn main() {
+    let (scale, seed) = (env_scale(), env_seed());
+    let ctx = ExperimentContext::prepare(reverb45k_like(seed, scale), seed);
+    let okb = &ctx.dataset.okb;
+    let ckb = &ctx.dataset.ckb;
+    let mut chart = BarChart::new(
+        format!("Figure 3 — OKB relation linking accuracy on ReVerb45K-like (scale {scale})"),
+        1.0,
+    );
+    chart.bar(
+        "Falcon",
+        ctx.score_relation_linking(&baselines::falcon(okb, ckb).1),
+    );
+    chart.bar(
+        "EARL",
+        ctx.score_relation_linking(&baselines::earl(okb, ckb).1),
+    );
+    chart.bar(
+        "KBPearl",
+        ctx.score_relation_linking(&baselines::kbpearl(okb, ckb, 8).1),
+    );
+    chart.bar(
+        "Rematch",
+        ctx.score_relation_linking(&baselines::rematch(okb, ckb, &ctx.dataset.synsets)),
+    );
+    chart.bar(
+        "JOCL",
+        ctx.score_relation_linking(&ctx.run_jocl(Variant::Full, FeatureSet::All).rp_links),
+    );
+    print!("{}", chart.render());
+}

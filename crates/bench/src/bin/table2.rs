@@ -1,0 +1,39 @@
+//! **Table 2** — Performance on the RP canonicalization task (ReVerb45K).
+//!
+//! Methods: AMIE, PATTY, SIST, JOCL. Expected shape: AMIE weakest (low
+//! rule coverage), JOCL best in average F1.
+
+use jocl_baselines as baselines;
+use jocl_bench::{env_scale, env_seed, ExperimentContext};
+use jocl_core::{FeatureSet, Variant};
+use jocl_datagen::reverb45k_like;
+use jocl_eval::Table;
+use jocl_rules::AmieOptions;
+
+fn main() {
+    let (scale, seed) = (env_scale(), env_seed());
+    let ctx = ExperimentContext::prepare(reverb45k_like(seed, scale), seed);
+    let mut table = Table::new(
+        format!("Table 2 — RP canonicalization on ReVerb45K-like (scale {scale})"),
+        &["Method", "Macro F1", "Micro F1", "Pairwise F1", "Average F1"],
+    );
+    let mut add = |label: &str, c: &jocl_cluster::Clustering| {
+        let s = ctx.score_rp(c);
+        table.row_scores(
+            label,
+            &[s.macro_.f1, s.micro.f1, s.pairwise.f1, s.average_f1()],
+        );
+    };
+    add(
+        "AMIE",
+        &baselines::amie_baseline(&ctx.dataset.okb, AmieOptions::default()),
+    );
+    add("PATTY", &baselines::patty(&ctx.dataset.okb, &ctx.dataset.synsets));
+    add(
+        "SIST",
+        &baselines::sist_rp(&ctx.dataset.okb, &ctx.dataset.synsets, &ctx.dataset.ppdb),
+    );
+    let jocl = ctx.run_jocl(Variant::Full, FeatureSet::All);
+    add("JOCL", &jocl.rp_clustering);
+    print!("{}", table.render());
+}

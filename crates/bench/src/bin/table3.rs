@@ -1,0 +1,46 @@
+//! **Table 3** — Performance on the OKB entity linking task.
+//!
+//! Accuracy of Falcon, EARL, Spotlight, TagMe, KBPearl and JOCL on both
+//! datasets. Expected shape: JOCL best on both.
+
+use jocl_baselines as baselines;
+use jocl_bench::{env_scale, env_seed, ExperimentContext};
+use jocl_core::{FeatureSet, Variant};
+use jocl_datagen::{nytimes2018_like, reverb45k_like};
+use jocl_eval::Table;
+
+fn main() {
+    let (scale, seed) = (env_scale(), env_seed());
+    let mut table = Table::new(
+        format!("Table 3 — OKB entity linking accuracy (scale {scale})"),
+        &["Method", "ReVerb45K-like", "NYTimes2018-like"],
+    );
+    let mut rows: Vec<(&str, Vec<f64>)> = vec![
+        ("Falcon", vec![]),
+        ("EARL", vec![]),
+        ("Spotlight", vec![]),
+        ("Tagme", vec![]),
+        ("KBPearl", vec![]),
+        ("JOCL", vec![]),
+    ];
+    for dataset in [reverb45k_like(seed, scale), nytimes2018_like(seed, scale)] {
+        let ctx = ExperimentContext::prepare(dataset, seed);
+        let okb = &ctx.dataset.okb;
+        let ckb = &ctx.dataset.ckb;
+        let scores = [
+            ctx.score_entity_linking(&baselines::falcon(okb, ckb).0),
+            ctx.score_entity_linking(&baselines::earl(okb, ckb).0),
+            ctx.score_entity_linking(&baselines::spotlight(okb, ckb)),
+            ctx.score_entity_linking(&baselines::tagme(okb, ckb)),
+            ctx.score_entity_linking(&baselines::kbpearl(okb, ckb, 8).0),
+            ctx.score_entity_linking(&ctx.run_jocl(Variant::Full, FeatureSet::All).np_links),
+        ];
+        for (row, s) in rows.iter_mut().zip(scores) {
+            row.1.push(s);
+        }
+    }
+    for (label, values) in rows {
+        table.row_scores(label, &values);
+    }
+    print!("{}", table.render());
+}

@@ -1,0 +1,62 @@
+//! **Table 5 + Figure 4** — feature-combination variants (§4.5).
+//!
+//! `JOCL-single` / `JOCL-double` / `JOCL-all` use growing feature subsets
+//! per factor (Table 5); Figure 4 plots their NP canonicalization F1
+//! (4a) and OKB entity linking accuracy (4b) on ReVerb45K. Expected
+//! shape: "the more useful signals, the better the performance".
+
+use jocl_bench::{env_scale, env_seed, ExperimentContext};
+use jocl_core::{FeatureSet, Variant};
+use jocl_datagen::reverb45k_like;
+use jocl_eval::{BarChart, Table};
+
+fn main() {
+    let (scale, seed) = (env_scale(), env_seed());
+    let ctx = ExperimentContext::prepare(reverb45k_like(seed, scale), seed);
+    let mut spec = Table::new(
+        "Table 5 — feature sets per variant",
+        &["Variant", "F1,F3", "F2", "F4,F6", "F5"],
+    );
+    spec.row(&[
+        "JOCL-single".into(),
+        "f_idf".into(),
+        "f_idf".into(),
+        "f_pop".into(),
+        "f_ngram".into(),
+    ]);
+    spec.row(&[
+        "JOCL-double".into(),
+        "f_idf,f_emb".into(),
+        "f_idf,f_emb".into(),
+        "f_pop,f_emb'".into(),
+        "f_ngram,f_emb'".into(),
+    ]);
+    spec.row(&[
+        "JOCL-all".into(),
+        "f1 (all)".into(),
+        "f2 (all)".into(),
+        "f4 (all)".into(),
+        "f5 (all)".into(),
+    ]);
+    print!("{}", spec.render());
+
+    let mut fig4a = BarChart::new(
+        format!("Figure 4(a) — NP canonicalization average F1 (scale {scale})"),
+        1.0,
+    );
+    let mut fig4b = BarChart::new(
+        format!("Figure 4(b) — OKB entity linking accuracy (scale {scale})"),
+        1.0,
+    );
+    for (label, fs) in [
+        ("JOCL-single", FeatureSet::Single),
+        ("JOCL-double", FeatureSet::Double),
+        ("JOCL-all", FeatureSet::All),
+    ] {
+        let out = ctx.run_jocl(Variant::Full, fs);
+        fig4a.bar(label, ctx.score_np(&out.np_clustering).average_f1());
+        fig4b.bar(label, ctx.score_entity_linking(&out.np_links));
+    }
+    print!("{}", fig4a.render());
+    print!("{}", fig4b.render());
+}

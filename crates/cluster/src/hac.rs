@@ -1,0 +1,329 @@
+//! Hierarchical agglomerative clustering (HAC) over a sparse similarity
+//! graph.
+//!
+//! The canonicalization baselines of the paper (§4.2.1) "utilize
+//! hierarchical agglomerative clustering (HAC)" over a pairwise phrase
+//! similarity, merging until the best available merge falls below a
+//! threshold. At OKB scale the full similarity matrix is never
+//! materialized — similarities come from a blocked candidate pair list, and
+//! absent pairs are treated as similarity `0`.
+//!
+//! Supported linkage criteria:
+//! * [`Linkage::Single`] — cluster similarity is the max over item pairs.
+//!   With a threshold this is exactly connected components of the
+//!   `sim ≥ τ` graph, computed directly with union-find.
+//! * [`Linkage::Complete`] — min over item pairs (absent pairs ⇒ 0, so only
+//!   cliques merge).
+//! * [`Linkage::Average`] — mean over all `|A|·|B|` item pairs, with absent
+//!   pairs contributing 0.
+
+use crate::{Clustering, UnionFind};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Linkage criterion for [`hac_threshold`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Linkage {
+    /// Max pairwise similarity between clusters.
+    Single,
+    /// Min pairwise similarity (absent pairs count as 0).
+    Complete,
+    /// Mean pairwise similarity over all cross pairs (absent pairs are 0).
+    Average,
+}
+
+/// Cross-cluster statistics sufficient to evaluate any linkage lazily.
+#[derive(Debug, Clone, Copy, Default)]
+struct CrossStat {
+    sum: f64,
+    min: f64,
+    max: f64,
+    edges: u64,
+}
+
+impl CrossStat {
+    fn from_edge(sim: f64) -> Self {
+        Self { sum: sim, min: sim, max: sim, edges: 1 }
+    }
+
+    fn merge(self, other: CrossStat) -> Self {
+        Self {
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            edges: self.edges + other.edges,
+        }
+    }
+
+    fn linkage(&self, kind: Linkage, size_a: u64, size_b: u64) -> f64 {
+        let total_pairs = size_a * size_b;
+        match kind {
+            Linkage::Single => self.max,
+            Linkage::Complete => {
+                if self.edges < total_pairs {
+                    0.0
+                } else {
+                    self.min
+                }
+            }
+            Linkage::Average => self.sum / total_pairs as f64,
+        }
+    }
+}
+
+/// A candidate merge on the heap; ordered by similarity (max-heap).
+struct Merge {
+    sim: f64,
+    a: u32,
+    b: u32,
+}
+
+impl PartialEq for Merge {
+    fn eq(&self, other: &Self) -> bool {
+        self.sim == other.sim && self.a == other.a && self.b == other.b
+    }
+}
+impl Eq for Merge {}
+impl PartialOrd for Merge {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Merge {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sim
+            .partial_cmp(&other.sim)
+            .unwrap_or(Ordering::Equal)
+            // Deterministic tie-break on ids.
+            .then_with(|| (other.a, other.b).cmp(&(self.a, self.b)))
+    }
+}
+
+/// Agglomerate `n` items using the sparse similarity `edges`
+/// (`(i, j, sim)`, undirected, `sim ∈ [0, 1]`), merging greedily while the
+/// best linkage is `≥ threshold`.
+///
+/// Non-finite or non-positive similarities and self-loops are ignored.
+/// Duplicate edges keep the maximum similarity.
+pub fn hac_threshold(
+    n: usize,
+    edges: &[(usize, usize, f64)],
+    linkage: Linkage,
+    threshold: f64,
+) -> Clustering {
+    if linkage == Linkage::Single {
+        // Exact shortcut: connected components of the thresholded graph.
+        let mut uf = UnionFind::new(n);
+        for &(i, j, s) in edges {
+            if i != j && s.is_finite() && s >= threshold {
+                uf.union(i, j);
+            }
+        }
+        return uf.into_clustering();
+    }
+
+    // cluster id -> (size, neighbor map). Item clusters are ids 0..n; merged
+    // clusters reuse the surviving id.
+    let mut size: Vec<u64> = vec![1; n];
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut nbrs: Vec<HashMap<u32, CrossStat>> = vec![HashMap::new(); n];
+    for &(i, j, s) in edges {
+        if i == j || !s.is_finite() || s <= 0.0 {
+            continue;
+        }
+        let (i, j) = (i as u32, j as u32);
+        let stat = CrossStat::from_edge(s);
+        upsert_max(&mut nbrs[i as usize], j, stat);
+        upsert_max(&mut nbrs[j as usize], i, stat);
+    }
+
+    let mut heap: BinaryHeap<Merge> = BinaryHeap::new();
+    for (i, map) in nbrs.iter().enumerate() {
+        for (&j, stat) in map {
+            if (i as u32) < j {
+                let sim = stat.linkage(linkage, 1, 1);
+                if sim >= threshold {
+                    heap.push(Merge { sim, a: i as u32, b: j });
+                }
+            }
+        }
+    }
+
+    let mut uf = UnionFind::new(n);
+    while let Some(Merge { sim, a, b }) = heap.pop() {
+        let (a, b) = (a as usize, b as usize);
+        if !alive[a] || !alive[b] {
+            continue;
+        }
+        // Validate against the current linkage (lazy deletion).
+        let current = match nbrs[a].get(&(b as u32)) {
+            Some(stat) => stat.linkage(linkage, size[a], size[b]),
+            None => continue,
+        };
+        if (current - sim).abs() > 1e-12 {
+            continue; // stale entry; the fresh one is elsewhere in the heap
+        }
+        if current < threshold {
+            continue;
+        }
+
+        // Merge b into a (keep the bigger neighbor map in a).
+        if nbrs[b].len() > nbrs[a].len() {
+            nbrs.swap(a, b);
+            // Sizes/neighbor ids still refer to a and b correctly below
+            // because we merge maps symmetrically; swap sizes too.
+            size.swap(a, b);
+        }
+        uf.union(a, b);
+        alive[b] = false;
+        let b_map = std::mem::take(&mut nbrs[b]);
+        nbrs[a].remove(&(b as u32));
+        for (c, stat_bc) in b_map {
+            let c = c as usize;
+            if c == a || !alive[c] {
+                if !alive[c] {
+                    nbrs[c].remove(&(b as u32));
+                }
+                continue;
+            }
+            nbrs[c].remove(&(b as u32));
+            let merged = match nbrs[a].get(&(c as u32)) {
+                Some(&stat_ac) => stat_ac.merge(stat_bc),
+                None => stat_bc,
+            };
+            nbrs[a].insert(c as u32, merged);
+            nbrs[c].insert(a as u32, merged);
+        }
+        size[a] += size[b];
+        // Re-enqueue all of a's neighbors with fresh linkage values.
+        let sa = size[a];
+        for (&c, stat) in &nbrs[a] {
+            let c_us = c as usize;
+            if !alive[c_us] {
+                continue;
+            }
+            let l = stat.linkage(linkage, sa, size[c_us]);
+            if l >= threshold {
+                heap.push(Merge { sim: l, a: a as u32, b: c });
+            }
+        }
+    }
+    uf.into_clustering()
+}
+
+fn upsert_max(map: &mut HashMap<u32, CrossStat>, key: u32, stat: CrossStat) {
+    map.entry(key)
+        .and_modify(|s| {
+            // Duplicate raw edge: keep the stronger similarity.
+            if stat.max > s.max {
+                *s = stat;
+            }
+        })
+        .or_insert(stat);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(i: usize, j: usize, s: f64) -> (usize, usize, f64) {
+        (i, j, s)
+    }
+
+    #[test]
+    fn single_linkage_is_connected_components() {
+        let edges = vec![edge(0, 1, 0.9), edge(1, 2, 0.6), edge(3, 4, 0.8)];
+        let c = hac_threshold(5, &edges, Linkage::Single, 0.7);
+        assert!(c.same(0, 1));
+        assert!(!c.same(1, 2)); // 0.6 below threshold
+        assert!(c.same(3, 4));
+        assert_eq!(c.num_clusters(), 3);
+    }
+
+    #[test]
+    fn single_linkage_chains() {
+        let edges = vec![edge(0, 1, 0.9), edge(1, 2, 0.9)];
+        let c = hac_threshold(3, &edges, Linkage::Single, 0.5);
+        assert_eq!(c.num_clusters(), 1);
+    }
+
+    #[test]
+    fn complete_linkage_requires_cliques() {
+        // Chain 0-1-2 without the 0-2 edge: complete linkage merges 0,1
+        // (or 1,2) but cannot absorb the third item.
+        let edges = vec![edge(0, 1, 0.9), edge(1, 2, 0.9)];
+        let c = hac_threshold(3, &edges, Linkage::Complete, 0.5);
+        assert_eq!(c.num_clusters(), 2);
+    }
+
+    #[test]
+    fn complete_linkage_merges_cliques() {
+        let edges = vec![edge(0, 1, 0.9), edge(1, 2, 0.8), edge(0, 2, 0.85)];
+        let c = hac_threshold(3, &edges, Linkage::Complete, 0.5);
+        assert_eq!(c.num_clusters(), 1);
+    }
+
+    #[test]
+    fn average_linkage_dilutes_missing_edges() {
+        // Triangle with one weak corner: average of {0.9, 0.9, 0.0} = 0.6.
+        let edges = vec![edge(0, 1, 0.9), edge(1, 2, 0.9)];
+        let high = hac_threshold(3, &edges, Linkage::Average, 0.7);
+        // First merge (0,1) at 0.9; then cluster{0,1} vs {2}: (0 + 0.9)/2 =
+        // 0.45 < 0.7 → stays out.
+        assert_eq!(high.num_clusters(), 2);
+        let low = hac_threshold(3, &edges, Linkage::Average, 0.4);
+        assert_eq!(low.num_clusters(), 1);
+    }
+
+    #[test]
+    fn threshold_one_keeps_only_perfect_pairs() {
+        let edges = vec![edge(0, 1, 1.0), edge(2, 3, 0.99)];
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let c = hac_threshold(4, &edges, linkage, 1.0);
+            assert!(c.same(0, 1), "{linkage:?}");
+            assert!(!c.same(2, 3), "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn no_edges_yields_singletons() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let c = hac_threshold(4, &[], linkage, 0.1);
+            assert_eq!(c.num_clusters(), 4);
+        }
+    }
+
+    #[test]
+    fn self_loops_and_nan_are_ignored() {
+        let edges = vec![edge(0, 0, 1.0), edge(0, 1, f64::NAN), edge(1, 2, 0.9)];
+        let c = hac_threshold(3, &edges, Linkage::Average, 0.5);
+        assert!(!c.same(0, 1));
+        assert!(c.same(1, 2));
+    }
+
+    #[test]
+    fn duplicate_edges_take_max() {
+        let edges = vec![edge(0, 1, 0.2), edge(0, 1, 0.9)];
+        let c = hac_threshold(2, &edges, Linkage::Complete, 0.5);
+        assert!(c.same(0, 1));
+    }
+
+    #[test]
+    fn larger_average_case() {
+        // Two dense blobs {0..4} and {5..9} with strong internal edges and
+        // one weak cross edge.
+        let mut edges = Vec::new();
+        for i in 0..5usize {
+            for j in (i + 1)..5 {
+                edges.push(edge(i, j, 0.95));
+                edges.push(edge(i + 5, j + 5, 0.95));
+            }
+        }
+        edges.push(edge(4, 5, 0.3));
+        let c = hac_threshold(10, &edges, Linkage::Average, 0.6);
+        assert_eq!(c.num_clusters(), 2);
+        assert!(c.same(0, 4));
+        assert!(c.same(5, 9));
+        assert!(!c.same(0, 9));
+    }
+}

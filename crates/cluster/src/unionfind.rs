@@ -1,0 +1,145 @@
+//! Disjoint-set forest (union-find) with path halving and union by size.
+//!
+//! JOCL's decoder (paper §3.5) forms canonicalization groups as connected
+//! components of the "same meaning" pairs, then merges groups during
+//! conflict resolution — both are union-find workloads.
+
+use crate::Clustering;
+
+/// Disjoint-set forest over items `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x as usize
+    }
+
+    /// Merge the sets of `a` and `b`. Returns `true` if they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn component_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Flatten into a dense [`Clustering`].
+    pub fn into_clustering(mut self) -> Clustering {
+        let n = self.len();
+        let labels: Vec<u32> = (0..n).map(|i| self.find(i) as u32).collect();
+        Clustering::from_labels(&labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_sets_are_disjoint() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.num_components(), 3);
+        assert!(!uf.connected(0, 1));
+    }
+
+    #[test]
+    fn union_connects_transitively() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.num_components(), 2);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(2);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(0, 1));
+        assert_eq!(uf.num_components(), 1);
+    }
+
+    #[test]
+    fn component_sizes() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert_eq!(uf.component_size(2), 3);
+        assert_eq!(uf.component_size(3), 1);
+    }
+
+    #[test]
+    fn into_clustering_matches_components() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 5);
+        uf.union(2, 3);
+        let c = uf.into_clustering();
+        assert_eq!(c.num_clusters(), 4);
+        assert!(c.same(0, 5));
+        assert!(c.same(2, 3));
+        assert!(!c.same(0, 2));
+    }
+
+    #[test]
+    fn large_chain_flattens() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_components(), 1);
+        assert!(uf.connected(0, n - 1));
+    }
+}

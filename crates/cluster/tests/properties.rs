@@ -1,0 +1,103 @@
+//! Property tests for union-find and HAC invariants.
+
+use jocl_cluster::{hac_threshold, Clustering, Linkage, UnionFind};
+use proptest::prelude::*;
+
+fn edges(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    proptest::collection::vec((0..n, 0..n, 0.0f64..=1.0), 0..40)
+}
+
+proptest! {
+    #[test]
+    fn unionfind_component_count_invariant(ops in proptest::collection::vec((0usize..20, 0usize..20), 0..60)) {
+        let mut uf = UnionFind::new(20);
+        let mut merges = 0;
+        for (a, b) in ops {
+            if uf.union(a, b) {
+                merges += 1;
+            }
+        }
+        prop_assert_eq!(uf.num_components(), 20 - merges);
+    }
+
+    #[test]
+    fn unionfind_connected_is_equivalence(ops in proptest::collection::vec((0usize..12, 0usize..12), 0..40)) {
+        let mut uf = UnionFind::new(12);
+        for (a, b) in &ops {
+            uf.union(*a, *b);
+        }
+        // Reflexive, symmetric, transitive via representative equality.
+        for i in 0..12 {
+            prop_assert!(uf.connected(i, i));
+        }
+        for i in 0..12 {
+            for j in 0..12 {
+                prop_assert_eq!(uf.connected(i, j), uf.connected(j, i));
+            }
+        }
+        let c = uf.clone().into_clustering();
+        for i in 0..12 {
+            for j in 0..12 {
+                prop_assert_eq!(c.same(i, j), uf.connected(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn hac_single_refines_with_threshold(es in edges(15), t1 in 0.0f64..1.0, t2 in 0.0f64..1.0) {
+        // A higher threshold can only split clusters, never merge them.
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let coarse = hac_threshold(15, &es, Linkage::Single, lo);
+        let fine = hac_threshold(15, &es, Linkage::Single, hi);
+        for i in 0..15 {
+            for j in 0..15 {
+                if fine.same(i, j) {
+                    prop_assert!(coarse.same(i, j), "fine merged ({i},{j}) but coarse did not");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hac_all_linkages_produce_valid_partitions(es in edges(12), t in 0.05f64..1.0) {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let c = hac_threshold(12, &es, linkage, t);
+            prop_assert_eq!(c.len(), 12);
+            // Every cluster id below num_clusters, and all ids used.
+            let mut seen = vec![false; c.num_clusters()];
+            for i in 0..12 {
+                seen[c.cluster_of(i) as usize] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn hac_complete_is_refinement_of_single(es in edges(12), t in 0.05f64..1.0) {
+        // Complete linkage can never merge two items that single linkage
+        // keeps apart (complete ≤ single similarity).
+        let single = hac_threshold(12, &es, Linkage::Single, t);
+        let complete = hac_threshold(12, &es, Linkage::Complete, t);
+        for i in 0..12 {
+            for j in 0..12 {
+                if complete.same(i, j) {
+                    prop_assert!(single.same(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_from_edges_matches_unionfind(es in proptest::collection::vec((0usize..10, 0usize..10), 0..30)) {
+        let c = Clustering::from_edges(10, es.iter().copied());
+        let mut uf = UnionFind::new(10);
+        for &(a, b) in &es {
+            uf.union(a, b);
+        }
+        for i in 0..10 {
+            for j in 0..10 {
+                prop_assert_eq!(c.same(i, j), uf.connected(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Canonicalization-pair blocking.
+//!
+//! Paper §4.1: "As it is unnecessary and impractical to generate
+//! canonicalization variables for all pairs of NPs and RPs in the factor
+//! graph, we generate canonicalization variables only for NP (RP) pairs
+//! with a relatively high similarity based on IDF token overlap …, whose
+//! threshold is set to 0.5."
+//!
+//! Pairs are generated per variable family — subject×subject (`x_ij`),
+//! predicate×predicate (`y_ij`), object×object (`z_ij`) — never across
+//! families, matching the variable definitions of §3.1.1.
+//!
+//! To keep the graph near-linear in the OKB size, two caps apply:
+//! mentions sharing an *identical* phrase form a clique only up to
+//! `max_group_clique` (larger groups are chained — union-find closure
+//! recovers the full cluster at decode time), and cross-phrase pairs take
+//! at most `cross_cap` mentions from each side.
+
+use crate::config::JoclConfig;
+use crate::signals::Signals;
+use jocl_kb::{NpSlot, Okb, TripleId};
+use jocl_text::fx::{FxHashMap, FxHashSet};
+use jocl_text::tokenize;
+
+/// Blocked mention pairs for the three canonicalization variable
+/// families. Pairs are ordered (`t_i < t_j`) and deduplicated.
+#[derive(Debug, Clone, Default)]
+pub struct Blocking {
+    /// Subject–subject pairs (variables `x_ij`).
+    pub subj_pairs: Vec<(TripleId, TripleId)>,
+    /// Predicate–predicate pairs (variables `y_ij`).
+    pub pred_pairs: Vec<(TripleId, TripleId)>,
+    /// Object–object pairs (variables `z_ij`).
+    pub obj_pairs: Vec<(TripleId, TripleId)>,
+}
+
+impl Blocking {
+    /// Total number of blocked pairs.
+    pub fn len(&self) -> usize {
+        self.subj_pairs.len() + self.pred_pairs.len() + self.obj_pairs.len()
+    }
+
+    /// True when no pairs were generated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Generate blocked pairs for an OKB under `config`.
+pub fn block_pairs(okb: &Okb, signals: &Signals, config: &JoclConfig) -> Blocking {
+    let subjects: Vec<(TripleId, String)> = okb
+        .triples()
+        .map(|(t, tr)| (t, tr.subject.to_lowercase()))
+        .collect();
+    let objects: Vec<(TripleId, String)> = okb
+        .triples()
+        .map(|(t, tr)| (t, tr.object.to_lowercase()))
+        .collect();
+    // Predicates are blocked on their morphological normal form (tense,
+    // auxiliaries, determiners and modifiers stripped): OIE relation
+    // phrases are conventionally pre-normalized this way (ReVerb emits
+    // normalized RPs; AMIE's input is "morphological normalized OIE
+    // triples", §3.1.4), and raw IDF overlap between function words would
+    // otherwise dominate the blocking decision.
+    let predicates: Vec<(TripleId, String)> = okb
+        .triples()
+        .map(|(t, tr)| (t, jocl_text::normalize::morph_normalize_rp(&tr.predicate)))
+        .collect();
+    Blocking {
+        subj_pairs: block_family(&subjects, &signals.idf_np, config),
+        pred_pairs: block_family(&predicates, &signals.idf_rp, config),
+        obj_pairs: block_family(&objects, &signals.idf_np, config),
+    }
+}
+
+/// Cap on how many distinct phrases a token may touch before it is
+/// considered a non-discriminative hub and skipped during candidate pair
+/// retrieval (IDF would score such pairs near zero anyway).
+const MAX_TOKEN_DF: usize = 100;
+
+fn block_family(
+    mentions: &[(TripleId, String)],
+    idf: &jocl_text::IdfIndex,
+    config: &JoclConfig,
+) -> Vec<(TripleId, TripleId)> {
+    // Distinct phrases and their owners.
+    let mut phrase_owners: FxHashMap<&str, Vec<TripleId>> = FxHashMap::default();
+    for (t, p) in mentions {
+        phrase_owners.entry(p.as_str()).or_default().push(*t);
+    }
+    let mut phrases: Vec<(&str, Vec<TripleId>)> = phrase_owners.into_iter().collect();
+    phrases.sort_by(|a, b| a.0.cmp(b.0));
+
+    let mut pairs: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut push = |a: TripleId, b: TripleId| {
+        if a != b {
+            let (x, y) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+            pairs.insert((x, y));
+        }
+    };
+
+    // 1. Identical-phrase groups: clique up to the cap, chain beyond.
+    for (_, owners) in &phrases {
+        if owners.len() <= config.max_group_clique {
+            for (i, &a) in owners.iter().enumerate() {
+                for &b in &owners[i + 1..] {
+                    push(a, b);
+                }
+            }
+        } else {
+            for w in owners.windows(2) {
+                push(w[0], w[1]);
+            }
+        }
+    }
+
+    // 2. Cross-phrase candidates via shared tokens.
+    let token_sets: Vec<Vec<String>> = phrases
+        .iter()
+        .map(|(p, _)| {
+            let mut t = tokenize(p);
+            t.sort_unstable();
+            t.dedup();
+            t
+        })
+        .collect();
+    let mut token_index: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
+    for (pi, toks) in token_sets.iter().enumerate() {
+        for t in toks {
+            token_index.entry(t.as_str()).or_default().push(pi as u32);
+        }
+    }
+    let mut candidate_pairs: FxHashSet<(u32, u32)> = FxHashSet::default();
+    for (_, phrase_list) in token_index {
+        if phrase_list.len() > MAX_TOKEN_DF {
+            continue;
+        }
+        for (i, &a) in phrase_list.iter().enumerate() {
+            for &b in &phrase_list[i + 1..] {
+                candidate_pairs.insert((a.min(b), a.max(b)));
+            }
+        }
+    }
+    let mut candidate_pairs: Vec<(u32, u32)> = candidate_pairs.into_iter().collect();
+    candidate_pairs.sort_unstable();
+    for (pa, pb) in candidate_pairs {
+        let sim = idf.sim_tokens(&token_sets[pa as usize], &token_sets[pb as usize]);
+        if sim < config.blocking_threshold {
+            continue;
+        }
+        let owners_a = &phrases[pa as usize].1;
+        let owners_b = &phrases[pb as usize].1;
+        for &a in owners_a.iter().take(config.cross_cap) {
+            for &b in owners_b.iter().take(config.cross_cap) {
+                push(a, b);
+            }
+        }
+    }
+
+    let mut out: Vec<(TripleId, TripleId)> = pairs
+        .into_iter()
+        .map(|(a, b)| (TripleId(a), TripleId(b)))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Convenience: the phrase of the subject / predicate / object slot used
+/// by a pair family.
+pub fn family_phrase<'o>(okb: &'o Okb, t: TripleId, family: PairFamily) -> &'o str {
+    let tr = okb.triple(t);
+    match family {
+        PairFamily::Subject => &tr.subject,
+        PairFamily::Predicate => &tr.predicate,
+        PairFamily::Object => &tr.object,
+    }
+}
+
+/// The three canonicalization variable families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairFamily {
+    /// `x_ij` over subjects.
+    Subject,
+    /// `y_ij` over predicates.
+    Predicate,
+    /// `z_ij` over objects.
+    Object,
+}
+
+impl PairFamily {
+    /// The NP slot corresponding to this family (predicates have none).
+    pub fn np_slot(self) -> Option<NpSlot> {
+        match self {
+            PairFamily::Subject => Some(NpSlot::Subject),
+            PairFamily::Object => Some(NpSlot::Object),
+            PairFamily::Predicate => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signals::build_signals;
+    use jocl_embed::SgnsOptions;
+    use jocl_kb::{Ckb, Triple};
+    use jocl_rules::ParaphraseStore;
+
+    fn okb() -> Okb {
+        let mut okb = Okb::new();
+        okb.add_triple(Triple::new("University of Maryland", "locate in", "Maryland"));
+        okb.add_triple(Triple::new("University of Maryland", "be a member of", "Universitas 21"));
+        okb.add_triple(Triple::new("University of Virginia", "be an early member of", "U21"));
+        okb.add_triple(Triple::new("Warren Buffett", "live in", "Omaha"));
+        okb
+    }
+
+    fn signals(okb: &Okb) -> Signals {
+        build_signals(
+            okb,
+            &Ckb::new(),
+            &ParaphraseStore::new(),
+            &[],
+            &SgnsOptions { dim: 4, epochs: 1, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn identical_subjects_pair_up() {
+        let okb = okb();
+        let s = signals(&okb);
+        let b = block_pairs(&okb, &s, &JoclConfig::default());
+        assert!(
+            b.subj_pairs.contains(&(TripleId(0), TripleId(1))),
+            "identical subjects must pair: {:?}",
+            b.subj_pairs
+        );
+    }
+
+    #[test]
+    fn similar_subjects_pair_dissimilar_do_not() {
+        let okb = okb();
+        let s = signals(&okb);
+        let b = block_pairs(&okb, &s, &JoclConfig::default());
+        // "University of Maryland" vs "University of Virginia" share
+        // "university of" — above threshold with IDF weighting? They share
+        // 2 of 4 tokens; either way "Warren Buffett" must not pair with
+        // universities.
+        assert!(!b.subj_pairs.iter().any(|&(a, b2)| {
+            (a == TripleId(3)) ^ (b2 == TripleId(3))
+        }));
+    }
+
+    #[test]
+    fn predicates_block_within_family_only() {
+        let okb = okb();
+        let s = signals(&okb);
+        let b = block_pairs(&okb, &s, &JoclConfig::default());
+        // "be a member of" vs "be an early member of" share most tokens.
+        assert!(
+            b.pred_pairs.contains(&(TripleId(1), TripleId(2))),
+            "{:?}",
+            b.pred_pairs
+        );
+    }
+
+    #[test]
+    fn pairs_are_ordered_and_unique() {
+        let okb = okb();
+        let s = signals(&okb);
+        let b = block_pairs(&okb, &s, &JoclConfig::default());
+        for list in [&b.subj_pairs, &b.pred_pairs, &b.obj_pairs] {
+            let mut seen = std::collections::HashSet::new();
+            for &(a, b2) in list.iter() {
+                assert!(a.0 < b2.0, "pairs must be ordered");
+                assert!(seen.insert((a, b2)), "duplicate pair");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_one_keeps_only_identical() {
+        let okb = okb();
+        let s = signals(&okb);
+        let config = JoclConfig { blocking_threshold: 1.0 + 1e-9, ..Default::default() };
+        let b = block_pairs(&okb, &s, &config);
+        // Only the duplicated "University of Maryland" subject pair
+        // (identical phrases bypass the similarity check).
+        assert_eq!(b.subj_pairs, vec![(TripleId(0), TripleId(1))]);
+    }
+
+    #[test]
+    fn chain_cap_limits_identical_groups() {
+        let mut okb = Okb::new();
+        for i in 0..20 {
+            okb.add_triple(Triple::new("Same Phrase", "rel", &format!("obj{i}")));
+        }
+        let s = signals(&okb);
+        let config = JoclConfig { max_group_clique: 5, ..Default::default() };
+        let b = block_pairs(&okb, &s, &config);
+        // A clique would be C(20,2)=190 pairs; the chain gives 19.
+        assert_eq!(b.subj_pairs.len(), 19);
+        // Connectivity is preserved: the pairs chain all 20 triples.
+        let edges: Vec<(usize, usize)> = b
+            .subj_pairs
+            .iter()
+            .map(|&(a, b2)| (a.idx(), b2.idx()))
+            .collect();
+        let c = jocl_cluster::Clustering::from_edges(20, edges);
+        assert_eq!(c.num_clusters(), 1);
+    }
+
+    #[test]
+    fn empty_okb_blocks_nothing() {
+        let okb = Okb::new();
+        let s = signals(&okb);
+        let b = block_pairs(&okb, &s, &JoclConfig::default());
+        assert!(b.is_empty());
+    }
+}

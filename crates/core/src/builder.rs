@@ -1,0 +1,583 @@
+//! Factor-graph construction (paper §3.1–§3.3).
+//!
+//! Translates an OKB + CKB + blocked pairs into a `jocl-fg` graph:
+//!
+//! * one **linking variable** per mention with a non-empty candidate set,
+//!   carrying its F4/F5/F6 feature factor;
+//! * one **canonicalization variable** per blocked pair, carrying its
+//!   F1/F2/F3 feature factor (state 1 features are the similarities,
+//!   state 0 features their complements, exactly the paper's `f(·, x)`
+//!   definition);
+//! * **U1–U3** transitivity factors on triangles of pair variables;
+//! * **U4** fact-inclusion factors per triple with all three linking
+//!   variables (sparse two-level tables: 0.9 on CKB facts, 0.1 elsewhere);
+//! * **U5–U7** consistency factors per pair variable whose mentions both
+//!   have linking variables (0.7 when link-equality agrees with the pair
+//!   state, 0.3 otherwise).
+//!
+//! Candidate sets and feature vectors are cached per distinct phrase, so
+//! the cost scales with distinct surface forms rather than mentions.
+
+use crate::blocking::Blocking;
+use crate::config::{classes, FeatureSet, JoclConfig, Variant};
+use crate::signals::Signals;
+use jocl_fg::{FactorGraph, Params, Potential, VarId};
+use jocl_kb::{CandidateGen, Ckb, EntityId, NpMention, NpSlot, Okb, RelationId, RpMention, TripleId};
+use jocl_text::fx::FxHashMap;
+
+/// Parameter-group ids for every factor family.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamGroups {
+    /// α1 — F1 (subject canonicalization).
+    pub alpha1: usize,
+    /// α2 — F2 (predicate canonicalization).
+    pub alpha2: usize,
+    /// α3 — F3 (object canonicalization).
+    pub alpha3: usize,
+    /// α4 — F4 (subject linking).
+    pub alpha4: usize,
+    /// α5 — F5 (predicate linking).
+    pub alpha5: usize,
+    /// α6 — F6 (object linking).
+    pub alpha6: usize,
+    /// β1–β7 — U1–U7 scalar weights (index 0 = β1).
+    pub beta: [usize; 7],
+}
+
+/// Build statistics (reported in diagnostics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildStats {
+    /// Number of transitivity triangles added (U1+U2+U3).
+    pub triangles: usize,
+    /// Number of fact-inclusion factors (U4).
+    pub fact_factors: usize,
+    /// Number of consistency factors (U5+U6+U7).
+    pub consistency_factors: usize,
+}
+
+/// The constructed graph plus all index maps needed for training and
+/// decoding.
+pub struct GraphPlan {
+    /// The factor graph.
+    pub graph: FactorGraph,
+    /// Initial parameters (α = 2, β = 2; learning refines them).
+    pub params: Params,
+    /// Parameter-group handles.
+    pub groups: ParamGroups,
+    /// Per dense NP mention: its linking variable (if any candidates).
+    pub np_link_vars: Vec<Option<VarId>>,
+    /// Per dense NP mention: the candidate entities (variable states).
+    pub np_candidates: Vec<Vec<EntityId>>,
+    /// Per dense RP mention: its linking variable.
+    pub rp_link_vars: Vec<Option<VarId>>,
+    /// Per dense RP mention: candidate relations.
+    pub rp_candidates: Vec<Vec<RelationId>>,
+    /// Subject pair variables `x_ij`.
+    pub subj_pair_vars: Vec<(TripleId, TripleId, VarId)>,
+    /// Predicate pair variables `y_ij`.
+    pub pred_pair_vars: Vec<(TripleId, TripleId, VarId)>,
+    /// Object pair variables `z_ij`.
+    pub obj_pair_vars: Vec<(TripleId, TripleId, VarId)>,
+    /// Construction statistics.
+    pub stats: BuildStats,
+}
+
+/// The transitive-relation score table of §3.1.5: high 0.9 when all three
+/// pair variables are 1, low 0.1 when exactly one is 0, middle 0.5
+/// otherwise.
+pub fn transitivity_scores() -> Vec<f64> {
+    (0..8u32)
+        .map(|flat| match flat.count_ones() {
+            3 => 0.9,
+            2 => 0.1,
+            _ => 0.5,
+        })
+        .collect()
+}
+
+/// Build the factor graph for `config.variant`.
+pub fn build_graph(
+    okb: &Okb,
+    ckb: &Ckb,
+    signals: &Signals,
+    blocking: &Blocking,
+    config: &JoclConfig,
+) -> GraphPlan {
+    let mut graph = FactorGraph::new();
+    let mut params = Params::new();
+    let fs = config.features;
+    let groups = ParamGroups {
+        alpha1: params.add_group(fs.np_canon_len(), 2.0),
+        alpha2: params.add_group(fs.rp_canon_len(), 2.0),
+        alpha3: params.add_group(fs.np_canon_len(), 2.0),
+        alpha4: params.add_group(fs.entity_link_len(), 2.0),
+        alpha5: params.add_group(fs.relation_link_len(), 2.0),
+        alpha6: params.add_group(fs.entity_link_len(), 2.0),
+        beta: [
+            params.add_group(1, 2.0),
+            params.add_group(1, 2.0),
+            params.add_group(1, 2.0),
+            params.add_group(1, 2.0),
+            params.add_group(1, 2.0),
+            params.add_group(1, 2.0),
+            params.add_group(1, 2.0),
+        ],
+    };
+    let mut stats = BuildStats::default();
+
+    let with_linking = matches!(
+        config.variant,
+        Variant::Full | Variant::LinkOnly | Variant::NoConsistency
+    );
+    let with_canon = matches!(
+        config.variant,
+        Variant::Full | Variant::CanoOnly | Variant::NoConsistency
+    );
+    let with_consistency = matches!(config.variant, Variant::Full);
+
+    // ---------------- linking variables + F4/F5/F6 -----------------------
+    let mut np_link_vars: Vec<Option<VarId>> = vec![None; okb.num_np_mentions()];
+    let mut np_candidates: Vec<Vec<EntityId>> = vec![Vec::new(); okb.num_np_mentions()];
+    let mut rp_link_vars: Vec<Option<VarId>> = vec![None; okb.num_rp_mentions()];
+    let mut rp_candidates: Vec<Vec<RelationId>> = vec![Vec::new(); okb.num_rp_mentions()];
+    if with_linking {
+        let gen = CandidateGen::new(ckb, config.candidates.clone());
+        // Per distinct phrase cache of (candidates, feature table).
+        let mut np_cache: FxHashMap<String, (Vec<EntityId>, Vec<Vec<f64>>)> =
+            FxHashMap::default();
+        for m in okb.np_mentions() {
+            let phrase = okb.np_phrase(m);
+            let key = phrase.to_lowercase();
+            let (cands, feats) = np_cache
+                .entry(key)
+                .or_insert_with(|| {
+                    let scored = gen.entity_candidates(phrase);
+                    let cands: Vec<EntityId> = scored.iter().map(|s| s.id).collect();
+                    let feats: Vec<Vec<f64>> = cands
+                        .iter()
+                        .map(|&e| entity_link_features(signals, ckb, phrase, e, fs))
+                        .collect();
+                    (cands, feats)
+                })
+                .clone();
+            if cands.is_empty() {
+                continue;
+            }
+            let var = graph.add_var_with_class(cands.len() as u32, classes::VAR_LINK);
+            let (group, class) = match m.slot {
+                NpSlot::Subject => (groups.alpha4, classes::F4),
+                NpSlot::Object => (groups.alpha6, classes::F6),
+            };
+            graph.add_factor(&[var], Potential::Features { group, feats }, class);
+            np_link_vars[m.dense()] = Some(var);
+            np_candidates[m.dense()] = cands;
+        }
+        let mut rp_cache: FxHashMap<String, (Vec<RelationId>, Vec<Vec<f64>>)> =
+            FxHashMap::default();
+        for m in okb.rp_mentions() {
+            let phrase = okb.rp_phrase(m);
+            let key = phrase.to_lowercase();
+            let (cands, feats) = rp_cache
+                .entry(key)
+                .or_insert_with(|| {
+                    let scored = gen.relation_candidates(phrase);
+                    let cands: Vec<RelationId> = scored.iter().map(|s| s.id).collect();
+                    let feats: Vec<Vec<f64>> = cands
+                        .iter()
+                        .map(|&r| relation_link_features(signals, ckb, phrase, r, fs))
+                        .collect();
+                    (cands, feats)
+                })
+                .clone();
+            if cands.is_empty() {
+                continue;
+            }
+            let var = graph.add_var_with_class(cands.len() as u32, classes::VAR_LINK);
+            graph.add_factor(
+                &[var],
+                Potential::Features { group: groups.alpha5, feats },
+                classes::F5,
+            );
+            rp_link_vars[m.dense()] = Some(var);
+            rp_candidates[m.dense()] = cands;
+        }
+    }
+
+    // ---------------- canonicalization variables + F1/F2/F3 --------------
+    let mut subj_pair_vars = Vec::new();
+    let mut pred_pair_vars = Vec::new();
+    let mut obj_pair_vars = Vec::new();
+    if with_canon {
+        let mut np_pair_cache: FxHashMap<(String, String), Vec<f64>> = FxHashMap::default();
+        let mut rp_pair_cache: FxHashMap<(String, String), Vec<f64>> = FxHashMap::default();
+        for &(ti, tj) in &blocking.subj_pairs {
+            let (a, b) = (okb.triple(ti).subject.clone(), okb.triple(tj).subject.clone());
+            let sims = cached_np_pair(signals, &mut np_pair_cache, &a, &b, fs);
+            let var = graph.add_var_with_class(2, classes::VAR_CANON);
+            graph.add_factor(
+                &[var],
+                pair_potential(groups.alpha1, &sims),
+                classes::F1,
+            );
+            subj_pair_vars.push((ti, tj, var));
+        }
+        for &(ti, tj) in &blocking.pred_pairs {
+            let (a, b) = (okb.triple(ti).predicate.clone(), okb.triple(tj).predicate.clone());
+            let sims = cached_rp_pair(signals, &mut rp_pair_cache, &a, &b, fs);
+            let var = graph.add_var_with_class(2, classes::VAR_CANON);
+            graph.add_factor(
+                &[var],
+                pair_potential(groups.alpha2, &sims),
+                classes::F2,
+            );
+            pred_pair_vars.push((ti, tj, var));
+        }
+        for &(ti, tj) in &blocking.obj_pairs {
+            let (a, b) = (okb.triple(ti).object.clone(), okb.triple(tj).object.clone());
+            let sims = cached_np_pair(signals, &mut np_pair_cache, &a, &b, fs);
+            let var = graph.add_var_with_class(2, classes::VAR_CANON);
+            graph.add_factor(
+                &[var],
+                pair_potential(groups.alpha3, &sims),
+                classes::F3,
+            );
+            obj_pair_vars.push((ti, tj, var));
+        }
+
+        // U1–U3 transitivity triangles.
+        let tables = transitivity_scores();
+        let mut budget = config.max_triangles;
+        for (pairs, class, beta_idx) in [
+            (&subj_pair_vars, classes::U1, 0usize),
+            (&pred_pair_vars, classes::U2, 1),
+            (&obj_pair_vars, classes::U3, 2),
+        ] {
+            let added = add_triangles(
+                &mut graph,
+                pairs,
+                groups.beta[beta_idx],
+                &tables,
+                class,
+                &mut budget,
+            );
+            stats.triangles += added;
+        }
+    }
+
+    // ---------------- U4 fact inclusion ----------------------------------
+    if with_linking {
+        for (t, _) in okb.triples() {
+            let sm = NpMention { triple: t, slot: NpSlot::Subject };
+            let om = NpMention { triple: t, slot: NpSlot::Object };
+            let rm = RpMention(t);
+            let (Some(sv), Some(rv), Some(ov)) = (
+                np_link_vars[sm.dense()],
+                rp_link_vars[rm.dense()],
+                np_link_vars[om.dense()],
+            ) else {
+                continue;
+            };
+            let cs = &np_candidates[sm.dense()];
+            let cr = &rp_candidates[rm.dense()];
+            let co = &np_candidates[om.dense()];
+            let (ks, kr, ko) = (cs.len(), cr.len(), co.len());
+            let mut high = Vec::new();
+            for (oi, &o) in co.iter().enumerate() {
+                for (ri, &r) in cr.iter().enumerate() {
+                    for (si, &s) in cs.iter().enumerate() {
+                        if ckb.has_fact(s, r, o) {
+                            high.push((si + ks * ri + ks * kr * oi) as u32);
+                        }
+                    }
+                }
+            }
+            graph.add_factor(
+                &[sv, rv, ov],
+                Potential::two_level(groups.beta[3], ks * kr * ko, high, 0.9, 0.1),
+                classes::U4,
+            );
+            stats.fact_factors += 1;
+        }
+    }
+
+    // ---------------- U5–U7 consistency ----------------------------------
+    if with_consistency {
+        for (pairs, class, beta_idx, slot) in [
+            (&subj_pair_vars, classes::U5, 4usize, Some(NpSlot::Subject)),
+            (&pred_pair_vars, classes::U6, 5, None),
+            (&obj_pair_vars, classes::U7, 6, Some(NpSlot::Object)),
+        ] {
+            for &(ti, tj, pair_var) in pairs.iter() {
+                let (va, vb, same_fn): (Option<VarId>, Option<VarId>, Vec<(usize, usize, bool)>) =
+                    match slot {
+                        Some(s) => {
+                            let ma = NpMention { triple: ti, slot: s }.dense();
+                            let mb = NpMention { triple: tj, slot: s }.dense();
+                            let eq = equality_table(&np_candidates[ma], &np_candidates[mb]);
+                            (np_link_vars[ma], np_link_vars[mb], eq)
+                        }
+                        None => {
+                            let ma = RpMention(ti).dense();
+                            let mb = RpMention(tj).dense();
+                            let eq = equality_table(&rp_candidates[ma], &rp_candidates[mb]);
+                            (rp_link_vars[ma], rp_link_vars[mb], eq)
+                        }
+                    };
+                let (Some(va), Some(vb)) = (va, vb) else { continue };
+                let ka = graph.cardinality(va) as usize;
+                let kb = graph.cardinality(vb) as usize;
+                // Config (a, b, x): high when (cand_a == cand_b) ⟺ (x == 1).
+                let mut high = Vec::with_capacity(ka * kb);
+                for &(a, b, same) in &same_fn {
+                    let x = usize::from(same); // the agreeing state
+                    high.push((a + ka * b + ka * kb * x) as u32);
+                }
+                graph.add_factor(
+                    &[va, vb, pair_var],
+                    Potential::two_level(groups.beta[beta_idx], ka * kb * 2, high, 0.7, 0.3),
+                    class,
+                );
+                stats.consistency_factors += 1;
+            }
+        }
+    }
+
+    GraphPlan {
+        graph,
+        params,
+        groups,
+        np_link_vars,
+        np_candidates,
+        rp_link_vars,
+        rp_candidates,
+        subj_pair_vars,
+        pred_pair_vars,
+        obj_pair_vars,
+        stats,
+    }
+}
+
+/// `(a_state, b_state, equal?)` for all candidate combinations.
+fn equality_table<T: PartialEq>(a: &[T], b: &[T]) -> Vec<(usize, usize, bool)> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for (ai, av) in a.iter().enumerate() {
+        for (bi, bv) in b.iter().enumerate() {
+            out.push((ai, bi, av == bv));
+        }
+    }
+    out
+}
+
+/// F1/F2/F3 potential: state 0 features are `1 − s`, state 1 features `s`.
+fn pair_potential(group: usize, sims: &[f64]) -> Potential {
+    let state0: Vec<f64> = sims.iter().map(|s| 1.0 - s).collect();
+    let state1 = sims.to_vec();
+    Potential::Features { group, feats: vec![state0, state1] }
+}
+
+fn cached_np_pair(
+    signals: &Signals,
+    cache: &mut FxHashMap<(String, String), Vec<f64>>,
+    a: &str,
+    b: &str,
+    fs: FeatureSet,
+) -> Vec<f64> {
+    let key = ordered_key(a, b);
+    cache
+        .entry(key)
+        .or_insert_with(|| np_canon_features(signals, a, b, fs))
+        .clone()
+}
+
+fn cached_rp_pair(
+    signals: &Signals,
+    cache: &mut FxHashMap<(String, String), Vec<f64>>,
+    a: &str,
+    b: &str,
+    fs: FeatureSet,
+) -> Vec<f64> {
+    let key = ordered_key(a, b);
+    cache
+        .entry(key)
+        .or_insert_with(|| rp_canon_features(signals, a, b, fs))
+        .clone()
+}
+
+fn ordered_key(a: &str, b: &str) -> (String, String) {
+    let (a, b) = (a.to_lowercase(), b.to_lowercase());
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// NP canonicalization feature vector ⟨f_idf, f_emb, f_PPDB⟩ (§3.1.3),
+/// truncated by the feature set.
+pub fn np_canon_features(signals: &Signals, a: &str, b: &str, fs: FeatureSet) -> Vec<f64> {
+    let mut v = vec![signals.sim_idf_np(a, b)];
+    if fs != FeatureSet::Single {
+        v.push(signals.sim_emb(a, b));
+    }
+    if fs == FeatureSet::All {
+        v.push(signals.sim_ppdb(a, b));
+    }
+    v
+}
+
+/// RP canonicalization feature vector
+/// ⟨f_idf, f_emb, f_PPDB, f_AMIE, f_KBP⟩ (§3.1.4).
+pub fn rp_canon_features(signals: &Signals, a: &str, b: &str, fs: FeatureSet) -> Vec<f64> {
+    let mut v = vec![signals.sim_idf_rp(a, b)];
+    if fs != FeatureSet::Single {
+        v.push(signals.sim_emb(a, b));
+    }
+    if fs == FeatureSet::All {
+        v.push(signals.sim_ppdb(a, b));
+        v.push(signals.sim_amie(a, b));
+        v.push(signals.sim_kbp(a, b));
+    }
+    v
+}
+
+/// Entity linking feature vector ⟨f_pop, f'_emb, f'_PPDB⟩ (§3.2.3).
+pub fn entity_link_features(
+    signals: &Signals,
+    ckb: &Ckb,
+    phrase: &str,
+    e: EntityId,
+    fs: FeatureSet,
+) -> Vec<f64> {
+    let mut v = vec![signals.popularity(ckb, phrase, e)];
+    let name = &ckb.entity(e).name;
+    if fs != FeatureSet::Single {
+        v.push(signals.sim_emb(phrase, name));
+    }
+    if fs == FeatureSet::All {
+        v.push(signals.sim_ppdb(phrase, name));
+    }
+    v
+}
+
+/// Relation linking feature vector ⟨f_ngram, f_LD, f'_emb, f'_PPDB⟩
+/// (§3.2.4). String similarity is taken against the best-matching surface
+/// form of the candidate relation.
+pub fn relation_link_features(
+    signals: &Signals,
+    ckb: &Ckb,
+    phrase: &str,
+    r: RelationId,
+    fs: FeatureSet,
+) -> Vec<f64> {
+    let rel = ckb.relation(r);
+    // RP comparisons run on raw and morphologically normalized forms and
+    // keep the best score (OIE pipelines conventionally normalize RPs,
+    // and the CKB's surface inventory stores base forms).
+    let normed = jocl_text::normalize::morph_normalize_rp(phrase);
+    let best = |f: &dyn Fn(&str, &str) -> f64| -> f64 {
+        rel.surface_forms
+            .iter()
+            .map(|sf| {
+                f(phrase, sf)
+                    .max(f(&normed, &jocl_text::normalize::morph_normalize_rp(sf)))
+            })
+            .fold(0.0, f64::max)
+    };
+    let mut v = vec![best(&|a, b| signals.sim_ngram(a, b))];
+    if fs != FeatureSet::Single {
+        v.push(best(&|a, b| signals.sim_ld(a, b)));
+    }
+    if fs == FeatureSet::All {
+        v.push(best(&|a, b| signals.sim_emb(a, b)));
+        v.push(best(&|a, b| signals.sim_ppdb(a, b)));
+    }
+    v
+}
+
+/// Add transitivity factors for all triangles in a pair-variable family,
+/// up to `budget`. Returns the number added.
+fn add_triangles(
+    graph: &mut FactorGraph,
+    pairs: &[(TripleId, TripleId, VarId)],
+    group: usize,
+    scores: &[f64],
+    class: u8,
+    budget: &mut usize,
+) -> usize {
+    // Edge map (i, j) -> var.
+    let mut edge: FxHashMap<(u32, u32), VarId> = FxHashMap::default();
+    let mut adj: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    for &(a, b, v) in pairs {
+        edge.insert((a.0, b.0), v);
+        adj.entry(a.0).or_default().push(b.0);
+        adj.entry(b.0).or_default().push(a.0);
+    }
+    let mut nodes: Vec<u32> = adj.keys().copied().collect();
+    nodes.sort_unstable();
+    let mut added = 0usize;
+    'outer: for &i in &nodes {
+        let mut nbrs: Vec<u32> = adj[&i].iter().copied().filter(|&n| n > i).collect();
+        nbrs.sort_unstable();
+        for (a_idx, &j) in nbrs.iter().enumerate() {
+            for &k in &nbrs[a_idx + 1..] {
+                let (Some(&vij), Some(&vjk), Some(&vik)) =
+                    (edge.get(&(i, j)), edge.get(&(j, k)), edge.get(&(i, k)))
+                else {
+                    continue;
+                };
+                if *budget == 0 {
+                    break 'outer;
+                }
+                *budget -= 1;
+                graph.add_factor(
+                    &[vij, vjk, vik],
+                    Potential::Scores { group, scores: scores.to_vec() },
+                    class,
+                );
+                added += 1;
+            }
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitivity_table_matches_paper() {
+        let t = transitivity_scores();
+        assert_eq!(t.len(), 8);
+        // flat = a + 2b + 4c
+        assert_eq!(t[0b111], 0.9); // all ones: reward
+        assert_eq!(t[0b011], 0.1); // two ones, one zero: penalize
+        assert_eq!(t[0b101], 0.1);
+        assert_eq!(t[0b110], 0.1);
+        assert_eq!(t[0b000], 0.5); // otherwise: middle
+        assert_eq!(t[0b001], 0.5);
+    }
+
+    #[test]
+    fn pair_potential_complements_features() {
+        let p = pair_potential(0, &[0.8, 0.3]);
+        let Potential::Features { feats, .. } = p else { panic!() };
+        assert_eq!(feats[1], vec![0.8, 0.3]);
+        assert!((feats[0][0] - 0.2).abs() < 1e-12);
+        assert!((feats[0][1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equality_table_enumerates_all() {
+        let t = equality_table(&[1, 2], &[2, 3, 1]);
+        assert_eq!(t.len(), 6);
+        assert!(t.contains(&(0, 2, true))); // 1 == 1
+        assert!(t.contains(&(1, 0, true))); // 2 == 2
+        assert!(t.contains(&(0, 0, false)));
+    }
+
+    #[test]
+    fn ordered_key_is_symmetric() {
+        assert_eq!(ordered_key("B", "a"), ordered_key("a", "B"));
+    }
+}

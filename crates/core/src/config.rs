@@ -1,0 +1,216 @@
+//! JOCL configuration: variants, feature sets, and all hyperparameters.
+
+use jocl_embed::SgnsOptions;
+use jocl_fg::LbpOptions;
+use jocl_kb::candidates::CandidateOptions;
+
+/// Which parts of the model are active — reproduces the paper's Table 4
+/// ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The full joint model (F1–F6, U1–U7).
+    Full,
+    /// `JOCLcano`: canonicalization factors only (F1–F3, U1–U3).
+    CanoOnly,
+    /// `JOCLlink`: linking factors only (F4–F6, U4).
+    LinkOnly,
+    /// Full structure minus the consistency factors U5–U7 — the two tasks
+    /// share one graph but cannot interact (used to isolate the
+    /// interaction effect).
+    NoConsistency,
+}
+
+/// Which feature functions each F factor uses — reproduces the paper's
+/// Table 5 variants (JOCL-single / JOCL-double / JOCL-all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureSet {
+    /// F1/F3: f_idf; F2: f_idf; F4/F6: f_pop; F5: f_ngram.
+    Single,
+    /// F1/F3: f_idf, f_emb; F2: f_idf, f_emb; F4/F6: f_pop, f'_emb;
+    /// F5: f_ngram, f'_emb.
+    Double,
+    /// The full vectors of §3.1.3/§3.1.4/§3.2.3/§3.2.4.
+    All,
+}
+
+impl FeatureSet {
+    /// Number of features for the NP canonicalization factors F1/F3.
+    pub fn np_canon_len(self) -> usize {
+        match self {
+            FeatureSet::Single => 1,
+            FeatureSet::Double => 2,
+            FeatureSet::All => 3,
+        }
+    }
+
+    /// Number of features for the RP canonicalization factor F2.
+    pub fn rp_canon_len(self) -> usize {
+        match self {
+            FeatureSet::Single => 1,
+            FeatureSet::Double => 2,
+            FeatureSet::All => 5,
+        }
+    }
+
+    /// Number of features for the entity linking factors F4/F6.
+    pub fn entity_link_len(self) -> usize {
+        match self {
+            FeatureSet::Single => 1,
+            FeatureSet::Double => 2,
+            FeatureSet::All => 3,
+        }
+    }
+
+    /// Number of features for the relation linking factor F5.
+    pub fn relation_link_len(self) -> usize {
+        match self {
+            FeatureSet::Single => 1,
+            FeatureSet::Double => 2,
+            FeatureSet::All => 4,
+        }
+    }
+}
+
+/// Full configuration of a JOCL run.
+#[derive(Debug, Clone)]
+pub struct JoclConfig {
+    /// Model variant (ablations).
+    pub variant: Variant,
+    /// Feature combination (Table 5).
+    pub features: FeatureSet,
+    /// IDF-token-overlap blocking threshold for canonicalization pair
+    /// generation (paper §4.1: 0.5).
+    pub blocking_threshold: f64,
+    /// Candidate generation options (top-K etc.).
+    pub candidates: CandidateOptions,
+    /// LBP options; the phased schedule of §3.4 is installed by the
+    /// pipeline regardless of `schedule` here.
+    pub lbp: LbpOptions,
+    /// Learning rate for weight training (paper §4.1: 0.05).
+    pub learning_rate: f64,
+    /// Training epochs (clamped+free LBP per epoch); 0 disables learning.
+    pub train_epochs: usize,
+    /// Cap on transitivity triangles (U1–U3) per variable type.
+    pub max_triangles: usize,
+    /// Identical-phrase mention groups up to this size become cliques;
+    /// larger groups are chained (keeps blocking near-linear).
+    pub max_group_clique: usize,
+    /// Cross-phrase pair cap: at most this many mentions per side.
+    pub cross_cap: usize,
+    /// Merge final clusters through shared link targets (Assumption 1
+    /// applied at decode time).
+    pub merge_by_link: bool,
+    /// SGNS options for the embedding signal.
+    pub sgns: SgnsOptions,
+    /// Seed for any stochastic tie-breaking.
+    pub seed: u64,
+}
+
+impl Default for JoclConfig {
+    fn default() -> Self {
+        Self {
+            variant: Variant::Full,
+            features: FeatureSet::All,
+            blocking_threshold: 0.5,
+            candidates: CandidateOptions::default(),
+            lbp: LbpOptions { max_iters: 20, tol: 1e-3, damping: 0.1, threads: 4, ..Default::default() },
+            learning_rate: 0.05,
+            train_epochs: 6,
+            max_triangles: 50_000,
+            max_group_clique: 5,
+            cross_cap: 3,
+            merge_by_link: true,
+            sgns: SgnsOptions::default(),
+            seed: 7,
+        }
+    }
+}
+
+/// Factor scheduling classes, mirroring the paper's message-passing order
+/// (§3.4).
+pub mod classes {
+    /// F1: subject canonicalization.
+    pub const F1: u8 = 1;
+    /// F2: predicate canonicalization.
+    pub const F2: u8 = 2;
+    /// F3: object canonicalization.
+    pub const F3: u8 = 3;
+    /// U1: subject transitivity.
+    pub const U1: u8 = 4;
+    /// U2: predicate transitivity.
+    pub const U2: u8 = 5;
+    /// U3: object transitivity.
+    pub const U3: u8 = 6;
+    /// F4: subject linking.
+    pub const F4: u8 = 7;
+    /// F5: predicate linking.
+    pub const F5: u8 = 8;
+    /// F6: object linking.
+    pub const F6: u8 = 9;
+    /// U4: fact inclusion.
+    pub const U4: u8 = 10;
+    /// U5: subject consistency.
+    pub const U5: u8 = 11;
+    /// U6: predicate consistency.
+    pub const U6: u8 = 12;
+    /// U7: object consistency.
+    pub const U7: u8 = 13;
+
+    /// Variable class of canonicalization variables.
+    pub const VAR_CANON: u8 = 0;
+    /// Variable class of linking variables.
+    pub const VAR_LINK: u8 = 1;
+}
+
+/// The paper's phased LBP schedule (§3.4): canonicalization factors →
+/// transitivity → linking factors → fact inclusion → consistency; then
+/// canonicalization variables → linking variables.
+pub fn paper_schedule() -> jocl_fg::Schedule {
+    use classes::*;
+    jocl_fg::Schedule::Phased {
+        factor_phases: vec![
+            vec![F1, F2, F3],
+            vec![U1, U2, U3],
+            vec![F4, F5, F6],
+            vec![U4],
+            vec![U5, U6, U7],
+        ],
+        var_phases: vec![vec![VAR_CANON], vec![VAR_LINK]],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_lengths_match_paper_vectors() {
+        assert_eq!(FeatureSet::All.np_canon_len(), 3); // idf, emb, ppdb
+        assert_eq!(FeatureSet::All.rp_canon_len(), 5); // + amie, kbp
+        assert_eq!(FeatureSet::All.entity_link_len(), 3); // pop, emb, ppdb
+        assert_eq!(FeatureSet::All.relation_link_len(), 4); // ngram, ld, emb, ppdb
+        assert_eq!(FeatureSet::Single.rp_canon_len(), 1);
+        assert_eq!(FeatureSet::Double.relation_link_len(), 2);
+    }
+
+    #[test]
+    fn default_config_matches_paper_constants() {
+        let c = JoclConfig::default();
+        assert_eq!(c.blocking_threshold, 0.5); // §4.1
+        assert_eq!(c.learning_rate, 0.05); // §4.1
+        assert_eq!(c.lbp.max_iters, 20); // §3.4 "within twenty iterations"
+        assert_eq!(c.variant, Variant::Full);
+    }
+
+    #[test]
+    fn schedule_contains_all_classes_in_order() {
+        use classes::*;
+        let jocl_fg::Schedule::Phased { factor_phases, var_phases } = paper_schedule() else {
+            panic!("paper schedule must be phased")
+        };
+        assert_eq!(factor_phases.len(), 5);
+        assert_eq!(factor_phases[0], vec![F1, F2, F3]);
+        assert_eq!(factor_phases[4], vec![U5, U6, U7]);
+        assert_eq!(var_phases, vec![vec![VAR_CANON], vec![VAR_LINK]]);
+    }
+}

@@ -1,0 +1,194 @@
+//! The signal layer: every feature function of the paper, bundled.
+//!
+//! [`Signals`] owns the trained/built resources and exposes the feature
+//! functions used by the factor builder:
+//!
+//! | method | paper feature | section |
+//! |---|---|---|
+//! | [`Signals::sim_idf_np`] / [`Signals::sim_idf_rp`] | `f_idf` | §3.1.3 |
+//! | [`Signals::sim_emb`] | `f_emb`, `f'_emb` | §3.1.3, §3.2.3 |
+//! | [`Signals::sim_ppdb`] | `f_PPDB`, `f'_PPDB` | §3.1.3, §3.2.3 |
+//! | [`Signals::sim_amie`] | `f_AMIE` | §3.1.4 |
+//! | [`Signals::sim_kbp`] | `f_KBP` | §3.1.4 |
+//! | [`Signals::popularity`] | `f_pop` | §3.2.3 |
+//! | [`Signals::sim_ngram`] / [`Signals::sim_ld`] | `f_ngram`, `f_LD` | §3.2.4 |
+
+use jocl_embed::{train_sgns, EmbeddingStore, SgnsOptions};
+use jocl_kb::{Ckb, EntityId, Okb};
+use jocl_rules::{AmieOptions, AmieRules, KbpCategorizer, ParaphraseStore};
+use jocl_text::sim::{levenshtein_sim, ngram_jaccard};
+use jocl_text::IdfIndex;
+
+/// All signal resources for one dataset.
+pub struct Signals {
+    /// IDF word statistics over NPs (for `f_idf` on NPs and blocking).
+    pub idf_np: IdfIndex,
+    /// IDF word statistics over RPs.
+    pub idf_rp: IdfIndex,
+    /// Trained word embeddings.
+    pub embeddings: EmbeddingStore,
+    /// Paraphrase database.
+    pub ppdb: ParaphraseStore,
+    /// Mined AMIE rules.
+    pub amie: AmieRules,
+    /// KBP-style relation categorizer.
+    pub kbp: KbpCategorizer,
+}
+
+impl Signals {
+    /// `Sim_idf` between two NPs.
+    pub fn sim_idf_np(&self, a: &str, b: &str) -> f64 {
+        self.idf_np.sim(a, b)
+    }
+
+    /// `Sim_idf` between two RPs.
+    pub fn sim_idf_rp(&self, a: &str, b: &str) -> f64 {
+        self.idf_rp.sim(a, b)
+    }
+
+    /// `Sim_emb` between two phrases (cosine of averaged word vectors,
+    /// mapped to [0, 1]).
+    pub fn sim_emb(&self, a: &str, b: &str) -> f64 {
+        self.embeddings.sim(a, b)
+    }
+
+    /// `Sim_PPDB`: same paraphrase-cluster representative.
+    pub fn sim_ppdb(&self, a: &str, b: &str) -> f64 {
+        self.ppdb.sim(a, b)
+    }
+
+    /// `Sim_AMIE`: mutual Horn-rule implication.
+    pub fn sim_amie(&self, a: &str, b: &str) -> f64 {
+        self.amie.sim(a, b)
+    }
+
+    /// `Sim_KBP`: same relation category.
+    pub fn sim_kbp(&self, a: &str, b: &str) -> f64 {
+        self.kbp.sim(a, b)
+    }
+
+    /// `f_pop(surface, entity)` from CKB anchor statistics.
+    pub fn popularity(&self, ckb: &Ckb, surface: &str, entity: EntityId) -> f64 {
+        ckb.popularity(surface, entity)
+    }
+
+    /// `f_ngram`: character-trigram Jaccard.
+    pub fn sim_ngram(&self, a: &str, b: &str) -> f64 {
+        ngram_jaccard(&a.to_lowercase(), &b.to_lowercase())
+    }
+
+    /// `f_LD`: normalized Levenshtein similarity.
+    pub fn sim_ld(&self, a: &str, b: &str) -> f64 {
+        levenshtein_sim(&a.to_lowercase(), &b.to_lowercase())
+    }
+}
+
+/// Build all signals for a dataset: IDF indexes from the OKB phrases,
+/// SGNS embeddings from `corpus`, AMIE rules from the OKB, and the KBP
+/// categorizer from the CKB. The PPDB is supplied externally (it is a
+/// resource, not derived from the data).
+pub fn build_signals(
+    okb: &Okb,
+    ckb: &Ckb,
+    ppdb: &ParaphraseStore,
+    corpus: &[Vec<String>],
+    sgns: &SgnsOptions,
+) -> Signals {
+    let mut idf_np = IdfIndex::new();
+    let mut idf_rp = IdfIndex::new();
+    for (_, t) in okb.triples() {
+        idf_np.add_phrase(&t.subject);
+        idf_np.add_phrase(&t.object);
+        idf_rp.add_phrase(&t.predicate);
+    }
+    let embeddings = train_sgns(corpus, sgns);
+    let amie = jocl_rules::amie::mine(okb, AmieOptions::default());
+    let kbp = KbpCategorizer::from_ckb(ckb);
+    Signals {
+        idf_np,
+        idf_rp,
+        embeddings,
+        ppdb: ppdb.clone(),
+        amie,
+        kbp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocl_kb::Triple;
+
+    fn tiny_signals() -> (Signals, Ckb) {
+        let mut okb = Okb::new();
+        okb.add_triple(Triple::new("Rome", "is the capital of", "Italy"));
+        okb.add_triple(Triple::new("Rome", "is the capital city of", "Italy"));
+        okb.add_triple(Triple::new("Paris", "is the capital of", "France"));
+        okb.add_triple(Triple::new("Paris", "is the capital city of", "France"));
+        let mut ckb = Ckb::new();
+        ckb.add_relation(jocl_kb::CkbRelation {
+            name: "capital".into(),
+            surface_forms: vec!["be the capital of".into()],
+            category: "location".into(),
+        });
+        let ppdb = ParaphraseStore::from_groups([vec!["Rome", "Roma"]]);
+        let corpus = vec![
+            vec!["rome".into(), "capital".into(), "italy".into()],
+            vec!["roma".into(), "capital".into(), "italy".into()],
+        ];
+        let signals = build_signals(&okb, &ckb, &ppdb, &corpus, &SgnsOptions {
+            dim: 8,
+            epochs: 2,
+            ..Default::default()
+        });
+        (signals, ckb)
+    }
+
+    #[test]
+    fn all_signals_are_in_range() {
+        let (s, _) = tiny_signals();
+        let checks = [
+            s.sim_idf_np("Rome", "Rome city"),
+            s.sim_idf_rp("is the capital of", "is the capital city of"),
+            s.sim_emb("rome", "italy"),
+            s.sim_ppdb("Rome", "Roma"),
+            s.sim_amie("is the capital of", "is the capital city of"),
+            s.sim_ngram("capital of", "capital city of"),
+            s.sim_ld("capital of", "capital city of"),
+        ];
+        for (i, v) in checks.iter().enumerate() {
+            assert!((0.0..=1.0).contains(v), "signal {i} out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn amie_fires_on_mined_paraphrases() {
+        let (s, _) = tiny_signals();
+        assert_eq!(s.sim_amie("is the capital of", "is the capital city of"), 1.0);
+    }
+
+    #[test]
+    fn ppdb_fires_on_groups() {
+        let (s, _) = tiny_signals();
+        assert_eq!(s.sim_ppdb("Rome", "Roma"), 1.0);
+        assert_eq!(s.sim_ppdb("Rome", "Paris"), 0.0);
+    }
+
+    #[test]
+    fn kbp_categorizes_ckb_surface_forms() {
+        let (s, _) = tiny_signals();
+        assert_eq!(s.sim_kbp("was the capital of", "is the capital of"), 1.0);
+    }
+
+    #[test]
+    fn popularity_passthrough() {
+        let (s, mut ckb) = tiny_signals();
+        let e = ckb.add_entity(jocl_kb::Entity {
+            name: "rome".into(),
+            aliases: vec!["Rome".into()],
+            types: vec![],
+        });
+        ckb.add_anchor("rome", e, 10);
+        assert_eq!(s.popularity(&ckb, "Rome", e), 1.0);
+    }
+}

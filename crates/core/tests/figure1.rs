@@ -1,0 +1,82 @@
+//! End-to-end test: JOCL must reproduce the paper's running example
+//! (Figure 1a) exactly.
+
+use jocl_core::example::figure1;
+use jocl_core::{Jocl, Variant};
+use jocl_kb::{NpMention, NpSlot, RpMention, TripleId};
+
+fn np(t: u32, slot: NpSlot) -> usize {
+    NpMention { triple: TripleId(t), slot }.dense()
+}
+
+#[test]
+fn joint_result_matches_figure_1a() {
+    let ex = figure1();
+    let jocl = Jocl::new(ex.config());
+    let out = jocl.run(ex.input(), None);
+
+    let s1 = np(0, NpSlot::Subject);
+    let s2 = np(1, NpSlot::Subject);
+    let s3 = np(2, NpSlot::Subject);
+    let o1 = np(0, NpSlot::Object);
+    let o2 = np(1, NpSlot::Object);
+    let o3 = np(2, NpSlot::Object);
+
+    // Linking result (blue arrows in Figure 1a).
+    assert_eq!(out.np_links[s1], Some(ex.e_umd), "s1 → e4");
+    assert_eq!(out.np_links[s2], Some(ex.e_umd), "s2 (UMD) → e4");
+    assert_eq!(out.np_links[s3], Some(ex.e_uva), "s3 → e3");
+    assert_eq!(out.np_links[o1], Some(ex.e_maryland), "o1 → e1");
+    assert_eq!(out.np_links[o2], Some(ex.e_u21), "o2 → e2");
+    assert_eq!(out.np_links[o3], Some(ex.e_u21), "o3 (U21) → e2");
+    assert_eq!(out.rp_links[RpMention(TripleId(0)).dense()], Some(ex.r_location));
+    assert_eq!(out.rp_links[RpMention(TripleId(1)).dense()], Some(ex.r_member));
+    assert_eq!(out.rp_links[RpMention(TripleId(2)).dense()], Some(ex.r_member));
+
+    // Canonicalization result (blue ellipses): four NP groups.
+    let c = &out.np_clustering;
+    assert!(c.same(s1, s2), "s1 and s2 must be grouped");
+    assert!(c.same(o2, o3), "o2 and o3 must be grouped");
+    assert!(!c.same(s1, s3));
+    assert!(!c.same(s1, o1), "the university is not the state");
+    assert!(!c.same(o1, o2));
+    assert_eq!(c.num_clusters(), 4);
+
+    // Two RP groups.
+    let rc = &out.rp_clustering;
+    let p1 = RpMention(TripleId(0)).dense();
+    let p2 = RpMention(TripleId(1)).dense();
+    let p3 = RpMention(TripleId(2)).dense();
+    assert!(rc.same(p2, p3), "p2 and p3 must be grouped");
+    assert!(!rc.same(p1, p2));
+    assert_eq!(rc.num_clusters(), 2);
+}
+
+#[test]
+fn link_only_variant_cannot_group_without_links() {
+    // JOCLlink still produces links; canonicalization comes only from
+    // shared link targets.
+    let ex = figure1();
+    let mut config = ex.config();
+    config.variant = Variant::LinkOnly;
+    let out = Jocl::new(config).run(ex.input(), None);
+    // No transitivity structure is built without pair variables.
+    assert_eq!(out.diagnostics.triangles, 0);
+    // s2 should still link correctly through popularity + fact inclusion.
+    assert_eq!(out.np_links[np(1, NpSlot::Subject)], Some(ex.e_umd));
+}
+
+#[test]
+fn cano_only_variant_produces_no_links() {
+    let ex = figure1();
+    let mut config = ex.config();
+    config.variant = Variant::CanoOnly;
+    config.merge_by_link = false;
+    let out = Jocl::new(config).run(ex.input(), None);
+    assert!(out.np_links.iter().all(Option::is_none));
+    assert!(out.rp_links.iter().all(Option::is_none));
+    // The RP paraphrase pair is still found lexically.
+    let p2 = RpMention(TripleId(1)).dense();
+    let p3 = RpMention(TripleId(2)).dense();
+    assert!(out.rp_clustering.same(p2, p3));
+}

@@ -1,0 +1,125 @@
+//! Generator configuration.
+
+/// All knobs of the synthetic world. The two dataset presets
+/// ([`crate::reverb45k_like`], [`crate::nytimes2018_like`]) are just
+/// different option sets.
+#[derive(Debug, Clone)]
+pub struct WorldOptions {
+    /// RNG seed — everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Number of CKB entities.
+    pub num_entities: usize,
+    /// Number of CKB relations.
+    pub num_relations: usize,
+    /// Number of CKB facts.
+    pub num_facts: usize,
+    /// Number of OIE triples to render.
+    pub num_triples: usize,
+    /// Zipf exponent for entity popularity (higher = heavier head).
+    pub zipf_exponent: f64,
+    /// Probability that a rendered NP mention carries a typo.
+    pub typo_rate: f64,
+    /// Probability that a rendered NP mention gains a determiner.
+    pub determiner_rate: f64,
+    /// Probability that a rendered RP mention gains a spurious modifier.
+    pub modifier_rate: f64,
+    /// Fraction of triples about out-of-KB (NIL) entities.
+    pub oov_rate: f64,
+    /// Probability that an alias also accumulates anchor counts for a
+    /// *wrong* entity (Wikipedia anchors are noisy: surface forms point
+    /// to many targets). Higher = harder independent linking.
+    pub anchor_noise: f64,
+    /// Probability that a non-canonical alias is *missing* from the CKB
+    /// alias dictionary (real CKBs have incomplete alias coverage; text
+    /// keeps using the alias anyway). This is the main linking-difficulty
+    /// knob: mentions rendered with a missing alias cannot be resolved by
+    /// dictionary lookup or popularity.
+    pub ckb_alias_gap: f64,
+    /// Fraction of world facts actually recorded in the CKB (CKBs are
+    /// incomplete — that is why OKB integration matters). Triples are
+    /// extracted from the full world, so `1 - fact_coverage` of them have
+    /// no supporting CKB fact.
+    pub fact_coverage: f64,
+    /// Fraction of phrases the synthetic PPDB covers.
+    pub ppdb_recall: f64,
+    /// Fraction of PPDB entries assigned to a *wrong* group (noise).
+    pub ppdb_noise: f64,
+    /// Sentences emitted per fact for the embedding corpus.
+    pub corpus_sentences_per_fact: usize,
+    /// Number of relation categories (KBP); relations share categories,
+    /// so fewer categories = noisier `f_KBP`.
+    pub num_categories: usize,
+    /// Number of distractor entities in SIST-style side information.
+    pub side_info_confusers: usize,
+}
+
+impl WorldOptions {
+    /// A tiny world for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            num_entities: 30,
+            num_relations: 8,
+            num_facts: 60,
+            num_triples: 120,
+            zipf_exponent: 1.0,
+            typo_rate: 0.03,
+            determiner_rate: 0.1,
+            modifier_rate: 0.1,
+            oov_rate: 0.05,
+            anchor_noise: 0.25,
+            ckb_alias_gap: 0.25,
+            fact_coverage: 0.7,
+            ppdb_recall: 0.7,
+            ppdb_noise: 0.02,
+            corpus_sentences_per_fact: 3,
+            num_categories: 6,
+            side_info_confusers: 2,
+        }
+    }
+
+    /// Scale the counting knobs by `scale` (≥ 0), keeping rates fixed.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        let s = scale.max(0.0);
+        let apply = |x: usize| ((x as f64 * s).round() as usize).max(1);
+        // The relation inventory shrinks slower (sqrt) so small-scale runs
+        // keep a meaningful relation-linking search space.
+        let apply_sqrt = |x: usize| ((x as f64 * s.sqrt()).round() as usize).max(1);
+        self.num_entities = apply(self.num_entities);
+        self.num_relations = apply_sqrt(self.num_relations).max(4);
+        self.num_facts = apply(self.num_facts);
+        self.num_triples = apply(self.num_triples);
+        self.num_categories = apply_sqrt(self.num_categories).max(2);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_is_consistent() {
+        let o = WorldOptions::tiny(1);
+        assert!(o.num_entities > 0 && o.num_triples > 0);
+        assert!(o.oov_rate < 1.0);
+    }
+
+    #[test]
+    fn scaling_scales_counts_not_rates() {
+        let o = WorldOptions::tiny(1).scaled(2.0);
+        assert_eq!(o.num_entities, 60);
+        assert_eq!(o.num_triples, 240);
+        // Relations shrink/grow with sqrt(scale).
+        assert_eq!(o.num_relations, (8.0f64 * 2.0f64.sqrt()).round() as usize);
+        assert_eq!(o.typo_rate, WorldOptions::tiny(1).typo_rate);
+    }
+
+    #[test]
+    fn scaling_never_hits_zero() {
+        let o = WorldOptions::tiny(1).scaled(0.0001);
+        assert!(o.num_entities >= 1);
+        assert!(o.num_relations >= 4);
+        assert!(o.num_categories >= 2);
+    }
+}

@@ -1,0 +1,215 @@
+//! Synthetic word generation.
+//!
+//! Produces a deterministic pool of pronounceable, pairwise-distinct word
+//! stems (syllable concatenation) used as entity-name components and
+//! relation verbs. Keeping the lexicon synthetic guarantees no accidental
+//! collisions with the English function words the normalizer strips.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+const CONSONANTS: &[&str] = &[
+    "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "sh", "br",
+    "dr", "st", "tr",
+];
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ia", "ar", "en", "or", "el"];
+
+/// A pool of unique synthetic words.
+#[derive(Debug, Clone, Default)]
+pub struct WordPool {
+    words: Vec<String>,
+    seen: HashSet<String>,
+}
+
+impl WordPool {
+    /// Generate `n` distinct words with 3–4 syllables. Longer words keep
+    /// character-level similarities between *different* words realistic
+    /// (short syllable soup would make Jaro-Winkler treat everything as a
+    /// near-duplicate).
+    pub fn generate(rng: &mut StdRng, n: usize) -> Self {
+        let mut pool = Self::default();
+        while pool.words.len() < n {
+            let syllables = rng.gen_range(3..=4);
+            let mut w = String::new();
+            for _ in 0..syllables {
+                w.push_str(CONSONANTS[rng.gen_range(0..CONSONANTS.len())]);
+                w.push_str(VOWELS[rng.gen_range(0..VOWELS.len())]);
+            }
+            if pool.seen.insert(w.clone()) {
+                pool.words.push(w);
+            }
+        }
+        pool
+    }
+
+    /// The `i`-th word.
+    pub fn get(&self, i: usize) -> &str {
+        &self.words[i % self.words.len()]
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Slice view.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+}
+
+/// Capitalize the first letter (title case for surface realization).
+pub fn capitalize(w: &str) -> String {
+    let mut chars = w.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Introduce a single character-level typo (swap or drop), deterministic
+/// under the RNG. Words shorter than 4 characters are returned unchanged.
+pub fn typo(rng: &mut StdRng, w: &str) -> String {
+    let chars: Vec<char> = w.chars().collect();
+    if chars.len() < 4 {
+        return w.to_string();
+    }
+    let mut out = chars.clone();
+    // Avoid mutating the first character so initial-based aliases survive.
+    let i = rng.gen_range(1..out.len() - 1);
+    if rng.gen_bool(0.5) {
+        out.swap(i, i + 1);
+    } else {
+        out.remove(i);
+    }
+    out.into_iter().collect()
+}
+
+/// Zipf-like rank sampler: returns an index in `0..n` with
+/// `P(i) ∝ 1 / (i + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let z = acc;
+        for c in &mut cumulative {
+            *c /= z;
+        }
+        Self { cumulative }
+    }
+
+    /// Sample a rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Normalized weight of rank `i` (useful for popularity counts).
+    pub fn weight(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[i] - self.cumulative[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn pool_is_unique_and_sized() {
+        let pool = WordPool::generate(&mut rng(), 500);
+        assert_eq!(pool.len(), 500);
+        let set: HashSet<&String> = pool.words().iter().collect();
+        assert_eq!(set.len(), 500);
+    }
+
+    #[test]
+    fn pool_is_deterministic() {
+        let a = WordPool::generate(&mut rng(), 50);
+        let b = WordPool::generate(&mut rng(), 50);
+        assert_eq!(a.words(), b.words());
+    }
+
+    #[test]
+    fn words_are_lowercase_alpha() {
+        let pool = WordPool::generate(&mut rng(), 100);
+        for w in pool.words() {
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+            assert!(w.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn capitalize_basic() {
+        assert_eq!(capitalize("maryland"), "Maryland");
+        assert_eq!(capitalize(""), "");
+    }
+
+    #[test]
+    fn typo_changes_long_words_only() {
+        let mut r = rng();
+        assert_eq!(typo(&mut r, "abc"), "abc");
+        let t = typo(&mut r, "maryland");
+        assert_ne!(t, "maryland");
+        // First char survives.
+        assert!(t.starts_with('m'));
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[50] * 3, "head {} tail {}", counts[0], counts[50]);
+        assert!((0..100).all(|i| z.weight(i) > 0.0));
+    }
+
+    #[test]
+    fn zipf_weights_sum_to_one() {
+        let z = Zipf::new(10, 1.2);
+        let total: f64 = (0..10).map(|i| z.weight(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,574 @@
+//! The generative world: entities, relations, facts.
+//!
+//! Entities come in three kinds with kind-specific alias grammars chosen
+//! to reproduce the ambiguity patterns the paper motivates with the
+//! "University of Maryland / UMD / Maryland" example (Figure 1a):
+//!
+//! * **places** — a single name word;
+//! * **persons** — "First Last" plus the ambiguous "Last" and "F. Last";
+//! * **organizations** — "University of ⟨Place⟩"-style templates whose
+//!   aliases include the **initialism** (colliding across organizations
+//!   sharing initial letters) and the **head-word drop** (colliding with
+//!   the place itself).
+//!
+//! Relations are verb templates with synonym sets (the paraphrase
+//! structure behind `Sim_AMIE`/`Sim_PPDB`) and type signatures; facts are
+//! sampled respecting the signatures with Zipf-distributed entity
+//! popularity. A configurable fraction of *shadow* entities exists only in
+//! the world (not the CKB), producing out-of-KB mentions.
+
+use crate::options::WorldOptions;
+use crate::words::{capitalize, typo, WordPool, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Entity kind (drives alias grammar and relation signatures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// A person ("First Last").
+    Person,
+    /// An organization (templated name).
+    Organization,
+    /// A place (single word).
+    Place,
+}
+
+/// One world entity (CKB or shadow).
+#[derive(Debug, Clone)]
+pub struct WorldEntity {
+    /// Kind.
+    pub kind: EntityKind,
+    /// Canonical lowercase name.
+    pub name: String,
+    /// Surface aliases (title case, first = canonical rendering).
+    pub aliases: Vec<String>,
+    /// Type labels (used by SIST side information).
+    pub types: Vec<String>,
+    /// Whether the entity exists in the CKB (false = shadow / NIL).
+    pub in_ckb: bool,
+}
+
+/// Relation surface-template family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateKind {
+    /// "⟨verb⟩ ⟨prep⟩" — e.g. "locate in" (renders "locates in",
+    /// "was located in", …).
+    VerbPrep,
+    /// "be a ⟨noun⟩ ⟨prep⟩" — e.g. "be a member of" (renders "is a member
+    /// of", "was an early member of", …).
+    BeNounPrep,
+}
+
+/// One world relation.
+#[derive(Debug, Clone)]
+pub struct WorldRelation {
+    /// Template family.
+    pub kind: TemplateKind,
+    /// Synonym word stems (paraphrases of each other).
+    pub words: Vec<String>,
+    /// Preposition.
+    pub prep: &'static str,
+    /// KBP-style category index.
+    pub category: usize,
+    /// Subject entity kind.
+    pub subject_kind: EntityKind,
+    /// Object entity kind.
+    pub object_kind: EntityKind,
+}
+
+impl WorldRelation {
+    /// Canonical relation name (for the CKB record).
+    pub fn canonical_name(&self) -> String {
+        format!("{}_{}", self.words[0], self.prep)
+    }
+
+    /// Base (uninflected) surface form for synonym `w`.
+    pub fn base_surface(&self, w: &str) -> String {
+        match self.kind {
+            TemplateKind::VerbPrep => format!("{w} {}", self.prep),
+            TemplateKind::BeNounPrep => format!("be a {w} {}", self.prep),
+        }
+    }
+
+    /// All base surface forms.
+    pub fn surface_forms(&self) -> Vec<String> {
+        self.words.iter().map(|w| self.base_surface(w)).collect()
+    }
+}
+
+/// One world fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldFact {
+    /// Subject world-entity index.
+    pub subject: usize,
+    /// Relation index.
+    pub relation: usize,
+    /// Object world-entity index.
+    pub object: usize,
+}
+
+/// The generated world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Entities; the first [`World::num_ckb_entities`] are in the CKB,
+    /// the rest are shadows.
+    pub entities: Vec<WorldEntity>,
+    /// Relations (all in the CKB).
+    pub relations: Vec<WorldRelation>,
+    /// Facts among CKB entities.
+    pub facts: Vec<WorldFact>,
+    /// Shadow facts (subject is a shadow entity).
+    pub shadow_facts: Vec<WorldFact>,
+    /// Popularity sampler over CKB entities (index = entity).
+    pub zipf: Zipf,
+    num_ckb: usize,
+}
+
+const PREPS: &[&str] = &["of", "in", "at", "with", "for", "by"];
+const SIGNATURES: &[(EntityKind, EntityKind)] = &[
+    (EntityKind::Organization, EntityKind::Place),
+    (EntityKind::Person, EntityKind::Organization),
+    (EntityKind::Organization, EntityKind::Organization),
+    (EntityKind::Person, EntityKind::Place),
+    (EntityKind::Place, EntityKind::Place),
+    (EntityKind::Person, EntityKind::Person),
+];
+const ORG_TEMPLATES: &[(&str, &str)] = &[
+    ("university of", "university"),
+    ("institute of", "institute"),
+    ("college of", "college"),
+    ("bank of", "bank"),
+];
+const ORG_SUFFIX_TEMPLATES: &[(&str, &str)] = &[
+    ("corporation", "company"),
+    ("society", "organization"),
+    ("group", "company"),
+];
+
+impl World {
+    /// Number of CKB entities (prefix of [`World::entities`]).
+    pub fn num_ckb_entities(&self) -> usize {
+        self.num_ckb
+    }
+
+    /// Is world entity `i` a CKB entity?
+    pub fn is_ckb(&self, i: usize) -> bool {
+        i < self.num_ckb
+    }
+
+    /// Generate a world from options.
+    pub fn generate(opts: &WorldOptions) -> World {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let num_shadow = ((opts.num_entities as f64 * opts.oov_rate).ceil() as usize).max(1);
+        let total_entities = opts.num_entities + num_shadow;
+        let pool = WordPool::generate(&mut rng, total_entities * 2 + opts.num_relations * 3 + 64);
+        let mut next_word = 0usize;
+        let take_word = |n: &mut usize| -> String {
+            let w = pool.get(*n).to_string();
+            *n += 1;
+            w
+        };
+
+        // --- entities ---------------------------------------------------
+        let num_places = (total_entities / 4).max(1);
+        let num_orgs = (total_entities * 2 / 5).max(1);
+        let mut entities: Vec<WorldEntity> = Vec::with_capacity(total_entities);
+        let mut place_words: Vec<String> = Vec::with_capacity(num_places);
+        for _ in 0..num_places {
+            let w = take_word(&mut next_word);
+            place_words.push(w.clone());
+            entities.push(WorldEntity {
+                kind: EntityKind::Place,
+                name: w.clone(),
+                aliases: vec![capitalize(&w)],
+                types: vec!["place".into()],
+                in_ckb: true,
+            });
+        }
+        for i in 0..num_orgs {
+            let use_prefix = rng.gen_bool(0.6);
+            let (name, mut aliases, type_label) = if use_prefix {
+                let (tpl, type_label) = ORG_TEMPLATES[rng.gen_range(0..ORG_TEMPLATES.len())];
+                // Reference an existing place word 70% of the time to
+                // create head-drop ambiguity with the place entity.
+                let place = if rng.gen_bool(0.7) && !place_words.is_empty() {
+                    place_words[rng.gen_range(0..place_words.len())].clone()
+                } else {
+                    take_word(&mut next_word)
+                };
+                let name = format!("{tpl} {place}");
+                let full = title_case(&name);
+                // Initialism: first letters of content tokens, e.g.
+                // "University of Maryland" → "UM".
+                let initialism: String = name
+                    .split(' ')
+                    .filter(|t| !jocl_text::stopwords::is_stopword(t))
+                    .filter_map(|t| t.chars().next())
+                    .map(|c| c.to_ascii_uppercase())
+                    .collect();
+                let mut aliases = vec![full, initialism];
+                if rng.gen_bool(0.4) {
+                    // Head-word drop: "University of Maryland" → "Maryland".
+                    aliases.push(capitalize(&place));
+                }
+                (name, aliases, type_label)
+            } else {
+                let (suffix, type_label) =
+                    ORG_SUFFIX_TEMPLATES[rng.gen_range(0..ORG_SUFFIX_TEMPLATES.len())];
+                let w = take_word(&mut next_word);
+                let name = format!("{w} {suffix}");
+                let full = title_case(&name);
+                let abbrev = format!(
+                    "{} {}",
+                    capitalize(&w),
+                    capitalize(&suffix[..4.min(suffix.len())])
+                );
+                let aliases = vec![full, abbrev, capitalize(&w)];
+                (name, aliases, type_label)
+            };
+            aliases.dedup();
+            let _ = i;
+            entities.push(WorldEntity {
+                kind: EntityKind::Organization,
+                name,
+                aliases,
+                types: vec!["organization".into(), type_label.into()],
+                in_ckb: true,
+            });
+        }
+        let mut family_names: Vec<String> = Vec::new();
+        while entities.len() < total_entities {
+            let first = take_word(&mut next_word);
+            // Families: some persons share a last name, so the bare
+            // "Last" alias is genuinely ambiguous.
+            let last = if !family_names.is_empty() && rng.gen_bool(0.3) {
+                family_names[rng.gen_range(0..family_names.len())].clone()
+            } else {
+                let w = take_word(&mut next_word);
+                family_names.push(w.clone());
+                w
+            };
+            let full = format!("{} {}", capitalize(&first), capitalize(&last));
+            let initial = format!(
+                "{}. {}",
+                first.chars().next().expect("nonempty").to_ascii_uppercase(),
+                capitalize(&last)
+            );
+            entities.push(WorldEntity {
+                kind: EntityKind::Person,
+                name: format!("{first} {last}"),
+                aliases: vec![full, capitalize(&last), initial],
+                types: vec!["person".into()],
+                in_ckb: true,
+            });
+        }
+        // Shuffle-free shadow designation: mark the last `num_shadow`
+        // entities of each kind region proportionally; simplest is to mark
+        // a deterministic random subset.
+        let mut shadow_left = num_shadow;
+        let mut order: Vec<usize> = (0..entities.len()).collect();
+        // Fisher-Yates with the world RNG for determinism.
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for &i in &order {
+            if shadow_left == 0 {
+                break;
+            }
+            entities[i].in_ckb = false;
+            shadow_left -= 1;
+        }
+        // Re-partition: CKB entities first, shadows last (stable).
+        let mut ckb_entities: Vec<WorldEntity> = Vec::with_capacity(total_entities);
+        let mut shadow_entities: Vec<WorldEntity> = Vec::new();
+        for e in entities {
+            if e.in_ckb {
+                ckb_entities.push(e);
+            } else {
+                shadow_entities.push(e);
+            }
+        }
+        let num_ckb = ckb_entities.len();
+        ckb_entities.extend(shadow_entities);
+        let entities = ckb_entities;
+
+        // --- relations ---------------------------------------------------
+        let mut relations = Vec::with_capacity(opts.num_relations);
+        for r in 0..opts.num_relations {
+            let num_synonyms = rng.gen_range(2..=4);
+            let words: Vec<String> =
+                (0..num_synonyms).map(|_| take_word(&mut next_word)).collect();
+            let kind = if rng.gen_bool(0.5) {
+                TemplateKind::VerbPrep
+            } else {
+                TemplateKind::BeNounPrep
+            };
+            let (subject_kind, object_kind) = SIGNATURES[rng.gen_range(0..SIGNATURES.len())];
+            relations.push(WorldRelation {
+                kind,
+                words,
+                prep: PREPS[rng.gen_range(0..PREPS.len())],
+                category: r % opts.num_categories,
+                subject_kind,
+                object_kind,
+            });
+        }
+
+        // --- facts --------------------------------------------------------
+        let zipf = Zipf::new(num_ckb.max(1), opts.zipf_exponent);
+        let by_kind = |es: &[WorldEntity], kind: EntityKind, ckb_only: bool| -> Vec<usize> {
+            es.iter()
+                .enumerate()
+                .filter(|(i, e)| e.kind == kind && (!ckb_only || *i < num_ckb))
+                .map(|(i, _)| i)
+                .collect()
+        };
+        let kind_pools_ckb: Vec<(EntityKind, Vec<usize>)> = [
+            EntityKind::Person,
+            EntityKind::Organization,
+            EntityKind::Place,
+        ]
+        .into_iter()
+        .map(|k| (k, by_kind(&entities, k, true)))
+        .collect();
+        let pool_of = |k: EntityKind, pools: &[(EntityKind, Vec<usize>)]| -> Vec<usize> {
+            pools
+                .iter()
+                .find(|(kk, _)| *kk == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        let mut facts = Vec::with_capacity(opts.num_facts);
+        let mut seen = std::collections::HashSet::new();
+        let mut attempts = 0usize;
+        while facts.len() < opts.num_facts && attempts < opts.num_facts * 20 {
+            attempts += 1;
+            let r = rng.gen_range(0..relations.len());
+            let spool = pool_of(relations[r].subject_kind, &kind_pools_ckb);
+            let opool = pool_of(relations[r].object_kind, &kind_pools_ckb);
+            if spool.is_empty() || opool.is_empty() {
+                continue;
+            }
+            // Zipf-weighted pick within the kind pool.
+            let s = spool[zipf_pick(&mut rng, &zipf, spool.len())];
+            let o = opool[zipf_pick(&mut rng, &zipf, opool.len())];
+            if s == o || !seen.insert((s, r, o)) {
+                continue;
+            }
+            facts.push(WorldFact { subject: s, relation: r, object: o });
+        }
+
+        // Shadow facts: shadow subject, real relation + object.
+        let shadows: Vec<usize> = (num_ckb..entities.len()).collect();
+        let mut shadow_facts = Vec::new();
+        if !shadows.is_empty() {
+            let n_shadow_facts = ((opts.num_facts as f64 * opts.oov_rate).ceil() as usize).max(1);
+            for _ in 0..n_shadow_facts {
+                let r = rng.gen_range(0..relations.len());
+                let opool = pool_of(relations[r].object_kind, &kind_pools_ckb);
+                if opool.is_empty() {
+                    continue;
+                }
+                let s = shadows[rng.gen_range(0..shadows.len())];
+                let o = opool[zipf_pick(&mut rng, &zipf, opool.len())];
+                shadow_facts.push(WorldFact { subject: s, relation: r, object: o });
+            }
+        }
+
+        World { entities, relations, facts, shadow_facts, zipf, num_ckb }
+    }
+
+    /// Render a surface mention of entity `i` (alias choice + noise).
+    pub fn render_np(&self, rng: &mut StdRng, i: usize, opts: &WorldOptions) -> String {
+        let e = &self.entities[i];
+        // Canonical rendering is most frequent; other aliases split the
+        // rest (real OIE corpora are full of abbreviated/ambiguous
+        // mentions, which is what makes the task hard).
+        let alias = if e.aliases.len() == 1 || rng.gen_bool(0.35) {
+            &e.aliases[0]
+        } else {
+            &e.aliases[1 + rng.gen_range(0..e.aliases.len() - 1)]
+        };
+        let mut s = alias.clone();
+        if rng.gen_bool(opts.determiner_rate) && e.kind != EntityKind::Person {
+            s = format!("the {s}");
+        }
+        if rng.gen_bool(opts.typo_rate) {
+            // Typo one random token.
+            let mut tokens: Vec<String> = s.split(' ').map(str::to_string).collect();
+            let ti = rng.gen_range(0..tokens.len());
+            tokens[ti] = typo(rng, &tokens[ti]);
+            s = tokens.join(" ");
+        }
+        s
+    }
+
+    /// Render a surface mention of relation `r`.
+    pub fn render_rp(&self, rng: &mut StdRng, r: usize, opts: &WorldOptions) -> String {
+        let rel = &self.relations[r];
+        let w = &rel.words[rng.gen_range(0..rel.words.len())];
+        let modifier = if rng.gen_bool(opts.modifier_rate) { Some("early") } else { None };
+        match rel.kind {
+            TemplateKind::VerbPrep => {
+                let form = match rng.gen_range(0..5) {
+                    0 => format!("{w} {}", rel.prep),
+                    1 => format!("{w}s {}", rel.prep),
+                    2 => format!("{w}ed {}", rel.prep),
+                    3 => format!("is {w}ed {}", rel.prep),
+                    _ => format!("was {w}ed {}", rel.prep),
+                };
+                match modifier {
+                    Some(m) => format!("{m} {form}"),
+                    None => form,
+                }
+            }
+            TemplateKind::BeNounPrep => {
+                let aux = ["be", "is", "was", "are"][rng.gen_range(0..4)];
+                match modifier {
+                    Some(m) => format!("{aux} an {m} {w} {}", rel.prep),
+                    None => format!("{aux} a {w} {}", rel.prep),
+                }
+            }
+        }
+    }
+}
+
+fn zipf_pick(rng: &mut StdRng, zipf: &Zipf, pool_len: usize) -> usize {
+    // Re-sample the global Zipf until the rank fits the pool; bounded
+    // retries keep it cheap, falling back to uniform.
+    for _ in 0..8 {
+        let r = zipf.sample(rng);
+        if r < pool_len {
+            return r;
+        }
+    }
+    rng.gen_range(0..pool_len)
+}
+
+fn title_case(s: &str) -> String {
+    s.split(' ')
+        .map(|t| {
+            if jocl_text::stopwords::is_stopword(t) {
+                t.to_string()
+            } else {
+                capitalize(t)
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> (World, WorldOptions) {
+        let opts = WorldOptions::tiny(42);
+        (World::generate(&opts), opts)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (w1, _) = world();
+        let (w2, _) = world();
+        assert_eq!(w1.entities.len(), w2.entities.len());
+        assert_eq!(w1.facts, w2.facts);
+        for (a, b) in w1.entities.iter().zip(&w2.entities) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.aliases, b.aliases);
+        }
+    }
+
+    #[test]
+    fn ckb_prefix_invariant() {
+        let (w, _) = world();
+        for (i, e) in w.entities.iter().enumerate() {
+            assert_eq!(e.in_ckb, i < w.num_ckb_entities());
+        }
+        assert!(w.num_ckb_entities() >= 30, "shadows come on top of CKB size");
+    }
+
+    #[test]
+    fn facts_respect_signatures() {
+        let (w, _) = world();
+        assert!(!w.facts.is_empty());
+        for f in &w.facts {
+            let rel = &w.relations[f.relation];
+            assert_eq!(w.entities[f.subject].kind, rel.subject_kind);
+            assert_eq!(w.entities[f.object].kind, rel.object_kind);
+            assert!(w.is_ckb(f.subject) && w.is_ckb(f.object));
+        }
+    }
+
+    #[test]
+    fn shadow_facts_have_shadow_subjects() {
+        let (w, _) = world();
+        for f in &w.shadow_facts {
+            assert!(!w.is_ckb(f.subject));
+            assert!(w.is_ckb(f.object));
+        }
+    }
+
+    #[test]
+    fn every_entity_has_aliases() {
+        let (w, _) = world();
+        for e in &w.entities {
+            assert!(!e.aliases.is_empty(), "{}", e.name);
+            assert!(!e.types.is_empty());
+        }
+    }
+
+    #[test]
+    fn organizations_have_ambiguous_aliases() {
+        let (w, _) = world();
+        let orgs: Vec<&WorldEntity> = w
+            .entities
+            .iter()
+            .filter(|e| e.kind == EntityKind::Organization)
+            .collect();
+        assert!(!orgs.is_empty());
+        // At least one org should carry a short (initialism/abbrev) alias.
+        assert!(
+            orgs.iter().any(|e| e.aliases.iter().any(|a| a.len() <= 4)),
+            "expected initialism aliases"
+        );
+    }
+
+    #[test]
+    fn np_rendering_produces_variants() {
+        let (w, opts) = world();
+        let mut rng = StdRng::seed_from_u64(5);
+        let org = (0..w.entities.len())
+            .find(|&i| w.entities[i].kind == EntityKind::Organization && w.entities[i].aliases.len() > 1)
+            .expect("an org with aliases");
+        let variants: std::collections::HashSet<String> =
+            (0..100).map(|_| w.render_np(&mut rng, org, &opts)).collect();
+        assert!(variants.len() > 1, "rendering should vary: {variants:?}");
+    }
+
+    #[test]
+    fn rp_rendering_stays_in_paraphrase_set() {
+        let (w, opts) = world();
+        let mut rng = StdRng::seed_from_u64(6);
+        for r in 0..w.relations.len() {
+            for _ in 0..20 {
+                let s = w.render_rp(&mut rng, r, &opts);
+                // The rendered form must contain one of the relation's
+                // synonym stems.
+                assert!(
+                    w.relations[r].words.iter().any(|w2| s.contains(w2.as_str())),
+                    "{s} should use a synonym of relation {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn surface_forms_cover_synonyms() {
+        let (w, _) = world();
+        for rel in &w.relations {
+            assert_eq!(rel.surface_forms().len(), rel.words.len());
+        }
+    }
+}

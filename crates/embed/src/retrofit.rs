@@ -1,0 +1,170 @@
+//! Retrofitting embeddings to a semantic lexicon (Faruqui et al., 2015).
+//!
+//! Our CESI baseline (paper §4.2.1) must "learn embeddings of NPs and RPs
+//! leveraging side information in a principled manner". CESI's original
+//! objective jointly optimizes distributional similarity and side-
+//! information constraints; retrofitting implements the same idea as a
+//! post-hoc quadratic refinement:
+//!
+//! ```text
+//! q_i ← (α · q̂_i + β · Σ_{j ∈ N(i)} q_j) / (α + β · |N(i)|)
+//! ```
+//!
+//! where `q̂_i` is the distributional vector and `N(i)` are lexicon
+//! neighbors (PPDB partners, same-entity hints, …). A handful of
+//! iterations converges (the update is a contraction).
+
+use crate::store::EmbeddingStore;
+
+/// Options for [`retrofit`].
+#[derive(Debug, Clone)]
+pub struct RetrofitOptions {
+    /// Weight of the original (distributional) vector.
+    pub alpha: f64,
+    /// Weight of each lexicon neighbor.
+    pub beta: f64,
+    /// Update sweeps.
+    pub iterations: usize,
+}
+
+impl Default for RetrofitOptions {
+    fn default() -> Self {
+        Self { alpha: 1.0, beta: 1.0, iterations: 10 }
+    }
+}
+
+/// Retrofit `store` in place toward the lexicon `edges` (pairs of keys
+/// that should be similar). Keys missing from the store are ignored.
+pub fn retrofit(store: &mut EmbeddingStore, edges: &[(String, String)], opts: &RetrofitOptions) {
+    // Snapshot original vectors and adjacency over present keys.
+    let keys: Vec<String> = {
+        let mut k: Vec<String> = store.iter().map(|(w, _)| w.to_string()).collect();
+        k.sort();
+        k
+    };
+    let index: std::collections::HashMap<&str, usize> =
+        keys.iter().enumerate().map(|(i, k)| (k.as_str(), i)).collect();
+    let originals: Vec<Vec<f32>> = keys
+        .iter()
+        .map(|k| store.get(k).expect("key just listed").to_vec())
+        .collect();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); keys.len()];
+    for (a, b) in edges {
+        let (Some(&ia), Some(&ib)) = (
+            index.get(a.to_lowercase().as_str()),
+            index.get(b.to_lowercase().as_str()),
+        ) else {
+            continue;
+        };
+        if ia == ib {
+            continue;
+        }
+        adj[ia].push(ib);
+        adj[ib].push(ia);
+    }
+    let dim = store.dim();
+    let mut current = originals.clone();
+    for _ in 0..opts.iterations {
+        for i in 0..keys.len() {
+            if adj[i].is_empty() {
+                continue;
+            }
+            let denom = opts.alpha + opts.beta * adj[i].len() as f64;
+            let mut next = vec![0.0f32; dim];
+            for (d, n) in next.iter_mut().enumerate() {
+                let mut acc = opts.alpha * originals[i][d] as f64;
+                for &j in &adj[i] {
+                    acc += opts.beta * current[j][d] as f64;
+                }
+                *n = (acc / denom) as f32;
+            }
+            current[i] = next;
+        }
+    }
+    for (i, k) in keys.iter().enumerate() {
+        store.insert(k, &current[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::cosine;
+
+    fn base_store() -> EmbeddingStore {
+        let mut s = EmbeddingStore::new(2);
+        s.insert("umd", &[1.0, 0.0]);
+        s.insert("university of maryland", &[0.0, 1.0]);
+        s.insert("unrelated", &[-1.0, 0.0]);
+        s
+    }
+
+    #[test]
+    fn edges_pull_vectors_together() {
+        let mut s = base_store();
+        let before = cosine(s.get("umd").unwrap(), s.get("university of maryland").unwrap());
+        retrofit(
+            &mut s,
+            &[("umd".into(), "university of maryland".into())],
+            &RetrofitOptions::default(),
+        );
+        let after = cosine(s.get("umd").unwrap(), s.get("university of maryland").unwrap());
+        assert!(after > before + 0.3, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn untouched_words_keep_vectors() {
+        let mut s = base_store();
+        retrofit(
+            &mut s,
+            &[("umd".into(), "university of maryland".into())],
+            &RetrofitOptions::default(),
+        );
+        assert_eq!(s.get("unrelated"), Some(&[-1.0f32, 0.0][..]));
+    }
+
+    #[test]
+    fn missing_keys_are_ignored() {
+        let mut s = base_store();
+        retrofit(
+            &mut s,
+            &[("umd".into(), "nonexistent".into())],
+            &RetrofitOptions::default(),
+        );
+        assert_eq!(s.get("umd"), Some(&[1.0f32, 0.0][..]));
+    }
+
+    #[test]
+    fn alpha_anchors_originals() {
+        // With huge alpha, retrofitting barely moves vectors.
+        let mut s = base_store();
+        retrofit(
+            &mut s,
+            &[("umd".into(), "university of maryland".into())],
+            &RetrofitOptions { alpha: 1e6, beta: 1.0, iterations: 10 },
+        );
+        let v = s.get("umd").unwrap();
+        assert!((v[0] - 1.0).abs() < 1e-3 && v[1].abs() < 1e-3);
+    }
+
+    #[test]
+    fn self_edges_are_noops() {
+        let mut s = base_store();
+        retrofit(&mut s, &[("umd".into(), "umd".into())], &RetrofitOptions::default());
+        assert_eq!(s.get("umd"), Some(&[1.0f32, 0.0][..]));
+    }
+
+    #[test]
+    fn convergence_is_stable() {
+        let mut s1 = base_store();
+        let edges = vec![("umd".to_string(), "university of maryland".to_string())];
+        retrofit(&mut s1, &edges, &RetrofitOptions { iterations: 50, ..Default::default() });
+        let mut s2 = base_store();
+        retrofit(&mut s2, &edges, &RetrofitOptions { iterations: 51, ..Default::default() });
+        let v1 = s1.get("umd").unwrap();
+        let v2 = s2.get("umd").unwrap();
+        for (a, b) in v1.iter().zip(v2) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

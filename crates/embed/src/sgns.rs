@@ -1,0 +1,266 @@
+//! Skip-gram with negative sampling (word2vec), from scratch.
+//!
+//! Replaces the paper's fastText/Common-Crawl vectors (§3.1.3). Given a
+//! corpus of tokenized sentences, the trainer learns input vectors `v_w`
+//! and output vectors `u_c` by SGD on the SGNS objective
+//!
+//! ```text
+//! log σ(v_w · u_c) + Σ_{k negatives} log σ(−v_w · u_n)
+//! ```
+//!
+//! with a window around each center word and negatives drawn from the
+//! unigram distribution raised to 3/4. Training is single-threaded and
+//! fully deterministic under a fixed seed, which matters for reproducible
+//! experiment tables.
+
+use crate::store::EmbeddingStore;
+use jocl_text::fx::FxHashMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyperparameters for [`train_sgns`].
+#[derive(Debug, Clone)]
+pub struct SgnsOptions {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Max distance between center and context.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed to 1e-4 of itself).
+    pub lr: f64,
+    /// Words rarer than this are dropped.
+    pub min_count: usize,
+    /// RNG seed (training is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for SgnsOptions {
+    fn default() -> Self {
+        Self { dim: 48, window: 4, negative: 5, epochs: 8, lr: 0.05, min_count: 1, seed: 7 }
+    }
+}
+
+/// σ(x), clipped for numerical safety.
+#[inline]
+fn sigmoid(x: f64) -> f64 {
+    if x > 8.0 {
+        1.0
+    } else if x < -8.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-x).exp())
+    }
+}
+
+/// Train SGNS on `sentences` (each a tokenized sentence). Returns the
+/// input-vector store.
+pub fn train_sgns(sentences: &[Vec<String>], opts: &SgnsOptions) -> EmbeddingStore {
+    assert!(opts.dim > 0 && opts.window > 0, "dim and window must be positive");
+    // Vocabulary with counts.
+    let mut counts: FxHashMap<&str, usize> = FxHashMap::default();
+    for s in sentences {
+        for w in s {
+            *counts.entry(w.as_str()).or_insert(0) += 1;
+        }
+    }
+    let mut vocab: Vec<(&str, usize)> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= opts.min_count)
+        .collect();
+    vocab.sort(); // deterministic id assignment
+    let index: FxHashMap<&str, u32> = vocab
+        .iter()
+        .enumerate()
+        .map(|(i, &(w, _))| (w, i as u32))
+        .collect();
+    let v = vocab.len();
+    if v == 0 {
+        return EmbeddingStore::new(opts.dim);
+    }
+
+    // Negative-sampling table over unigram^{3/4}.
+    const TABLE_SIZE: usize = 1 << 18;
+    let mut neg_table = Vec::with_capacity(TABLE_SIZE);
+    let total_pow: f64 = vocab.iter().map(|&(_, c)| (c as f64).powf(0.75)).sum();
+    {
+        let mut i = 0usize;
+        let mut cum = (vocab[0].1 as f64).powf(0.75) / total_pow;
+        for t in 0..TABLE_SIZE {
+            let frac = (t as f64 + 0.5) / TABLE_SIZE as f64;
+            while frac > cum && i + 1 < v {
+                i += 1;
+                cum += (vocab[i].1 as f64).powf(0.75) / total_pow;
+            }
+            neg_table.push(i as u32);
+        }
+    }
+
+    // Encode corpus as ids.
+    let encoded: Vec<Vec<u32>> = sentences
+        .iter()
+        .map(|s| s.iter().filter_map(|w| index.get(w.as_str()).copied()).collect())
+        .collect();
+    let total_tokens: usize = encoded.iter().map(Vec::len).sum();
+
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let dim = opts.dim;
+    // Input vectors: small random init; output vectors: zero init (the
+    // word2vec convention).
+    let mut input = vec![0.0f32; v * dim];
+    for x in input.iter_mut() {
+        *x = (rng.gen::<f32>() - 0.5) / dim as f32;
+    }
+    let mut output = vec![0.0f32; v * dim];
+
+    let steps_total = (opts.epochs * total_tokens).max(1);
+    let mut steps_done = 0usize;
+    let mut grad = vec![0.0f32; dim];
+    for _epoch in 0..opts.epochs {
+        for sent in &encoded {
+            for (pos, &center) in sent.iter().enumerate() {
+                steps_done += 1;
+                let progress = steps_done as f64 / steps_total as f64;
+                let lr = (opts.lr * (1.0 - progress)).max(opts.lr * 1e-4) as f32;
+                // Dynamic window, as in word2vec.
+                let b = rng.gen_range(1..=opts.window);
+                let lo = pos.saturating_sub(b);
+                let hi = (pos + b + 1).min(sent.len());
+                for ctx_pos in lo..hi {
+                    if ctx_pos == pos {
+                        continue;
+                    }
+                    let context = sent[ctx_pos];
+                    grad.fill(0.0);
+                    let c_row = center as usize * dim;
+                    // Positive update.
+                    {
+                        let o_row = context as usize * dim;
+                        let score: f64 = input[c_row..c_row + dim]
+                            .iter()
+                            .zip(&output[o_row..o_row + dim])
+                            .map(|(a, b)| (a * b) as f64)
+                            .sum();
+                        let g = ((1.0 - sigmoid(score)) as f32) * lr;
+                        for d in 0..dim {
+                            grad[d] += g * output[o_row + d];
+                            output[o_row + d] += g * input[c_row + d];
+                        }
+                    }
+                    // Negative updates.
+                    for _ in 0..opts.negative {
+                        let neg = neg_table[rng.gen_range(0..TABLE_SIZE)];
+                        if neg == context {
+                            continue;
+                        }
+                        let o_row = neg as usize * dim;
+                        let score: f64 = input[c_row..c_row + dim]
+                            .iter()
+                            .zip(&output[o_row..o_row + dim])
+                            .map(|(a, b)| (a * b) as f64)
+                            .sum();
+                        let g = (-(sigmoid(score) as f32)) * lr;
+                        for d in 0..dim {
+                            grad[d] += g * output[o_row + d];
+                            output[o_row + d] += g * input[c_row + d];
+                        }
+                    }
+                    for d in 0..dim {
+                        input[c_row + d] += grad[d];
+                    }
+                }
+            }
+        }
+    }
+
+    let mut store = EmbeddingStore::new(dim);
+    for (i, &(w, _)) in vocab.iter().enumerate() {
+        store.insert(w, &input[i * dim..(i + 1) * dim]);
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::cosine;
+
+    /// Two disjoint topic clusters; words within a cluster co-occur, words
+    /// across clusters never do. SGNS must place same-cluster words closer.
+    fn topic_corpus() -> Vec<Vec<String>> {
+        let cluster_a = ["apple", "banana", "cherry", "grape"];
+        let cluster_b = ["engine", "wheel", "brake", "gear"];
+        let mut sentences = Vec::new();
+        for round in 0..60 {
+            for (i, _) in cluster_a.iter().enumerate() {
+                let s: Vec<String> = (0..4)
+                    .map(|k| cluster_a[(i + k + round) % 4].to_string())
+                    .collect();
+                sentences.push(s);
+            }
+            for (i, _) in cluster_b.iter().enumerate() {
+                let s: Vec<String> = (0..4)
+                    .map(|k| cluster_b[(i + k + round) % 4].to_string())
+                    .collect();
+                sentences.push(s);
+            }
+        }
+        sentences
+    }
+
+    #[test]
+    fn clusters_separate() {
+        let corpus = topic_corpus();
+        let store = train_sgns(
+            &corpus,
+            &SgnsOptions { dim: 16, epochs: 40, window: 3, ..Default::default() },
+        );
+        let a1 = store.get("apple").unwrap();
+        let a2 = store.get("banana").unwrap();
+        let b1 = store.get("engine").unwrap();
+        let within = cosine(a1, a2);
+        let across = cosine(a1, b1);
+        assert!(
+            within > across + 0.2,
+            "within-cluster {within} should exceed cross-cluster {across}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let corpus = topic_corpus();
+        let opts = SgnsOptions { dim: 8, epochs: 2, ..Default::default() };
+        let s1 = train_sgns(&corpus, &opts);
+        let s2 = train_sgns(&corpus, &opts);
+        assert_eq!(s1.get("apple"), s2.get("apple"));
+    }
+
+    #[test]
+    fn min_count_filters_rare_words() {
+        let corpus = vec![
+            vec!["common".to_string(), "common".to_string(), "rare".to_string()],
+            vec!["common".to_string(), "common".to_string()],
+        ];
+        let store = train_sgns(
+            &corpus,
+            &SgnsOptions { min_count: 2, epochs: 1, ..Default::default() },
+        );
+        assert!(store.get("common").is_some());
+        assert!(store.get("rare").is_none());
+    }
+
+    #[test]
+    fn empty_corpus_gives_empty_store() {
+        let store = train_sgns(&[], &SgnsOptions::default());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn sigmoid_clipping() {
+        assert_eq!(sigmoid(100.0), 1.0);
+        assert_eq!(sigmoid(-100.0), 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,313 @@
+//! Word-embedding storage with phrase composition.
+//!
+//! Vectors live in one flat `f32` arena; the vocabulary maps words to row
+//! indexes. Phrase embeddings are word averages (paper §3.1.3), and
+//! `Sim_emb` is cosine mapped to `[0, 1]`.
+//!
+//! A compact binary codec (via the `bytes` crate) persists stores so a
+//! trained model can be reused across bench runs.
+
+use crate::vector::{cosine01, normalize};
+use bytes::{Buf, BufMut};
+use jocl_text::fx::FxHashMap;
+use jocl_text::tokenize;
+use std::io::{Read, Write};
+
+/// A word → vector store with phrase-level operations.
+#[derive(Debug, Clone)]
+pub struct EmbeddingStore {
+    dim: usize,
+    vocab: FxHashMap<String, u32>,
+    data: Vec<f32>,
+}
+
+impl EmbeddingStore {
+    /// Empty store of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self { dim, vocab: FxHashMap::default(), data: Vec::new() }
+    }
+
+    /// Dimension of stored vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// True when no words are stored.
+    pub fn is_empty(&self) -> bool {
+        self.vocab.is_empty()
+    }
+
+    /// Insert (or overwrite) a word vector.
+    ///
+    /// # Panics
+    /// Panics if `vec.len() != dim`.
+    pub fn insert(&mut self, word: &str, vec: &[f32]) {
+        assert_eq!(vec.len(), self.dim, "vector dimension mismatch");
+        let key = word.to_lowercase();
+        match self.vocab.get(&key) {
+            Some(&row) => {
+                let start = row as usize * self.dim;
+                self.data[start..start + self.dim].copy_from_slice(vec);
+            }
+            None => {
+                let row = self.vocab.len() as u32;
+                self.vocab.insert(key, row);
+                self.data.extend_from_slice(vec);
+            }
+        }
+    }
+
+    /// The vector of `word`, if present.
+    pub fn get(&self, word: &str) -> Option<&[f32]> {
+        self.vocab.get(&word.to_lowercase()).map(|&row| {
+            let start = row as usize * self.dim;
+            &self.data[start..start + self.dim]
+        })
+    }
+
+    /// Mutable access (used by retrofitting).
+    pub fn get_mut(&mut self, word: &str) -> Option<&mut [f32]> {
+        let dim = self.dim;
+        let row = self.vocab.get(&word.to_lowercase()).copied()?;
+        let start = row as usize * dim;
+        Some(&mut self.data[start..start + dim])
+    }
+
+    /// Iterate over `(word, vector)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[f32])> {
+        self.vocab.iter().map(move |(w, &row)| {
+            let start = row as usize * self.dim;
+            (w.as_str(), &self.data[start..start + self.dim])
+        })
+    }
+
+    /// Phrase embedding: the average of the vectors of its known words
+    /// (paper §3.1.3). `None` if no word is known.
+    pub fn phrase(&self, phrase: &str) -> Option<Vec<f32>> {
+        let mut acc = vec![0.0f32; self.dim];
+        let mut n = 0usize;
+        for tok in tokenize(phrase) {
+            if let Some(v) = self.get(&tok) {
+                for (a, x) in acc.iter_mut().zip(v) {
+                    *a += x;
+                }
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        for a in &mut acc {
+            *a /= n as f32;
+        }
+        Some(acc)
+    }
+
+    /// `Sim_emb(a, b)`: cosine of the phrase embeddings mapped to
+    /// `[0, 1]`. Phrases with no known words score `0.5` against anything
+    /// (maximally uninformative, the midpoint of the cosine01 range).
+    pub fn sim(&self, a: &str, b: &str) -> f64 {
+        match (self.phrase(a), self.phrase(b)) {
+            (Some(va), Some(vb)) => cosine01(&va, &vb),
+            _ => 0.5,
+        }
+    }
+
+    /// Normalize every stored vector to unit length.
+    pub fn normalize_all(&mut self) {
+        for chunk in self.data.chunks_mut(self.dim) {
+            normalize(chunk);
+        }
+    }
+
+    /// Serialize into a writer: `dim:u32, n:u32, then per word
+    /// (len:u16, utf8 bytes, dim·f32 little-endian)`.
+    pub fn save<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(8 + self.data.len() * 4);
+        buf.put_u32_le(self.dim as u32);
+        buf.put_u32_le(self.vocab.len() as u32);
+        // Deterministic order: sort words.
+        let mut words: Vec<(&String, &u32)> = self.vocab.iter().collect();
+        words.sort();
+        for (word, &row) in words {
+            let bytes = word.as_bytes();
+            buf.put_u16_le(u16::try_from(bytes.len()).expect("word too long"));
+            buf.put_slice(bytes);
+            let start = row as usize * self.dim;
+            for &x in &self.data[start..start + self.dim] {
+                buf.put_f32_le(x);
+            }
+        }
+        w.write_all(&buf)
+    }
+
+    /// Deserialize from a reader (inverse of [`EmbeddingStore::save`]).
+    pub fn load<R: Read>(r: &mut R) -> std::io::Result<Self> {
+        let mut raw = Vec::new();
+        r.read_to_end(&mut raw)?;
+        let mut buf = raw.as_slice();
+        let fail = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        if buf.remaining() < 8 {
+            return Err(fail("truncated header"));
+        }
+        let dim = buf.get_u32_le() as usize;
+        let n = buf.get_u32_le() as usize;
+        if dim == 0 {
+            return Err(fail("zero dimension"));
+        }
+        let mut store = EmbeddingStore::new(dim);
+        let mut vec_buf = vec![0.0f32; dim];
+        for _ in 0..n {
+            if buf.remaining() < 2 {
+                return Err(fail("truncated word length"));
+            }
+            let len = buf.get_u16_le() as usize;
+            if buf.remaining() < len + dim * 4 {
+                return Err(fail("truncated record"));
+            }
+            let word = std::str::from_utf8(&buf[..len])
+                .map_err(|_| fail("invalid utf8 word"))?
+                .to_string();
+            buf.advance(len);
+            for x in vec_buf.iter_mut() {
+                *x = buf.get_f32_le();
+            }
+            store.insert(&word, &vec_buf);
+        }
+        Ok(store)
+    }
+
+    /// Deterministic pseudo-random store for tests and fallbacks: each
+    /// word's vector is derived from a hash of the word and `seed`.
+    pub fn hashed(dim: usize, words: &[&str], seed: u64) -> Self {
+        let mut store = EmbeddingStore::new(dim);
+        for word in words {
+            let mut v = Vec::with_capacity(dim);
+            let mut state = seed ^ fxhash_str(word);
+            for _ in 0..dim {
+                // xorshift64*
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                let r = state.wrapping_mul(0x2545F4914F6CDD1D);
+                v.push(((r >> 40) as f32 / (1u64 << 24) as f32) - 0.5);
+            }
+            store.insert(word, &v);
+        }
+        store
+    }
+}
+
+fn fxhash_str(s: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = jocl_text::fx::FxHasher::default();
+    s.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> EmbeddingStore {
+        let mut s = EmbeddingStore::new(3);
+        s.insert("maryland", &[1.0, 0.0, 0.0]);
+        s.insert("virginia", &[0.0, 1.0, 0.0]);
+        s.insert("university", &[0.0, 0.0, 1.0]);
+        s
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let s = store();
+        assert_eq!(s.get("maryland"), Some(&[1.0f32, 0.0, 0.0][..]));
+        assert_eq!(s.get("MARYLAND"), s.get("maryland"));
+        assert!(s.get("unknown").is_none());
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn overwrite_keeps_len() {
+        let mut s = store();
+        s.insert("maryland", &[0.5, 0.5, 0.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get("maryland"), Some(&[0.5f32, 0.5, 0.0][..]));
+    }
+
+    #[test]
+    fn phrase_is_word_average() {
+        let s = store();
+        let p = s.phrase("University of Maryland").unwrap();
+        // "of" unknown → average of university + maryland.
+        assert_eq!(p, vec![0.5, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn phrase_unknown_words_is_none() {
+        let s = store();
+        assert!(s.phrase("quantum entanglement").is_none());
+    }
+
+    #[test]
+    fn sim_range_and_identity() {
+        let s = store();
+        assert!((s.sim("maryland", "maryland") - 1.0).abs() < 1e-6);
+        let x = s.sim("maryland university", "virginia university");
+        assert!((0.0..=1.0).contains(&x));
+        assert_eq!(s.sim("unknownword", "maryland"), 0.5);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let s = store();
+        let mut bytes = Vec::new();
+        s.save(&mut bytes).unwrap();
+        let loaded = EmbeddingStore::load(&mut bytes.as_slice()).unwrap();
+        assert_eq!(loaded.len(), s.len());
+        assert_eq!(loaded.dim(), s.dim());
+        for (w, v) in s.iter() {
+            assert_eq!(loaded.get(w), Some(v));
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(EmbeddingStore::load(&mut &b"xx"[..]).is_err());
+        let mut bytes = Vec::new();
+        store().save(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        assert!(EmbeddingStore::load(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn hashed_store_is_deterministic() {
+        let a = EmbeddingStore::hashed(8, &["x", "y"], 42);
+        let b = EmbeddingStore::hashed(8, &["x", "y"], 42);
+        assert_eq!(a.get("x"), b.get("x"));
+        let c = EmbeddingStore::hashed(8, &["x", "y"], 43);
+        assert_ne!(a.get("x"), c.get("x"));
+    }
+
+    #[test]
+    fn normalize_all_unit_length() {
+        let mut s = store();
+        s.insert("big", &[3.0, 4.0, 0.0]);
+        s.normalize_all();
+        let v = s.get("big").unwrap();
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let mut s = store();
+        s.insert("bad", &[1.0]);
+    }
+}

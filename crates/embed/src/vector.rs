@@ -1,0 +1,113 @@
+//! Dense `f32` vector kernels.
+//!
+//! Tight loops over slices; the compiler autovectorizes these shapes well,
+//! which matters because phrase-similarity computation dominates the
+//! blocking stage.
+
+/// Dot product. Panics in debug builds on length mismatch.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; zero vectors yield 0.
+#[inline]
+pub fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)) as f64
+}
+
+/// Cosine mapped to `[0, 1]` (`(cos + 1) / 2`), the range the paper's
+/// feature functions expect.
+#[inline]
+pub fn cosine01(a: &[f32], b: &[f32]) -> f64 {
+    (cosine(a, b) + 1.0) / 2.0
+}
+
+/// `y ← y + alpha · x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y ← alpha · y`.
+#[inline]
+pub fn scale(alpha: f32, y: &mut [f32]) {
+    for yi in y.iter_mut() {
+        *yi *= alpha;
+    }
+}
+
+/// Normalize to unit length in place (no-op for the zero vector).
+pub fn normalize(y: &mut [f32]) {
+    let n = norm(y);
+    if n > 0.0 {
+        scale(1.0 / n, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vector_cosine_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine01_range() {
+        assert!((cosine01(&[1.0], &[-1.0]) - 0.0).abs() < 1e-6);
+        assert!((cosine01(&[1.0], &[1.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine01(&[1.0, 0.0], &[0.0, 1.0]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axpy_scale_normalize() {
+        let mut y = vec![1.0f32, 2.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 10.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![3.5, 5.0]);
+        normalize(&mut y);
+        assert!((norm(&y) - 1.0).abs() < 1e-6);
+        let mut zero = vec![0.0f32, 0.0];
+        normalize(&mut zero);
+        assert_eq!(zero, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant() {
+        let a = [0.3f32, -0.7, 0.2];
+        let b = [1.2f32, 0.1, -0.4];
+        let a2: Vec<f32> = a.iter().map(|x| x * 7.5).collect();
+        assert!((cosine(&a, &b) - cosine(&a2, &b)).abs() < 1e-6);
+    }
+}

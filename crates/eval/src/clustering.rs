@@ -1,0 +1,303 @@
+//! Clustering metrics: macro, micro and pairwise precision/recall/F1.
+//!
+//! These are the standard OKB-canonicalization measures introduced by
+//! Galárraga et al. (CIKM 2014) and used by CESI, SIST and the JOCL paper:
+//!
+//! * **macro** — "evaluates whether the NPs or RPs with the same semantic
+//!   meaning have been clustered into a group": a predicted cluster is
+//!   macro-correct iff *all* of its elements share one gold cluster;
+//!   macro recall is the same with roles swapped.
+//! * **micro** — "evaluates the purity of the resulting groups": each
+//!   predicted cluster contributes the size of its largest gold-pure
+//!   subset; normalized by the number of items.
+//! * **pairwise** — "evaluates individual pairwise merging decisions":
+//!   precision/recall over same-cluster item pairs ("hits").
+//!
+//! The paper aggregates with **average F1** = mean(macro F1, micro F1,
+//! pairwise F1).
+//!
+//! Degenerate denominators (no clusters / no pairs) yield a score of 0
+//! unless both prediction and gold are equally empty, in which case the
+//! metric is 1 (perfect agreement on nothing).
+
+use jocl_cluster::Clustering;
+use std::collections::HashMap;
+
+/// A precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionRecallF1 {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl PrecisionRecallF1 {
+    /// Build from precision and recall; F1 is their harmonic mean (0 when
+    /// both are 0).
+    pub fn new(precision: f64, recall: f64) -> Self {
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        Self { precision, recall, f1 }
+    }
+}
+
+/// Full score set for one clustering evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusteringScores {
+    pub macro_: PrecisionRecallF1,
+    pub micro: PrecisionRecallF1,
+    pub pairwise: PrecisionRecallF1,
+}
+
+impl ClusteringScores {
+    /// The paper's headline aggregate: mean of the three F1 scores.
+    pub fn average_f1(&self) -> f64 {
+        (self.macro_.f1 + self.micro.f1 + self.pairwise.f1) / 3.0
+    }
+}
+
+/// Evaluate `predicted` against `gold` over the same item universe.
+///
+/// # Panics
+/// Panics if the clusterings cover different numbers of items.
+pub fn evaluate_clustering(predicted: &Clustering, gold: &Clustering) -> ClusteringScores {
+    assert_eq!(
+        predicted.len(),
+        gold.len(),
+        "predicted and gold clusterings must cover the same items"
+    );
+    evaluate_subset(predicted, gold, None)
+}
+
+/// Evaluate restricted to the items in `subset` (the paper's protocol for
+/// NYTimes2018, where only a labeled sample has gold annotations). Items
+/// outside the subset are ignored entirely: clusters are re-formed on the
+/// induced sub-partition.
+pub fn evaluate_clustering_on(
+    predicted: &Clustering,
+    gold: &Clustering,
+    subset: &[usize],
+) -> ClusteringScores {
+    evaluate_subset(predicted, gold, Some(subset))
+}
+
+fn evaluate_subset(
+    predicted: &Clustering,
+    gold: &Clustering,
+    subset: Option<&[usize]>,
+) -> ClusteringScores {
+    // Collect the item universe.
+    let items: Vec<usize> = match subset {
+        Some(s) => s.to_vec(),
+        None => (0..predicted.len()).collect(),
+    };
+    // Induced cluster membership maps.
+    let mut pred_clusters: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut gold_clusters: HashMap<u32, Vec<usize>> = HashMap::new();
+    for &i in &items {
+        pred_clusters.entry(predicted.cluster_of(i)).or_default().push(i);
+        gold_clusters.entry(gold.cluster_of(i)).or_default().push(i);
+    }
+    let macro_p = macro_purity(&pred_clusters, gold);
+    let macro_r = macro_purity(&gold_clusters, predicted);
+    let micro_p = micro_purity(&pred_clusters, gold, items.len());
+    let micro_r = micro_purity(&gold_clusters, predicted, items.len());
+    let (pair_p, pair_r) = pairwise_scores(&pred_clusters, &gold_clusters, gold, predicted);
+    ClusteringScores {
+        macro_: PrecisionRecallF1::new(macro_p, macro_r),
+        micro: PrecisionRecallF1::new(micro_p, micro_r),
+        pairwise: PrecisionRecallF1::new(pair_p, pair_r),
+    }
+}
+
+/// Fraction of clusters whose members all share one reference cluster.
+fn macro_purity(clusters: &HashMap<u32, Vec<usize>>, reference: &Clustering) -> f64 {
+    if clusters.is_empty() {
+        return 1.0; // nothing predicted, nothing wrong
+    }
+    let pure = clusters
+        .values()
+        .filter(|members| {
+            let first = reference.cluster_of(members[0]);
+            members.iter().all(|&m| reference.cluster_of(m) == first)
+        })
+        .count();
+    pure as f64 / clusters.len() as f64
+}
+
+/// Σ_c max_e |c ∩ e| / N.
+fn micro_purity(clusters: &HashMap<u32, Vec<usize>>, reference: &Clustering, n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let mut hit = 0usize;
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for members in clusters.values() {
+        counts.clear();
+        for &m in members {
+            *counts.entry(reference.cluster_of(m)).or_insert(0) += 1;
+        }
+        hit += counts.values().copied().max().unwrap_or(0);
+    }
+    hit as f64 / n as f64
+}
+
+/// Pairwise precision and recall over same-cluster pairs.
+fn pairwise_scores(
+    pred_clusters: &HashMap<u32, Vec<usize>>,
+    gold_clusters: &HashMap<u32, Vec<usize>>,
+    gold: &Clustering,
+    predicted: &Clustering,
+) -> (f64, f64) {
+    let mut pred_pairs = 0u64;
+    let mut hits = 0u64;
+    for members in pred_clusters.values() {
+        pred_pairs += n_choose_2(members.len());
+        for (a_idx, &a) in members.iter().enumerate() {
+            for &b in &members[a_idx + 1..] {
+                if gold.cluster_of(a) == gold.cluster_of(b) {
+                    hits += 1;
+                }
+            }
+        }
+    }
+    let gold_pairs: u64 = gold_clusters.values().map(|m| n_choose_2(m.len())).sum();
+    let precision = ratio_or_empty(hits, pred_pairs, gold_pairs);
+    // Recall hits are the same pair set by symmetry.
+    let recall = ratio_or_empty(hits, gold_pairs, pred_pairs);
+    let _ = predicted;
+    (precision, recall)
+}
+
+/// `num / den`, except when both sides have no pairs at all the decision
+/// set is empty and we score perfect agreement.
+fn ratio_or_empty(num: u64, den: u64, other_den: u64) -> f64 {
+    if den == 0 {
+        if other_den == 0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn n_choose_2(n: usize) -> u64 {
+    let n = n as u64;
+    n * n.saturating_sub(1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clusters(labels: &[u32]) -> Clustering {
+        Clustering::from_labels(labels)
+    }
+
+    #[test]
+    fn perfect_clustering_scores_one_everywhere() {
+        let gold = clusters(&[0, 0, 1, 1, 2]);
+        let s = evaluate_clustering(&gold, &gold);
+        for m in [s.macro_, s.micro, s.pairwise] {
+            assert_eq!(m.precision, 1.0);
+            assert_eq!(m.recall, 1.0);
+            assert_eq!(m.f1, 1.0);
+        }
+        assert_eq!(s.average_f1(), 1.0);
+    }
+
+    #[test]
+    fn all_singletons_vs_one_gold_cluster() {
+        let predicted = clusters(&[0, 1, 2, 3]);
+        let gold = clusters(&[0, 0, 0, 0]);
+        let s = evaluate_clustering(&predicted, &gold);
+        // Every singleton is pure → macro precision 1; the gold cluster is
+        // split → macro recall 0 (its items are not in one predicted group).
+        assert_eq!(s.macro_.precision, 1.0);
+        assert_eq!(s.macro_.recall, 0.0);
+        // Micro precision 1 (each singleton is trivially pure); micro
+        // recall: best predicted cluster inside gold has 1 item → 1/4.
+        assert_eq!(s.micro.precision, 1.0);
+        assert_eq!(s.micro.recall, 0.25);
+        // No predicted pairs, 6 gold pairs.
+        assert_eq!(s.pairwise.precision, 0.0);
+        assert_eq!(s.pairwise.recall, 0.0);
+    }
+
+    #[test]
+    fn worked_example_hand_computed() {
+        // predicted: {0,1,2} {3,4}; gold: {0,1} {2,3} {4}
+        let predicted = clusters(&[0, 0, 0, 1, 1]);
+        let gold = clusters(&[0, 0, 1, 1, 2]);
+        let s = evaluate_clustering(&predicted, &gold);
+        // macro precision: neither predicted cluster is pure → 0.
+        assert_eq!(s.macro_.precision, 0.0);
+        // macro recall: gold {0,1} ⊂ pred {0,1,2} pure w.r.t. predicted →
+        // all members same predicted cluster → counts; {2,3} spans both
+        // predicted clusters → no; {4} singleton → yes. 2/3.
+        assert!((s.macro_.recall - 2.0 / 3.0).abs() < 1e-12);
+        // micro precision: cluster {0,1,2}: max overlap 2; {3,4}: max 1.
+        // (2+1+... wait {3,4}: gold of 3 is 1, of 4 is 2 → max 1) = 3/5.
+        assert!((s.micro.precision - 0.6).abs() < 1e-12);
+        // micro recall: gold {0,1}: both in pred 0 → 2; {2,3}: split → 1;
+        // {4}: 1. total 4/5.
+        assert!((s.micro.recall - 0.8).abs() < 1e-12);
+        // pairwise: predicted pairs: C(3,2)+C(2,2)=3+1=4. hits: (0,1) only
+        // → 1. precision 1/4. gold pairs: 1+1+0=2. recall 1/2.
+        assert!((s.pairwise.precision - 0.25).abs() < 1e-12);
+        assert!((s.pairwise.recall - 0.5).abs() < 1e-12);
+        // average F1 consistency.
+        let avg = (s.macro_.f1 + s.micro.f1 + s.pairwise.f1) / 3.0;
+        assert!((s.average_f1() - avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_big_predicted_cluster() {
+        let predicted = clusters(&[0, 0, 0, 0]);
+        let gold = clusters(&[0, 0, 1, 1]);
+        let s = evaluate_clustering(&predicted, &gold);
+        assert_eq!(s.macro_.precision, 0.0);
+        assert_eq!(s.macro_.recall, 1.0); // each gold cluster inside the blob
+        assert_eq!(s.micro.precision, 0.5);
+        assert_eq!(s.micro.recall, 1.0);
+        // pred pairs 6, hits 2 → 1/3; gold pairs 2, recall 1.
+        assert!((s.pairwise.precision - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.pairwise.recall, 1.0);
+    }
+
+    #[test]
+    fn subset_evaluation_ignores_outsiders() {
+        let predicted = clusters(&[0, 0, 1, 1, 1]);
+        let gold = clusters(&[0, 0, 1, 1, 0]);
+        // Full eval is imperfect, but restricted to {0,1,2,3} it is perfect.
+        let full = evaluate_clustering(&predicted, &gold);
+        assert!(full.average_f1() < 1.0);
+        let sub = evaluate_clustering_on(&predicted, &gold, &[0, 1, 2, 3]);
+        assert_eq!(sub.average_f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_universe_is_perfect() {
+        let s = evaluate_clustering(&clusters(&[]), &clusters(&[]));
+        assert_eq!(s.average_f1(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn mismatched_sizes_panic() {
+        evaluate_clustering(&clusters(&[0]), &clusters(&[0, 1]));
+    }
+
+    #[test]
+    fn f1_harmonic_mean() {
+        let m = PrecisionRecallF1::new(1.0, 0.5);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+        let zero = PrecisionRecallF1::new(0.0, 0.0);
+        assert_eq!(zero.f1, 0.0);
+    }
+}

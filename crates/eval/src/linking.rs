@@ -1,0 +1,110 @@
+//! Linking accuracy (paper §4.1).
+//!
+//! > "For the evaluation measure of OKB linking, we adopt accuracy which is
+//! > a common measure for entity linking systems and calculated as the
+//! > number of correctly linked NPs (RPs) divided by the total number of
+//! > all NPs (RPs)."
+//!
+//! Gold targets may be absent for some mentions (NYTimes2018 labels only a
+//! sample); unlabeled mentions are excluded from the denominator, matching
+//! the paper's sampled-ground-truth protocol.
+
+/// Accuracy result with raw counts for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkingScore {
+    /// Mentions with a gold target.
+    pub total: usize,
+    /// Mentions whose prediction equals the gold target.
+    pub correct: usize,
+}
+
+impl LinkingScore {
+    /// Accuracy in `[0, 1]`; 0 when nothing is labeled.
+    pub fn accuracy(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+}
+
+/// Compare predictions against gold. Both are per-mention optional targets
+/// (`None` prediction = abstained / NIL; `None` gold = unlabeled).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn linking_accuracy<T: PartialEq>(
+    predicted: &[Option<T>],
+    gold: &[Option<T>],
+) -> LinkingScore {
+    assert_eq!(
+        predicted.len(),
+        gold.len(),
+        "predicted and gold link vectors must cover the same mentions"
+    );
+    let mut total = 0;
+    let mut correct = 0;
+    for (p, g) in predicted.iter().zip(gold) {
+        if let Some(g) = g {
+            total += 1;
+            if p.as_ref() == Some(g) {
+                correct += 1;
+            }
+        }
+    }
+    LinkingScore { total, correct }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect() {
+        let g = vec![Some(1u32), Some(2), Some(3)];
+        let s = linking_accuracy(&g, &g);
+        assert_eq!(s.accuracy(), 1.0);
+        assert_eq!(s.total, 3);
+    }
+
+    #[test]
+    fn partial() {
+        let p = vec![Some(1u32), Some(9), None];
+        let g = vec![Some(1u32), Some(2), Some(3)];
+        let s = linking_accuracy(&p, &g);
+        assert_eq!(s.correct, 1);
+        assert_eq!(s.total, 3);
+        assert!((s.accuracy() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unlabeled_gold_is_excluded() {
+        let p = vec![Some(1u32), Some(7)];
+        let g = vec![Some(1u32), None];
+        let s = linking_accuracy(&p, &g);
+        assert_eq!(s.total, 1);
+        assert_eq!(s.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn abstaining_on_labeled_counts_as_wrong() {
+        let p: Vec<Option<u32>> = vec![None];
+        let g = vec![Some(5u32)];
+        assert_eq!(linking_accuracy(&p, &g).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let e: Vec<Option<u32>> = vec![];
+        assert_eq!(linking_accuracy(&e, &e).accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same mentions")]
+    fn size_mismatch_panics() {
+        let p = vec![Some(1u32)];
+        let g: Vec<Option<u32>> = vec![];
+        linking_accuracy(&p, &g);
+    }
+}

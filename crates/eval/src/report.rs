@@ -1,0 +1,186 @@
+//! ASCII rendering of experiment results.
+//!
+//! The `jocl-bench` binaries print each of the paper's tables and figures
+//! to stdout; this module supplies the [`Table`] and [`BarChart`]
+//! renderers they share. Output is plain text so runs can be diffed and
+//! archived in `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned-first-column, right-aligned-numbers table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of pre-formatted cells.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row of a label followed by `values` formatted to 3 decimal
+    /// places (the paper's precision).
+    pub fn row_scores(&mut self, label: &str, values: &[f64]) -> &mut Self {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| format!("{v:.3}")));
+        self.row(&cells)
+    }
+
+    /// Number of data rows so far.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let sep: String = widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    if i == 0 {
+                        format!(" {c:<width$} ", width = widths[i])
+                    } else {
+                        format!(" {c:>width$} ", width = widths[i])
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let _ = writeln!(out, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+}
+
+/// A horizontal ASCII bar chart (used for Figure 3 / Figure 4).
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    title: String,
+    bars: Vec<(String, f64)>,
+    max_value: f64,
+}
+
+impl BarChart {
+    /// Create a chart; `max_value` sets the full-width scale (e.g. 1.0 for
+    /// accuracies).
+    pub fn new(title: impl Into<String>, max_value: f64) -> Self {
+        assert!(max_value > 0.0, "max_value must be positive");
+        Self { title: title.into(), bars: Vec::new(), max_value }
+    }
+
+    /// Add one labeled bar. Values are clamped to `[0, max_value]`.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.bars.push((label.into(), value.clamp(0.0, self.max_value)));
+        self
+    }
+
+    /// Render with a 50-character bar area.
+    pub fn render(&self) -> String {
+        const WIDTH: usize = 50;
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        for (label, value) in &self.bars {
+            let filled = ((value / self.max_value) * WIDTH as f64).round() as usize;
+            let _ = writeln!(
+                out,
+                " {label:<label_w$} | {}{} {value:.3}",
+                "#".repeat(filled),
+                " ".repeat(WIDTH - filled),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_rows() {
+        let mut t = Table::new("Demo", &["Method", "F1"]);
+        t.row_scores("JOCL", &[0.818]);
+        t.row_scores("SIST", &[0.801]);
+        let s = t.render();
+        assert!(s.contains("JOCL"));
+        assert!(s.contains("0.818"));
+        assert!(s.contains("SIST"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn table_alignment_padding() {
+        let mut t = Table::new("T", &["A", "LongHeader"]);
+        t.row(&["x".into(), "1".into()]);
+        let s = t.render();
+        // Header width respected: the value column is padded to 10.
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("T", &["A", "B"]);
+        t.row(&["only one".into()]);
+    }
+
+    #[test]
+    fn bar_chart_scales_and_clamps() {
+        let mut c = BarChart::new("Accuracies", 1.0);
+        c.bar("JOCL", 0.761);
+        c.bar("overflow", 2.0);
+        let s = c.render();
+        assert!(s.contains("JOCL"));
+        assert!(s.contains("0.761"));
+        assert!(s.contains("1.000")); // clamped
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        BarChart::new("bad", 0.0);
+    }
+
+    #[test]
+    fn empty_chart_renders_title_only() {
+        let c = BarChart::new("Empty", 1.0);
+        let s = c.render();
+        assert!(s.starts_with("== Empty =="));
+        assert_eq!(s.lines().count(), 1);
+    }
+}

@@ -1,0 +1,407 @@
+//! Factor graph representation.
+//!
+//! Variables are discrete with arbitrary cardinality; factors connect up
+//! to a handful of distinct variables and carry an exponential-linear
+//! potential referencing a shared parameter group (paper Eq. 1). Joint
+//! configurations of a factor are flattened row-major with **slot 0
+//! fastest**: `flat = Σ_k state_k · stride_k`, `stride_0 = 1`,
+//! `stride_k = stride_{k-1} · card_{k-1}`.
+
+use crate::params::Params;
+
+/// Identifier of a variable node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Index form for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a factor node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactorId(pub u32);
+
+impl FactorId {
+    /// Index form for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The potential (factor function) attached to a factor node.
+#[derive(Debug, Clone)]
+pub enum Potential {
+    /// `log φ(c) = ω_g · f(c)`: one feature vector per flat configuration.
+    /// Used for the paper's F1–F6 signal factors.
+    Features {
+        /// Parameter group holding ω_g.
+        group: usize,
+        /// `feats[flat_config]` = feature vector (all the same length as
+        /// the group's weight vector).
+        feats: Vec<Vec<f64>>,
+    },
+    /// `log φ(c) = ω_g[0] · u(c)`: a scalar score per flat configuration
+    /// scaled by a single weight. Used for the paper's U1–U7 factors.
+    Scores {
+        /// Parameter group holding the scalar weight β.
+        group: usize,
+        /// `scores[flat_config]` = u(c).
+        scores: Vec<f64>,
+    },
+    /// A two-level score table stored sparsely: `u(c) = high` for the
+    /// listed configurations and `low` everywhere else. Semantically
+    /// identical to [`Potential::Scores`] but O(|high|) memory instead of
+    /// O(K³) — the natural representation for the fact-inclusion factor
+    /// U4 (§3.2.5), whose score is 0.9 on CKB facts and 0.1 otherwise.
+    TwoLevelScores {
+        /// Parameter group holding the scalar weight β.
+        group: usize,
+        /// Total number of joint configurations.
+        size: usize,
+        /// Sorted flat indexes of high-scoring configurations.
+        high_configs: Vec<u32>,
+        /// Score of listed configurations.
+        high: f64,
+        /// Score of all other configurations.
+        low: f64,
+    },
+}
+
+impl Potential {
+    /// Number of joint configurations covered.
+    pub fn table_len(&self) -> usize {
+        match self {
+            Potential::Features { feats, .. } => feats.len(),
+            Potential::Scores { scores, .. } => scores.len(),
+            Potential::TwoLevelScores { size, .. } => *size,
+        }
+    }
+
+    /// Parameter group referenced by this potential.
+    pub fn group(&self) -> usize {
+        match self {
+            Potential::Features { group, .. }
+            | Potential::Scores { group, .. }
+            | Potential::TwoLevelScores { group, .. } => *group,
+        }
+    }
+
+    /// The raw score `u(flat)` for score-style potentials (`None` for
+    /// feature potentials). Used by the learning gradient.
+    #[inline]
+    pub fn score(&self, flat: usize) -> Option<f64> {
+        match self {
+            Potential::Features { .. } => None,
+            Potential::Scores { scores, .. } => Some(scores[flat]),
+            Potential::TwoLevelScores { high_configs, high, low, .. } => {
+                Some(if high_configs.binary_search(&(flat as u32)).is_ok() {
+                    *high
+                } else {
+                    *low
+                })
+            }
+        }
+    }
+
+    /// Log-potential of configuration `flat` under `params`.
+    #[inline]
+    pub fn log_phi(&self, params: &Params, flat: usize) -> f64 {
+        match self {
+            Potential::Features { group, feats } => {
+                let w = params.group(*group);
+                let f = &feats[flat];
+                debug_assert_eq!(w.len(), f.len(), "feature/weight arity mismatch");
+                w.iter().zip(f).map(|(wi, fi)| wi * fi).sum()
+            }
+            Potential::Scores { group, scores } => params.group(*group)[0] * scores[flat],
+            Potential::TwoLevelScores { group, high_configs, high, low, .. } => {
+                let u = if high_configs.binary_search(&(flat as u32)).is_ok() {
+                    *high
+                } else {
+                    *low
+                };
+                params.group(*group)[0] * u
+            }
+        }
+    }
+
+    /// Build a [`Potential::TwoLevelScores`], sorting and deduplicating
+    /// the high-config list.
+    pub fn two_level(
+        group: usize,
+        size: usize,
+        mut high_configs: Vec<u32>,
+        high: f64,
+        low: f64,
+    ) -> Potential {
+        high_configs.sort_unstable();
+        high_configs.dedup();
+        assert!(
+            high_configs.last().is_none_or(|&c| (c as usize) < size),
+            "high config out of range"
+        );
+        Potential::TwoLevelScores { group, size, high_configs, high, low }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct FactorData {
+    pub vars: Vec<VarId>,
+    pub potential: Potential,
+    pub class: u8,
+    pub strides: Vec<usize>,
+    pub table_size: usize,
+}
+
+/// A discrete factor graph.
+#[derive(Debug, Clone, Default)]
+pub struct FactorGraph {
+    cards: Vec<u32>,
+    var_classes: Vec<u8>,
+    pub(crate) factors: Vec<FactorData>,
+    /// Per-variable adjacency: `(factor index, slot within factor)`.
+    pub(crate) var_adj: Vec<Vec<(u32, u32)>>,
+}
+
+impl FactorGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a variable with `cardinality` states and scheduling class 0.
+    pub fn add_var(&mut self, cardinality: u32) -> VarId {
+        self.add_var_with_class(cardinality, 0)
+    }
+
+    /// Add a variable with an explicit scheduling `class` (used by the
+    /// paper's phased message schedule, e.g. canonicalization vs linking
+    /// variables).
+    pub fn add_var_with_class(&mut self, cardinality: u32, class: u8) -> VarId {
+        assert!(cardinality >= 1, "variables need at least one state");
+        let id = VarId(u32::try_from(self.cards.len()).expect("too many variables"));
+        self.cards.push(cardinality);
+        self.var_classes.push(class);
+        self.var_adj.push(Vec::new());
+        id
+    }
+
+    /// Add a factor over `vars` (distinct) with the given potential and
+    /// scheduling class.
+    ///
+    /// # Panics
+    /// Panics if a variable repeats, a variable id is out of range, or the
+    /// potential's table length does not equal the product of the
+    /// variables' cardinalities.
+    pub fn add_factor(&mut self, vars: &[VarId], potential: Potential, class: u8) -> FactorId {
+        assert!(!vars.is_empty(), "factors need at least one variable");
+        for (i, v) in vars.iter().enumerate() {
+            assert!(v.idx() < self.cards.len(), "unknown variable {v:?}");
+            assert!(!vars[..i].contains(v), "repeated variable {v:?} in factor");
+        }
+        let mut strides = Vec::with_capacity(vars.len());
+        let mut size = 1usize;
+        for v in vars {
+            strides.push(size);
+            size *= self.cards[v.idx()] as usize;
+        }
+        assert_eq!(
+            potential.table_len(),
+            size,
+            "potential table length must equal the joint configuration count"
+        );
+        let fid = FactorId(u32::try_from(self.factors.len()).expect("too many factors"));
+        for (slot, v) in vars.iter().enumerate() {
+            self.var_adj[v.idx()].push((fid.0, slot as u32));
+        }
+        self.factors.push(FactorData {
+            vars: vars.to_vec(),
+            potential,
+            class,
+            strides,
+            table_size: size,
+        });
+        fid
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Number of factors.
+    pub fn num_factors(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Cardinality of variable `v`.
+    pub fn cardinality(&self, v: VarId) -> u32 {
+        self.cards[v.idx()]
+    }
+
+    /// Scheduling class of variable `v`.
+    pub fn var_class(&self, v: VarId) -> u8 {
+        self.var_classes[v.idx()]
+    }
+
+    /// Scheduling class of factor `f`.
+    pub fn factor_class(&self, f: FactorId) -> u8 {
+        self.factors[f.idx()].class
+    }
+
+    /// The variables of factor `f`, in slot order.
+    pub fn factor_vars(&self, f: FactorId) -> &[VarId] {
+        &self.factors[f.idx()].vars
+    }
+
+    /// The potential of factor `f`.
+    pub fn factor_potential(&self, f: FactorId) -> &Potential {
+        &self.factors[f.idx()].potential
+    }
+
+    /// Factors adjacent to variable `v` as `(FactorId, slot)` pairs.
+    pub fn var_factors(&self, v: VarId) -> impl Iterator<Item = (FactorId, usize)> + '_ {
+        self.var_adj[v.idx()]
+            .iter()
+            .map(|&(f, s)| (FactorId(f), s as usize))
+    }
+
+    /// Degree (number of adjacent factors) of variable `v`.
+    pub fn var_degree(&self, v: VarId) -> usize {
+        self.var_adj[v.idx()].len()
+    }
+
+    /// Flatten a per-slot state assignment of factor `f` into a table
+    /// index.
+    pub fn flat_index(&self, f: FactorId, states: &[u32]) -> usize {
+        let fd = &self.factors[f.idx()];
+        debug_assert_eq!(states.len(), fd.vars.len());
+        states
+            .iter()
+            .zip(&fd.strides)
+            .map(|(&s, &st)| s as usize * st)
+            .sum()
+    }
+
+    /// Recover the state of slot `slot` from a flat table index of `f`.
+    #[inline]
+    pub fn state_of_slot(&self, f: FactorId, flat: usize, slot: usize) -> u32 {
+        let fd = &self.factors[f.idx()];
+        let card = self.cards[fd.vars[slot].idx()] as usize;
+        ((flat / fd.strides[slot]) % card) as u32
+    }
+
+    /// Table size (number of joint configurations) of factor `f`.
+    pub fn table_size(&self, f: FactorId) -> usize {
+        self.factors[f.idx()].table_size
+    }
+
+    /// Sum of table sizes over all factors (a proxy for LBP iteration
+    /// cost).
+    pub fn total_table_size(&self) -> usize {
+        self.factors.iter().map(|f| f.table_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unary(group: usize, feats: Vec<Vec<f64>>) -> Potential {
+        Potential::Features { group, feats }
+    }
+
+    #[test]
+    fn build_small_graph() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(2);
+        let b = g.add_var(3);
+        let f = g.add_factor(
+            &[a, b],
+            Potential::Scores { group: 0, scores: vec![0.0; 6] },
+            1,
+        );
+        assert_eq!(g.num_vars(), 2);
+        assert_eq!(g.num_factors(), 1);
+        assert_eq!(g.table_size(f), 6);
+        assert_eq!(g.factor_class(f), 1);
+        assert_eq!(g.var_degree(a), 1);
+        let adj: Vec<_> = g.var_factors(b).collect();
+        assert_eq!(adj, vec![(f, 1)]);
+    }
+
+    #[test]
+    fn flat_indexing_roundtrip() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(2);
+        let b = g.add_var(3);
+        let c = g.add_var(4);
+        let f = g.add_factor(
+            &[a, b, c],
+            Potential::Scores { group: 0, scores: vec![0.0; 24] },
+            0,
+        );
+        for sa in 0..2u32 {
+            for sb in 0..3u32 {
+                for sc in 0..4u32 {
+                    let flat = g.flat_index(f, &[sa, sb, sc]);
+                    assert_eq!(g.state_of_slot(f, flat, 0), sa);
+                    assert_eq!(g.state_of_slot(f, flat, 1), sb);
+                    assert_eq!(g.state_of_slot(f, flat, 2), sc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn log_phi_features_dot_product() {
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![2.0, -1.0]);
+        let pot = unary(grp, vec![vec![1.0, 0.5], vec![0.0, 1.0]]);
+        assert!((pot.log_phi(&params, 0) - 1.5).abs() < 1e-12);
+        assert!((pot.log_phi(&params, 1) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_phi_scores_scaled() {
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![3.0]);
+        let pot = Potential::Scores { group: grp, scores: vec![0.9, 0.1] };
+        assert!((pot.log_phi(&params, 0) - 2.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated variable")]
+    fn repeated_var_panics() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(2);
+        g.add_factor(&[a, a], Potential::Scores { group: 0, scores: vec![0.0; 4] }, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "table length")]
+    fn wrong_table_len_panics() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(2);
+        g.add_factor(&[a], Potential::Scores { group: 0, scores: vec![0.0; 3] }, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn zero_cardinality_panics() {
+        let mut g = FactorGraph::new();
+        g.add_var(0);
+    }
+
+    #[test]
+    fn var_classes() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var_with_class(2, 7);
+        assert_eq!(g.var_class(a), 7);
+    }
+}

@@ -1,0 +1,796 @@
+//! Loopy belief propagation (sum-product) in the log domain.
+//!
+//! Implements the inference procedure of paper §3.4:
+//!
+//! * messages are passed between factor and variable nodes until
+//!   convergence ("in practice we found that convergence was achieved
+//!   within twenty iterations");
+//! * a **phased schedule** reproduces the paper's working procedure —
+//!   within an iteration, factor classes update in a fixed order
+//!   (canonicalization factors → transitive factors → linking factors →
+//!   fact-inclusion factors → consistency factors), then variable classes
+//!   (canonicalization variables first, then linking variables);
+//! * messages are damped and normalized for stability;
+//! * evidence is injected by **clamping** variables, which is how learning
+//!   conditions on the labeled configuration `Y|Y_L` (paper Eq. 5).
+//!
+//! The factor → variable sweep is the hot loop; it parallelizes over
+//! contiguous factor ranges with `crossbeam` scoped threads (each range
+//! owns a disjoint contiguous slice of the message arena, so the update
+//! is deterministic regardless of thread count).
+
+use crate::graph::{FactorGraph, FactorId, VarId};
+use crate::logspace::{log_normalize, logsumexp, max_abs_diff, to_probs};
+use crate::params::Params;
+
+/// Log-potential treated as "probability zero" while keeping additions
+/// well-conditioned (exp(-1e4) underflows to exactly 0.0).
+pub const LOG_ZERO: f64 = -1.0e4;
+
+/// Message-passing schedule.
+#[derive(Debug, Clone)]
+pub enum Schedule {
+    /// All factors update together, then all variables. The textbook
+    /// flooding schedule.
+    Synchronous,
+    /// The paper's §3.4 procedure: factor classes update phase by phase,
+    /// then variable classes phase by phase. Classes absent from any phase
+    /// never update.
+    Phased {
+        /// Ordered factor-class phases, e.g. `[[F_CANON], [U_TRANS], ...]`.
+        factor_phases: Vec<Vec<u8>>,
+        /// Ordered variable-class phases.
+        var_phases: Vec<Vec<u8>>,
+    },
+}
+
+/// Options for [`LbpEngine::run`].
+#[derive(Debug, Clone)]
+pub struct LbpOptions {
+    /// Maximum full iterations (paper: ~20 suffices).
+    pub max_iters: usize,
+    /// Convergence threshold on the max message change.
+    pub tol: f64,
+    /// Damping λ applied to factor→variable messages:
+    /// `m ← λ·m_old + (1−λ)·m_new`.
+    pub damping: f64,
+    /// Schedule (see [`Schedule`]).
+    pub schedule: Schedule,
+    /// Worker threads for the factor sweep (1 = serial). The result is
+    /// identical for any thread count.
+    pub threads: usize,
+}
+
+impl Default for LbpOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 50,
+            tol: 1e-4,
+            damping: 0.1,
+            schedule: Schedule::Synchronous,
+            threads: 1,
+        }
+    }
+}
+
+/// Statistics of an LBP run.
+#[derive(Debug, Clone, Copy)]
+pub struct LbpResult {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the residual dropped below `tol`.
+    pub converged: bool,
+    /// Final max message residual.
+    pub residual: f64,
+}
+
+/// Per-variable marginal distributions.
+#[derive(Debug, Clone)]
+pub struct Marginals {
+    probs: Vec<Vec<f64>>,
+}
+
+impl Marginals {
+    /// Internal constructor shared with the exact-inference module.
+    pub(crate) fn new_internal(probs: Vec<Vec<f64>>) -> Self {
+        Self { probs }
+    }
+
+    /// Probability vector of variable `v`.
+    pub fn of(&self, v: VarId) -> &[f64] {
+        &self.probs[v.idx()]
+    }
+
+    /// MAP state of variable `v` (ties broken toward the lower state).
+    pub fn map_state(&self, v: VarId) -> u32 {
+        let p = &self.probs[v.idx()];
+        let mut best = 0usize;
+        for (i, &x) in p.iter().enumerate() {
+            if x > p[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+
+    /// `P(v = state)`.
+    pub fn prob(&self, v: VarId, state: u32) -> f64 {
+        self.probs[v.idx()][state as usize]
+    }
+
+    /// Number of variables covered.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True when no variables are covered.
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+}
+
+/// Reusable LBP state over one graph.
+pub struct LbpEngine<'g> {
+    graph: &'g FactorGraph,
+    /// Per-edge offset into the message arenas.
+    edge_offset: Vec<usize>,
+    /// Per-edge variable id (edges are enumerated factor-major by slot).
+    edge_var: Vec<u32>,
+    /// First edge id of each factor (length `num_factors + 1`).
+    factor_edge_start: Vec<u32>,
+    /// factor→variable messages (log domain, normalized).
+    fv: Vec<f64>,
+    /// variable→factor messages (log domain, normalized).
+    vf: Vec<f64>,
+    /// Scratch buffer for new factor→variable messages.
+    new_fv: Vec<f64>,
+    clamps: Vec<Option<u32>>,
+}
+
+impl<'g> LbpEngine<'g> {
+    /// Allocate message storage for `graph`.
+    pub fn new(graph: &'g FactorGraph) -> Self {
+        let mut edge_offset = Vec::new();
+        let mut edge_var = Vec::new();
+        let mut factor_edge_start = Vec::with_capacity(graph.num_factors() + 1);
+        let mut offset = 0usize;
+        for fi in 0..graph.num_factors() {
+            factor_edge_start.push(edge_offset.len() as u32);
+            for &v in graph.factor_vars(FactorId(fi as u32)) {
+                edge_offset.push(offset);
+                edge_var.push(v.0);
+                offset += graph.cardinality(v) as usize;
+            }
+        }
+        factor_edge_start.push(edge_offset.len() as u32);
+        let mut eng = Self {
+            graph,
+            edge_offset,
+            edge_var,
+            factor_edge_start,
+            fv: vec![0.0; offset],
+            vf: vec![0.0; offset],
+            new_fv: vec![0.0; offset],
+            clamps: vec![None; graph.num_vars()],
+        };
+        eng.reset_messages();
+        eng
+    }
+
+    /// Reset all messages to uniform (keeps clamps).
+    pub fn reset_messages(&mut self) {
+        for e in 0..self.num_edges() {
+            let card = self.edge_len(e);
+            let uniform = -(card as f64).ln();
+            let off = self.edge_offset[e];
+            self.fv[off..off + card].fill(uniform);
+            self.vf[off..off + card].fill(uniform);
+        }
+        // Re-apply clamp evidence to vf messages.
+        let clamped: Vec<(usize, u32)> = self
+            .clamps
+            .iter()
+            .enumerate()
+            .filter_map(|(v, c)| c.map(|s| (v, s)))
+            .collect();
+        for (v, s) in clamped {
+            self.write_clamped_var_messages(VarId(v as u32), s);
+        }
+    }
+
+    /// Clamp variable `v` to `state` (or release with `None`).
+    ///
+    /// # Panics
+    /// Panics if `state` is out of range.
+    pub fn set_clamp(&mut self, v: VarId, state: Option<u32>) {
+        if let Some(s) = state {
+            assert!(s < self.graph.cardinality(v), "clamp state out of range");
+        }
+        self.clamps[v.idx()] = state;
+    }
+
+    /// Remove all clamps.
+    pub fn clear_clamps(&mut self) {
+        self.clamps.fill(None);
+    }
+
+    /// Number of edges (factor-slot pairs).
+    pub fn num_edges(&self) -> usize {
+        self.edge_offset.len()
+    }
+
+    #[inline]
+    fn edge_len(&self, e: usize) -> usize {
+        self.graph.cardinality(VarId(self.edge_var[e])) as usize
+    }
+
+    #[inline]
+    fn edge_range(&self, e: usize) -> std::ops::Range<usize> {
+        let off = self.edge_offset[e];
+        off..off + self.edge_len(e)
+    }
+
+    /// Edge ids of factor `f` in slot order.
+    #[inline]
+    fn factor_edges(&self, f: usize) -> std::ops::Range<usize> {
+        self.factor_edge_start[f] as usize..self.factor_edge_start[f + 1] as usize
+    }
+
+    /// Run LBP to convergence (or `max_iters`). Messages persist, so
+    /// marginals and factor beliefs can be queried afterwards.
+    pub fn run(&mut self, params: &Params, opts: &LbpOptions) -> LbpResult {
+        self.reset_messages();
+        let (factor_phases, var_phases): (Vec<Vec<u8>>, Vec<Vec<u8>>) = match &opts.schedule {
+            Schedule::Synchronous => {
+                let mut all_f: Vec<u8> = (0..self.graph.num_factors())
+                    .map(|f| self.graph.factor_class(FactorId(f as u32)))
+                    .collect();
+                all_f.sort_unstable();
+                all_f.dedup();
+                let mut all_v: Vec<u8> = (0..self.graph.num_vars())
+                    .map(|v| self.graph.var_class(VarId(v as u32)))
+                    .collect();
+                all_v.sort_unstable();
+                all_v.dedup();
+                (vec![all_f], vec![all_v])
+            }
+            Schedule::Phased { factor_phases, var_phases } => {
+                (factor_phases.clone(), var_phases.clone())
+            }
+        };
+        let mut result = LbpResult { iterations: 0, converged: false, residual: f64::INFINITY };
+        for iter in 0..opts.max_iters {
+            let mut residual = 0.0f64;
+            for phase in &factor_phases {
+                residual =
+                    residual.max(self.update_factor_messages(params, phase, opts));
+            }
+            for phase in &var_phases {
+                self.update_var_messages(phase);
+            }
+            result.iterations = iter + 1;
+            result.residual = residual;
+            if residual < opts.tol {
+                result.converged = true;
+                break;
+            }
+        }
+        result
+    }
+
+    /// Update factor→variable messages for all factors whose class is in
+    /// `classes`. Returns the max residual.
+    fn update_factor_messages(
+        &mut self,
+        params: &Params,
+        classes: &[u8],
+        opts: &LbpOptions,
+    ) -> f64 {
+        let selected: Vec<u32> = (0..self.graph.num_factors() as u32)
+            .filter(|&f| classes.contains(&self.graph.factor_class(FactorId(f))))
+            .collect();
+        if selected.is_empty() {
+            return 0.0;
+        }
+        let threads = opts.threads.max(1);
+        if threads == 1 || selected.len() < 64 {
+            let mut scratch = Scratch::default();
+            for &f in &selected {
+                self.compute_factor_messages_into(params, f as usize, &mut scratch);
+            }
+        } else {
+            self.parallel_factor_sweep(params, &selected, threads);
+        }
+        // Commit with damping + normalization; measure residual.
+        let mut residual = 0.0f64;
+        for &f in &selected {
+            for e in self.factor_edges(f as usize) {
+                let range = self.edge_range(e);
+                let lambda = opts.damping;
+                for i in range.clone() {
+                    self.new_fv[i] = lambda * self.fv[i] + (1.0 - lambda) * self.new_fv[i];
+                }
+                log_normalize(&mut self.new_fv[range.clone()]);
+                residual = residual.max(max_abs_diff(&self.new_fv[range.clone()], &self.fv[range.clone()]));
+                self.fv[range.clone()].copy_from_slice(&self.new_fv[range]);
+            }
+        }
+        residual
+    }
+
+    /// Compute raw (undamped, unnormalized) new messages of one factor
+    /// into `self.new_fv`.
+    fn compute_factor_messages_into(&mut self, params: &Params, f: usize, scratch: &mut Scratch) {
+        // Split borrows: read vf/graph, write new_fv.
+        let (graph, vf, new_fv) = (self.graph, &self.vf, &mut self.new_fv);
+        let fd = &graph.factors[f];
+        let arity = fd.vars.len();
+        let edge_start = self.factor_edge_start[f] as usize;
+        scratch.edge_offsets.clear();
+        for e in edge_start..edge_start + arity {
+            scratch.edge_offsets.push(self.edge_offset[e]);
+        }
+        // Zero-fill output accumulators (log domain: start at LOG_ZERO and
+        // logsumexp-accumulate).
+        for (slot, var) in fd.vars.iter().enumerate() {
+            let card = graph.cardinality(*var) as usize;
+            let off = scratch.edge_offsets[slot];
+            new_fv[off..off + card].fill(f64::NEG_INFINITY);
+        }
+        scratch.states.clear();
+        scratch.states.resize(arity, 0u32);
+        // Enumerate all joint configurations; slot 0 varies fastest, which
+        // matches the flat-index convention of `FactorGraph`.
+        for flat in 0..fd.table_size {
+            let log_phi = fd.potential.log_phi(params, flat);
+            // Incoming sum per slot exclusion, computed directly (arity is
+            // tiny) to avoid the numerically dirty subtract-own-message
+            // trick.
+            for slot in 0..arity {
+                let mut lp = log_phi;
+                for (k, &st) in scratch.states.iter().enumerate() {
+                    if k != slot {
+                        lp += vf[scratch.edge_offsets[k] + st as usize];
+                    }
+                }
+                let out = &mut new_fv[scratch.edge_offsets[slot] + scratch.states[slot] as usize];
+                // logaddexp(out, lp)
+                *out = if *out == f64::NEG_INFINITY {
+                    lp
+                } else if lp == f64::NEG_INFINITY {
+                    *out
+                } else {
+                    let m = out.max(lp);
+                    m + ((*out - m).exp() + (lp - m).exp()).ln()
+                };
+            }
+            // Advance mixed-radix counter.
+            for (k, st) in scratch.states.iter_mut().enumerate() {
+                *st += 1;
+                if (*st as usize) < graph.cardinality(fd.vars[k]) as usize {
+                    break;
+                }
+                *st = 0;
+            }
+        }
+    }
+
+    /// Parallel variant of the factor sweep: contiguous chunks of the
+    /// selected factor list are processed by scoped threads. Each factor's
+    /// output region in `new_fv` is disjoint, but chunks are not
+    /// contiguous in the arena, so threads write through a shared raw
+    /// pointer wrapper; disjointness guarantees soundness.
+    fn parallel_factor_sweep(&mut self, params: &Params, selected: &[u32], threads: usize) {
+        struct SendPtr(*mut f64);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+
+        let chunk = selected.len().div_ceil(threads);
+        let new_fv_ptr = SendPtr(self.new_fv.as_mut_ptr());
+        let new_fv_len = self.new_fv.len();
+        let this: &LbpEngine = self;
+        crossbeam::scope(|s| {
+            for chunk_factors in selected.chunks(chunk) {
+                let ptr = &new_fv_ptr;
+                s.spawn(move |_| {
+                    let mut scratch = Scratch::default();
+                    for &f in chunk_factors {
+                        // SAFETY: each factor owns a disjoint region of
+                        // new_fv (edge regions never overlap across
+                        // factors), and every factor appears in exactly
+                        // one chunk.
+                        let new_fv =
+                            unsafe { std::slice::from_raw_parts_mut(ptr.0, new_fv_len) };
+                        this.compute_factor_messages_shared(params, f as usize, new_fv, &mut scratch);
+                    }
+                });
+            }
+        })
+        .expect("lbp worker panicked");
+    }
+
+    /// Like [`Self::compute_factor_messages_into`] but writing into an
+    /// externally provided buffer (used by the parallel sweep).
+    fn compute_factor_messages_shared(
+        &self,
+        params: &Params,
+        f: usize,
+        new_fv: &mut [f64],
+        scratch: &mut Scratch,
+    ) {
+        let graph = self.graph;
+        let vf = &self.vf;
+        let fd = &graph.factors[f];
+        let arity = fd.vars.len();
+        let edge_start = self.factor_edge_start[f] as usize;
+        scratch.edge_offsets.clear();
+        for e in edge_start..edge_start + arity {
+            scratch.edge_offsets.push(self.edge_offset[e]);
+        }
+        for (slot, var) in fd.vars.iter().enumerate() {
+            let card = graph.cardinality(*var) as usize;
+            let off = scratch.edge_offsets[slot];
+            new_fv[off..off + card].fill(f64::NEG_INFINITY);
+        }
+        scratch.states.clear();
+        scratch.states.resize(arity, 0u32);
+        for flat in 0..fd.table_size {
+            let log_phi = fd.potential.log_phi(params, flat);
+            for slot in 0..arity {
+                let mut lp = log_phi;
+                for (k, &st) in scratch.states.iter().enumerate() {
+                    if k != slot {
+                        lp += vf[scratch.edge_offsets[k] + st as usize];
+                    }
+                }
+                let out = &mut new_fv[scratch.edge_offsets[slot] + scratch.states[slot] as usize];
+                *out = if *out == f64::NEG_INFINITY {
+                    lp
+                } else if lp == f64::NEG_INFINITY {
+                    *out
+                } else {
+                    let m = out.max(lp);
+                    m + ((*out - m).exp() + (lp - m).exp()).ln()
+                };
+            }
+            for (k, st) in scratch.states.iter_mut().enumerate() {
+                *st += 1;
+                if (*st as usize) < graph.cardinality(fd.vars[k]) as usize {
+                    break;
+                }
+                *st = 0;
+            }
+        }
+    }
+
+    /// Update variable→factor messages for variables in `classes`.
+    fn update_var_messages(&mut self, classes: &[u8]) {
+        for v in 0..self.graph.num_vars() {
+            let vid = VarId(v as u32);
+            if !classes.contains(&self.graph.var_class(vid)) {
+                continue;
+            }
+            if let Some(s) = self.clamps[v] {
+                self.write_clamped_var_messages(vid, s);
+                continue;
+            }
+            let card = self.graph.cardinality(vid) as usize;
+            // Total incoming per state.
+            let mut total = vec![0.0f64; card];
+            let adj: Vec<usize> = self.var_out_edges(vid);
+            for &e in &adj {
+                let r = self.edge_range(e);
+                for (t, x) in total.iter_mut().zip(&self.fv[r]) {
+                    *t += *x;
+                }
+            }
+            for &e in &adj {
+                let r = self.edge_range(e);
+                let off = r.start;
+                for i in 0..card {
+                    self.vf[off + i] = total[i] - self.fv[off + i];
+                }
+                log_normalize(&mut self.vf[r]);
+            }
+        }
+    }
+
+    /// Edge ids whose variable is `v`.
+    fn var_out_edges(&self, v: VarId) -> Vec<usize> {
+        self.graph
+            .var_factors(v)
+            .map(|(f, slot)| self.factor_edge_start[f.idx()] as usize + slot)
+            .collect()
+    }
+
+    fn write_clamped_var_messages(&mut self, v: VarId, state: u32) {
+        let card = self.graph.cardinality(v) as usize;
+        for e in self.var_out_edges(v) {
+            let off = self.edge_offset[e];
+            for i in 0..card {
+                self.vf[off + i] = if i == state as usize { 0.0 } else { LOG_ZERO };
+            }
+        }
+    }
+
+    /// Marginal of one variable from the current messages.
+    pub fn var_marginal(&self, v: VarId) -> Vec<f64> {
+        if let Some(s) = self.clamps[v.idx()] {
+            let mut p = vec![0.0; self.graph.cardinality(v) as usize];
+            p[s as usize] = 1.0;
+            return p;
+        }
+        let card = self.graph.cardinality(v) as usize;
+        let mut log_b = vec![0.0f64; card];
+        for e in self.var_out_edges(v) {
+            let r = self.edge_range(e);
+            for (b, x) in log_b.iter_mut().zip(&self.fv[r]) {
+                *b += *x;
+            }
+        }
+        to_probs(&log_b)
+    }
+
+    /// All marginals.
+    pub fn marginals(&self) -> Marginals {
+        Marginals {
+            probs: (0..self.graph.num_vars())
+                .map(|v| self.var_marginal(VarId(v as u32)))
+                .collect(),
+        }
+    }
+
+    /// Belief (probability per flat configuration) of factor `f`:
+    /// `b_f(c) ∝ φ(c) · Π_v m_{v→f}(c_v)`. Used to compute the feature
+    /// expectations of the learning gradient (paper Eq. 6).
+    pub fn factor_belief(&self, params: &Params, f: FactorId) -> Vec<f64> {
+        let fd = &self.graph.factors[f.idx()];
+        let arity = fd.vars.len();
+        let edge_start = self.factor_edge_start[f.idx()] as usize;
+        let offsets: Vec<usize> =
+            (edge_start..edge_start + arity).map(|e| self.edge_offset[e]).collect();
+        let mut states = vec![0u32; arity];
+        let mut log_b = Vec::with_capacity(fd.table_size);
+        for flat in 0..fd.table_size {
+            let mut lp = fd.potential.log_phi(params, flat);
+            for (k, &st) in states.iter().enumerate() {
+                lp += self.vf[offsets[k] + st as usize];
+            }
+            log_b.push(lp);
+            for (k, st) in states.iter_mut().enumerate() {
+                *st += 1;
+                if (*st as usize) < self.graph.cardinality(fd.vars[k]) as usize {
+                    break;
+                }
+                *st = 0;
+            }
+        }
+        let z = logsumexp(&log_b);
+        if z == f64::NEG_INFINITY {
+            let u = 1.0 / fd.table_size as f64;
+            return vec![u; fd.table_size];
+        }
+        log_b.into_iter().map(|x| (x - z).exp()).collect()
+    }
+}
+
+/// Reusable per-thread scratch buffers for the factor sweep.
+#[derive(Default)]
+struct Scratch {
+    edge_offsets: Vec<usize>,
+    states: Vec<u32>,
+}
+
+/// One-shot convenience: build an engine, run, return marginals + stats.
+pub fn run_lbp(
+    graph: &FactorGraph,
+    params: &Params,
+    clamps: &[(VarId, u32)],
+    opts: &LbpOptions,
+) -> (Marginals, LbpResult) {
+    let mut eng = LbpEngine::new(graph);
+    for &(v, s) in clamps {
+        eng.set_clamp(v, Some(s));
+    }
+    let res = eng.run(params, opts);
+    (eng.marginals(), res)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Potential;
+
+    /// Single binary variable with a unary factor preferring state 1 with
+    /// log-odds 1.0: P(1) = sigmoid(1.0).
+    #[test]
+    fn single_unary_factor_matches_sigmoid() {
+        let mut g = FactorGraph::new();
+        let v = g.add_var(2);
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![1.0]);
+        g.add_factor(&[v], Potential::Scores { group: grp, scores: vec![0.0, 1.0] }, 0);
+        let opts = LbpOptions { tol: 1e-12, max_iters: 500, ..Default::default() };
+        let (m, res) = run_lbp(&g, &params, &[], &opts);
+        assert!(res.converged);
+        let expected = 1.0 / (1.0 + (-1.0f64).exp());
+        assert!((m.prob(v, 1) - expected).abs() < 1e-9, "{}", m.prob(v, 1));
+    }
+
+    /// Two-variable attractive chain: exact marginals by hand.
+    #[test]
+    fn two_var_chain_exact() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(2);
+        let b = g.add_var(2);
+        let mut params = Params::new();
+        let unary = params.add_group_with(vec![1.0]);
+        let pair = params.add_group_with(vec![1.0]);
+        // φ_a = [0, 0.8] (prefers 1), pairwise agreement potential.
+        g.add_factor(&[a], Potential::Scores { group: unary, scores: vec![0.0, 0.8] }, 0);
+        g.add_factor(
+            &[a, b],
+            Potential::Scores { group: pair, scores: vec![0.5, 0.0, 0.0, 0.5] },
+            0,
+        );
+        let opts = LbpOptions { tol: 1e-12, max_iters: 500, ..Default::default() };
+        let (m, res) = run_lbp(&g, &params, &[], &opts);
+        assert!(res.converged);
+        // Brute force: p(a,b) ∝ exp(0.8·[a=1]) · exp(0.5·[a=b])
+        let w = |a_s: usize, b_s: usize| -> f64 {
+            ((0.8 * a_s as f64) + if a_s == b_s { 0.5 } else { 0.0 }).exp()
+        };
+        let z: f64 = [w(0, 0), w(0, 1), w(1, 0), w(1, 1)].iter().sum();
+        let pa1 = (w(1, 0) + w(1, 1)) / z;
+        let pb1 = (w(0, 1) + w(1, 1)) / z;
+        assert!((m.prob(a, 1) - pa1).abs() < 1e-6, "{} vs {pa1}", m.prob(a, 1));
+        assert!((m.prob(b, 1) - pb1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamping_propagates_through_chain() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(2);
+        let b = g.add_var(2);
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![2.0]);
+        // Strong agreement factor.
+        g.add_factor(
+            &[a, b],
+            Potential::Scores { group: grp, scores: vec![1.0, 0.0, 0.0, 1.0] },
+            0,
+        );
+        let (m, _) = run_lbp(&g, &params, &[(a, 1)], &LbpOptions::default());
+        assert_eq!(m.prob(a, 1), 1.0);
+        assert!(m.prob(b, 1) > 0.8, "{}", m.prob(b, 1));
+    }
+
+    #[test]
+    fn disconnected_variable_is_uniform() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(3);
+        let _b = g.add_var(2);
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![1.0]);
+        g.add_factor(&[a], Potential::Scores { group: grp, scores: vec![0.0, 0.0, 1.0] }, 0);
+        let (m, _) = run_lbp(&g, &params, &[], &LbpOptions::default());
+        let pb = m.of(VarId(1));
+        assert!((pb[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phased_schedule_matches_synchronous_fixed_point() {
+        // On a tree both schedules converge to the same (exact) marginals.
+        let mut g = FactorGraph::new();
+        let a = g.add_var_with_class(2, 0);
+        let b = g.add_var_with_class(2, 1);
+        let c = g.add_var_with_class(2, 1);
+        let mut params = Params::new();
+        let g1 = params.add_group_with(vec![1.0]);
+        let g2 = params.add_group_with(vec![0.7]);
+        g.add_factor(&[a], Potential::Scores { group: g1, scores: vec![0.0, 0.6] }, 0);
+        g.add_factor(&[a, b], Potential::Scores { group: g2, scores: vec![1.0, 0.0, 0.0, 1.0] }, 1);
+        g.add_factor(&[a, c], Potential::Scores { group: g2, scores: vec![0.0, 1.0, 1.0, 0.0] }, 2);
+        let sync = run_lbp(&g, &params, &[], &LbpOptions::default()).0;
+        let phased = run_lbp(
+            &g,
+            &params,
+            &[],
+            &LbpOptions {
+                schedule: Schedule::Phased {
+                    factor_phases: vec![vec![0], vec![1], vec![2]],
+                    var_phases: vec![vec![0], vec![1]],
+                },
+                ..LbpOptions::default()
+            },
+        )
+        .0;
+        for v in [a, b, c] {
+            assert!((sync.prob(v, 1) - phased.prob(v, 1)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // A ring of 40 binary variables with mixed potentials.
+        let mut g = FactorGraph::new();
+        let vars: Vec<VarId> = (0..40).map(|_| g.add_var(2)).collect();
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![0.9]);
+        for i in 0..40 {
+            let j = (i + 1) % 40;
+            let scores = if i % 2 == 0 {
+                vec![0.7, 0.1, 0.1, 0.7]
+            } else {
+                vec![0.1, 0.6, 0.6, 0.1]
+            };
+            g.add_factor(&[vars[i], vars[j]], Potential::Scores { group: grp, scores }, 0);
+        }
+        let serial = run_lbp(&g, &params, &[], &LbpOptions { threads: 1, ..Default::default() }).0;
+        let parallel = run_lbp(
+            &g,
+            &params,
+            &[],
+            &LbpOptions { threads: 4, ..Default::default() },
+        )
+        .0;
+        for &v in &vars {
+            assert!(
+                (serial.prob(v, 1) - parallel.prob(v, 1)).abs() < 1e-12,
+                "thread count changed the result"
+            );
+        }
+    }
+
+    #[test]
+    fn factor_belief_sums_to_one() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(2);
+        let b = g.add_var(3);
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![1.0]);
+        let f = g.add_factor(
+            &[a, b],
+            Potential::Scores { group: grp, scores: vec![0.1, 0.4, 0.3, 0.2, 0.0, 0.5] },
+            0,
+        );
+        let mut eng = LbpEngine::new(&g);
+        eng.run(&params, &LbpOptions::default());
+        let belief = eng.factor_belief(&params, f);
+        assert_eq!(belief.len(), 6);
+        assert!((belief.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(belief.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn map_state_picks_argmax() {
+        let mut g = FactorGraph::new();
+        let v = g.add_var(3);
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![1.0]);
+        g.add_factor(&[v], Potential::Scores { group: grp, scores: vec![0.0, 2.0, 1.0] }, 0);
+        let (m, _) = run_lbp(&g, &params, &[], &LbpOptions::default());
+        assert_eq!(m.map_state(v), 1);
+    }
+
+    #[test]
+    fn contradictory_strong_evidence_does_not_nan() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(2);
+        let b = g.add_var(2);
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![50.0]);
+        // Disagreement factor, but both ends clamped to the same state.
+        g.add_factor(
+            &[a, b],
+            Potential::Scores { group: grp, scores: vec![0.0, 1.0, 1.0, 0.0] },
+            0,
+        );
+        let (m, _) = run_lbp(&g, &params, &[(a, 0), (b, 0)], &LbpOptions::default());
+        for v in [a, b] {
+            for &p in m.of(v) {
+                assert!(p.is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Log-domain numerics for belief propagation.
+//!
+//! Messages and beliefs are kept as log-potentials so that products become
+//! sums and long chains of small probabilities never underflow.
+
+/// `log(Σ exp(x_i))` computed stably. An empty slice yields `-∞`.
+pub fn logsumexp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Normalize a log-message in place so the entries represent a
+/// distribution (`logsumexp == 0`). A message that is entirely `-∞`
+/// (contradictory evidence) is reset to uniform, which is the standard
+/// LBP recovery behaviour.
+pub fn log_normalize(xs: &mut [f64]) {
+    let z = logsumexp(xs);
+    if z == f64::NEG_INFINITY {
+        let uniform = -(xs.len() as f64).ln();
+        xs.fill(uniform);
+        return;
+    }
+    for x in xs.iter_mut() {
+        *x -= z;
+    }
+}
+
+/// Convert a normalized log-distribution to linear probabilities.
+pub fn to_probs(xs: &[f64]) -> Vec<f64> {
+    let z = logsumexp(xs);
+    xs.iter().map(|&x| (x - z).exp()).collect()
+}
+
+/// Largest absolute difference between two equally-sized slices.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logsumexp_matches_naive_on_small_values() {
+        let xs = [0.1, 0.5, -0.3];
+        let naive: f64 = xs.iter().map(|x: &f64| x.exp()).sum::<f64>().ln();
+        assert!((logsumexp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logsumexp_is_stable_for_large_magnitudes() {
+        let xs = [1000.0, 1000.0];
+        assert!((logsumexp(&xs) - (1000.0 + 2f64.ln())).abs() < 1e-9);
+        let xs = [-1000.0, -1000.0];
+        assert!((logsumexp(&xs) - (-1000.0 + 2f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logsumexp_empty_and_neg_inf() {
+        assert_eq!(logsumexp(&[]), f64::NEG_INFINITY);
+        assert_eq!(logsumexp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        assert!((logsumexp(&[f64::NEG_INFINITY, 0.0]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_produces_distribution() {
+        let mut xs = [1.0, 2.0, 3.0];
+        log_normalize(&mut xs);
+        let p = to_probs(&xs);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((logsumexp(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_recovers_from_contradiction() {
+        let mut xs = [f64::NEG_INFINITY, f64::NEG_INFINITY];
+        log_normalize(&mut xs);
+        let p = to_probs(&xs);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_probs_ordering_preserved() {
+        let p = to_probs(&[0.0, 1.0, -1.0]);
+        assert!(p[1] > p[0] && p[0] > p[2]);
+    }
+
+    #[test]
+    fn max_abs_diff_basic() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Parameter storage for the factor graph.
+//!
+//! Weights are organized into **groups** shared by all factors of the same
+//! family, exactly as the paper ties weights: one vector α₁ for every F1
+//! factor, one scalar β₄ for every U4 factor, and so on. Group ids are
+//! allocated by the model builder (`jocl-core`) and referenced by
+//! [`crate::Potential`]s.
+
+/// Weight groups: `groups[g]` is the weight vector ω_g of group `g`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Params {
+    groups: Vec<Vec<f64>>,
+}
+
+impl Params {
+    /// No groups yet.
+    pub fn new() -> Self {
+        Self { groups: Vec::new() }
+    }
+
+    /// Add a group of `len` weights, all initialized to `init`.
+    /// Returns the group id.
+    pub fn add_group(&mut self, len: usize, init: f64) -> usize {
+        self.groups.push(vec![init; len]);
+        self.groups.len() - 1
+    }
+
+    /// Add a group with explicit initial weights; returns the group id.
+    pub fn add_group_with(&mut self, weights: Vec<f64>) -> usize {
+        self.groups.push(weights);
+        self.groups.len() - 1
+    }
+
+    /// Weight vector of group `g`.
+    pub fn group(&self, g: usize) -> &[f64] {
+        &self.groups[g]
+    }
+
+    /// Mutable weight vector of group `g`.
+    pub fn group_mut(&mut self, g: usize) -> &mut Vec<f64> {
+        &mut self.groups[g]
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total number of scalar weights across groups.
+    pub fn num_weights(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Apply `delta` (same shape as the params) scaled by `step`:
+    /// `ω ← ω + step · delta`.
+    pub fn step(&mut self, delta: &Params, step: f64) {
+        assert_eq!(self.groups.len(), delta.groups.len(), "param shape mismatch");
+        for (g, d) in self.groups.iter_mut().zip(&delta.groups) {
+            assert_eq!(g.len(), d.len(), "group shape mismatch");
+            for (w, dw) in g.iter_mut().zip(d) {
+                *w += step * dw;
+            }
+        }
+    }
+
+    /// A zero-filled parameter set with the same shape.
+    pub fn zeros_like(&self) -> Params {
+        Params { groups: self.groups.iter().map(|g| vec![0.0; g.len()]).collect() }
+    }
+
+    /// L2 norm over all weights.
+    pub fn l2_norm(&self) -> f64 {
+        self.groups
+            .iter()
+            .flat_map(|g| g.iter())
+            .map(|w| w * w)
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_allocate_sequential_ids() {
+        let mut p = Params::new();
+        assert_eq!(p.add_group(3, 1.0), 0);
+        assert_eq!(p.add_group(1, 0.5), 1);
+        assert_eq!(p.num_groups(), 2);
+        assert_eq!(p.num_weights(), 4);
+        assert_eq!(p.group(0), &[1.0, 1.0, 1.0]);
+        assert_eq!(p.group(1), &[0.5]);
+    }
+
+    #[test]
+    fn step_applies_scaled_delta() {
+        let mut p = Params::new();
+        p.add_group(2, 1.0);
+        let mut d = p.zeros_like();
+        d.group_mut(0)[0] = 2.0;
+        d.group_mut(0)[1] = -1.0;
+        p.step(&d, 0.5);
+        assert_eq!(p.group(0), &[2.0, 0.5]);
+    }
+
+    #[test]
+    fn zeros_like_matches_shape() {
+        let mut p = Params::new();
+        p.add_group(3, 0.7);
+        p.add_group(1, 0.2);
+        let z = p.zeros_like();
+        assert_eq!(z.num_groups(), 2);
+        assert_eq!(z.group(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn l2_norm() {
+        let mut p = Params::new();
+        p.add_group_with(vec![3.0, 4.0]);
+        assert!((p.l2_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn step_shape_mismatch_panics() {
+        let mut p = Params::new();
+        p.add_group(2, 0.0);
+        let mut q = Params::new();
+        q.add_group(2, 0.0);
+        q.add_group(1, 0.0);
+        p.step(&q, 1.0);
+    }
+}

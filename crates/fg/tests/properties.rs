@@ -1,0 +1,201 @@
+//! Property tests: LBP against brute-force exact inference.
+
+use jocl_fg::exact::exact_marginals;
+use jocl_fg::lbp::run_lbp;
+use jocl_fg::{FactorGraph, LbpOptions, Params, Potential, VarId};
+use proptest::prelude::*;
+
+/// A random tree-structured pairwise model over binary variables.
+/// Variable i > 0 connects to a random parent j < i.
+fn tree_model() -> impl Strategy<Value = (FactorGraph, Params)> {
+    (2usize..7)
+        .prop_flat_map(|n| {
+            let parents = (1..n)
+                .map(|i| 0..i)
+                .collect::<Vec<_>>();
+            (
+                Just(n),
+                parents,
+                proptest::collection::vec(-1.5f64..1.5, n),          // unary scores for state 1
+                proptest::collection::vec(-1.0f64..1.0, n - 1),      // pairwise agreement scores
+            )
+        })
+        .prop_map(|(n, parents, unary, pair)| {
+            let mut g = FactorGraph::new();
+            let vars: Vec<VarId> = (0..n).map(|_| g.add_var(2)).collect();
+            let mut params = Params::new();
+            let grp = params.add_group_with(vec![1.0]);
+            for (i, &u) in unary.iter().enumerate() {
+                g.add_factor(
+                    &[vars[i]],
+                    Potential::Scores { group: grp, scores: vec![0.0, u] },
+                    0,
+                );
+            }
+            for (i, (&p, &w)) in parents.iter().zip(&pair).enumerate() {
+                g.add_factor(
+                    &[vars[p], vars[i + 1]],
+                    Potential::Scores { group: grp, scores: vec![w, 0.0, 0.0, w] },
+                    0,
+                );
+            }
+            (g, params)
+        })
+}
+
+/// A random (possibly loopy) model: n binary vars, m random pairwise
+/// factors, a few unary factors.
+fn loopy_model() -> impl Strategy<Value = (FactorGraph, Params)> {
+    (3usize..6, 2usize..8)
+        .prop_flat_map(|(n, m)| {
+            (
+                Just(n),
+                proptest::collection::vec((0..n, 0..n, -0.8f64..0.8), m),
+                proptest::collection::vec(-1.0f64..1.0, n),
+            )
+        })
+        .prop_map(|(n, edges, unary)| {
+            let mut g = FactorGraph::new();
+            let vars: Vec<VarId> = (0..n).map(|_| g.add_var(2)).collect();
+            let mut params = Params::new();
+            let grp = params.add_group_with(vec![1.0]);
+            for (i, &u) in unary.iter().enumerate() {
+                g.add_factor(
+                    &[vars[i]],
+                    Potential::Scores { group: grp, scores: vec![0.0, u] },
+                    0,
+                );
+            }
+            for (a, b, w) in edges {
+                if a == b {
+                    continue;
+                }
+                g.add_factor(
+                    &[vars[a], vars[b]],
+                    Potential::Scores { group: grp, scores: vec![w, 0.0, 0.0, w] },
+                    0,
+                );
+            }
+            (g, params)
+        })
+}
+
+fn tight_opts() -> LbpOptions {
+    LbpOptions { tol: 1e-10, max_iters: 1000, damping: 0.0, ..Default::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On trees, LBP is exact.
+    #[test]
+    fn lbp_exact_on_trees((g, params) in tree_model()) {
+        let exact = exact_marginals(&g, &params, &[]);
+        let (lbp, res) = run_lbp(&g, &params, &[], &tight_opts());
+        prop_assert!(res.converged);
+        for v in 0..g.num_vars() {
+            let v = VarId(v as u32);
+            prop_assert!(
+                (exact.prob(v, 1) - lbp.prob(v, 1)).abs() < 1e-6,
+                "var {:?}: exact {} vs lbp {}", v, exact.prob(v, 1), lbp.prob(v, 1)
+            );
+        }
+    }
+
+    /// On trees with evidence, clamped LBP matches conditional exact
+    /// marginals.
+    #[test]
+    fn lbp_exact_on_trees_with_evidence((g, params) in tree_model()) {
+        let clamp = [(VarId(0), 1u32)];
+        let exact = exact_marginals(&g, &params, &clamp);
+        let (lbp, _) = run_lbp(&g, &params, &clamp, &tight_opts());
+        for v in 0..g.num_vars() {
+            let v = VarId(v as u32);
+            prop_assert!(
+                (exact.prob(v, 1) - lbp.prob(v, 1)).abs() < 1e-5,
+                "var {:?}: exact {} vs lbp {}", v, exact.prob(v, 1), lbp.prob(v, 1)
+            );
+        }
+    }
+
+    /// On loopy graphs LBP is approximate, but the marginals must always
+    /// be valid distributions and deterministic across thread counts.
+    #[test]
+    fn lbp_valid_and_thread_invariant_on_loopy((g, params) in loopy_model()) {
+        let opts1 = LbpOptions { threads: 1, ..tight_opts() };
+        let opts4 = LbpOptions { threads: 4, ..tight_opts() };
+        let (m1, _) = run_lbp(&g, &params, &[], &opts1);
+        let (m4, _) = run_lbp(&g, &params, &[], &opts4);
+        for v in 0..g.num_vars() {
+            let v = VarId(v as u32);
+            let p = m1.of(v);
+            let total: f64 = p.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+            prop_assert!((m1.prob(v, 1) - m4.prob(v, 1)).abs() < 1e-12);
+        }
+    }
+
+    /// A sparse two-level potential is exactly equivalent to the dense
+    /// Scores table it abbreviates.
+    #[test]
+    fn two_level_matches_dense(
+        cards in proptest::collection::vec(2u32..5, 2..4),
+        high_fraction in 0.0f64..0.5,
+        seed in 0u64..1000,
+    ) {
+        let size: usize = cards.iter().map(|&c| c as usize).product();
+        // Deterministic pseudo-random subset of high configs.
+        let mut high_configs = Vec::new();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for flat in 0..size {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            if (state % 1000) as f64 / 1000.0 < high_fraction {
+                high_configs.push(flat as u32);
+            }
+        }
+        let dense_scores: Vec<f64> = (0..size)
+            .map(|f| if high_configs.contains(&(f as u32)) { 0.9 } else { 0.1 })
+            .collect();
+
+        let build = |potential: Potential| -> (FactorGraph, Params) {
+            let mut g = FactorGraph::new();
+            let vars: Vec<VarId> = cards.iter().map(|&c| g.add_var(c)).collect();
+            let mut params = Params::new();
+            let grp = params.add_group_with(vec![1.7]);
+            let potential = match potential {
+                Potential::Scores { scores, .. } => Potential::Scores { group: grp, scores },
+                Potential::TwoLevelScores { size, high_configs, high, low, .. } =>
+                    Potential::TwoLevelScores { group: grp, size, high_configs, high, low },
+                other => other,
+            };
+            g.add_factor(&vars, potential, 0);
+            (g, params)
+        };
+        let (gd, pd) = build(Potential::Scores { group: 0, scores: dense_scores });
+        let (gs, ps) = build(Potential::two_level(0, size, high_configs, 0.9, 0.1));
+        let (md, _) = run_lbp(&gd, &pd, &[], &tight_opts());
+        let (ms, _) = run_lbp(&gs, &ps, &[], &tight_opts());
+        for v in 0..gd.num_vars() {
+            let v = VarId(v as u32);
+            for s in 0..gd.cardinality(v) {
+                prop_assert!((md.prob(v, s) - ms.prob(v, s)).abs() < 1e-12);
+            }
+        }
+        let _ = gs;
+    }
+
+    /// Damping changes the trajectory but not the fixed point on trees.
+    #[test]
+    fn damping_invariant_fixed_point((g, params) in tree_model()) {
+        let (m0, _) = run_lbp(&g, &params, &[], &tight_opts());
+        let damped = LbpOptions { damping: 0.4, ..tight_opts() };
+        let (m1, _) = run_lbp(&g, &params, &[], &damped);
+        for v in 0..g.num_vars() {
+            let v = VarId(v as u32);
+            prop_assert!((m0.prob(v, 1) - m1.prob(v, 1)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Candidate generation for linking variables.
+//!
+//! Each linking variable `e_si` (`r_pi`) has `|e_si|` possible states,
+//! "each of which is a candidate entity in the CKB that NP s_i may refer
+//! to" (paper §3.2.1). Candidates are retrieved here:
+//!
+//! * **entities** — exact alias matches plus fuzzy matches through the
+//!   inverted token index, ranked by a blend of lexical similarity
+//!   (Jaro-Winkler over aliases) and anchor popularity, truncated to
+//!   `top_k`;
+//! * **relations** — exact surface-form matches plus a full scan over the
+//!   (small) relation inventory ranked by character n-gram / Levenshtein
+//!   similarity over surface forms.
+//!
+//! Ordering is deterministic: score descending, id ascending.
+
+use crate::ckb::{Ckb, EntityId, RelationId};
+use jocl_text::fx::FxHashSet;
+use jocl_text::sim::{jaro_winkler, levenshtein_sim, ngram_jaccard};
+use jocl_text::{stopwords, tokenize};
+
+/// Options for [`CandidateGen`].
+#[derive(Debug, Clone)]
+pub struct CandidateOptions {
+    /// Maximum entity candidates per NP mention (paper-scale default 8).
+    pub top_k_entities: usize,
+    /// Maximum relation candidates per RP mention.
+    pub top_k_relations: usize,
+    /// Candidates scoring below this are dropped.
+    pub min_score: f64,
+    /// Weight of lexical similarity vs popularity in the entity score.
+    pub lexical_weight: f64,
+}
+
+impl Default for CandidateOptions {
+    fn default() -> Self {
+        Self {
+            top_k_entities: 8,
+            top_k_relations: 8,
+            min_score: 0.05,
+            lexical_weight: 0.6,
+        }
+    }
+}
+
+/// A scored candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored<T> {
+    /// Candidate id.
+    pub id: T,
+    /// Retrieval score in `[0, 1]` (not a probability).
+    pub score: f64,
+}
+
+/// Candidate generator over one CKB.
+#[derive(Debug, Clone)]
+pub struct CandidateGen<'c> {
+    ckb: &'c Ckb,
+    opts: CandidateOptions,
+}
+
+impl<'c> CandidateGen<'c> {
+    /// Create a generator with options.
+    pub fn new(ckb: &'c Ckb, opts: CandidateOptions) -> Self {
+        Self { ckb, opts }
+    }
+
+    /// Lexical similarity between a surface form and an entity: the best
+    /// Jaro-Winkler score over the entity's aliases.
+    fn entity_lexical(&self, surface: &str, e: EntityId) -> f64 {
+        let surface_lc = surface.to_lowercase();
+        self.ckb
+            .entity(e)
+            .aliases
+            .iter()
+            .map(|a| jaro_winkler(&surface_lc, &a.to_lowercase()))
+            .fold(0.0, f64::max)
+    }
+
+    /// Entity candidates for an NP surface form.
+    pub fn entity_candidates(&self, surface: &str) -> Vec<Scored<EntityId>> {
+        let mut pool: FxHashSet<EntityId> = FxHashSet::default();
+        pool.extend(self.ckb.entities_by_alias(surface).iter().copied());
+        for tok in tokenize(surface) {
+            if stopwords::is_stopword(&tok) {
+                continue;
+            }
+            pool.extend(self.ckb.entities_by_token(&tok).iter().copied());
+        }
+        let w = self.opts.lexical_weight;
+        let mut scored: Vec<Scored<EntityId>> = pool
+            .into_iter()
+            .map(|e| {
+                let lex = self.entity_lexical(surface, e);
+                let pop = self.ckb.popularity(surface, e);
+                Scored { id: e, score: w * lex + (1.0 - w) * pop }
+            })
+            .filter(|s| s.score >= self.opts.min_score)
+            .collect();
+        sort_and_truncate(&mut scored, self.opts.top_k_entities);
+        scored
+    }
+
+    /// Relation candidates for an RP surface form.
+    pub fn relation_candidates(&self, surface: &str) -> Vec<Scored<RelationId>> {
+        let surface_lc = surface.to_lowercase();
+        let exact: FxHashSet<RelationId> =
+            self.ckb.relations_by_surface(surface).iter().copied().collect();
+        let mut scored: Vec<Scored<RelationId>> = self
+            .ckb
+            .relations()
+            .map(|(id, rel)| {
+                let lex = rel
+                    .surface_forms
+                    .iter()
+                    .map(|sf| {
+                        let sf_lc = sf.to_lowercase();
+                        ngram_jaccard(&surface_lc, &sf_lc)
+                            .max(levenshtein_sim(&surface_lc, &sf_lc))
+                    })
+                    .fold(0.0, f64::max);
+                let bonus = if exact.contains(&id) { 1.0 } else { lex };
+                Scored { id, score: bonus }
+            })
+            .filter(|s| s.score >= self.opts.min_score)
+            .collect();
+        sort_and_truncate(&mut scored, self.opts.top_k_relations);
+        scored
+    }
+}
+
+fn sort_and_truncate<T: Copy + Ord>(scored: &mut Vec<Scored<T>>, k: usize) {
+    scored.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
+    });
+    scored.truncate(k);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ckb::{CkbRelation, Entity};
+
+    fn ckb() -> Ckb {
+        let mut ckb = Ckb::new();
+        let umd = ckb.add_entity(Entity {
+            name: "university of maryland".into(),
+            aliases: vec!["University of Maryland".into(), "UMD".into()],
+            types: vec!["university".into()],
+        });
+        let umich = ckb.add_entity(Entity {
+            name: "university of michigan".into(),
+            aliases: vec!["University of Michigan".into(), "UM".into()],
+            types: vec!["university".into()],
+        });
+        let maryland = ckb.add_entity(Entity {
+            name: "maryland".into(),
+            aliases: vec!["Maryland".into()],
+            types: vec!["state".into()],
+        });
+        ckb.add_anchor("university of maryland", umd, 50);
+        ckb.add_anchor("umd", umd, 20);
+        ckb.add_anchor("maryland", maryland, 30);
+        ckb.add_anchor("maryland", umd, 5); // ambiguous anchor
+        ckb.add_anchor("university of michigan", umich, 40);
+        ckb.add_relation(CkbRelation {
+            name: "location.containedby".into(),
+            surface_forms: vec!["located in".into(), "is in".into()],
+            category: "location".into(),
+        });
+        ckb.add_relation(CkbRelation {
+            name: "organizations_founded".into(),
+            surface_forms: vec!["be a member of".into(), "founded".into()],
+            category: "membership".into(),
+        });
+        ckb
+    }
+
+    fn gen(ckb: &Ckb) -> CandidateGen<'_> {
+        CandidateGen::new(ckb, CandidateOptions::default())
+    }
+
+    #[test]
+    fn exact_alias_is_top_candidate() {
+        let ckb = ckb();
+        let g = gen(&ckb);
+        let cands = g.entity_candidates("UMD");
+        assert!(!cands.is_empty());
+        assert_eq!(ckb.entity(cands[0].id).name, "university of maryland");
+    }
+
+    #[test]
+    fn fuzzy_candidates_via_tokens() {
+        let ckb = ckb();
+        let g = gen(&ckb);
+        let cands = g.entity_candidates("the University of Maryland campus");
+        let names: Vec<&str> = cands.iter().map(|c| ckb.entity(c.id).name.as_str()).collect();
+        assert!(names.contains(&"university of maryland"), "{names:?}");
+    }
+
+    #[test]
+    fn ambiguous_surface_yields_both() {
+        let ckb = ckb();
+        let g = gen(&ckb);
+        let cands = g.entity_candidates("Maryland");
+        let names: Vec<&str> = cands.iter().map(|c| ckb.entity(c.id).name.as_str()).collect();
+        assert!(names.contains(&"maryland"));
+        assert!(names.contains(&"university of maryland"));
+        // The state should outrank the university for the bare surface.
+        assert_eq!(names[0], "maryland");
+    }
+
+    #[test]
+    fn top_k_truncation() {
+        let ckb = ckb();
+        let g = CandidateGen::new(
+            &ckb,
+            CandidateOptions { top_k_entities: 1, ..Default::default() },
+        );
+        assert_eq!(g.entity_candidates("university").len(), 1);
+    }
+
+    #[test]
+    fn relation_exact_surface_wins() {
+        let ckb = ckb();
+        let g = gen(&ckb);
+        let cands = g.relation_candidates("be a member of");
+        assert_eq!(ckb.relation(cands[0].id).name, "organizations_founded");
+        assert_eq!(cands[0].score, 1.0);
+    }
+
+    #[test]
+    fn relation_fuzzy_match() {
+        let ckb = ckb();
+        let g = gen(&ckb);
+        let cands = g.relation_candidates("be an early member of");
+        assert_eq!(ckb.relation(cands[0].id).name, "organizations_founded");
+    }
+
+    #[test]
+    fn unknown_surface_yields_nothing_or_weak() {
+        let ckb = ckb();
+        let g = gen(&ckb);
+        let cands = g.entity_candidates("zzz qqq");
+        assert!(cands.is_empty(), "{cands:?}");
+    }
+
+    #[test]
+    fn scores_sorted_descending() {
+        let ckb = ckb();
+        let g = gen(&ckb);
+        let cands = g.entity_candidates("university of maryland");
+        for w in cands.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The curated knowledge base (CKB) model.
+//!
+//! Mirrors the role Freebase/DBpedia play in the paper: a set of
+//! canonicalized entities `E`, relations `R` and facts
+//! `<e_i, r_k, e_j>` (§2), enriched with the lookup structures the JOCL
+//! signals require:
+//!
+//! * **alias index** — exact surface form → entities (candidate
+//!   generation);
+//! * **anchor counts** — per `(surface, entity)` popularity counts that
+//!   simulate Wikipedia anchor links and implement `f_pop` (§3.2.3):
+//!   `f_pop(s, e) = count(s, e) / count(s)`;
+//! * **fact index** — O(1) membership for the fact-inclusion factor `U4`
+//!   (§3.2.5);
+//! * **co-occurrence** — entity adjacency through facts, used by the
+//!   TagMe/EARL/KBPearl linking baselines (relatedness / connection
+//!   density);
+//! * **token index** — inverted token → entity index for fuzzy candidate
+//!   lookup.
+
+use jocl_text::fx::{FxHashMap, FxHashSet};
+use jocl_text::tokenize;
+
+/// Identifier of a CKB entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// Index form for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a CKB relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub u32);
+
+impl RelationId {
+    /// Index form for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A canonicalized entity.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Canonical (unique) name, e.g. `"university of maryland"`.
+    pub name: String,
+    /// Known aliases (canonical name included by convention).
+    pub aliases: Vec<String>,
+    /// Semantic types, e.g. `["organization", "university"]` (used by the
+    /// SIST baseline's type-compatibility side information).
+    pub types: Vec<String>,
+}
+
+/// A canonicalized relation.
+#[derive(Debug, Clone)]
+pub struct CkbRelation {
+    /// Canonical name, e.g. `"organizations_founded"`.
+    pub name: String,
+    /// Textual surface forms that may express the relation.
+    pub surface_forms: Vec<String>,
+    /// Coarse category (the Stanford-KBP-style relation category used by
+    /// the `f_KBP` signal, §3.1.4). Relations in the same category are
+    /// considered equivalent by that signal.
+    pub category: String,
+}
+
+/// The curated knowledge base.
+#[derive(Debug, Default, Clone)]
+pub struct Ckb {
+    entities: Vec<Entity>,
+    relations: Vec<CkbRelation>,
+    facts: FxHashSet<(u32, u32, u32)>,
+    /// surface form → entities carrying it as an alias.
+    alias_index: FxHashMap<String, Vec<EntityId>>,
+    /// (surface, entity) → anchor count; surface → total anchor count.
+    anchor_counts: FxHashMap<(String, EntityId), u64>,
+    anchor_totals: FxHashMap<String, u64>,
+    /// token → entities whose aliases contain the token.
+    token_index: FxHashMap<String, Vec<EntityId>>,
+    /// surface form → relations carrying it.
+    rel_surface_index: FxHashMap<String, Vec<RelationId>>,
+    /// entity → entities co-occurring in at least one fact.
+    cooccur: Vec<FxHashSet<u32>>,
+}
+
+impl Ckb {
+    /// Empty CKB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an entity; aliases are indexed (lowercased) for lookup.
+    pub fn add_entity(&mut self, entity: Entity) -> EntityId {
+        let id = EntityId(u32::try_from(self.entities.len()).expect("too many entities"));
+        for alias in &entity.aliases {
+            let key = alias.to_lowercase();
+            self.alias_index.entry(key).or_default().push(id);
+            for tok in tokenize(alias) {
+                let list = self.token_index.entry(tok).or_default();
+                if list.last() != Some(&id) {
+                    list.push(id);
+                }
+            }
+        }
+        self.entities.push(entity);
+        self.cooccur.push(FxHashSet::default());
+        id
+    }
+
+    /// Add a relation; surface forms are indexed (lowercased).
+    pub fn add_relation(&mut self, relation: CkbRelation) -> RelationId {
+        let id = RelationId(u32::try_from(self.relations.len()).expect("too many relations"));
+        for sf in &relation.surface_forms {
+            self.rel_surface_index.entry(sf.to_lowercase()).or_default().push(id);
+        }
+        self.relations.push(relation);
+        id
+    }
+
+    /// Record the fact `<s, r, o>`. Idempotent.
+    ///
+    /// # Panics
+    /// Panics if any id is out of range.
+    pub fn add_fact(&mut self, s: EntityId, r: RelationId, o: EntityId) {
+        assert!(s.idx() < self.entities.len(), "unknown subject entity");
+        assert!(o.idx() < self.entities.len(), "unknown object entity");
+        assert!(r.idx() < self.relations.len(), "unknown relation");
+        if self.facts.insert((s.0, r.0, o.0)) {
+            self.cooccur[s.idx()].insert(o.0);
+            self.cooccur[o.idx()].insert(s.0);
+        }
+    }
+
+    /// Record `count` anchor occurrences of `surface` pointing at `entity`
+    /// (simulating Wikipedia anchor links).
+    pub fn add_anchor(&mut self, surface: &str, entity: EntityId, count: u64) {
+        let key = surface.to_lowercase();
+        *self.anchor_counts.entry((key.clone(), entity)).or_insert(0) += count;
+        *self.anchor_totals.entry(key).or_insert(0) += count;
+    }
+
+    /// `f_pop(surface, entity) = count(surface, entity) / count(surface)`
+    /// (paper §3.2.3). Zero when the surface was never an anchor.
+    pub fn popularity(&self, surface: &str, entity: EntityId) -> f64 {
+        let key = surface.to_lowercase();
+        let total = match self.anchor_totals.get(&key) {
+            Some(&t) if t > 0 => t,
+            _ => return 0.0,
+        };
+        let count = self.anchor_counts.get(&(key, entity)).copied().unwrap_or(0);
+        count as f64 / total as f64
+    }
+
+    /// Is `<s, r, o>` a known fact? (the `u4` test of §3.2.5)
+    pub fn has_fact(&self, s: EntityId, r: RelationId, o: EntityId) -> bool {
+        self.facts.contains(&(s.0, r.0, o.0))
+    }
+
+    /// Do two entities co-occur in any fact? (TagMe-style relatedness)
+    pub fn cooccurs(&self, a: EntityId, b: EntityId) -> bool {
+        self.cooccur.get(a.idx()).is_some_and(|set| set.contains(&b.0))
+    }
+
+    /// Number of distinct fact-neighbors of `e` (EARL-style connection
+    /// density).
+    pub fn degree(&self, e: EntityId) -> usize {
+        self.cooccur.get(e.idx()).map_or(0, FxHashSet::len)
+    }
+
+    /// Entities whose alias exactly equals `surface` (case-insensitive).
+    pub fn entities_by_alias(&self, surface: &str) -> &[EntityId] {
+        self.alias_index
+            .get(&surface.to_lowercase())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Entities that share the token `tok` in some alias.
+    pub fn entities_by_token(&self, tok: &str) -> &[EntityId] {
+        self.token_index.get(tok).map_or(&[], Vec::as_slice)
+    }
+
+    /// Relations whose surface form equals `surface` (case-insensitive).
+    pub fn relations_by_surface(&self, surface: &str) -> &[RelationId] {
+        self.rel_surface_index
+            .get(&surface.to_lowercase())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Entity accessor.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.idx()]
+    }
+
+    /// Relation accessor.
+    pub fn relation(&self, id: RelationId) -> &CkbRelation {
+        &self.relations[id.idx()]
+    }
+
+    /// All entities with ids.
+    pub fn entities(&self) -> impl Iterator<Item = (EntityId, &Entity)> {
+        self.entities.iter().enumerate().map(|(i, e)| (EntityId(i as u32), e))
+    }
+
+    /// All relations with ids.
+    pub fn relations(&self) -> impl Iterator<Item = (RelationId, &CkbRelation)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelationId(i as u32), r))
+    }
+
+    /// All facts.
+    pub fn facts(&self) -> impl Iterator<Item = (EntityId, RelationId, EntityId)> + '_ {
+        self.facts
+            .iter()
+            .map(|&(s, r, o)| (EntityId(s), RelationId(r), EntityId(o)))
+    }
+
+    /// Raw anchor statistics `((surface, entity), count)`, used by the TSV
+    /// writer.
+    pub fn raw_anchors(&self) -> impl Iterator<Item = (&(String, EntityId), &u64)> {
+        self.anchor_counts.iter()
+    }
+
+    /// Entity count.
+    pub fn num_entities(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Relation count.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Fact count.
+    pub fn num_facts(&self) -> usize {
+        self.facts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity(name: &str, aliases: &[&str]) -> Entity {
+        Entity {
+            name: name.into(),
+            aliases: aliases.iter().map(|s| s.to_string()).collect(),
+            types: vec!["organization".into()],
+        }
+    }
+
+    fn sample() -> (Ckb, EntityId, EntityId, RelationId) {
+        let mut ckb = Ckb::new();
+        let umd = ckb.add_entity(entity(
+            "university of maryland",
+            &["University of Maryland", "UMD"],
+        ));
+        let u21 = ckb.add_entity(entity("universitas 21", &["Universitas 21", "U21"]));
+        let member = ckb.add_relation(CkbRelation {
+            name: "organizations_founded".into(),
+            surface_forms: vec!["be a member of".into(), "founded".into()],
+            category: "membership".into(),
+        });
+        ckb.add_fact(umd, member, u21);
+        (ckb, umd, u21, member)
+    }
+
+    #[test]
+    fn alias_lookup_is_case_insensitive() {
+        let (ckb, umd, _, _) = sample();
+        assert_eq!(ckb.entities_by_alias("umd"), &[umd]);
+        assert_eq!(ckb.entities_by_alias("UMD"), &[umd]);
+        assert!(ckb.entities_by_alias("nothing").is_empty());
+    }
+
+    #[test]
+    fn fact_membership() {
+        let (ckb, umd, u21, member) = sample();
+        assert!(ckb.has_fact(umd, member, u21));
+        assert!(!ckb.has_fact(u21, member, umd), "facts are directed");
+    }
+
+    #[test]
+    fn popularity_is_normalized() {
+        let (mut ckb, umd, u21, _) = sample();
+        ckb.add_anchor("umd", umd, 9);
+        ckb.add_anchor("umd", u21, 1); // ambiguous surface
+        assert!((ckb.popularity("UMD", umd) - 0.9).abs() < 1e-12);
+        assert!((ckb.popularity("umd", u21) - 0.1).abs() < 1e-12);
+        assert_eq!(ckb.popularity("unseen", umd), 0.0);
+    }
+
+    #[test]
+    fn cooccurrence_from_facts() {
+        let (ckb, umd, u21, _) = sample();
+        assert!(ckb.cooccurs(umd, u21));
+        assert!(ckb.cooccurs(u21, umd));
+        assert_eq!(ckb.degree(umd), 1);
+    }
+
+    #[test]
+    fn token_index_finds_partial_matches() {
+        let (ckb, umd, _, _) = sample();
+        assert!(ckb.entities_by_token("maryland").contains(&umd));
+        assert!(ckb.entities_by_token("zzz").is_empty());
+    }
+
+    #[test]
+    fn relation_surface_lookup() {
+        let (ckb, _, _, member) = sample();
+        assert_eq!(ckb.relations_by_surface("Be A Member Of"), &[member]);
+    }
+
+    #[test]
+    fn duplicate_facts_are_idempotent() {
+        let (mut ckb, umd, u21, member) = sample();
+        let before = ckb.num_facts();
+        ckb.add_fact(umd, member, u21);
+        assert_eq!(ckb.num_facts(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown relation")]
+    fn dangling_fact_panics() {
+        let (mut ckb, umd, u21, _) = sample();
+        ckb.add_fact(umd, RelationId(99), u21);
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let (ckb, _, _, _) = sample();
+        assert_eq!(ckb.entities().count(), ckb.num_entities());
+        assert_eq!(ckb.relations().count(), ckb.num_relations());
+        assert_eq!(ckb.facts().count(), ckb.num_facts());
+    }
+}

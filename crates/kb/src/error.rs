@@ -1,0 +1,73 @@
+//! Error type for KB loading and validation.
+
+use std::fmt;
+
+/// Errors raised by the KB substrate (mostly TSV parsing).
+#[derive(Debug)]
+pub enum KbError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed input at a specific line (1-based).
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A reference to an unknown entity/relation id.
+    DanglingRef {
+        /// What kind of id was referenced.
+        kind: &'static str,
+        /// The offending id value.
+        id: u32,
+    },
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::Io(e) => write!(f, "i/o error: {e}"),
+            KbError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            KbError::DanglingRef { kind, id } => {
+                write!(f, "dangling {kind} reference: {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for KbError {
+    fn from(e: std::io::Error) -> Self {
+        KbError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = KbError::Parse { line: 3, msg: "bad column count".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = KbError::DanglingRef { kind: "entity", id: 42 };
+        assert!(e.to_string().contains("entity"));
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: KbError = io.into();
+        assert!(matches!(e, KbError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,294 @@
+//! The open knowledge base (OKB) model.
+//!
+//! An OKB is a set of OIE triples `t_i = <s_i, p_i, o_i>` where `s_i`,
+//! `o_i` are noun phrases (NPs) and `p_i` is a relation phrase (RP)
+//! (paper §2). JOCL's variables are addressed per **mention**:
+//!
+//! * an [`NpMention`] is one NP occurrence — `(triple, Subject)` or
+//!   `(triple, Object)`;
+//! * an [`RpMention`] is the RP occurrence of one triple.
+//!
+//! The paper's canonicalization variables pair *subject mentions with
+//! subject mentions* (`x_ij`), *predicates with predicates* (`y_ij`) and
+//! *objects with objects* (`z_ij`); the mention addressing here makes that
+//! pairing explicit.
+//!
+//! Optional [`SideInfo`] per triple carries what SIST (§4.2.1) extracts
+//! from the original source text: candidate entities seen in context,
+//! their types, and a domain tag. Our data generator emits it so the SIST
+//! baseline has the same inputs it has in the paper.
+
+use crate::ckb::EntityId;
+
+/// Identifier of an OIE triple in an [`Okb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TripleId(pub u32);
+
+impl TripleId {
+    /// Index form for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Which NP slot of a triple a mention occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NpSlot {
+    /// The subject NP `s_i`.
+    Subject,
+    /// The object NP `o_i`.
+    Object,
+}
+
+/// One NP mention: a triple plus slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NpMention {
+    /// Owning triple.
+    pub triple: TripleId,
+    /// Subject or object position.
+    pub slot: NpSlot,
+}
+
+impl NpMention {
+    /// Dense index: subjects come first (`2·t`), objects second (`2·t+1`).
+    #[inline]
+    pub fn dense(self) -> usize {
+        self.triple.idx() * 2 + matches!(self.slot, NpSlot::Object) as usize
+    }
+
+    /// Inverse of [`NpMention::dense`].
+    pub fn from_dense(i: usize) -> Self {
+        NpMention {
+            triple: TripleId((i / 2) as u32),
+            slot: if i % 2 == 0 { NpSlot::Subject } else { NpSlot::Object },
+        }
+    }
+}
+
+/// One RP mention: the predicate of a triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RpMention(pub TripleId);
+
+impl RpMention {
+    /// Dense index (= triple index).
+    #[inline]
+    pub fn dense(self) -> usize {
+        self.0.idx()
+    }
+}
+
+/// An OIE triple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Triple {
+    /// Subject noun phrase.
+    pub subject: String,
+    /// Relation phrase.
+    pub predicate: String,
+    /// Object noun phrase.
+    pub object: String,
+}
+
+impl Triple {
+    /// Convenience constructor.
+    pub fn new(subject: &str, predicate: &str, object: &str) -> Self {
+        Self {
+            subject: subject.to_string(),
+            predicate: predicate.to_string(),
+            object: object.to_string(),
+        }
+    }
+}
+
+/// Source-text side information for one triple (what SIST consumes).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SideInfo {
+    /// Entities plausibly referenced near the subject in the source text.
+    pub subject_candidates: Vec<EntityId>,
+    /// Entities plausibly referenced near the object.
+    pub object_candidates: Vec<EntityId>,
+    /// Domain tag of the source document (e.g. `"education"`).
+    pub domain: String,
+}
+
+/// A set of OIE triples with optional per-triple side information.
+#[derive(Debug, Clone, Default)]
+pub struct Okb {
+    triples: Vec<Triple>,
+    side_info: Vec<Option<SideInfo>>,
+}
+
+impl Okb {
+    /// Empty OKB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a triple without side information.
+    pub fn add_triple(&mut self, t: Triple) -> TripleId {
+        let id = TripleId(u32::try_from(self.triples.len()).expect("too many triples"));
+        self.triples.push(t);
+        self.side_info.push(None);
+        id
+    }
+
+    /// Append a triple with side information.
+    pub fn add_triple_with_side_info(&mut self, t: Triple, si: SideInfo) -> TripleId {
+        let id = self.add_triple(t);
+        self.side_info[id.idx()] = Some(si);
+        id
+    }
+
+    /// Triple accessor.
+    pub fn triple(&self, id: TripleId) -> &Triple {
+        &self.triples[id.idx()]
+    }
+
+    /// Side info accessor.
+    pub fn side_info(&self, id: TripleId) -> Option<&SideInfo> {
+        self.side_info[id.idx()].as_ref()
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// All triples with ids.
+    pub fn triples(&self) -> impl Iterator<Item = (TripleId, &Triple)> {
+        self.triples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TripleId(i as u32), t))
+    }
+
+    /// The phrase of an NP mention.
+    pub fn np_phrase(&self, m: NpMention) -> &str {
+        let t = self.triple(m.triple);
+        match m.slot {
+            NpSlot::Subject => &t.subject,
+            NpSlot::Object => &t.object,
+        }
+    }
+
+    /// The phrase of an RP mention.
+    pub fn rp_phrase(&self, m: RpMention) -> &str {
+        &self.triple(m.0).predicate
+    }
+
+    /// All NP mentions (2 per triple), in dense order.
+    pub fn np_mentions(&self) -> impl Iterator<Item = NpMention> + '_ {
+        (0..self.triples.len() * 2).map(NpMention::from_dense)
+    }
+
+    /// All RP mentions (1 per triple), in dense order.
+    pub fn rp_mentions(&self) -> impl Iterator<Item = RpMention> + '_ {
+        (0..self.triples.len()).map(|i| RpMention(TripleId(i as u32)))
+    }
+
+    /// Number of NP mentions.
+    pub fn num_np_mentions(&self) -> usize {
+        self.triples.len() * 2
+    }
+
+    /// Number of RP mentions.
+    pub fn num_rp_mentions(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// The attribute set of an NP mention for the Attribute Overlap
+    /// baseline: its `(relation phrase, other NP)` pair as one string.
+    pub fn np_attribute(&self, m: NpMention) -> String {
+        let t = self.triple(m.triple);
+        match m.slot {
+            NpSlot::Subject => format!("{}|{}", t.predicate, t.object),
+            NpSlot::Object => format!("{}|{}", t.predicate, t.subject),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_okb() -> Okb {
+        // The three triples of Figure 1(a).
+        let mut okb = Okb::new();
+        okb.add_triple(Triple::new("University of Maryland", "locate in", "Maryland"));
+        okb.add_triple(Triple::new("UMD", "be a member of", "Universitas 21"));
+        okb.add_triple(Triple::new(
+            "University of Virginia",
+            "be an early member of",
+            "U21",
+        ));
+        okb
+    }
+
+    #[test]
+    fn mention_addressing() {
+        let okb = paper_okb();
+        assert_eq!(okb.num_np_mentions(), 6);
+        assert_eq!(okb.num_rp_mentions(), 3);
+        let s2 = NpMention { triple: TripleId(1), slot: NpSlot::Subject };
+        assert_eq!(okb.np_phrase(s2), "UMD");
+        let o3 = NpMention { triple: TripleId(2), slot: NpSlot::Object };
+        assert_eq!(okb.np_phrase(o3), "U21");
+        assert_eq!(okb.rp_phrase(RpMention(TripleId(2))), "be an early member of");
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        for i in 0..10 {
+            assert_eq!(NpMention::from_dense(i).dense(), i);
+        }
+    }
+
+    #[test]
+    fn np_mentions_enumerate_in_dense_order() {
+        let okb = paper_okb();
+        let mentions: Vec<NpMention> = okb.np_mentions().collect();
+        assert_eq!(mentions.len(), 6);
+        for (i, m) in mentions.iter().enumerate() {
+            assert_eq!(m.dense(), i);
+        }
+    }
+
+    #[test]
+    fn attributes_pair_rp_with_other_np() {
+        let okb = paper_okb();
+        let s1 = NpMention { triple: TripleId(0), slot: NpSlot::Subject };
+        assert_eq!(okb.np_attribute(s1), "locate in|Maryland");
+        let o1 = NpMention { triple: TripleId(0), slot: NpSlot::Object };
+        assert_eq!(okb.np_attribute(o1), "locate in|University of Maryland");
+    }
+
+    #[test]
+    fn side_info_storage() {
+        let mut okb = Okb::new();
+        let si = SideInfo {
+            subject_candidates: vec![EntityId(3)],
+            object_candidates: vec![],
+            domain: "education".into(),
+        };
+        let t = okb.add_triple_with_side_info(
+            Triple::new("UMD", "be a member of", "U21"),
+            si.clone(),
+        );
+        assert_eq!(okb.side_info(t), Some(&si));
+        let t2 = okb.add_triple(Triple::new("a", "b", "c"));
+        assert_eq!(okb.side_info(t2), None);
+    }
+
+    #[test]
+    fn empty_okb() {
+        let okb = Okb::new();
+        assert!(okb.is_empty());
+        assert_eq!(okb.np_mentions().count(), 0);
+        assert_eq!(okb.rp_mentions().count(), 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! AMIE-style Horn-rule mining between relation phrases.
+//!
+//! Paper §3.1.4:
+//!
+//! > "We take morphological normalized OIE triples as the input of AMIE,
+//! > and the output of AMIE is a set of implication rules between two RPs
+//! > p_i and p_j (e.g., p_i ⇒ p_j) based on statistical rule mining. If
+//! > both p_i ⇒ p_j and p_j ⇒ p_i satisfy support and confidence
+//! > thresholds, we consider two RPs have the same semantic meaning."
+//!
+//! For the two-atom rules used here, a rule `p_i(x, y) ⇒ p_j(x, y)` has
+//!
+//! * **support** = |{(x,y) : p_i(x,y) ∧ p_j(x,y)}| — how many NP pairs
+//!   witness the implication;
+//! * **confidence** = support / |{(x,y) : p_i(x,y)}| — the PCA-free
+//!   standard confidence over the premise's instantiations.
+//!
+//! NP arguments are compared by morphological normal form, so "Rome" and
+//! "rome" (or "the Romans" / "roman") instantiate the same variable.
+
+use jocl_kb::Okb;
+use jocl_text::fx::FxHashMap;
+use jocl_text::normalize::{morph_normalize, morph_normalize_rp};
+
+/// Thresholds for rule acceptance.
+#[derive(Debug, Clone, Copy)]
+pub struct AmieOptions {
+    /// Minimum number of shared NP-pair instantiations.
+    pub min_support: usize,
+    /// Minimum confidence in *each* direction.
+    pub min_confidence: f64,
+}
+
+impl Default for AmieOptions {
+    fn default() -> Self {
+        Self { min_support: 2, min_confidence: 0.5 }
+    }
+}
+
+/// One mined implication rule (premise ⇒ conclusion over normalized RPs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Normalized premise RP.
+    pub premise: String,
+    /// Normalized conclusion RP.
+    pub conclusion: String,
+    /// Shared instantiation count.
+    pub support: usize,
+    /// support / |premise instantiations|.
+    pub confidence: f64,
+}
+
+/// The mined rule set with an equivalence view for `Sim_AMIE`.
+#[derive(Debug, Clone, Default)]
+pub struct AmieRules {
+    rules: Vec<Rule>,
+    /// Normalized RP pairs (a ≤ b lexicographically) that are mutually
+    /// implied above thresholds.
+    equivalent: std::collections::HashSet<(String, String)>,
+}
+
+impl AmieRules {
+    /// All mined directed rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of equivalent (undirected) RP pairs.
+    pub fn num_equivalences(&self) -> usize {
+        self.equivalent.len()
+    }
+
+    /// `Sim_AMIE` over raw RP strings: 1.0 iff their normal forms are
+    /// mutually implied (or identical).
+    pub fn sim(&self, rp_a: &str, rp_b: &str) -> f64 {
+        let a = morph_normalize_rp(rp_a);
+        let b = morph_normalize_rp(rp_b);
+        if a == b {
+            return 1.0;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if self.equivalent.contains(&key) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Mine rules over an OKB (paper: "morphological normalized OIE triples").
+pub fn mine(okb: &Okb, opts: AmieOptions) -> AmieRules {
+    // Normalized RP -> set of normalized (subject, object) instantiations.
+    let mut instantiations: FxHashMap<String, Vec<(String, String)>> = FxHashMap::default();
+    for (_, t) in okb.triples() {
+        let rp = morph_normalize_rp(&t.predicate);
+        let pair = (morph_normalize(&t.subject), morph_normalize(&t.object));
+        instantiations.entry(rp).or_default().push(pair);
+    }
+    // Deduplicate instantiations per RP (facts repeated in the OKB should
+    // not inflate support).
+    let mut rp_pairs: Vec<(String, std::collections::HashSet<(String, String)>)> =
+        instantiations
+            .into_iter()
+            .map(|(rp, pairs)| (rp, pairs.into_iter().collect()))
+            .collect();
+    rp_pairs.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Inverted index: NP pair -> RP indexes, to avoid the quadratic scan.
+    let mut by_pair: FxHashMap<&(String, String), Vec<usize>> = FxHashMap::default();
+    for (i, (_, pairs)) in rp_pairs.iter().enumerate() {
+        for pair in pairs {
+            by_pair.entry(pair).or_default().push(i);
+        }
+    }
+    // Co-occurrence counts between RPs sharing at least one NP pair.
+    let mut joint: FxHashMap<(usize, usize), usize> = FxHashMap::default();
+    for rps in by_pair.values() {
+        for (ai, &a) in rps.iter().enumerate() {
+            for &b in &rps[ai + 1..] {
+                *joint.entry((a.min(b), a.max(b))).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut out = AmieRules::default();
+    for ((a, b), support) in joint {
+        if support < opts.min_support {
+            continue;
+        }
+        let conf_ab = support as f64 / rp_pairs[a].1.len() as f64;
+        let conf_ba = support as f64 / rp_pairs[b].1.len() as f64;
+        if conf_ab >= opts.min_confidence {
+            out.rules.push(Rule {
+                premise: rp_pairs[a].0.clone(),
+                conclusion: rp_pairs[b].0.clone(),
+                support,
+                confidence: conf_ab,
+            });
+        }
+        if conf_ba >= opts.min_confidence {
+            out.rules.push(Rule {
+                premise: rp_pairs[b].0.clone(),
+                conclusion: rp_pairs[a].0.clone(),
+                support,
+                confidence: conf_ba,
+            });
+        }
+        if conf_ab >= opts.min_confidence && conf_ba >= opts.min_confidence {
+            let (x, y) = (rp_pairs[a].0.clone(), rp_pairs[b].0.clone());
+            let key = if x <= y { (x, y) } else { (y, x) };
+            out.equivalent.insert(key);
+        }
+    }
+    out.rules.sort_by(|r, s| {
+        (&r.premise, &r.conclusion).cmp(&(&s.premise, &s.conclusion))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocl_kb::Triple;
+
+    /// Build an OKB where two RPs share most NP pairs.
+    fn paraphrase_okb() -> Okb {
+        let mut okb = Okb::new();
+        let pairs = [
+            ("rome", "italy"),
+            ("paris", "france"),
+            ("berlin", "germany"),
+            ("madrid", "spain"),
+        ];
+        for (s, o) in pairs {
+            okb.add_triple(Triple::new(s, "is the capital of", o));
+            okb.add_triple(Triple::new(s, "is the capital city of", o));
+        }
+        // A third RP with disjoint instantiations.
+        okb.add_triple(Triple::new("london", "is bigger than", "oxford"));
+        okb
+    }
+
+    #[test]
+    fn mutual_implication_detected() {
+        let okb = paraphrase_okb();
+        let rules = mine(&okb, AmieOptions::default());
+        // The paper's example: Sim_AMIE("is the capital of",
+        // "is the capital city of") = 1.
+        assert_eq!(rules.sim("is the capital of", "is the capital city of"), 1.0);
+        assert_eq!(rules.sim("is the capital of", "is bigger than"), 0.0);
+    }
+
+    #[test]
+    fn identical_normal_forms_are_equivalent_without_rules() {
+        let rules = AmieRules::default();
+        assert_eq!(rules.sim("was a member of", "is a member of"), 1.0);
+    }
+
+    #[test]
+    fn support_threshold_filters() {
+        let mut okb = Okb::new();
+        okb.add_triple(Triple::new("a", "p", "b"));
+        okb.add_triple(Triple::new("a", "q", "b"));
+        // Only one shared pair: below min_support = 2.
+        let rules = mine(&okb, AmieOptions::default());
+        assert_eq!(rules.sim("p", "q"), 0.0);
+        // Lowering the threshold accepts it.
+        let rules = mine(&okb, AmieOptions { min_support: 1, ..Default::default() });
+        assert_eq!(rules.sim("p", "q"), 1.0);
+    }
+
+    #[test]
+    fn confidence_is_directional() {
+        let mut okb = Okb::new();
+        // q holds for many pairs; p only for two of them. p ⇒ q has
+        // confidence 1.0, q ⇒ p has confidence 2/6 < 0.5.
+        for i in 0..6 {
+            okb.add_triple(Triple::new(&format!("s{i}"), "q", &format!("o{i}")));
+        }
+        okb.add_triple(Triple::new("s0", "p", "o0"));
+        okb.add_triple(Triple::new("s1", "p", "o1"));
+        let rules = mine(&okb, AmieOptions::default());
+        // Not mutually implied → not equivalent.
+        assert_eq!(rules.sim("p", "q"), 0.0);
+        // But the directed rule p ⇒ q exists with confidence 1.
+        let rule = rules
+            .rules()
+            .iter()
+            .find(|r| r.premise == "p" && r.conclusion == "q")
+            .expect("directed rule should be mined");
+        assert!((rule.confidence - 1.0).abs() < 1e-12);
+        assert_eq!(rule.support, 2);
+        assert!(!rules.rules().iter().any(|r| r.premise == "q" && r.conclusion == "p"));
+    }
+
+    #[test]
+    fn duplicate_triples_do_not_inflate_support() {
+        let mut okb = Okb::new();
+        for _ in 0..5 {
+            okb.add_triple(Triple::new("a", "p", "b"));
+            okb.add_triple(Triple::new("a", "q", "b"));
+        }
+        let rules = mine(&okb, AmieOptions::default());
+        // Still just one distinct instantiation.
+        assert_eq!(rules.sim("p", "q"), 0.0);
+    }
+
+    #[test]
+    fn argument_normalization_merges_variants() {
+        let mut okb = Okb::new();
+        okb.add_triple(Triple::new("Rome", "is the capital of", "Italy"));
+        okb.add_triple(Triple::new("rome", "is capital of", "italy"));
+        okb.add_triple(Triple::new("Paris", "is the capital of", "France"));
+        okb.add_triple(Triple::new("the Paris", "is capital of", "france"));
+        let rules = mine(&okb, AmieOptions::default());
+        assert_eq!(rules.sim("is the capital of", "is capital of"), 1.0);
+    }
+
+    #[test]
+    fn empty_okb_mines_nothing() {
+        let rules = mine(&Okb::new(), AmieOptions::default());
+        assert!(rules.rules().is_empty());
+        assert_eq!(rules.num_equivalences(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Stanford-KBP-style relation categorization.
+//!
+//! Paper §3.1.4:
+//!
+//! > "Stanford Knowledge Base Population (KBP) system can link a RP to a
+//! > relation in a CKB. If the relations of two RPs fall in the same
+//! > category, these two RPs are considered as equivalent."
+//!
+//! The original is a pattern-based slot-filling system; this substrate
+//! keeps the same interface: patterns (normalized token sets derived from
+//! the CKB's relation surface forms) vote for a relation **category**, and
+//! `Sim_KBP(p_i, p_j) = 1` iff both RPs are categorized into the same
+//! category.
+
+use jocl_kb::Ckb;
+use jocl_text::fx::FxHashSet;
+use jocl_text::normalize::morph_normalize_rp;
+use jocl_text::tokenize::tokenize_normed;
+
+/// One pattern: a normalized token set plus the category it indicates.
+#[derive(Debug, Clone)]
+struct Pattern {
+    tokens: FxHashSet<String>,
+    category: String,
+}
+
+/// Pattern-based relation-phrase categorizer.
+#[derive(Debug, Clone, Default)]
+pub struct KbpCategorizer {
+    patterns: Vec<Pattern>,
+    /// Minimum token-Jaccard between an RP and a pattern to accept.
+    threshold: f64,
+}
+
+impl KbpCategorizer {
+    /// Build from a CKB: every relation surface form becomes a pattern for
+    /// the relation's category.
+    pub fn from_ckb(ckb: &Ckb) -> Self {
+        let mut me = Self { patterns: Vec::new(), threshold: 0.5 };
+        for (_, rel) in ckb.relations() {
+            for sf in &rel.surface_forms {
+                me.add_pattern(sf, &rel.category);
+            }
+        }
+        me
+    }
+
+    /// Add one surface-form pattern mapping to `category`.
+    pub fn add_pattern(&mut self, surface_form: &str, category: &str) {
+        let normed = morph_normalize_rp(surface_form);
+        let tokens: FxHashSet<String> =
+            tokenize_normed(&normed).map(str::to_string).collect();
+        if tokens.is_empty() {
+            return;
+        }
+        self.patterns.push(Pattern { tokens, category: category.to_string() });
+    }
+
+    /// Override the acceptance threshold (default 0.5).
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Categorize an RP: the category of the best-matching pattern, if its
+    /// token Jaccard reaches the threshold.
+    pub fn categorize(&self, rp: &str) -> Option<&str> {
+        let normed = morph_normalize_rp(rp);
+        let tokens: FxHashSet<String> =
+            tokenize_normed(&normed).map(str::to_string).collect();
+        if tokens.is_empty() {
+            return None;
+        }
+        let mut best: Option<(f64, &str)> = None;
+        for p in &self.patterns {
+            let inter = p.tokens.intersection(&tokens).count();
+            if inter == 0 {
+                continue;
+            }
+            let union = p.tokens.len() + tokens.len() - inter;
+            let j = inter as f64 / union as f64;
+            let better = match best {
+                None => true,
+                Some((bj, bc)) => {
+                    j > bj || (j == bj && p.category.as_str() < bc)
+                }
+            };
+            if better {
+                best = Some((j, &p.category));
+            }
+        }
+        best.and_then(|(j, c)| (j >= self.threshold).then_some(c))
+    }
+
+    /// `Sim_KBP`: 1.0 iff both RPs are categorized and agree.
+    pub fn sim(&self, rp_a: &str, rp_b: &str) -> f64 {
+        match (self.categorize(rp_a), self.categorize(rp_b)) {
+            (Some(a), Some(b)) if a == b => 1.0,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of patterns.
+    pub fn num_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jocl_kb::CkbRelation;
+
+    fn categorizer() -> KbpCategorizer {
+        let mut c = KbpCategorizer::default().with_threshold(0.5);
+        c.add_pattern("work at", "employment");
+        c.add_pattern("work for", "employment");
+        c.add_pattern("be employed by", "employment");
+        c.add_pattern("be located in", "location");
+        c.add_pattern("be the capital of", "location");
+        c
+    }
+
+    #[test]
+    fn paper_example_working_at() {
+        // §3.1.4: Sim_KBP("was working at", "worked for") = 1.
+        let c = categorizer();
+        assert_eq!(c.sim("was working at", "worked for"), 1.0);
+    }
+
+    #[test]
+    fn cross_category_is_zero() {
+        let c = categorizer();
+        assert_eq!(c.sim("was working at", "is located in"), 0.0);
+    }
+
+    #[test]
+    fn uncategorizable_is_zero() {
+        let c = categorizer();
+        assert!(c.categorize("completely unrelated phrase").is_none());
+        assert_eq!(c.sim("zzz", "was working at"), 0.0);
+    }
+
+    #[test]
+    fn from_ckb_builds_patterns() {
+        let mut ckb = Ckb::new();
+        ckb.add_relation(CkbRelation {
+            name: "people.employment".into(),
+            surface_forms: vec!["work at".into(), "work for".into()],
+            category: "employment".into(),
+        });
+        let c = KbpCategorizer::from_ckb(&ckb);
+        assert_eq!(c.num_patterns(), 2);
+        assert_eq!(c.categorize("worked at"), Some("employment"));
+    }
+
+    #[test]
+    fn threshold_controls_acceptance() {
+        let mut strict = KbpCategorizer::default().with_threshold(1.0);
+        strict.add_pattern("be the capital of", "location");
+        // Partial overlap is rejected at threshold 1.0 …
+        assert!(strict.categorize("be the capital city of").is_none());
+        // … but accepted at 0.5.
+        let lax = categorizer();
+        assert_eq!(lax.categorize("be the capital city of"), Some("location"));
+    }
+
+    #[test]
+    fn empty_rp_is_uncategorizable() {
+        let c = categorizer();
+        assert!(c.categorize("").is_none());
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut c = KbpCategorizer::default().with_threshold(0.1);
+        c.add_pattern("lead", "b-cat");
+        c.add_pattern("lead", "a-cat");
+        // Equal Jaccard: lexicographically smaller category wins.
+        assert_eq!(c.categorize("leads"), Some("a-cat"));
+    }
+}

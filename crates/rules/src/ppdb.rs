@@ -1,0 +1,155 @@
+//! PPDB-style paraphrase store.
+//!
+//! Paper §3.1.3:
+//!
+//! > "PPDB 2.0 is a large collection of paraphrases in English. All the
+//! > equivalent phrases are clustered into a group and each group is
+//! > randomly assigned a representative. If two NPs have the same cluster
+//! > representative according to the index, they are considered to be
+//! > equivalent."
+//!
+//! Phrases are keyed by lowercase form. The same structure also backs the
+//! PATTY-style relation synsets used by the RP canonicalization baseline.
+
+use jocl_text::fx::FxHashMap;
+
+/// A paraphrase database: phrase → cluster representative.
+#[derive(Debug, Clone, Default)]
+pub struct ParaphraseStore {
+    representative: FxHashMap<String, u32>,
+    num_groups: u32,
+}
+
+impl ParaphraseStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from equivalence groups. Later groups do not override earlier
+    /// memberships (first assignment wins, mirroring a static resource).
+    pub fn from_groups<I, G, S>(groups: I) -> Self
+    where
+        I: IntoIterator<Item = G>,
+        G: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut store = Self::new();
+        for group in groups {
+            store.add_group(group);
+        }
+        store
+    }
+
+    /// Add one equivalence group; returns its id.
+    pub fn add_group<G, S>(&mut self, phrases: G) -> u32
+    where
+        G: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let id = self.num_groups;
+        let mut inserted = false;
+        for p in phrases {
+            let key = p.as_ref().to_lowercase();
+            if !self.representative.contains_key(&key) {
+                self.representative.insert(key, id);
+                inserted = true;
+            }
+        }
+        if inserted {
+            self.num_groups += 1;
+        }
+        id
+    }
+
+    /// The representative (group id) of a phrase, if known.
+    pub fn representative(&self, phrase: &str) -> Option<u32> {
+        self.representative.get(&phrase.to_lowercase()).copied()
+    }
+
+    /// `Sim_PPDB(a, b)`: 1.0 iff both phrases are known and share a
+    /// representative (identical strings are trivially equivalent).
+    pub fn sim(&self, a: &str, b: &str) -> f64 {
+        let (la, lb) = (a.to_lowercase(), b.to_lowercase());
+        if la == lb {
+            return 1.0;
+        }
+        match (self.representative.get(&la), self.representative.get(&lb)) {
+            (Some(ra), Some(rb)) if ra == rb => 1.0,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of indexed phrases.
+    pub fn num_phrases(&self) -> usize {
+        self.representative.len()
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.num_groups as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ParaphraseStore {
+        ParaphraseStore::from_groups([
+            vec!["Barack Obama", "President Obama", "Obama"],
+            vec!["United States", "USA", "US"],
+        ])
+    }
+
+    #[test]
+    fn same_group_is_one() {
+        let s = store();
+        assert_eq!(s.sim("Barack Obama", "President Obama"), 1.0);
+        assert_eq!(s.sim("USA", "United States"), 1.0);
+    }
+
+    #[test]
+    fn cross_group_is_zero() {
+        let s = store();
+        assert_eq!(s.sim("Obama", "USA"), 0.0);
+    }
+
+    #[test]
+    fn unknown_phrases_are_zero_unless_identical() {
+        let s = store();
+        assert_eq!(s.sim("unknown phrase", "другое"), 0.0);
+        assert_eq!(s.sim("unknown phrase", "unknown phrase"), 1.0);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let s = store();
+        assert_eq!(s.sim("barack obama", "PRESIDENT OBAMA"), 1.0);
+    }
+
+    #[test]
+    fn first_assignment_wins() {
+        let mut s = ParaphraseStore::new();
+        s.add_group(["a", "b"]);
+        s.add_group(["b", "c"]);
+        // "b" stays in the first group, so a~b but b!~c.
+        assert_eq!(s.sim("a", "b"), 1.0);
+        assert_eq!(s.sim("b", "c"), 0.0);
+    }
+
+    #[test]
+    fn counts() {
+        let s = store();
+        assert_eq!(s.num_groups(), 2);
+        assert_eq!(s.num_phrases(), 6);
+    }
+
+    #[test]
+    fn empty_group_does_not_bump_group_count() {
+        let mut s = ParaphraseStore::new();
+        let empty: [&str; 0] = [];
+        s.add_group(empty);
+        assert_eq!(s.num_groups(), 0);
+    }
+}

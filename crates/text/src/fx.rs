@@ -1,0 +1,135 @@
+//! A fast, non-cryptographic hash (the "Fx" hash used by rustc) together
+//! with `HashMap`/`HashSet` type aliases.
+//!
+//! Hashing is hot in every stage of the JOCL pipeline (token indexes,
+//! candidate lookup, pair blocking), and the Rust performance guide
+//! recommends swapping SipHash for a cheap multiplicative hash when HashDoS
+//! is not a concern. The external `rustc-hash` crate is not part of the
+//! approved offline dependency set, so the ~20-line algorithm is
+//! reimplemented here.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit variant of the Fx multiplicative hash.
+///
+/// The update rule is `hash = (hash rotl 5 ^ word) * SEED` applied to
+/// 8-byte chunks (then any 1-byte tail), identical to rustc's `FxHasher`.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Multiplicative constant: `2^64 / golden_ratio`, the same constant used
+/// by rustc's FxHasher.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        for &b in chunks.remainder() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the Fx hash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the Fx hash.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_of(&"open knowledge"), hash_of(&"open knowledge"));
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_of(&"np"), hash_of(&"rp"));
+        assert_ne!(hash_of(&1u32), hash_of(&2u32));
+    }
+
+    #[test]
+    fn map_basic_ops() {
+        let mut m: FxHashMap<&str, usize> = FxHashMap::default();
+        m.insert("university of maryland", 1);
+        m.insert("umd", 2);
+        assert_eq!(m.get("umd"), Some(&2));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_hash_is_stable() {
+        let h1 = FxHasher::default().finish();
+        let h2 = FxHasher::default().finish();
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn tail_bytes_affect_hash() {
+        // 9 bytes: one 8-byte chunk + a 1-byte tail.
+        let mut a = FxHasher::default();
+        a.write(b"abcdefghi");
+        let mut b = FxHasher::default();
+        b.write(b"abcdefghj");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,146 @@
+//! String interning.
+//!
+//! Phrases and words are compared, hashed and stored billions of times in
+//! the JOCL pipeline (pair blocking alone is quadratic in the number of
+//! noun phrases before pruning). Interning turns every string into a
+//! 4-byte [`Sym`] so hot paths operate on integers, as recommended by the
+//! Rust performance guide ("smaller integers" / avoiding repeated
+//! allocation).
+
+use crate::fx::FxHashMap;
+
+/// A symbol: an index into an [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(pub u32);
+
+impl Sym {
+    /// Index form for slice access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only string interner.
+///
+/// Strings are stored once; [`Interner::intern`] returns a stable [`Sym`]
+/// and [`Interner::resolve`] maps back. Lookup is via an Fx-hashed map.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, Sym>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an interner with capacity for `n` distinct strings.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            map: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+            strings: Vec::with_capacity(n),
+        }
+    }
+
+    /// Intern `s`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Sym(u32::try_from(self.strings.len()).expect("interner overflow"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Look up an already-interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolve a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.idx()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate over `(Sym, &str)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("university of maryland");
+        let b = i.intern("university of maryland");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_syms() {
+        let mut i = Interner::new();
+        let a = i.intern("umd");
+        let b = i.intern("u21");
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "umd");
+        assert_eq!(i.resolve(b), "u21");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert!(i.get("absent").is_none());
+        i.intern("present");
+        assert!(i.get("present").is_some());
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let mut i = Interner::new();
+        let syms: Vec<Sym> = ["a", "b", "c"].iter().map(|s| i.intern(s)).collect();
+        let collected: Vec<(Sym, String)> =
+            i.iter().map(|(s, t)| (s, t.to_string())).collect();
+        assert_eq!(
+            collected,
+            vec![
+                (syms[0], "a".to_string()),
+                (syms[1], "b".to_string()),
+                (syms[2], "c".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

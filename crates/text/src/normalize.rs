@@ -1,0 +1,154 @@
+//! Morphological normalization of phrases.
+//!
+//! This is the normal form used by
+//! * the **Morph Norm** baseline (Fader et al. 2011): phrases with the same
+//!   normal form are grouped;
+//! * the **AMIE** rule miner, whose input is "morphological normalized OIE
+//!   triples" (paper §3.1.4);
+//! * the RP gold-labeling protocol (paper §4.2.2: two RPs are the same "after
+//!   removing tense, pluralization, auxiliary verb, determiner, and
+//!   modifier").
+
+use crate::stem::porter;
+use crate::stopwords;
+use crate::tokenize::tokenize;
+
+/// Options controlling [`morph_normalize_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct NormOptions {
+    /// Strip determiners ("the", "a", ...).
+    pub strip_determiners: bool,
+    /// Strip auxiliary verbs ("be", "was", ...). Only sensible for RPs.
+    pub strip_auxiliaries: bool,
+    /// Strip adverbial modifiers ("early", "former", ...).
+    pub strip_modifiers: bool,
+    /// Apply the Porter stemmer to every remaining token.
+    pub stem: bool,
+}
+
+impl NormOptions {
+    /// Normalization for noun phrases: keep auxiliaries (NPs rarely have
+    /// them), strip determiners, stem.
+    pub fn noun_phrase() -> Self {
+        Self {
+            strip_determiners: true,
+            strip_auxiliaries: false,
+            strip_modifiers: false,
+            stem: true,
+        }
+    }
+
+    /// Normalization for relation phrases: strip determiners, auxiliaries
+    /// and modifiers, stem — the full §4.2.2 recipe.
+    pub fn relation_phrase() -> Self {
+        Self {
+            strip_determiners: true,
+            strip_auxiliaries: true,
+            strip_modifiers: true,
+            stem: true,
+        }
+    }
+}
+
+/// Normalize a phrase with explicit options. Returns a single-space-joined
+/// lowercase string of (optionally stemmed) content tokens. If stripping
+/// removes every token, the unstripped stemmed form is returned instead so
+/// that phrases like "the the" still map to something non-empty.
+pub fn morph_normalize_with(phrase: &str, opts: NormOptions) -> String {
+    let tokens = tokenize(phrase);
+    let kept: Vec<&String> = tokens
+        .iter()
+        .filter(|t| {
+            !(opts.strip_determiners && stopwords::is_determiner(t)
+                || opts.strip_auxiliaries && stopwords::is_auxiliary(t)
+                || opts.strip_modifiers && stopwords::is_modifier(t))
+        })
+        .collect();
+    let source: Vec<&String> = if kept.is_empty() { tokens.iter().collect() } else { kept };
+    let mut out = String::new();
+    for (i, tok) in source.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        if opts.stem {
+            out.push_str(&porter(tok));
+        } else {
+            out.push_str(tok);
+        }
+    }
+    out
+}
+
+/// Normalize a noun phrase with the default NP options.
+///
+/// ```
+/// use jocl_text::morph_normalize;
+/// assert_eq!(morph_normalize("the Universities of Maryland"),
+///            morph_normalize("University of Maryland"));
+/// ```
+pub fn morph_normalize(phrase: &str) -> String {
+    morph_normalize_with(phrase, NormOptions::noun_phrase())
+}
+
+/// Normalize a relation phrase with the full §4.2.2 recipe.
+///
+/// ```
+/// use jocl_text::normalize::morph_normalize_rp;
+/// assert_eq!(morph_normalize_rp("be a member of"),
+///            morph_normalize_rp("was an early member of"));
+/// ```
+pub fn morph_normalize_rp(phrase: &str) -> String {
+    morph_normalize_with(phrase, NormOptions::relation_phrase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn np_plural_and_determiner() {
+        assert_eq!(morph_normalize("the members"), morph_normalize("member"));
+    }
+
+    #[test]
+    fn rp_paper_example() {
+        // Figure 1(a): "be a member of" vs "be an early member of".
+        assert_eq!(
+            morph_normalize_rp("be a member of"),
+            morph_normalize_rp("be an early member of")
+        );
+    }
+
+    #[test]
+    fn rp_tense() {
+        assert_eq!(
+            morph_normalize_rp("was working at"),
+            morph_normalize_rp("is working at")
+        );
+    }
+
+    #[test]
+    fn all_stripped_falls_back() {
+        let n = morph_normalize_rp("is the");
+        assert!(!n.is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(morph_normalize(""), "");
+    }
+
+    #[test]
+    fn distinct_relations_stay_distinct() {
+        assert_ne!(
+            morph_normalize_rp("be located in"),
+            morph_normalize_rp("be a member of")
+        );
+    }
+
+    #[test]
+    fn no_stem_option() {
+        let opts = NormOptions { stem: false, ..NormOptions::noun_phrase() };
+        assert_eq!(morph_normalize_with("the Cats", opts), "cats");
+    }
+}

@@ -1,0 +1,68 @@
+//! Generic Jaccard similarity over hashable item sets.
+//!
+//! Used by the Attribute Overlap baseline (paper §4.2.1: "the Jaccard
+//! similarity of attributes between two NPs").
+
+use std::collections::HashSet;
+use std::hash::{BuildHasher, Hash};
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|`. Two empty sets are identical (1).
+pub fn jaccard<T: Eq + Hash, S: BuildHasher>(a: &HashSet<T, S>, b: &HashSet<T, S>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // Iterate the smaller set for the intersection count.
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let inter = small.iter().filter(|x| large.contains(*x)).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Jaccard similarity over slices (items deduplicated first).
+pub fn jaccard_slices<T: Eq + Hash + Clone>(a: &[T], b: &[T]) -> f64 {
+    let sa: HashSet<T> = a.iter().cloned().collect();
+    let sb: HashSet<T> = b.iter().cloned().collect();
+    jaccard(&sa, &sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        assert_eq!(jaccard_slices(&[1, 2, 3], &[2, 3, 4]), 0.5);
+        assert_eq!(jaccard_slices(&[1], &[1]), 1.0);
+        assert_eq!(jaccard_slices(&[1], &[2]), 0.0);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let e: [u32; 0] = [];
+        assert_eq!(jaccard_slices(&e, &e), 1.0);
+        assert_eq!(jaccard_slices(&e, &[1]), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_set_semantics() {
+        assert_eq!(jaccard_slices(&[1, 1, 2], &[1, 2, 2]), 1.0);
+    }
+
+    #[test]
+    fn string_attributes() {
+        let a = ["locate in|maryland", "member of|u21"];
+        let b = ["member of|u21", "found in|1856"];
+        let s = jaccard_slices(&a, &b);
+        assert!((s - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [1, 2, 3, 4];
+        let b = [3, 4, 5];
+        assert_eq!(jaccard_slices(&a, &b), jaccard_slices(&b, &a));
+    }
+}

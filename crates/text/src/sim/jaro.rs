@@ -1,0 +1,123 @@
+//! Jaro and Jaro-Winkler similarity.
+//!
+//! The Text Similarity baseline of Galárraga et al. (paper §4.2.1) scores
+//! NP pairs with Jaro-Winkler [Winkler 1999] and clusters with HAC.
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut matches = 0usize;
+    let mut a_match_chars: Vec<char> = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == *ca {
+                b_matched[j] = true;
+                a_match_chars.push(*ca);
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions: compare matched sequences in order.
+    let b_match_chars: Vec<char> = b
+        .iter()
+        .zip(b_matched.iter())
+        .filter(|(_, &m)| m)
+        .map(|(c, _)| *c)
+        .collect();
+    let transpositions = a_match_chars
+        .iter()
+        .zip(b_match_chars.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = matches as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by a common-prefix bonus of up to
+/// 4 characters with scaling factor `p = 0.1` (the standard constants).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * 0.1 * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn textbook_jaro() {
+        // Classic record-linkage examples.
+        assert!(close(jaro("martha", "marhta"), 0.944));
+        assert!(close(jaro("dixon", "dicksonx"), 0.767));
+        assert!(close(jaro("jellyfish", "smellyfish"), 0.896));
+    }
+
+    #[test]
+    fn textbook_jaro_winkler() {
+        assert!(close(jaro_winkler("martha", "marhta"), 0.961));
+        assert!(close(jaro_winkler("dixon", "dicksonx"), 0.813));
+    }
+
+    #[test]
+    fn identity_and_disjoint() {
+        assert_eq!(jaro("same", "same"), 1.0);
+        assert_eq!(jaro_winkler("same", "same"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn empty_strings() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("", "abc"), 0.0);
+        assert_eq!(jaro("abc", ""), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let ab = jaro_winkler("university of maryland", "university of virginia");
+        let ba = jaro_winkler("university of virginia", "university of maryland");
+        assert!(close(ab, ba));
+    }
+
+    #[test]
+    fn winkler_at_least_jaro() {
+        for (a, b) in [("martha", "marhta"), ("abcdef", "abcxyz"), ("ab", "ba")] {
+            assert!(jaro_winkler(a, b) >= jaro(a, b) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn bounds() {
+        for (a, b) in [("a", "ab"), ("umd", "university of maryland"), ("x", "x")] {
+            let s = jaro_winkler(a, b);
+            assert!((0.0..=1.0).contains(&s), "jw({a},{b}) = {s}");
+        }
+    }
+}

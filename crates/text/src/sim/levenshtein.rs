@@ -1,0 +1,88 @@
+//! Levenshtein edit distance and its normalized similarity (paper §3.2.4).
+//!
+//! > "LD can calculate the number of deletions, insertions, or
+//! > substitutions required to transform a string into another string ...
+//! > We normalize LD to a range from 0 to 1."
+
+/// Raw Levenshtein distance between `a` and `b` (unit costs), computed with
+/// the classic two-row dynamic program over `char`s.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur: Vec<usize> = vec![0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 - LD(a,b) / max(|a|,|b|)`,
+/// in `[0, 1]`; two empty strings are defined to be identical (1).
+pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max = la.max(lb);
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_cases() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        for (a, b) in [("abc", "xyz"), ("a", ""), ("same", "same"), ("", "")] {
+            let s = levenshtein_sim(a, b);
+            assert!((0.0..=1.0).contains(&s), "sim({a},{b}) = {s}");
+        }
+    }
+
+    #[test]
+    fn identical_is_one_disjoint_is_zero() {
+        assert_eq!(levenshtein_sim("member of", "member of"), 1.0);
+        assert_eq!(levenshtein_sim("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let ab = levenshtein_sim("is the capital of", "is the capital city of");
+        let ba = levenshtein_sim("is the capital city of", "is the capital of");
+        assert!((ab - ba).abs() < 1e-12);
+        assert!(ab > 0.7, "paraphrase pair should be close: {ab}");
+    }
+
+    #[test]
+    fn triangle_inequality_on_distance() {
+        let (a, b, c) = ("locate in", "located in", "living in");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+}

@@ -1,0 +1,24 @@
+//! String similarity kernels.
+//!
+//! Every kernel returns a similarity in `[0, 1]` (1 = identical). These are
+//! the lexical feature functions of the paper:
+//!
+//! | kernel | paper use |
+//! |---|---|
+//! | [`idf::IdfIndex::sim`] | `Sim_idf` — NP/RP canonicalization signal (§3.1.3) and the blocking threshold (§4.1) |
+//! | [`ngram::ngram_jaccard`] | `f_ngram` — relation linking signal (§3.2.4) |
+//! | [`levenshtein::levenshtein_sim`] | `f_LD` — relation linking signal (§3.2.4) |
+//! | [`jaro::jaro_winkler`] | Text Similarity baseline (§4.2.1) |
+//! | [`jaccard::jaccard`] | Attribute Overlap baseline (§4.2.1) |
+
+pub mod idf;
+pub mod jaccard;
+pub mod jaro;
+pub mod levenshtein;
+pub mod ngram;
+
+pub use idf::IdfIndex;
+pub use jaccard::{jaccard, jaccard_slices};
+pub use jaro::{jaro, jaro_winkler};
+pub use levenshtein::{levenshtein, levenshtein_sim};
+pub use ngram::ngram_jaccard;

@@ -1,0 +1,82 @@
+//! Character n-gram Jaccard similarity (paper §3.2.4).
+//!
+//! > "Ngram can convert a string into a set of ngrams (i.e., a sequence of
+//! > n characters). The similarity between strings based on ngram could be
+//! > Jaccard similarity between their sets of ngrams."
+
+use crate::fx::FxHashSet;
+use crate::tokenize::char_ngrams;
+
+/// Default gram width, the common trigram choice.
+pub const DEFAULT_N: usize = 3;
+
+/// Jaccard similarity of the character-`n`-gram sets of `a` and `b`.
+/// Two empty strings are identical (1); an empty vs non-empty string is 0.
+pub fn ngram_jaccard_n(a: &str, b: &str, n: usize) -> f64 {
+    let ga: FxHashSet<String> = char_ngrams(a, n).into_iter().collect();
+    let gb: FxHashSet<String> = char_ngrams(b, n).into_iter().collect();
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    if ga.is_empty() || gb.is_empty() {
+        return 0.0;
+    }
+    let inter = ga.intersection(&gb).count();
+    let union = ga.len() + gb.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Trigram Jaccard similarity (the `f_ngram` feature of §3.2.4).
+pub fn ngram_jaccard(a: &str, b: &str) -> f64 {
+    ngram_jaccard_n(a, b, DEFAULT_N)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_one() {
+        assert_eq!(ngram_jaccard("capital of", "capital of"), 1.0);
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        assert_eq!(ngram_jaccard("aaaa", "bbbb"), 0.0);
+    }
+
+    #[test]
+    fn empties() {
+        assert_eq!(ngram_jaccard("", ""), 1.0);
+        assert_eq!(ngram_jaccard("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn paraphrases_score_high() {
+        let s = ngram_jaccard("is the capital of", "is the capital city of");
+        assert!(s > 0.5, "got {s}");
+    }
+
+    #[test]
+    fn symmetry_and_bounds() {
+        let pairs = [("located in", "location"), ("member of", "was member of")];
+        for (a, b) in pairs {
+            let ab = ngram_jaccard(a, b);
+            let ba = ngram_jaccard(b, a);
+            assert!((ab - ba).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&ab));
+        }
+    }
+
+    #[test]
+    fn short_strings_use_whole_string_gram() {
+        assert_eq!(ngram_jaccard_n("ab", "ab", 3), 1.0);
+        assert_eq!(ngram_jaccard_n("ab", "ba", 3), 0.0);
+    }
+
+    #[test]
+    fn bigram_variant() {
+        let s = ngram_jaccard_n("night", "nacht", 2);
+        assert!(s > 0.0 && s < 1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! A compact English stop-word and function-word inventory.
+//!
+//! Used by morphological normalization (strip determiners, auxiliaries and
+//! modifiers — paper §4.2.2 describes RP equivalence "after removing tense,
+//! pluralization, auxiliary verb, determiner, and modifier") and by the
+//! relation-phrase signals.
+
+/// Determiners stripped by morphological normalization.
+pub const DETERMINERS: &[&str] = &[
+    "a", "an", "the", "this", "that", "these", "those", "some", "any", "each", "every", "no",
+    "its", "his", "her", "their", "our", "my", "your",
+];
+
+/// Auxiliary / copular verbs stripped from relation phrases.
+pub const AUXILIARIES: &[&str] = &[
+    "be", "is", "am", "are", "was", "were", "been", "being", "do", "does", "did", "have", "has",
+    "had", "having", "will", "would", "shall", "should", "can", "could", "may", "might", "must",
+    "get", "gets", "got",
+];
+
+/// Common adverbial modifiers stripped from relation phrases ("be an
+/// *early* member of" vs "be a member of").
+pub const MODIFIERS: &[&str] = &[
+    "early", "late", "new", "old", "former", "current", "currently", "recently", "originally",
+    "also", "still", "already", "once", "first", "just", "very", "really", "now", "then",
+    "founding", "longtime",
+];
+
+/// General stop words (union of the above plus prepositions/conjunctions);
+/// used when weighting tokens for embeddings.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "the", "of", "in", "on", "at", "to", "for", "by", "with", "from", "as", "and",
+    "or", "is", "are", "was", "were", "be", "been", "being", "it", "its", "that", "this",
+    "these", "those", "he", "she", "they", "we", "you", "i",
+];
+
+/// Is `w` a determiner?
+pub fn is_determiner(w: &str) -> bool {
+    DETERMINERS.contains(&w)
+}
+
+/// Is `w` an auxiliary verb?
+pub fn is_auxiliary(w: &str) -> bool {
+    AUXILIARIES.contains(&w)
+}
+
+/// Is `w` a strippable modifier?
+pub fn is_modifier(w: &str) -> bool {
+    MODIFIERS.contains(&w)
+}
+
+/// Is `w` a general stop word?
+pub fn is_stopword(w: &str) -> bool {
+    STOPWORDS.contains(&w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_behave() {
+        assert!(is_determiner("the"));
+        assert!(!is_determiner("maryland"));
+        assert!(is_auxiliary("was"));
+        assert!(!is_auxiliary("member"));
+        assert!(is_modifier("early"));
+        assert!(is_stopword("of"));
+        assert!(!is_stopword("buffett"));
+    }
+
+    #[test]
+    fn lists_are_lowercase_and_unique() {
+        for list in [DETERMINERS, AUXILIARIES, MODIFIERS, STOPWORDS] {
+            let mut seen = std::collections::HashSet::new();
+            for w in list {
+                assert_eq!(*w, w.to_lowercase());
+                assert!(seen.insert(*w), "duplicate stop word {w}");
+            }
+        }
+    }
+}

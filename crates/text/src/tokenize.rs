@@ -1,0 +1,109 @@
+//! Word tokenization.
+//!
+//! The paper's signals all operate on the word set `w(·)` of a phrase
+//! (IDF token overlap, embedding averaging, morphological normalization).
+//! We use a deterministic, allocation-conscious tokenizer: lowercase,
+//! split on any non-alphanumeric character, drop empty tokens.
+
+/// Tokenize `s` into lowercase alphanumeric words.
+///
+/// ```
+/// use jocl_text::tokenize;
+/// assert_eq!(tokenize("University of Maryland"), vec!["university", "of", "maryland"]);
+/// assert_eq!(tokenize("be-a-member,of"), vec!["be", "a", "member", "of"]);
+/// assert_eq!(tokenize(""), Vec::<String>::new());
+/// ```
+pub fn tokenize(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Tokenize into borrowed slices when the input is already lowercase ASCII
+/// with single-space separators (the normal form used internally).
+///
+/// Falls back to the same semantics as [`tokenize`] for that restricted
+/// input class but avoids per-token allocation.
+pub fn tokenize_normed(s: &str) -> impl Iterator<Item = &str> {
+    s.split(' ').filter(|t| !t.is_empty())
+}
+
+/// Character n-grams of a string (used by the n-gram similarity signal,
+/// paper §3.2.4). If the string is shorter than `n`, the whole string is
+/// the single gram.
+///
+/// ```
+/// use jocl_text::tokenize::char_ngrams;
+/// assert_eq!(char_ngrams("abcd", 3), vec!["abc".to_string(), "bcd".to_string()]);
+/// assert_eq!(char_ngrams("ab", 3), vec!["ab".to_string()]);
+/// ```
+pub fn char_ngrams(s: &str, n: usize) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    if chars.len() <= n {
+        return vec![chars.iter().collect()];
+    }
+    (0..=chars.len() - n)
+        .map(|i| chars[i..i + n].iter().collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(tokenize("Warren Buffett"), vec!["warren", "buffett"]);
+    }
+
+    #[test]
+    fn punctuation_and_digits() {
+        assert_eq!(tokenize("U.S. Route 66!"), vec!["u", "s", "route", "66"]);
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Überlingen"), vec!["überlingen"]);
+    }
+
+    #[test]
+    fn whitespace_only() {
+        assert!(tokenize("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn tokenize_normed_skips_empties() {
+        let toks: Vec<&str> = tokenize_normed("a  b c").collect();
+        assert_eq!(toks, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ngrams_empty() {
+        assert!(char_ngrams("", 3).is_empty());
+    }
+
+    #[test]
+    fn ngrams_exact_length() {
+        assert_eq!(char_ngrams("abc", 3), vec!["abc".to_string()]);
+    }
+
+    #[test]
+    fn ngrams_count() {
+        assert_eq!(char_ngrams("abcdef", 2).len(), 5);
+    }
+}

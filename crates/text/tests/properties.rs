@@ -1,0 +1,94 @@
+//! Property-based tests for the string-similarity kernels.
+
+use jocl_text::sim::{jaro, jaro_winkler, levenshtein, levenshtein_sim, ngram_jaccard};
+use jocl_text::stem::porter;
+use jocl_text::{morph_normalize, tokenize, IdfIndex};
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-z]{1,12}"
+}
+
+fn phrase() -> impl Strategy<Value = String> {
+    proptest::collection::vec(word(), 1..5).prop_map(|ws| ws.join(" "))
+}
+
+proptest! {
+    #[test]
+    fn levenshtein_symmetric(a in phrase(), b in phrase()) {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn levenshtein_identity(a in phrase()) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein_sim(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn levenshtein_triangle(a in word(), b in word(), c in word()) {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn levenshtein_sim_bounds(a in phrase(), b in phrase()) {
+        let s = levenshtein_sim(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn jaro_bounds_and_symmetry(a in phrase(), b in phrase()) {
+        let j = jaro(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((j - jaro(&b, &a)).abs() < 1e-12);
+        let jw = jaro_winkler(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&jw));
+        prop_assert!(jw >= j - 1e-12, "winkler must not decrease jaro");
+    }
+
+    #[test]
+    fn ngram_bounds_symmetry_identity(a in phrase(), b in phrase()) {
+        let s = ngram_jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((s - ngram_jaccard(&b, &a)).abs() < 1e-12);
+        prop_assert_eq!(ngram_jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn idf_bounds_symmetry_identity(
+        corpus in proptest::collection::vec(phrase(), 1..20),
+        a in phrase(),
+        b in phrase(),
+    ) {
+        let idx = IdfIndex::build(corpus.iter().map(String::as_str));
+        let s = idx.sim(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "sim={s}");
+        prop_assert!((s - idx.sim(&b, &a)).abs() < 1e-12);
+        prop_assert!((idx.sim(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn porter_is_ascii_and_bounded(w in word()) {
+        let s = porter(&w);
+        prop_assert!(s.is_ascii());
+        prop_assert!(s.len() <= w.len() + 1, "{w} -> {s}");
+        prop_assert!(!s.is_empty());
+        // Deterministic.
+        prop_assert_eq!(porter(&w), s);
+    }
+
+    #[test]
+    fn tokenize_roundtrip_is_lowercase(s in "[ a-zA-Z0-9,.-]{0,40}") {
+        for t in tokenize(&s) {
+            prop_assert_eq!(t.clone(), t.to_lowercase());
+            prop_assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn normalize_deterministic_and_single_spaced(p in phrase()) {
+        let n = morph_normalize(&p);
+        prop_assert_eq!(morph_normalize(&p), n.clone());
+        prop_assert!(!n.contains("  "));
+    }
+}

@@ -1,0 +1,56 @@
+//! Ablation lab: exercise JOCL's variant and feature-set switches on one
+//! dataset — the paper's §4.4/§4.5 analyses as a library workflow.
+//!
+//! ```bash
+//! cargo run --release --example ablation_lab
+//! ```
+//!
+//! Also demonstrates the framework's extensibility claim: because every
+//! factor family is a weight group over feature vectors, adding a new
+//! signal is a one-line feature-vector change (see `FeatureSet` docs in
+//! `jocl-core`).
+
+use jocl::core::signals::build_signals;
+use jocl::core::{FeatureSet, Jocl, JoclConfig, JoclInput, Variant};
+use jocl::datagen::reverb45k_like;
+use jocl::embed::SgnsOptions;
+use jocl::eval::clustering::evaluate_clustering;
+
+fn main() {
+    let dataset = reverb45k_like(11, 0.008);
+    let input = JoclInput {
+        okb: &dataset.okb,
+        ckb: &dataset.ckb,
+        ppdb: &dataset.ppdb,
+        corpus: &dataset.corpus,
+    };
+    // Build signals once, reuse across all runs (the expensive part is
+    // SGNS training).
+    let signals = build_signals(
+        &dataset.okb,
+        &dataset.ckb,
+        &dataset.ppdb,
+        &dataset.corpus,
+        &SgnsOptions::default(),
+    );
+    let gold = dataset.gold.np_clustering();
+
+    println!("variant / features -> NP average F1  (triples: {})", dataset.okb.len());
+    for (label, variant, features) in [
+        ("JOCLcano        ", Variant::CanoOnly, FeatureSet::All),
+        ("JOCL-single     ", Variant::Full, FeatureSet::Single),
+        ("JOCL-double     ", Variant::Full, FeatureSet::Double),
+        ("JOCL-all        ", Variant::Full, FeatureSet::All),
+        ("no consistency  ", Variant::NoConsistency, FeatureSet::All),
+    ] {
+        let config = JoclConfig { variant, features, train_epochs: 0, ..Default::default() };
+        let out = Jocl::new(config).run_with_signals(input, &signals, None);
+        let f1 = evaluate_clustering(&out.np_clustering, &gold).average_f1();
+        println!(
+            "  {label} {f1:.3}   ({} vars, {} factors, {} lbp iters)",
+            out.diagnostics.num_vars,
+            out.diagnostics.num_factors,
+            out.diagnostics.lbp.iterations
+        );
+    }
+}

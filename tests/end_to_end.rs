@@ -1,0 +1,160 @@
+//! Workspace-spanning integration tests: datagen → signals → JOCL →
+//! evaluation, plus the paper's headline claims at test scale.
+
+use jocl::baselines;
+use jocl::core::signals::build_signals;
+use jocl::core::{FeatureSet, Jocl, JoclConfig, JoclInput, Variant};
+use jocl::datagen::{nytimes2018_like, reverb45k_like, Dataset};
+use jocl::embed::SgnsOptions;
+use jocl::eval::clustering::evaluate_clustering;
+use jocl::eval::linking_accuracy;
+
+fn small_dataset() -> Dataset {
+    reverb45k_like(21, 0.004)
+}
+
+fn input(d: &Dataset) -> JoclInput<'_> {
+    JoclInput { okb: &d.okb, ckb: &d.ckb, ppdb: &d.ppdb, corpus: &d.corpus }
+}
+
+fn fast_config() -> JoclConfig {
+    JoclConfig {
+        train_epochs: 0,
+        sgns: SgnsOptions { dim: 16, epochs: 2, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn jocl_beats_morph_norm_on_synthetic_reverb() {
+    let d = small_dataset();
+    let out = Jocl::new(fast_config()).run(input(&d), None);
+    let gold = d.gold.np_clustering();
+    let jocl_f1 = evaluate_clustering(&out.np_clustering, &gold).average_f1();
+    let morph_f1 = evaluate_clustering(&baselines::morph_norm(&d.okb), &gold).average_f1();
+    assert!(
+        jocl_f1 > morph_f1,
+        "JOCL ({jocl_f1:.3}) must beat Morph Norm ({morph_f1:.3})"
+    );
+}
+
+#[test]
+fn joint_beats_cano_only_on_np_task() {
+    let d = small_dataset();
+    let signals = build_signals(&d.okb, &d.ckb, &d.ppdb, &d.corpus, &fast_config().sgns);
+    let gold = d.gold.np_clustering();
+    let full = Jocl::new(fast_config()).run_with_signals(input(&d), &signals, None);
+    let cano = Jocl::new(JoclConfig { variant: Variant::CanoOnly, ..fast_config() })
+        .run_with_signals(input(&d), &signals, None);
+    let f_full = evaluate_clustering(&full.np_clustering, &gold).average_f1();
+    let f_cano = evaluate_clustering(&cano.np_clustering, &gold).average_f1();
+    assert!(
+        f_full > f_cano,
+        "interaction must help canonicalization: full {f_full:.3} vs cano {f_cano:.3}"
+    );
+}
+
+#[test]
+fn linking_accuracy_is_reasonable() {
+    let d = small_dataset();
+    let out = Jocl::new(fast_config()).run(input(&d), None);
+    let score = linking_accuracy(&out.np_links, &d.gold.np_entity);
+    assert!(
+        score.accuracy() > 0.6,
+        "entity linking accuracy too low: {}",
+        score.accuracy()
+    );
+}
+
+#[test]
+fn training_improves_or_preserves_quality() {
+    let d = small_dataset();
+    let signals = build_signals(&d.okb, &d.ckb, &d.ppdb, &d.corpus, &fast_config().sgns);
+    let (validation, _) = d.entity_split(0.2, 9);
+    let labels = {
+        // Rebuild the bench helper inline to avoid a dev-dependency cycle.
+        use jocl::core::pipeline::ValidationLabels;
+        use jocl::kb::{NpMention, NpSlot, RpMention};
+        let mut l = ValidationLabels::empty(&d.okb);
+        for &t in &validation {
+            for slot in [NpSlot::Subject, NpSlot::Object] {
+                let m = NpMention { triple: t, slot }.dense();
+                l.np_entity[m] = d.gold.np_entity[m];
+                l.np_cluster[m] = Some(d.gold.np_cluster_labels[m]);
+            }
+            let m = RpMention(t).dense();
+            l.rp_relation[m] = d.gold.rp_relation[m];
+            l.rp_cluster[m] = Some(d.gold.rp_cluster_labels[m]);
+        }
+        l
+    };
+    let untrained = Jocl::new(fast_config()).run_with_signals(input(&d), &signals, None);
+    let trained = Jocl::new(JoclConfig { train_epochs: 3, ..fast_config() })
+        .run_with_signals(input(&d), &signals, Some(&labels));
+    assert!(trained.diagnostics.train_epochs > 0, "training must actually run");
+    let gold = d.gold.np_clustering();
+    let f_untrained = evaluate_clustering(&untrained.np_clustering, &gold).average_f1();
+    let f_trained = evaluate_clustering(&trained.np_clustering, &gold).average_f1();
+    assert!(
+        f_trained > f_untrained - 0.05,
+        "training must not collapse quality: {f_trained:.3} vs {f_untrained:.3}"
+    );
+}
+
+#[test]
+fn nytimes_regime_has_more_oov_and_still_runs() {
+    let d = nytimes2018_like(13, 0.004);
+    let oov = d.gold.np_entity.iter().filter(|e| e.is_none()).count();
+    assert!(oov > 0);
+    let out = Jocl::new(fast_config()).run(input(&d), None);
+    assert_eq!(out.np_links.len(), d.okb.num_np_mentions());
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let d = small_dataset();
+    let a = Jocl::new(fast_config()).run(input(&d), None);
+    let b = Jocl::new(fast_config()).run(input(&d), None);
+    assert_eq!(a.np_links, b.np_links);
+    assert_eq!(
+        a.np_clustering.assignment(),
+        b.np_clustering.assignment()
+    );
+}
+
+#[test]
+fn tsv_roundtrip_of_generated_dataset() {
+    let d = reverb45k_like(5, 0.002);
+    let dir = std::env::temp_dir().join(format!("jocl-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let okb_path = dir.join("okb.tsv");
+    jocl::kb::tsv::write_okb(&d.okb, &okb_path).unwrap();
+    let okb = jocl::kb::tsv::read_okb(&okb_path).unwrap();
+    assert_eq!(okb.len(), d.okb.len());
+    let ckb_dir = dir.join("ckb");
+    jocl::kb::tsv::write_ckb(&d.ckb, &ckb_dir).unwrap();
+    let ckb = jocl::kb::tsv::read_ckb(&ckb_dir).unwrap();
+    assert_eq!(ckb.num_entities(), d.ckb.num_entities());
+    assert_eq!(ckb.num_facts(), d.ckb.num_facts());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn feature_ablation_monotone_tendency() {
+    // JOCL-all should not be materially worse than JOCL-single (paper
+    // §4.5: more signals, better performance).
+    let d = small_dataset();
+    let signals = build_signals(&d.okb, &d.ckb, &d.ppdb, &d.corpus, &fast_config().sgns);
+    let gold = d.gold.np_clustering();
+    let run = |fs: FeatureSet| {
+        let out = Jocl::new(JoclConfig { features: fs, ..fast_config() })
+            .run_with_signals(input(&d), &signals, None);
+        evaluate_clustering(&out.np_clustering, &gold).average_f1()
+    };
+    let single = run(FeatureSet::Single);
+    let all = run(FeatureSet::All);
+    assert!(
+        all > single - 0.03,
+        "all-features must not lose to single: all {all:.3} vs single {single:.3}"
+    );
+}
