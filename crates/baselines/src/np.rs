@@ -209,10 +209,10 @@ pub fn cesi(okb: &Okb, ckb: &Ckb, signals: &Signals, threshold: f64) -> Clusteri
     for p in &index.phrases {
         match signals.embeddings.phrase(p) {
             Some(v) => store.insert(p, &v),
-            None => store.insert(p, &EmbeddingStore::hashed(dim, &[p.as_str()], 17)
-                .get(p)
-                .expect("hashed store contains p")
-                .to_vec()),
+            None => {
+                let hashed = EmbeddingStore::hashed(dim, &[p.as_str()], 17);
+                store.insert(p, hashed.get(p).expect("hashed store contains p"));
+            }
         }
     }
     // Side-information edges. Entity hints come from exact alias lookup

@@ -1,0 +1,55 @@
+//! Smoke tests: every experiment binary must parse its env config and
+//! run end-to-end on a tiny `jocl_datagen` world.
+//!
+//! Guarded behind `--ignored` (the satellite requirement) because each
+//! test executes a full, if miniature, experiment:
+//!
+//! ```text
+//! cargo test -p jocl_bench --test bin_smoke -- --ignored
+//! ```
+
+use std::process::Command;
+
+/// Run one compiled experiment binary at minimal scale and return stdout.
+fn run_bin(exe: &str) -> String {
+    let out = Command::new(exe)
+        // ~90x smaller world than the default experiment scale.
+        .env("JOCL_SCALE", "0.002")
+        .env("JOCL_SEED", "5")
+        // Skip weight learning: smoke tests check plumbing, not quality.
+        .env("JOCL_TRAIN_EPOCHS", "0")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} exited with {:?}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("experiment output must be utf8")
+}
+
+macro_rules! smoke {
+    ($name:ident, $bin:literal, $expect:literal) => {
+        #[test]
+        #[ignore = "miniature but complete experiment; run with -- --ignored"]
+        fn $name() {
+            let stdout = run_bin(env!(concat!("CARGO_BIN_EXE_", $bin)));
+            assert!(
+                stdout.contains($expect),
+                "{} output missing {:?}:\n{}",
+                $bin,
+                $expect,
+                stdout
+            );
+        }
+    };
+}
+
+smoke!(table1_runs, "table1", "Table 1");
+smoke!(table2_runs, "table2", "Table 2");
+smoke!(table3_runs, "table3", "Table 3");
+smoke!(table4_runs, "table4", "Table 4");
+smoke!(table5_fig4_runs, "table5_fig4", "Table 5");
+smoke!(fig3_runs, "fig3", "Figure 3");
+smoke!(fig2_convergence_runs, "fig2_convergence", "Figure 2");

@@ -167,7 +167,7 @@ fn block_family(
 
 /// Convenience: the phrase of the subject / predicate / object slot used
 /// by a pair family.
-pub fn family_phrase<'o>(okb: &'o Okb, t: TripleId, family: PairFamily) -> &'o str {
+pub fn family_phrase(okb: &Okb, t: TripleId, family: PairFamily) -> &str {
     let tr = okb.triple(t);
     match family {
         PairFamily::Subject => &tr.subject,

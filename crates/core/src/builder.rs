@@ -308,7 +308,7 @@ pub fn build_graph(
             (&obj_pair_vars, classes::U7, 6, Some(NpSlot::Object)),
         ] {
             for &(ti, tj, pair_var) in pairs.iter() {
-                let (va, vb, same_fn): (Option<VarId>, Option<VarId>, Vec<(usize, usize, bool)>) =
+                let (va, vb, same_fn): (Option<VarId>, Option<VarId>, EqualityTable) =
                     match slot {
                         Some(s) => {
                             let ma = NpMention { triple: ti, slot: s }.dense();
@@ -358,7 +358,9 @@ pub fn build_graph(
 }
 
 /// `(a_state, b_state, equal?)` for all candidate combinations.
-fn equality_table<T: PartialEq>(a: &[T], b: &[T]) -> Vec<(usize, usize, bool)> {
+type EqualityTable = Vec<(usize, usize, bool)>;
+
+fn equality_table<T: PartialEq>(a: &[T], b: &[T]) -> EqualityTable {
     let mut out = Vec::with_capacity(a.len() * b.len());
     for (ai, av) in a.iter().enumerate() {
         for (bi, bv) in b.iter().enumerate() {

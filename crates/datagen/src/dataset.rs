@@ -174,8 +174,8 @@ impl Dataset {
             };
             okb.add_triple_with_side_info(Triple { subject, predicate, object }, side);
             // Gold.
-            gold.np_entity.push(world.is_ckb(f.subject).then(|| EntityId(f.subject as u32)));
-            gold.np_entity.push(world.is_ckb(f.object).then(|| EntityId(f.object as u32)));
+            gold.np_entity.push(world.is_ckb(f.subject).then_some(EntityId(f.subject as u32)));
+            gold.np_entity.push(world.is_ckb(f.object).then_some(EntityId(f.object as u32)));
             gold.np_cluster_labels.push(f.subject as u32);
             gold.np_cluster_labels.push(f.object as u32);
             gold.rp_relation.push(Some(RelationId(f.relation as u32)));

@@ -128,11 +128,10 @@ pub fn train_sgns(sentences: &[Vec<String>], opts: &SgnsOptions) -> EmbeddingSto
                 let b = rng.gen_range(1..=opts.window);
                 let lo = pos.saturating_sub(b);
                 let hi = (pos + b + 1).min(sent.len());
-                for ctx_pos in lo..hi {
+                for (ctx_pos, &context) in sent.iter().enumerate().take(hi).skip(lo) {
                     if ctx_pos == pos {
                         continue;
                     }
-                    let context = sent[ctx_pos];
                     grad.fill(0.0);
                     let c_row = center as usize * dim;
                     // Positive update.

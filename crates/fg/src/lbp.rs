@@ -487,8 +487,8 @@ impl<'g> LbpEngine<'g> {
             for &e in &adj {
                 let r = self.edge_range(e);
                 let off = r.start;
-                for i in 0..card {
-                    self.vf[off + i] = total[i] - self.fv[off + i];
+                for (i, &t) in total.iter().enumerate().take(card) {
+                    self.vf[off + i] = t - self.fv[off + i];
                 }
                 log_normalize(&mut self.vf[r]);
             }

@@ -61,7 +61,7 @@ impl NpMention {
     pub fn from_dense(i: usize) -> Self {
         NpMention {
             triple: TripleId((i / 2) as u32),
-            slot: if i % 2 == 0 { NpSlot::Subject } else { NpSlot::Object },
+            slot: if i.is_multiple_of(2) { NpSlot::Subject } else { NpSlot::Object },
         }
     }
 }

@@ -51,8 +51,8 @@ impl ParaphraseStore {
         let mut inserted = false;
         for p in phrases {
             let key = p.as_ref().to_lowercase();
-            if !self.representative.contains_key(&key) {
-                self.representative.insert(key, id);
+            if let std::collections::hash_map::Entry::Vacant(e) = self.representative.entry(key) {
+                e.insert(id);
                 inserted = true;
             }
         }

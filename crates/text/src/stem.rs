@@ -108,9 +108,7 @@ fn replace_if_m(w: &mut Vec<u8>, suffix: &[u8], repl: &[u8], m: usize) -> bool {
 }
 
 fn step1a(w: &mut Vec<u8>) {
-    if ends_with(w, b"sses") {
-        w.truncate(w.len() - 2);
-    } else if ends_with(w, b"ies") {
+    if ends_with(w, b"sses") || ends_with(w, b"ies") {
         w.truncate(w.len() - 2);
     } else if ends_with(w, b"ss") {
         // unchanged
@@ -152,7 +150,7 @@ fn step1b(w: &mut Vec<u8>) {
     }
 }
 
-fn step1c(w: &mut Vec<u8>) {
+fn step1c(w: &mut [u8]) {
     if ends_with(w, b"y") && has_vowel(w, w.len() - 1) {
         let n = w.len();
         w[n - 1] = b'i';

@@ -140,6 +140,63 @@ fn tsv_roundtrip_of_generated_dataset() {
 }
 
 #[test]
+fn figure1_worked_example_exact_clusters_and_links() {
+    // The paper's running example (Figure 1a) must come out exactly:
+    // NP groups {s1, s2}, {s3}, {o1}, {o2, o3}; RP groups {p1}, {p2, p3};
+    // links s1,s2 → e4, s3 → e3, o1 → e1, o2,o3 → e2, p1 → r1, p2,p3 → r2.
+    use jocl::core::example::figure1;
+    use jocl::kb::{NpMention, NpSlot, RpMention, TripleId};
+
+    let ex = figure1();
+    let out = Jocl::new(ex.config()).run(
+        JoclInput { okb: &ex.okb, ckb: &ex.ckb, ppdb: &ex.ppdb, corpus: &ex.corpus },
+        None,
+    );
+
+    let np = |t: u32, slot: NpSlot| NpMention { triple: TripleId(t), slot }.dense();
+    let rp = |t: u32| RpMention(TripleId(t)).dense();
+    let (s1, s2, s3) = (np(0, NpSlot::Subject), np(1, NpSlot::Subject), np(2, NpSlot::Subject));
+    let (o1, o2, o3) = (np(0, NpSlot::Object), np(1, NpSlot::Object), np(2, NpSlot::Object));
+
+    // Linking: every mention resolves to the paper's entity/relation.
+    let expected_np_links = [
+        (s1, ex.e_umd),
+        (s2, ex.e_umd),
+        (s3, ex.e_uva),
+        (o1, ex.e_maryland),
+        (o2, ex.e_u21),
+        (o3, ex.e_u21),
+    ];
+    for (mention, entity) in expected_np_links {
+        assert_eq!(out.np_links[mention], Some(entity), "NP mention {mention}");
+    }
+    assert_eq!(out.rp_links[rp(0)], Some(ex.r_location));
+    assert_eq!(out.rp_links[rp(1)], Some(ex.r_member));
+    assert_eq!(out.rp_links[rp(2)], Some(ex.r_member));
+
+    // Canonicalization: the exact partition, not just pairwise spot
+    // checks — four NP clusters {s1,s2} {s3} {o1} {o2,o3} ...
+    let c = &out.np_clustering;
+    assert_eq!(c.num_clusters(), 4);
+    let groups = [vec![s1, s2], vec![s3], vec![o1], vec![o2, o3]];
+    for g in &groups {
+        for (&a, &b) in g.iter().zip(g.iter().skip(1)) {
+            assert!(c.same(a, b), "{a} and {b} must share a cluster");
+        }
+    }
+    for (i, gi) in groups.iter().enumerate() {
+        for gj in groups.iter().skip(i + 1) {
+            assert!(!c.same(gi[0], gj[0]), "{} and {} must be separate", gi[0], gj[0]);
+        }
+    }
+    // ... and two RP clusters {p1} {p2,p3}.
+    let rc = &out.rp_clustering;
+    assert_eq!(rc.num_clusters(), 2);
+    assert!(rc.same(rp(1), rp(2)));
+    assert!(!rc.same(rp(0), rp(1)));
+}
+
+#[test]
 fn feature_ablation_monotone_tendency() {
     // JOCL-all should not be materially worse than JOCL-single (paper
     // §4.5: more signals, better performance).

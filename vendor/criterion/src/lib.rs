@@ -1,0 +1,225 @@
+//! Offline shim for `criterion`: wall-clock microbenchmark harness with
+//! the upstream call-site API (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `criterion_group!`/`criterion_main!`).
+//!
+//! Reports the median of a handful of timed batches as ns/iter on
+//! stdout. Under `--test` (what `cargo test --benches` passes) each
+//! benchmark body runs exactly once, so benches double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    test_mode: bool,
+    /// Target measurement time per benchmark (split across batches).
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Upstream semantics: cargo passes `--bench` only under
+        // `cargo bench`; anything else (e.g. `cargo test --benches`)
+        // runs each body once as a smoke test.
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = !args.iter().any(|a| a == "--bench") || args.iter().any(|a| a == "--test");
+        Self { test_mode, measure: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup { c: self, name }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self, &id.0, &mut f);
+        self
+    }
+
+    /// Upstream knob; measurement here is already short, so it only
+    /// nudges the target time.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.measure = Duration::from_millis((10 * n.clamp(10, 100)) as u64);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size(n);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(self.c, &label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(self.c, &label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier (only the rendered label matters here).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{}", name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    test_mode: bool,
+    measure: Duration,
+    /// Median ns/iter from the timed batches (None in test mode).
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate: how many iterations fit in ~1/8 of the budget?
+        let budget = self.measure;
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (budget.as_nanos() / 8 / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut samples = Vec::with_capacity(8);
+        let deadline = Instant::now() + budget;
+        loop {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / per_batch as f64);
+            if Instant::now() >= deadline && samples.len() >= 3 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.result_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &Criterion, label: &str, f: &mut F) {
+    let mut b = Bencher { test_mode: c.test_mode, measure: c.measure, result_ns: None };
+    f(&mut b);
+    match b.result_ns {
+        Some(ns) => println!("  {label:<50} {:>14} ns/iter", format_ns(ns)),
+        None => println!("  {label:<50} ok (test mode)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}e9", ns / 1e9)
+    } else if ns >= 1000.0 {
+        let v = ns as u64;
+        let (mut s, mut rem) = (String::new(), v);
+        while rem >= 1000 {
+            s = format!("_{:03}{}", rem % 1000, s);
+            rem /= 1000;
+        }
+        format!("{rem}{s}")
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// Build a function that runs each listed benchmark with one harness.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(4).0, "4");
+        assert_eq!(BenchmarkId::new("hac", "single").0, "hac/single");
+    }
+
+    #[test]
+    fn bencher_measures_in_bench_mode() {
+        let mut b = Bencher {
+            test_mode: false,
+            measure: Duration::from_millis(5),
+            result_ns: None,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.result_ns.is_some());
+        assert!(b.result_ns.unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Offline shim for `crossbeam::scope`, implemented over
+//! `std::thread::scope`. Only the surface used by `jocl_fg::lbp` exists:
+//! `scope(|s| { s.spawn(|_| ...); })` returning `Result`.
+
+use std::any::Any;
+
+/// Scoped-thread handle mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread bound to the scope. The closure receives the scope
+    /// again (crossbeam's signature) so nested spawns work.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope in which spawned threads may borrow from the caller's
+/// stack. All threads are joined before `scope` returns. A panicking
+/// child resurfaces as `Err` (payload of the first panic).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 4];
+        let chunks: Vec<&mut [u64]> = out.chunks_mut(2).collect();
+        super::scope(|s| {
+            for (i, chunk) in chunks.into_iter().enumerate() {
+                let data = &data;
+                s.spawn(move |_| {
+                    for (j, c) in chunk.iter_mut().enumerate() {
+                        *c = data[i * 2 + j] * 10;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn child_panic_is_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline shim for `proptest`: a sample-only property-testing harness
+//! with the upstream call-site syntax (`proptest!`, `prop_assert!`,
+//! `Strategy::{prop_map, prop_flat_map}`, `proptest::collection::vec`,
+//! regex-literal string strategies, `ProptestConfig::with_cases`).
+//!
+//! Differences from upstream (see `vendor/README.md`): no shrinking and
+//! no failure persistence. A failing case panics with the case index and
+//! the deterministic per-test seed, which is enough to reproduce since
+//! generation is seeded by the test name.
+//!
+//! Case count: `PROPTEST_CASES` env var > `proptest_config` > default 64.
+
+pub mod strategy;
+
+pub mod collection;
+
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Run a property body over sampled inputs.
+///
+/// Supports the upstream forms used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     /// docs
+///     #[test]
+///     fn prop(a in strat1(), (b, c) in strat2()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __cases = __cfg.effective_cases();
+            let __seed = $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cases {
+                let mut __rng = $crate::test_runner::TestRng::new(
+                    __seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(
+                    let $pat = $crate::strategy::Strategy::sample_value(&($strat), &mut __rng);
+                )+
+                let __run = || -> ::std::result::Result<(), $crate::test_runner::CaseError> {
+                    $body
+                    Ok(())
+                };
+                match ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => panic!(
+                        "proptest case {}/{} failed (seed {:#x}): {}",
+                        __case + 1, __cases, __seed, e.0
+                    ),
+                    Err(p) => {
+                        let msg = $crate::test_runner::panic_message(&p);
+                        panic!(
+                            "proptest case {}/{} panicked (seed {:#x}): {}",
+                            __case + 1, __cases, __seed, msg
+                        )
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::CaseError(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
+
+/// Discard the current case when an assumption fails. Sample-only
+/// runner: a discarded case just succeeds (no retry budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

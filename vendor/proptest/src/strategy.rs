@@ -1,0 +1,318 @@
+//! Sample-only strategies: every `Strategy` maps the runner RNG to a
+//! value. Combinators mirror the upstream names used in this workspace.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    type Value;
+
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f, reason }
+    }
+}
+
+// Strategies are consumed by reference in `sample_value`, so a borrowed
+// strategy is itself a strategy (upstream has the same impl).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample_value(rng)).sample_value(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_filter`]: resamples until the predicate
+/// holds (bounded; panics if the predicate looks unsatisfiable).
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 samples in a row: {}", self.reason);
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (hi - lo) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample_value(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+);
+
+// A Vec of strategies produces a Vec of values, one per element
+// (upstream semantics; used for e.g. per-node parent ranges).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.sample_value(rng)).collect()
+    }
+}
+
+/// String strategies from regex-shaped literals: supports the subset
+/// `([class]|literal){m,n}` actually used — character classes with
+/// ranges, and `{m}` / `{m,n}` counted repetition.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample_value(&self, rng: &mut TestRng) -> String {
+        sample_regex(self, rng)
+    }
+}
+
+fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed character class in {pattern:?}"));
+            let class = parse_class(&chars[i + 1..close], pattern);
+            i = close + 1;
+            class
+        } else if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 2;
+            vec![chars[i - 1]]
+        } else {
+            i += 1;
+            vec![chars[i - 1]]
+        };
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed repetition in {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("bad repetition lower bound"),
+                    b.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1usize, 1usize)
+        };
+        let n = if lo == hi { lo } else { lo + rng.below((hi - lo + 1) as u64) as usize };
+        for _ in 0..n {
+            out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty character class in {pattern:?}");
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(lo <= hi, "inverted class range in {pattern:?}");
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(42)
+    }
+
+    #[test]
+    fn regex_word_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let w = "[a-z]{1,12}".sample_value(&mut r);
+            assert!((1..=12).contains(&w.len()), "{w:?}");
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn regex_mixed_class_allows_empty() {
+        let mut r = rng();
+        let mut saw_empty = false;
+        for _ in 0..300 {
+            let s = "[ a-zA-Z0-9,.-]{0,40}".sample_value(&mut r);
+            assert!(s.len() <= 40);
+            saw_empty |= s.is_empty();
+            assert!(s.chars().all(|c| c == ' '
+                || c.is_ascii_alphanumeric()
+                || matches!(c, ',' | '.' | '-')));
+        }
+        assert!(saw_empty, "length 0 must be reachable");
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut r = rng();
+        let s = (2usize..7)
+            .prop_flat_map(|n| (Just(n), crate::collection::vec(0.0f64..1.0, n)))
+            .prop_map(|(n, v)| (n, v.len()));
+        for _ in 0..100 {
+            let (n, len) = s.sample_value(&mut r);
+            assert_eq!(n, len);
+            assert!((2..7).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_of_strategies_is_elementwise() {
+        let mut r = rng();
+        let parents: Vec<Range<usize>> = (1..5).map(|i| 0..i).collect();
+        for _ in 0..100 {
+            let v = parents.sample_value(&mut r);
+            assert_eq!(v.len(), 4);
+            for (i, &p) in v.iter().enumerate() {
+                assert!(p <= i, "parent {p} of node {}", i + 1);
+            }
+        }
+    }
+}
