@@ -17,10 +17,21 @@
 //!
 //! Candidate sets and feature vectors are cached per distinct phrase, so
 //! the cost scales with distinct surface forms rather than mentions.
+//!
+//! Construction is **sharded**: the expensive per-distinct-key work
+//! (candidate retrieval, similarity features, two-level tables) is split
+//! into deterministic chunks and computed on a [`jocl_exec`] worker pool,
+//! then the graph is assembled serially from the precomputed caches with
+//! [`FactorGraph::reserve`] + batched factor insertion. Shard boundaries
+//! never influence values, and the assembly order matches the historical
+//! serial insert loop exactly, so the built graph is identical for any
+//! `JoclConfig::build_threads`.
 
 use crate::blocking::Blocking;
 use crate::config::{classes, FeatureSet, JoclConfig, Variant};
-use crate::signals::Signals;
+use crate::signals::{PhraseCtx, Signals};
+use jocl_exec::Pool;
+use jocl_fg::graph::FactorSpec;
 use jocl_fg::{FactorGraph, Params, Potential, VarId};
 use jocl_kb::{CandidateGen, Ckb, EntityId, NpMention, NpSlot, Okb, RelationId, RpMention, TripleId};
 use jocl_text::fx::FxHashMap;
@@ -96,12 +107,73 @@ pub fn transitivity_scores() -> Vec<f64> {
 }
 
 /// Build the factor graph for `config.variant`.
+///
+/// Spawns the build pool (`config.build_threads`, `0` = all hardware
+/// threads) and delegates to the sharded construction; the result is
+/// identical for any thread count.
 pub fn build_graph(
     okb: &Okb,
     ckb: &Ckb,
     signals: &Signals,
     blocking: &Blocking,
     config: &JoclConfig,
+) -> GraphPlan {
+    let threads = jocl_exec::effective_threads(config.build_threads);
+    jocl_exec::with_pool(threads, |pool| {
+        build_graph_sharded(okb, ckb, signals, blocking, config, pool)
+    })
+}
+
+/// Shard size for pooled per-key computation: ~4 shards per worker.
+fn shard_size(n: usize, pool: &Pool<'_>) -> usize {
+    n.div_ceil(pool.threads() * 4).max(8)
+}
+
+/// Compute `work` over every element of `items` on the pool, preserving
+/// item order in the output (shards are folded in chunk order).
+fn sharded_map<T: Sync, R: Send>(
+    pool: &Pool<'_>,
+    items: &[T],
+    work: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    pool.map_reduce(
+        items.len(),
+        shard_size(items.len(), pool),
+        |_, range| items[range].iter().map(&work).collect::<Vec<R>>(),
+        Vec::with_capacity(items.len()),
+        |mut acc: Vec<R>, mut chunk| {
+            acc.append(&mut chunk);
+            acc
+        },
+    )
+}
+
+/// Distinct-key collector preserving first-seen order: returns the list
+/// of `(key, payload-of-first-occurrence)` and a key → index map.
+fn distinct_keys<K, P>(
+    items: impl Iterator<Item = (K, P)>,
+) -> (Vec<(K, P)>, FxHashMap<K, usize>)
+where
+    K: std::hash::Hash + Eq + Clone,
+{
+    let mut order: Vec<(K, P)> = Vec::new();
+    let mut index: FxHashMap<K, usize> = FxHashMap::default();
+    for (key, payload) in items {
+        if !index.contains_key(&key) {
+            index.insert(key.clone(), order.len());
+            order.push((key, payload));
+        }
+    }
+    (order, index)
+}
+
+fn build_graph_sharded(
+    okb: &Okb,
+    ckb: &Ckb,
+    signals: &Signals,
+    blocking: &Blocking,
+    config: &JoclConfig,
+    pool: &Pool<'_>,
 ) -> GraphPlan {
     let mut graph = FactorGraph::new();
     let mut params = Params::new();
@@ -142,24 +214,27 @@ pub fn build_graph(
     let mut rp_candidates: Vec<Vec<RelationId>> = vec![Vec::new(); okb.num_rp_mentions()];
     if with_linking {
         let gen = CandidateGen::new(ckb, config.candidates.clone());
-        // Per distinct phrase cache of (candidates, feature table).
-        let mut np_cache: FxHashMap<String, (Vec<EntityId>, Vec<Vec<f64>>)> =
-            FxHashMap::default();
-        for m in okb.np_mentions() {
+        // Candidates + features per distinct phrase (lowercase key,
+        // feature strings from the first occurrence — the historical cache
+        // behaviour), computed in shards on the pool.
+        let (np_keys, np_index) = distinct_keys(okb.np_mentions().map(|m| {
             let phrase = okb.np_phrase(m);
-            let key = phrase.to_lowercase();
-            let (cands, feats) = np_cache
-                .entry(key)
-                .or_insert_with(|| {
-                    let scored = gen.entity_candidates(phrase);
-                    let cands: Vec<EntityId> = scored.iter().map(|s| s.id).collect();
-                    let feats: Vec<Vec<f64>> = cands
-                        .iter()
-                        .map(|&e| entity_link_features(signals, ckb, phrase, e, fs))
-                        .collect();
-                    (cands, feats)
-                })
-                .clone();
+            (phrase.to_lowercase(), phrase.to_string())
+        }));
+        let np_values: Vec<(Vec<EntityId>, Vec<Vec<f64>>)> =
+            sharded_map(pool, &np_keys, |(_, phrase)| {
+                let scored = gen.entity_candidates(phrase);
+                let cands: Vec<EntityId> = scored.iter().map(|s| s.id).collect();
+                let feats: Vec<Vec<f64>> = cands
+                    .iter()
+                    .map(|&e| entity_link_features(signals, ckb, phrase, e, fs))
+                    .collect();
+                (cands, feats)
+            });
+        graph.reserve(okb.num_np_mentions(), okb.num_np_mentions());
+        for m in okb.np_mentions() {
+            let key = okb.np_phrase(m).to_lowercase();
+            let (cands, feats) = &np_values[np_index[&key]];
             if cands.is_empty() {
                 continue;
             }
@@ -168,38 +243,66 @@ pub fn build_graph(
                 NpSlot::Subject => (groups.alpha4, classes::F4),
                 NpSlot::Object => (groups.alpha6, classes::F6),
             };
-            graph.add_factor(&[var], Potential::Features { group, feats }, class);
+            graph.add_factor(&[var], Potential::Features { group, feats: feats.clone() }, class);
             np_link_vars[m.dense()] = Some(var);
-            np_candidates[m.dense()] = cands;
+            np_candidates[m.dense()] = cands.clone();
         }
-        let mut rp_cache: FxHashMap<String, (Vec<RelationId>, Vec<Vec<f64>>)> =
-            FxHashMap::default();
-        for m in okb.rp_mentions() {
+        // RP linking runs in three pooled passes: (1) candidate retrieval
+        // per distinct phrase; (2) per-surface-form contexts (raw +
+        // morphologically normalized) for exactly the relations some
+        // phrase shortlisted — not the whole CKB inventory, which a
+        // serving-style run against a large CKB would otherwise pay for
+        // on every build; (3) feature vectors from the cached contexts.
+        let (rp_keys, rp_index) = distinct_keys(okb.rp_mentions().map(|m| {
             let phrase = okb.rp_phrase(m);
-            let key = phrase.to_lowercase();
-            let (cands, feats) = rp_cache
-                .entry(key)
-                .or_insert_with(|| {
-                    let scored = gen.relation_candidates(phrase);
-                    let cands: Vec<RelationId> = scored.iter().map(|s| s.id).collect();
-                    let feats: Vec<Vec<f64>> = cands
-                        .iter()
-                        .map(|&r| relation_link_features(signals, ckb, phrase, r, fs))
-                        .collect();
-                    (cands, feats)
+            (phrase.to_lowercase(), phrase.to_string())
+        }));
+        let rp_cands: Vec<Vec<RelationId>> = sharded_map(pool, &rp_keys, |(_, phrase)| {
+            gen.relation_candidates(phrase).iter().map(|s| s.id).collect()
+        });
+        let mut used_rels: Vec<u32> =
+            rp_cands.iter().flatten().map(|r| r.0).collect();
+        used_rels.sort_unstable();
+        used_rels.dedup();
+        let used_ctx: Vec<Vec<(PhraseCtx, PhraseCtx)>> = sharded_map(pool, &used_rels, |&rid| {
+            ckb.relation(RelationId(rid))
+                .surface_forms
+                .iter()
+                .map(|sf| {
+                    let normed = jocl_text::normalize::morph_normalize_rp(sf);
+                    (signals.phrase_ctx(sf), signals.phrase_ctx(&normed))
                 })
-                .clone();
+                .collect()
+        });
+        let ctx_of = |r: RelationId| -> &Vec<(PhraseCtx, PhraseCtx)> {
+            &used_ctx[used_rels.binary_search(&r.0).expect("candidate relation has a context")]
+        };
+        let rp_values: Vec<(Vec<RelationId>, Vec<Vec<f64>>)> =
+            sharded_map(pool, &rp_cands.iter().zip(&rp_keys).collect::<Vec<_>>(), |(cands, (_, phrase))| {
+                let pctx = signals.phrase_ctx(phrase);
+                let nctx =
+                    signals.phrase_ctx(&jocl_text::normalize::morph_normalize_rp(phrase));
+                let feats: Vec<Vec<f64>> = cands
+                    .iter()
+                    .map(|&r| relation_link_features_ctx(signals, &pctx, &nctx, ctx_of(r), fs))
+                    .collect();
+                ((*cands).clone(), feats)
+            });
+        graph.reserve(okb.num_rp_mentions(), okb.num_rp_mentions());
+        for m in okb.rp_mentions() {
+            let key = okb.rp_phrase(m).to_lowercase();
+            let (cands, feats) = &rp_values[rp_index[&key]];
             if cands.is_empty() {
                 continue;
             }
             let var = graph.add_var_with_class(cands.len() as u32, classes::VAR_LINK);
             graph.add_factor(
                 &[var],
-                Potential::Features { group: groups.alpha5, feats },
+                Potential::Features { group: groups.alpha5, feats: feats.clone() },
                 classes::F5,
             );
             rp_link_vars[m.dense()] = Some(var);
-            rp_candidates[m.dense()] = cands;
+            rp_candidates[m.dense()] = cands.clone();
         }
     }
 
@@ -208,40 +311,74 @@ pub fn build_graph(
     let mut pred_pair_vars = Vec::new();
     let mut obj_pair_vars = Vec::new();
     if with_canon {
-        let mut np_pair_cache: FxHashMap<(String, String), Vec<f64>> = FxHashMap::default();
-        let mut rp_pair_cache: FxHashMap<(String, String), Vec<f64>> = FxHashMap::default();
-        for &(ti, tj) in &blocking.subj_pairs {
-            let (a, b) = (okb.triple(ti).subject.clone(), okb.triple(tj).subject.clone());
-            let sims = cached_np_pair(signals, &mut np_pair_cache, &a, &b, fs);
-            let var = graph.add_var_with_class(2, classes::VAR_CANON);
-            graph.add_factor(
-                &[var],
-                pair_potential(groups.alpha1, &sims),
+        // Distinct phrase pairs (NP pairs serve subjects *and* objects;
+        // subjects first, matching the historical cache-fill order), then
+        // pooled similarity computation per distinct pair.
+        let np_pair_items = blocking
+            .subj_pairs
+            .iter()
+            .map(|&(ti, tj)| (okb.triple(ti).subject.clone(), okb.triple(tj).subject.clone()))
+            .chain(
+                blocking
+                    .obj_pairs
+                    .iter()
+                    .map(|&(ti, tj)| (okb.triple(ti).object.clone(), okb.triple(tj).object.clone())),
+            );
+        let (np_pair_keys, np_pair_index) =
+            distinct_keys(np_pair_items.map(|(a, b)| (ordered_key(&a, &b), (a, b))));
+        let np_pair_sims: Vec<Vec<f64>> =
+            sharded_map(pool, &np_pair_keys, |(_, (a, b))| np_canon_features(signals, a, b, fs));
+        let (rp_pair_keys, rp_pair_index) =
+            distinct_keys(blocking.pred_pairs.iter().map(|&(ti, tj)| {
+                let (a, b) =
+                    (okb.triple(ti).predicate.clone(), okb.triple(tj).predicate.clone());
+                (ordered_key(&a, &b), (a, b))
+            }));
+        let rp_pair_sims: Vec<Vec<f64>> =
+            sharded_map(pool, &rp_pair_keys, |(_, (a, b))| rp_canon_features(signals, a, b, fs));
+
+        // Per family: pre-allocate the pair variables, build the factor
+        // batch in shards, merge in order.
+        for (pairs, group, class, out, sims, index, phrase_of) in [
+            (
+                &blocking.subj_pairs,
+                groups.alpha1,
                 classes::F1,
-            );
-            subj_pair_vars.push((ti, tj, var));
-        }
-        for &(ti, tj) in &blocking.pred_pairs {
-            let (a, b) = (okb.triple(ti).predicate.clone(), okb.triple(tj).predicate.clone());
-            let sims = cached_rp_pair(signals, &mut rp_pair_cache, &a, &b, fs);
-            let var = graph.add_var_with_class(2, classes::VAR_CANON);
-            graph.add_factor(
-                &[var],
-                pair_potential(groups.alpha2, &sims),
+                &mut subj_pair_vars,
+                &np_pair_sims,
+                &np_pair_index,
+                (|t: &jocl_kb::Triple| t.subject.as_str()) as fn(&jocl_kb::Triple) -> &str,
+            ),
+            (
+                &blocking.pred_pairs,
+                groups.alpha2,
                 classes::F2,
-            );
-            pred_pair_vars.push((ti, tj, var));
-        }
-        for &(ti, tj) in &blocking.obj_pairs {
-            let (a, b) = (okb.triple(ti).object.clone(), okb.triple(tj).object.clone());
-            let sims = cached_np_pair(signals, &mut np_pair_cache, &a, &b, fs);
-            let var = graph.add_var_with_class(2, classes::VAR_CANON);
-            graph.add_factor(
-                &[var],
-                pair_potential(groups.alpha3, &sims),
+                &mut pred_pair_vars,
+                &rp_pair_sims,
+                &rp_pair_index,
+                |t: &jocl_kb::Triple| t.predicate.as_str(),
+            ),
+            (
+                &blocking.obj_pairs,
+                groups.alpha3,
                 classes::F3,
+                &mut obj_pair_vars,
+                &np_pair_sims,
+                &np_pair_index,
+                |t: &jocl_kb::Triple| t.object.as_str(),
+            ),
+        ] {
+            let vars = graph.add_vars(pairs.len(), 2, classes::VAR_CANON);
+            let potentials: Vec<Potential> = sharded_map(pool, pairs, |&(ti, tj)| {
+                let key = ordered_key(phrase_of(okb.triple(ti)), phrase_of(okb.triple(tj)));
+                pair_potential(group, &sims[index[&key]])
+            });
+            graph.add_factor_batch(
+                vars.iter()
+                    .zip(potentials)
+                    .map(|(&v, p)| FactorSpec::new(vec![v], p, class)),
             );
-            obj_pair_vars.push((ti, tj, var));
+            *out = pairs.iter().zip(vars).map(|(&(ti, tj), v)| (ti, tj, v)).collect();
         }
 
         // U1–U3 transitivity triangles.
@@ -266,38 +403,44 @@ pub fn build_graph(
 
     // ---------------- U4 fact inclusion ----------------------------------
     if with_linking {
-        for (t, _) in okb.triples() {
-            let sm = NpMention { triple: t, slot: NpSlot::Subject };
-            let om = NpMention { triple: t, slot: NpSlot::Object };
-            let rm = RpMention(t);
-            let (Some(sv), Some(rv), Some(ov)) = (
-                np_link_vars[sm.dense()],
-                rp_link_vars[rm.dense()],
-                np_link_vars[om.dense()],
-            ) else {
-                continue;
-            };
-            let cs = &np_candidates[sm.dense()];
-            let cr = &rp_candidates[rm.dense()];
-            let co = &np_candidates[om.dense()];
-            let (ks, kr, ko) = (cs.len(), cr.len(), co.len());
-            let mut high = Vec::new();
-            for (oi, &o) in co.iter().enumerate() {
-                for (ri, &r) in cr.iter().enumerate() {
-                    for (si, &s) in cs.iter().enumerate() {
-                        if ckb.has_fact(s, r, o) {
-                            high.push((si + ks * ri + ks * kr * oi) as u32);
+        // Triples whose three linking variables all exist, in triple
+        // order; the candidate-product fact probes run sharded.
+        let u4_items: Vec<(VarId, VarId, VarId, usize, usize, usize)> = okb
+            .triples()
+            .filter_map(|(t, _)| {
+                let sm = NpMention { triple: t, slot: NpSlot::Subject }.dense();
+                let om = NpMention { triple: t, slot: NpSlot::Object }.dense();
+                let rm = RpMention(t).dense();
+                match (np_link_vars[sm], rp_link_vars[rm], np_link_vars[om]) {
+                    (Some(sv), Some(rv), Some(ov)) => Some((sv, rv, ov, sm, rm, om)),
+                    _ => None,
+                }
+            })
+            .collect();
+        let specs: Vec<FactorSpec> =
+            sharded_map(pool, &u4_items, |&(sv, rv, ov, sm, rm, om)| {
+                let cs = &np_candidates[sm];
+                let cr = &rp_candidates[rm];
+                let co = &np_candidates[om];
+                let (ks, kr, ko) = (cs.len(), cr.len(), co.len());
+                let mut high = Vec::new();
+                for (oi, &o) in co.iter().enumerate() {
+                    for (ri, &r) in cr.iter().enumerate() {
+                        for (si, &s) in cs.iter().enumerate() {
+                            if ckb.has_fact(s, r, o) {
+                                high.push((si + ks * ri + ks * kr * oi) as u32);
+                            }
                         }
                     }
                 }
-            }
-            graph.add_factor(
-                &[sv, rv, ov],
-                Potential::two_level(groups.beta[3], ks * kr * ko, high, 0.9, 0.1),
-                classes::U4,
-            );
-            stats.fact_factors += 1;
-        }
+                FactorSpec::new(
+                    vec![sv, rv, ov],
+                    Potential::two_level(groups.beta[3], ks * kr * ko, high, 0.9, 0.1),
+                    classes::U4,
+                )
+            });
+        stats.fact_factors = specs.len();
+        graph.add_factor_batch(specs);
     }
 
     // ---------------- U5–U7 consistency ----------------------------------
@@ -307,38 +450,50 @@ pub fn build_graph(
             (&pred_pair_vars, classes::U6, 5, None),
             (&obj_pair_vars, classes::U7, 6, Some(NpSlot::Object)),
         ] {
-            for &(ti, tj, pair_var) in pairs.iter() {
-                let (va, vb, same_fn): (Option<VarId>, Option<VarId>, EqualityTable) =
-                    match slot {
-                        Some(s) => {
-                            let ma = NpMention { triple: ti, slot: s }.dense();
-                            let mb = NpMention { triple: tj, slot: s }.dense();
-                            let eq = equality_table(&np_candidates[ma], &np_candidates[mb]);
-                            (np_link_vars[ma], np_link_vars[mb], eq)
-                        }
-                        None => {
-                            let ma = RpMention(ti).dense();
-                            let mb = RpMention(tj).dense();
-                            let eq = equality_table(&rp_candidates[ma], &rp_candidates[mb]);
-                            (rp_link_vars[ma], rp_link_vars[mb], eq)
-                        }
+            // Applicable pairs (both mentions have linking variables), in
+            // pair order; equality tables are built in shards.
+            let items: Vec<(VarId, VarId, VarId, usize, usize)> = pairs
+                .iter()
+                .filter_map(|&(ti, tj, pair_var)| {
+                    let (ma, mb) = match slot {
+                        Some(s) => (
+                            NpMention { triple: ti, slot: s }.dense(),
+                            NpMention { triple: tj, slot: s }.dense(),
+                        ),
+                        None => (RpMention(ti).dense(), RpMention(tj).dense()),
                     };
-                let (Some(va), Some(vb)) = (va, vb) else { continue };
-                let ka = graph.cardinality(va) as usize;
-                let kb = graph.cardinality(vb) as usize;
-                // Config (a, b, x): high when (cand_a == cand_b) ⟺ (x == 1).
-                let mut high = Vec::with_capacity(ka * kb);
-                for &(a, b, same) in &same_fn {
-                    let x = usize::from(same); // the agreeing state
-                    high.push((a + ka * b + ka * kb * x) as u32);
-                }
-                graph.add_factor(
-                    &[va, vb, pair_var],
-                    Potential::two_level(groups.beta[beta_idx], ka * kb * 2, high, 0.7, 0.3),
-                    class,
-                );
-                stats.consistency_factors += 1;
-            }
+                    let (va, vb) = match slot {
+                        Some(_) => (np_link_vars[ma], np_link_vars[mb]),
+                        None => (rp_link_vars[ma], rp_link_vars[mb]),
+                    };
+                    match (va, vb) {
+                        (Some(va), Some(vb)) => Some((va, vb, pair_var, ma, mb)),
+                        _ => None,
+                    }
+                })
+                .collect();
+            let specs: Vec<FactorSpec> =
+                sharded_map(pool, &items, |&(va, vb, pair_var, ma, mb)| {
+                    let same_fn: EqualityTable = match slot {
+                        Some(_) => equality_table(&np_candidates[ma], &np_candidates[mb]),
+                        None => equality_table(&rp_candidates[ma], &rp_candidates[mb]),
+                    };
+                    let ka = graph.cardinality(va) as usize;
+                    let kb = graph.cardinality(vb) as usize;
+                    // Config (a, b, x): high when (cand_a == cand_b) ⟺ (x == 1).
+                    let mut high = Vec::with_capacity(ka * kb);
+                    for &(a, b, same) in &same_fn {
+                        let x = usize::from(same); // the agreeing state
+                        high.push((a + ka * b + ka * kb * x) as u32);
+                    }
+                    FactorSpec::new(
+                        vec![va, vb, pair_var],
+                        Potential::two_level(groups.beta[beta_idx], ka * kb * 2, high, 0.7, 0.3),
+                        class,
+                    )
+                });
+            stats.consistency_factors += specs.len();
+            graph.add_factor_batch(specs);
         }
     }
 
@@ -375,34 +530,6 @@ fn pair_potential(group: usize, sims: &[f64]) -> Potential {
     let state0: Vec<f64> = sims.iter().map(|s| 1.0 - s).collect();
     let state1 = sims.to_vec();
     Potential::Features { group, feats: vec![state0, state1] }
-}
-
-fn cached_np_pair(
-    signals: &Signals,
-    cache: &mut FxHashMap<(String, String), Vec<f64>>,
-    a: &str,
-    b: &str,
-    fs: FeatureSet,
-) -> Vec<f64> {
-    let key = ordered_key(a, b);
-    cache
-        .entry(key)
-        .or_insert_with(|| np_canon_features(signals, a, b, fs))
-        .clone()
-}
-
-fn cached_rp_pair(
-    signals: &Signals,
-    cache: &mut FxHashMap<(String, String), Vec<f64>>,
-    a: &str,
-    b: &str,
-    fs: FeatureSet,
-) -> Vec<f64> {
-    let key = ordered_key(a, b);
-    cache
-        .entry(key)
-        .or_insert_with(|| rp_canon_features(signals, a, b, fs))
-        .clone()
 }
 
 fn ordered_key(a: &str, b: &str) -> (String, String) {
@@ -457,6 +584,39 @@ pub fn entity_link_features(
     }
     if fs == FeatureSet::All {
         v.push(signals.sim_ppdb(phrase, name));
+    }
+    v
+}
+
+/// [`relation_link_features`] over precomputed contexts: `p` is the
+/// phrase, `pn` its morph-normalized form, `surfaces` the candidate
+/// relation's `(surface, normalized-surface)` contexts. Produces the
+/// identical vector without re-tokenizing/normalizing per candidate —
+/// the sharded builder's hot path (the uncached function below is the
+/// reference implementation, kept for one-off callers and the
+/// equivalence test).
+fn relation_link_features_ctx(
+    signals: &Signals,
+    p: &PhraseCtx,
+    pn: &PhraseCtx,
+    surfaces: &[(PhraseCtx, PhraseCtx)],
+    fs: FeatureSet,
+) -> Vec<f64> {
+    let best = |f: &dyn Fn(&PhraseCtx, &PhraseCtx) -> f64| -> f64 {
+        surfaces.iter().map(|(sf, sfn)| f(p, sf).max(f(pn, sfn))).fold(0.0, f64::max)
+    };
+    let mut v = vec![best(&|a, b| signals.sim_ngram_ctx(a, b))];
+    if fs != FeatureSet::Single {
+        // Levenshtein with the length-bound prune; the running max is the
+        // floor, so the fold equals `best(sim_ld)` exactly.
+        v.push(surfaces.iter().fold(0.0f64, |acc, (sf, sfn)| {
+            let acc = signals.sim_ld_ctx_at_least(p, sf, acc);
+            signals.sim_ld_ctx_at_least(pn, sfn, acc)
+        }));
+    }
+    if fs == FeatureSet::All {
+        v.push(best(&|a, b| signals.sim_emb_ctx(a, b)));
+        v.push(best(&|a, b| signals.sim_ppdb_ctx(a, b)));
     }
     v
 }
@@ -581,5 +741,88 @@ mod tests {
     #[test]
     fn ordered_key_is_symmetric() {
         assert_eq!(ordered_key("B", "a"), ordered_key("a", "B"));
+    }
+
+    /// The context-based RP feature path (the sharded builder's hot loop)
+    /// must produce exactly the reference `relation_link_features` vector.
+    #[test]
+    fn ctx_relation_features_match_reference() {
+        let ex = crate::example::figure1();
+        let signals = crate::signals::build_signals(
+            &ex.okb,
+            &ex.ckb,
+            &ex.ppdb,
+            &ex.corpus,
+            &jocl_embed::SgnsOptions { dim: 8, epochs: 2, ..Default::default() },
+        );
+        let rel_ctx: Vec<Vec<(PhraseCtx, PhraseCtx)>> = (0..ex.ckb.num_relations() as u32)
+            .map(|rid| {
+                ex.ckb
+                    .relation(RelationId(rid))
+                    .surface_forms
+                    .iter()
+                    .map(|sf| {
+                        let normed = jocl_text::normalize::morph_normalize_rp(sf);
+                        (signals.phrase_ctx(sf), signals.phrase_ctx(&normed))
+                    })
+                    .collect()
+            })
+            .collect();
+        for phrase in ["locate in", "be a member of", "be an early member of", "unrelated"] {
+            let pctx = signals.phrase_ctx(phrase);
+            let nctx = signals.phrase_ctx(&jocl_text::normalize::morph_normalize_rp(phrase));
+            for fs in [FeatureSet::Single, FeatureSet::Double, FeatureSet::All] {
+                for rid in 0..ex.ckb.num_relations() as u32 {
+                    let r = RelationId(rid);
+                    let reference = relation_link_features(&signals, &ex.ckb, phrase, r, fs);
+                    let ctx = relation_link_features_ctx(
+                        &signals,
+                        &pctx,
+                        &nctx,
+                        &rel_ctx[rid as usize],
+                        fs,
+                    );
+                    assert_eq!(reference, ctx, "phrase {phrase:?} relation {rid} {fs:?}");
+                }
+            }
+        }
+    }
+
+    /// Sharding must not influence the built graph: any `build_threads`
+    /// produces an identical structure, identical potentials, and
+    /// identical plan indexes.
+    #[test]
+    fn build_is_identical_for_any_thread_count() {
+        let ex = crate::example::figure1();
+        let signals = crate::signals::build_signals(
+            &ex.okb,
+            &ex.ckb,
+            &ex.ppdb,
+            &ex.corpus,
+            &jocl_embed::SgnsOptions { dim: 8, epochs: 2, ..Default::default() },
+        );
+        let build = |threads: usize| {
+            // `effective_threads` clamps to the hardware, so drive the
+            // sharded path directly with an unclamped pool.
+            let config = JoclConfig { build_threads: threads, ..ex.config() };
+            let blocking = crate::blocking::block_pairs(&ex.okb, &signals, &config);
+            jocl_exec::with_pool(threads, |pool| {
+                build_graph_sharded(&ex.okb, &ex.ckb, &signals, &blocking, &config, pool)
+            })
+        };
+        let base = build(1);
+        for threads in [2usize, 4] {
+            let plan = build(threads);
+            assert_eq!(plan.graph.num_vars(), base.graph.num_vars());
+            assert_eq!(plan.graph.num_factors(), base.graph.num_factors());
+            // Debug output covers cardinalities, adjacency, classes, and
+            // every potential value — a full structural fingerprint.
+            assert_eq!(format!("{:?}", plan.graph), format!("{:?}", base.graph));
+            assert_eq!(plan.np_candidates, base.np_candidates);
+            assert_eq!(plan.rp_candidates, base.rp_candidates);
+            assert_eq!(plan.subj_pair_vars, base.subj_pair_vars);
+            assert_eq!(plan.pred_pair_vars, base.pred_pair_vars);
+            assert_eq!(plan.obj_pair_vars, base.obj_pair_vars);
+        }
     }
 }

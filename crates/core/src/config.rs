@@ -100,10 +100,22 @@ pub struct JoclConfig {
     /// Merge final clusters through shared link targets (Assumption 1
     /// applied at decode time).
     pub merge_by_link: bool,
+    /// Worker threads for the sharded graph build (`0` = all hardware
+    /// threads). The built graph is identical for any value; this also
+    /// determines the shard count of the per-blocking-key feature
+    /// computation.
+    pub build_threads: usize,
     /// SGNS options for the embedding signal.
     pub sgns: SgnsOptions,
     /// Seed for any stochastic tie-breaking.
     pub seed: u64,
+    /// Previously learned weights (see `crate::persist`). When set,
+    /// training is skipped and these weights drive inference directly —
+    /// the serving-mode path. The pipeline **panics** if their shape does
+    /// not match the built graph's parameter groups (e.g. a weight file
+    /// persisted under a different `FeatureSet`): stale weights should
+    /// fail fast, not silently retrain or mis-infer.
+    pub pretrained_params: Option<jocl_fg::Params>,
 }
 
 impl Default for JoclConfig {
@@ -120,8 +132,10 @@ impl Default for JoclConfig {
             max_group_clique: 5,
             cross_cap: 3,
             merge_by_link: true,
+            build_threads: 0,
             sgns: SgnsOptions::default(),
             seed: 7,
+            pretrained_params: None,
         }
     }
 }

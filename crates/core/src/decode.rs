@@ -31,6 +31,10 @@ pub struct JoclOutput {
     pub np_links: Vec<Option<EntityId>>,
     /// Final relation link per RP mention.
     pub rp_links: Vec<Option<RelationId>>,
+    /// The weights inference actually used (learned, pretrained, or
+    /// initial), attached by the pipeline for persistence via
+    /// `crate::persist::save_params`.
+    pub learned_params: Option<jocl_fg::Params>,
     /// Run diagnostics.
     pub diagnostics: Diagnostics,
 }
@@ -123,6 +127,7 @@ pub fn decode(
         rp_clustering,
         np_links,
         rp_links,
+        learned_params: None,
         diagnostics,
     }
 }

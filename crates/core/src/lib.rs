@@ -33,6 +33,7 @@ pub mod builder;
 pub mod config;
 pub mod decode;
 pub mod example;
+pub mod persist;
 pub mod pipeline;
 pub mod signals;
 
@@ -40,5 +41,6 @@ pub use blocking::{block_pairs, Blocking};
 pub use builder::{build_graph, GraphPlan};
 pub use config::{FeatureSet, JoclConfig, Variant};
 pub use decode::JoclOutput;
+pub use persist::{load_params, save_params};
 pub use pipeline::{Jocl, JoclInput};
 pub use signals::{build_signals, Signals};

@@ -1,0 +1,99 @@
+//! Learned-weight persistence (ROADMAP "learned-weight persistence").
+//!
+//! Weight learning is the slowest optional stage of a JOCL run (each
+//! epoch is a clamped + a free LBP pass). Serving deployments run the
+//! same OKB/CKB configuration repeatedly, so the learned [`Params`] can
+//! be written once with [`save_params`] and injected into later runs via
+//! [`crate::JoclConfig::pretrained_params`], skipping training entirely.
+//!
+//! Storage uses the `jocl_kb::tsv` weight codec: one line per parameter
+//! group, `f64`s in shortest-roundtrip decimal, so a save/load cycle is
+//! bit-exact.
+
+use jocl_fg::Params;
+use jocl_kb::tsv::{read_weight_groups, write_weight_groups};
+use jocl_kb::KbError;
+use std::path::Path;
+
+/// Save learned parameters as TSV (one group per line).
+pub fn save_params(params: &Params, path: &Path) -> Result<(), KbError> {
+    write_weight_groups(params.groups(), path)
+}
+
+/// Load parameters written by [`save_params`]; bit-exact roundtrip.
+pub fn load_params(path: &Path) -> Result<Params, KbError> {
+    Ok(Params::from_groups(read_weight_groups(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_roundtrip_bit_exact() {
+        let dir = std::env::temp_dir().join(format!("jocl-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("params.tsv");
+        let mut params = Params::new();
+        params.add_group_with(vec![2.0, 0.1 + 0.2, -1.75e-19]);
+        params.add_group(1, 0.05);
+        save_params(&params, &path).unwrap();
+        let loaded = load_params(&path).unwrap();
+        assert_eq!(loaded.num_groups(), params.num_groups());
+        for g in 0..params.num_groups() {
+            let (a, b) = (params.group(g), loaded.group(g));
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// End-to-end: train on the figure-1 example, persist, rerun with the
+    /// loaded weights — training is skipped and the output is identical.
+    #[test]
+    fn pretrained_params_skip_training() {
+        use crate::example::figure1;
+        use crate::pipeline::{Jocl, ValidationLabels};
+        use jocl_kb::{NpMention, NpSlot, RpMention, TripleId};
+
+        let dir = std::env::temp_dir().join(format!("jocl-pretrain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("learned.tsv");
+
+        let ex = figure1();
+        // Gold links of Figure 1(a) as sparse validation labels.
+        let mut labels = ValidationLabels::empty(&ex.okb);
+        let golds = [
+            (0u32, NpSlot::Subject, ex.e_umd),
+            (1, NpSlot::Subject, ex.e_umd),
+            (2, NpSlot::Subject, ex.e_uva),
+            (0, NpSlot::Object, ex.e_maryland),
+            (1, NpSlot::Object, ex.e_u21),
+            (2, NpSlot::Object, ex.e_u21),
+        ];
+        for (t, slot, e) in golds {
+            labels.np_entity[NpMention { triple: TripleId(t), slot }.dense()] = Some(e);
+        }
+        labels.rp_relation[RpMention(TripleId(0)).dense()] = Some(ex.r_location);
+        labels.rp_relation[RpMention(TripleId(1)).dense()] = Some(ex.r_member);
+        labels.rp_relation[RpMention(TripleId(2)).dense()] = Some(ex.r_member);
+
+        let mut train_config = ex.config();
+        train_config.train_epochs = 3;
+        let trained = Jocl::new(train_config).run(ex.input(), Some(&labels));
+        assert!(trained.diagnostics.train_epochs > 0, "fixture must actually train");
+        let learned = trained.learned_params.as_ref().expect("pipeline attaches params");
+        save_params(learned, &path).unwrap();
+
+        let mut serve_config = ex.config();
+        serve_config.train_epochs = 3; // would train, but pretrained wins
+        serve_config.pretrained_params = Some(load_params(&path).unwrap());
+        let served = Jocl::new(serve_config).run(ex.input(), Some(&labels));
+        assert_eq!(served.diagnostics.train_epochs, 0, "pretrained run must skip training");
+        assert_eq!(served.np_links, trained.np_links);
+        assert_eq!(served.rp_links, trained.rp_links);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -115,7 +115,23 @@ impl Jocl {
         // --- learning (§3.4) -------------------------------------------------
         let mut train_epochs = 0;
         let mut train_grad_norm = f64::NAN;
-        if config.train_epochs > 0 {
+        if let Some(pre) = &config.pretrained_params {
+            // Serving mode: inject persisted weights (see `crate::persist`)
+            // and skip training entirely.
+            assert_eq!(
+                pre.num_groups(),
+                plan.params.num_groups(),
+                "pretrained params have a different group count than the built graph"
+            );
+            for g in 0..pre.num_groups() {
+                assert_eq!(
+                    pre.group(g).len(),
+                    plan.params.group(g).len(),
+                    "pretrained group {g} has a different shape than the built graph"
+                );
+            }
+            plan.params = pre.clone();
+        } else if config.train_epochs > 0 {
             if let Some(labels) = labels {
                 let clamp_list = collect_clamps(input.okb, &plan, labels);
                 if !clamp_list.is_empty() {
@@ -147,7 +163,9 @@ impl Jocl {
             train_epochs,
             train_grad_norm,
         };
-        decode(input.okb, &plan, &marginals, config, diagnostics)
+        let mut out = decode(input.okb, &plan, &marginals, config, diagnostics);
+        out.learned_params = Some(plan.params);
+        out
     }
 }
 

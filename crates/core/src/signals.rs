@@ -13,10 +13,11 @@
 //! | [`Signals::popularity`] | `f_pop` | §3.2.3 |
 //! | [`Signals::sim_ngram`] / [`Signals::sim_ld`] | `f_ngram`, `f_LD` | §3.2.4 |
 
+use jocl_embed::vector::cosine01;
 use jocl_embed::{train_sgns, EmbeddingStore, SgnsOptions};
 use jocl_kb::{Ckb, EntityId, Okb};
 use jocl_rules::{AmieOptions, AmieRules, KbpCategorizer, ParaphraseStore};
-use jocl_text::sim::{levenshtein_sim, ngram_jaccard};
+use jocl_text::sim::{levenshtein_sim, levenshtein_sim_at_least, ngram_jaccard, NgramSet};
 use jocl_text::IdfIndex;
 
 /// All signal resources for one dataset.
@@ -81,6 +82,63 @@ impl Signals {
     pub fn sim_ld(&self, a: &str, b: &str) -> f64 {
         levenshtein_sim(&a.to_lowercase(), &b.to_lowercase())
     }
+
+    /// Precompute the per-phrase artifacts every string-level signal
+    /// needs (lowercase form, trigram set, phrase embedding, PPDB
+    /// representative). The hot feature loops of the graph builder score
+    /// each distinct phrase against many candidates; with a [`PhraseCtx`]
+    /// per side, each `sim_*_ctx` call skips the tokenize/lowercase/
+    /// average work and produces the **identical** value of its string
+    /// counterpart.
+    pub fn phrase_ctx(&self, s: &str) -> PhraseCtx {
+        let lc = s.to_lowercase();
+        let trigrams = NgramSet::trigrams(&lc);
+        let emb = self.embeddings.phrase(s);
+        let ppdb_rep = self.ppdb.representative(s);
+        PhraseCtx { raw: s.to_string(), lc, trigrams, emb, ppdb_rep }
+    }
+
+    /// [`Signals::sim_ngram`] over precomputed contexts.
+    pub fn sim_ngram_ctx(&self, a: &PhraseCtx, b: &PhraseCtx) -> f64 {
+        a.trigrams.jaccard(&b.trigrams)
+    }
+
+    /// `max(floor, sim_ld(a, b))` with the length-bound prune of
+    /// [`levenshtein_sim_at_least`] — exact drop-in for max-folds.
+    pub fn sim_ld_ctx_at_least(&self, a: &PhraseCtx, b: &PhraseCtx, floor: f64) -> f64 {
+        levenshtein_sim_at_least(&a.lc, &b.lc, floor)
+    }
+
+    /// [`Signals::sim_emb`] over precomputed contexts.
+    pub fn sim_emb_ctx(&self, a: &PhraseCtx, b: &PhraseCtx) -> f64 {
+        match (&a.emb, &b.emb) {
+            (Some(va), Some(vb)) => cosine01(va, vb),
+            _ => 0.5,
+        }
+    }
+
+    /// [`Signals::sim_ppdb`] over precomputed contexts.
+    pub fn sim_ppdb_ctx(&self, a: &PhraseCtx, b: &PhraseCtx) -> f64 {
+        if a.lc == b.lc {
+            return 1.0;
+        }
+        match (a.ppdb_rep, b.ppdb_rep) {
+            (Some(ra), Some(rb)) if ra == rb => 1.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Precomputed comparison artifacts of one phrase (see
+/// [`Signals::phrase_ctx`]).
+#[derive(Debug, Clone)]
+pub struct PhraseCtx {
+    /// The phrase as given.
+    pub raw: String,
+    lc: String,
+    trigrams: NgramSet,
+    emb: Option<Vec<f32>>,
+    ppdb_rep: Option<u32>,
 }
 
 /// Build all signals for a dataset: IDF indexes from the OKB phrases,
@@ -178,6 +236,28 @@ mod tests {
     fn kbp_categorizes_ckb_surface_forms() {
         let (s, _) = tiny_signals();
         assert_eq!(s.sim_kbp("was the capital of", "is the capital of"), 1.0);
+    }
+
+    #[test]
+    fn ctx_sims_match_string_sims() {
+        let (s, _) = tiny_signals();
+        let phrases =
+            ["Rome", "Roma", "is the capital of", "is the capital city of", "unknownword", ""];
+        let ctxs: Vec<_> = phrases.iter().map(|p| s.phrase_ctx(p)).collect();
+        for (a, ca) in phrases.iter().zip(&ctxs) {
+            for (b, cb) in phrases.iter().zip(&ctxs) {
+                assert_eq!(s.sim_ngram_ctx(ca, cb), s.sim_ngram(a, b), "ngram {a:?} {b:?}");
+                assert_eq!(s.sim_emb_ctx(ca, cb), s.sim_emb(a, b), "emb {a:?} {b:?}");
+                assert_eq!(s.sim_ppdb_ctx(ca, cb), s.sim_ppdb(a, b), "ppdb {a:?} {b:?}");
+                for floor in [0.0, 0.4, 1.0] {
+                    assert_eq!(
+                        s.sim_ld_ctx_at_least(ca, cb, floor),
+                        floor.max(s.sim_ld(a, b)),
+                        "ld {a:?} {b:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

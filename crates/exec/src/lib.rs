@@ -1,0 +1,432 @@
+//! # jocl-exec
+//!
+//! A persistent worker pool for deterministic data-parallel loops.
+//!
+//! The hot stages of the pipeline (LBP sweeps, sharded graph build) need
+//! the same execution shape: split a fixed item range into contiguous
+//! chunks, process every chunk exactly once, and combine per-chunk results
+//! in **chunk order** so the outcome is identical for any worker count.
+//! Before this crate, each LBP sweep spawned fresh scoped threads; at ring
+//! size 400 the spawn cost alone made 4 threads *slower* than serial
+//! (`BENCH_NOTES.md`). [`with_pool`] spawns workers once and reuses them
+//! for every [`Pool::chunked_for_each`] / [`Pool::map_reduce`] call inside
+//! the closure.
+//!
+//! Guarantees:
+//!
+//! * **Deterministic chunking** — chunk `i` always covers
+//!   `[i·chunk_size, min((i+1)·chunk_size, n))`, independent of the worker
+//!   count; which worker runs a chunk is scheduling-dependent, the chunk
+//!   boundaries and the reduction order never are.
+//! * **Ordered reduction** — [`Pool::map_reduce`] folds per-chunk results
+//!   strictly by ascending chunk index.
+//! * **Panic safety** — a panicking chunk poisons the job; the submitting
+//!   thread re-panics after the job drains instead of deadlocking.
+//!
+//! Workers are capped at [`available_parallelism`]: oversubscribing a
+//! small machine only adds context-switch overhead, and determinism does
+//! not depend on the cap (chunk boundaries are fixed by `chunk_size`).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Number of hardware threads (1 if the query fails).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Clamp a requested worker count to the hardware: at least 1, at most
+/// [`available_parallelism`]. `0` means "use all hardware threads".
+pub fn effective_threads(requested: usize) -> usize {
+    let hw = available_parallelism();
+    if requested == 0 {
+        hw
+    } else {
+        requested.min(hw).max(1)
+    }
+}
+
+/// Number of chunks covering `n_items` at `chunk_size` items per chunk.
+pub fn chunk_count(n_items: usize, chunk_size: usize) -> usize {
+    n_items.div_ceil(chunk_size.max(1))
+}
+
+/// The item range of chunk `index` (deterministic for any worker count).
+pub fn chunk_range(n_items: usize, chunk_size: usize, index: usize) -> Range<usize> {
+    let chunk_size = chunk_size.max(1);
+    let start = index * chunk_size;
+    start..(start + chunk_size).min(n_items)
+}
+
+/// A type-erased chunk task: `call(data, chunk_index)`.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+// SAFETY: `data` points at a `Sync` closure that outlives the job (the
+// submitting thread blocks until every worker has finished the job).
+unsafe impl Send for Job {}
+
+struct State {
+    /// Incremented per submitted job; workers run the job when they see a
+    /// new epoch.
+    epoch: u64,
+    job: Option<Job>,
+    /// Workers that have finished the current epoch (== `workers` when
+    /// the pool is idle).
+    idle_workers: usize,
+    shutdown: bool,
+}
+
+/// Shared pool state; lives on the stack of [`with_pool`].
+struct Shared {
+    state: Mutex<State>,
+    start_cv: Condvar,
+    done_cv: Condvar,
+    /// Next chunk index to claim (work stealing within a job).
+    next_chunk: AtomicUsize,
+    n_chunks: AtomicUsize,
+    poisoned: AtomicBool,
+    workers: usize,
+}
+
+impl Shared {
+    fn new(workers: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                idle_workers: workers,
+                shutdown: false,
+            }),
+            start_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            next_chunk: AtomicUsize::new(0),
+            n_chunks: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            workers,
+        }
+    }
+
+    /// Claim and run chunks until the job is exhausted. Called by workers
+    /// and by the submitting thread (which participates in its own jobs).
+    fn run_chunks(&self, job: Job) {
+        let n = self.n_chunks.load(Ordering::Acquire);
+        loop {
+            let c = self.next_chunk.fetch_add(1, Ordering::Relaxed);
+            if c >= n {
+                break;
+            }
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // SAFETY: the closure behind `data` is `Sync` and alive for
+                // the whole job (the submitter blocks until completion).
+                unsafe { (job.call)(job.data, c) }
+            }));
+            if outcome.is_err() {
+                self.poisoned.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        let mut seen_epoch = 0u64;
+        loop {
+            let job = {
+                let mut g = self.state.lock().expect("exec pool mutex poisoned");
+                loop {
+                    if g.shutdown {
+                        return;
+                    }
+                    if g.epoch != seen_epoch {
+                        break;
+                    }
+                    g = self.start_cv.wait(g).expect("exec pool mutex poisoned");
+                }
+                seen_epoch = g.epoch;
+                g.job.expect("job must be set for a new epoch")
+            };
+            self.run_chunks(job);
+            let mut g = self.state.lock().expect("exec pool mutex poisoned");
+            g.idle_workers += 1;
+            if g.idle_workers == self.workers {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Submit a job, participate in it, and block until every worker has
+    /// drained it. Panics (after the job drains) if any chunk panicked.
+    fn run_job(&self, n_chunks: usize, f: &(dyn Fn(usize) + Sync)) {
+        struct DynTask<'a>(&'a (dyn Fn(usize) + Sync));
+        unsafe fn call_dyn(data: *const (), chunk: usize) {
+            // SAFETY: `data` is the `DynTask` constructed in this call's
+            // stack frame, alive until `run_job` returns.
+            let task = unsafe { &*(data as *const DynTask) };
+            (task.0)(chunk);
+        }
+        let task = DynTask(f);
+        let job = Job { data: (&raw const task).cast(), call: call_dyn };
+        {
+            let mut g = self.state.lock().expect("exec pool mutex poisoned");
+            debug_assert_eq!(g.idle_workers, self.workers, "pool reentered mid-job");
+            self.next_chunk.store(0, Ordering::Relaxed);
+            self.n_chunks.store(n_chunks, Ordering::Release);
+            g.job = Some(job);
+            g.epoch += 1;
+            g.idle_workers = 0;
+            self.start_cv.notify_all();
+        }
+        self.run_chunks(job);
+        {
+            let mut g = self.state.lock().expect("exec pool mutex poisoned");
+            while g.idle_workers < self.workers {
+                g = self.done_cv.wait(g).expect("exec pool mutex poisoned");
+            }
+            g.job = None;
+        }
+        if self.poisoned.swap(false, Ordering::AcqRel) {
+            panic!("jocl_exec worker task panicked");
+        }
+    }
+
+    fn shutdown(&self) {
+        let mut g = self.state.lock().expect("exec pool mutex poisoned");
+        g.shutdown = true;
+        self.start_cv.notify_all();
+    }
+}
+
+/// Ensures workers are released even when the pool closure unwinds.
+struct ShutdownGuard<'a>(&'a Shared);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// Handle to a running pool; only usable inside [`with_pool`].
+pub struct Pool<'s> {
+    shared: Option<&'s Shared>,
+    threads: usize,
+    /// Keep the pool on the thread that created it: submitting a job from
+    /// inside a chunk would deadlock the epoch handshake.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Pool<'_> {
+    /// Worker count (including the submitting thread), after clamping.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(chunk_index, item_range)` for every chunk of `0..n_items`.
+    ///
+    /// Chunk boundaries are deterministic ([`chunk_range`]); execution
+    /// order across chunks is not, so chunks must touch disjoint data.
+    /// Small jobs (or a 1-thread pool) run inline in chunk order.
+    pub fn chunked_for_each<F>(&self, n_items: usize, chunk_size: usize, f: F)
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let n_chunks = chunk_count(n_items, chunk_size);
+        match self.shared {
+            // A single chunk gains nothing from the handshake.
+            Some(shared) if n_chunks > 1 => {
+                shared.run_job(n_chunks, &|c| f(c, chunk_range(n_items, chunk_size, c)));
+            }
+            _ => {
+                for c in 0..n_chunks {
+                    f(c, chunk_range(n_items, chunk_size, c));
+                }
+            }
+        }
+    }
+
+    /// Map every chunk of `0..n_items` to a value, then fold the values in
+    /// ascending chunk order: `acc = reduce(acc, map(chunk))`. The fold
+    /// order makes the result deterministic for any worker count.
+    pub fn map_reduce<T, A, M, R>(
+        &self,
+        n_items: usize,
+        chunk_size: usize,
+        map: M,
+        init: A,
+        mut reduce: R,
+    ) -> A
+    where
+        T: Send,
+        M: Fn(usize, Range<usize>) -> T + Sync,
+        R: FnMut(A, T) -> A,
+    {
+        let n_chunks = chunk_count(n_items, chunk_size);
+        let slots: Vec<Mutex<Option<T>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+        self.chunked_for_each(n_items, chunk_size, |c, range| {
+            *slots[c].lock().expect("map slot poisoned") = Some(map(c, range));
+        });
+        let mut acc = init;
+        for slot in slots {
+            let value = slot
+                .into_inner()
+                .expect("map slot poisoned")
+                .expect("every chunk produces a value");
+            acc = reduce(acc, value);
+        }
+        acc
+    }
+}
+
+/// Spawn a pool of exactly `threads` workers (including the calling
+/// thread), run `f` with a [`Pool`] handle, join the workers, and return
+/// `f`'s result. With `threads <= 1` no threads are spawned and every
+/// pool call runs inline — byte-for-byte the serial execution.
+///
+/// No hardware clamping happens here: oversubscription is the caller's
+/// policy decision (pass the count through [`effective_threads`] to cap
+/// at the hardware; tests deliberately oversubscribe to exercise the
+/// parallel path on small machines).
+pub fn with_pool<R, F>(threads: usize, f: F) -> R
+where
+    F: FnOnce(&Pool<'_>) -> R,
+{
+    let threads = threads.max(1);
+    if threads == 1 {
+        return f(&Pool { shared: None, threads: 1, _not_send: std::marker::PhantomData });
+    }
+    let shared = Shared::new(threads - 1);
+    let result = crossbeam::scope(|s| {
+        let guard = ShutdownGuard(&shared);
+        for _ in 0..threads - 1 {
+            let shared = &shared;
+            s.spawn(move |_| shared.worker_loop());
+        }
+        let out = f(&Pool {
+            shared: Some(&shared),
+            threads,
+            _not_send: std::marker::PhantomData,
+        });
+        drop(guard);
+        out
+    });
+    match result {
+        Ok(r) => r,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunk_math() {
+        assert_eq!(chunk_count(0, 4), 0);
+        assert_eq!(chunk_count(10, 4), 3);
+        assert_eq!(chunk_range(10, 4, 0), 0..4);
+        assert_eq!(chunk_range(10, 4, 2), 8..10);
+        // chunk_size 0 is treated as 1.
+        assert_eq!(chunk_count(3, 0), 3);
+        assert_eq!(chunk_range(3, 0, 2), 2..3);
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(effective_threads(1), 1);
+        assert!(effective_threads(0) >= 1);
+        assert!(effective_threads(usize::MAX) <= available_parallelism());
+    }
+
+    #[test]
+    fn for_each_covers_every_index_once() {
+        for threads in [1, 4] {
+            let hits: Vec<AtomicUsize> = (0..103).map(|_| AtomicUsize::new(0)).collect();
+            with_pool(threads, |pool| {
+                pool.chunked_for_each(hits.len(), 7, |_, range| {
+                    for i in range {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_ordered_and_thread_invariant() {
+        // Concatenation is order-sensitive: equal output for 1 vs N
+        // workers proves the chunk-order reduction.
+        let run = |threads: usize| -> Vec<usize> {
+            with_pool(threads, |pool| {
+                pool.map_reduce(
+                    25,
+                    4,
+                    |_, range| range.collect::<Vec<usize>>(),
+                    Vec::new(),
+                    |mut acc, mut chunk| {
+                        acc.append(&mut chunk);
+                        acc
+                    },
+                )
+            })
+        };
+        let serial = run(1);
+        assert_eq!(serial, (0..25).collect::<Vec<usize>>());
+        assert_eq!(serial, run(4));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_jobs() {
+        let total = AtomicU64::new(0);
+        with_pool(4, |pool| {
+            for _ in 0..50 {
+                pool.chunked_for_each(64, 8, |_, range| {
+                    total.fetch_add(range.len() as u64, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 50 * 64);
+    }
+
+    #[test]
+    fn empty_job_is_a_noop() {
+        with_pool(4, |pool| {
+            pool.chunked_for_each(0, 8, |_, _| panic!("no chunks expected"));
+            let acc = pool.map_reduce(0, 8, |_, _| 1u32, 0u32, |a, b| a + b);
+            assert_eq!(acc, 0);
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let caught = std::panic::catch_unwind(|| {
+            with_pool(4, |pool| {
+                pool.chunked_for_each(32, 1, |c, _| {
+                    if c == 17 {
+                        panic!("chunk 17 exploded");
+                    }
+                });
+            });
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn closure_panic_releases_workers() {
+        let caught = std::panic::catch_unwind(|| {
+            with_pool(4, |_pool| panic!("main thread panic"));
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn result_escapes_pool() {
+        let v = with_pool(2, |pool| {
+            pool.map_reduce(100, 9, |_, r| r.sum::<usize>(), 0usize, |a, b| a + b)
+        });
+        assert_eq!(v, (0..100).sum());
+    }
+}

@@ -15,11 +15,14 @@
 //!   conditions on the labeled configuration `Y|Y_L` (paper Eq. 5).
 //!
 //! The factor → variable sweep is the hot loop; it parallelizes over
-//! contiguous factor ranges with `crossbeam` scoped threads (each range
-//! owns a disjoint contiguous slice of the message arena, so the update
-//! is deterministic regardless of thread count).
+//! contiguous chunks of the per-phase factor list on a persistent
+//! [`jocl_exec`] worker pool. Workers are spawned once per [`LbpEngine::run`]
+//! and reused across every iteration and phase (spawning per sweep made
+//! 4 threads *slower* than serial — see `BENCH_NOTES.md`). Each factor
+//! owns a disjoint region of the message arena and damping/normalization
+//! commits per edge, so marginals are bit-identical for any thread count.
 
-use crate::graph::{FactorGraph, FactorId, VarId};
+use crate::graph::{FactorGraph, FactorId, Potential, VarId};
 use crate::logspace::{log_normalize, logsumexp, max_abs_diff, to_probs};
 use crate::params::Params;
 
@@ -59,6 +62,12 @@ pub struct LbpOptions {
     /// Worker threads for the factor sweep (1 = serial). The result is
     /// identical for any thread count.
     pub threads: usize,
+    /// Use exactly `threads` workers even when that oversubscribes the
+    /// hardware. Defaults to `false` (the count is capped at the machine's
+    /// parallelism, so `threads: 4` on a 1-core box runs serially instead
+    /// of paying context-switch overhead); tests set it to force the
+    /// pooled code path regardless of the host.
+    pub exact_threads: bool,
 }
 
 impl Default for LbpOptions {
@@ -69,6 +78,7 @@ impl Default for LbpOptions {
             damping: 0.1,
             schedule: Schedule::Synchronous,
             threads: 1,
+            exact_threads: false,
         }
     }
 }
@@ -144,6 +154,10 @@ pub struct LbpEngine<'g> {
     vf: Vec<f64>,
     /// Scratch buffer for new factor→variable messages.
     new_fv: Vec<f64>,
+    /// CSR adjacency: edge ids of variable `v` are
+    /// `var_edges[var_edge_start[v]..var_edge_start[v+1]]`.
+    var_edge_start: Vec<u32>,
+    var_edges: Vec<u32>,
     clamps: Vec<Option<u32>>,
 }
 
@@ -163,6 +177,20 @@ impl<'g> LbpEngine<'g> {
             }
         }
         factor_edge_start.push(edge_offset.len() as u32);
+        // CSR of the inverse mapping: variable → incident edge ids.
+        let mut var_edge_start = vec![0u32; graph.num_vars() + 1];
+        for &v in &edge_var {
+            var_edge_start[v as usize + 1] += 1;
+        }
+        for i in 1..var_edge_start.len() {
+            var_edge_start[i] += var_edge_start[i - 1];
+        }
+        let mut cursor = var_edge_start.clone();
+        let mut var_edges = vec![0u32; edge_var.len()];
+        for (e, &v) in edge_var.iter().enumerate() {
+            var_edges[cursor[v as usize] as usize] = e as u32;
+            cursor[v as usize] += 1;
+        }
         let mut eng = Self {
             graph,
             edge_offset,
@@ -171,6 +199,8 @@ impl<'g> LbpEngine<'g> {
             fv: vec![0.0; offset],
             vf: vec![0.0; offset],
             new_fv: vec![0.0; offset],
+            var_edge_start,
+            var_edges,
             clamps: vec![None; graph.num_vars()],
         };
         eng.reset_messages();
@@ -238,6 +268,11 @@ impl<'g> LbpEngine<'g> {
 
     /// Run LBP to convergence (or `max_iters`). Messages persist, so
     /// marginals and factor beliefs can be queried afterwards.
+    ///
+    /// The pool is created once here: the factor (and variable) lists of
+    /// every schedule phase are materialized up front, workers are spawned
+    /// once, and all iterations/phases reuse them. Marginals are
+    /// bit-identical for any `opts.threads`.
     pub fn run(&mut self, params: &Params, opts: &LbpOptions) -> LbpResult {
         self.reset_messages();
         let (factor_phases, var_phases): (Vec<Vec<u8>>, Vec<Vec<u8>>) = match &opts.schedule {
@@ -258,71 +293,163 @@ impl<'g> LbpEngine<'g> {
                 (factor_phases.clone(), var_phases.clone())
             }
         };
+        // Materialize the per-phase factor/variable lists once per run
+        // instead of re-filtering every iteration.
+        let factor_sel: Vec<Vec<u32>> = factor_phases
+            .iter()
+            .map(|classes| {
+                (0..self.graph.num_factors() as u32)
+                    .filter(|&f| classes.contains(&self.graph.factor_class(FactorId(f))))
+                    .collect()
+            })
+            .collect();
+        let var_sel: Vec<Vec<u32>> = var_phases
+            .iter()
+            .map(|classes| {
+                (0..self.graph.num_vars() as u32)
+                    .filter(|&v| classes.contains(&self.graph.var_class(VarId(v))))
+                    .collect()
+            })
+            .collect();
+        let threads = if opts.exact_threads {
+            opts.threads.max(1)
+        } else {
+            jocl_exec::effective_threads(opts.threads.max(1))
+        };
         let mut result = LbpResult { iterations: 0, converged: false, residual: f64::INFINITY };
-        for iter in 0..opts.max_iters {
-            let mut residual = 0.0f64;
-            for phase in &factor_phases {
-                residual =
-                    residual.max(self.update_factor_messages(params, phase, opts));
+        jocl_exec::with_pool(threads, |pool| {
+            for iter in 0..opts.max_iters {
+                let mut residual = 0.0f64;
+                for selected in &factor_sel {
+                    residual =
+                        residual.max(self.update_factor_messages(params, selected, opts, pool));
+                }
+                for selected in &var_sel {
+                    self.update_var_messages(selected);
+                }
+                result.iterations = iter + 1;
+                result.residual = residual;
+                if residual < opts.tol {
+                    result.converged = true;
+                    break;
+                }
             }
-            for phase in &var_phases {
-                self.update_var_messages(phase);
-            }
-            result.iterations = iter + 1;
-            result.residual = residual;
-            if residual < opts.tol {
-                result.converged = true;
-                break;
-            }
-        }
+        });
         result
     }
 
-    /// Update factor→variable messages for all factors whose class is in
-    /// `classes`. Returns the max residual.
+    /// Chunk size for a pooled sweep over `n` factors: roughly 4 chunks
+    /// per worker for load balance, but never chunks so small that the
+    /// job handshake dominates the kernel work.
+    fn sweep_chunk_size(n: usize, pool: &jocl_exec::Pool<'_>) -> usize {
+        n.div_ceil(pool.threads() * 4).max(16)
+    }
+
+    /// Update factor→variable messages for the factors in `selected`.
+    /// Returns the max residual.
     fn update_factor_messages(
         &mut self,
         params: &Params,
-        classes: &[u8],
+        selected: &[u32],
         opts: &LbpOptions,
+        pool: &jocl_exec::Pool<'_>,
     ) -> f64 {
-        let selected: Vec<u32> = (0..self.graph.num_factors() as u32)
-            .filter(|&f| classes.contains(&self.graph.factor_class(FactorId(f))))
-            .collect();
         if selected.is_empty() {
             return 0.0;
         }
-        let threads = opts.threads.max(1);
-        if threads == 1 || selected.len() < 64 {
-            let mut scratch = Scratch::default();
-            for &f in &selected {
-                self.compute_factor_messages_into(params, f as usize, &mut scratch);
-            }
-        } else {
-            self.parallel_factor_sweep(params, &selected, threads);
-        }
-        // Commit with damping + normalization; measure residual.
-        let mut residual = 0.0f64;
-        for &f in &selected {
-            for e in self.factor_edges(f as usize) {
-                let range = self.edge_range(e);
-                let lambda = opts.damping;
-                for i in range.clone() {
-                    self.new_fv[i] = lambda * self.fv[i] + (1.0 - lambda) * self.new_fv[i];
+        let chunk = Self::sweep_chunk_size(selected.len(), pool);
+        // Phase 1: raw messages. Every factor owns a disjoint region of
+        // `new_fv`, so chunks write through a shared pointer; the buffer
+        // is moved out of `self` so workers can borrow `self` read-only.
+        let mut new_fv = std::mem::take(&mut self.new_fv);
+        {
+            let ptr = SendPtr(new_fv.as_mut_ptr());
+            let len = new_fv.len();
+            pool.chunked_for_each(selected.len(), chunk, |_, range| {
+                let ptr = &ptr;
+                // SAFETY: factors write disjoint edge regions of `new_fv`
+                // and each factor appears in exactly one chunk.
+                let buf = unsafe { std::slice::from_raw_parts_mut(ptr.0, len) };
+                let mut scratch = Scratch::default();
+                for &f in &selected[range] {
+                    self.factor_messages_kernel(params, f as usize, buf, &mut scratch);
                 }
-                log_normalize(&mut self.new_fv[range.clone()]);
-                residual = residual.max(max_abs_diff(&self.new_fv[range.clone()], &self.fv[range.clone()]));
-                self.fv[range.clone()].copy_from_slice(&self.new_fv[range]);
-            }
+            });
         }
+        self.new_fv = new_fv;
+        // Phase 2: commit with damping + normalization; measure residual.
+        // Also per-edge disjoint, so it runs on the same pool; max() is
+        // associative and reduced in chunk order, so the residual is
+        // bit-identical to the serial sweep.
+        let lambda = opts.damping;
+        let mut fv = std::mem::take(&mut self.fv);
+        let mut new_fv = std::mem::take(&mut self.new_fv);
+        let residual = {
+            let fv_ptr = SendPtr(fv.as_mut_ptr());
+            let new_ptr = SendPtr(new_fv.as_mut_ptr());
+            let len = fv.len();
+            pool.map_reduce(
+                selected.len(),
+                chunk,
+                |_, range| {
+                    let (fv_ptr, new_ptr) = (&fv_ptr, &new_ptr);
+                    // SAFETY: as above — disjoint per-factor edge regions.
+                    let fv = unsafe { std::slice::from_raw_parts_mut(fv_ptr.0, len) };
+                    let new_fv = unsafe { std::slice::from_raw_parts_mut(new_ptr.0, len) };
+                    let mut residual = 0.0f64;
+                    for &f in &selected[range] {
+                        for e in self.factor_edges(f as usize) {
+                            let range = self.edge_range(e);
+                            for i in range.clone() {
+                                new_fv[i] = lambda * fv[i] + (1.0 - lambda) * new_fv[i];
+                            }
+                            log_normalize(&mut new_fv[range.clone()]);
+                            residual = residual
+                                .max(max_abs_diff(&new_fv[range.clone()], &fv[range.clone()]));
+                            fv[range.clone()].copy_from_slice(&new_fv[range]);
+                        }
+                    }
+                    residual
+                },
+                0.0f64,
+                f64::max,
+            )
+        };
+        self.fv = fv;
+        self.new_fv = new_fv;
         residual
     }
 
     /// Compute raw (undamped, unnormalized) new messages of one factor
-    /// into `self.new_fv`.
-    fn compute_factor_messages_into(&mut self, params: &Params, f: usize, scratch: &mut Scratch) {
-        // Split borrows: read vf/graph, write new_fv.
-        let (graph, vf, new_fv) = (self.graph, &self.vf, &mut self.new_fv);
+    /// into `new_fv` (the whole arena; only this factor's edge regions are
+    /// written). Dispatches on the potential: two-level tables use the
+    /// sparse kernel, everything else enumerates densely.
+    fn factor_messages_kernel(
+        &self,
+        params: &Params,
+        f: usize,
+        new_fv: &mut [f64],
+        scratch: &mut Scratch,
+    ) {
+        let fd = &self.graph.factors[f];
+        if let Potential::TwoLevelScores { group, high_configs, high, low, .. } = &fd.potential {
+            let beta = params.group(*group)[0];
+            self.two_level_messages_kernel(f, beta * high, beta * low, high_configs, new_fv, scratch);
+        } else {
+            self.dense_messages_kernel(params, f, new_fv, scratch);
+        }
+    }
+
+    /// Dense kernel: enumerate every joint configuration.
+    fn dense_messages_kernel(
+        &self,
+        params: &Params,
+        f: usize,
+        new_fv: &mut [f64],
+        scratch: &mut Scratch,
+    ) {
+        let graph = self.graph;
+        let vf = &self.vf;
         let fd = &graph.factors[f];
         let arity = fd.vars.len();
         let edge_start = self.factor_edge_start[f] as usize;
@@ -330,7 +457,7 @@ impl<'g> LbpEngine<'g> {
         for e in edge_start..edge_start + arity {
             scratch.edge_offsets.push(self.edge_offset[e]);
         }
-        // Zero-fill output accumulators (log domain: start at LOG_ZERO and
+        // Zero-fill output accumulators (log domain: start at -∞ and
         // logsumexp-accumulate).
         for (slot, var) in fd.vars.iter().enumerate() {
             let card = graph.cardinality(*var) as usize;
@@ -375,46 +502,27 @@ impl<'g> LbpEngine<'g> {
         }
     }
 
-    /// Parallel variant of the factor sweep: contiguous chunks of the
-    /// selected factor list are processed by scoped threads. Each factor's
-    /// output region in `new_fv` is disjoint, but chunks are not
-    /// contiguous in the arena, so threads write through a shared raw
-    /// pointer wrapper; disjointness guarantees soundness.
-    fn parallel_factor_sweep(&mut self, params: &Params, selected: &[u32], threads: usize) {
-        struct SendPtr(*mut f64);
-        unsafe impl Send for SendPtr {}
-        unsafe impl Sync for SendPtr {}
-
-        let chunk = selected.len().div_ceil(threads);
-        let new_fv_ptr = SendPtr(self.new_fv.as_mut_ptr());
-        let new_fv_len = self.new_fv.len();
-        let this: &LbpEngine = self;
-        crossbeam::scope(|s| {
-            for chunk_factors in selected.chunks(chunk) {
-                let ptr = &new_fv_ptr;
-                s.spawn(move |_| {
-                    let mut scratch = Scratch::default();
-                    for &f in chunk_factors {
-                        // SAFETY: each factor owns a disjoint region of
-                        // new_fv (edge regions never overlap across
-                        // factors), and every factor appears in exactly
-                        // one chunk.
-                        let new_fv =
-                            unsafe { std::slice::from_raw_parts_mut(ptr.0, new_fv_len) };
-                        this.compute_factor_messages_shared(params, f as usize, new_fv, &mut scratch);
-                    }
-                });
-            }
-        })
-        .expect("lbp worker panicked");
-    }
-
-    /// Like [`Self::compute_factor_messages_into`] but writing into an
-    /// externally provided buffer (used by the parallel sweep).
-    fn compute_factor_messages_shared(
+    /// Sparse kernel for [`Potential::TwoLevelScores`]: the flat `low`
+    /// entries are *not* enumerated. Because variable→factor messages are
+    /// log-normalized, the contribution of **all** configurations at the
+    /// `low` score has the closed form
+    /// `base(slot) = β·low + Σ_{k≠slot} logsumexp(vf_k)`, independent of
+    /// the slot's state; the listed `high` configurations are then visited
+    /// once to replace their `low` term with their `high` term:
+    ///
+    /// ```text
+    /// m(slot, x) = log[ e^base + Σ_{c∈high, c_slot=x} (e^{β·high + in(c)} − e^{β·low + in(c)}) ]
+    /// ```
+    ///
+    /// with `in(c) = Σ_{k≠slot} vf_k(c_k)`. The sum is evaluated with a
+    /// per-(slot, state) shift (standard logsumexp trick), so cost is
+    /// `O(arity·card + arity·|high|)` instead of `O(arity²·table)`.
+    fn two_level_messages_kernel(
         &self,
-        params: &Params,
         f: usize,
+        b_high: f64,
+        b_low: f64,
+        high_configs: &[u32],
         new_fv: &mut [f64],
         scratch: &mut Scratch,
     ) {
@@ -427,64 +535,108 @@ impl<'g> LbpEngine<'g> {
         for e in edge_start..edge_start + arity {
             scratch.edge_offsets.push(self.edge_offset[e]);
         }
+        let b_max = b_high.max(b_low);
+        // Per-slot logsumexp of the incoming message and its total.
+        scratch.slot_lse.clear();
+        let mut lse_total = 0.0f64;
         for (slot, var) in fd.vars.iter().enumerate() {
             let card = graph.cardinality(*var) as usize;
             let off = scratch.edge_offsets[slot];
-            new_fv[off..off + card].fill(f64::NEG_INFINITY);
+            let lse = crate::logspace::logsumexp(&vf[off..off + card]);
+            scratch.slot_lse.push(lse);
+            lse_total += lse;
         }
-        scratch.states.clear();
-        scratch.states.resize(arity, 0u32);
-        for flat in 0..fd.table_size {
-            let log_phi = fd.potential.log_phi(params, flat);
-            for slot in 0..arity {
-                let mut lp = log_phi;
-                for (k, &st) in scratch.states.iter().enumerate() {
-                    if k != slot {
-                        lp += vf[scratch.edge_offsets[k] + st as usize];
-                    }
-                }
-                let out = &mut new_fv[scratch.edge_offsets[slot] + scratch.states[slot] as usize];
-                *out = if *out == f64::NEG_INFINITY {
-                    lp
-                } else if lp == f64::NEG_INFINITY {
-                    *out
-                } else {
-                    let m = out.max(lp);
-                    m + ((*out - m).exp() + (lp - m).exp()).ln()
-                };
+        // Pass 1: per-(slot, state) shift = max(base, largest high term).
+        // The shift lives in the output buffer region temporarily.
+        for (slot, var) in fd.vars.iter().enumerate() {
+            let card = graph.cardinality(*var) as usize;
+            let off = scratch.edge_offsets[slot];
+            let base = b_low + lse_total - scratch.slot_lse[slot];
+            new_fv[off..off + card].fill(base);
+        }
+        for &c in high_configs {
+            let c = c as usize;
+            let mut total_in = 0.0f64;
+            for (k, stride) in fd.strides.iter().enumerate() {
+                let card = graph.cardinality(fd.vars[k]) as usize;
+                let st = (c / stride) % card;
+                total_in += vf[scratch.edge_offsets[k] + st];
             }
-            for (k, st) in scratch.states.iter_mut().enumerate() {
-                *st += 1;
-                if (*st as usize) < graph.cardinality(fd.vars[k]) as usize {
-                    break;
-                }
-                *st = 0;
+            for (k, stride) in fd.strides.iter().enumerate() {
+                let card = graph.cardinality(fd.vars[k]) as usize;
+                let st = (c / stride) % card;
+                let own = vf[scratch.edge_offsets[k] + st];
+                let term = b_max + total_in - own;
+                let out = &mut new_fv[scratch.edge_offsets[k] + st];
+                *out = out.max(term);
+            }
+        }
+        // Pass 2: linear-domain accumulation under the shift.
+        scratch.acc.clear();
+        scratch.acc_starts.clear();
+        for (slot, var) in fd.vars.iter().enumerate() {
+            let card = graph.cardinality(*var) as usize;
+            scratch.acc_starts.push(scratch.acc.len());
+            debug_assert_eq!(scratch.acc_starts.len(), slot + 1);
+            let off = scratch.edge_offsets[slot];
+            let base = b_low + lse_total - scratch.slot_lse[slot];
+            for x in 0..card {
+                scratch.acc.push((base - new_fv[off + x]).exp());
+            }
+        }
+        for &c in high_configs {
+            let c = c as usize;
+            let mut total_in = 0.0f64;
+            for (k, stride) in fd.strides.iter().enumerate() {
+                let card = graph.cardinality(fd.vars[k]) as usize;
+                let st = (c / stride) % card;
+                total_in += vf[scratch.edge_offsets[k] + st];
+            }
+            for (k, stride) in fd.strides.iter().enumerate() {
+                let card = graph.cardinality(fd.vars[k]) as usize;
+                let st = (c / stride) % card;
+                let own = vf[scratch.edge_offsets[k] + st];
+                let in_excl = total_in - own;
+                let shift = new_fv[scratch.edge_offsets[k] + st];
+                scratch.acc[scratch.acc_starts[k] + st] +=
+                    (b_high + in_excl - shift).exp() - (b_low + in_excl - shift).exp();
+            }
+        }
+        for (slot, var) in fd.vars.iter().enumerate() {
+            let card = graph.cardinality(*var) as usize;
+            let off = scratch.edge_offsets[slot];
+            for x in 0..card {
+                let a = scratch.acc[scratch.acc_starts[slot] + x];
+                // `a` can only be ≤ 0 through float cancellation when the
+                // true sum is negligible relative to the shift.
+                new_fv[off + x] = if a > 0.0 { new_fv[off + x] + a.ln() } else { f64::NEG_INFINITY };
             }
         }
     }
 
-    /// Update variable→factor messages for variables in `classes`.
-    fn update_var_messages(&mut self, classes: &[u8]) {
-        for v in 0..self.graph.num_vars() {
-            let vid = VarId(v as u32);
-            if !classes.contains(&self.graph.var_class(vid)) {
-                continue;
-            }
-            if let Some(s) = self.clamps[v] {
+    /// Update variable→factor messages for the variables in `selected`.
+    fn update_var_messages(&mut self, selected: &[u32]) {
+        let mut total: Vec<f64> = Vec::new();
+        for &v in selected {
+            let vid = VarId(v);
+            if let Some(s) = self.clamps[v as usize] {
                 self.write_clamped_var_messages(vid, s);
                 continue;
             }
             let card = self.graph.cardinality(vid) as usize;
             // Total incoming per state.
-            let mut total = vec![0.0f64; card];
-            let adj: Vec<usize> = self.var_out_edges(vid);
-            for &e in &adj {
-                let r = self.edge_range(e);
+            total.clear();
+            total.resize(card, 0.0);
+            for &e in self.var_out_edges(vid) {
+                let r = self.edge_range(e as usize);
                 for (t, x) in total.iter_mut().zip(&self.fv[r]) {
                     *t += *x;
                 }
             }
-            for &e in &adj {
+            let adj_range =
+                self.var_edge_start[v as usize] as usize..self.var_edge_start[v as usize + 1] as usize;
+            for ei in adj_range {
+                let e = self.var_edges[ei] as usize;
                 let r = self.edge_range(e);
                 let off = r.start;
                 for (i, &t) in total.iter().enumerate().take(card) {
@@ -495,18 +647,17 @@ impl<'g> LbpEngine<'g> {
         }
     }
 
-    /// Edge ids whose variable is `v`.
-    fn var_out_edges(&self, v: VarId) -> Vec<usize> {
-        self.graph
-            .var_factors(v)
-            .map(|(f, slot)| self.factor_edge_start[f.idx()] as usize + slot)
-            .collect()
+    /// Edge ids whose variable is `v` (CSR slice, factor-major order).
+    fn var_out_edges(&self, v: VarId) -> &[u32] {
+        &self.var_edges
+            [self.var_edge_start[v.idx()] as usize..self.var_edge_start[v.idx() + 1] as usize]
     }
 
     fn write_clamped_var_messages(&mut self, v: VarId, state: u32) {
         let card = self.graph.cardinality(v) as usize;
-        for e in self.var_out_edges(v) {
-            let off = self.edge_offset[e];
+        let adj = self.var_edge_start[v.idx()] as usize..self.var_edge_start[v.idx() + 1] as usize;
+        for ei in adj {
+            let off = self.edge_offset[self.var_edges[ei] as usize];
             for i in 0..card {
                 self.vf[off + i] = if i == state as usize { 0.0 } else { LOG_ZERO };
             }
@@ -522,8 +673,8 @@ impl<'g> LbpEngine<'g> {
         }
         let card = self.graph.cardinality(v) as usize;
         let mut log_b = vec![0.0f64; card];
-        for e in self.var_out_edges(v) {
-            let r = self.edge_range(e);
+        for &e in self.var_out_edges(v) {
+            let r = self.edge_range(e as usize);
             for (b, x) in log_b.iter_mut().zip(&self.fv[r]) {
                 *b += *x;
             }
@@ -579,7 +730,20 @@ impl<'g> LbpEngine<'g> {
 struct Scratch {
     edge_offsets: Vec<usize>,
     states: Vec<u32>,
+    /// Per-slot logsumexp of the incoming message (two-level kernel).
+    slot_lse: Vec<f64>,
+    /// Linear-domain accumulators, all slots concatenated (two-level
+    /// kernel).
+    acc: Vec<f64>,
+    /// Start of each slot's accumulator region in `acc`.
+    acc_starts: Vec<usize>,
 }
+
+/// Raw-pointer wrapper for the disjoint-region writes of the pooled
+/// sweeps. Soundness rests on factors never sharing edge regions.
+struct SendPtr(*mut f64);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
 
 /// One-shot convenience: build an engine, run, return marginals + stats.
 pub fn run_lbp(

@@ -44,7 +44,7 @@ pub mod learn;
 pub mod logspace;
 pub mod params;
 
-pub use graph::{FactorGraph, FactorId, Potential, VarId};
+pub use graph::{FactorGraph, FactorId, FactorSpec, Potential, VarId};
 pub use lbp::{LbpOptions, LbpResult, Marginals, Schedule};
 pub use learn::{train, TrainOptions, TrainReport};
 pub use params::Params;

@@ -31,6 +31,18 @@ impl Params {
         self.groups.len() - 1
     }
 
+    /// Rebuild a parameter set from raw group vectors (ids follow the
+    /// vector order) — the read half of weight persistence.
+    pub fn from_groups(groups: Vec<Vec<f64>>) -> Params {
+        Params { groups }
+    }
+
+    /// All weight groups in id order — the write half of weight
+    /// persistence.
+    pub fn groups(&self) -> &[Vec<f64>] {
+        &self.groups
+    }
+
     /// Weight vector of group `g`.
     pub fn group(&self, g: usize) -> &[f64] {
         &self.groups[g]

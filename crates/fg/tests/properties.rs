@@ -84,6 +84,70 @@ fn tight_opts() -> LbpOptions {
     LbpOptions { tol: 1e-10, max_iters: 1000, damping: 0.0, ..Default::default() }
 }
 
+/// A random mixed model exercising everything the pooled sweep handles:
+/// variables of mixed cardinality and scheduling class, dense pairwise
+/// factors, sparse ternary two-level factors, plus a random clamp set
+/// and a random phased schedule.
+#[allow(clippy::type_complexity)]
+fn pooled_model() -> impl Strategy<
+    Value = (FactorGraph, Params, Vec<(VarId, u32)>, jocl_fg::Schedule),
+> {
+    (4usize..9, 3usize..10, 0usize..3, 0u8..2)
+        .prop_flat_map(|(n, m, n_clamps, phased)| {
+            (
+                proptest::collection::vec((2u32..4, 0u8..2), n),          // (card, class)
+                proptest::collection::vec((0..n, 0..n, -0.9f64..0.9, 0u8..3), m), // pair factors
+                proptest::collection::vec((0..n, 0..n, 0..n, 0u64..1000), 2), // two-level factors
+                proptest::collection::vec((0..n, 0u32..2), n_clamps),
+                Just(phased == 1),
+            )
+        })
+        .prop_map(|(vars_spec, pairs, two_levels, clamps, phased)| {
+            let mut g = FactorGraph::new();
+            let vars: Vec<VarId> =
+                vars_spec.iter().map(|&(c, cl)| g.add_var_with_class(c, cl)).collect();
+            let mut params = Params::new();
+            let grp = params.add_group_with(vec![1.0]);
+            let tl_grp = params.add_group_with(vec![1.3]);
+            for (a, b, w, class) in pairs {
+                if a == b {
+                    continue;
+                }
+                let size = (g.cardinality(vars[a]) * g.cardinality(vars[b])) as usize;
+                let scores: Vec<f64> = (0..size).map(|i| w * (i % 3) as f64).collect();
+                g.add_factor(&[vars[a], vars[b]], Potential::Scores { group: grp, scores }, class);
+            }
+            for (a, b, c, seed) in two_levels {
+                if a == b || b == c || a == c {
+                    continue;
+                }
+                let size = (g.cardinality(vars[a]) * g.cardinality(vars[b]) * g.cardinality(vars[c]))
+                    as usize;
+                let high: Vec<u32> = (0..size as u32)
+                    .filter(|x| (x.wrapping_mul(2654435761) ^ seed as u32).is_multiple_of(3))
+                    .collect();
+                g.add_factor(
+                    &[vars[a], vars[b], vars[c]],
+                    Potential::two_level(tl_grp, size, high, 0.9, 0.1),
+                    2,
+                );
+            }
+            let clamps: Vec<(VarId, u32)> = clamps
+                .into_iter()
+                .map(|(v, s)| (vars[v], s % g.cardinality(vars[v])))
+                .collect();
+            let schedule = if phased {
+                jocl_fg::Schedule::Phased {
+                    factor_phases: vec![vec![0], vec![1, 2]],
+                    var_phases: vec![vec![0], vec![1]],
+                }
+            } else {
+                jocl_fg::Schedule::Synchronous
+            };
+            (g, params, clamps, schedule)
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -185,6 +249,45 @@ proptest! {
             }
         }
         let _ = gs;
+    }
+
+    /// The pooled factor sweep must be **bit-identical** to the serial
+    /// one across random graphs (mixed cardinalities, dense + two-level
+    /// potentials), schedules, clamp sets, and thread counts —
+    /// `exact_threads` forces real workers even on small machines.
+    #[test]
+    fn pooled_lbp_bit_identical_to_serial(
+        (g, params, clamps, schedule) in pooled_model()
+    ) {
+        let serial = LbpOptions {
+            threads: 1,
+            max_iters: 40,
+            tol: 1e-8,
+            schedule: schedule.clone(),
+            ..Default::default()
+        };
+        let (m1, r1) = run_lbp(&g, &params, &clamps, &serial);
+        for threads in [2usize, 4] {
+            let pooled = LbpOptions {
+                threads,
+                exact_threads: true,
+                ..serial.clone()
+            };
+            let (mt, rt) = run_lbp(&g, &params, &clamps, &pooled);
+            prop_assert_eq!(r1.iterations, rt.iterations);
+            prop_assert_eq!(r1.residual.to_bits(), rt.residual.to_bits());
+            for v in 0..g.num_vars() {
+                let v = VarId(v as u32);
+                for s in 0..g.cardinality(v) {
+                    prop_assert_eq!(
+                        m1.prob(v, s).to_bits(),
+                        mt.prob(v, s).to_bits(),
+                        "thread count changed a marginal bit: var {:?} state {} ({} vs {})",
+                        v, s, m1.prob(v, s), mt.prob(v, s)
+                    );
+                }
+            }
+        }
     }
 
     /// Damping changes the trajectory but not the fixed point on trees.

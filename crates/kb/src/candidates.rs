@@ -16,7 +16,7 @@
 
 use crate::ckb::{Ckb, EntityId, RelationId};
 use jocl_text::fx::FxHashSet;
-use jocl_text::sim::{jaro_winkler, levenshtein_sim, ngram_jaccard};
+use jocl_text::sim::{jaro_winkler, levenshtein_sim_at_least_gated};
 use jocl_text::{stopwords, tokenize};
 
 /// Options for [`CandidateGen`].
@@ -52,17 +52,102 @@ pub struct Scored<T> {
     pub score: f64,
 }
 
+/// A relation surface form with its precomputed comparison artifacts.
+/// Trigrams are interned to `u32` ids (shared across all surface forms),
+/// so the per-query Jaccard is an integer merge instead of string
+/// comparisons — same values, no hashing-collision caveat.
+#[derive(Debug, Clone)]
+struct RelSurface {
+    lc: String,
+    /// `lc.chars().count()` (Levenshtein length bound).
+    chars: usize,
+    /// Sorted interned trigram ids.
+    tri_ids: Vec<u32>,
+}
+
 /// Candidate generator over one CKB.
+///
+/// Relation retrieval is a full scan over the relation inventory, so the
+/// generator precomputes each surface form's lowercase form and trigram
+/// set once at construction; the per-query cost is then one merge
+/// intersection (plus a length-pruned Levenshtein) per surface form
+/// instead of tokenization and hashing per (query, surface) pair.
 #[derive(Debug, Clone)]
 pub struct CandidateGen<'c> {
     ckb: &'c Ckb,
     opts: CandidateOptions,
+    /// Indexed by relation id: precomputed surface-form artifacts.
+    rel_surfaces: Vec<Vec<RelSurface>>,
+    /// Trigram → interned id over all relation surface forms.
+    tri_interner: jocl_text::fx::FxHashMap<String, u32>,
+}
+
+/// A query phrase's trigram set mapped through the interner: the sorted
+/// ids of grams that occur in *some* surface form, plus the count of
+/// grams that occur in none (they enlarge the union but can never
+/// intersect).
+struct QueryTrigrams {
+    known: Vec<u32>,
+    total: usize,
+}
+
+impl QueryTrigrams {
+    fn build(lc: &str, interner: &jocl_text::fx::FxHashMap<String, u32>) -> Self {
+        let mut grams = jocl_text::tokenize::char_ngrams(lc, 3);
+        grams.sort_unstable();
+        grams.dedup();
+        let total = grams.len();
+        let mut known: Vec<u32> =
+            grams.iter().filter_map(|g| interner.get(g.as_str()).copied()).collect();
+        known.sort_unstable();
+        Self { known, total }
+    }
+
+    /// Jaccard against a surface form's interned trigram set; identical
+    /// to `NgramSet::jaccard` on the original gram sets (the unknown
+    /// grams enlarge the union without intersecting, so the union is
+    /// `total + |sf| − inter`, not `|known| + |sf| − inter`).
+    fn jaccard(&self, sf: &[u32]) -> f64 {
+        if self.total == 0 && sf.is_empty() {
+            return 1.0;
+        }
+        if self.total == 0 || sf.is_empty() {
+            return 0.0;
+        }
+        let inter = jocl_text::sim::sorted_intersection_count(&self.known, sf);
+        let union = self.total + sf.len() - inter;
+        inter as f64 / union as f64
+    }
 }
 
 impl<'c> CandidateGen<'c> {
     /// Create a generator with options.
     pub fn new(ckb: &'c Ckb, opts: CandidateOptions) -> Self {
-        Self { ckb, opts }
+        let mut tri_interner = jocl_text::fx::FxHashMap::default();
+        let mut rel_surfaces = vec![Vec::new(); ckb.num_relations()];
+        for (id, rel) in ckb.relations() {
+            rel_surfaces[id.0 as usize] = rel
+                .surface_forms
+                .iter()
+                .map(|sf| {
+                    let lc = sf.to_lowercase();
+                    let mut grams = jocl_text::tokenize::char_ngrams(&lc, 3);
+                    grams.sort_unstable();
+                    grams.dedup();
+                    let mut tri_ids: Vec<u32> = grams
+                        .into_iter()
+                        .map(|g| {
+                            let next = tri_interner.len() as u32;
+                            *tri_interner.entry(g).or_insert(next)
+                        })
+                        .collect();
+                    tri_ids.sort_unstable();
+                    let chars = lc.chars().count();
+                    RelSurface { lc, chars, tri_ids }
+                })
+                .collect();
+        }
+        Self { ckb, opts, rel_surfaces, tri_interner }
     }
 
     /// Lexical similarity between a surface form and an entity: the best
@@ -102,29 +187,84 @@ impl<'c> CandidateGen<'c> {
     }
 
     /// Relation candidates for an RP surface form.
+    ///
+    /// Exact top-k without scoring the whole inventory exactly: a cheap
+    /// first pass computes, per relation, the exact n-gram maximum and an
+    /// upper bound on the final score (n-gram ∨ Levenshtein length
+    /// bound); the second pass visits relations in descending bound order
+    /// and runs the (pruned) Levenshtein only until the bound of the next
+    /// relation falls strictly below the current k-th best score —
+    /// everything after is provably outside the top k. The returned list
+    /// is identical to scoring every relation exactly.
     pub fn relation_candidates(&self, surface: &str) -> Vec<Scored<RelationId>> {
         let surface_lc = surface.to_lowercase();
+        let query_trigrams = QueryTrigrams::build(&surface_lc, &self.tri_interner);
+        let query_chars = surface_lc.chars().count();
         let exact: FxHashSet<RelationId> =
             self.ckb.relations_by_surface(surface).iter().copied().collect();
-        let mut scored: Vec<Scored<RelationId>> = self
-            .ckb
-            .relations()
-            .map(|(id, rel)| {
-                let lex = rel
-                    .surface_forms
-                    .iter()
-                    .map(|sf| {
-                        let sf_lc = sf.to_lowercase();
-                        ngram_jaccard(&surface_lc, &sf_lc)
-                            .max(levenshtein_sim(&surface_lc, &sf_lc))
-                    })
-                    .fold(0.0, f64::max);
-                let bonus = if exact.contains(&id) { 1.0 } else { lex };
-                Scored { id, score: bonus }
+        // Pass 1: exact n-gram max + score upper bound per relation.
+        struct Prelim {
+            id: u32,
+            ngram_max: f64,
+            bound: f64,
+        }
+        let mut prelim: Vec<Prelim> = (0..self.rel_surfaces.len() as u32)
+            .map(|id| {
+                if exact.contains(&RelationId(id)) {
+                    // The exact-surface bonus replaces the lexical score.
+                    return Prelim { id, ngram_max: 1.0, bound: 1.0 };
+                }
+                let (mut ngram_max, mut bound) = (0.0f64, 0.0f64);
+                for sf in &self.rel_surfaces[id as usize] {
+                    let ng = query_trigrams.jaccard(&sf.tri_ids);
+                    ngram_max = ngram_max.max(ng);
+                    let max_len = query_chars.max(sf.chars);
+                    let lev_bound = if max_len == 0 {
+                        1.0
+                    } else {
+                        1.0 - query_chars.abs_diff(sf.chars) as f64 / max_len as f64
+                    };
+                    bound = bound.max(ng.max(lev_bound));
+                }
+                Prelim { id, ngram_max, bound }
             })
-            .filter(|s| s.score >= self.opts.min_score)
             .collect();
-        sort_and_truncate(&mut scored, self.opts.top_k_relations);
+        prelim.sort_by(|a, b| {
+            b.bound
+                .partial_cmp(&a.bound)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        // Pass 2: exact scores in descending bound order; `kth` tracks the
+        // k-th best valid score seen so far (the stop threshold).
+        let k = self.opts.top_k_relations;
+        let mut top_scores: Vec<f64> = Vec::with_capacity(k + 1);
+        let mut scored: Vec<Scored<RelationId>> = Vec::new();
+        for p in prelim {
+            if top_scores.len() >= k && p.bound < top_scores[k - 1] {
+                break;
+            }
+            let id = RelationId(p.id);
+            // Below the current k-th best score exactness is not needed
+            // (such relations are truncated regardless), so the gate lets
+            // the Levenshtein abort early; ties with the gate stay exact.
+            let gate = if top_scores.len() >= k { top_scores[k - 1] } else { f64::NEG_INFINITY };
+            let score = if exact.contains(&id) {
+                1.0
+            } else {
+                self.rel_surfaces[p.id as usize].iter().fold(p.ngram_max, |best, sf| {
+                    levenshtein_sim_at_least_gated(&surface_lc, &sf.lc, best, gate)
+                })
+            };
+            if score < self.opts.min_score {
+                continue;
+            }
+            scored.push(Scored { id, score });
+            let pos = top_scores.partition_point(|&s| s >= score);
+            top_scores.insert(pos, score);
+            top_scores.truncate(k);
+        }
+        sort_and_truncate(&mut scored, k);
         scored
     }
 }

