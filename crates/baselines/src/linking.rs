@@ -15,10 +15,8 @@ use jocl_text::sim::{levenshtein_sim, ngram_jaccard};
 /// **Spotlight**-style linking: popularity prior blended with lexical
 /// similarity, every mention independent.
 pub fn spotlight(okb: &Okb, ckb: &Ckb) -> Vec<Option<EntityId>> {
-    let gen = CandidateGen::new(
-        ckb,
-        CandidateOptions { lexical_weight: 0.35, ..Default::default() },
-    );
+    let gen =
+        CandidateGen::new(ckb, CandidateOptions { lexical_weight: 0.35, ..Default::default() });
     let mut cache: FxHashMap<String, Option<EntityId>> = FxHashMap::default();
     okb.np_mentions()
         .map(|m| {
@@ -51,14 +49,15 @@ pub fn tagme(okb: &Okb, ckb: &Ckb) -> Vec<Option<EntityId>> {
                         / (other.len().max(1) as f64);
                     (c.id, c.score + relatedness)
                 })
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| b.0.cmp(&a.0)))
+                .max_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| b.0.cmp(&a.0))
+                })
                 .map(|(id, _)| id)
         };
-        out[NpMention { triple: t, slot: NpSlot::Subject }.dense()] =
-            vote(&subj_cands, &obj_cands);
-        out[NpMention { triple: t, slot: NpSlot::Object }.dense()] =
-            vote(&obj_cands, &subj_cands);
+        out[NpMention { triple: t, slot: NpSlot::Subject }.dense()] = vote(&subj_cands, &obj_cands);
+        out[NpMention { triple: t, slot: NpSlot::Object }.dense()] = vote(&obj_cands, &subj_cands);
     }
     out
 }
@@ -126,10 +125,8 @@ pub fn falcon(okb: &Okb, ckb: &Ckb) -> (Vec<Option<EntityId>>, Vec<Option<Relati
 /// the GTSP formulation with pairwise co-occurrence plus degree
 /// normalization.
 pub fn earl(okb: &Okb, ckb: &Ckb) -> (Vec<Option<EntityId>>, Vec<Option<RelationId>>) {
-    let gen = CandidateGen::new(
-        ckb,
-        CandidateOptions { lexical_weight: 0.9, ..Default::default() },
-    );
+    let gen =
+        CandidateGen::new(ckb, CandidateOptions { lexical_weight: 0.9, ..Default::default() });
     let mut np_links = vec![None; okb.num_np_mentions()];
     let mut rp_links = vec![None; okb.num_rp_mentions()];
     for (t, tr) in okb.triples() {
@@ -191,9 +188,7 @@ pub fn kbpearl(
         }
         let mut slots: Vec<MentionSlot> = Vec::new();
         for (t, tr) in chunk {
-            for (slot, phrase) in
-                [(NpSlot::Subject, &tr.subject), (NpSlot::Object, &tr.object)]
-            {
+            for (slot, phrase) in [(NpSlot::Subject, &tr.subject), (NpSlot::Object, &tr.object)] {
                 slots.push(MentionSlot {
                     np_dense: Some(NpMention { triple: *t, slot }.dense()),
                     rp_dense: None,

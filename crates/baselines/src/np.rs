@@ -66,26 +66,17 @@ pub fn phrase_pair_candidates(phrases: &[String]) -> Vec<(usize, usize)> {
             }
         }
     }
-    let mut out: Vec<(usize, usize)> = pairs
-        .into_iter()
-        .map(|(a, b)| (a as usize, b as usize))
-        .collect();
+    let mut out: Vec<(usize, usize)> =
+        pairs.into_iter().map(|(a, b)| (a as usize, b as usize)).collect();
     out.sort_unstable();
     out
 }
 
 /// HAC over phrase nodes, projected back to mentions.
-fn hac_phrases(
-    index: &PhraseIndex,
-    edges: &[(usize, usize, f64)],
-    threshold: f64,
-) -> Clustering {
+fn hac_phrases(index: &PhraseIndex, edges: &[(usize, usize, f64)], threshold: f64) -> Clustering {
     let phrase_clusters = hac_threshold(index.phrases.len(), edges, Linkage::Average, threshold);
-    let labels: Vec<u32> = index
-        .of_mention
-        .iter()
-        .map(|&p| phrase_clusters.cluster_of(p))
-        .collect();
+    let labels: Vec<u32> =
+        index.of_mention.iter().map(|&p| phrase_clusters.cluster_of(p)).collect();
     Clustering::from_labels(&labels)
 }
 
@@ -136,10 +127,7 @@ pub fn attribute_overlap(okb: &Okb, _signals: &Signals, threshold: f64) -> Clust
     let mut attrs: FxHashMap<&str, Vec<String>> = FxHashMap::default();
     for m in okb.np_mentions() {
         let p = &index.phrases[index.of_mention[m.dense()]];
-        attrs
-            .entry(p.as_str())
-            .or_default()
-            .push(okb.np_attribute(m).to_lowercase());
+        attrs.entry(p.as_str()).or_default().push(okb.np_attribute(m).to_lowercase());
     }
     let edges = weighted_edges(&index, |a, b| jaccard_slices(&attrs[a], &attrs[b]));
     hac_phrases(&index, &edges, threshold)
@@ -157,15 +145,12 @@ pub fn wikidata_integrator(okb: &Okb, ckb: &Ckb) -> (Clustering, Vec<Option<jocl
         .map(|m| {
             let phrase = okb.np_phrase(m);
             *cache.entry(phrase.to_lowercase()).or_insert_with(|| {
-                ckb.entities_by_alias(phrase)
-                    .iter()
-                    .copied()
-                    .max_by(|a, b| {
-                        ckb.popularity(phrase, *a)
-                            .partial_cmp(&ckb.popularity(phrase, *b))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then_with(|| b.cmp(a))
-                    })
+                ckb.entities_by_alias(phrase).iter().copied().max_by(|a, b| {
+                    ckb.popularity(phrase, *a)
+                        .partial_cmp(&ckb.popularity(phrase, *b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| b.cmp(a))
+                })
             })
         })
         .collect();
@@ -220,16 +205,12 @@ pub fn cesi(okb: &Okb, ckb: &Ckb, signals: &Signals, threshold: f64) -> Clusteri
     // a full entity linker).
     let mut best_entity: FxHashMap<usize, u32> = FxHashMap::default();
     for (pi, p) in index.phrases.iter().enumerate() {
-        let best = ckb
-            .entities_by_alias(p)
-            .iter()
-            .copied()
-            .max_by(|a, b| {
-                ckb.popularity(p, *a)
-                    .partial_cmp(&ckb.popularity(p, *b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| b.cmp(a))
-            });
+        let best = ckb.entities_by_alias(p).iter().copied().max_by(|a, b| {
+            ckb.popularity(p, *a)
+                .partial_cmp(&ckb.popularity(p, *b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.cmp(a))
+        });
         if let Some(e) = best {
             best_entity.insert(pi, e.0);
         }
@@ -278,8 +259,7 @@ pub fn sist(okb: &Okb, ckb: &Ckb, signals: &Signals, threshold: f64) -> Clusteri
     let index = phrase_index(okb);
     // Aggregate side info per phrase over its mentions.
     let mut side_cands: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); index.phrases.len()];
-    let mut side_domains: Vec<FxHashSet<String>> =
-        vec![FxHashSet::default(); index.phrases.len()];
+    let mut side_domains: Vec<FxHashSet<String>> = vec![FxHashSet::default(); index.phrases.len()];
     for m in okb.np_mentions() {
         let pi = index.of_mention[m.dense()];
         if let Some(si) = okb.side_info(m.triple) {
@@ -294,9 +274,7 @@ pub fn sist(okb: &Okb, ckb: &Ckb, signals: &Signals, threshold: f64) -> Clusteri
         }
     }
     let types_of = |ids: &FxHashSet<u32>| -> Vec<String> {
-        ids.iter()
-            .flat_map(|&e| ckb.entity(jocl_kb::EntityId(e)).types.clone())
-            .collect()
+        ids.iter().flat_map(|&e| ckb.entity(jocl_kb::EntityId(e)).types.clone()).collect()
     };
     let edges: Vec<(usize, usize, f64)> = phrase_pair_candidates(&index.phrases)
         .into_iter()

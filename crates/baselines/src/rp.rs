@@ -103,10 +103,7 @@ fn cluster_rp_by(okb: &Okb, mut same: impl FnMut(&str, &str) -> bool) -> Cluster
             }
         }
     }
-    let labels: Vec<u32> = phrase_of_mention
-        .iter()
-        .map(|&p| uf.find(p) as u32)
-        .collect();
+    let labels: Vec<u32> = phrase_of_mention.iter().map(|&p| uf.find(p) as u32).collect();
     Clustering::from_labels(&labels)
 }
 

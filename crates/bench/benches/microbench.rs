@@ -153,6 +153,74 @@ fn bench_lbp_threads(c: &mut Criterion) {
     }
 }
 
+/// Synchronous sweeps vs residual-scheduled message passing over
+/// unevenly-converging graphs (a strong evidence head driving a long
+/// weakly-coupled tail — the shape where priority scheduling pays):
+/// wall-clock for both modes, plus a message-update crossover sweep over
+/// graph sizes printing the counter ratio the scale CI gate relies on.
+fn bench_lbp_schedule(c: &mut Criterion) {
+    use jocl_fg::ScheduleMode;
+    // A "comet": a dense clique head (strong potentials, slow to settle)
+    // towing a long chain tail (settles after a few updates). Synchronous
+    // sweeps keep re-updating the tail; residual scheduling stops
+    // touching it once its residuals die.
+    let build_comet = |n_tail: usize| -> (FactorGraph, Params) {
+        let mut g = FactorGraph::new();
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![1.2]);
+        let head: Vec<VarId> = (0..6).map(|_| g.add_var(4)).collect();
+        for i in 0..head.len() {
+            for j in i + 1..head.len() {
+                let scores: Vec<f64> = (0..16).map(|x| ((x % 5) as f64) * 0.3).collect();
+                g.add_factor(&[head[i], head[j]], Potential::Scores { group: grp, scores }, 0);
+            }
+        }
+        let mut prev = head[0];
+        for k in 0..n_tail {
+            let v = g.add_var(4);
+            let w = 0.05 + 0.1 * ((k % 3) as f64);
+            let scores: Vec<f64> = (0..16).map(|x| if x % 5 == 0 { w } else { 0.0 }).collect();
+            g.add_factor(&[prev, v], Potential::Scores { group: grp, scores }, 0);
+            prev = v;
+        }
+        (g, params)
+    };
+    let opts =
+        |mode: ScheduleMode| LbpOptions { max_iters: 50, tol: 1e-6, mode, ..Default::default() };
+    let mut group = c.benchmark_group("lbp_schedule");
+    for (name, mode) in
+        [("synchronous", ScheduleMode::Synchronous), ("residual", ScheduleMode::Residual)]
+    {
+        let (g, params) = build_comet(400);
+        let opts = opts(mode);
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                let mut eng = LbpEngine::new(&g);
+                black_box(eng.run(&params, &opts))
+            })
+        });
+    }
+    group.finish();
+
+    // Crossover sweep on the message-update counter: deterministic (no
+    // timing noise), so it prints under `cargo test --benches` too.
+    println!("\ngroup: lbp_schedule_crossover (message updates, sync vs residual)");
+    for n_tail in [50usize, 100, 200, 400, 800] {
+        let (g, params) = build_comet(n_tail);
+        let run_mode = |mode: ScheduleMode| {
+            let mut eng = LbpEngine::new(&g);
+            eng.run(&params, &opts(mode))
+        };
+        let sync = run_mode(ScheduleMode::Synchronous);
+        let residual = run_mode(ScheduleMode::Residual);
+        let ratio = sync.message_updates as f64 / residual.message_updates.max(1) as f64;
+        println!(
+            "  tail {n_tail:>4}: sync {:>9} updates ({} iters)  residual {:>9} updates ({} sweep-eq)  ratio {ratio:.2}x",
+            sync.message_updates, sync.iterations, residual.message_updates, residual.iterations
+        );
+    }
+}
+
 /// Persistent pool vs a fresh pool per sweep — the amortization the
 /// `jocl_exec` crate exists for. Uses exactly 4 workers (no hardware
 /// clamp) so the spawn cost is visible on any machine.
@@ -210,13 +278,7 @@ fn bench_pipeline_stages(c: &mut Criterion) {
     let blocking = block_pairs(&dataset.okb, &signals, &config);
     group.bench_function("graph_build", |bench| {
         bench.iter(|| {
-            black_box(build_graph(
-                &dataset.okb,
-                &dataset.ckb,
-                &signals,
-                &blocking,
-                &config,
-            ))
+            black_box(build_graph(&dataset.okb, &dataset.ckb, &signals, &blocking, &config))
         })
     });
     // Shard-count sweep: the built graph is identical for any value;
@@ -268,7 +330,9 @@ fn bench_end_to_end(c: &mut Criterion) {
             &(),
             |bench, ()| {
                 let config = JoclConfig { train_epochs: 0, ..Default::default() };
-                bench.iter(|| black_box(Jocl::new(config.clone()).run_with_signals(input, &signals, None)))
+                bench.iter(|| {
+                    black_box(Jocl::new(config.clone()).run_with_signals(input, &signals, None))
+                })
             },
         );
     }
@@ -278,11 +342,8 @@ fn bench_end_to_end(c: &mut Criterion) {
 fn bench_hac(c: &mut Criterion) {
     use jocl_cluster::{hac_threshold, Linkage};
     let n = 2000usize;
-    let edges: Vec<(usize, usize, f64)> = (0..n)
-        .flat_map(|i| {
-            [(i, (i + 1) % n, 0.8), (i, (i + 7) % n, 0.4)]
-        })
-        .collect();
+    let edges: Vec<(usize, usize, f64)> =
+        (0..n).flat_map(|i| [(i, (i + 1) % n, 0.8), (i, (i + 7) % n, 0.4)]).collect();
     let mut group = c.benchmark_group("hac");
     for linkage in [Linkage::Single, Linkage::Average, Linkage::Complete] {
         group.bench_function(format!("{linkage:?}"), |bench| {
@@ -297,6 +358,7 @@ criterion_group!(
     bench_similarities,
     bench_lbp_tables,
     bench_lbp_threads,
+    bench_lbp_schedule,
     bench_exec_pool,
     bench_pipeline_stages,
     bench_end_to_end,

@@ -1,0 +1,235 @@
+//! **bench-regression** — the CI perf gate.
+//!
+//! Re-times the three hot-path metrics the project optimizes for
+//! (`lbp_sweep`, `graph_build`, `end_to_end`) with criterion-style
+//! median-of-N wall-clock sampling, then compares them against the
+//! checked-in `BENCH_BASELINE.json` at the repository root. Any metric
+//! slower than `baseline × (1 + tolerance)` fails the process (exit 1),
+//! so speedups stop being anecdotes in `BENCH_NOTES.md`: regressing one
+//! turns the CI job red.
+//!
+//! ```text
+//! cargo run --release -p jocl_bench --bin bench_regression            # gate
+//! cargo run --release -p jocl_bench --bin bench_regression -- --update # refresh
+//! scripts/update_bench_baseline.sh                                    # ditto
+//! ```
+//!
+//! The baseline and the gated run rarely share hardware (laptop vs CI
+//! runner, or two differently-loaded shared VMs), so raw nanoseconds
+//! are not comparable across them. Every run therefore also times a
+//! **calibration workload** — a fixed pure-arithmetic loop that tracks
+//! CPU speed but deliberately shares no code with the gated kernels, so
+//! a real LBP/graph-build regression cannot hide in the denominator —
+//! and the gate compares *calibrated* ratios:
+//! `(metric / calibration) vs (baseline_metric / baseline_calibration)`.
+//!
+//! Knobs: `JOCL_BENCH_TOLERANCE` (relative slack, default `0.30`;
+//! timings are medians and calibration absorbs first-order machine
+//! differences, so the gate only trips on real regressions) and
+//! `JOCL_BENCH_BASELINE` (alternate baseline path). Refresh the
+//! baseline deliberately via the script, never by hand-editing.
+
+use jocl_core::signals::build_signals;
+use jocl_core::{block_pairs, build_graph, Jocl, JoclConfig};
+use jocl_datagen::reverb45k_like;
+use jocl_embed::SgnsOptions;
+use jocl_fg::lbp::LbpEngine;
+use jocl_fg::{FactorGraph, LbpOptions, Params, Potential, VarId};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Median wall-clock ns of `f` over `samples` runs after one warm-up.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// Calibration workload: a fixed xorshift + floating-point loop. Pure
+/// ALU/FPU, no allocation, no repo code — it scales with the machine's
+/// single-thread speed (what every gated metric runs on) but cannot be
+/// sped up or slowed down by changes to this workspace.
+fn calibration_ns() -> u64 {
+    median_ns(9, || {
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut acc = 0.0f64;
+        for _ in 0..2_000_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += ((x >> 11) as f64) * 1e-18;
+        }
+        black_box(acc);
+    })
+}
+
+/// A ring of `n` 4-state variables with dense pairwise factors — the
+/// `lbp_threads` microbench workload.
+fn build_ring(n: usize) -> (FactorGraph, Params) {
+    let mut g = FactorGraph::new();
+    let mut params = Params::new();
+    let grp = params.add_group_with(vec![1.0]);
+    let vars: Vec<VarId> = (0..n).map(|_| g.add_var(4)).collect();
+    for i in 0..n {
+        let j = (i + 1) % n;
+        let scores: Vec<f64> = (0..16).map(|x| (x % 5) as f64 * 0.2).collect();
+        g.add_factor(&[vars[i], vars[j]], Potential::Scores { group: grp, scores }, 0);
+    }
+    (g, params)
+}
+
+/// The three gated metrics, measured the same way every run.
+fn measure() -> Vec<(&'static str, u64)> {
+    let mut metrics = Vec::new();
+
+    // lbp_sweep: 10 synchronous iterations over the 400-var ring.
+    let (g, params) = build_ring(400);
+    let opts = LbpOptions { max_iters: 10, ..Default::default() };
+    metrics.push((
+        "lbp_sweep",
+        median_ns(15, || {
+            let mut eng = LbpEngine::new(&g);
+            black_box(eng.run(&params, &opts));
+        }),
+    ));
+
+    // graph_build + end_to_end share the microbench dataset/signals.
+    let dataset = reverb45k_like(5, 0.005);
+    let signals = build_signals(
+        &dataset.okb,
+        &dataset.ckb,
+        &dataset.ppdb,
+        &dataset.corpus,
+        &SgnsOptions { dim: 24, epochs: 2, ..Default::default() },
+    );
+    let config = JoclConfig::default();
+    let blocking = block_pairs(&dataset.okb, &signals, &config);
+    metrics.push((
+        "graph_build",
+        median_ns(7, || {
+            black_box(build_graph(&dataset.okb, &dataset.ckb, &signals, &blocking, &config));
+        }),
+    ));
+
+    let input = jocl_core::JoclInput {
+        okb: &dataset.okb,
+        ckb: &dataset.ckb,
+        ppdb: &dataset.ppdb,
+        corpus: &dataset.corpus,
+    };
+    let e2e_config = JoclConfig { train_epochs: 0, ..Default::default() };
+    metrics.push((
+        "end_to_end",
+        median_ns(7, || {
+            black_box(Jocl::new(e2e_config.clone()).run_with_signals(input, &signals, None));
+        }),
+    ));
+    metrics
+}
+
+fn baseline_path() -> PathBuf {
+    if let Ok(p) = std::env::var("JOCL_BENCH_BASELINE") {
+        return PathBuf::from(p);
+    }
+    // crates/bench → repository root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_BASELINE.json")
+}
+
+/// Serialize metrics as the flat JSON object the gate reads back.
+fn to_json(calibration: u64, metrics: &[(&'static str, u64)]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(
+        "  \"comment\": \"medians in ns, compared per-machine via the calibration ratio; refresh via scripts/update_bench_baseline.sh\",\n",
+    );
+    out.push_str(&format!("  \"calibration_ns\": {calibration},\n"));
+    for (i, (name, ns)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!("  \"{name}_ns\": {ns}{sep}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Extract `"<name>_ns": <digits>` from the baseline JSON. Hand-rolled
+/// (the offline dependency set has no JSON crate) but strict: a missing
+/// or malformed entry is a hard error, not a silent pass.
+fn parse_baseline(json: &str, name: &str) -> Result<u64, String> {
+    let key = format!("\"{name}_ns\"");
+    let at = json.find(&key).ok_or_else(|| format!("baseline is missing {key}"))?;
+    let rest = &json[at + key.len()..];
+    let colon = rest.find(':').ok_or_else(|| format!("no ':' after {key}"))?;
+    let digits: String =
+        rest[colon + 1..].trim_start().chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse::<u64>().map_err(|_| format!("no integer value for {key}"))
+}
+
+fn main() {
+    let update = std::env::args().any(|a| a == "--update");
+    let tolerance: f64 =
+        std::env::var("JOCL_BENCH_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.30);
+    let path = baseline_path();
+
+    println!("bench-regression gate (tolerance {:.0}%)", tolerance * 100.0);
+    let calibration = calibration_ns();
+    println!("  calibration  {calibration:>12} ns  (machine speed reference)");
+    let metrics = measure();
+
+    if update {
+        std::fs::write(&path, to_json(calibration, &metrics)).expect("write BENCH_BASELINE.json");
+        for (name, ns) in &metrics {
+            println!("  {name:<12} {ns:>12} ns  (recorded)");
+        }
+        println!("baseline written to {}", path.display());
+        return;
+    }
+
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); record one with scripts/update_bench_baseline.sh",
+            path.display()
+        )
+    });
+    let base_calibration = parse_baseline(&json, "calibration").unwrap_or_else(|e| panic!("{e}"));
+    println!(
+        "  machine vs baseline machine: {:.2}x (calibrated comparison)",
+        calibration as f64 / base_calibration.max(1) as f64
+    );
+    let mut failed = false;
+    for (name, ns) in &metrics {
+        let base = parse_baseline(&json, name).unwrap_or_else(|e| panic!("{e}"));
+        // Calibrated ratio: how much slower this metric got relative to
+        // how much slower this *machine* is — hardware differences
+        // between the baseline recorder and this runner divide out.
+        let ratio = (*ns as f64 / calibration.max(1) as f64)
+            / (base.max(1) as f64 / base_calibration.max(1) as f64);
+        let verdict = if ratio > 1.0 + tolerance {
+            failed = true;
+            "REGRESSION"
+        } else if ratio < 1.0 {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {name:<12} {ns:>12} ns  vs baseline {base:>12} ns  (calibrated {ratio:>5.2}x)  {verdict}"
+        );
+    }
+    if failed {
+        eprintln!(
+            "bench-regression: at least one metric regressed more than {:.0}% — \
+             optimize, or refresh the baseline deliberately with \
+             scripts/update_bench_baseline.sh and justify it in BENCH_NOTES.md",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench-regression: all metrics within tolerance");
+}

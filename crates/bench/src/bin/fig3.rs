@@ -20,18 +20,9 @@ fn main() {
         format!("Figure 3 — OKB relation linking accuracy on ReVerb45K-like (scale {scale})"),
         1.0,
     );
-    chart.bar(
-        "Falcon",
-        ctx.score_relation_linking(&baselines::falcon(okb, ckb).1),
-    );
-    chart.bar(
-        "EARL",
-        ctx.score_relation_linking(&baselines::earl(okb, ckb).1),
-    );
-    chart.bar(
-        "KBPearl",
-        ctx.score_relation_linking(&baselines::kbpearl(okb, ckb, 8).1),
-    );
+    chart.bar("Falcon", ctx.score_relation_linking(&baselines::falcon(okb, ckb).1));
+    chart.bar("EARL", ctx.score_relation_linking(&baselines::earl(okb, ckb).1));
+    chart.bar("KBPearl", ctx.score_relation_linking(&baselines::kbpearl(okb, ckb, 8).1));
     chart.bar(
         "Rematch",
         ctx.score_relation_linking(&baselines::rematch(okb, ckb, &ctx.dataset.synsets)),

@@ -19,24 +19,20 @@ fn main() {
             format!("Table 1 — NP canonicalization on {name} (scale {scale})"),
             &["Method", "Macro F1", "Micro F1", "Pairwise F1", "Average F1"],
         );
-        let cesi_t: f64 = std::env::var("JOCL_CESI_T").ok().and_then(|v| v.parse().ok()).unwrap_or(0.84);
-        let sist_t: f64 = std::env::var("JOCL_SIST_T").ok().and_then(|v| v.parse().ok()).unwrap_or(0.45);
+        let cesi_t: f64 =
+            std::env::var("JOCL_CESI_T").ok().and_then(|v| v.parse().ok()).unwrap_or(0.84);
+        let sist_t: f64 =
+            std::env::var("JOCL_SIST_T").ok().and_then(|v| v.parse().ok()).unwrap_or(0.45);
         let mut add = |label: &str, c: &jocl_cluster::Clustering| {
             let s = ctx.score_np(c);
-            table.row_scores(
-                label,
-                &[s.macro_.f1, s.micro.f1, s.pairwise.f1, s.average_f1()],
-            );
+            table.row_scores(label, &[s.macro_.f1, s.micro.f1, s.pairwise.f1, s.average_f1()]);
         };
         add("Morph Norm", &baselines::morph_norm(&ctx.dataset.okb));
         add(
             "Wikidata Integrator",
             &baselines::wikidata_integrator(&ctx.dataset.okb, &ctx.dataset.ckb).0,
         );
-        add(
-            "Text Similarity",
-            &baselines::text_similarity(&ctx.dataset.okb, &ctx.signals, 0.92),
-        );
+        add("Text Similarity", &baselines::text_similarity(&ctx.dataset.okb, &ctx.signals, 0.92));
         add(
             "IDF Token Overlap",
             &baselines::idf_token_overlap(&ctx.dataset.okb, &ctx.signals, 0.55),
@@ -45,22 +41,18 @@ fn main() {
             "Attribute Overlap",
             &baselines::attribute_overlap(&ctx.dataset.okb, &ctx.signals, 0.35),
         );
-        add(
-            "CESI",
-            &baselines::cesi(&ctx.dataset.okb, &ctx.dataset.ckb, &ctx.signals, cesi_t),
-        );
-        add(
-            "SIST",
-            &baselines::sist(&ctx.dataset.okb, &ctx.dataset.ckb, &ctx.signals, sist_t),
-        );
+        add("CESI", &baselines::cesi(&ctx.dataset.okb, &ctx.dataset.ckb, &ctx.signals, cesi_t));
+        add("SIST", &baselines::sist(&ctx.dataset.okb, &ctx.dataset.ckb, &ctx.signals, sist_t));
         let jocl = ctx.run_jocl(Variant::Full, FeatureSet::All);
         add("JOCL", &jocl.np_clustering);
         print!("{}", table.render());
         println!(
-            "  [jocl: {} vars, {} factors, lbp {} iters, converged={}]\n",
+            "  [jocl: {} vars, {} factors, lbp {:?} {} iters, {} message updates, converged={}]\n",
             jocl.diagnostics.num_vars,
             jocl.diagnostics.num_factors,
+            jocl_bench::env_schedule_mode(),
             jocl.diagnostics.lbp.iterations,
+            jocl.diagnostics.lbp.message_updates,
             jocl.diagnostics.lbp.converged
         );
     }

@@ -19,20 +19,11 @@ fn main() {
     );
     let mut add = |label: &str, c: &jocl_cluster::Clustering| {
         let s = ctx.score_rp(c);
-        table.row_scores(
-            label,
-            &[s.macro_.f1, s.micro.f1, s.pairwise.f1, s.average_f1()],
-        );
+        table.row_scores(label, &[s.macro_.f1, s.micro.f1, s.pairwise.f1, s.average_f1()]);
     };
-    add(
-        "AMIE",
-        &baselines::amie_baseline(&ctx.dataset.okb, AmieOptions::default()),
-    );
+    add("AMIE", &baselines::amie_baseline(&ctx.dataset.okb, AmieOptions::default()));
     add("PATTY", &baselines::patty(&ctx.dataset.okb, &ctx.dataset.synsets));
-    add(
-        "SIST",
-        &baselines::sist_rp(&ctx.dataset.okb, &ctx.dataset.synsets, &ctx.dataset.ppdb),
-    );
+    add("SIST", &baselines::sist_rp(&ctx.dataset.okb, &ctx.dataset.synsets, &ctx.dataset.ppdb));
     let jocl = ctx.run_jocl(Variant::Full, FeatureSet::All);
     add("JOCL", &jocl.rp_clustering);
     print!("{}", table.render());

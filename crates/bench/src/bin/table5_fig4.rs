@@ -40,14 +40,10 @@ fn main() {
     ]);
     print!("{}", spec.render());
 
-    let mut fig4a = BarChart::new(
-        format!("Figure 4(a) — NP canonicalization average F1 (scale {scale})"),
-        1.0,
-    );
-    let mut fig4b = BarChart::new(
-        format!("Figure 4(b) — OKB entity linking accuracy (scale {scale})"),
-        1.0,
-    );
+    let mut fig4a =
+        BarChart::new(format!("Figure 4(a) — NP canonicalization average F1 (scale {scale})"), 1.0);
+    let mut fig4b =
+        BarChart::new(format!("Figure 4(b) — OKB entity linking accuracy (scale {scale})"), 1.0);
     for (label, fs) in [
         ("JOCL-single", FeatureSet::Single),
         ("JOCL-double", FeatureSet::Double),

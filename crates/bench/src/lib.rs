@@ -19,4 +19,4 @@
 
 pub mod runner;
 
-pub use runner::{env_scale, env_seed, ExperimentContext, MethodScores};
+pub use runner::{env_scale, env_schedule_mode, env_seed, ExperimentContext, MethodScores};

@@ -4,7 +4,7 @@
 use jocl_cluster::Clustering;
 use jocl_core::pipeline::ValidationLabels;
 use jocl_core::signals::{build_signals, Signals};
-use jocl_core::{FeatureSet, Jocl, JoclConfig, JoclInput, Variant};
+use jocl_core::{FeatureSet, Jocl, JoclConfig, JoclInput, ScheduleMode, Variant};
 use jocl_datagen::Dataset;
 use jocl_embed::SgnsOptions;
 use jocl_eval::clustering::{evaluate_clustering_on, ClusteringScores};
@@ -13,18 +13,26 @@ use jocl_kb::{EntityId, NpMention, NpSlot, RelationId, RpMention, TripleId};
 
 /// `JOCL_SCALE` env var (default 0.02).
 pub fn env_scale() -> f64 {
-    std::env::var("JOCL_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.02)
+    std::env::var("JOCL_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.02)
 }
 
 /// `JOCL_SEED` env var (default 42).
 pub fn env_seed() -> u64 {
-    std::env::var("JOCL_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(42)
+    std::env::var("JOCL_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// `JOCL_SCHEDULE` env var: `residual` selects residual-scheduled message
+/// passing, `synchronous`/`sync` (or unset) the full sweeps. Anything
+/// else aborts loudly — a typo must not silently time the wrong engine.
+pub fn env_schedule_mode() -> ScheduleMode {
+    match std::env::var("JOCL_SCHEDULE") {
+        Err(_) => ScheduleMode::Synchronous,
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "" | "sync" | "synchronous" => ScheduleMode::Synchronous,
+            "residual" => ScheduleMode::Residual,
+            other => panic!("JOCL_SCHEDULE must be 'synchronous' or 'residual', got {other:?}"),
+        },
+    }
 }
 
 /// One method's clustering scores plus a label.
@@ -54,13 +62,8 @@ impl ExperimentContext {
     /// Prepare a context from a generated dataset.
     pub fn prepare(dataset: Dataset, seed: u64) -> Self {
         let sgns = SgnsOptions { dim: 48, epochs: 4, seed, ..Default::default() };
-        let signals = build_signals(
-            &dataset.okb,
-            &dataset.ckb,
-            &dataset.ppdb,
-            &dataset.corpus,
-            &sgns,
-        );
+        let signals =
+            build_signals(&dataset.okb, &dataset.ckb, &dataset.ppdb, &dataset.corpus, &sgns);
         let (validation, test) = dataset.entity_split(0.2, seed);
         let labels = validation_labels(&dataset, &validation);
         Self { dataset, signals, validation, test, labels }
@@ -78,15 +81,15 @@ impl ExperimentContext {
 
     /// Default JOCL configuration for experiments at the current scale.
     pub fn jocl_config(&self) -> JoclConfig {
-        let train_epochs = std::env::var("JOCL_TRAIN_EPOCHS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(4);
-        JoclConfig {
+        let train_epochs =
+            std::env::var("JOCL_TRAIN_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+        let mut config = JoclConfig {
             sgns: SgnsOptions { dim: 48, epochs: 4, ..Default::default() },
             train_epochs,
             ..Default::default()
-        }
+        };
+        config.lbp.mode = env_schedule_mode();
+        config
     }
 
     /// Run JOCL with a variant/feature-set override, reusing the shared
@@ -116,22 +119,28 @@ impl ExperimentContext {
 
     /// Score an NP clustering on the test mentions.
     pub fn score_np(&self, predicted: &Clustering) -> ClusteringScores {
-        evaluate_clustering_on(predicted, &self.dataset.gold.np_clustering(), &self.test_np_mentions())
+        evaluate_clustering_on(
+            predicted,
+            &self.dataset.gold.np_clustering(),
+            &self.test_np_mentions(),
+        )
     }
 
     /// Score an RP clustering on the test mentions.
     pub fn score_rp(&self, predicted: &Clustering) -> ClusteringScores {
-        evaluate_clustering_on(predicted, &self.dataset.gold.rp_clustering(), &self.test_rp_mentions())
+        evaluate_clustering_on(
+            predicted,
+            &self.dataset.gold.rp_clustering(),
+            &self.test_rp_mentions(),
+        )
     }
 
     /// Entity linking accuracy on test mentions with gold links.
     pub fn score_entity_linking(&self, predicted: &[Option<EntityId>]) -> f64 {
         let idx = self.test_np_mentions();
         let p: Vec<Option<EntityId>> = idx.iter().map(|&i| predicted[i]).collect();
-        let g: Vec<Option<EntityId>> = idx
-            .iter()
-            .map(|&i| self.dataset.gold.np_entity[i])
-            .collect();
+        let g: Vec<Option<EntityId>> =
+            idx.iter().map(|&i| self.dataset.gold.np_entity[i]).collect();
         linking_accuracy(&p, &g).accuracy()
     }
 
@@ -139,10 +148,8 @@ impl ExperimentContext {
     pub fn score_relation_linking(&self, predicted: &[Option<RelationId>]) -> f64 {
         let idx = self.test_rp_mentions();
         let p: Vec<Option<RelationId>> = idx.iter().map(|&i| predicted[i]).collect();
-        let g: Vec<Option<RelationId>> = idx
-            .iter()
-            .map(|&i| self.dataset.gold.rp_relation[i])
-            .collect();
+        let g: Vec<Option<RelationId>> =
+            idx.iter().map(|&i| self.dataset.gold.rp_relation[i]).collect();
         linking_accuracy(&p, &g).accuracy()
     }
 }
@@ -172,10 +179,7 @@ mod tests {
     #[test]
     fn context_prepares_consistent_split() {
         let ctx = ExperimentContext::prepare(reverb45k_like(3, 0.004), 3);
-        assert_eq!(
-            ctx.validation.len() + ctx.test.len(),
-            ctx.dataset.okb.len()
-        );
+        assert_eq!(ctx.validation.len() + ctx.test.len(), ctx.dataset.okb.len());
         assert!(ctx.labels.num_labeled() > 0);
         // Labels only on validation triples.
         for &t in &ctx.test {

@@ -35,13 +35,7 @@ macro_rules! smoke {
         #[ignore = "miniature but complete experiment; run with -- --ignored"]
         fn $name() {
             let stdout = run_bin(env!(concat!("CARGO_BIN_EXE_", $bin)));
-            assert!(
-                stdout.contains($expect),
-                "{} output missing {:?}:\n{}",
-                $bin,
-                $expect,
-                stdout
-            );
+            assert!(stdout.contains($expect), "{} output missing {:?}:\n{}", $bin, $expect, stdout);
         }
     };
 }

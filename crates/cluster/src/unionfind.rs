@@ -17,11 +17,7 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self {
-            parent: (0..n as u32).collect(),
-            size: vec![1; n],
-            components: n,
-        }
+        Self { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
     }
 
     /// Number of items.

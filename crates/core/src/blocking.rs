@@ -48,14 +48,10 @@ impl Blocking {
 
 /// Generate blocked pairs for an OKB under `config`.
 pub fn block_pairs(okb: &Okb, signals: &Signals, config: &JoclConfig) -> Blocking {
-    let subjects: Vec<(TripleId, String)> = okb
-        .triples()
-        .map(|(t, tr)| (t, tr.subject.to_lowercase()))
-        .collect();
-    let objects: Vec<(TripleId, String)> = okb
-        .triples()
-        .map(|(t, tr)| (t, tr.object.to_lowercase()))
-        .collect();
+    let subjects: Vec<(TripleId, String)> =
+        okb.triples().map(|(t, tr)| (t, tr.subject.to_lowercase())).collect();
+    let objects: Vec<(TripleId, String)> =
+        okb.triples().map(|(t, tr)| (t, tr.object.to_lowercase())).collect();
     // Predicates are blocked on their morphological normal form (tense,
     // auxiliaries, determiners and modifiers stripped): OIE relation
     // phrases are conventionally pre-normalized this way (ReVerb emits
@@ -157,10 +153,8 @@ fn block_family(
         }
     }
 
-    let mut out: Vec<(TripleId, TripleId)> = pairs
-        .into_iter()
-        .map(|(a, b)| (TripleId(a), TripleId(b)))
-        .collect();
+    let mut out: Vec<(TripleId, TripleId)> =
+        pairs.into_iter().map(|(a, b)| (TripleId(a), TripleId(b))).collect();
     out.sort_unstable();
     out
 }
@@ -246,9 +240,7 @@ mod tests {
         // "university of" — above threshold with IDF weighting? They share
         // 2 of 4 tokens; either way "Warren Buffett" must not pair with
         // universities.
-        assert!(!b.subj_pairs.iter().any(|&(a, b2)| {
-            (a == TripleId(3)) ^ (b2 == TripleId(3))
-        }));
+        assert!(!b.subj_pairs.iter().any(|&(a, b2)| { (a == TripleId(3)) ^ (b2 == TripleId(3)) }));
     }
 
     #[test]
@@ -257,11 +249,7 @@ mod tests {
         let s = signals(&okb);
         let b = block_pairs(&okb, &s, &JoclConfig::default());
         // "be a member of" vs "be an early member of" share most tokens.
-        assert!(
-            b.pred_pairs.contains(&(TripleId(1), TripleId(2))),
-            "{:?}",
-            b.pred_pairs
-        );
+        assert!(b.pred_pairs.contains(&(TripleId(1), TripleId(2))), "{:?}", b.pred_pairs);
     }
 
     #[test]
@@ -301,11 +289,8 @@ mod tests {
         // A clique would be C(20,2)=190 pairs; the chain gives 19.
         assert_eq!(b.subj_pairs.len(), 19);
         // Connectivity is preserved: the pairs chain all 20 triples.
-        let edges: Vec<(usize, usize)> = b
-            .subj_pairs
-            .iter()
-            .map(|&(a, b2)| (a.idx(), b2.idx()))
-            .collect();
+        let edges: Vec<(usize, usize)> =
+            b.subj_pairs.iter().map(|&(a, b2)| (a.idx(), b2.idx())).collect();
         let c = jocl_cluster::Clustering::from_edges(20, edges);
         assert_eq!(c.num_clusters(), 1);
     }

@@ -33,7 +33,9 @@ use crate::signals::{PhraseCtx, Signals};
 use jocl_exec::Pool;
 use jocl_fg::graph::FactorSpec;
 use jocl_fg::{FactorGraph, Params, Potential, VarId};
-use jocl_kb::{CandidateGen, Ckb, EntityId, NpMention, NpSlot, Okb, RelationId, RpMention, TripleId};
+use jocl_kb::{
+    CandidateGen, Ckb, EntityId, NpMention, NpSlot, Okb, RelationId, RpMention, TripleId,
+};
 use jocl_text::fx::FxHashMap;
 
 /// Parameter-group ids for every factor family.
@@ -150,9 +152,7 @@ fn sharded_map<T: Sync, R: Send>(
 
 /// Distinct-key collector preserving first-seen order: returns the list
 /// of `(key, payload-of-first-occurrence)` and a key → index map.
-fn distinct_keys<K, P>(
-    items: impl Iterator<Item = (K, P)>,
-) -> (Vec<(K, P)>, FxHashMap<K, usize>)
+fn distinct_keys<K, P>(items: impl Iterator<Item = (K, P)>) -> (Vec<(K, P)>, FxHashMap<K, usize>)
 where
     K: std::hash::Hash + Eq + Clone,
 {
@@ -197,14 +197,10 @@ fn build_graph_sharded(
     };
     let mut stats = BuildStats::default();
 
-    let with_linking = matches!(
-        config.variant,
-        Variant::Full | Variant::LinkOnly | Variant::NoConsistency
-    );
-    let with_canon = matches!(
-        config.variant,
-        Variant::Full | Variant::CanoOnly | Variant::NoConsistency
-    );
+    let with_linking =
+        matches!(config.variant, Variant::Full | Variant::LinkOnly | Variant::NoConsistency);
+    let with_canon =
+        matches!(config.variant, Variant::Full | Variant::CanoOnly | Variant::NoConsistency);
     let with_consistency = matches!(config.variant, Variant::Full);
 
     // ---------------- linking variables + F4/F5/F6 -----------------------
@@ -260,8 +256,7 @@ fn build_graph_sharded(
         let rp_cands: Vec<Vec<RelationId>> = sharded_map(pool, &rp_keys, |(_, phrase)| {
             gen.relation_candidates(phrase).iter().map(|s| s.id).collect()
         });
-        let mut used_rels: Vec<u32> =
-            rp_cands.iter().flatten().map(|r| r.0).collect();
+        let mut used_rels: Vec<u32> = rp_cands.iter().flatten().map(|r| r.0).collect();
         used_rels.sort_unstable();
         used_rels.dedup();
         let used_ctx: Vec<Vec<(PhraseCtx, PhraseCtx)>> = sharded_map(pool, &used_rels, |&rid| {
@@ -277,17 +272,19 @@ fn build_graph_sharded(
         let ctx_of = |r: RelationId| -> &Vec<(PhraseCtx, PhraseCtx)> {
             &used_ctx[used_rels.binary_search(&r.0).expect("candidate relation has a context")]
         };
-        let rp_values: Vec<(Vec<RelationId>, Vec<Vec<f64>>)> =
-            sharded_map(pool, &rp_cands.iter().zip(&rp_keys).collect::<Vec<_>>(), |(cands, (_, phrase))| {
+        let rp_values: Vec<(Vec<RelationId>, Vec<Vec<f64>>)> = sharded_map(
+            pool,
+            &rp_cands.iter().zip(&rp_keys).collect::<Vec<_>>(),
+            |(cands, (_, phrase))| {
                 let pctx = signals.phrase_ctx(phrase);
-                let nctx =
-                    signals.phrase_ctx(&jocl_text::normalize::morph_normalize_rp(phrase));
+                let nctx = signals.phrase_ctx(&jocl_text::normalize::morph_normalize_rp(phrase));
                 let feats: Vec<Vec<f64>> = cands
                     .iter()
                     .map(|&r| relation_link_features_ctx(signals, &pctx, &nctx, ctx_of(r), fs))
                     .collect();
                 ((*cands).clone(), feats)
-            });
+            },
+        );
         graph.reserve(okb.num_rp_mentions(), okb.num_rp_mentions());
         for m in okb.rp_mentions() {
             let key = okb.rp_phrase(m).to_lowercase();
@@ -314,24 +311,21 @@ fn build_graph_sharded(
         // Distinct phrase pairs (NP pairs serve subjects *and* objects;
         // subjects first, matching the historical cache-fill order), then
         // pooled similarity computation per distinct pair.
-        let np_pair_items = blocking
-            .subj_pairs
-            .iter()
-            .map(|&(ti, tj)| (okb.triple(ti).subject.clone(), okb.triple(tj).subject.clone()))
-            .chain(
-                blocking
-                    .obj_pairs
-                    .iter()
-                    .map(|&(ti, tj)| (okb.triple(ti).object.clone(), okb.triple(tj).object.clone())),
-            );
+        let np_pair_items =
+            blocking
+                .subj_pairs
+                .iter()
+                .map(|&(ti, tj)| (okb.triple(ti).subject.clone(), okb.triple(tj).subject.clone()))
+                .chain(blocking.obj_pairs.iter().map(|&(ti, tj)| {
+                    (okb.triple(ti).object.clone(), okb.triple(tj).object.clone())
+                }));
         let (np_pair_keys, np_pair_index) =
             distinct_keys(np_pair_items.map(|(a, b)| (ordered_key(&a, &b), (a, b))));
         let np_pair_sims: Vec<Vec<f64>> =
             sharded_map(pool, &np_pair_keys, |(_, (a, b))| np_canon_features(signals, a, b, fs));
         let (rp_pair_keys, rp_pair_index) =
             distinct_keys(blocking.pred_pairs.iter().map(|&(ti, tj)| {
-                let (a, b) =
-                    (okb.triple(ti).predicate.clone(), okb.triple(tj).predicate.clone());
+                let (a, b) = (okb.triple(ti).predicate.clone(), okb.triple(tj).predicate.clone());
                 (ordered_key(&a, &b), (a, b))
             }));
         let rp_pair_sims: Vec<Vec<f64>> =
@@ -374,9 +368,7 @@ fn build_graph_sharded(
                 pair_potential(group, &sims[index[&key]])
             });
             graph.add_factor_batch(
-                vars.iter()
-                    .zip(potentials)
-                    .map(|(&v, p)| FactorSpec::new(vec![v], p, class)),
+                vars.iter().zip(potentials).map(|(&v, p)| FactorSpec::new(vec![v], p, class)),
             );
             *out = pairs.iter().zip(vars).map(|(&(ti, tj), v)| (ti, tj, v)).collect();
         }
@@ -417,28 +409,27 @@ fn build_graph_sharded(
                 }
             })
             .collect();
-        let specs: Vec<FactorSpec> =
-            sharded_map(pool, &u4_items, |&(sv, rv, ov, sm, rm, om)| {
-                let cs = &np_candidates[sm];
-                let cr = &rp_candidates[rm];
-                let co = &np_candidates[om];
-                let (ks, kr, ko) = (cs.len(), cr.len(), co.len());
-                let mut high = Vec::new();
-                for (oi, &o) in co.iter().enumerate() {
-                    for (ri, &r) in cr.iter().enumerate() {
-                        for (si, &s) in cs.iter().enumerate() {
-                            if ckb.has_fact(s, r, o) {
-                                high.push((si + ks * ri + ks * kr * oi) as u32);
-                            }
+        let specs: Vec<FactorSpec> = sharded_map(pool, &u4_items, |&(sv, rv, ov, sm, rm, om)| {
+            let cs = &np_candidates[sm];
+            let cr = &rp_candidates[rm];
+            let co = &np_candidates[om];
+            let (ks, kr, ko) = (cs.len(), cr.len(), co.len());
+            let mut high = Vec::new();
+            for (oi, &o) in co.iter().enumerate() {
+                for (ri, &r) in cr.iter().enumerate() {
+                    for (si, &s) in cs.iter().enumerate() {
+                        if ckb.has_fact(s, r, o) {
+                            high.push((si + ks * ri + ks * kr * oi) as u32);
                         }
                     }
                 }
-                FactorSpec::new(
-                    vec![sv, rv, ov],
-                    Potential::two_level(groups.beta[3], ks * kr * ko, high, 0.9, 0.1),
-                    classes::U4,
-                )
-            });
+            }
+            FactorSpec::new(
+                vec![sv, rv, ov],
+                Potential::two_level(groups.beta[3], ks * kr * ko, high, 0.9, 0.1),
+                classes::U4,
+            )
+        });
         stats.fact_factors = specs.len();
         graph.add_factor_batch(specs);
     }
@@ -639,10 +630,7 @@ pub fn relation_link_features(
     let best = |f: &dyn Fn(&str, &str) -> f64| -> f64 {
         rel.surface_forms
             .iter()
-            .map(|sf| {
-                f(phrase, sf)
-                    .max(f(&normed, &jocl_text::normalize::morph_normalize_rp(sf)))
-            })
+            .map(|sf| f(phrase, sf).max(f(&normed, &jocl_text::normalize::morph_normalize_rp(sf))))
             .fold(0.0, f64::max)
     };
     let mut v = vec![best(&|a, b| signals.sim_ngram(a, b))];

@@ -84,7 +84,11 @@ pub struct JoclConfig {
     /// Candidate generation options (top-K etc.).
     pub candidates: CandidateOptions,
     /// LBP options; the phased schedule of §3.4 is installed by the
-    /// pipeline regardless of `schedule` here.
+    /// pipeline regardless of `schedule` here. The update-selection
+    /// `mode` **is** honored: set it to [`jocl_fg::ScheduleMode::Residual`]
+    /// to run priority-scheduled message passing (same fixed point within
+    /// `tol`, far fewer message updates at scale — see
+    /// `Diagnostics::lbp.message_updates`).
     pub lbp: LbpOptions,
     /// Learning rate for weight training (paper §4.1: 0.05).
     pub learning_rate: f64,
@@ -125,7 +129,13 @@ impl Default for JoclConfig {
             features: FeatureSet::All,
             blocking_threshold: 0.5,
             candidates: CandidateOptions::default(),
-            lbp: LbpOptions { max_iters: 20, tol: 1e-3, damping: 0.1, threads: 4, ..Default::default() },
+            lbp: LbpOptions {
+                max_iters: 20,
+                tol: 1e-3,
+                damping: 0.1,
+                threads: 4,
+                ..Default::default()
+            },
             learning_rate: 0.05,
             train_epochs: 6,
             max_triangles: 50_000,

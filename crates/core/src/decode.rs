@@ -109,18 +109,10 @@ pub fn decode(
     resolve_conflicts(&rp_confident, &mut rp_links);
 
     // 4. Final clusterings: union positive pairs (+ same-link edges).
-    let np_clustering = final_clustering(
-        okb.num_np_mentions(),
-        &np_positive,
-        &np_links,
-        config.merge_by_link,
-    );
-    let rp_clustering = final_clustering(
-        okb.num_rp_mentions(),
-        &rp_positive,
-        &rp_links,
-        config.merge_by_link,
-    );
+    let np_clustering =
+        final_clustering(okb.num_np_mentions(), &np_positive, &np_links, config.merge_by_link);
+    let rp_clustering =
+        final_clustering(okb.num_rp_mentions(), &rp_positive, &rp_links, config.merge_by_link);
 
     JoclOutput {
         np_clustering,
@@ -151,8 +143,7 @@ fn resolve_conflicts<T: Copy + Eq + std::hash::Hash>(
         }
         let (sa, sb) = (group_size[&la], group_size[&lb]);
         // Larger group wins; ties keep the first mention's label.
-        let (winner, loser_mention, loser_label) =
-            if sa >= sb { (la, b, lb) } else { (lb, a, la) };
+        let (winner, loser_mention, loser_label) = if sa >= sb { (la, b, lb) } else { (lb, a, la) };
         links[loser_mention] = Some(winner);
         *group_size.entry(winner).or_insert(0) += 1;
         if let Some(s) = group_size.get_mut(&loser_label) {
@@ -236,14 +227,7 @@ mod tests {
     #[test]
     fn chained_conflicts_converge_to_biggest_group() {
         // Groups: {0,1,2}→A, {3,4}→B, {5}→C; positive pairs 2-3 and 4-5.
-        let mut links = vec![
-            Some('A'),
-            Some('A'),
-            Some('A'),
-            Some('B'),
-            Some('B'),
-            Some('C'),
-        ];
+        let mut links = vec![Some('A'), Some('A'), Some('A'), Some('B'), Some('B'), Some('C')];
         resolve_conflicts(&[(2, 3), (4, 5)], &mut links);
         assert_eq!(links[3], Some('A'));
         // After the first merge A has 4 members; mention 4 still links B;

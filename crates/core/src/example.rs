@@ -52,12 +52,7 @@ pub struct Figure1 {
 impl Figure1 {
     /// Borrowed input view for [`crate::Jocl::run`].
     pub fn input(&self) -> JoclInput<'_> {
-        JoclInput {
-            okb: &self.okb,
-            ckb: &self.ckb,
-            ppdb: &self.ppdb,
-            corpus: &self.corpus,
-        }
+        JoclInput { okb: &self.okb, ckb: &self.ckb, ppdb: &self.ppdb, corpus: &self.corpus }
     }
 
     /// A configuration suited to this tiny instance (no training data, a
@@ -129,11 +124,7 @@ pub fn figure1() -> Figure1 {
     let mut okb = Okb::new();
     okb.add_triple(Triple::new("University of Maryland", "locate in", "Maryland"));
     okb.add_triple(Triple::new("UMD", "be a member of", "Universitas 21"));
-    okb.add_triple(Triple::new(
-        "University of Virginia",
-        "be an early member of",
-        "U21",
-    ));
+    okb.add_triple(Triple::new("University of Virginia", "be an early member of", "U21"));
 
     let ppdb = ParaphraseStore::from_groups([
         vec!["University of Maryland", "UMD"],
@@ -153,23 +144,9 @@ pub fn figure1() -> Figure1 {
         "universitas 21 include umd",
         "u21 include university of virginia",
     ];
-    let corpus: Vec<Vec<String>> = raw
-        .iter()
-        .map(|s| jocl_text::tokenize(s))
-        .collect();
+    let corpus: Vec<Vec<String>> = raw.iter().map(|s| jocl_text::tokenize(s)).collect();
 
-    Figure1 {
-        okb,
-        ckb,
-        ppdb,
-        corpus,
-        e_maryland,
-        e_u21,
-        e_uva,
-        e_umd,
-        r_location,
-        r_member,
-    }
+    Figure1 { okb, ckb, ppdb, corpus, e_maryland, e_u21, e_uva, e_umd, r_location, r_member }
 }
 
 #[cfg(test)]

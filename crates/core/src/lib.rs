@@ -41,6 +41,7 @@ pub use blocking::{block_pairs, Blocking};
 pub use builder::{build_graph, GraphPlan};
 pub use config::{FeatureSet, JoclConfig, Variant};
 pub use decode::JoclOutput;
+pub use jocl_fg::ScheduleMode;
 pub use persist::{load_params, save_params};
 pub use pipeline::{Jocl, JoclInput};
 pub use signals::{build_signals, Signals};

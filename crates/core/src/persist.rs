@@ -50,6 +50,42 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Regression (satellite of the residual-scheduling PR): a truncated
+    /// or non-numeric weight file must surface as a typed [`KbError`] from
+    /// [`load_params`], never a panic or silently-garbage [`Params`].
+    #[test]
+    fn load_params_rejects_truncated_and_non_numeric_files() {
+        use jocl_kb::KbError;
+
+        let dir = std::env::temp_dir().join(format!("jocl-persist-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("params.tsv");
+        let cases: &[(&str, &str)] = &[
+            // Truncated mid-line: the count column promises more weights
+            // than the line holds (e.g. a partial write / partial copy).
+            ("3\t0.5\t0.25\n", "truncated line"),
+            // Truncated mid-number leaving a bare count.
+            ("2\t0.5\t\n", "empty weight field"),
+            // Non-numeric garbage where a weight should be.
+            ("1\tpotato\n", "non-numeric weight"),
+            // Parseable but non-finite: f64::parse accepts these.
+            ("1\tinf\n", "infinite weight"),
+            ("1\tNaN\n", "NaN weight"),
+            // Garbage count column (e.g. the file is not a weight file).
+            ("weights\t1.0\n", "non-numeric count"),
+        ];
+        for (contents, what) in cases {
+            std::fs::write(&path, contents).unwrap();
+            match load_params(&path) {
+                Err(KbError::Parse { line: 1, .. }) => {}
+                other => panic!("{what}: expected Parse error at line 1, got {other:?}"),
+            }
+        }
+        // Missing file stays a typed I/O error.
+        assert!(matches!(load_params(&dir.join("nonexistent.tsv")), Err(KbError::Io(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// End-to-end: train on the figure-1 example, persist, rerun with the
     /// loaded weights — training is skipped and the output is identical.
     #[test]

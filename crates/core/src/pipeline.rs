@@ -85,13 +85,8 @@ impl Jocl {
 
     /// Full run: build signals, then [`Jocl::run_with_signals`].
     pub fn run(&self, input: JoclInput<'_>, labels: Option<&ValidationLabels>) -> JoclOutput {
-        let signals = build_signals(
-            input.okb,
-            input.ckb,
-            input.ppdb,
-            input.corpus,
-            &self.config.sgns,
-        );
+        let signals =
+            build_signals(input.okb, input.ckb, input.ppdb, input.corpus, &self.config.sgns);
         self.run_with_signals(input, &signals, labels)
     }
 
@@ -105,11 +100,8 @@ impl Jocl {
     ) -> JoclOutput {
         let config = &self.config;
         let blocking = block_pairs(input.okb, signals, config);
-        let pair_counts = (
-            blocking.subj_pairs.len(),
-            blocking.pred_pairs.len(),
-            blocking.obj_pairs.len(),
-        );
+        let pair_counts =
+            (blocking.subj_pairs.len(), blocking.pred_pairs.len(), blocking.obj_pairs.len());
         let mut plan = build_graph(input.okb, input.ckb, signals, &blocking, config);
 
         // --- learning (§3.4) -------------------------------------------------
@@ -183,7 +175,8 @@ fn collect_clamps(
     // Linking variables: clamp to the gold candidate index when present.
     for m in okb.np_mentions() {
         let d = m.dense();
-        let (Some(var), Some(gold)) = (plan.np_link_vars[d], labels.np_entity.get(d).copied().flatten())
+        let (Some(var), Some(gold)) =
+            (plan.np_link_vars[d], labels.np_entity.get(d).copied().flatten())
         else {
             continue;
         };

@@ -162,14 +162,7 @@ pub fn build_signals(
     let embeddings = train_sgns(corpus, sgns);
     let amie = jocl_rules::amie::mine(okb, AmieOptions::default());
     let kbp = KbpCategorizer::from_ckb(ckb);
-    Signals {
-        idf_np,
-        idf_rp,
-        embeddings,
-        ppdb: ppdb.clone(),
-        amie,
-        kbp,
-    }
+    Signals { idf_np, idf_rp, embeddings, ppdb: ppdb.clone(), amie, kbp }
 }
 
 #[cfg(test)]
@@ -194,11 +187,13 @@ mod tests {
             vec!["rome".into(), "capital".into(), "italy".into()],
             vec!["roma".into(), "capital".into(), "italy".into()],
         ];
-        let signals = build_signals(&okb, &ckb, &ppdb, &corpus, &SgnsOptions {
-            dim: 8,
-            epochs: 2,
-            ..Default::default()
-        });
+        let signals = build_signals(
+            &okb,
+            &ckb,
+            &ppdb,
+            &corpus,
+            &SgnsOptions { dim: 8, epochs: 2, ..Default::default() },
+        );
         (signals, ckb)
     }
 

@@ -1,0 +1,56 @@
+//! Residual-scheduled LBP through the full pipeline: on the paper's
+//! Figure 1(a) worked example, `ScheduleMode::Residual` must decode the
+//! same joint result as the synchronous sweeps while performing strictly
+//! fewer message updates (the counter the bench-regression gate watches).
+
+use jocl_core::example::figure1;
+use jocl_core::{Jocl, JoclConfig, ScheduleMode};
+
+fn run_with_mode(mode: ScheduleMode) -> jocl_core::JoclOutput {
+    let ex = figure1();
+    let mut config: JoclConfig = ex.config();
+    config.lbp.mode = mode;
+    Jocl::new(config).run(ex.input(), None)
+}
+
+#[test]
+fn residual_mode_reproduces_figure1_with_strictly_fewer_updates() {
+    let sync = run_with_mode(ScheduleMode::Synchronous);
+    let residual = run_with_mode(ScheduleMode::Residual);
+
+    // Identical decode: links and clusters, not just close marginals.
+    assert_eq!(residual.np_links, sync.np_links);
+    assert_eq!(residual.rp_links, sync.rp_links);
+    assert_eq!(residual.np_clustering.num_clusters(), sync.np_clustering.num_clusters());
+    assert_eq!(residual.rp_clustering.num_clusters(), sync.rp_clustering.num_clusters());
+
+    // Both converge under the figure1 config…
+    assert!(sync.diagnostics.lbp.converged);
+    assert!(residual.diagnostics.lbp.converged);
+
+    // …and the residual schedule does strictly less message work.
+    let (s, r) = (sync.diagnostics.lbp.message_updates, residual.diagnostics.lbp.message_updates);
+    assert!(r > 0, "counter must be wired through the pipeline");
+    assert!(r < s, "residual mode must update strictly fewer messages on figure1: {r} vs {s}");
+}
+
+#[test]
+fn residual_mode_counter_survives_training() {
+    // Training runs clamped + free LBP per epoch; the mode (and counter)
+    // must flow through `TrainOptions::lbp` unchanged.
+    use jocl_core::pipeline::ValidationLabels;
+    use jocl_kb::{NpMention, NpSlot, RpMention, TripleId};
+
+    let ex = figure1();
+    let mut labels = ValidationLabels::empty(&ex.okb);
+    labels.np_entity[NpMention { triple: TripleId(0), slot: NpSlot::Subject }.dense()] =
+        Some(ex.e_umd);
+    labels.rp_relation[RpMention(TripleId(0)).dense()] = Some(ex.r_location);
+
+    let mut config = ex.config();
+    config.train_epochs = 2;
+    config.lbp.mode = ScheduleMode::Residual;
+    let out = Jocl::new(config).run(ex.input(), Some(&labels));
+    assert!(out.diagnostics.train_epochs > 0, "fixture must actually train");
+    assert!(out.diagnostics.lbp.message_updates > 0);
+}

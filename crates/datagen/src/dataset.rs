@@ -1,8 +1,8 @@
 //! Dataset assembly: world → (CKB, OKB, gold, resources).
 
 use crate::options::WorldOptions;
-use crate::world::World;
 use crate::words::Zipf;
+use crate::world::World;
 use jocl_cluster::Clustering;
 use jocl_kb::{Ckb, CkbRelation, Entity, EntityId, Okb, RelationId, SideInfo, Triple, TripleId};
 use jocl_rules::ParaphraseStore;
@@ -80,11 +80,7 @@ impl Dataset {
                 .filter(|&(ai, _)| ai == 0 || !rng.gen_bool(opts.ckb_alias_gap))
                 .map(|(_, a)| a.clone())
                 .collect();
-            ckb.add_entity(Entity {
-                name: e.name.clone(),
-                aliases,
-                types: e.types.clone(),
-            });
+            ckb.add_entity(Entity { name: e.name.clone(), aliases, types: e.types.clone() });
         }
         for rel in &world.relations {
             // Like entity aliases, the CKB's surface-form inventory for a
@@ -125,11 +121,8 @@ impl Dataset {
             let total = 5 + (w * world.num_ckb_entities() as f64 * 60.0).round() as u64;
             let others = aliases.len().saturating_sub(1).max(1) as u64;
             for (ai, alias) in aliases.iter().enumerate() {
-                let count = if ai == 0 {
-                    (total / 2).max(1)
-                } else {
-                    (total / (2 * others)).max(1)
-                };
+                let count =
+                    if ai == 0 { (total / 2).max(1) } else { (total / (2 * others)).max(1) };
                 ckb.add_anchor(alias, EntityId(i as u32), count);
                 // Anchor noise: the same surface form also points at a
                 // wrong entity some of the time, as real anchors do.
@@ -240,16 +233,7 @@ impl Dataset {
             }
         }
 
-        Dataset {
-            name: name.to_string(),
-            ckb,
-            okb,
-            gold,
-            ppdb,
-            synsets,
-            corpus,
-            world,
-        }
+        Dataset { name: name.to_string(), ckb, okb, gold, ppdb, synsets, corpus, world }
     }
 
     /// Split triples by gold subject entity: triples whose subject belongs
@@ -278,8 +262,7 @@ impl Dataset {
         let mut test = Vec::new();
         for (tid, _) in self.okb.triples() {
             let subj_gold = self.gold.np_entity[tid.idx() * 2];
-            let in_val =
-                subj_gold.is_some_and(|e| validation_entities.contains(&e.0));
+            let in_val = subj_gold.is_some_and(|e| validation_entities.contains(&e.0));
             if in_val {
                 validation.push(tid);
             } else {
@@ -415,7 +398,8 @@ mod tests {
             let entity = d.ckb.entity(gold);
             let overlap = entity.aliases.iter().any(|a| {
                 let a = a.to_lowercase();
-                phrase.contains(&a) || a.contains(phrase.trim_start_matches("the "))
+                phrase.contains(&a)
+                    || a.contains(phrase.trim_start_matches("the "))
                     || tokenize(&a).iter().any(|t| phrase.contains(t.as_str()))
             });
             if overlap {
@@ -434,9 +418,8 @@ mod tests {
     #[test]
     fn oov_mentions_have_no_link_but_cluster() {
         let d = tiny();
-        let oov: Vec<usize> = (0..d.gold.np_entity.len())
-            .filter(|&i| d.gold.np_entity[i].is_none())
-            .collect();
+        let oov: Vec<usize> =
+            (0..d.gold.np_entity.len()).filter(|&i| d.gold.np_entity[i].is_none()).collect();
         assert!(!oov.is_empty(), "tiny world should contain OOV mentions");
         // Cluster labels exist for them (shadow entity ids).
         for &i in &oov {

@@ -10,8 +10,8 @@ use rand::Rng;
 use std::collections::HashSet;
 
 const CONSONANTS: &[&str] = &[
-    "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "sh", "br",
-    "dr", "st", "tr",
+    "b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "sh", "br", "dr",
+    "st", "tr",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ia", "ar", "en", "or", "el"];
 
@@ -121,10 +121,7 @@ impl Zipf {
     /// Sample a rank.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let u: f64 = rng.gen();
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
-        {
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
             Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
         }
     }

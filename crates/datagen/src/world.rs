@@ -139,11 +139,8 @@ const ORG_TEMPLATES: &[(&str, &str)] = &[
     ("college of", "college"),
     ("bank of", "bank"),
 ];
-const ORG_SUFFIX_TEMPLATES: &[(&str, &str)] = &[
-    ("corporation", "company"),
-    ("society", "organization"),
-    ("group", "company"),
-];
+const ORG_SUFFIX_TEMPLATES: &[(&str, &str)] =
+    &[("corporation", "company"), ("society", "organization"), ("group", "company")];
 
 impl World {
     /// Number of CKB entities (prefix of [`World::entities`]).
@@ -218,11 +215,8 @@ impl World {
                 let w = take_word(&mut next_word);
                 let name = format!("{w} {suffix}");
                 let full = title_case(&name);
-                let abbrev = format!(
-                    "{} {}",
-                    capitalize(&w),
-                    capitalize(&suffix[..4.min(suffix.len())])
-                );
+                let abbrev =
+                    format!("{} {}", capitalize(&w), capitalize(&suffix[..4.min(suffix.len())]));
                 let aliases = vec![full, abbrev, capitalize(&w)];
                 (name, aliases, type_label)
             };
@@ -297,13 +291,9 @@ impl World {
         let mut relations = Vec::with_capacity(opts.num_relations);
         for r in 0..opts.num_relations {
             let num_synonyms = rng.gen_range(2..=4);
-            let words: Vec<String> =
-                (0..num_synonyms).map(|_| take_word(&mut next_word)).collect();
-            let kind = if rng.gen_bool(0.5) {
-                TemplateKind::VerbPrep
-            } else {
-                TemplateKind::BeNounPrep
-            };
+            let words: Vec<String> = (0..num_synonyms).map(|_| take_word(&mut next_word)).collect();
+            let kind =
+                if rng.gen_bool(0.5) { TemplateKind::VerbPrep } else { TemplateKind::BeNounPrep };
             let (subject_kind, object_kind) = SIGNATURES[rng.gen_range(0..SIGNATURES.len())];
             relations.push(WorldRelation {
                 kind,
@@ -324,20 +314,13 @@ impl World {
                 .map(|(i, _)| i)
                 .collect()
         };
-        let kind_pools_ckb: Vec<(EntityKind, Vec<usize>)> = [
-            EntityKind::Person,
-            EntityKind::Organization,
-            EntityKind::Place,
-        ]
-        .into_iter()
-        .map(|k| (k, by_kind(&entities, k, true)))
-        .collect();
+        let kind_pools_ckb: Vec<(EntityKind, Vec<usize>)> =
+            [EntityKind::Person, EntityKind::Organization, EntityKind::Place]
+                .into_iter()
+                .map(|k| (k, by_kind(&entities, k, true)))
+                .collect();
         let pool_of = |k: EntityKind, pools: &[(EntityKind, Vec<usize>)]| -> Vec<usize> {
-            pools
-                .iter()
-                .find(|(kk, _)| *kk == k)
-                .map(|(_, v)| v.clone())
-                .unwrap_or_default()
+            pools.iter().find(|(kk, _)| *kk == k).map(|(_, v)| v.clone()).unwrap_or_default()
         };
         let mut facts = Vec::with_capacity(opts.num_facts);
         let mut seen = std::collections::HashSet::new();
@@ -448,13 +431,7 @@ fn zipf_pick(rng: &mut StdRng, zipf: &Zipf, pool_len: usize) -> usize {
 
 fn title_case(s: &str) -> String {
     s.split(' ')
-        .map(|t| {
-            if jocl_text::stopwords::is_stopword(t) {
-                t.to_string()
-            } else {
-                capitalize(t)
-            }
-        })
+        .map(|t| if jocl_text::stopwords::is_stopword(t) { t.to_string() } else { capitalize(t) })
         .collect::<Vec<_>>()
         .join(" ")
 }
@@ -522,11 +499,8 @@ mod tests {
     #[test]
     fn organizations_have_ambiguous_aliases() {
         let (w, _) = world();
-        let orgs: Vec<&WorldEntity> = w
-            .entities
-            .iter()
-            .filter(|e| e.kind == EntityKind::Organization)
-            .collect();
+        let orgs: Vec<&WorldEntity> =
+            w.entities.iter().filter(|e| e.kind == EntityKind::Organization).collect();
         assert!(!orgs.is_empty());
         // At least one org should carry a short (initialism/abbrev) alias.
         assert!(
@@ -540,7 +514,9 @@ mod tests {
         let (w, opts) = world();
         let mut rng = StdRng::seed_from_u64(5);
         let org = (0..w.entities.len())
-            .find(|&i| w.entities[i].kind == EntityKind::Organization && w.entities[i].aliases.len() > 1)
+            .find(|&i| {
+                w.entities[i].kind == EntityKind::Organization && w.entities[i].aliases.len() > 1
+            })
             .expect("an org with aliases");
         let variants: std::collections::HashSet<String> =
             (0..100).map(|_| w.render_np(&mut rng, org, &opts)).collect();

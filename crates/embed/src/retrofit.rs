@@ -44,16 +44,13 @@ pub fn retrofit(store: &mut EmbeddingStore, edges: &[(String, String)], opts: &R
     };
     let index: std::collections::HashMap<&str, usize> =
         keys.iter().enumerate().map(|(i, k)| (k.as_str(), i)).collect();
-    let originals: Vec<Vec<f32>> = keys
-        .iter()
-        .map(|k| store.get(k).expect("key just listed").to_vec())
-        .collect();
+    let originals: Vec<Vec<f32>> =
+        keys.iter().map(|k| store.get(k).expect("key just listed").to_vec()).collect();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); keys.len()];
     for (a, b) in edges {
-        let (Some(&ia), Some(&ib)) = (
-            index.get(a.to_lowercase().as_str()),
-            index.get(b.to_lowercase().as_str()),
-        ) else {
+        let (Some(&ia), Some(&ib)) =
+            (index.get(a.to_lowercase().as_str()), index.get(b.to_lowercase().as_str()))
+        else {
             continue;
         };
         if ia == ib {
@@ -126,11 +123,7 @@ mod tests {
     #[test]
     fn missing_keys_are_ignored() {
         let mut s = base_store();
-        retrofit(
-            &mut s,
-            &[("umd".into(), "nonexistent".into())],
-            &RetrofitOptions::default(),
-        );
+        retrofit(&mut s, &[("umd".into(), "nonexistent".into())], &RetrofitOptions::default());
         assert_eq!(s.get("umd"), Some(&[1.0f32, 0.0][..]));
     }
 

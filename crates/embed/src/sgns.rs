@@ -66,16 +66,11 @@ pub fn train_sgns(sentences: &[Vec<String>], opts: &SgnsOptions) -> EmbeddingSto
             *counts.entry(w.as_str()).or_insert(0) += 1;
         }
     }
-    let mut vocab: Vec<(&str, usize)> = counts
-        .into_iter()
-        .filter(|&(_, c)| c >= opts.min_count)
-        .collect();
+    let mut vocab: Vec<(&str, usize)> =
+        counts.into_iter().filter(|&(_, c)| c >= opts.min_count).collect();
     vocab.sort(); // deterministic id assignment
-    let index: FxHashMap<&str, u32> = vocab
-        .iter()
-        .enumerate()
-        .map(|(i, &(w, _))| (w, i as u32))
-        .collect();
+    let index: FxHashMap<&str, u32> =
+        vocab.iter().enumerate().map(|(i, &(w, _))| (w, i as u32)).collect();
     let v = vocab.len();
     if v == 0 {
         return EmbeddingStore::new(opts.dim);
@@ -194,15 +189,13 @@ mod tests {
         let mut sentences = Vec::new();
         for round in 0..60 {
             for (i, _) in cluster_a.iter().enumerate() {
-                let s: Vec<String> = (0..4)
-                    .map(|k| cluster_a[(i + k + round) % 4].to_string())
-                    .collect();
+                let s: Vec<String> =
+                    (0..4).map(|k| cluster_a[(i + k + round) % 4].to_string()).collect();
                 sentences.push(s);
             }
             for (i, _) in cluster_b.iter().enumerate() {
-                let s: Vec<String> = (0..4)
-                    .map(|k| cluster_b[(i + k + round) % 4].to_string())
-                    .collect();
+                let s: Vec<String> =
+                    (0..4).map(|k| cluster_b[(i + k + round) % 4].to_string()).collect();
                 sentences.push(s);
             }
         }
@@ -242,10 +235,8 @@ mod tests {
             vec!["common".to_string(), "common".to_string(), "rare".to_string()],
             vec!["common".to_string(), "common".to_string()],
         ];
-        let store = train_sgns(
-            &corpus,
-            &SgnsOptions { min_count: 2, epochs: 1, ..Default::default() },
-        );
+        let store =
+            train_sgns(&corpus, &SgnsOptions { min_count: 2, epochs: 1, ..Default::default() });
         assert!(store.get("common").is_some());
         assert!(store.get("rare").is_none());
     }

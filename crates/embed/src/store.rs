@@ -152,7 +152,8 @@ impl EmbeddingStore {
         let mut raw = Vec::new();
         r.read_to_end(&mut raw)?;
         let mut buf = raw.as_slice();
-        let fail = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let fail =
+            |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
         if buf.remaining() < 8 {
             return Err(fail("truncated header"));
         }

@@ -34,10 +34,7 @@ impl LinkingScore {
 ///
 /// # Panics
 /// Panics if the slices differ in length.
-pub fn linking_accuracy<T: PartialEq>(
-    predicted: &[Option<T>],
-    gold: &[Option<T>],
-) -> LinkingScore {
+pub fn linking_accuracy<T: PartialEq>(predicted: &[Option<T>], gold: &[Option<T>]) -> LinkingScore {
     assert_eq!(
         predicted.len(),
         gold.len(),

@@ -58,11 +58,7 @@ impl Table {
         }
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
-        let sep: String = widths
-            .iter()
-            .map(|w| "-".repeat(w + 2))
-            .collect::<Vec<_>>()
-            .join("+");
+        let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
         let fmt_row = |cells: &[String]| -> String {
             cells
                 .iter()

@@ -246,6 +246,36 @@ impl Pool<'_> {
         }
     }
 
+    /// Map every chunk of `0..n_items` to a value and return the values in
+    /// ascending chunk order. Each chunk writes its own pre-allocated slot
+    /// (no locks), so this is the cheapest way to drain a ready set in
+    /// parallel while keeping a deterministic result layout — the residual
+    /// LBP scheduler uses it to process a popped batch of factor blocks and
+    /// read back per-chunk residual summaries in order.
+    pub fn map_chunks<T, M>(&self, n_items: usize, chunk_size: usize, map: M) -> Vec<T>
+    where
+        T: Send,
+        M: Fn(usize, Range<usize>) -> T + Sync,
+    {
+        struct SlotPtr<T>(*mut Option<T>);
+        unsafe impl<T: Send> Send for SlotPtr<T> {}
+        unsafe impl<T: Send> Sync for SlotPtr<T> {}
+        let n_chunks = chunk_count(n_items, chunk_size);
+        let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+        {
+            let ptr = SlotPtr(slots.as_mut_ptr());
+            self.chunked_for_each(n_items, chunk_size, |c, range| {
+                let value = map(c, range);
+                let ptr = &ptr;
+                // SAFETY: chunk `c` is claimed exactly once, so slot `c` has
+                // a single writer; the overwritten value is the `None` the
+                // slot was initialized with (nothing to drop).
+                unsafe { ptr.0.add(c).write(Some(value)) };
+            });
+        }
+        slots.into_iter().map(|v| v.expect("every chunk produces a value")).collect()
+    }
+
     /// Map every chunk of `0..n_items` to a value, then fold the values in
     /// ascending chunk order: `acc = reduce(acc, map(chunk))`. The fold
     /// order makes the result deterministic for any worker count.
@@ -262,20 +292,7 @@ impl Pool<'_> {
         M: Fn(usize, Range<usize>) -> T + Sync,
         R: FnMut(A, T) -> A,
     {
-        let n_chunks = chunk_count(n_items, chunk_size);
-        let slots: Vec<Mutex<Option<T>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
-        self.chunked_for_each(n_items, chunk_size, |c, range| {
-            *slots[c].lock().expect("map slot poisoned") = Some(map(c, range));
-        });
-        let mut acc = init;
-        for slot in slots {
-            let value = slot
-                .into_inner()
-                .expect("map slot poisoned")
-                .expect("every chunk produces a value");
-            acc = reduce(acc, value);
-        }
-        acc
+        self.map_chunks(n_items, chunk_size, map).into_iter().fold(init, &mut reduce)
     }
 }
 
@@ -303,11 +320,7 @@ where
             let shared = &shared;
             s.spawn(move |_| shared.worker_loop());
         }
-        let out = f(&Pool {
-            shared: Some(&shared),
-            threads,
-            _not_send: std::marker::PhantomData,
-        });
+        let out = f(&Pool { shared: Some(&shared), threads, _not_send: std::marker::PhantomData });
         drop(guard);
         out
     });
@@ -376,6 +389,16 @@ mod tests {
         let serial = run(1);
         assert_eq!(serial, (0..25).collect::<Vec<usize>>());
         assert_eq!(serial, run(4));
+    }
+
+    #[test]
+    fn map_chunks_returns_values_in_chunk_order() {
+        for threads in [1, 4] {
+            let chunks = with_pool(threads, |pool| {
+                pool.map_chunks(23, 5, |c, range| (c, range.start, range.len()))
+            });
+            assert_eq!(chunks, vec![(0, 0, 5), (1, 5, 5), (2, 10, 5), (3, 15, 5), (4, 20, 3)]);
+        }
     }
 
     #[test]

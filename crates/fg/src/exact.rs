@@ -17,27 +17,23 @@ const MAX_CONFIGS: usize = 1 << 22;
 ///
 /// # Panics
 /// Panics if the joint space exceeds [`MAX_CONFIGS`] configurations.
-pub fn exact_marginals(
-    graph: &FactorGraph,
-    params: &Params,
-    clamps: &[(VarId, u32)],
-) -> Marginals {
+pub fn exact_marginals(graph: &FactorGraph, params: &Params, clamps: &[(VarId, u32)]) -> Marginals {
     let n = graph.num_vars();
-    let cards: Vec<usize> = (0..n)
-        .map(|v| graph.cardinality(VarId(v as u32)) as usize)
-        .collect();
-    let total: usize = cards.iter().try_fold(1usize, |acc, &c| {
-        let next = acc.checked_mul(c)?;
-        (next <= MAX_CONFIGS).then_some(next)
-    }).expect("joint space too large for exact inference");
+    let cards: Vec<usize> = (0..n).map(|v| graph.cardinality(VarId(v as u32)) as usize).collect();
+    let total: usize = cards
+        .iter()
+        .try_fold(1usize, |acc, &c| {
+            let next = acc.checked_mul(c)?;
+            (next <= MAX_CONFIGS).then_some(next)
+        })
+        .expect("joint space too large for exact inference");
 
     let clamp_map: std::collections::HashMap<usize, u32> =
         clamps.iter().map(|&(v, s)| (v.idx(), s)).collect();
 
     // Accumulate log-weights per (var, state).
     let mut state = vec![0u32; n];
-    let mut log_weights: Vec<Vec<Vec<f64>>> =
-        (0..n).map(|v| vec![Vec::new(); cards[v]]).collect();
+    let mut log_weights: Vec<Vec<Vec<f64>>> = (0..n).map(|v| vec![Vec::new(); cards[v]]).collect();
     let mut all_logw = Vec::with_capacity(total);
     'outer: for _ in 0..total {
         // Respect clamps: skip configurations contradicting evidence.
@@ -121,7 +117,8 @@ mod tests {
             0,
         );
         let exact = exact_marginals(&g, &params, &[]);
-        let (lbp, res) = run_lbp(&g, &params, &[], &LbpOptions { tol: 1e-10, ..Default::default() });
+        let (lbp, res) =
+            run_lbp(&g, &params, &[], &LbpOptions { tol: 1e-10, ..Default::default() });
         assert!(res.converged);
         for v in [a, b, c] {
             for s in 0..g.cardinality(v) {
@@ -142,11 +139,7 @@ mod tests {
         let b = g.add_var(2);
         let mut params = Params::new();
         let g1 = params.add_group_with(vec![1.0]);
-        g.add_factor(
-            &[a, b],
-            Potential::Scores { group: g1, scores: vec![1.0, 0.0, 0.0, 1.0] },
-            0,
-        );
+        g.add_factor(&[a, b], Potential::Scores { group: g1, scores: vec![1.0, 0.0, 0.0, 1.0] }, 0);
         let m = exact_marginals(&g, &params, &[(a, 1)]);
         assert_eq!(m.prob(a, 1), 1.0);
         assert!(m.prob(b, 1) > 0.5);
@@ -158,11 +151,7 @@ mod tests {
         let a = g.add_var(4);
         let mut params = Params::new();
         let g1 = params.add_group_with(vec![1.0]);
-        g.add_factor(
-            &[a],
-            Potential::Scores { group: g1, scores: vec![0.0, 1.0, 2.0, 3.0] },
-            0,
-        );
+        g.add_factor(&[a], Potential::Scores { group: g1, scores: vec![0.0, 1.0, 2.0, 3.0] }, 0);
         let m = exact_marginals(&g, &params, &[]);
         let total: f64 = m.of(a).iter().sum();
         assert!((total - 1.0).abs() < 1e-12);

@@ -99,11 +99,7 @@ impl Potential {
             Potential::Features { .. } => None,
             Potential::Scores { scores, .. } => Some(scores[flat]),
             Potential::TwoLevelScores { high_configs, high, low, .. } => {
-                Some(if high_configs.binary_search(&(flat as u32)).is_ok() {
-                    *high
-                } else {
-                    *low
-                })
+                Some(if high_configs.binary_search(&(flat as u32)).is_ok() { *high } else { *low })
             }
         }
     }
@@ -120,11 +116,8 @@ impl Potential {
             }
             Potential::Scores { group, scores } => params.group(*group)[0] * scores[flat],
             Potential::TwoLevelScores { group, high_configs, high, low, .. } => {
-                let u = if high_configs.binary_search(&(flat as u32)).is_ok() {
-                    *high
-                } else {
-                    *low
-                };
+                let u =
+                    if high_configs.binary_search(&(flat as u32)).is_ok() { *high } else { *low };
                 params.group(*group)[0] * u
             }
         }
@@ -322,9 +315,7 @@ impl FactorGraph {
 
     /// Factors adjacent to variable `v` as `(FactorId, slot)` pairs.
     pub fn var_factors(&self, v: VarId) -> impl Iterator<Item = (FactorId, usize)> + '_ {
-        self.var_adj[v.idx()]
-            .iter()
-            .map(|&(f, s)| (FactorId(f), s as usize))
+        self.var_adj[v.idx()].iter().map(|&(f, s)| (FactorId(f), s as usize))
     }
 
     /// Degree (number of adjacent factors) of variable `v`.
@@ -337,11 +328,7 @@ impl FactorGraph {
     pub fn flat_index(&self, f: FactorId, states: &[u32]) -> usize {
         let fd = &self.factors[f.idx()];
         debug_assert_eq!(states.len(), fd.vars.len());
-        states
-            .iter()
-            .zip(&fd.strides)
-            .map(|(&s, &st)| s as usize * st)
-            .sum()
+        states.iter().zip(&fd.strides).map(|(&s, &st)| s as usize * st).sum()
     }
 
     /// Recover the state of slot `slot` from a flat table index of `f`.
@@ -377,11 +364,7 @@ mod tests {
         let mut g = FactorGraph::new();
         let a = g.add_var(2);
         let b = g.add_var(3);
-        let f = g.add_factor(
-            &[a, b],
-            Potential::Scores { group: 0, scores: vec![0.0; 6] },
-            1,
-        );
+        let f = g.add_factor(&[a, b], Potential::Scores { group: 0, scores: vec![0.0; 6] }, 1);
         assert_eq!(g.num_vars(), 2);
         assert_eq!(g.num_factors(), 1);
         assert_eq!(g.table_size(f), 6);
@@ -397,11 +380,7 @@ mod tests {
         let a = g.add_var(2);
         let b = g.add_var(3);
         let c = g.add_var(4);
-        let f = g.add_factor(
-            &[a, b, c],
-            Potential::Scores { group: 0, scores: vec![0.0; 24] },
-            0,
-        );
+        let f = g.add_factor(&[a, b, c], Potential::Scores { group: 0, scores: vec![0.0; 24] }, 0);
         for sa in 0..2u32 {
             for sb in 0..3u32 {
                 for sc in 0..4u32 {

@@ -21,6 +21,13 @@
 //! 4 threads *slower* than serial — see `BENCH_NOTES.md`). Each factor
 //! owns a disjoint region of the message arena and damping/normalization
 //! commits per edge, so marginals are bit-identical for any thread count.
+//!
+//! Two **update-selection modes** ([`ScheduleMode`]) sit on top of the
+//! schedule: `Synchronous` full sweeps, and `Residual` — a bucketed
+//! max-residual priority queue over factor blocks with dirty propagation
+//! through the CSR variable adjacency, which reaches the same fixed point
+//! within `tol` while recomputing only the messages whose inputs still
+//! change ([`LbpResult::message_updates`] counts both modes identically).
 
 use crate::graph::{FactorGraph, FactorId, Potential, VarId};
 use crate::logspace::{log_normalize, logsumexp, max_abs_diff, to_probs};
@@ -29,6 +36,27 @@ use crate::params::Params;
 /// Log-potential treated as "probability zero" while keeping additions
 /// well-conditioned (exp(-1e4) underflows to exactly 0.0).
 pub const LOG_ZERO: f64 = -1.0e4;
+
+/// How message updates are *selected* within the [`Schedule`]'s class
+/// structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleMode {
+    /// Full sweeps: every scheduled factor updates each iteration, phase
+    /// by phase, then every scheduled variable. The PR-2 behaviour.
+    #[default]
+    Synchronous,
+    /// Residual-scheduled message passing (Elidan et al., UAI 2006
+    /// style): after one priming sweep, factor blocks are re-updated in
+    /// max-residual-first order from a bucketed O(1)-pop priority queue.
+    /// A factor's priority is the accumulated change of its incoming
+    /// variable→factor messages since its last update — a sound upper
+    /// bound on the residual of recomputing it, so an empty queue
+    /// certifies that no message can move by `tol` or more. Converges to
+    /// the same fixed point within `tol` as [`ScheduleMode::Synchronous`]
+    /// while recomputing only the messages whose inputs still change;
+    /// [`LbpResult::message_updates`] counts the savings.
+    Residual,
+}
 
 /// Message-passing schedule.
 #[derive(Debug, Clone)]
@@ -59,6 +87,14 @@ pub struct LbpOptions {
     pub damping: f64,
     /// Schedule (see [`Schedule`]).
     pub schedule: Schedule,
+    /// Update-selection mode (see [`ScheduleMode`]).
+    pub mode: ScheduleMode,
+    /// Factor blocks drained from the priority queue per round in
+    /// [`ScheduleMode::Residual`]. Deliberately independent of `threads`
+    /// so the schedule (and therefore every message) is identical for any
+    /// worker count; larger batches amortize the pool handshake, smaller
+    /// ones follow priorities more faithfully.
+    pub residual_batch: usize,
     /// Worker threads for the factor sweep (1 = serial). The result is
     /// identical for any thread count.
     pub threads: usize,
@@ -77,6 +113,8 @@ impl Default for LbpOptions {
             tol: 1e-4,
             damping: 0.1,
             schedule: Schedule::Synchronous,
+            mode: ScheduleMode::Synchronous,
+            residual_batch: 32,
             threads: 1,
             exact_threads: false,
         }
@@ -86,12 +124,21 @@ impl Default for LbpOptions {
 /// Statistics of an LBP run.
 #[derive(Debug, Clone, Copy)]
 pub struct LbpResult {
-    /// Iterations executed.
+    /// Iterations executed. In residual mode this is the number of
+    /// *sweep-equivalents*: `message_updates` divided by the messages one
+    /// full sweep would recompute, rounded up — directly comparable to
+    /// the synchronous iteration count.
     pub iterations: usize,
     /// Whether the residual dropped below `tol`.
     pub converged: bool,
-    /// Final max message residual.
+    /// Final max message residual (in residual mode after convergence:
+    /// the largest remaining priority, an upper bound on any message's
+    /// pending change).
     pub residual: f64,
+    /// Factor→variable messages recomputed — one per factor edge per
+    /// factor-block update, with identical accounting in both schedule
+    /// modes, so synchronous vs residual counts are directly comparable.
+    pub message_updates: u64,
 }
 
 /// Per-variable marginal distributions.
@@ -217,12 +264,8 @@ impl<'g> LbpEngine<'g> {
             self.vf[off..off + card].fill(uniform);
         }
         // Re-apply clamp evidence to vf messages.
-        let clamped: Vec<(usize, u32)> = self
-            .clamps
-            .iter()
-            .enumerate()
-            .filter_map(|(v, c)| c.map(|s| (v, s)))
-            .collect();
+        let clamped: Vec<(usize, u32)> =
+            self.clamps.iter().enumerate().filter_map(|(v, c)| c.map(|s| (v, s))).collect();
         for (v, s) in clamped {
             self.write_clamped_var_messages(VarId(v as u32), s);
         }
@@ -266,16 +309,10 @@ impl<'g> LbpEngine<'g> {
         self.factor_edge_start[f] as usize..self.factor_edge_start[f + 1] as usize
     }
 
-    /// Run LBP to convergence (or `max_iters`). Messages persist, so
-    /// marginals and factor beliefs can be queried afterwards.
-    ///
-    /// The pool is created once here: the factor (and variable) lists of
-    /// every schedule phase are materialized up front, workers are spawned
-    /// once, and all iterations/phases reuse them. Marginals are
-    /// bit-identical for any `opts.threads`.
-    pub fn run(&mut self, params: &Params, opts: &LbpOptions) -> LbpResult {
-        self.reset_messages();
-        let (factor_phases, var_phases): (Vec<Vec<u8>>, Vec<Vec<u8>>) = match &opts.schedule {
+    /// Materialize the per-phase factor/variable id lists of a schedule
+    /// once per run instead of re-filtering every iteration.
+    fn phase_selections(&self, schedule: &Schedule) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        let (factor_phases, var_phases): (Vec<Vec<u8>>, Vec<Vec<u8>>) = match schedule {
             Schedule::Synchronous => {
                 let mut all_f: Vec<u8> = (0..self.graph.num_factors())
                     .map(|f| self.graph.factor_class(FactorId(f as u32)))
@@ -293,8 +330,6 @@ impl<'g> LbpEngine<'g> {
                 (factor_phases.clone(), var_phases.clone())
             }
         };
-        // Materialize the per-phase factor/variable lists once per run
-        // instead of re-filtering every iteration.
         let factor_sel: Vec<Vec<u32>> = factor_phases
             .iter()
             .map(|classes| {
@@ -311,18 +346,60 @@ impl<'g> LbpEngine<'g> {
                     .collect()
             })
             .collect();
-        let threads = if opts.exact_threads {
+        (factor_sel, var_sel)
+    }
+
+    /// Worker count for a run, honoring `exact_threads`.
+    fn run_threads(opts: &LbpOptions) -> usize {
+        if opts.exact_threads {
             opts.threads.max(1)
         } else {
             jocl_exec::effective_threads(opts.threads.max(1))
+        }
+    }
+
+    /// Factor→variable messages recomputed by one update of factor `f`.
+    #[inline]
+    fn factor_message_count(&self, f: usize) -> u64 {
+        self.factor_edges(f).len() as u64
+    }
+
+    /// Run LBP to convergence (or `max_iters`). Messages persist, so
+    /// marginals and factor beliefs can be queried afterwards.
+    ///
+    /// Dispatches on [`LbpOptions::mode`]: synchronous sweeps or the
+    /// residual-scheduled drain. Either way the pool is created once and
+    /// reused for every sweep/batch, and marginals are bit-identical for
+    /// any `opts.threads`.
+    pub fn run(&mut self, params: &Params, opts: &LbpOptions) -> LbpResult {
+        match opts.mode {
+            ScheduleMode::Synchronous => self.run_synchronous(params, opts),
+            ScheduleMode::Residual => self.run_residual(params, opts),
+        }
+    }
+
+    /// Synchronous mode: full factor + variable sweeps per iteration.
+    fn run_synchronous(&mut self, params: &Params, opts: &LbpOptions) -> LbpResult {
+        self.reset_messages();
+        let (factor_sel, var_sel) = self.phase_selections(&opts.schedule);
+        let phase_messages: Vec<u64> = factor_sel
+            .iter()
+            .map(|sel| sel.iter().map(|&f| self.factor_message_count(f as usize)).sum())
+            .collect();
+        let threads = Self::run_threads(opts);
+        let mut result = LbpResult {
+            iterations: 0,
+            converged: false,
+            residual: f64::INFINITY,
+            message_updates: 0,
         };
-        let mut result = LbpResult { iterations: 0, converged: false, residual: f64::INFINITY };
         jocl_exec::with_pool(threads, |pool| {
             for iter in 0..opts.max_iters {
                 let mut residual = 0.0f64;
-                for selected in &factor_sel {
+                for (selected, messages) in factor_sel.iter().zip(&phase_messages) {
                     residual =
                         residual.max(self.update_factor_messages(params, selected, opts, pool));
+                    result.message_updates += messages;
                 }
                 for selected in &var_sel {
                     self.update_var_messages(selected);
@@ -336,6 +413,276 @@ impl<'g> LbpEngine<'g> {
             }
         });
         result
+    }
+
+    /// Residual mode: one priming sweep in schedule order, then a
+    /// max-residual drain of factor blocks from a bucketed priority queue
+    /// (see [`ScheduleMode::Residual`]).
+    ///
+    /// Every structural decision (batch contents, variable update order)
+    /// is made serially from deterministic state, and the pooled batch
+    /// update writes disjoint per-factor regions, so the trajectory — and
+    /// therefore every message and counter — is bit-identical for any
+    /// thread count.
+    fn run_residual(&mut self, params: &Params, opts: &LbpOptions) -> LbpResult {
+        self.reset_messages();
+        let (factor_sel, var_sel) = self.phase_selections(&opts.schedule);
+        let nf = self.graph.num_factors();
+        let ne = self.num_edges();
+        // Classes absent from the schedule never update, in either mode —
+        // factors *and* variables: dirty propagation must keep an
+        // unscheduled variable's messages frozen exactly as the
+        // synchronous sweeps do, or the two modes converge to different
+        // fixed points.
+        let mut factor_active = vec![false; nf];
+        for sel in &factor_sel {
+            for &f in sel {
+                factor_active[f as usize] = true;
+            }
+        }
+        let mut var_active = vec![false; self.graph.num_vars()];
+        for sel in &var_sel {
+            for &v in sel {
+                var_active[v as usize] = true;
+            }
+        }
+        // Inverse of the factor-major edge enumeration: edge → factor.
+        let mut edge_factor = vec![0u32; ne];
+        for f in 0..nf {
+            for e in self.factor_edges(f) {
+                edge_factor[e] = f as u32;
+            }
+        }
+        // The messages one full sweep over the scheduled factors costs;
+        // budget the drain to `max_iters` sweep-equivalents so both modes
+        // get the same worst-case work bound.
+        let sweep_messages: u64 = factor_active
+            .iter()
+            .enumerate()
+            .filter(|&(_, active)| *active)
+            .map(|(f, _)| self.factor_message_count(f))
+            .sum();
+        let budget = (opts.max_iters as u64).saturating_mul(sweep_messages);
+        let threads = Self::run_threads(opts);
+        let batch_cap = opts.residual_batch.max(1);
+        let mut prio = vec![0.0f64; nf];
+        let mut queue = BucketQueue::new(opts.tol, nf);
+        let mut batch: Vec<u32> = Vec::with_capacity(batch_cap);
+        let mut dirty_vars: Vec<u32> = Vec::new();
+        let mut var_scratch = VarScratch::default();
+        let mut result = LbpResult {
+            iterations: 0,
+            converged: false,
+            residual: f64::INFINITY,
+            message_updates: 0,
+        };
+        // Damping makes a committed message keep moving toward its
+        // input-stationary target even when the inputs are frozen: the
+        // next update shifts it by ~λ× this update's shift. Re-enqueueing
+        // each updated factor with that geometric tail keeps the drain
+        // running until the *committed* messages are stationary within
+        // `tol` — the same criterion the synchronous sweeps use.
+        let damping_tail = opts.damping.clamp(0.0, 1.0);
+        let bump_after_update = |f: u32, r_f: f64, prio: &mut Vec<f64>, queue: &mut BucketQueue| {
+            let tail = damping_tail * r_f;
+            if tail > 0.0 {
+                let old_p = prio[f as usize];
+                prio[f as usize] = old_p + tail;
+                queue.update(f, old_p, old_p + tail);
+            }
+        };
+        jocl_exec::with_pool(threads, |pool| {
+            // Priming sweep: exactly the synchronous engine's first
+            // iteration, so every scheduled message is computed at least
+            // once and the paper's phase order shapes the starting point.
+            for selected in &factor_sel {
+                let residuals = self.residual_factor_batch(params, selected, opts, pool);
+                for (&f, &r_f) in selected.iter().zip(&residuals) {
+                    bump_after_update(f, r_f, &mut prio, &mut queue);
+                }
+                result.message_updates +=
+                    selected.iter().map(|&f| self.factor_message_count(f as usize)).sum::<u64>();
+            }
+            for selected in &var_sel {
+                for &v in selected {
+                    self.residual_var_update(
+                        v,
+                        &factor_active,
+                        &edge_factor,
+                        &mut prio,
+                        &mut queue,
+                        &mut var_scratch,
+                    );
+                }
+            }
+            // Drain: pop the highest-priority factor blocks, recompute
+            // them in parallel, propagate the resulting variable-message
+            // changes back into the queue.
+            loop {
+                batch.clear();
+                queue.pop_batch(batch_cap, &mut prio, &mut batch);
+                if batch.is_empty() {
+                    result.converged = true;
+                    break;
+                }
+                if result.message_updates >= budget {
+                    break;
+                }
+                let residuals = self.residual_factor_batch(params, &batch, opts, pool);
+                result.residual = residuals.iter().copied().fold(0.0, f64::max);
+                for (&f, &r_f) in batch.iter().zip(&residuals) {
+                    bump_after_update(f, r_f, &mut prio, &mut queue);
+                }
+                result.message_updates +=
+                    batch.iter().map(|&f| self.factor_message_count(f as usize)).sum::<u64>();
+                // Dirty propagation through the CSR variable adjacency:
+                // only *scheduled* variables incident to the updated
+                // blocks can move (unscheduled classes stay frozen, as in
+                // synchronous mode).
+                dirty_vars.clear();
+                for &f in &batch {
+                    for e in self.factor_edges(f as usize) {
+                        let v = self.edge_var[e];
+                        if var_active[v as usize] {
+                            dirty_vars.push(v);
+                        }
+                    }
+                }
+                dirty_vars.sort_unstable();
+                dirty_vars.dedup();
+                for &v in &dirty_vars {
+                    self.residual_var_update(
+                        v,
+                        &factor_active,
+                        &edge_factor,
+                        &mut prio,
+                        &mut queue,
+                        &mut var_scratch,
+                    );
+                }
+            }
+        });
+        result.iterations = result.message_updates.div_ceil(sweep_messages.max(1)) as usize;
+        if result.converged {
+            // Largest remaining priority: a bound on any pending change.
+            result.residual = prio.iter().copied().fold(0.0, f64::max);
+        }
+        result
+    }
+
+    /// Recompute the outgoing messages of variable `v` (residual mode),
+    /// accumulate each edge's change into the receiving factor's priority,
+    /// and (re-)enqueue factors whose priority reaches `tol`. Clamped
+    /// variables are skipped: their evidence messages never change.
+    ///
+    /// Only variables selected by the schedule are ever passed in, and
+    /// only active factors are bumped, so unscheduled classes stay frozen
+    /// exactly as in synchronous mode.
+    fn residual_var_update(
+        &mut self,
+        v: u32,
+        factor_active: &[bool],
+        edge_factor: &[u32],
+        prio: &mut [f64],
+        queue: &mut BucketQueue,
+        scratch: &mut VarScratch,
+    ) {
+        if self.clamps[v as usize].is_some() {
+            return;
+        }
+        let vid = VarId(v);
+        let card = self.graph.cardinality(vid) as usize;
+        scratch.total.clear();
+        scratch.total.resize(card, 0.0);
+        let adj =
+            self.var_edge_start[v as usize] as usize..self.var_edge_start[v as usize + 1] as usize;
+        for ei in adj.clone() {
+            let r = self.edge_range(self.var_edges[ei] as usize);
+            for (t, x) in scratch.total.iter_mut().zip(&self.fv[r]) {
+                *t += *x;
+            }
+        }
+        for ei in adj {
+            let e = self.var_edges[ei] as usize;
+            let r = self.edge_range(e);
+            let off = r.start;
+            scratch.old.clear();
+            scratch.old.extend_from_slice(&self.vf[r.clone()]);
+            for (i, &t) in scratch.total.iter().enumerate().take(card) {
+                self.vf[off + i] = t - self.fv[off + i];
+            }
+            log_normalize(&mut self.vf[r.clone()]);
+            let delta = max_abs_diff(&self.vf[r], &scratch.old);
+            if delta <= 0.0 {
+                continue;
+            }
+            let g = edge_factor[e] as usize;
+            if !factor_active[g] {
+                continue;
+            }
+            let old_p = prio[g];
+            let new_p = old_p + delta;
+            prio[g] = new_p;
+            queue.update(g as u32, old_p, new_p);
+        }
+    }
+
+    /// Fused compute + commit of one drained batch of factor blocks on the
+    /// pool; returns the committed message residual of each factor, in
+    /// batch order. Factors own disjoint edge regions of `fv`/`new_fv` and
+    /// each appears in exactly one chunk, so chunks write through shared
+    /// pointers; [`jocl_exec::Pool::map_chunks`] returns the per-chunk
+    /// residual lists in chunk order, which concatenate back to batch
+    /// order.
+    fn residual_factor_batch(
+        &mut self,
+        params: &Params,
+        batch: &[u32],
+        opts: &LbpOptions,
+        pool: &jocl_exec::Pool<'_>,
+    ) -> Vec<f64> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let chunk = Self::sweep_chunk_size(batch.len(), pool);
+        let lambda = opts.damping;
+        let mut fv = std::mem::take(&mut self.fv);
+        let mut new_fv = std::mem::take(&mut self.new_fv);
+        let residuals = {
+            let fv_ptr = SendPtr(fv.as_mut_ptr());
+            let new_ptr = SendPtr(new_fv.as_mut_ptr());
+            let len = fv.len();
+            pool.map_chunks(batch.len(), chunk, |_, range| {
+                let (fv_ptr, new_ptr) = (&fv_ptr, &new_ptr);
+                // SAFETY: as in the sweep paths — disjoint per-factor edge
+                // regions, each factor in exactly one chunk.
+                let fv = unsafe { std::slice::from_raw_parts_mut(fv_ptr.0, len) };
+                let new_fv = unsafe { std::slice::from_raw_parts_mut(new_ptr.0, len) };
+                let mut scratch = Scratch::default();
+                let mut residuals = Vec::with_capacity(range.len());
+                for &f in &batch[range] {
+                    self.factor_messages_kernel(params, f as usize, new_fv, &mut scratch);
+                    let mut residual = 0.0f64;
+                    for e in self.factor_edges(f as usize) {
+                        let r = self.edge_range(e);
+                        for i in r.clone() {
+                            new_fv[i] = lambda * fv[i] + (1.0 - lambda) * new_fv[i];
+                        }
+                        log_normalize(&mut new_fv[r.clone()]);
+                        residual = residual.max(max_abs_diff(&new_fv[r.clone()], &fv[r.clone()]));
+                        fv[r.clone()].copy_from_slice(&new_fv[r]);
+                    }
+                    residuals.push(residual);
+                }
+                residuals
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        self.fv = fv;
+        self.new_fv = new_fv;
+        residuals
     }
 
     /// Chunk size for a pooled sweep over `n` factors: roughly 4 chunks
@@ -434,7 +781,14 @@ impl<'g> LbpEngine<'g> {
         let fd = &self.graph.factors[f];
         if let Potential::TwoLevelScores { group, high_configs, high, low, .. } = &fd.potential {
             let beta = params.group(*group)[0];
-            self.two_level_messages_kernel(f, beta * high, beta * low, high_configs, new_fv, scratch);
+            self.two_level_messages_kernel(
+                f,
+                beta * high,
+                beta * low,
+                high_configs,
+                new_fv,
+                scratch,
+            );
         } else {
             self.dense_messages_kernel(params, f, new_fv, scratch);
         }
@@ -609,7 +963,8 @@ impl<'g> LbpEngine<'g> {
                 let a = scratch.acc[scratch.acc_starts[slot] + x];
                 // `a` can only be ≤ 0 through float cancellation when the
                 // true sum is negligible relative to the shift.
-                new_fv[off + x] = if a > 0.0 { new_fv[off + x] + a.ln() } else { f64::NEG_INFINITY };
+                new_fv[off + x] =
+                    if a > 0.0 { new_fv[off + x] + a.ln() } else { f64::NEG_INFINITY };
             }
         }
     }
@@ -633,8 +988,8 @@ impl<'g> LbpEngine<'g> {
                     *t += *x;
                 }
             }
-            let adj_range =
-                self.var_edge_start[v as usize] as usize..self.var_edge_start[v as usize + 1] as usize;
+            let adj_range = self.var_edge_start[v as usize] as usize
+                ..self.var_edge_start[v as usize + 1] as usize;
             for ei in adj_range {
                 let e = self.var_edges[ei] as usize;
                 let r = self.edge_range(e);
@@ -685,9 +1040,7 @@ impl<'g> LbpEngine<'g> {
     /// All marginals.
     pub fn marginals(&self) -> Marginals {
         Marginals {
-            probs: (0..self.graph.num_vars())
-                .map(|v| self.var_marginal(VarId(v as u32)))
-                .collect(),
+            probs: (0..self.graph.num_vars()).map(|v| self.var_marginal(VarId(v as u32))).collect(),
         }
     }
 
@@ -722,6 +1075,103 @@ impl<'g> LbpEngine<'g> {
             return vec![u; fd.table_size];
         }
         log_b.into_iter().map(|x| (x - z).exp()).collect()
+    }
+}
+
+/// Reusable buffers for the residual-mode variable update.
+#[derive(Default)]
+struct VarScratch {
+    /// Per-state total of incoming factor→variable messages.
+    total: Vec<f64>,
+    /// Previous outgoing message of the edge being recomputed.
+    old: Vec<f64>,
+}
+
+/// A bucketed max-priority queue over factor ids with O(1) amortized push
+/// and pop, used by [`ScheduleMode::Residual`].
+///
+/// Priorities are message residuals ≥ `tol`; bucket `b` holds priorities
+/// in `[tol·2^b, tol·2^(b+1))`, so a pop from the highest non-empty
+/// bucket is within 2× of the true maximum — accurate enough for
+/// scheduling, and immune to the heap's O(log n) and float-comparison
+/// ordering costs. Stale entries (superseded by a later push or an
+/// earlier pop of the same factor) are invalidated lazily via per-factor
+/// stamps: priorities only grow between pops (residual bumps are
+/// absolute changes), so an entry is only ever superseded upward and the
+/// scan never revisits a bucket it has emptied.
+struct BucketQueue {
+    tol: f64,
+    buckets: Vec<Vec<(u32, u32)>>,
+    /// Stamp a queue entry must match to be valid.
+    stamp: Vec<u32>,
+    /// Whether the factor currently has a valid entry.
+    queued: Vec<bool>,
+    /// Highest bucket index that may be non-empty.
+    highest: usize,
+}
+
+impl BucketQueue {
+    /// Buckets cover `tol·2^0 .. tol·2^64` — with `tol ≥ 1e-12` that is
+    /// far beyond any achievable log-message residual.
+    const NUM_BUCKETS: usize = 64;
+
+    fn new(tol: f64, num_factors: usize) -> Self {
+        Self {
+            // Guard against a non-positive tolerance: bucket on a tiny
+            // positive floor instead of dividing by zero.
+            tol: if tol > 0.0 { tol } else { f64::MIN_POSITIVE },
+            buckets: vec![Vec::new(); Self::NUM_BUCKETS],
+            stamp: vec![0; num_factors],
+            queued: vec![false; num_factors],
+            highest: 0,
+        }
+    }
+
+    /// Bucket index of priority `p >= tol`.
+    #[inline]
+    fn bucket_of(&self, p: f64) -> usize {
+        ((p / self.tol).log2().max(0.0) as usize).min(Self::NUM_BUCKETS - 1)
+    }
+
+    /// Record that factor `f`'s priority changed `old → new`. Enqueues or
+    /// re-buckets as needed; priorities below `tol` are never queued.
+    fn update(&mut self, f: u32, old: f64, new: f64) {
+        if new < self.tol {
+            return;
+        }
+        let b = self.bucket_of(new);
+        if self.queued[f as usize] && old >= self.tol && self.bucket_of(old) == b {
+            // The existing entry already sits in the right bucket.
+            return;
+        }
+        self.stamp[f as usize] = self.stamp[f as usize].wrapping_add(1);
+        self.queued[f as usize] = true;
+        self.buckets[b].push((f, self.stamp[f as usize]));
+        self.highest = self.highest.max(b);
+    }
+
+    /// Pop up to `cap` distinct factors, highest bucket first, clearing
+    /// their priorities. Deterministic: pure function of the push/pop
+    /// history.
+    fn pop_batch(&mut self, cap: usize, prio: &mut [f64], out: &mut Vec<u32>) {
+        while out.len() < cap {
+            match self.buckets[self.highest].pop() {
+                None => {
+                    if self.highest == 0 {
+                        return;
+                    }
+                    self.highest -= 1;
+                }
+                Some((f, s)) => {
+                    if !self.queued[f as usize] || self.stamp[f as usize] != s {
+                        continue; // stale entry, superseded by a later push
+                    }
+                    self.queued[f as usize] = false;
+                    prio[f as usize] = 0.0;
+                    out.push(f);
+                }
+            }
+        }
     }
 }
 
@@ -883,21 +1333,13 @@ mod tests {
         let grp = params.add_group_with(vec![0.9]);
         for i in 0..40 {
             let j = (i + 1) % 40;
-            let scores = if i % 2 == 0 {
-                vec![0.7, 0.1, 0.1, 0.7]
-            } else {
-                vec![0.1, 0.6, 0.6, 0.1]
-            };
+            let scores =
+                if i % 2 == 0 { vec![0.7, 0.1, 0.1, 0.7] } else { vec![0.1, 0.6, 0.6, 0.1] };
             g.add_factor(&[vars[i], vars[j]], Potential::Scores { group: grp, scores }, 0);
         }
         let serial = run_lbp(&g, &params, &[], &LbpOptions { threads: 1, ..Default::default() }).0;
-        let parallel = run_lbp(
-            &g,
-            &params,
-            &[],
-            &LbpOptions { threads: 4, ..Default::default() },
-        )
-        .0;
+        let parallel =
+            run_lbp(&g, &params, &[], &LbpOptions { threads: 4, ..Default::default() }).0;
         for &v in &vars {
             assert!(
                 (serial.prob(v, 1) - parallel.prob(v, 1)).abs() < 1e-12,
@@ -935,6 +1377,236 @@ mod tests {
         g.add_factor(&[v], Potential::Scores { group: grp, scores: vec![0.0, 2.0, 1.0] }, 0);
         let (m, _) = run_lbp(&g, &params, &[], &LbpOptions::default());
         assert_eq!(m.map_state(v), 1);
+    }
+
+    /// A 30-var chain with one strong unary at the head: residual
+    /// scheduling must reach the synchronous fixed point while touching
+    /// fewer messages once the far end has converged.
+    fn chain_graph() -> (FactorGraph, Params, Vec<VarId>) {
+        let mut g = FactorGraph::new();
+        let vars: Vec<VarId> = (0..30).map(|_| g.add_var(2)).collect();
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![1.0]);
+        g.add_factor(&[vars[0]], Potential::Scores { group: grp, scores: vec![0.0, 1.5] }, 0);
+        for w in vars.windows(2) {
+            g.add_factor(
+                &[w[0], w[1]],
+                Potential::Scores { group: grp, scores: vec![0.6, 0.0, 0.0, 0.6] },
+                0,
+            );
+        }
+        (g, params, vars)
+    }
+
+    #[test]
+    fn residual_matches_synchronous_on_chain() {
+        let (g, params, vars) = chain_graph();
+        let sync_opts = LbpOptions { tol: 1e-10, max_iters: 500, ..Default::default() };
+        let (ms, rs) = run_lbp(&g, &params, &[], &sync_opts);
+        let res_opts = LbpOptions { mode: ScheduleMode::Residual, ..sync_opts };
+        let (mr, rr) = run_lbp(&g, &params, &[], &res_opts);
+        assert!(rs.converged && rr.converged);
+        assert!(rr.residual < sync_opts.tol);
+        for &v in &vars {
+            assert!(
+                (ms.prob(v, 1) - mr.prob(v, 1)).abs() < 1e-8,
+                "var {v:?}: sync {} vs residual {}",
+                ms.prob(v, 1),
+                mr.prob(v, 1)
+            );
+        }
+        assert!(rr.message_updates > 0);
+        assert!(
+            rr.message_updates < rs.message_updates,
+            "residual ({}) must beat synchronous ({}) on the chain",
+            rr.message_updates,
+            rs.message_updates
+        );
+    }
+
+    #[test]
+    fn residual_small_batch_matches_large_batch_fixed_point() {
+        let (g, params, vars) = chain_graph();
+        let base = LbpOptions {
+            mode: ScheduleMode::Residual,
+            tol: 1e-10,
+            max_iters: 500,
+            ..Default::default()
+        };
+        let (m1, r1) = run_lbp(&g, &params, &[], &LbpOptions { residual_batch: 1, ..base.clone() });
+        let (m64, r64) =
+            run_lbp(&g, &params, &[], &LbpOptions { residual_batch: 64, ..base.clone() });
+        assert!(r1.converged && r64.converged);
+        for &v in &vars {
+            assert!((m1.prob(v, 1) - m64.prob(v, 1)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn residual_is_thread_invariant_bitwise() {
+        let (g, params, vars) = chain_graph();
+        let base = LbpOptions {
+            mode: ScheduleMode::Residual,
+            tol: 1e-10,
+            max_iters: 500,
+            exact_threads: true,
+            ..Default::default()
+        };
+        let (m1, r1) = run_lbp(&g, &params, &[], &LbpOptions { threads: 1, ..base.clone() });
+        let (m4, r4) = run_lbp(&g, &params, &[], &LbpOptions { threads: 4, ..base.clone() });
+        assert_eq!(r1.message_updates, r4.message_updates);
+        assert_eq!(r1.iterations, r4.iterations);
+        for &v in &vars {
+            assert_eq!(m1.prob(v, 1).to_bits(), m4.prob(v, 1).to_bits());
+        }
+    }
+
+    /// Regression: a phased schedule that excludes a variable class must
+    /// keep those variables' messages frozen in residual mode too —
+    /// dirty propagation may only wake *scheduled* variables, or the two
+    /// modes converge to different fixed points while both reporting
+    /// success.
+    #[test]
+    fn residual_respects_unscheduled_variable_classes() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var_with_class(2, 0);
+        let b = g.add_var_with_class(2, 1); // class 1: never scheduled
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![1.0]);
+        g.add_factor(&[a], Potential::Scores { group: grp, scores: vec![0.0, 2.0] }, 0);
+        g.add_factor(
+            &[a, b],
+            Potential::Scores { group: grp, scores: vec![0.8, 0.0, 0.0, 0.8] },
+            0,
+        );
+        let schedule = Schedule::Phased {
+            factor_phases: vec![vec![0]],
+            var_phases: vec![vec![0]], // class 1 frozen
+        };
+        let base = LbpOptions { tol: 1e-10, max_iters: 500, schedule, ..Default::default() };
+        let (ms, rs) = run_lbp(&g, &params, &[], &base);
+        let (mr, rr) =
+            run_lbp(&g, &params, &[], &LbpOptions { mode: ScheduleMode::Residual, ..base });
+        assert!(rs.converged && rr.converged);
+        for v in [a, b] {
+            assert!(
+                (ms.prob(v, 1) - mr.prob(v, 1)).abs() < 1e-8,
+                "var {v:?}: sync {} vs residual {}",
+                ms.prob(v, 1),
+                mr.prob(v, 1)
+            );
+        }
+    }
+
+    #[test]
+    fn residual_respects_clamps() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(2);
+        let b = g.add_var(2);
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![2.0]);
+        g.add_factor(
+            &[a, b],
+            Potential::Scores { group: grp, scores: vec![1.0, 0.0, 0.0, 1.0] },
+            0,
+        );
+        let opts = LbpOptions { mode: ScheduleMode::Residual, ..Default::default() };
+        let (m, res) = run_lbp(&g, &params, &[(a, 1)], &opts);
+        assert!(res.converged);
+        assert_eq!(m.prob(a, 1), 1.0);
+        assert!(m.prob(b, 1) > 0.8, "{}", m.prob(b, 1));
+    }
+
+    #[test]
+    fn residual_converges_on_disconnected_and_empty_graphs() {
+        // No factors at all: the drain must terminate immediately.
+        let mut g = FactorGraph::new();
+        g.add_var(3);
+        let params = Params::new();
+        let opts = LbpOptions { mode: ScheduleMode::Residual, ..Default::default() };
+        let (m, res) = run_lbp(&g, &params, &[], &opts);
+        assert!(res.converged);
+        assert_eq!(res.message_updates, 0);
+        assert!((m.prob(VarId(0), 0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_counts_match_synchronous_accounting() {
+        // One unary factor, damping 0.1: synchronous sweeps until the
+        // damped message stops moving (5 iterations × 1 message);
+        // residual pays the priming update plus the geometric damping
+        // tail — strictly fewer updates under identical accounting.
+        let mut g = FactorGraph::new();
+        let v = g.add_var(2);
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![1.0]);
+        g.add_factor(&[v], Potential::Scores { group: grp, scores: vec![0.0, 1.0] }, 0);
+        let sync = run_lbp(&g, &params, &[], &LbpOptions::default()).1;
+        let res = run_lbp(
+            &g,
+            &params,
+            &[],
+            &LbpOptions { mode: ScheduleMode::Residual, ..Default::default() },
+        )
+        .1;
+        assert_eq!(sync.message_updates, sync.iterations as u64);
+        assert!(res.converged && sync.converged);
+        assert!(res.message_updates >= 1);
+        assert!(
+            res.message_updates < sync.message_updates,
+            "residual {} vs sync {}",
+            res.message_updates,
+            sync.message_updates
+        );
+        // With undamped updates the fixed point is reached in one shot:
+        // the priming update is the only message residual mode computes.
+        let undamped = LbpOptions { damping: 0.0, ..Default::default() };
+        let res0 = run_lbp(
+            &g,
+            &params,
+            &[],
+            &LbpOptions { mode: ScheduleMode::Residual, ..undamped.clone() },
+        )
+        .1;
+        assert_eq!(res0.message_updates, 1);
+    }
+
+    #[test]
+    fn bucket_queue_pops_highest_priority_first() {
+        let tol = 1e-4;
+        let mut q = BucketQueue::new(tol, 4);
+        let mut prio = [0.0f64; 4];
+        for (f, p) in [(0u32, 2e-4), (1, 5e-1), (2, 3e-3), (3, 5e-5)] {
+            prio[f as usize] = p;
+            q.update(f, 0.0, p);
+        }
+        let mut batch = Vec::new();
+        q.pop_batch(2, &mut prio, &mut batch);
+        assert_eq!(batch, vec![1, 2], "highest buckets first");
+        // Factor 3 was below tol and never queued.
+        batch.clear();
+        q.pop_batch(8, &mut prio, &mut batch);
+        assert_eq!(batch, vec![0]);
+        assert!(prio.iter().all(|&p| p == 0.0 || p == 5e-5));
+    }
+
+    #[test]
+    fn bucket_queue_rebuckets_grown_priorities() {
+        let tol = 1e-4;
+        let mut q = BucketQueue::new(tol, 2);
+        let mut prio = [2e-4f64, 1.0];
+        q.update(0, 0.0, 2e-4);
+        q.update(1, 0.0, 1.0);
+        // Factor 0 grows past factor 1; the stale low-bucket entry must
+        // not shadow the fresh one.
+        prio[0] = 4.0;
+        q.update(0, 2e-4, 4.0);
+        let mut batch = Vec::new();
+        q.pop_batch(1, &mut prio, &mut batch);
+        assert_eq!(batch, vec![0]);
+        batch.clear();
+        q.pop_batch(4, &mut prio, &mut batch);
+        assert_eq!(batch, vec![1]);
     }
 
     #[test]

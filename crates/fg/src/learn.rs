@@ -240,12 +240,7 @@ mod tests {
         let mut params_l2 = params_plain.clone();
         let base = TrainOptions { max_epochs: 40, ..Default::default() };
         train(&g, &mut params_plain, &[(v, 1)], &base);
-        train(
-            &g,
-            &mut params_l2,
-            &[(v, 1)],
-            &TrainOptions { l2: 0.5, ..base },
-        );
+        train(&g, &mut params_l2, &[(v, 1)], &TrainOptions { l2: 0.5, ..base });
         assert!(params_l2.group(grp)[0] < params_plain.group(grp)[0]);
     }
 
@@ -261,10 +256,7 @@ mod tests {
         // state 1.
         g.add_factor(
             &[v],
-            Potential::Features {
-                group: grp,
-                feats: vec![vec![1.0, 0.0], vec![1.0, 1.0]],
-            },
+            Potential::Features { group: grp, feats: vec![vec![1.0, 0.0], vec![1.0, 1.0]] },
             0,
         );
         train(&g, &mut params, &[(v, 1)], &TrainOptions::default());

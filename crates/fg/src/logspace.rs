@@ -37,10 +37,7 @@ pub fn to_probs(xs: &[f64]) -> Vec<f64> {
 
 /// Largest absolute difference between two equally-sized slices.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f64::max)
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
 }
 
 #[cfg(test)]

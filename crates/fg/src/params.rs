@@ -82,12 +82,7 @@ impl Params {
 
     /// L2 norm over all weights.
     pub fn l2_norm(&self) -> f64 {
-        self.groups
-            .iter()
-            .flat_map(|g| g.iter())
-            .map(|w| w * w)
-            .sum::<f64>()
-            .sqrt()
+        self.groups.iter().flat_map(|g| g.iter()).map(|w| w * w).sum::<f64>().sqrt()
     }
 }
 

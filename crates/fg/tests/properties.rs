@@ -10,14 +10,12 @@ use proptest::prelude::*;
 fn tree_model() -> impl Strategy<Value = (FactorGraph, Params)> {
     (2usize..7)
         .prop_flat_map(|n| {
-            let parents = (1..n)
-                .map(|i| 0..i)
-                .collect::<Vec<_>>();
+            let parents = (1..n).map(|i| 0..i).collect::<Vec<_>>();
             (
                 Just(n),
                 parents,
-                proptest::collection::vec(-1.5f64..1.5, n),          // unary scores for state 1
-                proptest::collection::vec(-1.0f64..1.0, n - 1),      // pairwise agreement scores
+                proptest::collection::vec(-1.5f64..1.5, n), // unary scores for state 1
+                proptest::collection::vec(-1.0f64..1.0, n - 1), // pairwise agreement scores
             )
         })
         .prop_map(|(n, parents, unary, pair)| {
@@ -26,11 +24,7 @@ fn tree_model() -> impl Strategy<Value = (FactorGraph, Params)> {
             let mut params = Params::new();
             let grp = params.add_group_with(vec![1.0]);
             for (i, &u) in unary.iter().enumerate() {
-                g.add_factor(
-                    &[vars[i]],
-                    Potential::Scores { group: grp, scores: vec![0.0, u] },
-                    0,
-                );
+                g.add_factor(&[vars[i]], Potential::Scores { group: grp, scores: vec![0.0, u] }, 0);
             }
             for (i, (&p, &w)) in parents.iter().zip(&pair).enumerate() {
                 g.add_factor(
@@ -60,11 +54,7 @@ fn loopy_model() -> impl Strategy<Value = (FactorGraph, Params)> {
             let mut params = Params::new();
             let grp = params.add_group_with(vec![1.0]);
             for (i, &u) in unary.iter().enumerate() {
-                g.add_factor(
-                    &[vars[i]],
-                    Potential::Scores { group: grp, scores: vec![0.0, u] },
-                    0,
-                );
+                g.add_factor(&[vars[i]], Potential::Scores { group: grp, scores: vec![0.0, u] }, 0);
             }
             for (a, b, w) in edges {
                 if a == b {
@@ -89,13 +79,12 @@ fn tight_opts() -> LbpOptions {
 /// factors, sparse ternary two-level factors, plus a random clamp set
 /// and a random phased schedule.
 #[allow(clippy::type_complexity)]
-fn pooled_model() -> impl Strategy<
-    Value = (FactorGraph, Params, Vec<(VarId, u32)>, jocl_fg::Schedule),
-> {
+fn pooled_model(
+) -> impl Strategy<Value = (FactorGraph, Params, Vec<(VarId, u32)>, jocl_fg::Schedule)> {
     (4usize..9, 3usize..10, 0usize..3, 0u8..2)
         .prop_flat_map(|(n, m, n_clamps, phased)| {
             (
-                proptest::collection::vec((2u32..4, 0u8..2), n),          // (card, class)
+                proptest::collection::vec((2u32..4, 0u8..2), n), // (card, class)
                 proptest::collection::vec((0..n, 0..n, -0.9f64..0.9, 0u8..3), m), // pair factors
                 proptest::collection::vec((0..n, 0..n, 0..n, 0u64..1000), 2), // two-level factors
                 proptest::collection::vec((0..n, 0u32..2), n_clamps),
@@ -121,8 +110,9 @@ fn pooled_model() -> impl Strategy<
                 if a == b || b == c || a == c {
                     continue;
                 }
-                let size = (g.cardinality(vars[a]) * g.cardinality(vars[b]) * g.cardinality(vars[c]))
-                    as usize;
+                let size = (g.cardinality(vars[a])
+                    * g.cardinality(vars[b])
+                    * g.cardinality(vars[c])) as usize;
                 let high: Vec<u32> = (0..size as u32)
                     .filter(|x| (x.wrapping_mul(2654435761) ^ seed as u32).is_multiple_of(3))
                     .collect();
@@ -132,10 +122,8 @@ fn pooled_model() -> impl Strategy<
                     2,
                 );
             }
-            let clamps: Vec<(VarId, u32)> = clamps
-                .into_iter()
-                .map(|(v, s)| (vars[v], s % g.cardinality(vars[v])))
-                .collect();
+            let clamps: Vec<(VarId, u32)> =
+                clamps.into_iter().map(|(v, s)| (vars[v], s % g.cardinality(vars[v]))).collect();
             let schedule = if phased {
                 jocl_fg::Schedule::Phased {
                     factor_phases: vec![vec![0], vec![1, 2]],
@@ -284,6 +272,63 @@ proptest! {
                         mt.prob(v, s).to_bits(),
                         "thread count changed a marginal bit: var {:?} state {} ({} vs {})",
                         v, s, m1.prob(v, s), mt.prob(v, s)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Residual-scheduled LBP must reach the same fixed point as the
+    /// synchronous sweeps — same marginals within tolerance — on random
+    /// mixed graphs (dense + two-level potentials, clamps, phased and
+    /// flooding schedules), for any thread count; and the residual
+    /// trajectory itself must be bit-identical across thread counts.
+    #[test]
+    fn residual_schedule_matches_synchronous(
+        (g, params, clamps, schedule) in pooled_model()
+    ) {
+        let sync_opts = LbpOptions {
+            threads: 1,
+            max_iters: 500,
+            tol: 1e-9,
+            schedule: schedule.clone(),
+            ..Default::default()
+        };
+        let (ms, rs) = run_lbp(&g, &params, &clamps, &sync_opts);
+        let residual_opts = LbpOptions {
+            mode: jocl_fg::ScheduleMode::Residual,
+            exact_threads: true,
+            ..sync_opts.clone()
+        };
+        let (m1, r1) = run_lbp(&g, &params, &clamps, &residual_opts);
+        prop_assert_eq!(rs.converged, r1.converged);
+        if rs.converged {
+            for v in 0..g.num_vars() {
+                let v = VarId(v as u32);
+                for s in 0..g.cardinality(v) {
+                    prop_assert!(
+                        (ms.prob(v, s) - m1.prob(v, s)).abs() < 1e-5,
+                        "var {:?} state {}: sync {} vs residual {}",
+                        v, s, ms.prob(v, s), m1.prob(v, s)
+                    );
+                }
+            }
+        }
+        for threads in [2usize, 4] {
+            let (mt, rt) = run_lbp(
+                &g,
+                &params,
+                &clamps,
+                &LbpOptions { threads, ..residual_opts.clone() },
+            );
+            prop_assert_eq!(r1.message_updates, rt.message_updates);
+            for v in 0..g.num_vars() {
+                let v = VarId(v as u32);
+                for s in 0..g.cardinality(v) {
+                    prop_assert_eq!(
+                        m1.prob(v, s).to_bits(),
+                        mt.prob(v, s).to_bits(),
+                        "thread count changed a residual-mode marginal bit"
                     );
                 }
             }

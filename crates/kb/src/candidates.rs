@@ -34,12 +34,7 @@ pub struct CandidateOptions {
 
 impl Default for CandidateOptions {
     fn default() -> Self {
-        Self {
-            top_k_entities: 8,
-            top_k_relations: 8,
-            min_score: 0.05,
-            lexical_weight: 0.6,
-        }
+        Self { top_k_entities: 8, top_k_relations: 8, min_score: 0.05, lexical_weight: 0.6 }
     }
 }
 
@@ -356,10 +351,8 @@ mod tests {
     #[test]
     fn top_k_truncation() {
         let ckb = ckb();
-        let g = CandidateGen::new(
-            &ckb,
-            CandidateOptions { top_k_entities: 1, ..Default::default() },
-        );
+        let g =
+            CandidateGen::new(&ckb, CandidateOptions { top_k_entities: 1, ..Default::default() });
         assert_eq!(g.entity_candidates("university").len(), 1);
     }
 

@@ -175,9 +175,7 @@ impl Ckb {
 
     /// Entities whose alias exactly equals `surface` (case-insensitive).
     pub fn entities_by_alias(&self, surface: &str) -> &[EntityId] {
-        self.alias_index
-            .get(&surface.to_lowercase())
-            .map_or(&[], Vec::as_slice)
+        self.alias_index.get(&surface.to_lowercase()).map_or(&[], Vec::as_slice)
     }
 
     /// Entities that share the token `tok` in some alias.
@@ -187,9 +185,7 @@ impl Ckb {
 
     /// Relations whose surface form equals `surface` (case-insensitive).
     pub fn relations_by_surface(&self, surface: &str) -> &[RelationId] {
-        self.rel_surface_index
-            .get(&surface.to_lowercase())
-            .map_or(&[], Vec::as_slice)
+        self.rel_surface_index.get(&surface.to_lowercase()).map_or(&[], Vec::as_slice)
     }
 
     /// Entity accessor.
@@ -209,17 +205,12 @@ impl Ckb {
 
     /// All relations with ids.
     pub fn relations(&self) -> impl Iterator<Item = (RelationId, &CkbRelation)> {
-        self.relations
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (RelationId(i as u32), r))
+        self.relations.iter().enumerate().map(|(i, r)| (RelationId(i as u32), r))
     }
 
     /// All facts.
     pub fn facts(&self) -> impl Iterator<Item = (EntityId, RelationId, EntityId)> + '_ {
-        self.facts
-            .iter()
-            .map(|&(s, r, o)| (EntityId(s), RelationId(r), EntityId(o)))
+        self.facts.iter().map(|&(s, r, o)| (EntityId(s), RelationId(r), EntityId(o)))
     }
 
     /// Raw anchor statistics `((surface, entity), count)`, used by the TSV
@@ -258,10 +249,8 @@ mod tests {
 
     fn sample() -> (Ckb, EntityId, EntityId, RelationId) {
         let mut ckb = Ckb::new();
-        let umd = ckb.add_entity(entity(
-            "university of maryland",
-            &["University of Maryland", "UMD"],
-        ));
+        let umd =
+            ckb.add_entity(entity("university of maryland", &["University of Maryland", "UMD"]));
         let u21 = ckb.add_entity(entity("universitas 21", &["Universitas 21", "U21"]));
         let member = ckb.add_relation(CkbRelation {
             name: "organizations_founded".into(),

@@ -161,10 +161,7 @@ impl Okb {
 
     /// All triples with ids.
     pub fn triples(&self) -> impl Iterator<Item = (TripleId, &Triple)> {
-        self.triples
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (TripleId(i as u32), t))
+        self.triples.iter().enumerate().map(|(i, t)| (TripleId(i as u32), t))
     }
 
     /// The phrase of an NP mention.
@@ -221,11 +218,7 @@ mod tests {
         let mut okb = Okb::new();
         okb.add_triple(Triple::new("University of Maryland", "locate in", "Maryland"));
         okb.add_triple(Triple::new("UMD", "be a member of", "Universitas 21"));
-        okb.add_triple(Triple::new(
-            "University of Virginia",
-            "be an early member of",
-            "U21",
-        ));
+        okb.add_triple(Triple::new("University of Virginia", "be an early member of", "U21"));
         okb
     }
 
@@ -275,10 +268,8 @@ mod tests {
             object_candidates: vec![],
             domain: "education".into(),
         };
-        let t = okb.add_triple_with_side_info(
-            Triple::new("UMD", "be a member of", "U21"),
-            si.clone(),
-        );
+        let t =
+            okb.add_triple_with_side_info(Triple::new("UMD", "be a member of", "U21"), si.clone());
         assert_eq!(okb.side_info(t), Some(&si));
         let t2 = okb.add_triple(Triple::new("a", "b", "c"));
         assert_eq!(okb.side_info(t2), None);

@@ -54,7 +54,10 @@ pub fn unescape(s: &str, line: usize) -> Result<String, KbError> {
             other => {
                 return Err(KbError::Parse {
                     line,
-                    msg: format!("invalid escape sequence \\{}", other.map(String::from).unwrap_or_default()),
+                    msg: format!(
+                        "invalid escape sequence \\{}",
+                        other.map(String::from).unwrap_or_default()
+                    ),
                 })
             }
         }
@@ -67,17 +70,11 @@ fn split_fields(line: &str) -> Vec<&str> {
 }
 
 fn parse_u32(s: &str, line: usize, what: &str) -> Result<u32, KbError> {
-    s.parse::<u32>().map_err(|_| KbError::Parse {
-        line,
-        msg: format!("invalid {what}: {s:?}"),
-    })
+    s.parse::<u32>().map_err(|_| KbError::Parse { line, msg: format!("invalid {what}: {s:?}") })
 }
 
 fn parse_u64(s: &str, line: usize, what: &str) -> Result<u64, KbError> {
-    s.parse::<u64>().map_err(|_| KbError::Parse {
-        line,
-        msg: format!("invalid {what}: {s:?}"),
-    })
+    s.parse::<u64>().map_err(|_| KbError::Parse { line, msg: format!("invalid {what}: {s:?}") })
 }
 
 fn join_list(items: &[String]) -> String {
@@ -99,22 +96,15 @@ fn split_ids(field: &str, line: usize) -> Result<Vec<EntityId>, KbError> {
     if field.is_empty() {
         return Ok(Vec::new());
     }
-    field
-        .split(',')
-        .map(|p| parse_u32(p, line, "entity id").map(EntityId))
-        .collect()
+    field.split(',').map(|p| parse_u32(p, line, "entity id").map(EntityId)).collect()
 }
 
 /// Write an OKB to a TSV file.
 pub fn write_okb(okb: &Okb, path: &Path) -> Result<(), KbError> {
     let mut w = BufWriter::new(fs::File::create(path)?);
     for (id, t) in okb.triples() {
-        let base = format!(
-            "{}\t{}\t{}",
-            escape(&t.subject),
-            escape(&t.predicate),
-            escape(&t.object)
-        );
+        let base =
+            format!("{}\t{}\t{}", escape(&t.subject), escape(&t.predicate), escape(&t.object));
         match okb.side_info(id) {
             Some(si) => writeln!(
                 w,
@@ -216,10 +206,21 @@ pub fn read_weight_groups(path: &Path) -> Result<Vec<Vec<f64>>, KbError> {
         let weights = fields[1..]
             .iter()
             .map(|f| {
-                f.parse::<f64>().map_err(|_| KbError::Parse {
+                let w = f.parse::<f64>().map_err(|_| KbError::Parse {
                     line: lineno,
                     msg: format!("invalid weight: {f:?}"),
-                })
+                })?;
+                // `f64::parse` accepts "inf"/"NaN"; a weight file holding
+                // them is corrupt (training never persists non-finite
+                // weights) and would otherwise poison every downstream
+                // potential silently.
+                if !w.is_finite() {
+                    return Err(KbError::Parse {
+                        line: lineno,
+                        msg: format!("non-finite weight: {f:?}"),
+                    });
+                }
+                Ok(w)
             })
             .collect::<Result<Vec<f64>, KbError>>()?;
         groups.push(weights);
@@ -232,13 +233,7 @@ pub fn write_ckb(ckb: &Ckb, dir: &Path) -> Result<(), KbError> {
     fs::create_dir_all(dir)?;
     let mut w = BufWriter::new(fs::File::create(dir.join("entities.tsv"))?);
     for (_, e) in ckb.entities() {
-        writeln!(
-            w,
-            "{}\t{}\t{}",
-            escape(&e.name),
-            join_list(&e.aliases),
-            join_list(&e.types)
-        )?;
+        writeln!(w, "{}\t{}\t{}", escape(&e.name), join_list(&e.aliases), join_list(&e.types))?;
     }
     let mut w = BufWriter::new(fs::File::create(dir.join("relations.tsv"))?);
     for (_, r) in ckb.relations() {
@@ -401,10 +396,7 @@ mod tests {
         assert_eq!(loaded.len(), 2);
         assert_eq!(loaded.triple(crate::TripleId(0)), okb.triple(crate::TripleId(0)));
         assert_eq!(loaded.triple(crate::TripleId(1)), okb.triple(crate::TripleId(1)));
-        assert_eq!(
-            loaded.side_info(crate::TripleId(1)),
-            okb.side_info(crate::TripleId(1))
-        );
+        assert_eq!(loaded.side_info(crate::TripleId(1)), okb.side_info(crate::TripleId(1)));
         fs::remove_dir_all(&dir).ok();
     }
 
@@ -477,11 +469,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("jocl-weights-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("params.tsv");
-        let groups = vec![
-            vec![2.0, -1.0 / 3.0, 1.0e-308],
-            vec![],
-            vec![0.1 + 0.2, f64::MAX, -0.0],
-        ];
+        let groups = vec![vec![2.0, -1.0 / 3.0, 1.0e-308], vec![], vec![0.1 + 0.2, f64::MAX, -0.0]];
         write_weight_groups(&groups, &path).unwrap();
         let loaded = read_weight_groups(&path).unwrap();
         assert_eq!(loaded.len(), groups.len());
@@ -503,6 +491,24 @@ mod tests {
         assert!(matches!(read_weight_groups(&path), Err(KbError::Parse { line: 1, .. })));
         fs::write(&path, "1\tnot-a-number\n").unwrap();
         assert!(read_weight_groups(&path).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn weight_groups_non_finite_is_error() {
+        // `f64::parse` happily produces inf/NaN — a weight file holding
+        // them must be rejected with a typed parse error, not loaded as
+        // garbage.
+        let dir = std::env::temp_dir().join(format!("jocl-weights-inf-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inf.tsv");
+        for bad in ["1\tinf\n", "1\t-inf\n", "1\tNaN\n", "2\t0.5\tnan\n"] {
+            fs::write(&path, bad).unwrap();
+            assert!(
+                matches!(read_weight_groups(&path), Err(KbError::Parse { line: 1, .. })),
+                "{bad:?} must be a parse error"
+            );
+        }
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -99,10 +99,7 @@ pub fn mine(okb: &Okb, opts: AmieOptions) -> AmieRules {
     // Deduplicate instantiations per RP (facts repeated in the OKB should
     // not inflate support).
     let mut rp_pairs: Vec<(String, std::collections::HashSet<(String, String)>)> =
-        instantiations
-            .into_iter()
-            .map(|(rp, pairs)| (rp, pairs.into_iter().collect()))
-            .collect();
+        instantiations.into_iter().map(|(rp, pairs)| (rp, pairs.into_iter().collect())).collect();
     rp_pairs.sort_by(|a, b| a.0.cmp(&b.0));
 
     // Inverted index: NP pair -> RP indexes, to avoid the quadratic scan.
@@ -151,9 +148,7 @@ pub fn mine(okb: &Okb, opts: AmieOptions) -> AmieRules {
             out.equivalent.insert(key);
         }
     }
-    out.rules.sort_by(|r, s| {
-        (&r.premise, &r.conclusion).cmp(&(&s.premise, &s.conclusion))
-    });
+    out.rules.sort_by(|r, s| (&r.premise, &r.conclusion).cmp(&(&s.premise, &s.conclusion)));
     out
 }
 
@@ -165,12 +160,8 @@ mod tests {
     /// Build an OKB where two RPs share most NP pairs.
     fn paraphrase_okb() -> Okb {
         let mut okb = Okb::new();
-        let pairs = [
-            ("rome", "italy"),
-            ("paris", "france"),
-            ("berlin", "germany"),
-            ("madrid", "spain"),
-        ];
+        let pairs =
+            [("rome", "italy"), ("paris", "france"), ("berlin", "germany"), ("madrid", "spain")];
         for (s, o) in pairs {
             okb.add_triple(Triple::new(s, "is the capital of", o));
             okb.add_triple(Triple::new(s, "is the capital city of", o));

@@ -48,8 +48,7 @@ impl KbpCategorizer {
     /// Add one surface-form pattern mapping to `category`.
     pub fn add_pattern(&mut self, surface_form: &str, category: &str) {
         let normed = morph_normalize_rp(surface_form);
-        let tokens: FxHashSet<String> =
-            tokenize_normed(&normed).map(str::to_string).collect();
+        let tokens: FxHashSet<String> = tokenize_normed(&normed).map(str::to_string).collect();
         if tokens.is_empty() {
             return;
         }
@@ -66,8 +65,7 @@ impl KbpCategorizer {
     /// token Jaccard reaches the threshold.
     pub fn categorize(&self, rp: &str) -> Option<&str> {
         let normed = morph_normalize_rp(rp);
-        let tokens: FxHashSet<String> =
-            tokenize_normed(&normed).map(str::to_string).collect();
+        let tokens: FxHashSet<String> = tokenize_normed(&normed).map(str::to_string).collect();
         if tokens.is_empty() {
             return None;
         }
@@ -81,9 +79,7 @@ impl KbpCategorizer {
             let j = inter as f64 / union as f64;
             let better = match best {
                 None => true,
-                Some((bj, bc)) => {
-                    j > bj || (j == bj && p.category.as_str() < bc)
-                }
+                Some((bj, bc)) => j > bj || (j == bj && p.category.as_str() < bc),
             };
             if better {
                 best = Some((j, &p.category));

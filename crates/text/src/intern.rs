@@ -82,10 +82,7 @@ impl Interner {
 
     /// Iterate over `(Sym, &str)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
-        self.strings
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (Sym(i as u32), s.as_ref()))
+        self.strings.iter().enumerate().map(|(i, s)| (Sym(i as u32), s.as_ref()))
     }
 }
 
@@ -125,8 +122,7 @@ mod tests {
     fn iter_preserves_insertion_order() {
         let mut i = Interner::new();
         let syms: Vec<Sym> = ["a", "b", "c"].iter().map(|s| i.intern(s)).collect();
-        let collected: Vec<(Sym, String)> =
-            i.iter().map(|(s, t)| (s, t.to_string())).collect();
+        let collected: Vec<(Sym, String)> = i.iter().map(|(s, t)| (s, t.to_string())).collect();
         assert_eq!(
             collected,
             vec![

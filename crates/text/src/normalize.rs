@@ -41,12 +41,7 @@ impl NormOptions {
     /// Normalization for relation phrases: strip determiners, auxiliaries
     /// and modifiers, stem — the full §4.2.2 recipe.
     pub fn relation_phrase() -> Self {
-        Self {
-            strip_determiners: true,
-            strip_auxiliaries: true,
-            strip_modifiers: true,
-            stem: true,
-        }
+        Self { strip_determiners: true, strip_auxiliaries: true, strip_modifiers: true, stem: true }
     }
 }
 
@@ -121,10 +116,7 @@ mod tests {
 
     #[test]
     fn rp_tense() {
-        assert_eq!(
-            morph_normalize_rp("was working at"),
-            morph_normalize_rp("is working at")
-        );
+        assert_eq!(morph_normalize_rp("was working at"), morph_normalize_rp("is working at"));
     }
 
     #[test]
@@ -140,10 +132,7 @@ mod tests {
 
     #[test]
     fn distinct_relations_stay_distinct() {
-        assert_ne!(
-            morph_normalize_rp("be located in"),
-            morph_normalize_rp("be a member of")
-        );
+        assert_ne!(morph_normalize_rp("be located in"), morph_normalize_rp("be a member of"));
     }
 
     #[test]

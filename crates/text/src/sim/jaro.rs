@@ -33,18 +33,10 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Count transpositions: compare matched sequences in order.
-    let b_match_chars: Vec<char> = b
-        .iter()
-        .zip(b_matched.iter())
-        .filter(|(_, &m)| m)
-        .map(|(c, _)| *c)
-        .collect();
-    let transpositions = a_match_chars
-        .iter()
-        .zip(b_match_chars.iter())
-        .filter(|(x, y)| x != y)
-        .count()
-        / 2;
+    let b_match_chars: Vec<char> =
+        b.iter().zip(b_matched.iter()).filter(|(_, &m)| m).map(|(c, _)| *c).collect();
+    let transpositions =
+        a_match_chars.iter().zip(b_match_chars.iter()).filter(|(x, y)| x != y).count() / 2;
     let m = matches as f64;
     (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions as f64) / m) / 3.0
 }
@@ -53,12 +45,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// 4 characters with scaling factor `p = 0.1` (the standard constants).
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
     j + prefix as f64 * 0.1 * (1.0 - j)
 }
 

@@ -15,8 +15,11 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
         return a.chars().count().max(b.chars().count());
     }
     if a.is_ascii() && b.is_ascii() {
-        let (p, t) =
-            if a.len() <= b.len() { (a.as_bytes(), b.as_bytes()) } else { (b.as_bytes(), a.as_bytes()) };
+        let (p, t) = if a.len() <= b.len() {
+            (a.as_bytes(), b.as_bytes())
+        } else {
+            (b.as_bytes(), a.as_bytes())
+        };
         if p.len() <= 64 {
             return levenshtein_myers_ascii(p, t);
         }
@@ -204,11 +207,7 @@ mod tests {
             let b = mk(lb, &mut state);
             let ac: Vec<char> = a.chars().collect();
             let bc: Vec<char> = b.chars().collect();
-            assert_eq!(
-                levenshtein(&a, &b),
-                levenshtein_classic(&ac, &bc),
-                "{a:?} vs {b:?}"
-            );
+            assert_eq!(levenshtein(&a, &b), levenshtein_classic(&ac, &bc), "{a:?} vs {b:?}");
         }
     }
 

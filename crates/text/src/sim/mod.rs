@@ -20,5 +20,7 @@ pub mod ngram;
 pub use idf::IdfIndex;
 pub use jaccard::{jaccard, jaccard_slices};
 pub use jaro::{jaro, jaro_winkler};
-pub use levenshtein::{levenshtein, levenshtein_sim, levenshtein_sim_at_least, levenshtein_sim_at_least_gated};
+pub use levenshtein::{
+    levenshtein, levenshtein_sim, levenshtein_sim_at_least, levenshtein_sim_at_least_gated,
+};
 pub use ngram::{jaccard_from_sorted, ngram_jaccard, sorted_intersection_count, NgramSet};

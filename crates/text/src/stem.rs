@@ -140,8 +140,7 @@ fn step1b(w: &mut Vec<u8>) {
     if cleanup {
         if ends_with(w, b"at") || ends_with(w, b"bl") || ends_with(w, b"iz") {
             w.push(b'e');
-        } else if ends_double_consonant(w, w.len())
-            && !matches!(w[w.len() - 1], b'l' | b's' | b'z')
+        } else if ends_double_consonant(w, w.len()) && !matches!(w[w.len() - 1], b'l' | b's' | b'z')
         {
             w.truncate(w.len() - 1);
         } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
@@ -206,16 +205,13 @@ fn step3(w: &mut Vec<u8>) {
 
 fn step4(w: &mut Vec<u8>) {
     const RULES: &[&[u8]] = &[
-        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment",
-        b"ent", b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
+        b"al", b"ance", b"ence", b"er", b"ic", b"able", b"ible", b"ant", b"ement", b"ment", b"ent",
+        b"ou", b"ism", b"ate", b"iti", b"ous", b"ive", b"ize",
     ];
     // "ion" requires the stem to end in s or t.
     if ends_with(w, b"ion") {
         let stem_len = w.len() - 3;
-        if stem_len > 0
-            && matches!(w[stem_len - 1], b's' | b't')
-            && measure(w, stem_len) > 1
-        {
+        if stem_len > 0 && matches!(w[stem_len - 1], b's' | b't') && measure(w, stem_len) > 1 {
             w.truncate(stem_len);
         }
         return;

@@ -21,17 +21,35 @@ pub const AUXILIARIES: &[&str] = &[
 /// Common adverbial modifiers stripped from relation phrases ("be an
 /// *early* member of" vs "be a member of").
 pub const MODIFIERS: &[&str] = &[
-    "early", "late", "new", "old", "former", "current", "currently", "recently", "originally",
-    "also", "still", "already", "once", "first", "just", "very", "really", "now", "then",
-    "founding", "longtime",
+    "early",
+    "late",
+    "new",
+    "old",
+    "former",
+    "current",
+    "currently",
+    "recently",
+    "originally",
+    "also",
+    "still",
+    "already",
+    "once",
+    "first",
+    "just",
+    "very",
+    "really",
+    "now",
+    "then",
+    "founding",
+    "longtime",
 ];
 
 /// General stop words (union of the above plus prepositions/conjunctions);
 /// used when weighting tokens for embeddings.
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "the", "of", "in", "on", "at", "to", "for", "by", "with", "from", "as", "and",
-    "or", "is", "are", "was", "were", "be", "been", "being", "it", "its", "that", "this",
-    "these", "those", "he", "she", "they", "we", "you", "i",
+    "a", "an", "the", "of", "in", "on", "at", "to", "for", "by", "with", "from", "as", "and", "or",
+    "is", "are", "was", "were", "be", "been", "being", "it", "its", "that", "this", "these",
+    "those", "he", "she", "they", "we", "you", "i",
 ];
 
 /// Is `w` a determiner?

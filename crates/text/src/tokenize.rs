@@ -57,9 +57,7 @@ pub fn char_ngrams(s: &str, n: usize) -> Vec<String> {
     if chars.len() <= n {
         return vec![chars.iter().collect()];
     }
-    (0..=chars.len() - n)
-        .map(|i| chars[i..i + n].iter().collect())
-        .collect()
+    (0..=chars.len() - n).map(|i| chars[i..i + n].iter().collect()).collect()
 }
 
 #[cfg(test)]

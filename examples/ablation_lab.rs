@@ -48,9 +48,7 @@ fn main() {
         let f1 = evaluate_clustering(&out.np_clustering, &gold).average_f1();
         println!(
             "  {label} {f1:.3}   ({} vars, {} factors, {} lbp iters)",
-            out.diagnostics.num_vars,
-            out.diagnostics.num_factors,
-            out.diagnostics.lbp.iterations
+            out.diagnostics.num_vars, out.diagnostics.num_factors, out.diagnostics.lbp.iterations
         );
     }
 }

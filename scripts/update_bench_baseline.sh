@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Deliberately refresh the bench-regression baseline (BENCH_BASELINE.json).
+#
+# The CI `bench-regression` job fails any PR whose `lbp_sweep`,
+# `graph_build` or `end_to_end` median regresses more than 30% against
+# the checked-in baseline. When a slowdown is intentional (or a speedup
+# should become the new floor), run this script, review the diff, note
+# the machine + reason in BENCH_NOTES.md, and commit the result —
+# never hand-edit the JSON.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p jocl_bench --bin bench_regression -- --update
+
+echo
+echo "Baseline refreshed. Review before committing:"
+git --no-pager diff --stat -- BENCH_BASELINE.json || true

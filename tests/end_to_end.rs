@@ -32,10 +32,7 @@ fn jocl_beats_morph_norm_on_synthetic_reverb() {
     let gold = d.gold.np_clustering();
     let jocl_f1 = evaluate_clustering(&out.np_clustering, &gold).average_f1();
     let morph_f1 = evaluate_clustering(&baselines::morph_norm(&d.okb), &gold).average_f1();
-    assert!(
-        jocl_f1 > morph_f1,
-        "JOCL ({jocl_f1:.3}) must beat Morph Norm ({morph_f1:.3})"
-    );
+    assert!(jocl_f1 > morph_f1, "JOCL ({jocl_f1:.3}) must beat Morph Norm ({morph_f1:.3})");
 }
 
 #[test]
@@ -59,11 +56,7 @@ fn linking_accuracy_is_reasonable() {
     let d = small_dataset();
     let out = Jocl::new(fast_config()).run(input(&d), None);
     let score = linking_accuracy(&out.np_links, &d.gold.np_entity);
-    assert!(
-        score.accuracy() > 0.6,
-        "entity linking accuracy too low: {}",
-        score.accuracy()
-    );
+    assert!(score.accuracy() > 0.6, "entity linking accuracy too low: {}", score.accuracy());
 }
 
 #[test]
@@ -89,8 +82,11 @@ fn training_improves_or_preserves_quality() {
         l
     };
     let untrained = Jocl::new(fast_config()).run_with_signals(input(&d), &signals, None);
-    let trained = Jocl::new(JoclConfig { train_epochs: 3, ..fast_config() })
-        .run_with_signals(input(&d), &signals, Some(&labels));
+    let trained = Jocl::new(JoclConfig { train_epochs: 3, ..fast_config() }).run_with_signals(
+        input(&d),
+        &signals,
+        Some(&labels),
+    );
     assert!(trained.diagnostics.train_epochs > 0, "training must actually run");
     let gold = d.gold.np_clustering();
     let f_untrained = evaluate_clustering(&untrained.np_clustering, &gold).average_f1();
@@ -116,10 +112,7 @@ fn deterministic_end_to_end() {
     let a = Jocl::new(fast_config()).run(input(&d), None);
     let b = Jocl::new(fast_config()).run(input(&d), None);
     assert_eq!(a.np_links, b.np_links);
-    assert_eq!(
-        a.np_clustering.assignment(),
-        b.np_clustering.assignment()
-    );
+    assert_eq!(a.np_clustering.assignment(), b.np_clustering.assignment());
 }
 
 #[test]
@@ -148,10 +141,8 @@ fn figure1_worked_example_exact_clusters_and_links() {
     use jocl::kb::{NpMention, NpSlot, RpMention, TripleId};
 
     let ex = figure1();
-    let out = Jocl::new(ex.config()).run(
-        JoclInput { okb: &ex.okb, ckb: &ex.ckb, ppdb: &ex.ppdb, corpus: &ex.corpus },
-        None,
-    );
+    let out = Jocl::new(ex.config())
+        .run(JoclInput { okb: &ex.okb, ckb: &ex.ckb, ppdb: &ex.ppdb, corpus: &ex.corpus }, None);
 
     let np = |t: u32, slot: NpSlot| NpMention { triple: TripleId(t), slot }.dense();
     let rp = |t: u32| RpMention(TripleId(t)).dense();
@@ -204,8 +195,11 @@ fn feature_ablation_monotone_tendency() {
     let signals = build_signals(&d.okb, &d.ckb, &d.ppdb, &d.corpus, &fast_config().sgns);
     let gold = d.gold.np_clustering();
     let run = |fs: FeatureSet| {
-        let out = Jocl::new(JoclConfig { features: fs, ..fast_config() })
-            .run_with_signals(input(&d), &signals, None);
+        let out = Jocl::new(JoclConfig { features: fs, ..fast_config() }).run_with_signals(
+            input(&d),
+            &signals,
+            None,
+        );
         evaluate_clustering(&out.np_clustering, &gold).average_f1()
     };
     let single = run(FeatureSet::Single);

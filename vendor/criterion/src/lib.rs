@@ -213,11 +213,8 @@ mod tests {
 
     #[test]
     fn bencher_measures_in_bench_mode() {
-        let mut b = Bencher {
-            test_mode: false,
-            measure: Duration::from_millis(5),
-            result_ns: None,
-        };
+        let mut b =
+            Bencher { test_mode: false, measure: Duration::from_millis(5), result_ns: None };
         b.iter(|| black_box(3u64).wrapping_mul(7));
         assert!(b.result_ns.is_some());
         assert!(b.result_ns.unwrap() > 0.0);

@@ -283,9 +283,9 @@ mod tests {
             let s = "[ a-zA-Z0-9,.-]{0,40}".sample_value(&mut r);
             assert!(s.len() <= 40);
             saw_empty |= s.is_empty();
-            assert!(s.chars().all(|c| c == ' '
-                || c.is_ascii_alphanumeric()
-                || matches!(c, ',' | '.' | '-')));
+            assert!(s
+                .chars()
+                .all(|c| c == ' ' || c.is_ascii_alphanumeric() || matches!(c, ',' | '.' | '-')));
         }
         assert!(saw_empty, "length 0 must be reachable");
     }

@@ -106,8 +106,12 @@ impl Standard for bool {
 
 /// Types uniformly samplable from a `[lo, hi)` / `[lo, hi]` interval.
 pub trait SampleUniform: PartialOrd + Sized {
-    fn sample_interval<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_interval<R: RngCore + ?Sized>(
+        rng: &mut R,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! int_sample_uniform {
