@@ -339,6 +339,95 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// Warm delta ingestion vs cold rebuild (ROADMAP "streaming ingestion").
+/// Wall-clock benches on the shared microbench world, then the
+/// deterministic message-update comparison at `JOCL_SCALE` (default
+/// 0.02 — the scale the `stream_scale` CI gate asserts ≥3× on).
+fn bench_delta_ingest(c: &mut Criterion) {
+    use jocl_bench::runner::env_scale;
+    use jocl_core::{IncrementalJocl, ScheduleMode};
+    use jocl_kb::{Okb, Triple};
+
+    let prepare = |scale: f64, seed: u64| {
+        let dataset = reverb45k_like(seed, scale);
+        let triples: Vec<Triple> = dataset.okb.triples().map(|(_, t)| t.clone()).collect();
+        let mut union = Okb::new();
+        for t in &triples {
+            union.ingest_triple(t.clone());
+        }
+        let signals = build_signals(
+            &union,
+            &dataset.ckb,
+            &dataset.ppdb,
+            &dataset.corpus,
+            &SgnsOptions { dim: 24, epochs: 2, seed, ..Default::default() },
+        );
+        (dataset, triples, union, signals)
+    };
+    let mut config = JoclConfig { train_epochs: 0, ..Default::default() };
+    config.lbp.mode = ScheduleMode::Residual;
+
+    let (dataset, triples, union, signals) = prepare(0.005, 5);
+    let tail = 24usize.min(triples.len() / 4).max(1);
+    let split = triples.len() - tail;
+    let mut warm_base = IncrementalJocl::new(config.clone(), &dataset.ckb, &signals);
+    warm_base.apply_delta(&triples[..split]);
+    let mut group = c.benchmark_group("delta_ingest");
+    group.sample_size(10);
+    group.bench_function(format!("warm_delta_{tail}"), |bench| {
+        bench.iter(|| {
+            // Fork the warm session so every iteration ingests the same
+            // delta against identical warm state.
+            let mut session = warm_base.clone();
+            black_box(session.apply_delta(&triples[split..]))
+        })
+    });
+    let input = jocl_core::JoclInput {
+        okb: &union,
+        ckb: &dataset.ckb,
+        ppdb: &dataset.ppdb,
+        corpus: &dataset.corpus,
+    };
+    group.bench_function("cold_rebuild", |bench| {
+        bench.iter(|| black_box(Jocl::new(config.clone()).run_with_signals(input, &signals, None)))
+    });
+    group.finish();
+
+    // Deterministic update-count comparison (no timing noise) at the
+    // acceptance scale; prints under `cargo test --benches` too.
+    let scale = env_scale();
+    let (dataset, triples, union, signals) = prepare(scale, 42);
+    let input = jocl_core::JoclInput {
+        okb: &union,
+        ckb: &dataset.ckb,
+        ppdb: &dataset.ppdb,
+        corpus: &dataset.corpus,
+    };
+    let cold = Jocl::new(config.clone())
+        .run_with_signals(input, &signals, None)
+        .diagnostics
+        .lbp
+        .message_updates;
+    println!(
+        "\ngroup: delta_ingest_updates (scale {scale}, residual; warm delta vs cold rebuild = \
+         {cold} updates)"
+    );
+    for tail in [16usize, 48, triples.len() / 4] {
+        if tail == 0 || tail >= triples.len() {
+            continue;
+        }
+        let split = triples.len() - tail;
+        let mut session = IncrementalJocl::new(config.clone(), &dataset.ckb, &signals);
+        session.apply_delta(&triples[..split]);
+        let out = session.apply_delta(&triples[split..]);
+        let updates = out.stats.lbp.message_updates;
+        println!(
+            "  tail {tail:>4} triples: warm {updates:>9} updates  ({:.2}x fewer than cold)",
+            cold as f64 / updates.max(1) as f64
+        );
+    }
+}
+
 fn bench_hac(c: &mut Criterion) {
     use jocl_cluster::{hac_threshold, Linkage};
     let n = 2000usize;
@@ -362,6 +451,7 @@ criterion_group!(
     bench_exec_pool,
     bench_pipeline_stages,
     bench_end_to_end,
+    bench_delta_ingest,
     bench_hac
 );
 criterion_main!(benches);

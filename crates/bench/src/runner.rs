@@ -22,16 +22,42 @@ pub fn env_seed() -> u64 {
 }
 
 /// `JOCL_SCHEDULE` env var: `residual` selects residual-scheduled message
-/// passing, `synchronous`/`sync` (or unset) the full sweeps. Anything
-/// else aborts loudly — a typo must not silently time the wrong engine.
+/// passing, `synchronous`/`sync` (or unset) the full sweeps. Parsed
+/// case-insensitively with surrounding whitespace trimmed (so
+/// `JOCL_SCHEDULE=Residual` and `JOCL_SCHEDULE=" residual "` both work);
+/// anything else aborts loudly listing the valid values — a typo must
+/// not silently time the wrong engine.
 pub fn env_schedule_mode() -> ScheduleMode {
     match std::env::var("JOCL_SCHEDULE") {
         Err(_) => ScheduleMode::Synchronous,
-        Ok(v) => match v.to_ascii_lowercase().as_str() {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
             "" | "sync" | "synchronous" => ScheduleMode::Synchronous,
             "residual" => ScheduleMode::Residual,
-            other => panic!("JOCL_SCHEDULE must be 'synchronous' or 'residual', got {other:?}"),
+            _ => panic!("JOCL_SCHEDULE must be 'synchronous' or 'residual', got {v:?}"),
         },
+    }
+}
+
+/// `JOCL_STREAM_BATCH` env var: how many arrival batches the streaming
+/// replay (`stream` bin, `stream_scale` gate) splits the dataset into.
+/// Default 4; whitespace-tolerant; anything but a positive integer
+/// aborts loudly listing the valid form.
+pub fn env_stream_batches() -> usize {
+    match std::env::var("JOCL_STREAM_BATCH") {
+        Err(_) => 4,
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() {
+                return 4;
+            }
+            match trimmed.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => panic!(
+                    "JOCL_STREAM_BATCH must be a positive integer (number of arrival \
+                     batches), got {v:?}"
+                ),
+            }
+        }
     }
 }
 
@@ -186,6 +212,45 @@ mod tests {
             let d = NpMention { triple: t, slot: NpSlot::Subject }.dense();
             assert!(ctx.labels.np_cluster[d].is_none());
         }
+    }
+
+    /// Satellite regression: the env knobs must accept mixed case and
+    /// stray whitespace (`JOCL_SCHEDULE=Residual` used to panic), and
+    /// still reject garbage with the typed message listing valid values.
+    /// One sequential test so the process-global env is never torn.
+    #[test]
+    fn env_knobs_trim_and_ignore_case() {
+        let check_schedule = |value: &str, expect: ScheduleMode| {
+            std::env::set_var("JOCL_SCHEDULE", value);
+            assert_eq!(env_schedule_mode(), expect, "JOCL_SCHEDULE={value:?}");
+        };
+        check_schedule("Residual", ScheduleMode::Residual);
+        check_schedule(" residual\t", ScheduleMode::Residual);
+        check_schedule("SYNCHRONOUS", ScheduleMode::Synchronous);
+        check_schedule("  Sync ", ScheduleMode::Synchronous);
+        check_schedule("", ScheduleMode::Synchronous);
+        std::env::set_var("JOCL_SCHEDULE", "residul");
+        let err = std::panic::catch_unwind(env_schedule_mode).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("'synchronous' or 'residual'"), "panic lists valid values: {msg}");
+        std::env::remove_var("JOCL_SCHEDULE");
+        assert_eq!(env_schedule_mode(), ScheduleMode::Synchronous);
+
+        let check_batches = |value: &str, expect: usize| {
+            std::env::set_var("JOCL_STREAM_BATCH", value);
+            assert_eq!(env_stream_batches(), expect, "JOCL_STREAM_BATCH={value:?}");
+        };
+        check_batches("8", 8);
+        check_batches("  16\t", 16);
+        check_batches("", 4);
+        std::env::set_var("JOCL_STREAM_BATCH", "zero");
+        let err = std::panic::catch_unwind(env_stream_batches).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("positive integer"), "panic lists the valid form: {msg}");
+        std::env::set_var("JOCL_STREAM_BATCH", "0");
+        assert!(std::panic::catch_unwind(env_stream_batches).is_err(), "zero batches rejected");
+        std::env::remove_var("JOCL_STREAM_BATCH");
+        assert_eq!(env_stream_batches(), 4);
     }
 
     #[test]

@@ -47,3 +47,4 @@ smoke!(table4_runs, "table4", "Table 4");
 smoke!(table5_fig4_runs, "table5_fig4", "Table 5");
 smoke!(fig3_runs, "fig3", "Figure 3");
 smoke!(fig2_convergence_runs, "fig2_convergence", "Figure 2");
+smoke!(stream_runs, "stream", "PARITY ok");

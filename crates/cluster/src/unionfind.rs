@@ -35,6 +35,19 @@ impl UnionFind {
         self.components
     }
 
+    /// Append singleton sets until the structure covers `n` items.
+    /// Existing sets and representatives are untouched — the incremental
+    /// decoder grows its component tracker this way as the factor graph
+    /// gains variables. No-op when `n <= len()`.
+    pub fn grow(&mut self, n: usize) {
+        while self.parent.len() < n {
+            let id = self.parent.len() as u32;
+            self.parent.push(id);
+            self.size.push(1);
+            self.components += 1;
+        }
+    }
+
     /// Representative of `x`'s set (with path halving).
     pub fn find(&mut self, x: usize) -> usize {
         let mut x = x as u32;
@@ -126,6 +139,21 @@ mod tests {
         assert!(c.same(0, 5));
         assert!(c.same(2, 3));
         assert!(!c.same(0, 2));
+    }
+
+    #[test]
+    fn grow_appends_singletons_preserving_sets() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 1);
+        uf.grow(5);
+        assert_eq!(uf.len(), 5);
+        assert_eq!(uf.num_components(), 4); // {0,1} {2} {3} {4}
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(3, 4));
+        uf.union(1, 4);
+        assert!(uf.connected(0, 4));
+        uf.grow(2); // shrinking request is a no-op
+        assert_eq!(uf.len(), 5);
     }
 
     #[test]

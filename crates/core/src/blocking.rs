@@ -12,14 +12,33 @@
 //!
 //! To keep the graph near-linear in the OKB size, two caps apply:
 //! mentions sharing an *identical* phrase form a clique only up to
-//! `max_group_clique` (larger groups are chained — union-find closure
-//! recovers the full cluster at decode time), and cross-phrase pairs take
-//! at most `cross_cap` mentions from each side.
+//! `max_group_clique` (later members chain onto their predecessor —
+//! union-find closure recovers the full cluster at decode time), and
+//! cross-phrase pairs take at most `cross_cap` mentions from each side.
+//!
+//! Blocking is defined **streamingly**: [`BlockingIndex`] consumes one
+//! triple at a time and emits exactly the new pairs that triple creates,
+//! and [`block_pairs`] is nothing but a replay of the whole OKB through
+//! that index. The pair set is therefore a *monotone* function of the
+//! triple sequence — appending triples only ever adds pairs — which is
+//! what lets the incremental pipeline (`crate::incremental`) extend a
+//! live factor graph without ever retracting a variable. The caps are
+//! applied against the state at arrival time:
+//!
+//! * an identical-phrase group forms a clique while it has at most
+//!   `max_group_clique` members; each member beyond the cap chains onto
+//!   the previous one;
+//! * a mention participates in cross-phrase pairs only while its phrase
+//!   has fewer than `cross_cap` owners, and pairs against the first
+//!   `cross_cap` owners of the other phrase;
+//! * a token stops proposing candidate phrase pairs once
+//!   [`MAX_TOKEN_DF`] phrases carry it (pairs it proposed earlier
+//!   persist).
 
 use crate::config::JoclConfig;
 use crate::signals::Signals;
-use jocl_kb::{NpSlot, Okb, TripleId};
-use jocl_text::fx::{FxHashMap, FxHashSet};
+use jocl_kb::{NpSlot, Okb, Triple, TripleId};
+use jocl_text::fx::FxHashMap;
 use jocl_text::tokenize;
 
 /// Blocked mention pairs for the three canonicalization variable
@@ -46,27 +65,14 @@ impl Blocking {
     }
 }
 
-/// Generate blocked pairs for an OKB under `config`.
+/// Generate blocked pairs for an OKB under `config`: a full replay of
+/// the OKB through a fresh [`BlockingIndex`].
 pub fn block_pairs(okb: &Okb, signals: &Signals, config: &JoclConfig) -> Blocking {
-    let subjects: Vec<(TripleId, String)> =
-        okb.triples().map(|(t, tr)| (t, tr.subject.to_lowercase())).collect();
-    let objects: Vec<(TripleId, String)> =
-        okb.triples().map(|(t, tr)| (t, tr.object.to_lowercase())).collect();
-    // Predicates are blocked on their morphological normal form (tense,
-    // auxiliaries, determiners and modifiers stripped): OIE relation
-    // phrases are conventionally pre-normalized this way (ReVerb emits
-    // normalized RPs; AMIE's input is "morphological normalized OIE
-    // triples", §3.1.4), and raw IDF overlap between function words would
-    // otherwise dominate the blocking decision.
-    let predicates: Vec<(TripleId, String)> = okb
-        .triples()
-        .map(|(t, tr)| (t, jocl_text::normalize::morph_normalize_rp(&tr.predicate)))
-        .collect();
-    Blocking {
-        subj_pairs: block_family(&subjects, &signals.idf_np, config),
-        pred_pairs: block_family(&predicates, &signals.idf_rp, config),
-        obj_pairs: block_family(&objects, &signals.idf_np, config),
+    let mut index = BlockingIndex::new(config);
+    for (t, triple) in okb.triples() {
+        index.append_triple(t, triple, signals);
     }
+    index.blocking()
 }
 
 /// Cap on how many distinct phrases a token may touch before it is
@@ -74,89 +80,213 @@ pub fn block_pairs(okb: &Okb, signals: &Signals, config: &JoclConfig) -> Blockin
 /// retrieval (IDF would score such pairs near zero anyway).
 const MAX_TOKEN_DF: usize = 100;
 
-fn block_family(
-    mentions: &[(TripleId, String)],
-    idf: &jocl_text::IdfIndex,
-    config: &JoclConfig,
-) -> Vec<(TripleId, TripleId)> {
-    // Distinct phrases and their owners.
-    let mut phrase_owners: FxHashMap<&str, Vec<TripleId>> = FxHashMap::default();
-    for (t, p) in mentions {
-        phrase_owners.entry(p.as_str()).or_default().push(*t);
+/// The new pairs one appended triple created, per variable family.
+/// Each list is ordered (`t_i < t_j`), sorted and duplicate-free.
+#[derive(Debug, Clone, Default)]
+pub struct BlockingDelta {
+    /// New subject–subject pairs.
+    pub subj_pairs: Vec<(TripleId, TripleId)>,
+    /// New predicate–predicate pairs.
+    pub pred_pairs: Vec<(TripleId, TripleId)>,
+    /// New object–object pairs.
+    pub obj_pairs: Vec<(TripleId, TripleId)>,
+}
+
+impl BlockingDelta {
+    /// Total new pairs across the three families.
+    pub fn len(&self) -> usize {
+        self.subj_pairs.len() + self.pred_pairs.len() + self.obj_pairs.len()
     }
-    let mut phrases: Vec<(&str, Vec<TripleId>)> = phrase_owners.into_iter().collect();
-    phrases.sort_by(|a, b| a.0.cmp(b.0));
 
-    let mut pairs: FxHashSet<(u32, u32)> = FxHashSet::default();
-    let mut push = |a: TripleId, b: TripleId| {
-        if a != b {
-            let (x, y) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
-            pairs.insert((x, y));
+    /// True when the appended triple created no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Append-only blocking state for the three variable families.
+///
+/// `append_triple` must be called with consecutive [`TripleId`]s in OKB
+/// order; batch [`block_pairs`] and the incremental session both replay
+/// through this type, so the cumulative pair set is identical by
+/// construction no matter how arrivals are batched.
+#[derive(Debug, Clone)]
+pub struct BlockingIndex {
+    subj: FamilyIndex,
+    pred: FamilyIndex,
+    obj: FamilyIndex,
+    blocking_threshold: f64,
+    max_group_clique: usize,
+    cross_cap: usize,
+}
+
+impl BlockingIndex {
+    /// Empty index under `config`'s caps and threshold.
+    pub fn new(config: &JoclConfig) -> Self {
+        Self {
+            subj: FamilyIndex::default(),
+            pred: FamilyIndex::default(),
+            obj: FamilyIndex::default(),
+            blocking_threshold: config.blocking_threshold,
+            max_group_clique: config.max_group_clique,
+            cross_cap: config.cross_cap,
         }
-    };
+    }
 
-    // 1. Identical-phrase groups: clique up to the cap, chain beyond.
-    for (_, owners) in &phrases {
-        if owners.len() <= config.max_group_clique {
-            for (i, &a) in owners.iter().enumerate() {
-                for &b in &owners[i + 1..] {
-                    push(a, b);
+    /// Append one triple; returns the pairs it newly creates. Subjects
+    /// and objects block on the lowercase phrase; predicates block on
+    /// their morphological normal form (tense, auxiliaries, determiners
+    /// and modifiers stripped): OIE relation phrases are conventionally
+    /// pre-normalized this way (ReVerb emits normalized RPs; AMIE's
+    /// input is "morphological normalized OIE triples", §3.1.4), and raw
+    /// IDF overlap between function words would otherwise dominate the
+    /// blocking decision.
+    pub fn append_triple(
+        &mut self,
+        t: TripleId,
+        triple: &Triple,
+        signals: &Signals,
+    ) -> BlockingDelta {
+        let caps = Caps {
+            threshold: self.blocking_threshold,
+            clique: self.max_group_clique,
+            cross: self.cross_cap,
+        };
+        BlockingDelta {
+            subj_pairs: self.subj.append(t, triple.subject.to_lowercase(), &signals.idf_np, caps),
+            pred_pairs: self.pred.append(
+                t,
+                jocl_text::normalize::morph_normalize_rp(&triple.predicate),
+                &signals.idf_rp,
+                caps,
+            ),
+            obj_pairs: self.obj.append(t, triple.object.to_lowercase(), &signals.idf_np, caps),
+        }
+    }
+
+    /// The cumulative pair set, sorted per family.
+    pub fn blocking(&self) -> Blocking {
+        let sorted = |v: &Vec<(TripleId, TripleId)>| {
+            let mut v = v.clone();
+            v.sort_unstable();
+            v
+        };
+        Blocking {
+            subj_pairs: sorted(&self.subj.pairs),
+            pred_pairs: sorted(&self.pred.pairs),
+            obj_pairs: sorted(&self.obj.pairs),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Caps {
+    threshold: f64,
+    clique: usize,
+    cross: usize,
+}
+
+/// One distinct blocking phrase.
+#[derive(Debug, Clone)]
+struct PhraseEntry {
+    /// Triples carrying the phrase, in arrival (= id) order.
+    owners: Vec<TripleId>,
+    /// Sorted, deduplicated tokens.
+    tokens: Vec<String>,
+    /// Phrase ids whose IDF similarity passed the threshold when one of
+    /// the two phrases arrived.
+    links: Vec<u32>,
+}
+
+/// Append-only blocking state of one variable family.
+#[derive(Debug, Clone, Default)]
+struct FamilyIndex {
+    phrases: Vec<PhraseEntry>,
+    by_text: FxHashMap<String, u32>,
+    /// token → phrase ids carrying it (arrival order).
+    token_index: FxHashMap<String, Vec<u32>>,
+    /// Cumulative emitted pairs (unsorted; no duplicates by construction).
+    pairs: Vec<(TripleId, TripleId)>,
+}
+
+impl FamilyIndex {
+    /// Append one mention; returns the new pairs, sorted.
+    fn append(
+        &mut self,
+        t: TripleId,
+        key: String,
+        idf: &jocl_text::IdfIndex,
+        caps: Caps,
+    ) -> Vec<(TripleId, TripleId)> {
+        let ordered = |a: TripleId, b: TripleId| if a.0 < b.0 { (a, b) } else { (b, a) };
+        let mut fresh: Vec<(TripleId, TripleId)> = Vec::new();
+        match self.by_text.get(&key).copied() {
+            Some(pi) => {
+                let pi = pi as usize;
+                let k = self.phrases[pi].owners.len();
+                // Identical-phrase group: clique while small, chain after.
+                if k < caps.clique {
+                    for &b in &self.phrases[pi].owners {
+                        fresh.push(ordered(t, b));
+                    }
+                } else if let Some(&last) = self.phrases[pi].owners.last() {
+                    fresh.push(ordered(t, last));
                 }
+                // Cross-phrase pairs: only while this phrase is below the
+                // cross cap, against the first `cross` owners of each
+                // linked phrase.
+                if k < caps.cross {
+                    for li in self.phrases[pi].links.clone() {
+                        for &b in self.phrases[li as usize].owners.iter().take(caps.cross) {
+                            fresh.push(ordered(t, b));
+                        }
+                    }
+                }
+                self.phrases[pi].owners.push(t);
             }
-        } else {
-            for w in owners.windows(2) {
-                push(w[0], w[1]);
+            None => {
+                let mut tokens = tokenize(&key);
+                tokens.sort_unstable();
+                tokens.dedup();
+                // Candidate phrases through shared non-hub tokens. A
+                // token is consulted only while its phrase list is below
+                // MAX_TOKEN_DF at arrival time (monotone hub-out).
+                let mut cands: Vec<u32> = Vec::new();
+                for tok in &tokens {
+                    if let Some(list) = self.token_index.get(tok.as_str()) {
+                        if list.len() < MAX_TOKEN_DF {
+                            cands.extend_from_slice(list);
+                        }
+                    }
+                }
+                cands.sort_unstable();
+                cands.dedup();
+                let pi = self.phrases.len() as u32;
+                let mut links: Vec<u32> = Vec::new();
+                for pb in cands {
+                    let sim = idf.sim_tokens(&tokens, &self.phrases[pb as usize].tokens);
+                    if sim < caps.threshold {
+                        continue;
+                    }
+                    links.push(pb);
+                    let other = &mut self.phrases[pb as usize];
+                    other.links.push(pi);
+                    for &b in other.owners.iter().take(caps.cross) {
+                        fresh.push(ordered(t, b));
+                    }
+                }
+                for tok in &tokens {
+                    self.token_index.entry(tok.clone()).or_default().push(pi);
+                }
+                self.by_text.insert(key, pi);
+                self.phrases.push(PhraseEntry { owners: vec![t], tokens, links });
             }
         }
+        fresh.sort_unstable();
+        fresh.dedup();
+        self.pairs.extend_from_slice(&fresh);
+        fresh
     }
-
-    // 2. Cross-phrase candidates via shared tokens.
-    let token_sets: Vec<Vec<String>> = phrases
-        .iter()
-        .map(|(p, _)| {
-            let mut t = tokenize(p);
-            t.sort_unstable();
-            t.dedup();
-            t
-        })
-        .collect();
-    let mut token_index: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
-    for (pi, toks) in token_sets.iter().enumerate() {
-        for t in toks {
-            token_index.entry(t.as_str()).or_default().push(pi as u32);
-        }
-    }
-    let mut candidate_pairs: FxHashSet<(u32, u32)> = FxHashSet::default();
-    for (_, phrase_list) in token_index {
-        if phrase_list.len() > MAX_TOKEN_DF {
-            continue;
-        }
-        for (i, &a) in phrase_list.iter().enumerate() {
-            for &b in &phrase_list[i + 1..] {
-                candidate_pairs.insert((a.min(b), a.max(b)));
-            }
-        }
-    }
-    let mut candidate_pairs: Vec<(u32, u32)> = candidate_pairs.into_iter().collect();
-    candidate_pairs.sort_unstable();
-    for (pa, pb) in candidate_pairs {
-        let sim = idf.sim_tokens(&token_sets[pa as usize], &token_sets[pb as usize]);
-        if sim < config.blocking_threshold {
-            continue;
-        }
-        let owners_a = &phrases[pa as usize].1;
-        let owners_b = &phrases[pb as usize].1;
-        for &a in owners_a.iter().take(config.cross_cap) {
-            for &b in owners_b.iter().take(config.cross_cap) {
-                push(a, b);
-            }
-        }
-    }
-
-    let mut out: Vec<(TripleId, TripleId)> =
-        pairs.into_iter().map(|(a, b)| (TripleId(a), TripleId(b))).collect();
-    out.sort_unstable();
-    out
 }
 
 /// Convenience: the phrase of the subject / predicate / object slot used
@@ -286,8 +416,10 @@ mod tests {
         let s = signals(&okb);
         let config = JoclConfig { max_group_clique: 5, ..Default::default() };
         let b = block_pairs(&okb, &s, &config);
-        // A clique would be C(20,2)=190 pairs; the chain gives 19.
-        assert_eq!(b.subj_pairs.len(), 19);
+        // A clique over all 20 would be C(20,2)=190 pairs; the streaming
+        // cap forms a clique over the first 5 (C(5,2)=10) and chains each
+        // of the remaining 15 onto its predecessor.
+        assert_eq!(b.subj_pairs.len(), 10 + 15);
         // Connectivity is preserved: the pairs chain all 20 triples.
         let edges: Vec<(usize, usize)> =
             b.subj_pairs.iter().map(|&(a, b2)| (a.idx(), b2.idx())).collect();
@@ -301,5 +433,55 @@ mod tests {
         let s = signals(&okb);
         let b = block_pairs(&okb, &s, &JoclConfig::default());
         assert!(b.is_empty());
+    }
+
+    /// The monotonicity contract behind incremental ingestion: the
+    /// per-append deltas concatenate (as sets) to exactly the batch pair
+    /// set, so replaying in any batching reproduces `block_pairs`.
+    #[test]
+    fn append_deltas_concatenate_to_batch_blocking() {
+        let okb = okb();
+        let s = signals(&okb);
+        let config = JoclConfig::default();
+        let batch = block_pairs(&okb, &s, &config);
+        let mut index = BlockingIndex::new(&config);
+        let mut collected = Blocking::default();
+        for (t, triple) in okb.triples() {
+            let delta = index.append_triple(t, triple, &s);
+            collected.subj_pairs.extend(delta.subj_pairs);
+            collected.pred_pairs.extend(delta.pred_pairs);
+            collected.obj_pairs.extend(delta.obj_pairs);
+        }
+        let replayed = index.blocking();
+        assert_eq!(replayed.subj_pairs, batch.subj_pairs);
+        assert_eq!(replayed.pred_pairs, batch.pred_pairs);
+        assert_eq!(replayed.obj_pairs, batch.obj_pairs);
+        for (mut got, want) in [
+            (collected.subj_pairs, &batch.subj_pairs),
+            (collected.pred_pairs, &batch.pred_pairs),
+            (collected.obj_pairs, &batch.obj_pairs),
+        ] {
+            got.sort_unstable();
+            assert_eq!(&got, want, "deltas must concatenate to the batch pair set");
+        }
+    }
+
+    /// An appended delta only ever involves the new triple — the contract
+    /// the incremental graph builder relies on (old pair variables never
+    /// need revisiting).
+    #[test]
+    fn append_delta_only_pairs_the_new_triple() {
+        let okb = okb();
+        let s = signals(&okb);
+        let mut index = BlockingIndex::new(&JoclConfig::default());
+        for (t, triple) in okb.triples() {
+            let delta = index.append_triple(t, triple, &s);
+            for pairs in [&delta.subj_pairs, &delta.pred_pairs, &delta.obj_pairs] {
+                for &(a, b) in pairs.iter() {
+                    assert!(a == t || b == t, "pair {a:?}-{b:?} from appending {t:?}");
+                    assert!(a.0 < b.0);
+                }
+            }
+        }
     }
 }

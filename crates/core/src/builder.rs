@@ -69,7 +69,9 @@ pub struct BuildStats {
 }
 
 /// The constructed graph plus all index maps needed for training and
-/// decoding.
+/// decoding. `Clone` so a long-lived incremental session can be forked
+/// (e.g. by benchmarks replaying the same delta against one warm state).
+#[derive(Clone)]
 pub struct GraphPlan {
     /// The factor graph.
     pub graph: FactorGraph,
@@ -167,17 +169,11 @@ where
     (order, index)
 }
 
-fn build_graph_sharded(
-    okb: &Okb,
-    ckb: &Ckb,
-    signals: &Signals,
-    blocking: &Blocking,
-    config: &JoclConfig,
-    pool: &Pool<'_>,
-) -> GraphPlan {
-    let mut graph = FactorGraph::new();
+/// Initial parameters (α = β = 2.0) and group handles for a feature set.
+/// Shared by the batch builder and the incremental session so both
+/// address the identical group layout.
+pub(crate) fn init_params(fs: FeatureSet) -> (Params, ParamGroups) {
     let mut params = Params::new();
-    let fs = config.features;
     let groups = ParamGroups {
         alpha1: params.add_group(fs.np_canon_len(), 2.0),
         alpha2: params.add_group(fs.rp_canon_len(), 2.0),
@@ -195,6 +191,20 @@ fn build_graph_sharded(
             params.add_group(1, 2.0),
         ],
     };
+    (params, groups)
+}
+
+fn build_graph_sharded(
+    okb: &Okb,
+    ckb: &Ckb,
+    signals: &Signals,
+    blocking: &Blocking,
+    config: &JoclConfig,
+    pool: &Pool<'_>,
+) -> GraphPlan {
+    let mut graph = FactorGraph::new();
+    let fs = config.features;
+    let (params, groups) = init_params(fs);
     let mut stats = BuildStats::default();
 
     let with_linking =
@@ -504,9 +514,9 @@ fn build_graph_sharded(
 }
 
 /// `(a_state, b_state, equal?)` for all candidate combinations.
-type EqualityTable = Vec<(usize, usize, bool)>;
+pub(crate) type EqualityTable = Vec<(usize, usize, bool)>;
 
-fn equality_table<T: PartialEq>(a: &[T], b: &[T]) -> EqualityTable {
+pub(crate) fn equality_table<T: PartialEq>(a: &[T], b: &[T]) -> EqualityTable {
     let mut out = Vec::with_capacity(a.len() * b.len());
     for (ai, av) in a.iter().enumerate() {
         for (bi, bv) in b.iter().enumerate() {
@@ -517,13 +527,13 @@ fn equality_table<T: PartialEq>(a: &[T], b: &[T]) -> EqualityTable {
 }
 
 /// F1/F2/F3 potential: state 0 features are `1 − s`, state 1 features `s`.
-fn pair_potential(group: usize, sims: &[f64]) -> Potential {
+pub(crate) fn pair_potential(group: usize, sims: &[f64]) -> Potential {
     let state0: Vec<f64> = sims.iter().map(|s| 1.0 - s).collect();
     let state1 = sims.to_vec();
     Potential::Features { group, feats: vec![state0, state1] }
 }
 
-fn ordered_key(a: &str, b: &str) -> (String, String) {
+pub(crate) fn ordered_key(a: &str, b: &str) -> (String, String) {
     let (a, b) = (a.to_lowercase(), b.to_lowercase());
     if a <= b {
         (a, b)

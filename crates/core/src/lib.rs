@@ -33,14 +33,16 @@ pub mod builder;
 pub mod config;
 pub mod decode;
 pub mod example;
+pub mod incremental;
 pub mod persist;
 pub mod pipeline;
 pub mod signals;
 
-pub use blocking::{block_pairs, Blocking};
+pub use blocking::{block_pairs, Blocking, BlockingDelta, BlockingIndex};
 pub use builder::{build_graph, GraphPlan};
 pub use config::{FeatureSet, JoclConfig, Variant};
 pub use decode::JoclOutput;
+pub use incremental::{DeltaOutput, DeltaStats, IncrementalJocl};
 pub use jocl_fg::ScheduleMode;
 pub use persist::{load_params, save_params};
 pub use pipeline::{Jocl, JoclInput};

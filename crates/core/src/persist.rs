@@ -15,14 +15,20 @@ use jocl_kb::tsv::{read_weight_groups, write_weight_groups};
 use jocl_kb::KbError;
 use std::path::Path;
 
-/// Save learned parameters as TSV (one group per line).
+/// Save learned parameters as TSV (one group per line). Failures are
+/// wrapped with the target path ([`KbError::WithPath`]).
 pub fn save_params(params: &Params, path: &Path) -> Result<(), KbError> {
-    write_weight_groups(params.groups(), path)
+    write_weight_groups(params.groups(), path).map_err(|e| e.with_path(path))
 }
 
 /// Load parameters written by [`save_params`]; bit-exact roundtrip.
+///
+/// I/O and parse failures are wrapped with the file path
+/// ([`KbError::WithPath`]): a serving deployment pointing
+/// `JoclConfig::pretrained_params` at a stale or truncated weight file
+/// gets an error naming the file, not a bare line number.
 pub fn load_params(path: &Path) -> Result<Params, KbError> {
-    Ok(Params::from_groups(read_weight_groups(path)?))
+    Ok(Params::from_groups(read_weight_groups(path).map_err(|e| e.with_path(path))?))
 }
 
 #[cfg(test)]
@@ -77,12 +83,39 @@ mod tests {
         for (contents, what) in cases {
             std::fs::write(&path, contents).unwrap();
             match load_params(&path) {
-                Err(KbError::Parse { line: 1, .. }) => {}
-                other => panic!("{what}: expected Parse error at line 1, got {other:?}"),
+                Err(KbError::WithPath { path: p, source })
+                    if matches!(*source, KbError::Parse { line: 1, .. }) =>
+                {
+                    assert_eq!(p, path.display().to_string(), "{what}");
+                }
+                other => {
+                    panic!("{what}: expected path-wrapped Parse error at line 1, got {other:?}")
+                }
             }
         }
-        // Missing file stays a typed I/O error.
-        assert!(matches!(load_params(&dir.join("nonexistent.tsv")), Err(KbError::Io(_))));
+        // Missing file stays a typed I/O error, wrapped with the path.
+        let missing = dir.join("nonexistent.tsv");
+        assert!(matches!(
+            load_params(&missing),
+            Err(KbError::WithPath { ref source, .. }) if matches!(**source, KbError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite regression: the error *message* of a failed load names
+    /// the offending file — the thing an operator greps for.
+    #[test]
+    fn load_params_errors_name_the_file() {
+        let dir = std::env::temp_dir().join(format!("jocl-persist-path-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serving-weights.tsv");
+        std::fs::write(&path, "1\tpotato\n").unwrap();
+        let msg = load_params(&path).unwrap_err().to_string();
+        assert!(msg.contains("serving-weights.tsv"), "parse error must name the file: {msg}");
+        assert!(msg.contains("line 1"), "inner parse context must survive: {msg}");
+        let missing = dir.join("missing.tsv");
+        let msg = load_params(&missing).unwrap_err().to_string();
+        assert!(msg.contains("missing.tsv"), "i/o error must name the file: {msg}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -161,7 +161,10 @@ impl Jocl {
     }
 }
 
-fn lbp_options(config: &JoclConfig) -> jocl_fg::LbpOptions {
+/// The inference options every decode-producing run uses: the config's
+/// LBP settings under the paper's phased schedule. Shared with the
+/// incremental session so warm runs converge the identical system.
+pub(crate) fn lbp_options(config: &JoclConfig) -> jocl_fg::LbpOptions {
     jocl_fg::LbpOptions { schedule: paper_schedule(), ..config.lbp.clone() }
 }
 

@@ -1,0 +1,265 @@
+//! The gold correctness property of the streaming subsystem: **N deltas
+//! followed by convergence decode identically to a from-scratch batch
+//! run on the union** — for the figure-1 worked example, for empty and
+//! singleton OKBs, and (proptest) for random datasets replayed as random
+//! contiguous arrival batches under any thread count and both schedule
+//! modes, sharing one frozen `Signals` per dataset.
+
+use jocl_core::example::figure1;
+use jocl_core::pipeline::ValidationLabels;
+use jocl_core::signals::build_signals;
+use jocl_core::{IncrementalJocl, Jocl, JoclConfig, JoclInput, JoclOutput, ScheduleMode, Signals};
+use jocl_datagen::reverb45k_like;
+use jocl_embed::SgnsOptions;
+use jocl_kb::{Ckb, NpMention, NpSlot, Okb, Triple, TripleId};
+use jocl_rules::ParaphraseStore;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Decode equality: links and (canonicalized) cluster assignments.
+fn assert_same_decode(incremental: &JoclOutput, batch: &JoclOutput, what: &str) {
+    assert_eq!(incremental.np_links, batch.np_links, "{what}: np links diverged");
+    assert_eq!(incremental.rp_links, batch.rp_links, "{what}: rp links diverged");
+    assert_eq!(
+        incremental.np_clustering.assignment(),
+        batch.np_clustering.assignment(),
+        "{what}: np clustering diverged"
+    );
+    assert_eq!(
+        incremental.rp_clustering.assignment(),
+        batch.rp_clustering.assignment(),
+        "{what}: rp clustering diverged"
+    );
+}
+
+#[test]
+fn figure1_replayed_one_triple_at_a_time_matches_batch() {
+    let ex = figure1();
+    for mode in [ScheduleMode::Synchronous, ScheduleMode::Residual] {
+        let mut config = ex.config();
+        config.lbp.mode = mode;
+        let batch = Jocl::new(config.clone()).run(ex.input(), None);
+
+        let signals = build_signals(&ex.okb, &ex.ckb, &ex.ppdb, &ex.corpus, &config.sgns);
+        let mut session = IncrementalJocl::new(config, &ex.ckb, &signals);
+        let mut last = None;
+        for (_, triple) in ex.okb.triples() {
+            last = Some(session.apply_delta(std::slice::from_ref(triple)));
+        }
+        let last = last.expect("three deltas applied");
+        assert_same_decode(&last.output, &batch, &format!("figure1 {mode:?}"));
+        // The decode carries the figure's joint result, not just *a*
+        // consistent one.
+        let s1 = NpMention { triple: TripleId(0), slot: NpSlot::Subject }.dense();
+        let s2 = NpMention { triple: TripleId(1), slot: NpSlot::Subject }.dense();
+        assert_eq!(last.output.np_links[s1], Some(ex.e_umd));
+        assert_eq!(last.output.np_links[s2], Some(ex.e_umd));
+        assert!(last.output.np_clustering.same(s1, s2));
+        assert!(last.stats.warm_started, "deltas after the first must warm-start");
+    }
+}
+
+/// Satellite regression (OKB dedup): re-delivering a triple through
+/// `apply_delta` is a no-op — no second mention variables, no
+/// double-counted evidence, identical decode.
+#[test]
+fn reingested_triples_are_no_ops_through_apply_delta() {
+    let ex = figure1();
+    let config = ex.config();
+    let signals = build_signals(&ex.okb, &ex.ckb, &ex.ppdb, &ex.corpus, &config.sgns);
+    let mut session = IncrementalJocl::new(config, &ex.ckb, &signals);
+    let triples: Vec<Triple> = ex.okb.triples().map(|(_, t)| t.clone()).collect();
+    let first = session.apply_delta(&triples);
+    assert_eq!(first.stats.appended, 3);
+    let vars_before = first.output.diagnostics.num_vars;
+    let factors_before = first.output.diagnostics.num_factors;
+
+    // Re-deliver everything, plus an intra-delta duplicate.
+    let mut redelivery = triples.clone();
+    redelivery.push(triples[0].clone());
+    let second = session.apply_delta(&redelivery);
+    assert_eq!(second.stats.appended, 0);
+    assert_eq!(second.stats.duplicates, 4);
+    assert_eq!(second.stats.new_vars, 0, "duplicates must not create variables");
+    assert_eq!(second.stats.new_factors, 0, "duplicates must not add evidence");
+    assert_eq!(second.stats.lbp.message_updates, 0, "nothing dirty, nothing to converge");
+    assert_eq!(second.output.diagnostics.num_vars, vars_before);
+    assert_eq!(second.output.diagnostics.num_factors, factors_before);
+    assert_same_decode(&second.output, &first.output, "redelivery");
+    assert_eq!(session.len(), 3);
+}
+
+/// Satellite (empty/singleton hardening): both the batch pipeline and
+/// `apply_delta` must produce well-formed output on an empty OKB…
+#[test]
+fn empty_okb_is_well_formed_in_batch_and_incremental() {
+    let okb = Okb::new();
+    let ckb = Ckb::new();
+    let ppdb = ParaphraseStore::new();
+    let corpus: Vec<Vec<String>> = Vec::new();
+    for mode in [ScheduleMode::Synchronous, ScheduleMode::Residual] {
+        let mut config = JoclConfig::default();
+        config.lbp.mode = mode;
+        let input = JoclInput { okb: &okb, ckb: &ckb, ppdb: &ppdb, corpus: &corpus };
+        let labels = ValidationLabels::empty(&okb);
+        let batch = Jocl::new(config.clone()).run(input, Some(&labels));
+        assert!(batch.np_links.is_empty());
+        assert!(batch.rp_links.is_empty());
+        assert_eq!(batch.np_clustering.len(), 0);
+        assert_eq!(batch.np_clustering.num_clusters(), 0);
+        assert_eq!(batch.diagnostics.num_vars, 0);
+        assert!(batch.diagnostics.lbp.converged, "an empty system is trivially converged");
+
+        let signals = build_signals(&okb, &ckb, &ppdb, &corpus, &config.sgns);
+        let mut session = IncrementalJocl::new(config, &ckb, &signals);
+        let out = session.apply_delta(&[]);
+        assert_eq!(out.stats.appended, 0);
+        assert!(out.output.np_links.is_empty());
+        assert_eq!(out.output.np_clustering.num_clusters(), 0);
+        assert!(out.output.diagnostics.lbp.converged);
+        assert_same_decode(&out.output, &batch, &format!("empty {mode:?}"));
+    }
+}
+
+/// …and on a single-triple OKB (no blocked pairs → a linking-only or
+/// even factor-free graph).
+#[test]
+fn single_triple_okb_is_well_formed_in_batch_and_incremental() {
+    let ex = figure1(); // reuse its CKB so linking variables exist
+    let mut okb = Okb::new();
+    let triple = ex.okb.triple(TripleId(0)).clone();
+    okb.add_triple(triple.clone());
+    for mode in [ScheduleMode::Synchronous, ScheduleMode::Residual] {
+        let mut config = ex.config();
+        config.lbp.mode = mode;
+        let input = JoclInput { okb: &okb, ckb: &ex.ckb, ppdb: &ex.ppdb, corpus: &ex.corpus };
+        let batch = Jocl::new(config.clone()).run(input, None);
+        assert_eq!(batch.np_links.len(), 2);
+        assert_eq!(batch.rp_links.len(), 1);
+        assert_eq!(batch.np_clustering.len(), 2);
+        assert!(batch.diagnostics.lbp.converged);
+        // Subject and object of one triple never share a cluster.
+        assert!(!batch.np_clustering.same(0, 1));
+
+        let signals = build_signals(&okb, &ex.ckb, &ex.ppdb, &ex.corpus, &config.sgns);
+        let mut session = IncrementalJocl::new(config, &ex.ckb, &signals);
+        let out = session.apply_delta(std::slice::from_ref(&triple));
+        assert_eq!(out.stats.appended, 1);
+        assert_same_decode(&out.output, &batch, &format!("singleton {mode:?}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Proptest: random contiguous partitions of random datasets.
+// ---------------------------------------------------------------------
+
+struct ParityWorld {
+    okb: Okb,
+    ckb: Ckb,
+    signals: Signals,
+    triples: Vec<Triple>,
+    /// Batch decode per schedule mode (thread-invariant by the PR-2/PR-3
+    /// guarantees, so one run per mode suffices).
+    batch: [JoclOutput; 2],
+}
+
+fn parity_config(mode: ScheduleMode) -> JoclConfig {
+    let mut config = JoclConfig {
+        train_epochs: 0,
+        sgns: SgnsOptions { dim: 16, epochs: 2, ..Default::default() },
+        ..Default::default()
+    };
+    config.lbp.mode = mode;
+    config
+}
+
+/// Three small worlds (different seeds), each with signals built once
+/// and the union OKB assembled through the same dedup ingest the
+/// session uses.
+fn parity_worlds() -> &'static Vec<ParityWorld> {
+    static WORLDS: OnceLock<Vec<ParityWorld>> = OnceLock::new();
+    WORLDS.get_or_init(|| {
+        [3u64, 11, 29]
+            .into_iter()
+            .map(|seed| {
+                let dataset = reverb45k_like(seed, 0.002);
+                let triples: Vec<Triple> = dataset.okb.triples().map(|(_, t)| t.clone()).collect();
+                let mut okb = Okb::new();
+                for t in &triples {
+                    okb.ingest_triple(t.clone());
+                }
+                let signals = build_signals(
+                    &okb,
+                    &dataset.ckb,
+                    &dataset.ppdb,
+                    &dataset.corpus,
+                    &SgnsOptions { dim: 16, epochs: 2, seed, ..Default::default() },
+                );
+                let batch = [ScheduleMode::Synchronous, ScheduleMode::Residual].map(|mode| {
+                    let input = JoclInput {
+                        okb: &okb,
+                        ckb: &dataset.ckb,
+                        ppdb: &dataset.ppdb,
+                        corpus: &dataset.corpus,
+                    };
+                    Jocl::new(parity_config(mode)).run_with_signals(input, &signals, None)
+                });
+                ParityWorld { okb, ckb: dataset.ckb.clone(), signals, triples, batch }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any contiguous partition of the arrival sequence, any thread
+    /// count, both schedule modes: the final delta's decode equals the
+    /// batch decode on the union.
+    #[test]
+    fn interleaved_deltas_decode_like_batch(
+        world_idx in 0usize..3,
+        cuts in proptest::collection::vec(0usize..200, 0..4),
+        threads in 1usize..3,
+        residual_mode in 0usize..2,
+    ) {
+        let world = &parity_worlds()[world_idx];
+        let n = world.triples.len();
+        let residual = residual_mode == 1;
+        let mode = if residual { ScheduleMode::Residual } else { ScheduleMode::Synchronous };
+        let mut config = parity_config(mode);
+        config.lbp.threads = threads;
+
+        // Contiguous arrival batches from the random cut points: the
+        // union okb (and thus every dense mention index) matches batch.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (n + 1)).collect();
+        bounds.push(0);
+        bounds.push(n);
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        let mut session = IncrementalJocl::new(config, &world.ckb, &world.signals);
+        let mut last = session.apply_delta(&[]); // empty prefix delta
+        let mut appended = 0usize;
+        for w in bounds.windows(2) {
+            let delta = &world.triples[w[0]..w[1]];
+            last = session.apply_delta(delta);
+            appended += last.stats.appended;
+            prop_assert!(last.output.diagnostics.lbp.converged, "delta LBP must converge");
+        }
+        prop_assert_eq!(appended, world.okb.len(), "dedup must mirror the union ingest");
+        let batch = &world.batch[usize::from(residual)];
+        prop_assert_eq!(&last.output.np_links, &batch.np_links, "np links diverged");
+        prop_assert_eq!(&last.output.rp_links, &batch.rp_links, "rp links diverged");
+        prop_assert_eq!(
+            last.output.np_clustering.assignment(),
+            batch.np_clustering.assignment(),
+            "np clustering diverged"
+        );
+        prop_assert_eq!(
+            last.output.rp_clustering.assignment(),
+            batch.rp_clustering.assignment(),
+            "rp clustering diverged"
+        );
+    }
+}

@@ -487,6 +487,47 @@ mod tests {
         assert_eq!(adj_b, adj_s);
     }
 
+    /// The append-safe growth contract the incremental pipeline relies
+    /// on: adding vars/factors never renumbers existing nodes, never
+    /// reorders existing adjacency, and leaves existing potentials
+    /// untouched — the grown graph is the two-stage build of the same
+    /// final structure.
+    #[test]
+    fn append_preserves_existing_structure() {
+        let stage1 = |g: &mut FactorGraph| {
+            let a = g.add_var(2);
+            let b = g.add_var(3);
+            g.add_factor(&[a], Potential::Scores { group: 0, scores: vec![0.1, 0.9] }, 1);
+            g.add_factor(&[a, b], Potential::Scores { group: 0, scores: vec![0.0; 6] }, 2);
+        };
+        let mut grown = FactorGraph::new();
+        stage1(&mut grown);
+        let before = format!("{grown:?}");
+        // Append a second stage touching an old variable.
+        let c = grown.add_var(2);
+        grown.add_factor_batch([FactorSpec::new(
+            vec![VarId(0), c],
+            Potential::Scores { group: 0, scores: vec![0.0; 4] },
+            3,
+        )]);
+        assert_eq!(c, VarId(2), "ids keep advancing");
+        assert_eq!(grown.num_factors(), 3);
+        // Old factors and their var lists are untouched…
+        let mut prefix = FactorGraph::new();
+        stage1(&mut prefix);
+        for f in 0..prefix.num_factors() {
+            let f = FactorId(f as u32);
+            assert_eq!(grown.factor_vars(f), prefix.factor_vars(f));
+            assert_eq!(grown.factor_class(f), prefix.factor_class(f));
+        }
+        // …and old adjacency lists only gain appended entries.
+        let adj_a: Vec<_> = grown.var_factors(VarId(0)).collect();
+        assert_eq!(adj_a, vec![(FactorId(0), 0), (FactorId(1), 0), (FactorId(2), 0)]);
+        let adj_b: Vec<_> = grown.var_factors(VarId(1)).collect();
+        assert_eq!(adj_b, vec![(FactorId(1), 1)]);
+        assert!(before.len() < format!("{grown:?}").len());
+    }
+
     #[test]
     fn reserve_is_observably_inert() {
         let mut g = FactorGraph::new();

@@ -254,6 +254,91 @@ impl<'g> LbpEngine<'g> {
         eng
     }
 
+    /// Snapshot the current messages for a later [`LbpEngine::resume`] on
+    /// a graph that *extends* this one (same variables and factors as a
+    /// prefix, new ones appended).
+    pub fn export_messages(&self) -> LbpMessages {
+        LbpMessages { fv: self.fv.clone(), vf: self.vf.clone(), edges: self.num_edges() }
+    }
+
+    /// Install a prior snapshot into this engine. The prior's edges must
+    /// be a prefix of this engine's edge enumeration — which is exactly
+    /// what appending variables and factors to the graph guarantees
+    /// (edges are enumerated factor-major, and existing variables keep
+    /// their cardinalities). Messages of edges beyond the prefix keep
+    /// their uniform initialization.
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not describe a prefix of this graph
+    /// (e.g. the graph was rebuilt rather than appended to).
+    pub fn import_messages(&mut self, prior: &LbpMessages) {
+        assert!(
+            prior.edges <= self.num_edges(),
+            "prior snapshot has more edges ({}) than the graph ({})",
+            prior.edges,
+            self.num_edges()
+        );
+        let arena = if prior.edges == self.num_edges() {
+            self.fv.len()
+        } else {
+            self.edge_offset[prior.edges]
+        };
+        assert_eq!(
+            arena,
+            prior.fv.len(),
+            "resumed graph must extend the prior graph by appending vars/factors"
+        );
+        self.fv[..arena].copy_from_slice(&prior.fv);
+        self.vf[..arena].copy_from_slice(&prior.vf);
+    }
+
+    /// Warm-started run: seed from `prior`, then converge with only
+    /// `dirty` factor blocks scheduled up front. `dirty` is typically the
+    /// factors appended since the snapshot; everything else re-enters the
+    /// computation only if dirty propagation actually reaches it.
+    ///
+    /// In [`ScheduleMode::Residual`] the priming sweep is restricted to
+    /// the dirty set and the drain starts from there, so an untouched
+    /// connected component performs **zero** message updates and its
+    /// messages (and therefore marginals) are preserved bit-for-bit. In
+    /// [`ScheduleMode::Synchronous`] full sweeps run, but from the warm
+    /// start they converge in few iterations.
+    pub fn resume(
+        &mut self,
+        prior: &LbpMessages,
+        params: &Params,
+        opts: &LbpOptions,
+        dirty: &[u32],
+    ) -> LbpResult {
+        self.import_messages(prior);
+        // Re-derive the variable→factor messages of every *scheduled*
+        // variable a dirty factor touches: the snapshot's vf on new
+        // edges is uniform, and priming quality (not correctness)
+        // depends on the first factor update seeing consistent inputs.
+        // Unscheduled variable classes stay frozen, exactly as both cold
+        // paths keep them.
+        let (_, var_sel) = self.phase_selections(&opts.schedule);
+        let mut var_active = vec![false; self.graph.num_vars()];
+        for sel in &var_sel {
+            for &v in sel {
+                var_active[v as usize] = true;
+            }
+        }
+        let mut vars: Vec<u32> = dirty
+            .iter()
+            .flat_map(|&f| self.factor_edges(f as usize))
+            .map(|e| self.edge_var[e])
+            .filter(|&v| var_active[v as usize])
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        self.update_var_messages(&vars);
+        match opts.mode {
+            ScheduleMode::Synchronous => self.run_synchronous_from(params, opts, false),
+            ScheduleMode::Residual => self.run_residual_from(params, opts, Some(dirty)),
+        }
+    }
+
     /// Reset all messages to uniform (keeps clamps).
     pub fn reset_messages(&mut self) {
         for e in 0..self.num_edges() {
@@ -373,14 +458,23 @@ impl<'g> LbpEngine<'g> {
     /// any `opts.threads`.
     pub fn run(&mut self, params: &Params, opts: &LbpOptions) -> LbpResult {
         match opts.mode {
-            ScheduleMode::Synchronous => self.run_synchronous(params, opts),
-            ScheduleMode::Residual => self.run_residual(params, opts),
+            ScheduleMode::Synchronous => self.run_synchronous_from(params, opts, true),
+            ScheduleMode::Residual => self.run_residual_from(params, opts, None),
         }
     }
 
     /// Synchronous mode: full factor + variable sweeps per iteration.
-    fn run_synchronous(&mut self, params: &Params, opts: &LbpOptions) -> LbpResult {
-        self.reset_messages();
+    /// With `reset` false the current messages are the starting point
+    /// (the warm path of [`LbpEngine::resume`]).
+    fn run_synchronous_from(
+        &mut self,
+        params: &Params,
+        opts: &LbpOptions,
+        reset: bool,
+    ) -> LbpResult {
+        if reset {
+            self.reset_messages();
+        }
         let (factor_sel, var_sel) = self.phase_selections(&opts.schedule);
         let phase_messages: Vec<u64> = factor_sel
             .iter()
@@ -424,8 +518,21 @@ impl<'g> LbpEngine<'g> {
     /// update writes disjoint per-factor regions, so the trajectory — and
     /// therefore every message and counter — is bit-identical for any
     /// thread count.
-    fn run_residual(&mut self, params: &Params, opts: &LbpOptions) -> LbpResult {
-        self.reset_messages();
+    /// With `prime: None`, the cold path: reset, one full priming sweep
+    /// in schedule order, then the drain. With `prime: Some(dirty)`, the
+    /// warm path of [`LbpEngine::resume`]: no reset, priming restricted
+    /// to the (scheduled) dirty factors, and the drain starts from the
+    /// priorities that priming produced — factors outside the dirty
+    /// set's reach are never recomputed.
+    fn run_residual_from(
+        &mut self,
+        params: &Params,
+        opts: &LbpOptions,
+        prime: Option<&[u32]>,
+    ) -> LbpResult {
+        if prime.is_none() {
+            self.reset_messages();
+        }
         let (factor_sel, var_sel) = self.phase_selections(&opts.schedule);
         let nf = self.graph.num_factors();
         let ne = self.num_edges();
@@ -491,20 +598,53 @@ impl<'g> LbpEngine<'g> {
                 queue.update(f, old_p, old_p + tail);
             }
         };
+        // Warm priming restricts both the factor sweep and the variable
+        // refresh to the dirty set (filtered to scheduled classes, in
+        // schedule phase order).
+        let dirty_only: Option<Vec<bool>> = prime.map(|dirty| {
+            let mut mask = vec![false; nf];
+            for &f in dirty {
+                if factor_active[f as usize] {
+                    mask[f as usize] = true;
+                }
+            }
+            mask
+        });
         jocl_exec::with_pool(threads, |pool| {
             // Priming sweep: exactly the synchronous engine's first
-            // iteration, so every scheduled message is computed at least
+            // iteration (restricted to the dirty set on the warm path),
+            // so every scheduled-and-dirty message is computed at least
             // once and the paper's phase order shapes the starting point.
             for selected in &factor_sel {
-                let residuals = self.residual_factor_batch(params, selected, opts, pool);
+                let selected: Vec<u32> = match &dirty_only {
+                    None => selected.clone(),
+                    Some(mask) => selected.iter().copied().filter(|&f| mask[f as usize]).collect(),
+                };
+                let residuals = self.residual_factor_batch(params, &selected, opts, pool);
                 for (&f, &r_f) in selected.iter().zip(&residuals) {
                     bump_after_update(f, r_f, &mut prio, &mut queue);
                 }
                 result.message_updates +=
                     selected.iter().map(|&f| self.factor_message_count(f as usize)).sum::<u64>();
             }
+            let primed_vars: Option<Vec<bool>> = dirty_only.as_ref().map(|mask| {
+                let mut vm = vec![false; self.graph.num_vars()];
+                for (f, &is_dirty) in mask.iter().enumerate() {
+                    if is_dirty {
+                        for e in self.factor_edges(f) {
+                            vm[self.edge_var[e] as usize] = true;
+                        }
+                    }
+                }
+                vm
+            });
             for selected in &var_sel {
                 for &v in selected {
+                    if let Some(vm) = &primed_vars {
+                        if !vm[v as usize] {
+                            continue;
+                        }
+                    }
                     self.residual_var_update(
                         v,
                         &factor_active,
@@ -1078,6 +1218,28 @@ impl<'g> LbpEngine<'g> {
     }
 }
 
+/// A message snapshot exported from one [`LbpEngine`] run and seeded
+/// into a later engine over a graph that appends to the snapshot's graph
+/// (see [`LbpEngine::export_messages`] / [`LbpEngine::resume`]). The
+/// snapshot is tied to the edge enumeration, not to a borrow of the
+/// graph, so a long-lived session can own it across graph growth.
+#[derive(Debug, Clone)]
+pub struct LbpMessages {
+    /// factor→variable messages (log domain), factor-major arena.
+    fv: Vec<f64>,
+    /// variable→factor messages, same arena layout.
+    vf: Vec<f64>,
+    /// Number of edges the snapshot covers.
+    edges: usize,
+}
+
+impl LbpMessages {
+    /// Number of factor-slot edges covered by the snapshot.
+    pub fn num_edges(&self) -> usize {
+        self.edges
+    }
+}
+
 /// Reusable buffers for the residual-mode variable update.
 #[derive(Default)]
 struct VarScratch {
@@ -1607,6 +1769,151 @@ mod tests {
         batch.clear();
         q.pop_batch(4, &mut prio, &mut batch);
         assert_eq!(batch, vec![1]);
+    }
+
+    /// Warm-started resume on an appended-to graph must reach the cold
+    /// fixed point (both modes) while, in residual mode, recomputing far
+    /// fewer messages.
+    #[test]
+    fn resume_on_appended_graph_matches_cold_fixed_point() {
+        // Chain of 30 built in two stages: the first 20 vars/factors,
+        // then 10 more appended — ids and edge enumeration of the prefix
+        // are identical by construction.
+        let build = |n: usize| -> (FactorGraph, Params) {
+            let mut g = FactorGraph::new();
+            let vars: Vec<VarId> = (0..n).map(|_| g.add_var(2)).collect();
+            let mut params = Params::new();
+            let grp = params.add_group_with(vec![1.0]);
+            g.add_factor(&[vars[0]], Potential::Scores { group: grp, scores: vec![0.0, 1.5] }, 0);
+            for w in vars.windows(2) {
+                g.add_factor(
+                    &[w[0], w[1]],
+                    Potential::Scores { group: grp, scores: vec![0.6, 0.0, 0.0, 0.6] },
+                    0,
+                );
+            }
+            (g, params)
+        };
+        let (g20, params) = build(20);
+        let (g30, _) = build(30);
+        let dirty: Vec<u32> = (g20.num_factors() as u32..g30.num_factors() as u32).collect();
+        for mode in [ScheduleMode::Synchronous, ScheduleMode::Residual] {
+            let opts = LbpOptions { tol: 1e-10, max_iters: 500, mode, ..Default::default() };
+            let mut prefix = LbpEngine::new(&g20);
+            prefix.run(&params, &opts);
+            let snapshot = prefix.export_messages();
+
+            let mut warm = LbpEngine::new(&g30);
+            let warm_res = warm.resume(&snapshot, &params, &opts, &dirty);
+            let mut cold = LbpEngine::new(&g30);
+            let cold_res = cold.run(&params, &opts);
+            assert!(warm_res.converged && cold_res.converged, "{mode:?}");
+            let (mw, mc) = (warm.marginals(), cold.marginals());
+            for v in 0..g30.num_vars() {
+                let v = VarId(v as u32);
+                assert!(
+                    (mw.prob(v, 1) - mc.prob(v, 1)).abs() < 1e-7,
+                    "{mode:?} var {v:?}: warm {} vs cold {}",
+                    mw.prob(v, 1),
+                    mc.prob(v, 1)
+                );
+            }
+            if mode == ScheduleMode::Residual {
+                assert!(
+                    warm_res.message_updates * 2 < cold_res.message_updates,
+                    "warm resume must at least halve the cold residual work: {} vs {}",
+                    warm_res.message_updates,
+                    cold_res.message_updates
+                );
+            }
+        }
+    }
+
+    /// A connected component the dirty set does not reach performs zero
+    /// updates under residual resume: its messages — and marginals — are
+    /// preserved bit-for-bit.
+    #[test]
+    fn resume_leaves_untouched_components_bitwise_frozen() {
+        let build = |extended: bool| -> (FactorGraph, Params) {
+            let mut g = FactorGraph::new();
+            let mut params = Params::new();
+            let grp = params.add_group_with(vec![1.0]);
+            // Component A: a 3-cycle (loopy, nontrivial fixed point).
+            let a: Vec<VarId> = (0..3).map(|_| g.add_var(2)).collect();
+            for (i, j) in [(0, 1), (1, 2), (0, 2)] {
+                g.add_factor(
+                    &[a[i], a[j]],
+                    Potential::Scores { group: grp, scores: vec![0.7, 0.0, 0.0, 0.7] },
+                    0,
+                );
+            }
+            // Component B: a pair.
+            let b0 = g.add_var(2);
+            let b1 = g.add_var(2);
+            g.add_factor(&[b0], Potential::Scores { group: grp, scores: vec![0.0, 0.9] }, 0);
+            g.add_factor(
+                &[b0, b1],
+                Potential::Scores { group: grp, scores: vec![0.5, 0.0, 0.0, 0.5] },
+                0,
+            );
+            if extended {
+                // Delta: one more variable hanging off component B.
+                let b2 = g.add_var(2);
+                g.add_factor(
+                    &[b1, b2],
+                    Potential::Scores { group: grp, scores: vec![0.4, 0.0, 0.0, 0.4] },
+                    0,
+                );
+            }
+            (g, params)
+        };
+        let opts = LbpOptions {
+            tol: 1e-10,
+            max_iters: 500,
+            mode: ScheduleMode::Residual,
+            ..Default::default()
+        };
+        let (g0, params) = build(false);
+        let mut prefix = LbpEngine::new(&g0);
+        prefix.run(&params, &opts);
+        let before = prefix.marginals();
+        let snapshot = prefix.export_messages();
+
+        let (g1, _) = build(true);
+        let dirty: Vec<u32> = (g0.num_factors() as u32..g1.num_factors() as u32).collect();
+        let mut warm = LbpEngine::new(&g1);
+        let res = warm.resume(&snapshot, &params, &opts, &dirty);
+        assert!(res.converged);
+        let after = warm.marginals();
+        for v in 0..3 {
+            let v = VarId(v);
+            for (x, y) in before.of(v).iter().zip(after.of(v)) {
+                assert_eq!(x.to_bits(), y.to_bits(), "component A must stay frozen");
+            }
+        }
+        // The new variable actually moved off uniform.
+        assert!((after.prob(VarId(5), 1) - 0.5).abs() > 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "appending")]
+    fn import_rejects_non_prefix_snapshot() {
+        let mut g0 = FactorGraph::new();
+        let a = g0.add_var(2);
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![1.0]);
+        g0.add_factor(&[a], Potential::Scores { group: grp, scores: vec![0.0, 1.0] }, 0);
+        let mut eng0 = LbpEngine::new(&g0);
+        eng0.run(&params, &LbpOptions::default());
+        let snap = eng0.export_messages();
+        // A *different* graph whose first factor has another arity: the
+        // arena prefix cannot line up.
+        let mut g1 = FactorGraph::new();
+        let x = g1.add_var(3);
+        g1.add_factor(&[x], Potential::Scores { group: 0, scores: vec![0.0; 3] }, 0);
+        g1.add_factor(&[x], Potential::Scores { group: 0, scores: vec![0.0; 3] }, 0);
+        let mut eng1 = LbpEngine::new(&g1);
+        eng1.import_messages(&snap);
     }
 
     #[test]

@@ -45,6 +45,6 @@ pub mod logspace;
 pub mod params;
 
 pub use graph::{FactorGraph, FactorId, FactorSpec, Potential, VarId};
-pub use lbp::{LbpOptions, LbpResult, Marginals, Schedule, ScheduleMode};
+pub use lbp::{LbpMessages, LbpOptions, LbpResult, Marginals, Schedule, ScheduleMode};
 pub use learn::{train, TrainOptions, TrainReport};
 pub use params::Params;

@@ -21,6 +21,23 @@ pub enum KbError {
         /// The offending id value.
         id: u32,
     },
+    /// Another [`KbError`] annotated with the file it came from. Loaders
+    /// that know the path (e.g. `jocl_core::persist::load_params`) wrap
+    /// their I/O and parse failures so a serving misconfiguration names
+    /// the offending file instead of a bare "parse error at line 1".
+    WithPath {
+        /// The file involved (display form).
+        path: String,
+        /// The underlying failure.
+        source: Box<KbError>,
+    },
+}
+
+impl KbError {
+    /// Wrap `self` with the path of the file being processed.
+    pub fn with_path(self, path: &std::path::Path) -> KbError {
+        KbError::WithPath { path: path.display().to_string(), source: Box::new(self) }
+    }
 }
 
 impl fmt::Display for KbError {
@@ -31,6 +48,7 @@ impl fmt::Display for KbError {
             KbError::DanglingRef { kind, id } => {
                 write!(f, "dangling {kind} reference: {id}")
             }
+            KbError::WithPath { path, source } => write!(f, "{path}: {source}"),
         }
     }
 }
@@ -39,6 +57,7 @@ impl std::error::Error for KbError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             KbError::Io(e) => Some(e),
+            KbError::WithPath { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -61,6 +80,16 @@ mod tests {
         let e = KbError::DanglingRef { kind: "entity", id: 42 };
         assert!(e.to_string().contains("entity"));
         assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn with_path_prefixes_and_chains() {
+        let inner = KbError::Parse { line: 2, msg: "bad".into() };
+        let e = inner.with_path(std::path::Path::new("/tmp/weights.tsv"));
+        let msg = e.to_string();
+        assert!(msg.contains("/tmp/weights.tsv"), "{msg}");
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

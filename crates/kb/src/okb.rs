@@ -79,7 +79,7 @@ impl RpMention {
 }
 
 /// An OIE triple.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Triple {
     /// Subject noun phrase.
     pub subject: String,
@@ -116,6 +116,12 @@ pub struct SideInfo {
 pub struct Okb {
     triples: Vec<Triple>,
     side_info: Vec<Option<SideInfo>>,
+    /// First triple id per distinct `<s, p, o>` — the dedup index behind
+    /// [`Okb::ingest_triple`] and [`Okb::find_triple`]. Built lazily
+    /// (covers `triples[..dedup_indexed]`) so the batch `add_triple`
+    /// path never pays its memory or hashing cost.
+    dedup: jocl_text::fx::FxHashMap<Triple, TripleId>,
+    dedup_indexed: usize,
 }
 
 impl Okb {
@@ -125,11 +131,50 @@ impl Okb {
     }
 
     /// Append a triple without side information.
+    ///
+    /// Duplicates are **allowed** (each call is one OIE *mention* — the
+    /// batch datasets deliberately repeat popular triples); use
+    /// [`Okb::ingest_triple`] where re-ingest must be a no-op instead.
     pub fn add_triple(&mut self, t: Triple) -> TripleId {
         let id = TripleId(u32::try_from(self.triples.len()).expect("too many triples"));
         self.triples.push(t);
         self.side_info.push(None);
         id
+    }
+
+    /// Extend the lazy dedup index over any triples appended since the
+    /// last dedup query.
+    fn ensure_dedup_index(&mut self) {
+        for i in self.dedup_indexed..self.triples.len() {
+            self.dedup.entry(self.triples[i].clone()).or_insert(TripleId(i as u32));
+        }
+        self.dedup_indexed = self.triples.len();
+    }
+
+    /// Id of the first triple equal to `t`, if any. (`&mut` because the
+    /// dedup index is materialized on first use.)
+    pub fn find_triple(&mut self, t: &Triple) -> Option<TripleId> {
+        self.ensure_dedup_index();
+        self.dedup.get(t).copied()
+    }
+
+    /// Idempotent append: if an identical triple is already present,
+    /// return its id and `false` without touching the store (mirroring
+    /// [`crate::Ckb::add_fact`]'s duplicate behaviour); otherwise append
+    /// and return the fresh id and `true`.
+    ///
+    /// This is the ingest path of the streaming/serving pipeline, where
+    /// re-delivered triples must not create a second set of mention
+    /// variables or double-count evidence.
+    pub fn ingest_triple(&mut self, t: Triple) -> (TripleId, bool) {
+        match self.find_triple(&t) {
+            Some(id) => (id, false),
+            None => {
+                let id = self.add_triple(t);
+                self.ensure_dedup_index();
+                (id, true)
+            }
+        }
     }
 
     /// Append a triple with side information.
@@ -273,6 +318,35 @@ mod tests {
         assert_eq!(okb.side_info(t), Some(&si));
         let t2 = okb.add_triple(Triple::new("a", "b", "c"));
         assert_eq!(okb.side_info(t2), None);
+    }
+
+    #[test]
+    fn duplicate_triples_are_idempotent_under_ingest() {
+        let mut okb = paper_okb();
+        let before = okb.len();
+        let dup = Triple::new("UMD", "be a member of", "Universitas 21");
+        let (id, fresh) = okb.ingest_triple(dup.clone());
+        assert!(!fresh, "re-ingest must be a no-op");
+        assert_eq!(id, TripleId(1), "re-ingest returns the original id");
+        assert_eq!(okb.len(), before);
+        assert_eq!(okb.find_triple(&dup), Some(TripleId(1)));
+        // A genuinely new triple still appends.
+        let (id2, fresh2) = okb.ingest_triple(Triple::new("a", "b", "c"));
+        assert!(fresh2);
+        assert_eq!(id2.idx(), before);
+    }
+
+    #[test]
+    fn add_triple_keeps_duplicates_but_indexes_first() {
+        // Batch construction treats each triple as a mention: duplicates
+        // stay, and the dedup index points at the first occurrence.
+        let mut okb = Okb::new();
+        let t = Triple::new("x", "r", "y");
+        let a = okb.add_triple(t.clone());
+        let b = okb.add_triple(t.clone());
+        assert_ne!(a, b);
+        assert_eq!(okb.len(), 2);
+        assert_eq!(okb.find_triple(&t), Some(a));
     }
 
     #[test]
