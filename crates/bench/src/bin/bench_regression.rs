@@ -1,7 +1,8 @@
 //! **bench-regression** — the CI perf gate.
 //!
-//! Re-times the four hot-path metrics the project optimizes for
-//! (`lbp_sweep`, `graph_build`, `end_to_end`, `delta_ingest`) with criterion-style
+//! Re-times the five hot-path metrics the project optimizes for
+//! (`lbp_sweep`, `graph_build`, `end_to_end`, `delta_ingest`,
+//! `snapshot_restore`) with criterion-style
 //! median-of-N wall-clock sampling, then compares them against the
 //! checked-in `BENCH_BASELINE.json` at the repository root. Any metric
 //! slower than `baseline × (1 + tolerance)` fails the process (exit 1),
@@ -141,13 +142,34 @@ fn measure() -> Vec<(&'static str, u64)> {
     stream_config.lbp.mode = jocl_core::ScheduleMode::Residual;
     let triples: Vec<jocl_kb::Triple> = dataset.okb.triples().map(|(_, t)| t.clone()).collect();
     let split = triples.len().saturating_sub(24).max(1);
-    let mut warm_base = jocl_core::IncrementalJocl::new(stream_config, &dataset.ckb, &signals);
+    let mut warm_base =
+        jocl_core::IncrementalJocl::new(stream_config.clone(), &dataset.ckb, &signals);
     warm_base.apply_delta(&triples[..split]);
     metrics.push((
         "delta_ingest",
         median_ns(9, || {
             let mut session = warm_base.clone();
             black_box(session.apply_delta(&triples[split..]));
+        }),
+    ));
+
+    // snapshot_restore: rebuilding the warm session from its snapshot
+    // envelope (deserialize + validate + reindex; no file I/O, no
+    // inference) — the serving restart path whose headline is "≥10x
+    // cheaper than a cold build".
+    let snapshot_bytes = jocl_serve::snapshot::session_to_bytes(&mut warm_base);
+    metrics.push((
+        "snapshot_restore",
+        median_ns(9, || {
+            black_box(
+                jocl_serve::snapshot::session_from_bytes(
+                    &snapshot_bytes,
+                    stream_config.clone(),
+                    &dataset.ckb,
+                    &signals,
+                )
+                .expect("snapshot restores"),
+            );
         }),
     ));
     metrics

@@ -1,0 +1,298 @@
+//! **serve** — an interactive serving session over a generated OKB:
+//! the `jocl_serve` subsystem driven by a stdin command loop, with
+//! per-operation [`DeltaStats`] lines.
+//!
+//! ```text
+//! JOCL_SCALE=0.002 JOCL_SNAPSHOT_DIR=/tmp/jocl \
+//!     cargo run --release -p jocl_bench --bin serve
+//! ```
+//!
+//! Commands (one per line; blank lines and `#` comments are ignored):
+//!
+//! ```text
+//! ingest N                     feed the next N generated triples as adds
+//! add S | P | O                add one triple
+//! retract S | P | O            retract by content (also: retract #ID)
+//! revise S | P | O => S | P | O   correct a triple (also: revise #ID => …)
+//! query PHRASE                 cluster + link of live mentions with PHRASE
+//! stats                        session summary
+//! snapshot [PATH]              persist the warm session (default: JOCL_SNAPSHOT_DIR)
+//! restore [PATH]               restart from a snapshot
+//! compact                      rebuild cold from the survivors
+//! quit                         print totals and exit
+//! ```
+//!
+//! Knobs: `JOCL_SCALE`, `JOCL_SEED`, `JOCL_SCHEDULE`,
+//! `JOCL_COMPACT_THRESHOLD` (auto-compaction density, `off` disables),
+//! `JOCL_SNAPSHOT_DIR` (default snapshot location). The inference pool
+//! is the session config's `lbp.threads` (the `jocl_exec` pool), as in
+//! every other bin.
+
+use jocl_bench::runner::{
+    env_compact_threshold, env_scale, env_schedule_mode, env_seed, env_snapshot_dir,
+};
+use jocl_core::signals::build_signals;
+use jocl_core::{DeltaOp, DeltaOutput, JoclConfig};
+use jocl_datagen::reverb45k_like;
+use jocl_embed::SgnsOptions;
+use jocl_kb::{Triple, TripleId};
+use jocl_serve::{ServeConfig, ServeSession};
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn parse_triple(s: &str) -> Result<Triple, String> {
+    let parts: Vec<&str> = s.split('|').map(str::trim).collect();
+    match parts.as_slice() {
+        [s, p, o] if !s.is_empty() && !p.is_empty() && !o.is_empty() => Ok(Triple::new(s, p, o)),
+        _ => Err(format!("expected 'subject | predicate | object', got {s:?}")),
+    }
+}
+
+/// `S | P | O` or `#ID` (resolved against the live session). A dead id
+/// is an error — its content may live on under a fresh id after a
+/// re-add, and expanding the reference would silently target that.
+fn parse_triple_ref(session: &ServeSession<'_>, s: &str) -> Result<Triple, String> {
+    let s = s.trim();
+    if let Some(id) = s.strip_prefix('#') {
+        let id: u32 = id.trim().parse().map_err(|_| format!("bad triple id {s:?}"))?;
+        if (id as usize) >= session.session().len() {
+            return Err(format!("triple #{id} does not exist (have {})", session.session().len()));
+        }
+        if !session.session().is_live(TripleId(id)) {
+            return Err(format!("triple #{id} is already retracted"));
+        }
+        return Ok(session.session().okb().triple(TripleId(id)).clone());
+    }
+    parse_triple(s)
+}
+
+fn stats_line(out: &DeltaOutput, ms: f64) {
+    let s = &out.stats;
+    println!(
+        "  +{} -{} ~{} dup {} miss {} | vars+{} factors+{} tomb {} | live {} density {:.3} | \
+         {} msg {} | {:.1} ms{}",
+        s.appended,
+        s.retracted,
+        s.revised,
+        s.duplicates,
+        s.missed_retracts,
+        s.new_vars,
+        s.new_factors,
+        s.tombstoned_factors,
+        s.live_triples,
+        s.tombstone_density,
+        if s.warm_started { "warm" } else { "cold" },
+        s.lbp.message_updates,
+        ms,
+        if s.compacted { " [COMPACTED]" } else { "" }
+    );
+}
+
+fn default_snapshot_path() -> PathBuf {
+    env_snapshot_dir()
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("jocl-serve-{}", std::process::id())))
+        .join("session.snap")
+}
+
+fn main() {
+    let scale = env_scale();
+    let seed = env_seed();
+    let mode = env_schedule_mode();
+    let threshold = env_compact_threshold();
+
+    let dataset = reverb45k_like(seed, scale);
+    let pool: Vec<Triple> = dataset.okb.triples().map(|(_, t)| t.clone()).collect();
+    let signals = build_signals(
+        &dataset.okb,
+        &dataset.ckb,
+        &dataset.ppdb,
+        &dataset.corpus,
+        &SgnsOptions { dim: 24, epochs: 2, seed, ..Default::default() },
+    );
+    let mut config = JoclConfig { train_epochs: 0, ..Default::default() };
+    config.lbp.mode = mode;
+    let serve_config = ServeConfig { compact_threshold: threshold };
+
+    println!(
+        "Serving session over a {}-triple feed (scale {scale}, seed {seed}, {mode:?}, \
+         compact threshold {threshold}); commands: ingest/add/retract/revise/query/stats/\
+         snapshot/restore/compact/quit",
+        pool.len()
+    );
+
+    let mut session =
+        ServeSession::open(config.clone(), serve_config.clone(), &dataset.ckb, &signals);
+    let mut cursor = 0usize; // next unfed generated triple
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (cmd, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        let t0 = Instant::now();
+        match cmd {
+            "ingest" => {
+                let n: usize = match rest.parse() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        println!("error: ingest needs a count, got {rest:?}");
+                        continue;
+                    }
+                };
+                let end = (cursor + n).min(pool.len());
+                let out = session.add_all(&pool[cursor..end]);
+                println!("ingest {} (feed {}..{})", end - cursor, cursor, end);
+                cursor = end;
+                stats_line(&out, t0.elapsed().as_secs_f64() * 1e3);
+            }
+            "add" => match parse_triple(rest) {
+                Ok(t) => {
+                    let out = session.apply(&[DeltaOp::Add(t)]);
+                    stats_line(&out, t0.elapsed().as_secs_f64() * 1e3);
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            "retract" => match parse_triple_ref(&session, rest) {
+                Ok(t) => {
+                    let out = session.apply(&[DeltaOp::Retract(t)]);
+                    stats_line(&out, t0.elapsed().as_secs_f64() * 1e3);
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            "revise" => {
+                let Some((old, new)) = rest.split_once("=>") else {
+                    println!("error: revise needs 'OLD => NEW'");
+                    continue;
+                };
+                match (parse_triple_ref(&session, old), parse_triple(new.trim())) {
+                    (Ok(old), Ok(new)) => {
+                        let out = session.apply(&[DeltaOp::Revise { old, new }]);
+                        stats_line(&out, t0.elapsed().as_secs_f64() * 1e3);
+                    }
+                    (Err(e), _) | (_, Err(e)) => println!("error: {e}"),
+                }
+            }
+            "query" => {
+                let reports = session.query_phrase(rest);
+                if reports.is_empty() {
+                    println!("  no live mention of {rest:?}");
+                }
+                for r in reports {
+                    println!(
+                        "  triple #{} {}: cluster of {} {:?}{}{}",
+                        r.triple.0,
+                        r.role,
+                        r.cluster_size,
+                        r.cluster_phrases,
+                        r.entity.map(|e| format!(" -> entity {}", e.0)).unwrap_or_default(),
+                        r.relation.map(|x| format!(" -> relation {}", x.0)).unwrap_or_default(),
+                    );
+                }
+            }
+            "stats" => {
+                let s = session.session();
+                println!(
+                    "  {} triples ({} live), {} vars, {} factors, density {:.3}, \
+                     {} ops, {} compactions, {} total msg updates",
+                    s.len(),
+                    s.num_live(),
+                    s.num_vars(),
+                    s.num_factors(),
+                    s.tombstone_density(),
+                    session.ops_applied,
+                    session.compactions,
+                    s.total_message_updates,
+                );
+            }
+            "snapshot" => {
+                let path =
+                    if rest.is_empty() { default_snapshot_path() } else { PathBuf::from(rest) };
+                if let Some(dir) = path.parent() {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        println!("error: creating {}: {e}", dir.display());
+                        continue;
+                    }
+                }
+                match session.snapshot_to(&path) {
+                    Ok(bytes) => {
+                        // The feed cursor is a bin concept the snapshot
+                        // cannot carry; persist it in a sidecar so a
+                        // restore resumes the feed exactly (a seen-scan
+                        // fallback breaks once compaction has dropped
+                        // retracted texts).
+                        std::fs::write(path.with_extension("cursor"), cursor.to_string()).ok();
+                        println!(
+                            "  snapshot written: {} ({bytes} bytes, {:.1} ms)",
+                            path.display(),
+                            t0.elapsed().as_secs_f64() * 1e3
+                        );
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "restore" => {
+                let path =
+                    if rest.is_empty() { default_snapshot_path() } else { PathBuf::from(rest) };
+                match ServeSession::restore_from(
+                    &path,
+                    config.clone(),
+                    serve_config.clone(),
+                    &dataset.ckb,
+                    &signals,
+                ) {
+                    Ok(restored) => {
+                        session = restored;
+                        // Resync the feed cursor: prefer the sidecar the
+                        // snapshot command wrote; fall back to the
+                        // longest feed prefix present in the restored
+                        // store (exact unless a compaction has dropped
+                        // retracted texts — the sidecar covers that).
+                        cursor = std::fs::read_to_string(path.with_extension("cursor"))
+                            .ok()
+                            .and_then(|s| s.trim().parse::<usize>().ok())
+                            .unwrap_or_else(|| {
+                                let seen: std::collections::HashSet<&Triple> =
+                                    session.session().okb().triples().map(|(_, t)| t).collect();
+                                pool.iter().take_while(|t| seen.contains(t)).count()
+                            })
+                            .min(pool.len());
+                        println!(
+                            "  restored warm from {} ({} triples, {} live, feed cursor -> {}, \
+                             {:.1} ms)",
+                            path.display(),
+                            session.session().len(),
+                            session.session().num_live(),
+                            cursor,
+                            t0.elapsed().as_secs_f64() * 1e3
+                        );
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            "compact" => {
+                let out = session.compact();
+                stats_line(&out, t0.elapsed().as_secs_f64() * 1e3);
+            }
+            "quit" | "exit" => break,
+            _ => println!("error: unknown command {cmd:?}"),
+        }
+    }
+    println!(
+        "SERVE ok: {} ops, {} compactions, {} live / {} triples, {} total msg updates",
+        session.ops_applied,
+        session.compactions,
+        session.session().num_live(),
+        session.session().len(),
+        session.session().total_message_updates,
+    );
+}

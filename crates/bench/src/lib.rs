@@ -19,4 +19,7 @@
 
 pub mod runner;
 
-pub use runner::{env_scale, env_schedule_mode, env_seed, ExperimentContext, MethodScores};
+pub use runner::{
+    env_compact_threshold, env_scale, env_schedule_mode, env_seed, env_snapshot_dir,
+    ExperimentContext, MethodScores,
+};

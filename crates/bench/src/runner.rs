@@ -61,6 +61,52 @@ pub fn env_stream_batches() -> usize {
     }
 }
 
+/// `JOCL_SNAPSHOT_DIR` env var: where the `serve` bin writes/reads warm
+/// session snapshots. Whitespace-trimmed; unset or empty means "use a
+/// process-scoped temp directory". The serve bin creates the directory
+/// on first snapshot; an uncreatable path fails there with the
+/// offending path in the error, never a silent fallback elsewhere.
+pub fn env_snapshot_dir() -> Option<std::path::PathBuf> {
+    match std::env::var("JOCL_SNAPSHOT_DIR") {
+        Err(_) => None,
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() {
+                None
+            } else {
+                Some(std::path::PathBuf::from(trimmed))
+            }
+        }
+    }
+}
+
+/// `JOCL_COMPACT_THRESHOLD` env var: the tombstone (dead-factor) density
+/// above which the serving session compacts (cold rebuild from the
+/// survivors). Default 0.5; whitespace-tolerant; `off` (case-folded)
+/// disables automatic compaction. Anything else must parse as a finite
+/// number in `[0, 1]` or the process aborts loudly listing the valid
+/// forms — a typo must not silently pick a different compaction policy.
+pub fn env_compact_threshold() -> f64 {
+    match std::env::var("JOCL_COMPACT_THRESHOLD") {
+        Err(_) => 0.5,
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() {
+                return 0.5;
+            }
+            if trimmed.eq_ignore_ascii_case("off") {
+                return f64::INFINITY;
+            }
+            match trimmed.parse::<f64>() {
+                Ok(t) if t.is_finite() && (0.0..=1.0).contains(&t) => t,
+                _ => {
+                    panic!("JOCL_COMPACT_THRESHOLD must be a density in [0, 1] or 'off', got {v:?}")
+                }
+            }
+        }
+    }
+}
+
 /// One method's clustering scores plus a label.
 pub struct MethodScores {
     /// Display name (matches the paper's row labels).
@@ -251,6 +297,39 @@ mod tests {
         assert!(std::panic::catch_unwind(env_stream_batches).is_err(), "zero batches rejected");
         std::env::remove_var("JOCL_STREAM_BATCH");
         assert_eq!(env_stream_batches(), 4);
+
+        // Serving knobs (PR-5 satellites): same trim/case-fold + typed
+        // panic discipline.
+        let check_threshold = |value: &str, expect: f64| {
+            std::env::set_var("JOCL_COMPACT_THRESHOLD", value);
+            assert_eq!(env_compact_threshold(), expect, "JOCL_COMPACT_THRESHOLD={value:?}");
+        };
+        check_threshold("0.25", 0.25);
+        check_threshold(" 0.75\t", 0.75);
+        check_threshold("0", 0.0);
+        check_threshold("1", 1.0);
+        check_threshold("", 0.5);
+        check_threshold("OFF", f64::INFINITY);
+        check_threshold(" off ", f64::INFINITY);
+        for bad in ["1.5", "-0.1", "NaN", "inf", "half"] {
+            std::env::set_var("JOCL_COMPACT_THRESHOLD", bad);
+            let err = std::panic::catch_unwind(env_compact_threshold).unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("[0, 1]"), "{bad:?} must list the valid form: {msg}");
+        }
+        std::env::remove_var("JOCL_COMPACT_THRESHOLD");
+        assert_eq!(env_compact_threshold(), 0.5);
+
+        std::env::set_var("JOCL_SNAPSHOT_DIR", "  /tmp/jocl snapshots ");
+        assert_eq!(
+            env_snapshot_dir(),
+            Some(std::path::PathBuf::from("/tmp/jocl snapshots")),
+            "inner whitespace survives, outer is trimmed"
+        );
+        std::env::set_var("JOCL_SNAPSHOT_DIR", "   ");
+        assert_eq!(env_snapshot_dir(), None, "blank means unset");
+        std::env::remove_var("JOCL_SNAPSHOT_DIR");
+        assert_eq!(env_snapshot_dir(), None);
     }
 
     #[test]

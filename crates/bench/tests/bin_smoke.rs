@@ -48,3 +48,57 @@ smoke!(table5_fig4_runs, "table5_fig4", "Table 5");
 smoke!(fig3_runs, "fig3", "Figure 3");
 smoke!(fig2_convergence_runs, "fig2_convergence", "Figure 2");
 smoke!(stream_runs, "stream", "PARITY ok");
+
+/// The `serve` bin drives its full command vocabulary over stdin:
+/// ingest, content- and id-addressed retraction, revision, phrase
+/// queries, snapshot/restore through `JOCL_SNAPSHOT_DIR`, and manual
+/// compaction.
+#[test]
+#[ignore = "miniature but complete experiment; run with -- --ignored"]
+fn serve_runs() {
+    use std::io::Write;
+    use std::process::{Command, Stdio};
+
+    let dir = std::env::temp_dir().join(format!("jocl-serve-smoke-{}", std::process::id()));
+    let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .env("JOCL_SCALE", "0.002")
+        .env("JOCL_SEED", "5")
+        .env("JOCL_TRAIN_EPOCHS", "0")
+        .env("JOCL_SNAPSHOT_DIR", &dir)
+        .env("JOCL_COMPACT_THRESHOLD", "0.5")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(
+            b"ingest 25\n\
+              add Acme Corp | be base in | Springfield\n\
+              retract #2\n\
+              revise #3 => Foo Inc | be locate in | Bar City\n\
+              query foo inc\n\
+              snapshot\n\
+              restore\n\
+              ingest 10\n\
+              compact\n\
+              stats\n\
+              quit\n",
+        )
+        .expect("write script");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "serve exited with {:?}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    for expect in ["snapshot written", "restored warm", "[COMPACTED]", "Foo Inc", "SERVE ok"] {
+        assert!(stdout.contains(expect), "serve output missing {expect:?}:\n{stdout}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

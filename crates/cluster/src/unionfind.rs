@@ -83,6 +83,39 @@ impl UnionFind {
         self.size[r] as usize
     }
 
+    /// The raw forest state for persistence: `(parent, size, component
+    /// count)`. The parent array is exported as-is (including whatever
+    /// path-halving has already flattened), so a restored forest answers
+    /// every `find`/`union` exactly as the original would — which is
+    /// what lets a restored serving session reproduce its component
+    /// bookkeeping bit-for-bit.
+    pub fn export_state(&self) -> (&[u32], &[u32], usize) {
+        (&self.parent, &self.size, self.components)
+    }
+
+    /// Rebuild a forest from [`UnionFind::export_state`] parts,
+    /// validating the structural invariants (equal lengths, parents in
+    /// range, component count = number of roots) so corrupt snapshot
+    /// data fails here instead of corrupting later unions.
+    pub fn import_state(
+        parent: Vec<u32>,
+        size: Vec<u32>,
+        components: usize,
+    ) -> Result<UnionFind, String> {
+        if parent.len() != size.len() {
+            return Err(format!("parent/size length mismatch: {} vs {}", parent.len(), size.len()));
+        }
+        let n = parent.len();
+        if let Some(&bad) = parent.iter().find(|&&p| p as usize >= n) {
+            return Err(format!("parent {bad} out of range for {n} items"));
+        }
+        let roots = parent.iter().enumerate().filter(|&(i, &p)| p as usize == i).count();
+        if roots != components {
+            return Err(format!("component count {components} disagrees with {roots} roots"));
+        }
+        Ok(UnionFind { parent, size, components })
+    }
+
     /// Flatten into a dense [`Clustering`].
     pub fn into_clustering(mut self) -> Clustering {
         let n = self.len();
@@ -154,6 +187,41 @@ mod tests {
         assert!(uf.connected(0, 4));
         uf.grow(2); // shrinking request is a no-op
         assert_eq!(uf.len(), 5);
+    }
+
+    /// Restart parity: an exported-and-reimported forest answers find /
+    /// union / component queries exactly like the original.
+    #[test]
+    fn export_import_state_roundtrip() {
+        let mut uf = UnionFind::new(8);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(5, 6);
+        uf.find(2); // trigger path halving so restored state includes it
+        let (parent, size, components) = uf.export_state();
+        let mut restored =
+            UnionFind::import_state(parent.to_vec(), size.to_vec(), components).unwrap();
+        assert_eq!(restored.num_components(), uf.num_components());
+        for i in 0..8 {
+            assert_eq!(restored.find(i), uf.find(i), "item {i}");
+            assert_eq!(restored.component_size(i), uf.component_size(i));
+        }
+        uf.union(2, 5);
+        restored.union(2, 5);
+        assert_eq!(restored.num_components(), uf.num_components());
+        assert_eq!(restored.find(6), uf.find(6));
+    }
+
+    #[test]
+    fn import_state_rejects_corrupt_forests() {
+        // Parent out of range.
+        assert!(UnionFind::import_state(vec![0, 9], vec![2, 1], 1)
+            .unwrap_err()
+            .contains("out of range"));
+        // Length mismatch.
+        assert!(UnionFind::import_state(vec![0], vec![1, 1], 1).unwrap_err().contains("mismatch"));
+        // Wrong component count.
+        assert!(UnionFind::import_state(vec![0, 1], vec![1, 1], 1).unwrap_err().contains("roots"));
     }
 
     #[test]

@@ -164,6 +164,41 @@ impl BlockingIndex {
         }
     }
 
+    /// Serialize the full blocking state into a snapshot section. The
+    /// per-phrase token lists and the token inverted index are *not*
+    /// written — both are pure functions of the phrase texts and are
+    /// rebuilt on import — but owners, threshold-passing links and the
+    /// cumulative pair log are arrival-time decisions and are part of
+    /// the state.
+    pub fn export_state(&self, w: &mut jocl_kb::snap::SnapWriter) {
+        w.tag("BLK");
+        for fam in [&self.subj, &self.pred, &self.obj] {
+            fam.export_state(w);
+        }
+    }
+
+    /// Rebuild a blocking index from [`BlockingIndex::export_state`]
+    /// bytes under `config`'s caps. `num_triples` bounds the owner/pair
+    /// ids for validation.
+    pub fn import_state(
+        r: &mut jocl_kb::snap::SnapReader<'_>,
+        config: &JoclConfig,
+        num_triples: usize,
+    ) -> Result<Self, jocl_kb::KbError> {
+        r.expect_tag("BLK")?;
+        let subj = FamilyIndex::import_state(r, num_triples)?;
+        let pred = FamilyIndex::import_state(r, num_triples)?;
+        let obj = FamilyIndex::import_state(r, num_triples)?;
+        Ok(Self {
+            subj,
+            pred,
+            obj,
+            blocking_threshold: config.blocking_threshold,
+            max_group_clique: config.max_group_clique,
+            cross_cap: config.cross_cap,
+        })
+    }
+
     /// The cumulative pair set, sorted per family.
     pub fn blocking(&self) -> Blocking {
         let sorted = |v: &Vec<(TripleId, TripleId)>| {
@@ -210,6 +245,69 @@ struct FamilyIndex {
 }
 
 impl FamilyIndex {
+    /// Serialize this family: phrase texts (in id order) with owners and
+    /// links, plus the cumulative pair log.
+    fn export_state(&self, w: &mut jocl_kb::snap::SnapWriter) {
+        let mut texts: Vec<Option<&str>> = vec![None; self.phrases.len()];
+        for (text, &pi) in &self.by_text {
+            texts[pi as usize] = Some(text);
+        }
+        w.usize(self.phrases.len());
+        for (pi, p) in self.phrases.iter().enumerate() {
+            w.str(texts[pi].expect("every phrase id has a by_text entry"));
+            w.usize(p.owners.len());
+            for t in &p.owners {
+                w.u32(t.0);
+            }
+            w.u32_slice(&p.links);
+        }
+        w.usize(self.pairs.len());
+        for &(a, b) in &self.pairs {
+            w.u32(a.0);
+            w.u32(b.0);
+        }
+    }
+
+    /// Inverse of [`FamilyIndex::export_state`]; tokens and the token
+    /// inverted index are recomputed from the phrase texts.
+    fn import_state(
+        r: &mut jocl_kb::snap::SnapReader<'_>,
+        num_triples: usize,
+    ) -> Result<Self, jocl_kb::KbError> {
+        let n = r.seq_len(24)?;
+        let mut fam = FamilyIndex::default();
+        for pi in 0..n {
+            let text = r.str()?;
+            let owners: Vec<TripleId> =
+                (0..r.seq_len(8)?).map(|_| r.u32().map(TripleId)).collect::<Result<_, _>>()?;
+            let links = r.u32_vec()?;
+            if let Some(bad) = owners.iter().find(|t| t.idx() >= num_triples) {
+                return Err(r.corrupt(format!("owner triple {} out of range", bad.0)));
+            }
+            if let Some(&bad) = links.iter().find(|&&l| l as usize >= n) {
+                return Err(r.corrupt(format!("phrase link {bad} out of range")));
+            }
+            let mut tokens = tokenize(&text);
+            tokens.sort_unstable();
+            tokens.dedup();
+            for tok in &tokens {
+                fam.token_index.entry(tok.clone()).or_default().push(pi as u32);
+            }
+            if fam.by_text.insert(text, pi as u32).is_some() {
+                return Err(r.corrupt(format!("duplicate phrase text for id {pi}")));
+            }
+            fam.phrases.push(PhraseEntry { owners, tokens, links });
+        }
+        for _ in 0..r.seq_len(16)? {
+            let (a, b) = (r.u32()?, r.u32()?);
+            if a as usize >= num_triples || b as usize >= num_triples {
+                return Err(r.corrupt(format!("pair ({a}, {b}) out of range")));
+            }
+            fam.pairs.push((TripleId(a), TripleId(b)));
+        }
+        Ok(fam)
+    }
+
     /// Append one mention; returns the new pairs, sorted.
     fn append(
         &mut self,

@@ -97,6 +97,317 @@ pub struct GraphPlan {
     pub stats: BuildStats,
 }
 
+impl GraphPlan {
+    /// Serialize the whole plan — graph structure with potentials,
+    /// parameters, link/candidate maps, pair-variable registries and
+    /// build stats — into a snapshot section. Floats are written as raw
+    /// bits: a restored plan must drive inference to *bitwise* the same
+    /// messages.
+    pub fn export_state(&self, w: &mut jocl_kb::snap::SnapWriter) {
+        w.tag("PLAN");
+        let g = &self.graph;
+        w.usize(g.num_vars());
+        for v in 0..g.num_vars() {
+            let v = VarId(v as u32);
+            w.u32(g.cardinality(v));
+            w.u64(g.var_class(v) as u64);
+        }
+        w.usize(g.num_factors());
+        for f in 0..g.num_factors() {
+            let f = jocl_fg::FactorId(f as u32);
+            w.u64(g.factor_class(f) as u64);
+            let vars = g.factor_vars(f);
+            w.usize(vars.len());
+            for v in vars {
+                w.u32(v.0);
+            }
+            match g.factor_potential(f) {
+                Potential::Features { group, feats } => {
+                    w.u64(0);
+                    w.usize(*group);
+                    w.usize(feats.len());
+                    for row in feats {
+                        w.f64_slice(row);
+                    }
+                }
+                Potential::Scores { group, scores } => {
+                    w.u64(1);
+                    w.usize(*group);
+                    w.f64_slice(scores);
+                }
+                Potential::TwoLevelScores { group, size, high_configs, high, low } => {
+                    w.u64(2);
+                    w.usize(*group);
+                    w.usize(*size);
+                    w.u32_slice(high_configs);
+                    w.f64(*high);
+                    w.f64(*low);
+                }
+            }
+        }
+        w.usize(self.params.num_groups());
+        for gi in 0..self.params.num_groups() {
+            w.f64_slice(self.params.group(gi));
+        }
+        let link_vars = |w: &mut jocl_kb::snap::SnapWriter, vars: &[Option<VarId>]| {
+            w.usize(vars.len());
+            for v in vars {
+                match v {
+                    None => w.bool(false),
+                    Some(v) => {
+                        w.bool(true);
+                        w.u32(v.0);
+                    }
+                }
+            }
+        };
+        link_vars(w, &self.np_link_vars);
+        w.usize(self.np_candidates.len());
+        for c in &self.np_candidates {
+            w.usize(c.len());
+            for e in c {
+                w.u32(e.0);
+            }
+        }
+        link_vars(w, &self.rp_link_vars);
+        w.usize(self.rp_candidates.len());
+        for c in &self.rp_candidates {
+            w.usize(c.len());
+            for r in c {
+                w.u32(r.0);
+            }
+        }
+        for pairs in [&self.subj_pair_vars, &self.pred_pair_vars, &self.obj_pair_vars] {
+            w.usize(pairs.len());
+            for &(a, b, v) in pairs.iter() {
+                w.u32(a.0);
+                w.u32(b.0);
+                w.u32(v.0);
+            }
+        }
+        w.usize(self.stats.triangles);
+        w.usize(self.stats.fact_factors);
+        w.usize(self.stats.consistency_factors);
+    }
+
+    /// Rebuild a plan from [`GraphPlan::export_state`] bytes. The graph
+    /// is replayed through `add_var_with_class`/`add_factor` (so
+    /// adjacency and edge enumeration are reconstructed exactly), with
+    /// all structural invariants re-validated as typed errors; parameter
+    /// shapes are checked against the layout `config.features` implies.
+    pub fn import_state(
+        r: &mut jocl_kb::snap::SnapReader<'_>,
+        config: &JoclConfig,
+    ) -> Result<GraphPlan, jocl_kb::KbError> {
+        r.expect_tag("PLAN")?;
+        let mut graph = FactorGraph::new();
+        let num_vars = r.seq_len(16)?;
+        for _ in 0..num_vars {
+            let card = r.u32()?;
+            let class = r.u64()?;
+            if card == 0 {
+                return Err(r.corrupt("variable with zero cardinality"));
+            }
+            let class = u8::try_from(class)
+                .map_err(|_| r.corrupt(format!("variable class {class} overflows u8")))?;
+            graph.add_var_with_class(card, class);
+        }
+        let num_factors = r.seq_len(24)?;
+        for _ in 0..num_factors {
+            let class = r.u64()?;
+            let class = u8::try_from(class)
+                .map_err(|_| r.corrupt(format!("factor class {class} overflows u8")))?;
+            let arity = r.seq_len(8)?;
+            let mut vars = Vec::with_capacity(arity);
+            let mut table = 1usize;
+            for _ in 0..arity {
+                let v = r.u32()?;
+                if v as usize >= num_vars {
+                    return Err(r.corrupt(format!("factor variable {v} out of range")));
+                }
+                let vid = VarId(v);
+                if vars.contains(&vid) {
+                    return Err(r.corrupt(format!("factor repeats variable {v}")));
+                }
+                table = table.saturating_mul(graph.cardinality(vid) as usize);
+                vars.push(vid);
+            }
+            let potential = match r.u64()? {
+                0 => {
+                    let group = r.usize()?;
+                    let rows = r.seq_len(8)?;
+                    let feats: Vec<Vec<f64>> =
+                        (0..rows).map(|_| r.f64_vec()).collect::<Result<_, _>>()?;
+                    Potential::Features { group, feats }
+                }
+                1 => Potential::Scores { group: r.usize()?, scores: r.f64_vec()? },
+                2 => {
+                    let group = r.usize()?;
+                    let size = r.usize()?;
+                    let high_configs = r.u32_vec()?;
+                    let (high, low) = (r.f64()?, r.f64()?);
+                    if high_configs.iter().any(|&c| c as usize >= size) {
+                        return Err(r.corrupt("two-level high config out of range"));
+                    }
+                    if high_configs.windows(2).any(|w| w[0] >= w[1]) {
+                        return Err(r.corrupt("two-level high configs not strictly sorted"));
+                    }
+                    Potential::TwoLevelScores { group, size, high_configs, high, low }
+                }
+                k => return Err(r.corrupt(format!("unknown potential kind {k}"))),
+            };
+            if potential.table_len() != table {
+                return Err(r.corrupt(format!(
+                    "potential table {} disagrees with joint configuration count {table}",
+                    potential.table_len()
+                )));
+            }
+            graph.add_factor(&vars, potential, class);
+        }
+        let (init, groups) = init_params(config.features);
+        let num_groups = r.seq_len(8)?;
+        if num_groups != init.num_groups() {
+            return Err(r.corrupt(format!(
+                "snapshot has {num_groups} parameter groups, config layout has {}",
+                init.num_groups()
+            )));
+        }
+        let mut group_vecs = Vec::with_capacity(num_groups);
+        for gi in 0..num_groups {
+            let vec = r.f64_vec()?;
+            if vec.len() != init.group(gi).len() {
+                return Err(r.corrupt(format!(
+                    "parameter group {gi} has {} weights, config layout expects {}",
+                    vec.len(),
+                    init.group(gi).len()
+                )));
+            }
+            group_vecs.push(vec);
+        }
+        let params = Params::from_groups(group_vecs);
+        // Potentials must reference existing parameter groups, and every
+        // Features row must match its group's width — `log_phi` would
+        // otherwise index out of bounds (panic) or, in release builds,
+        // silently truncate the dot product.
+        for f in 0..num_factors {
+            let fid = jocl_fg::FactorId(f as u32);
+            let pot = graph.factor_potential(fid);
+            let group = pot.group();
+            if group >= params.num_groups() {
+                return Err(r.corrupt(format!(
+                    "factor {f} references parameter group {group}, have {}",
+                    params.num_groups()
+                )));
+            }
+            if let Potential::Features { feats, .. } = pot {
+                let width = params.group(group).len();
+                if let Some(row) = feats.iter().find(|row| row.len() != width) {
+                    return Err(r.corrupt(format!(
+                        "factor {f} has a {}-feature row against group {group}'s width {width}",
+                        row.len()
+                    )));
+                }
+            }
+        }
+        let var_in_range = |r: &jocl_kb::snap::SnapReader<'_>, v: u32| {
+            if (v as usize) < num_vars {
+                Ok(VarId(v))
+            } else {
+                Err(r.corrupt(format!("plan variable {v} out of range")))
+            }
+        };
+        let link_vars = |r: &mut jocl_kb::snap::SnapReader<'_>| {
+            let n = r.seq_len(8)?;
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(if r.bool()? {
+                    let v = r.u32()?;
+                    Some(var_in_range(r, v)?)
+                } else {
+                    None
+                });
+            }
+            Ok::<_, jocl_kb::KbError>(out)
+        };
+        let np_link_vars = link_vars(r)?;
+        let np_candidates: Vec<Vec<EntityId>> = (0..r.seq_len(8)?)
+            .map(|_| (0..r.seq_len(8)?).map(|_| r.u32().map(EntityId)).collect())
+            .collect::<Result<_, _>>()?;
+        let rp_link_vars = link_vars(r)?;
+        let rp_candidates: Vec<Vec<RelationId>> = (0..r.seq_len(8)?)
+            .map(|_| (0..r.seq_len(8)?).map(|_| r.u32().map(RelationId)).collect())
+            .collect::<Result<_, _>>()?;
+        let mut pair_lists: Vec<Vec<(TripleId, TripleId, VarId)>> = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let n = r.seq_len(24)?;
+            let mut list = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (a, b) = (r.u32()?, r.u32()?);
+                let v = r.u32()?;
+                list.push((TripleId(a), TripleId(b), var_in_range(r, v)?));
+            }
+            pair_lists.push(list);
+        }
+        let obj_pair_vars = pair_lists.pop().expect("three lists");
+        let pred_pair_vars = pair_lists.pop().expect("three lists");
+        let subj_pair_vars = pair_lists.pop().expect("three lists");
+        // Candidate lists are the state spaces of their link variables:
+        // a mention with a variable must carry exactly
+        // `cardinality`-many candidates (decode indexes them by MAP
+        // state), one without must carry none.
+        if np_link_vars.len() != np_candidates.len() || rp_link_vars.len() != rp_candidates.len() {
+            return Err(r.corrupt(format!(
+                "link-variable maps ({} np / {} rp) disagree with candidate maps ({} / {})",
+                np_link_vars.len(),
+                rp_link_vars.len(),
+                np_candidates.len(),
+                rp_candidates.len()
+            )));
+        }
+        let check_candidates = |what: &str, vars: &[Option<VarId>], lens: &[usize]| {
+            for (m, v) in vars.iter().enumerate() {
+                let have = lens[m];
+                let want = v.map(|v| graph.cardinality(v) as usize).unwrap_or(0);
+                if have != want {
+                    return Err(r.corrupt(format!(
+                        "{what} mention {m} has {have} candidates for a variable with {want} \
+                         states"
+                    )));
+                }
+            }
+            Ok(())
+        };
+        check_candidates(
+            "np",
+            &np_link_vars,
+            &np_candidates.iter().map(Vec::len).collect::<Vec<_>>(),
+        )?;
+        check_candidates(
+            "rp",
+            &rp_link_vars,
+            &rp_candidates.iter().map(Vec::len).collect::<Vec<_>>(),
+        )?;
+        let stats = BuildStats {
+            triangles: r.usize()?,
+            fact_factors: r.usize()?,
+            consistency_factors: r.usize()?,
+        };
+        Ok(GraphPlan {
+            graph,
+            params,
+            groups,
+            np_link_vars,
+            np_candidates,
+            rp_link_vars,
+            rp_candidates,
+            subj_pair_vars,
+            pred_pair_vars,
+            obj_pair_vars,
+            stats,
+        })
+    }
+}
+
 /// The transitive-relation score table of §3.1.5: high 0.9 when all three
 /// pair variables are 1, low 0.1 when exactly one is 0, middle 0.5
 /// otherwise.
@@ -220,21 +531,25 @@ fn build_graph_sharded(
     let mut rp_candidates: Vec<Vec<RelationId>> = vec![Vec::new(); okb.num_rp_mentions()];
     if with_linking {
         let gen = CandidateGen::new(ckb, config.candidates.clone());
-        // Candidates + features per distinct phrase (lowercase key,
-        // feature strings from the first occurrence — the historical cache
-        // behaviour), computed in shards on the pool.
+        // Candidates + features per distinct phrase, computed **from the
+        // lowercase key itself**: every signal is case-insensitive (the
+        // cache conflates case variants by construction), and deriving
+        // the value from the canonical key — never from whichever
+        // occurrence happened to fill the cache first — is what makes
+        // feature vectors an intrinsic property of the phrase. The
+        // incremental session and a restored snapshot recompute cache
+        // entries at different times; only a canonical input keeps them
+        // bit-for-bit reproducible.
         let (np_keys, np_index) = distinct_keys(okb.np_mentions().map(|m| {
             let phrase = okb.np_phrase(m);
-            (phrase.to_lowercase(), phrase.to_string())
+            (phrase.to_lowercase(), ())
         }));
         let np_values: Vec<(Vec<EntityId>, Vec<Vec<f64>>)> =
-            sharded_map(pool, &np_keys, |(_, phrase)| {
-                let scored = gen.entity_candidates(phrase);
+            sharded_map(pool, &np_keys, |(key, ())| {
+                let scored = gen.entity_candidates(key);
                 let cands: Vec<EntityId> = scored.iter().map(|s| s.id).collect();
-                let feats: Vec<Vec<f64>> = cands
-                    .iter()
-                    .map(|&e| entity_link_features(signals, ckb, phrase, e, fs))
-                    .collect();
+                let feats: Vec<Vec<f64>> =
+                    cands.iter().map(|&e| entity_link_features(signals, ckb, key, e, fs)).collect();
                 (cands, feats)
             });
         graph.reserve(okb.num_np_mentions(), okb.num_np_mentions());
@@ -261,10 +576,10 @@ fn build_graph_sharded(
         // on every build; (3) feature vectors from the cached contexts.
         let (rp_keys, rp_index) = distinct_keys(okb.rp_mentions().map(|m| {
             let phrase = okb.rp_phrase(m);
-            (phrase.to_lowercase(), phrase.to_string())
+            (phrase.to_lowercase(), ())
         }));
-        let rp_cands: Vec<Vec<RelationId>> = sharded_map(pool, &rp_keys, |(_, phrase)| {
-            gen.relation_candidates(phrase).iter().map(|s| s.id).collect()
+        let rp_cands: Vec<Vec<RelationId>> = sharded_map(pool, &rp_keys, |(key, ())| {
+            gen.relation_candidates(key).iter().map(|s| s.id).collect()
         });
         let mut used_rels: Vec<u32> = rp_cands.iter().flatten().map(|r| r.0).collect();
         used_rels.sort_unstable();
@@ -285,9 +600,9 @@ fn build_graph_sharded(
         let rp_values: Vec<(Vec<RelationId>, Vec<Vec<f64>>)> = sharded_map(
             pool,
             &rp_cands.iter().zip(&rp_keys).collect::<Vec<_>>(),
-            |(cands, (_, phrase))| {
-                let pctx = signals.phrase_ctx(phrase);
-                let nctx = signals.phrase_ctx(&jocl_text::normalize::morph_normalize_rp(phrase));
+            |(cands, (key, ()))| {
+                let pctx = signals.phrase_ctx(key);
+                let nctx = signals.phrase_ctx(&jocl_text::normalize::morph_normalize_rp(key));
                 let feats: Vec<Vec<f64>> = cands
                     .iter()
                     .map(|&r| relation_link_features_ctx(signals, &pctx, &nctx, ctx_of(r), fs))
@@ -318,28 +633,32 @@ fn build_graph_sharded(
     let mut pred_pair_vars = Vec::new();
     let mut obj_pair_vars = Vec::new();
     if with_canon {
-        // Distinct phrase pairs (NP pairs serve subjects *and* objects;
-        // subjects first, matching the historical cache-fill order), then
-        // pooled similarity computation per distinct pair.
+        // Distinct phrase pairs, similarities computed from the
+        // canonical key (lexicographically ordered lowercase forms):
+        // similarity functions are symmetric semantically but not to the
+        // last ulp (summation order), so only a canonical argument order
+        // keeps a cache refill — batch, incremental, or restored from a
+        // snapshot — bit-for-bit identical.
         let np_pair_items =
             blocking
                 .subj_pairs
                 .iter()
-                .map(|&(ti, tj)| (okb.triple(ti).subject.clone(), okb.triple(tj).subject.clone()))
+                .map(|&(ti, tj)| (okb.triple(ti).subject.as_str(), okb.triple(tj).subject.as_str()))
                 .chain(blocking.obj_pairs.iter().map(|&(ti, tj)| {
-                    (okb.triple(ti).object.clone(), okb.triple(tj).object.clone())
+                    (okb.triple(ti).object.as_str(), okb.triple(tj).object.as_str())
                 }));
         let (np_pair_keys, np_pair_index) =
-            distinct_keys(np_pair_items.map(|(a, b)| (ordered_key(&a, &b), (a, b))));
-        let np_pair_sims: Vec<Vec<f64>> =
-            sharded_map(pool, &np_pair_keys, |(_, (a, b))| np_canon_features(signals, a, b, fs));
+            distinct_keys(np_pair_items.map(|(a, b)| (ordered_key(a, b), ())));
+        let np_pair_sims: Vec<Vec<f64>> = sharded_map(pool, &np_pair_keys, |(key, ())| {
+            np_canon_features(signals, &key.0, &key.1, fs)
+        });
         let (rp_pair_keys, rp_pair_index) =
             distinct_keys(blocking.pred_pairs.iter().map(|&(ti, tj)| {
-                let (a, b) = (okb.triple(ti).predicate.clone(), okb.triple(tj).predicate.clone());
-                (ordered_key(&a, &b), (a, b))
+                (ordered_key(&okb.triple(ti).predicate, &okb.triple(tj).predicate), ())
             }));
-        let rp_pair_sims: Vec<Vec<f64>> =
-            sharded_map(pool, &rp_pair_keys, |(_, (a, b))| rp_canon_features(signals, a, b, fs));
+        let rp_pair_sims: Vec<Vec<f64>> = sharded_map(pool, &rp_pair_keys, |(key, ())| {
+            rp_canon_features(signals, &key.0, &key.1, fs)
+        });
 
         // Per family: pre-allocate the pair variables, build the factor
         // batch in shards, merge in order.

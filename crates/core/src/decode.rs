@@ -66,29 +66,62 @@ pub fn decode(
     config: &JoclConfig,
     diagnostics: Diagnostics,
 ) -> JoclOutput {
-    // 1. MAP links.
+    decode_live(okb, plan, marginals, config, diagnostics, None)
+}
+
+/// [`decode`] over a session with **retractions**: `live` (indexed by
+/// triple id) masks out tombstoned triples. Dead mentions decode to no
+/// link and singleton clusters, dead pair variables can neither merge
+/// clusters nor overrule links, and the conflict-resolution group sizes
+/// count live mentions only — so the live slice of the output is exactly
+/// what [`decode`] would produce on a graph that never contained the
+/// retracted triples. `None` (or an all-true mask) is plain [`decode`].
+pub fn decode_live(
+    okb: &Okb,
+    plan: &GraphPlan,
+    marginals: &Marginals,
+    config: &JoclConfig,
+    diagnostics: Diagnostics,
+    live: Option<&[bool]>,
+) -> JoclOutput {
+    let triple_live = |t: TripleId| live.is_none_or(|l| l[t.idx()]);
+    // 1. MAP links (dead mentions stay unlinked).
     let mut np_links: Vec<Option<EntityId>> = plan
         .np_link_vars
         .iter()
         .enumerate()
-        .map(|(m, v)| v.map(|var| plan.np_candidates[m][marginals.map_state(var) as usize]))
+        .map(|(m, v)| {
+            if !triple_live(NpMention::from_dense(m).triple) {
+                return None;
+            }
+            v.map(|var| plan.np_candidates[m][marginals.map_state(var) as usize])
+        })
         .collect();
     let mut rp_links: Vec<Option<RelationId>> = plan
         .rp_link_vars
         .iter()
         .enumerate()
-        .map(|(m, v)| v.map(|var| plan.rp_candidates[m][marginals.map_state(var) as usize]))
+        .map(|(m, v)| {
+            if !triple_live(TripleId(m as u32)) {
+                return None;
+            }
+            v.map(|var| plan.rp_candidates[m][marginals.map_state(var) as usize])
+        })
         .collect();
 
     // 2. Positive canonicalization pairs per family, as dense mention
-    //    index pairs.
+    //    index pairs. Pairs with a tombstoned endpoint are skipped — a
+    //    neutralized pair variable's marginal is (numerically) uniform,
+    //    and uniform must not count as a merge.
     let positive = |pairs: &[(TripleId, TripleId, VarId)],
                     to_dense: &dyn Fn(TripleId) -> usize,
                     threshold: f64|
      -> Vec<(usize, usize)> {
         pairs
             .iter()
-            .filter(|&&(_, _, v)| marginals.prob(v, 1) > threshold)
+            .filter(|&&(a, b, v)| {
+                triple_live(a) && triple_live(b) && marginals.prob(v, 1) > threshold
+            })
             .map(|&(a, b, _)| (to_dense(a), to_dense(b)))
             .collect()
     };

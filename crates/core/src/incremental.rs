@@ -54,6 +54,61 @@
 //! offline with the batch pipeline, persist them with
 //! `crate::persist::save_params`, and hand them to the session through
 //! `JoclConfig::pretrained_params`.
+//!
+//! ## Retraction and revision (serving deltas)
+//!
+//! Real OIE feeds do not only append: sources retract triples and
+//! correct them. [`IncrementalJocl::apply_ops`] generalizes the delta to
+//! [`DeltaOp::Add`] / [`DeltaOp::Retract`] / [`DeltaOp::Revise`] while
+//! keeping the factor graph **append-only physically**: a retracted
+//! triple's mention and pair variables stay in the graph, but every
+//! factor touching one of them is *tombstoned*
+//! ([`jocl_fg::FactorGraph::neutralize_factor`] — its potential becomes
+//! identically zero in the log domain), its messages are reset to
+//! uniform, and the tombstones plus their live neighbor factors are
+//! primed into the warm start. The graph therefore **shrinks
+//! semantically** — at the fixed point the live slice of the model is
+//! the model a batch build on the surviving triples would produce — and
+//! [`crate::decode::decode_live`] masks the dead mentions out of the
+//! output. A revision is a retract + add sharing one warm start, and a
+//! re-add of previously retracted content mints a fresh triple id (the
+//! OKB dedup entry is forgotten on retraction) with fresh variables.
+//!
+//! Tombstones accumulate; [`IncrementalJocl::tombstone_density`] reports
+//! the dead-factor fraction and [`IncrementalJocl::compact`] rebuilds
+//! the session cold from the survivors (the serving wrapper
+//! `jocl_serve` triggers this automatically past a configured
+//! threshold).
+//!
+//! **Parity contract with retraction**: after any interleaving of
+//! add/retract/revise deltas, the live decode equals a from-scratch
+//! batch run on the surviving triples (in original arrival order) —
+//! with two documented caveats on top of the triangle-budget one above.
+//! First, the blocking caps (`max_group_clique`, `cross_cap`, the
+//! token-DF hub cutoff) are consumed at *arrival time*, so a retracted
+//! triple that occupied a cap slot can leave the session without a
+//! survivor-survivor pair the reference run would have formed; parity
+//! is exact while the caps do not bind (raise them when exact parity
+//! matters — retracting recent arrivals, the common serving case, never
+//! trips this because caps were consumed by the *prefix* both runs
+//! share). Second, as everywhere in the warm path, touched regions
+//! re-converge to within `lbp.tol` of the reference fixed point, so
+//! decode equality relies on no marginal sitting inside that band of a
+//! decode threshold.
+//!
+//! ## Session persistence
+//!
+//! [`IncrementalJocl::export_state`] serializes the entire warm session
+//! — OKB (including its dedup index), blocking index, factor graph,
+//! parameters, committed messages, marginals, component tracker, live
+//! mask and tombstones — through the `jocl_kb::snap` binary codec, and
+//! [`IncrementalJocl::import_state`] rebuilds a session that resumes
+//! with **bitwise-identical** messages: `snapshot → restart → delta`
+//! decodes exactly like the uninterrupted session. The CKB, the frozen
+//! [`Signals`] and the [`JoclConfig`] are *not* part of the state — they
+//! are shared serving resources the restarting process supplies, and the
+//! file-level wrapper in `jocl_serve` fingerprints the config to catch
+//! mismatches.
 
 use crate::blocking::{BlockingDelta, BlockingIndex};
 use crate::builder::{
@@ -62,16 +117,38 @@ use crate::builder::{
     GraphPlan,
 };
 use crate::config::{classes, JoclConfig, Variant};
-use crate::decode::{decode, Diagnostics, JoclOutput};
+use crate::decode::{decode_live, Diagnostics, JoclOutput};
 use crate::pipeline::lbp_options;
 use crate::signals::Signals;
 use jocl_cluster::UnionFind;
 use jocl_fg::lbp::LbpEngine;
 use jocl_fg::{FactorGraph, FactorId, LbpMessages, LbpResult, Marginals, Potential, VarId};
+use jocl_kb::snap::{SnapReader, SnapWriter};
 use jocl_kb::{
-    CandidateGen, Ckb, EntityId, NpMention, NpSlot, Okb, RelationId, RpMention, Triple, TripleId,
+    CandidateGen, Ckb, EntityId, KbError, NpMention, NpSlot, Okb, RelationId, RpMention, Triple,
+    TripleId,
 };
 use jocl_text::fx::{FxHashMap, FxHashSet};
+
+/// One serving-delta operation. Operations address triples by
+/// **content** (the natural key of an OIE feed); ids are internal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DeltaOp {
+    /// Ingest a triple (idempotent: re-delivery of present content is a
+    /// counted no-op).
+    Add(Triple),
+    /// Remove a triple's evidence from the model. Retracting content
+    /// that is not (or no longer) present is a counted no-op.
+    Retract(Triple),
+    /// Correct a triple: retract `old` and add `new` under one warm
+    /// start.
+    Revise {
+        /// The triple as previously delivered.
+        old: Triple,
+        /// Its corrected form.
+        new: Triple,
+    },
+}
 
 /// What one [`IncrementalJocl::apply_delta`] call did.
 #[derive(Debug, Clone)]
@@ -80,6 +157,22 @@ pub struct DeltaStats {
     pub appended: usize,
     /// Triples ignored because an identical triple was already present.
     pub duplicates: usize,
+    /// Triples tombstoned by this delta's retract/revise ops.
+    pub retracted: usize,
+    /// Retract/revise ops whose `old` content was not present (no-ops).
+    pub missed_retracts: usize,
+    /// Revise ops applied (each also counts toward `appended` and/or
+    /// `retracted`/`missed_retracts` as its halves land).
+    pub revised: usize,
+    /// Factors neutralized by this delta's retractions.
+    pub tombstoned_factors: usize,
+    /// Live (non-retracted) triples after the delta.
+    pub live_triples: usize,
+    /// Dead-factor fraction after the delta (the compaction trigger).
+    pub tombstone_density: f64,
+    /// Whether the serving wrapper compacted the session after this
+    /// delta (always `false` from `apply_ops` itself).
+    pub compacted: bool,
     /// New blocked pairs across the three families.
     pub new_pairs: usize,
     /// Variables appended to the factor graph.
@@ -170,6 +263,15 @@ pub struct IncrementalJocl<'a> {
     rp_pair_sims: FxHashMap<(String, String), Vec<f64>>,
     /// Pair-graph adjacency per family (subject, predicate, object).
     tri: [TriangleIndex; 3],
+    /// Liveness per triple id (`false` = retracted). Always sized to the
+    /// OKB after a delta.
+    live: Vec<bool>,
+    /// Tombstoned (neutralized) factors, sized to the factor count.
+    dead_factors: Vec<bool>,
+    /// Count of `true` entries in `dead_factors`.
+    num_dead_factors: usize,
+    /// Count of retracted triples still physically present.
+    num_dead_triples: usize,
     /// Remaining transitivity-triangle budget (`config.max_triangles`).
     triangle_budget: usize,
     /// Set once a triangle was actually dropped for lack of budget (an
@@ -177,6 +279,19 @@ pub struct IncrementalJocl<'a> {
     triangles_skipped: bool,
     /// Message updates across the whole session (all deltas).
     pub total_message_updates: u64,
+}
+
+impl std::fmt::Debug for IncrementalJocl<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalJocl")
+            .field("triples", &self.okb.len())
+            .field("live_triples", &self.num_live())
+            .field("vars", &self.plan.graph.num_vars())
+            .field("factors", &self.plan.graph.num_factors())
+            .field("dead_factors", &self.num_dead_factors)
+            .field("warm", &self.messages.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> IncrementalJocl<'a> {
@@ -233,6 +348,10 @@ impl<'a> IncrementalJocl<'a> {
             np_pair_sims: FxHashMap::default(),
             rp_pair_sims: FxHashMap::default(),
             tri: [TriangleIndex::default(), TriangleIndex::default(), TriangleIndex::default()],
+            live: Vec::new(),
+            dead_factors: Vec::new(),
+            num_dead_factors: 0,
+            num_dead_triples: 0,
             triangles_skipped: false,
             total_message_updates: 0,
         }
@@ -262,21 +381,66 @@ impl<'a> IncrementalJocl<'a> {
     /// against the warm state, and decode the union. See the module docs
     /// for the five stages. An empty or fully-duplicate delta is cheap:
     /// nothing is appended, LBP performs zero updates, and the previous
-    /// decode is reproduced.
+    /// decode is reproduced. Equivalent to [`IncrementalJocl::apply_ops`]
+    /// with every triple wrapped in [`DeltaOp::Add`].
     pub fn apply_delta(&mut self, triples: &[Triple]) -> DeltaOutput {
-        // --- 1. idempotent ingest ----------------------------------------
+        let ops: Vec<DeltaOp> = triples.iter().cloned().map(DeltaOp::Add).collect();
+        self.apply_ops(&ops)
+    }
+
+    /// Apply one serving delta of add / retract / revise operations (in
+    /// order), converge against the warm state, and decode the live
+    /// triple set. See the module docs for append semantics and the
+    /// retraction/tombstone semantics.
+    pub fn apply_ops(&mut self, ops: &[DeltaOp]) -> DeltaOutput {
+        // --- 1. sequential op scan: idempotent ingest + retraction ------
         let mut new_ids: Vec<TripleId> = Vec::new();
+        let mut retracted_ids: Vec<TripleId> = Vec::new();
         let mut duplicates = 0usize;
-        for t in triples {
-            let (id, fresh) = self.okb.ingest_triple(t.clone());
+        let mut missed_retracts = 0usize;
+        let mut revised = 0usize;
+        let mut ingest_add = |okb: &mut Okb, t: &Triple, new_ids: &mut Vec<TripleId>| {
+            let (id, fresh) = okb.ingest_triple(t.clone());
             if fresh {
                 new_ids.push(id);
             } else {
                 duplicates += 1;
             }
+        };
+        let mut ingest_retract =
+            |okb: &mut Okb, t: &Triple, out: &mut Vec<TripleId>| match okb.find_triple(t) {
+                Some(id) => {
+                    okb.forget_triple(id);
+                    out.push(id);
+                }
+                None => missed_retracts += 1,
+            };
+        for op in ops {
+            match op {
+                DeltaOp::Add(t) => ingest_add(&mut self.okb, t, &mut new_ids),
+                DeltaOp::Retract(t) => ingest_retract(&mut self.okb, t, &mut retracted_ids),
+                DeltaOp::Revise { old, new } => {
+                    revised += 1;
+                    ingest_retract(&mut self.okb, old, &mut retracted_ids);
+                    ingest_add(&mut self.okb, new, &mut new_ids);
+                }
+            }
         }
+        self.live.resize(self.okb.len(), true);
+        for &id in &retracted_ids {
+            self.live[id.idx()] = false;
+        }
+        self.num_dead_triples += retracted_ids.len();
+        // Triples both added and retracted within this delta never get
+        // variables at all; the rest of the fresh set does.
+        let live_new_ids: Vec<TripleId> =
+            new_ids.iter().copied().filter(|id| self.live[id.idx()]).collect();
 
         // --- 2. incremental blocking -------------------------------------
+        // Every fresh triple enters the blocking index (its id exists and
+        // the index is the arrival log), but pairs with a tombstoned
+        // endpoint are dropped before they can become variables: the
+        // reference batch run on the survivors has no such pair either.
         let mut delta = BlockingDelta::default();
         for &id in &new_ids {
             let triple = self.okb.triple(id).clone();
@@ -285,16 +449,18 @@ impl<'a> IncrementalJocl<'a> {
             delta.pred_pairs.extend(d.pred_pairs);
             delta.obj_pairs.extend(d.obj_pairs);
         }
-        delta.subj_pairs.sort_unstable();
-        delta.pred_pairs.sort_unstable();
-        delta.obj_pairs.sort_unstable();
+        for pairs in [&mut delta.subj_pairs, &mut delta.pred_pairs, &mut delta.obj_pairs] {
+            pairs.retain(|&(a, b)| self.live[a.idx()] && self.live[b.idx()]);
+            pairs.sort_unstable();
+        }
 
-        // --- 3. append-only graph growth ---------------------------------
+        // --- 3. append-only graph growth + tombstoning -------------------
         let first_new_var = self.plan.graph.num_vars();
         let first_new_factor = self.plan.graph.num_factors();
-        self.extend_plan(&new_ids, &delta);
+        self.extend_plan(&live_new_ids, &delta);
         let num_vars = self.plan.graph.num_vars();
         let num_factors = self.plan.graph.num_factors();
+        self.dead_factors.resize(num_factors, false);
 
         self.components.grow(num_vars);
         for f in first_new_factor..num_factors {
@@ -304,6 +470,12 @@ impl<'a> IncrementalJocl<'a> {
             }
         }
 
+        // Neutralize every factor that carries a retracted triple's
+        // evidence. Their messages are reset below so the warm start
+        // lands them exactly on the neutral fixed point.
+        let newly_dead = self.tombstone(&retracted_ids);
+        self.num_dead_factors += newly_dead.len();
+
         // --- 4. warm-started inference -----------------------------------
         let opts = lbp_options(&self.config);
         // After an unconverged run, prime the *whole* factor set: the
@@ -311,14 +483,30 @@ impl<'a> IncrementalJocl<'a> {
         // a full priming lets an empty residual queue certify a global
         // fixed point again.
         let dirty: Vec<u32> = if self.prior_converged {
-            (first_new_factor as u32..num_factors as u32).collect()
+            let mut dirty: Vec<u32> = (first_new_factor as u32..num_factors as u32).collect();
+            dirty.extend_from_slice(&newly_dead);
+            // A tombstone's variables feed *live* neighbor factors whose
+            // inputs just changed (the retracted evidence vanished);
+            // prime them so the change propagates outward.
+            for &f in &newly_dead {
+                for &v in self.plan.graph.factor_vars(FactorId(f)) {
+                    for (g, _) in self.plan.graph.var_factors(v) {
+                        if !self.dead_factors[g.idx()] {
+                            dirty.push(g.0);
+                        }
+                    }
+                }
+            }
+            dirty.sort_unstable();
+            dirty.dedup();
+            dirty
         } else {
             (0..num_factors as u32).collect()
         };
         let warm_started = self.messages.is_some();
-        // An empty/fully-duplicate delta leaves the graph untouched and
-        // the prior run converged: the committed messages are still the
-        // fixed point, so skip inference entirely (either schedule mode).
+        // A delta that neither grew nor tombstoned anything leaves the
+        // converged messages the fixed point: skip inference entirely
+        // (either schedule mode).
         let graph_unchanged = warm_started && dirty.is_empty();
         let mut engine = LbpEngine::new(&self.plan.graph);
         let lbp = match &self.messages {
@@ -326,7 +514,11 @@ impl<'a> IncrementalJocl<'a> {
                 engine.import_messages(prior);
                 LbpResult { iterations: 0, converged: true, residual: 0.0, message_updates: 0 }
             }
-            Some(prior) => engine.resume(prior, &self.plan.params, &opts, &dirty),
+            Some(prior) => {
+                engine.import_messages(prior);
+                engine.reset_factor_messages(&newly_dead);
+                engine.resume_imported(&self.plan.params, &opts, &dirty)
+            }
             None => engine.run(&self.plan.params, &opts),
         };
         self.total_message_updates += lbp.message_updates;
@@ -378,7 +570,9 @@ impl<'a> IncrementalJocl<'a> {
             train_grad_norm: f64::NAN,
         };
         let marginals = Marginals::from_probs(self.marginals.clone());
-        let mut output = decode(&self.okb, &self.plan, &marginals, &self.config, diagnostics);
+        let live_mask = (self.num_dead_triples > 0).then_some(self.live.as_slice());
+        let mut output =
+            decode_live(&self.okb, &self.plan, &marginals, &self.config, diagnostics, live_mask);
         output.learned_params = Some(self.plan.params.clone());
 
         DeltaOutput {
@@ -386,6 +580,13 @@ impl<'a> IncrementalJocl<'a> {
             stats: DeltaStats {
                 appended: new_ids.len(),
                 duplicates,
+                retracted: retracted_ids.len(),
+                missed_retracts,
+                revised,
+                tombstoned_factors: newly_dead.len(),
+                live_triples: self.num_live(),
+                tombstone_density: self.tombstone_density(),
+                compacted: false,
                 new_pairs: delta.len(),
                 new_vars: num_vars - first_new_var,
                 new_factors: num_factors - first_new_factor,
@@ -397,6 +598,346 @@ impl<'a> IncrementalJocl<'a> {
                 lbp,
             },
         }
+    }
+
+    /// Neutralize every not-yet-dead factor adjacent to a variable owned
+    /// by one of the `retracted` triples (their link variables, and every
+    /// pair variable with a retracted endpoint). Returns the sorted list
+    /// of newly tombstoned factor ids.
+    fn tombstone(&mut self, retracted: &[TripleId]) -> Vec<u32> {
+        if retracted.is_empty() {
+            return Vec::new();
+        }
+        let mut dead_vars: Vec<VarId> = Vec::new();
+        for &t in retracted {
+            for slot in [NpSlot::Subject, NpSlot::Object] {
+                if let Some(v) = self.plan.np_link_vars[NpMention { triple: t, slot }.dense()] {
+                    dead_vars.push(v);
+                }
+            }
+            if let Some(v) = self.plan.rp_link_vars[RpMention(t).dense()] {
+                dead_vars.push(v);
+            }
+            for tri in &self.tri {
+                if let Some(nbrs) = tri.adj.get(&t.0) {
+                    for &n in nbrs {
+                        let key = (t.0.min(n), t.0.max(n));
+                        if let Some(&v) = tri.edges.get(&key) {
+                            dead_vars.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        dead_vars.sort_unstable();
+        dead_vars.dedup();
+        let mut newly: Vec<u32> = Vec::new();
+        for &v in &dead_vars {
+            let adjacent: Vec<FactorId> = self.plan.graph.var_factors(v).map(|(f, _)| f).collect();
+            for f in adjacent {
+                if !self.dead_factors[f.idx()] {
+                    self.dead_factors[f.idx()] = true;
+                    self.plan.graph.neutralize_factor(f);
+                    newly.push(f.0);
+                }
+            }
+        }
+        newly.sort_unstable();
+        newly
+    }
+
+    /// Decode the **cached** marginals — no inference, no state
+    /// mutation. This is the read path of a freshly restored session:
+    /// reproducing its last decode must not touch the bitwise-restored
+    /// messages, even when the snapshot was taken after an unconverged
+    /// delta (where a warm `apply_ops` would re-prime every factor and
+    /// run a full sweep). The attached `LbpResult` is a zero-work stub
+    /// whose `converged` reports the persisted convergence state.
+    pub fn decode_current(&self) -> JoclOutput {
+        let diagnostics = Diagnostics {
+            lbp: LbpResult {
+                iterations: 0,
+                converged: self.prior_converged,
+                residual: 0.0,
+                message_updates: 0,
+            },
+            num_vars: self.plan.graph.num_vars(),
+            num_factors: self.plan.graph.num_factors(),
+            pair_counts: (
+                self.plan.subj_pair_vars.len(),
+                self.plan.pred_pair_vars.len(),
+                self.plan.obj_pair_vars.len(),
+            ),
+            triangles: self.plan.stats.triangles,
+            train_epochs: 0,
+            train_grad_norm: f64::NAN,
+        };
+        let marginals = Marginals::from_probs(self.marginals.clone());
+        let live_mask = (self.num_dead_triples > 0).then_some(self.live.as_slice());
+        let mut output =
+            decode_live(&self.okb, &self.plan, &marginals, &self.config, diagnostics, live_mask);
+        output.learned_params = Some(self.plan.params.clone());
+        output
+    }
+
+    /// Variables in the live factor graph (tombstoned ones included —
+    /// the graph is append-only physically).
+    pub fn num_vars(&self) -> usize {
+        self.plan.graph.num_vars()
+    }
+
+    /// Factors in the live factor graph (tombstones included).
+    pub fn num_factors(&self) -> usize {
+        self.plan.graph.num_factors()
+    }
+
+    /// Live (non-retracted) triples currently in the session.
+    pub fn num_live(&self) -> usize {
+        self.okb.len() - self.num_dead_triples
+    }
+
+    /// Whether triple `id` is live (ids from before the first delta that
+    /// retracted anything are always live).
+    pub fn is_live(&self, id: TripleId) -> bool {
+        self.live.get(id.idx()).copied().unwrap_or(true)
+    }
+
+    /// The surviving triples in arrival order — what a from-scratch
+    /// batch run (and [`IncrementalJocl::compact`]) would ingest.
+    pub fn live_triples(&self) -> Vec<Triple> {
+        self.okb.triples().filter(|(id, _)| self.is_live(*id)).map(|(_, t)| t.clone()).collect()
+    }
+
+    /// Fraction of factors that are tombstones — the wasted inference
+    /// capacity retractions have accumulated, and the quantity serving
+    /// compaction thresholds are expressed in. 0.0 for a fresh or
+    /// freshly compacted session.
+    pub fn tombstone_density(&self) -> f64 {
+        if self.plan.graph.num_factors() == 0 {
+            0.0
+        } else {
+            self.num_dead_factors as f64 / self.plan.graph.num_factors() as f64
+        }
+    }
+
+    /// Rebuild the session **cold** from the surviving triples: fresh
+    /// compact triple ids, no tombstoned variables or factors, one batch
+    /// LBP run on the survivors. Decode is unchanged (the tombstone
+    /// parity contract is exactly that the live slice already decodes
+    /// like this rebuild); what compaction buys back is graph size and
+    /// per-delta cost. The per-phrase feature caches survive (they are
+    /// pure functions of the frozen signals), as does the session-total
+    /// message-update counter.
+    pub fn compact(&mut self) -> DeltaOutput {
+        let survivors = self.live_triples();
+        let mut fresh = IncrementalJocl::new(self.config.clone(), self.ckb, self.signals);
+        fresh.np_values = std::mem::take(&mut self.np_values);
+        fresh.rp_values = std::mem::take(&mut self.rp_values);
+        fresh.np_pair_sims = std::mem::take(&mut self.np_pair_sims);
+        fresh.rp_pair_sims = std::mem::take(&mut self.rp_pair_sims);
+        fresh.total_message_updates = self.total_message_updates;
+        let mut out = fresh.apply_delta(&survivors);
+        out.stats.compacted = true;
+        *self = fresh;
+        out
+    }
+
+    /// Serialize the complete warm-session state (see the module docs:
+    /// everything that grows — OKB, blocking, plan, messages, marginals,
+    /// components, liveness — but not the shared CKB/signals/config).
+    /// The per-phrase feature caches are deliberately omitted: they are
+    /// pure functions of the frozen signals and refill on demand with
+    /// bitwise-identical values.
+    pub fn export_state(&mut self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        self.okb.export_state(&mut w);
+        self.blocking.export_state(&mut w);
+        self.plan.export_state(&mut w);
+        w.tag("MSG");
+        match &self.messages {
+            None => w.bool(false),
+            Some(m) => {
+                w.bool(true);
+                let (fv, vf, edges) = m.export_state();
+                w.usize(edges);
+                w.f64_slice(fv);
+                w.f64_slice(vf);
+            }
+        }
+        w.tag("SESS");
+        w.bool(self.prior_converged);
+        w.usize(self.marginals.len());
+        for m in &self.marginals {
+            w.f64_slice(m);
+        }
+        let (parent, size, components) = self.components.export_state();
+        w.u32_slice(parent);
+        w.u32_slice(size);
+        w.usize(components);
+        w.bool_slice(&self.live);
+        w.bool_slice(&self.dead_factors);
+        w.usize(self.triangle_budget);
+        w.bool(self.triangles_skipped);
+        w.u64(self.total_message_updates);
+        w.into_bytes()
+    }
+
+    /// Rebuild a session from [`IncrementalJocl::export_state`] bytes
+    /// plus the shared serving resources. The restored session holds the
+    /// *bitwise*-identical committed messages and marginals, so its next
+    /// delta behaves exactly like the uninterrupted session's would.
+    /// Corruption and cross-state inconsistencies surface as typed
+    /// [`KbError`]s, never as panics or silently wrong state.
+    pub fn import_state(
+        bytes: &[u8],
+        config: JoclConfig,
+        ckb: &'a Ckb,
+        signals: &'a Signals,
+    ) -> Result<Self, KbError> {
+        let mut r = SnapReader::new(bytes);
+        let okb = Okb::import_state(&mut r)?;
+        let blocking = BlockingIndex::import_state(&mut r, &config, okb.len())?;
+        let plan = GraphPlan::import_state(&mut r, &config)?;
+        let num_vars = plan.graph.num_vars();
+        let num_factors = plan.graph.num_factors();
+        // Cross-validate the plan's mention maps against the OKB.
+        if plan.np_link_vars.len() != okb.num_np_mentions()
+            || plan.np_candidates.len() != okb.num_np_mentions()
+            || plan.rp_link_vars.len() != okb.num_rp_mentions()
+            || plan.rp_candidates.len() != okb.num_rp_mentions()
+        {
+            return Err(r.corrupt(format!(
+                "plan mention maps ({} np / {} rp) disagree with the OKB ({} np / {} rp)",
+                plan.np_link_vars.len(),
+                plan.rp_link_vars.len(),
+                okb.num_np_mentions(),
+                okb.num_rp_mentions()
+            )));
+        }
+        // Pair registries address triples of this OKB (decode and the
+        // tombstone machinery index the live mask and mention maps with
+        // them) and must be ordered.
+        for list in [&plan.subj_pair_vars, &plan.pred_pair_vars, &plan.obj_pair_vars] {
+            if let Some(&(a, b, _)) =
+                list.iter().find(|&&(a, b, _)| a.0 >= b.0 || b.idx() >= okb.len())
+            {
+                return Err(r.corrupt(format!(
+                    "pair ({}, {}) is unordered or out of range for {} triples",
+                    a.0,
+                    b.0,
+                    okb.len()
+                )));
+            }
+        }
+        r.expect_tag("MSG")?;
+        let messages = if r.bool()? {
+            let edges = r.usize()?;
+            let fv = r.f64_vec()?;
+            let vf = r.f64_vec()?;
+            let expected_edges: usize =
+                (0..num_factors).map(|f| plan.graph.factor_vars(FactorId(f as u32)).len()).sum();
+            let expected_arena: usize = (0..num_factors)
+                .flat_map(|f| plan.graph.factor_vars(FactorId(f as u32)))
+                .map(|&v| plan.graph.cardinality(v) as usize)
+                .sum();
+            if edges != expected_edges || fv.len() != expected_arena {
+                return Err(r.corrupt(format!(
+                    "message snapshot ({edges} edges, {} slots) does not fit the graph \
+                     ({expected_edges} edges, {expected_arena} slots)",
+                    fv.len()
+                )));
+            }
+            Some(LbpMessages::import_state(fv, vf, edges).map_err(|msg| r.corrupt(msg))?)
+        } else {
+            None
+        };
+        r.expect_tag("SESS")?;
+        let prior_converged = r.bool()?;
+        let num_marginals = r.seq_len(8)?;
+        if num_marginals != num_vars {
+            return Err(
+                r.corrupt(format!("{num_marginals} cached marginals for {num_vars} variables"))
+            );
+        }
+        let mut marginals = Vec::with_capacity(num_marginals);
+        for v in 0..num_marginals {
+            let m = r.f64_vec()?;
+            if !m.is_empty() && m.len() != plan.graph.cardinality(VarId(v as u32)) as usize {
+                return Err(r.corrupt(format!("marginal {v} has the wrong cardinality")));
+            }
+            marginals.push(m);
+        }
+        let parent = r.u32_vec()?;
+        let size = r.u32_vec()?;
+        let num_components = r.usize()?;
+        let components =
+            UnionFind::import_state(parent, size, num_components).map_err(|msg| r.corrupt(msg))?;
+        if components.len() != num_vars {
+            return Err(r.corrupt(format!(
+                "component tracker covers {} items for {num_vars} variables",
+                components.len()
+            )));
+        }
+        let live = r.bool_vec()?;
+        if live.len() != okb.len() {
+            return Err(r.corrupt(format!(
+                "live mask covers {} of {} triples",
+                live.len(),
+                okb.len()
+            )));
+        }
+        let dead_factors = r.bool_vec()?;
+        if dead_factors.len() != num_factors {
+            return Err(r.corrupt(format!(
+                "tombstone mask covers {} of {num_factors} factors",
+                dead_factors.len()
+            )));
+        }
+        let triangle_budget = r.usize()?;
+        let triangles_skipped = r.bool()?;
+        let total_message_updates = r.u64()?;
+        r.expect_end()?;
+
+        // Rebuild the pair-graph adjacency from the plan's registries
+        // (pure function of them; insertion order does not influence any
+        // decision downstream — triangle candidates are collected into a
+        // sorted set).
+        let mut tri =
+            [TriangleIndex::default(), TriangleIndex::default(), TriangleIndex::default()];
+        for (fam, list) in [&plan.subj_pair_vars, &plan.pred_pair_vars, &plan.obj_pair_vars]
+            .into_iter()
+            .enumerate()
+        {
+            for &(a, b, v) in list {
+                tri[fam].insert(a, b, v);
+            }
+        }
+        let num_dead_triples = live.iter().filter(|&&l| !l).count();
+        let num_dead_factors = dead_factors.iter().filter(|&&d| d).count();
+        Ok(Self {
+            config,
+            ckb,
+            signals,
+            okb,
+            blocking,
+            plan,
+            messages,
+            prior_converged,
+            marginals,
+            components,
+            np_values: FxHashMap::default(),
+            rp_values: FxHashMap::default(),
+            np_pair_sims: FxHashMap::default(),
+            rp_pair_sims: FxHashMap::default(),
+            tri,
+            live,
+            dead_factors,
+            num_dead_factors,
+            num_dead_triples,
+            triangle_budget,
+            triangles_skipped,
+            total_message_updates,
+        })
     }
 
     /// Append the delta's variables and factors to the plan. Mirrors the
@@ -428,19 +969,21 @@ impl<'a> IncrementalJocl<'a> {
             for &t in new_ids {
                 for slot in [NpSlot::Subject, NpSlot::Object] {
                     let m = NpMention { triple: t, slot };
-                    let phrase = self.okb.np_phrase(m).to_string();
-                    let (cands, feats) =
-                        self.np_values.entry(phrase.to_lowercase()).or_insert_with(|| {
-                            let scored = gen.entity_candidates(&phrase);
-                            let cands: Vec<EntityId> = scored.iter().map(|s| s.id).collect();
-                            let feats: Vec<Vec<f64>> = cands
-                                .iter()
-                                .map(|&e| {
-                                    entity_link_features(self.signals, self.ckb, &phrase, e, fs)
-                                })
-                                .collect();
-                            (cands, feats)
-                        });
+                    // Cache values are computed from the canonical
+                    // (lowercase) key, exactly like the batch builder —
+                    // see its comment: only canonical inputs keep cache
+                    // refills (including after a snapshot restore)
+                    // bit-for-bit reproducible.
+                    let key = self.okb.np_phrase(m).to_lowercase();
+                    let (cands, feats) = self.np_values.entry(key.clone()).or_insert_with(|| {
+                        let scored = gen.entity_candidates(&key);
+                        let cands: Vec<EntityId> = scored.iter().map(|s| s.id).collect();
+                        let feats: Vec<Vec<f64>> = cands
+                            .iter()
+                            .map(|&e| entity_link_features(self.signals, self.ckb, &key, e, fs))
+                            .collect();
+                        (cands, feats)
+                    });
                     if cands.is_empty() {
                         continue;
                     }
@@ -459,19 +1002,16 @@ impl<'a> IncrementalJocl<'a> {
                     self.plan.np_candidates[m.dense()] = cands.clone();
                 }
                 let m = RpMention(t);
-                let phrase = self.okb.rp_phrase(m).to_string();
-                let (cands, feats) =
-                    self.rp_values.entry(phrase.to_lowercase()).or_insert_with(|| {
-                        let scored = gen.relation_candidates(&phrase);
-                        let cands: Vec<RelationId> = scored.iter().map(|s| s.id).collect();
-                        let feats: Vec<Vec<f64>> = cands
-                            .iter()
-                            .map(|&r| {
-                                relation_link_features(self.signals, self.ckb, &phrase, r, fs)
-                            })
-                            .collect();
-                        (cands, feats)
-                    });
+                let key = self.okb.rp_phrase(m).to_lowercase();
+                let (cands, feats) = self.rp_values.entry(key.clone()).or_insert_with(|| {
+                    let scored = gen.relation_candidates(&key);
+                    let cands: Vec<RelationId> = scored.iter().map(|s| s.id).collect();
+                    let feats: Vec<Vec<f64>> = cands
+                        .iter()
+                        .map(|&r| relation_link_features(self.signals, self.ckb, &key, r, fs))
+                        .collect();
+                    (cands, feats)
+                });
                 if !cands.is_empty() {
                     let var =
                         self.plan.graph.add_var_with_class(cands.len() as u32, classes::VAR_LINK);
@@ -513,11 +1053,14 @@ impl<'a> IncrementalJocl<'a> {
                     } else {
                         &mut self.rp_pair_sims
                     };
-                    let sims = cache.entry(ordered_key(&pa, &pb)).or_insert_with(|| {
+                    // Similarities from the canonical ordered key, as in
+                    // the batch builder (cache refills must be bit-exact).
+                    let key = ordered_key(&pa, &pb);
+                    let sims = cache.entry(key.clone()).or_insert_with(|| {
                         if slot.is_some() {
-                            np_canon_features(self.signals, &pa, &pb, fs)
+                            np_canon_features(self.signals, &key.0, &key.1, fs)
                         } else {
-                            rp_canon_features(self.signals, &pa, &pb, fs)
+                            rp_canon_features(self.signals, &key.0, &key.1, fs)
                         }
                     });
                     let var = self.plan.graph.add_var_with_class(2, classes::VAR_CANON);
@@ -541,7 +1084,11 @@ impl<'a> IncrementalJocl<'a> {
                     };
                     let smaller = if na.len() <= nb.len() { na } else { nb };
                     for &c in smaller {
-                        if c == a || c == b {
+                        // A third vertex that has been retracted must not
+                        // close a triangle: its two edges are tombstoned
+                        // pair variables, and the reference batch run on
+                        // the survivors has no such triangle.
+                        if c == a || c == b || !self.live.get(c as usize).copied().unwrap_or(true) {
                             continue;
                         }
                         let e1 = (a.min(c), a.max(c));

@@ -42,7 +42,7 @@ pub use blocking::{block_pairs, Blocking, BlockingDelta, BlockingIndex};
 pub use builder::{build_graph, GraphPlan};
 pub use config::{FeatureSet, JoclConfig, Variant};
 pub use decode::JoclOutput;
-pub use incremental::{DeltaOutput, DeltaStats, IncrementalJocl};
+pub use incremental::{DeltaOp, DeltaOutput, DeltaStats, IncrementalJocl};
 pub use jocl_fg::ScheduleMode;
 pub use persist::{load_params, save_params};
 pub use pipeline::{Jocl, JoclInput};

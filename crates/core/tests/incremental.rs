@@ -3,12 +3,18 @@
 //! run on the union** — for the figure-1 worked example, for empty and
 //! singleton OKBs, and (proptest) for random datasets replayed as random
 //! contiguous arrival batches under any thread count and both schedule
-//! modes, sharing one frozen `Signals` per dataset.
+//! modes, sharing one frozen `Signals` per dataset. The retraction
+//! extension of the contract — the **live** decode after retract/revise
+//! deltas equals a batch run on the survivors — is unit-tested here on
+//! figure 1 and property-tested over random op interleavings in the
+//! `jocl_serve` crate.
 
 use jocl_core::example::figure1;
 use jocl_core::pipeline::ValidationLabels;
 use jocl_core::signals::build_signals;
-use jocl_core::{IncrementalJocl, Jocl, JoclConfig, JoclInput, JoclOutput, ScheduleMode, Signals};
+use jocl_core::{
+    DeltaOp, IncrementalJocl, Jocl, JoclConfig, JoclInput, JoclOutput, ScheduleMode, Signals,
+};
 use jocl_datagen::reverb45k_like;
 use jocl_embed::SgnsOptions;
 use jocl_kb::{Ckb, NpMention, NpSlot, Okb, Triple, TripleId};
@@ -146,6 +152,198 @@ fn single_triple_okb_is_well_formed_in_batch_and_incremental() {
         let out = session.apply_delta(std::slice::from_ref(&triple));
         assert_eq!(out.stats.appended, 1);
         assert_same_decode(&out.output, &batch, &format!("singleton {mode:?}"));
+    }
+}
+
+/// Live-slice decode equality against a batch run on the surviving
+/// triples: `live` lists the surviving session triple ids in order, so
+/// survivor `k` of the batch run corresponds to session triple
+/// `live[k]`.
+fn assert_live_matches_batch(
+    session: &JoclOutput,
+    live: &[TripleId],
+    batch: &JoclOutput,
+    what: &str,
+) {
+    assert_eq!(batch.rp_links.len(), live.len(), "{what}: survivor count");
+    for (bi, &t) in live.iter().enumerate() {
+        for slot in 0..2usize {
+            assert_eq!(
+                session.np_links[t.idx() * 2 + slot],
+                batch.np_links[bi * 2 + slot],
+                "{what}: np link of survivor {bi} (session triple {t:?}, slot {slot})"
+            );
+        }
+        assert_eq!(
+            session.rp_links[t.idx()],
+            batch.rp_links[bi],
+            "{what}: rp link of survivor {bi}"
+        );
+    }
+    for (bi, &ti) in live.iter().enumerate() {
+        for (bj, &tj) in live.iter().enumerate().skip(bi + 1) {
+            for (si, sj) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                assert_eq!(
+                    session.np_clustering.same(ti.idx() * 2 + si, tj.idx() * 2 + sj),
+                    batch.np_clustering.same(bi * 2 + si, bj * 2 + sj),
+                    "{what}: np co-clustering of survivors {bi}/{bj} slots {si}/{sj}"
+                );
+            }
+            assert_eq!(
+                session.rp_clustering.same(ti.idx(), tj.idx()),
+                batch.rp_clustering.same(bi, bj),
+                "{what}: rp co-clustering of survivors {bi}/{bj}"
+            );
+        }
+    }
+}
+
+/// Retracting the middle figure-1 triple must decode, on the live
+/// slice, exactly like a batch run on the remaining two — and the dead
+/// mentions must drop out of links and merges (both schedule modes).
+#[test]
+fn figure1_retraction_matches_batch_on_survivors() {
+    let ex = figure1();
+    let triples: Vec<Triple> = ex.okb.triples().map(|(_, t)| t.clone()).collect();
+    let signals = build_signals(&ex.okb, &ex.ckb, &ex.ppdb, &ex.corpus, &ex.config().sgns);
+    for mode in [ScheduleMode::Synchronous, ScheduleMode::Residual] {
+        let mut config = ex.config();
+        config.lbp.mode = mode;
+
+        let mut session = IncrementalJocl::new(config.clone(), &ex.ckb, &signals);
+        session.apply_delta(&triples);
+        let out = session.apply_ops(&[DeltaOp::Retract(triples[1].clone())]);
+        assert_eq!(out.stats.retracted, 1);
+        assert!(out.stats.tombstoned_factors > 0, "triple 1 carried factors");
+        assert!(out.stats.tombstone_density > 0.0);
+        assert_eq!(out.stats.live_triples, 2);
+        assert!(out.output.diagnostics.lbp.converged);
+        // Dead mentions decode to nothing.
+        let s2 = NpMention { triple: TripleId(1), slot: NpSlot::Subject }.dense();
+        let o2 = NpMention { triple: TripleId(1), slot: NpSlot::Object }.dense();
+        assert_eq!(out.output.np_links[s2], None, "{mode:?}: dead subject must unlink");
+        assert_eq!(out.output.np_links[o2], None);
+        assert_eq!(out.output.rp_links[1], None);
+        assert!(
+            !out.output.np_clustering.same(0, s2),
+            "{mode:?}: dead mention must not merge with live ones"
+        );
+
+        // Reference: batch run on the two survivors with the same frozen
+        // signals.
+        let mut survivors = Okb::new();
+        survivors.ingest_triple(triples[0].clone());
+        survivors.ingest_triple(triples[2].clone());
+        let input = JoclInput { okb: &survivors, ckb: &ex.ckb, ppdb: &ex.ppdb, corpus: &ex.corpus };
+        let batch = Jocl::new(config).run_with_signals(input, &signals, None);
+        assert_live_matches_batch(
+            &out.output,
+            &[TripleId(0), TripleId(2)],
+            &batch,
+            &format!("figure1 retract {mode:?}"),
+        );
+    }
+}
+
+/// A revision is retract + add under one warm start; re-adding retracted
+/// content mints a fresh triple id with fresh variables.
+#[test]
+fn figure1_revise_and_readd_use_fresh_ids() {
+    let ex = figure1();
+    let triples: Vec<Triple> = ex.okb.triples().map(|(_, t)| t.clone()).collect();
+    let signals = build_signals(&ex.okb, &ex.ckb, &ex.ppdb, &ex.corpus, &ex.config().sgns);
+    let mut session = IncrementalJocl::new(ex.config(), &ex.ckb, &signals);
+    session.apply_delta(&triples);
+
+    // Revise triple 1 to a UVA membership claim.
+    let new = Triple::new("University of Virginia", "be a member of", "Universitas 21");
+    let out = session.apply_ops(&[DeltaOp::Revise { old: triples[1].clone(), new: new.clone() }]);
+    assert_eq!(out.stats.revised, 1);
+    assert_eq!(out.stats.retracted, 1);
+    assert_eq!(out.stats.appended, 1);
+    assert_eq!(session.len(), 4, "revision appends physically");
+    assert_eq!(session.num_live(), 3);
+
+    // Re-adding the retracted content is an append, not a resurrection.
+    let out = session.apply_ops(&[DeltaOp::Add(triples[1].clone())]);
+    assert_eq!(out.stats.appended, 1);
+    assert_eq!(out.stats.duplicates, 0, "retracted content must not count as duplicate");
+    assert_eq!(session.num_live(), 4);
+    assert_eq!(out.output.rp_links[1], None, "the old id stays dead");
+    assert!(out.output.rp_links[4].is_some(), "the fresh id carries the mention now");
+
+    // Retracting something absent is a counted no-op.
+    let out = session.apply_ops(&[DeltaOp::Retract(Triple::new("no", "such", "triple"))]);
+    assert_eq!(out.stats.missed_retracts, 1);
+    assert_eq!(out.stats.retracted, 0);
+    assert_eq!(out.stats.lbp.message_updates, 0, "nothing dirty, nothing to converge");
+}
+
+/// Compaction rebuilds cold from the survivors: same live decode,
+/// smaller graph, zero tombstone density.
+#[test]
+fn compaction_preserves_live_decode_and_resets_density() {
+    let ex = figure1();
+    let triples: Vec<Triple> = ex.okb.triples().map(|(_, t)| t.clone()).collect();
+    let signals = build_signals(&ex.okb, &ex.ckb, &ex.ppdb, &ex.corpus, &ex.config().sgns);
+    let mut session = IncrementalJocl::new(ex.config(), &ex.ckb, &signals);
+    session.apply_delta(&triples);
+    let before = session.apply_ops(&[DeltaOp::Retract(triples[0].clone())]);
+    let vars_before = before.output.diagnostics.num_vars;
+    assert!(session.tombstone_density() > 0.0);
+
+    let out = session.compact();
+    assert!(out.stats.compacted);
+    assert_eq!(session.tombstone_density(), 0.0);
+    assert_eq!(session.len(), 2, "compaction renumbers to the survivors");
+    assert_eq!(session.num_live(), 2);
+    assert!(out.output.diagnostics.num_vars < vars_before, "tombstoned vars reclaimed");
+    // Live decode is unchanged: survivors were session triples 1 and 2,
+    // now compacted to ids 0 and 1.
+    assert_live_matches_batch(
+        &before.output,
+        &[TripleId(1), TripleId(2)],
+        &out.output,
+        "compaction",
+    );
+}
+
+/// Kill-and-restart at the core level: export → import resumes with
+/// bitwise-identical messages and identical decode on the next delta.
+#[test]
+fn export_import_state_roundtrip_is_bitwise_warm() {
+    let ex = figure1();
+    let triples: Vec<Triple> = ex.okb.triples().map(|(_, t)| t.clone()).collect();
+    let signals = build_signals(&ex.okb, &ex.ckb, &ex.ppdb, &ex.corpus, &ex.config().sgns);
+    for mode in [ScheduleMode::Synchronous, ScheduleMode::Residual] {
+        let mut config = ex.config();
+        config.lbp.mode = mode;
+        let mut session = IncrementalJocl::new(config.clone(), &ex.ckb, &signals);
+        session.apply_delta(&triples[..2]);
+        session.apply_ops(&[DeltaOp::Retract(triples[0].clone())]);
+        let bytes = session.export_state();
+
+        let mut restored =
+            IncrementalJocl::import_state(&bytes, config, &ex.ckb, &signals).unwrap();
+        assert_eq!(restored.len(), session.len());
+        assert_eq!(restored.num_live(), session.num_live());
+        assert_eq!(
+            restored.export_state(),
+            bytes,
+            "{mode:?}: restored state must re-export identically"
+        );
+
+        // The next delta behaves identically in both sessions.
+        let a = session.apply_delta(&triples[2..]);
+        let b = restored.apply_delta(&triples[2..]);
+        assert_eq!(a.stats.new_vars, b.stats.new_vars);
+        assert_eq!(a.stats.lbp.message_updates, b.stats.lbp.message_updates, "{mode:?}");
+        assert_same_decode(&b.output, &a.output, &format!("restored {mode:?}"));
+        assert_eq!(
+            session.export_state(),
+            restored.export_state(),
+            "{mode:?}: post-delta states must stay bitwise identical"
+        );
     }
 }
 

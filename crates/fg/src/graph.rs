@@ -244,6 +244,32 @@ impl FactorGraph {
         fid
     }
 
+    /// Replace factor `f`'s potential with the **neutral** one: a sparse
+    /// two-level table with no high configurations and both levels at
+    /// score 0, so `log φ ≡ 0` for every joint configuration under any
+    /// weights. A neutral factor passes no information — once its
+    /// messages settle they are uniform, and the marginals of its
+    /// variables are what they would be if the factor were absent.
+    ///
+    /// This is the **tombstone** primitive of the serving subsystem:
+    /// retracting an OIE triple must remove its evidence from the model,
+    /// but the factor graph is append-only (node ids are load-bearing
+    /// for warm-started message passing), so the factor is down-weighted
+    /// to nothing instead of being deleted. Structure (variables, class,
+    /// table size, adjacency) is untouched; the O(table) feature/score
+    /// payload is dropped, so a tombstoned graph also *shrinks* in
+    /// memory. Idempotent.
+    pub fn neutralize_factor(&mut self, f: FactorId) {
+        let fd = &mut self.factors[f.idx()];
+        fd.potential = Potential::TwoLevelScores {
+            group: fd.potential.group(),
+            size: fd.table_size,
+            high_configs: Vec::new(),
+            high: 0.0,
+            low: 0.0,
+        };
+    }
+
     /// Pre-size the node stores for `extra_vars` more variables and
     /// `extra_factors` more factors (adjacency lists grow on demand).
     /// Sharded builders call this once per merge so the insert loop never
@@ -526,6 +552,31 @@ mod tests {
         let adj_b: Vec<_> = grown.var_factors(VarId(1)).collect();
         assert_eq!(adj_b, vec![(FactorId(1), 1)]);
         assert!(before.len() < format!("{grown:?}").len());
+    }
+
+    /// The tombstone primitive: a neutralized factor scores 0 on every
+    /// configuration under any weights, while structure (vars, class,
+    /// adjacency, table size) is untouched and the call is idempotent.
+    #[test]
+    fn neutralized_factor_is_uniform_under_any_weights() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(2);
+        let b = g.add_var(3);
+        let f = g.add_factor(&[a, b], unary(0, (0..6).map(|i| vec![i as f64, 1.0]).collect()), 7);
+        let mut params = Params::new();
+        params.add_group_with(vec![2.0, -1.0]);
+        assert!(g.factor_potential(f).log_phi(&params, 3) != 0.0);
+        g.neutralize_factor(f);
+        for flat in 0..g.table_size(f) {
+            assert_eq!(g.factor_potential(f).log_phi(&params, flat), 0.0);
+            assert_eq!(g.factor_potential(f).score(flat), Some(0.0));
+        }
+        assert_eq!(g.factor_vars(f), &[a, b]);
+        assert_eq!(g.factor_class(f), 7);
+        assert_eq!(g.table_size(f), 6);
+        assert_eq!(g.var_degree(a), 1, "adjacency survives the tombstone");
+        g.neutralize_factor(f); // idempotent
+        assert_eq!(g.factor_potential(f).log_phi(&params, 0), 0.0);
     }
 
     #[test]

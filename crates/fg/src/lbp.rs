@@ -311,6 +311,21 @@ impl<'g> LbpEngine<'g> {
         dirty: &[u32],
     ) -> LbpResult {
         self.import_messages(prior);
+        self.resume_imported(params, opts, dirty)
+    }
+
+    /// The post-import half of [`LbpEngine::resume`], for callers that
+    /// need to adjust the imported messages before converging — the
+    /// serving retraction path imports, resets the tombstoned factors'
+    /// messages to uniform ([`LbpEngine::reset_factor_messages`]), and
+    /// only then warm-starts with the tombstones *and their live
+    /// neighbors* in `dirty`.
+    pub fn resume_imported(
+        &mut self,
+        params: &Params,
+        opts: &LbpOptions,
+        dirty: &[u32],
+    ) -> LbpResult {
         // Re-derive the variable→factor messages of every *scheduled*
         // variable a dirty factor touches: the snapshot's vf on new
         // edges is uniform, and priming quality (not correctness)
@@ -336,6 +351,27 @@ impl<'g> LbpEngine<'g> {
         match opts.mode {
             ScheduleMode::Synchronous => self.run_synchronous_from(params, opts, false),
             ScheduleMode::Residual => self.run_residual_from(params, opts, Some(dirty)),
+        }
+    }
+
+    /// Reset the factor→variable messages of the given factors to
+    /// uniform, exactly as [`LbpEngine::reset_messages`] initializes
+    /// them. Used when a factor is neutralized
+    /// (`FactorGraph::neutralize_factor`) after a warm import: its
+    /// committed messages still carry the retracted evidence, and while
+    /// damping would anneal them toward uniform within `tol`, the
+    /// explicit reset lands them *exactly* on the neutral factor's fixed
+    /// point in one step. Variable→factor messages are left alone — the
+    /// resume path re-derives them for every variable a dirty factor
+    /// touches.
+    pub fn reset_factor_messages(&mut self, factors: &[u32]) {
+        for &f in factors {
+            for e in self.factor_edges(f as usize) {
+                let card = self.edge_len(e);
+                let uniform = -(card as f64).ln();
+                let off = self.edge_offset[e];
+                self.fv[off..off + card].fill(uniform);
+            }
         }
     }
 
@@ -1238,6 +1274,45 @@ impl LbpMessages {
     pub fn num_edges(&self) -> usize {
         self.edges
     }
+
+    /// The raw state for persistence: `(factor→variable arena,
+    /// variable→factor arena, edge count)`, both arenas in the
+    /// factor-major layout of the engine that exported them. Serialize
+    /// the floats bit-exactly — a restored session must resume from the
+    /// *identical* committed fixed point.
+    pub fn export_state(&self) -> (&[f64], &[f64], usize) {
+        (&self.fv, &self.vf, self.edges)
+    }
+
+    /// Rebuild a snapshot from persisted state. The two arenas must have
+    /// equal length (they share one edge layout); the edge count is
+    /// validated against the graph when the snapshot is imported into an
+    /// engine.
+    pub fn import_state(fv: Vec<f64>, vf: Vec<f64>, edges: usize) -> Result<Self, String> {
+        if fv.len() != vf.len() {
+            return Err(format!(
+                "message arenas disagree: {} fv values vs {} vf values",
+                fv.len(),
+                vf.len()
+            ));
+        }
+        if edges > fv.len() {
+            return Err(format!("{edges} edges cannot exceed the {} arena slots", fv.len()));
+        }
+        Ok(Self { fv, vf, edges })
+    }
+
+    /// Bitwise equality of two snapshots — the restart-parity criterion
+    /// (value equality would also accept `-0.0 == 0.0` and reject equal
+    /// NaNs; restart parity means the restored process resumes from the
+    /// *same bits*).
+    pub fn bitwise_eq(&self, other: &LbpMessages) -> bool {
+        self.edges == other.edges
+            && self.fv.len() == other.fv.len()
+            && self.vf.len() == other.vf.len()
+            && self.fv.iter().zip(&other.fv).all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.vf.iter().zip(&other.vf).all(|(a, b)| a.to_bits() == b.to_bits())
+    }
 }
 
 /// Reusable buffers for the residual-mode variable update.
@@ -1893,6 +1968,96 @@ mod tests {
         }
         // The new variable actually moved off uniform.
         assert!((after.prob(VarId(5), 1) - 0.5).abs() > 1e-3);
+    }
+
+    /// The serving retraction sequence — converge, neutralize a factor,
+    /// reset its messages, resume with the tombstone and its neighbors
+    /// dirty — reaches the fixed point of a graph that never had the
+    /// factor (both schedule modes).
+    #[test]
+    fn neutralize_reset_resume_matches_factor_free_fixed_point() {
+        let build = |with_evidence: bool| -> (FactorGraph, Params) {
+            let mut g = FactorGraph::new();
+            let mut params = Params::new();
+            let grp = params.add_group_with(vec![1.0]);
+            let a = g.add_var(2);
+            let b = g.add_var(2);
+            if with_evidence {
+                // Factor 0: the evidence that will be retracted.
+                g.add_factor(&[a], Potential::Scores { group: grp, scores: vec![0.0, 1.4] }, 0);
+            }
+            g.add_factor(
+                &[a, b],
+                Potential::Scores { group: grp, scores: vec![0.6, 0.0, 0.0, 0.6] },
+                0,
+            );
+            g.add_factor(&[b], Potential::Scores { group: grp, scores: vec![0.3, 0.0] }, 0);
+            (g, params)
+        };
+        for mode in [ScheduleMode::Synchronous, ScheduleMode::Residual] {
+            let opts = LbpOptions { tol: 1e-10, max_iters: 500, mode, ..Default::default() };
+            let (mut g, params) = build(true);
+            let mut eng = LbpEngine::new(&g);
+            assert!(eng.run(&params, &opts).converged);
+            let before = eng.marginals();
+            assert!(before.prob(VarId(0), 1) > 0.6, "evidence must matter pre-retraction");
+            let snapshot = eng.export_messages();
+            drop(eng);
+
+            g.neutralize_factor(FactorId(0));
+            let mut warm = LbpEngine::new(&g);
+            warm.import_messages(&snapshot);
+            warm.reset_factor_messages(&[0]);
+            // Dirty: the tombstone plus every live factor sharing one of
+            // its variables (here the pair factor 1).
+            let res = warm.resume_imported(&params, &opts, &[0, 1]);
+            assert!(res.converged, "{mode:?}");
+
+            // Reference: the same system without the evidence factor,
+            // converged cold.
+            let (g_ref, _) = build(false);
+            let mut cold = LbpEngine::new(&g_ref);
+            assert!(cold.run(&params, &opts).converged);
+            let (mw, mr) = (warm.marginals(), cold.marginals());
+            for v in 0..2 {
+                assert!(
+                    (mw.prob(VarId(v), 1) - mr.prob(VarId(v), 1)).abs() < 1e-7,
+                    "{mode:?} var {v}: warm {} vs factor-free {}",
+                    mw.prob(VarId(v), 1),
+                    mr.prob(VarId(v), 1)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lbp_messages_state_roundtrip_and_bitwise_eq() {
+        let mut g = FactorGraph::new();
+        let a = g.add_var(2);
+        let b = g.add_var(3);
+        let mut params = Params::new();
+        let grp = params.add_group_with(vec![1.0]);
+        g.add_factor(&[a, b], Potential::Scores { group: grp, scores: vec![0.2; 6] }, 0);
+        g.add_factor(&[a], Potential::Scores { group: grp, scores: vec![0.0, 0.8] }, 0);
+        let mut eng = LbpEngine::new(&g);
+        eng.run(&params, &LbpOptions::default());
+        let snap = eng.export_messages();
+        let (fv, vf, edges) = snap.export_state();
+        let restored = LbpMessages::import_state(fv.to_vec(), vf.to_vec(), edges).unwrap();
+        assert!(snap.bitwise_eq(&restored));
+        assert_eq!(restored.num_edges(), snap.num_edges());
+        // A restored snapshot drives an engine to the identical state.
+        let mut eng2 = LbpEngine::new(&g);
+        eng2.import_messages(&restored);
+        assert!(eng2.export_messages().bitwise_eq(&snap));
+        // Mismatched arenas are a typed error, not a panic.
+        assert!(LbpMessages::import_state(vec![0.0; 3], vec![0.0; 2], 1).is_err());
+        assert!(LbpMessages::import_state(vec![0.0; 2], vec![0.0; 2], 9).is_err());
+        // A single flipped bit breaks bitwise equality.
+        let mut fv2 = fv.to_vec();
+        fv2[0] = f64::from_bits(fv2[0].to_bits() ^ 1);
+        let tweaked = LbpMessages::import_state(fv2, vf.to_vec(), edges).unwrap();
+        assert!(!snap.bitwise_eq(&tweaked));
     }
 
     #[test]

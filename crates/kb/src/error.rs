@@ -21,6 +21,16 @@ pub enum KbError {
         /// The offending id value.
         id: u32,
     },
+    /// Malformed binary snapshot data (`crate::snap`): truncation, a
+    /// wrong section tag, an impossible length. Carries the byte offset
+    /// the reader died at so a corrupt warm-session snapshot points at
+    /// the failing section, not just "restore failed".
+    Snapshot {
+        /// Byte offset of the failing read.
+        offset: usize,
+        /// Human-readable description.
+        msg: String,
+    },
     /// Another [`KbError`] annotated with the file it came from. Loaders
     /// that know the path (e.g. `jocl_core::persist::load_params`) wrap
     /// their I/O and parse failures so a serving misconfiguration names
@@ -47,6 +57,9 @@ impl fmt::Display for KbError {
             KbError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             KbError::DanglingRef { kind, id } => {
                 write!(f, "dangling {kind} reference: {id}")
+            }
+            KbError::Snapshot { offset, msg } => {
+                write!(f, "snapshot corrupt at byte {offset}: {msg}")
             }
             KbError::WithPath { path, source } => write!(f, "{path}: {source}"),
         }

@@ -16,11 +16,15 @@
 //!   variables (`|e_si|` states per mention, §3.2.1).
 //! * [`tsv`] — a small, tested TSV codec so datasets can be persisted and
 //!   reloaded without pulling in a serialization dependency.
+//! * [`snap`] — the binary snapshot codec behind warm serving-session
+//!   persistence (`jocl_serve`): length-prefixed little-endian sections
+//!   with typed corruption errors, bit-exact for `f64` state.
 
 pub mod candidates;
 pub mod ckb;
 pub mod error;
 pub mod okb;
+pub mod snap;
 pub mod tsv;
 
 pub use candidates::{CandidateGen, CandidateOptions};

@@ -19,6 +19,7 @@
 //! baseline has the same inputs it has in the paper.
 
 use crate::ckb::EntityId;
+use crate::error::KbError;
 
 /// Identifier of an OIE triple in an [`Okb`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -119,9 +120,15 @@ pub struct Okb {
     /// First triple id per distinct `<s, p, o>` — the dedup index behind
     /// [`Okb::ingest_triple`] and [`Okb::find_triple`]. Built lazily
     /// (covers `triples[..dedup_indexed]`) so the batch `add_triple`
-    /// path never pays its memory or hashing cost.
+    /// path never pays its memory or hashing cost — but once a dedup
+    /// query has materialized it, [`Okb::add_triple`] maintains it
+    /// incrementally, so mixing the batch and streaming ingest paths
+    /// never re-scans the store.
     dedup: jocl_text::fx::FxHashMap<Triple, TripleId>,
     dedup_indexed: usize,
+    /// Whether a dedup query has materialized the index yet (from then on
+    /// `dedup_indexed == triples.len()` is an invariant).
+    dedup_live: bool,
 }
 
 impl Okb {
@@ -137,18 +144,29 @@ impl Okb {
     /// [`Okb::ingest_triple`] where re-ingest must be a no-op instead.
     pub fn add_triple(&mut self, t: Triple) -> TripleId {
         let id = TripleId(u32::try_from(self.triples.len()).expect("too many triples"));
+        // Once a dedup query has materialized the index, keep it current
+        // inline: a batch append after streaming use must not leave a gap
+        // that the next `ingest_triple` pays to re-scan (satellite fix —
+        // the gap used to be closed by an O(appended) scan per query).
+        if self.dedup_live {
+            debug_assert_eq!(self.dedup_indexed, self.triples.len());
+            self.dedup.entry(t.clone()).or_insert(id);
+            self.dedup_indexed += 1;
+        }
         self.triples.push(t);
         self.side_info.push(None);
         id
     }
 
-    /// Extend the lazy dedup index over any triples appended since the
-    /// last dedup query.
+    /// Extend the lazy dedup index over any triples appended before it
+    /// was first materialized (afterwards [`Okb::add_triple`] maintains
+    /// it inline and this is a no-op).
     fn ensure_dedup_index(&mut self) {
         for i in self.dedup_indexed..self.triples.len() {
             self.dedup.entry(self.triples[i].clone()).or_insert(TripleId(i as u32));
         }
         self.dedup_indexed = self.triples.len();
+        self.dedup_live = true;
     }
 
     /// Id of the first triple equal to `t`, if any. (`&mut` because the
@@ -171,9 +189,28 @@ impl Okb {
             Some(id) => (id, false),
             None => {
                 let id = self.add_triple(t);
-                self.ensure_dedup_index();
+                debug_assert_eq!(self.dedup_indexed, self.triples.len());
                 (id, true)
             }
+        }
+    }
+
+    /// Remove `id` from the dedup index (the triple's text stays in the
+    /// store so existing [`TripleId`]s keep resolving). This is the OKB
+    /// half of a serving **retraction**: after it, [`Okb::find_triple`]
+    /// no longer reports the content, so re-ingesting the same triple
+    /// later appends a *fresh* id with fresh mention variables instead
+    /// of resurrecting the tombstoned ones.
+    ///
+    /// Intended for ingest-built OKBs (one id per distinct content). If
+    /// batch [`Okb::add_triple`] stored duplicates, only the indexed
+    /// first occurrence can be forgotten; the content then simply stops
+    /// being indexed.
+    pub fn forget_triple(&mut self, id: TripleId) {
+        self.ensure_dedup_index();
+        let t = self.triples[id.idx()].clone();
+        if self.dedup.get(&t) == Some(&id) {
+            self.dedup.remove(&t);
         }
     }
 
@@ -241,6 +278,85 @@ impl Okb {
     /// Number of RP mentions.
     pub fn num_rp_mentions(&self) -> usize {
         self.triples.len()
+    }
+
+    /// Serialize the full OKB state — triples, side information and the
+    /// dedup index (`&mut` because the index is materialized first) —
+    /// into a snapshot section. With retraction in play the index is
+    /// *not* derivable from the triples (forgotten entries must stay
+    /// forgotten, re-added content must resolve to its new id), so it is
+    /// part of the state, serialized as the sorted id list it covers.
+    pub fn export_state(&mut self, w: &mut crate::snap::SnapWriter) {
+        self.ensure_dedup_index();
+        w.tag("OKB");
+        w.usize(self.triples.len());
+        for t in &self.triples {
+            w.str(&t.subject);
+            w.str(&t.predicate);
+            w.str(&t.object);
+        }
+        for si in &self.side_info {
+            match si {
+                None => w.bool(false),
+                Some(si) => {
+                    w.bool(true);
+                    w.usize(si.subject_candidates.len());
+                    for e in &si.subject_candidates {
+                        w.u32(e.0);
+                    }
+                    w.usize(si.object_candidates.len());
+                    for e in &si.object_candidates {
+                        w.u32(e.0);
+                    }
+                    w.str(&si.domain);
+                }
+            }
+        }
+        let mut indexed: Vec<u32> = self.dedup.values().map(|t| t.0).collect();
+        indexed.sort_unstable();
+        w.u32_slice(&indexed);
+    }
+
+    /// Rebuild an OKB from [`Okb::export_state`] bytes. Validates that
+    /// every indexed id is in range and maps to its own content.
+    pub fn import_state(r: &mut crate::snap::SnapReader<'_>) -> Result<Okb, KbError> {
+        r.expect_tag("OKB")?;
+        let n = r.seq_len(24)?;
+        let mut okb = Okb::new();
+        for _ in 0..n {
+            let (s, p, o) = (r.str()?, r.str()?, r.str()?);
+            okb.triples.push(Triple { subject: s, predicate: p, object: o });
+        }
+        for _ in 0..n {
+            if r.bool()? {
+                let subj =
+                    (0..r.seq_len(8)?).map(|_| r.u32().map(EntityId)).collect::<Result<_, _>>()?;
+                let obj =
+                    (0..r.seq_len(8)?).map(|_| r.u32().map(EntityId)).collect::<Result<_, _>>()?;
+                let domain = r.str()?;
+                okb.side_info.push(Some(SideInfo {
+                    subject_candidates: subj,
+                    object_candidates: obj,
+                    domain,
+                }));
+            } else {
+                okb.side_info.push(None);
+            }
+        }
+        for id in r.u32_vec()? {
+            if id as usize >= n {
+                return Err(r.corrupt(format!("dedup id {id} out of range (have {n} triples)")));
+            }
+            let t = okb.triples[id as usize].clone();
+            if let Some(prev) = okb.dedup.insert(t, TripleId(id)) {
+                return Err(
+                    r.corrupt(format!("dedup ids {} and {id} index identical content", prev.0))
+                );
+            }
+        }
+        okb.dedup_indexed = n;
+        okb.dedup_live = true;
+        Ok(okb)
     }
 
     /// The attribute set of an NP mention for the Attribute Overlap
@@ -355,5 +471,103 @@ mod tests {
         assert!(okb.is_empty());
         assert_eq!(okb.np_mentions().count(), 0);
         assert_eq!(okb.rp_mentions().count(), 0);
+    }
+
+    /// Satellite regression: once streaming use materializes the dedup
+    /// index, later batch `add_triple` calls maintain it inline — mixing
+    /// the two paths must stay consistent without re-scanning the store.
+    #[test]
+    fn mixed_batch_and_streaming_ingest_keeps_dedup_consistent() {
+        let mut okb = Okb::new();
+        // Batch prefix — index stays unmaterialized (pure lazy path).
+        okb.add_triple(Triple::new("a", "r", "b"));
+        okb.add_triple(Triple::new("c", "r", "d"));
+        assert!(!okb.dedup_live, "batch appends must not materialize the index");
+        // First streaming use: catch-up scan, then live maintenance.
+        let (_, fresh) = okb.ingest_triple(Triple::new("e", "r", "f"));
+        assert!(fresh);
+        assert!(okb.dedup_live);
+        // Batch appends *after* streaming use are indexed inline…
+        let g = okb.add_triple(Triple::new("g", "r", "h"));
+        assert_eq!(okb.dedup_indexed, okb.len(), "no gap left behind");
+        assert_eq!(okb.find_triple(&Triple::new("g", "r", "h")), Some(g));
+        // …including batch duplicates (first occurrence wins, as in the
+        // lazy path).
+        let dup_first = okb.add_triple(Triple::new("g", "r", "h"));
+        assert_ne!(dup_first, g);
+        let (id, fresh) = okb.ingest_triple(Triple::new("g", "r", "h"));
+        assert!(!fresh);
+        assert_eq!(id, g);
+        // And streaming dedup still sees the batch prefix.
+        let (id, fresh) = okb.ingest_triple(Triple::new("a", "r", "b"));
+        assert!(!fresh);
+        assert_eq!(id, TripleId(0));
+        assert_eq!(okb.len(), 5);
+    }
+
+    /// Retraction contract: a forgotten triple stops resolving, and
+    /// re-ingesting its content appends a fresh id instead of
+    /// resurrecting the old one.
+    #[test]
+    fn forget_triple_unindexes_and_reingest_appends_fresh() {
+        let mut okb = Okb::new();
+        let t = Triple::new("UMD", "be a member of", "U21");
+        let (first, _) = okb.ingest_triple(t.clone());
+        okb.forget_triple(first);
+        assert_eq!(okb.find_triple(&t), None, "forgotten content must not resolve");
+        assert_eq!(okb.len(), 1, "the text stays in the store");
+        let (second, fresh) = okb.ingest_triple(t.clone());
+        assert!(fresh, "re-ingest after forget appends");
+        assert_ne!(second, first);
+        // Forgetting an id the index no longer points at is a no-op.
+        okb.forget_triple(first);
+        assert_eq!(okb.find_triple(&t), Some(second));
+    }
+
+    #[test]
+    fn export_import_state_roundtrip_preserves_dedup_and_side_info() {
+        let mut okb = Okb::new();
+        let si = SideInfo {
+            subject_candidates: vec![EntityId(3), EntityId(9)],
+            object_candidates: vec![],
+            domain: "education".into(),
+        };
+        okb.add_triple_with_side_info(Triple::new("UMD", "be a member of", "U21"), si.clone());
+        let (dead, _) = okb.ingest_triple(Triple::new("gone", "r", "x"));
+        let (_, _) = okb.ingest_triple(Triple::new("kept", "r", "y"));
+        okb.forget_triple(dead);
+        let (readded, _) = okb.ingest_triple(Triple::new("gone", "r", "x"));
+
+        let mut w = crate::snap::SnapWriter::new();
+        okb.export_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::snap::SnapReader::new(&bytes);
+        let mut restored = Okb::import_state(&mut r).unwrap();
+        r.expect_end().unwrap();
+
+        assert_eq!(restored.len(), okb.len());
+        for (id, t) in okb.triples() {
+            assert_eq!(restored.triple(id), t);
+            assert_eq!(restored.side_info(id), okb.side_info(id));
+        }
+        // The forgotten/re-added structure survives: content resolves to
+        // the *new* id, not the tombstoned first occurrence.
+        assert_eq!(restored.find_triple(&Triple::new("gone", "r", "x")), Some(readded));
+        assert_ne!(readded, dead);
+    }
+
+    #[test]
+    fn import_state_rejects_out_of_range_dedup_ids() {
+        let mut okb = Okb::new();
+        okb.ingest_triple(Triple::new("a", "r", "b"));
+        let mut w = crate::snap::SnapWriter::new();
+        okb.export_state(&mut w);
+        let mut bytes = w.into_bytes();
+        // The dedup id is the trailing u64; corrupt it out of range.
+        let at = bytes.len() - 8;
+        bytes[at..].copy_from_slice(&99u64.to_le_bytes());
+        let mut r = crate::snap::SnapReader::new(&bytes);
+        let msg = Okb::import_state(&mut r).unwrap_err().to_string();
+        assert!(msg.contains("out of range"), "{msg}");
     }
 }

@@ -1,0 +1,384 @@
+//! Binary snapshot codec for warm serving-session state.
+//!
+//! The serving subsystem (`jocl_serve`, ROADMAP "session persistence")
+//! freezes a whole warm canonicalization session — OKB, blocking index,
+//! factor graph, committed LBP messages — so a restarted process resumes
+//! without a cold rebuild. Those states are large, numeric and exact
+//! (restore must be *bitwise* identical, or the resumed messages are not
+//! the committed fixed point), which rules out the TSV codec: floats
+//! round-trip through shortest-decimal fine, but a multi-megabyte graph
+//! would pay string parsing on the restart hot path.
+//!
+//! This module is the shared low-level layer: a length-prefixed
+//! little-endian binary format with four-byte **section tags**, so a
+//! truncated or mixed-up snapshot fails with the section and byte offset
+//! it died at ([`KbError::Snapshot`]) instead of garbage state. Framing
+//! rules:
+//!
+//! * integers are `u64` LE (one width everywhere; snapshots are
+//!   I/O-bound, not size-bound), `f64` as raw bits;
+//! * sequences are a `u64` length followed by the elements;
+//! * strings are length-prefixed UTF-8;
+//! * composite states start with a tag ([`SnapWriter::tag`] /
+//!   [`SnapReader::expect_tag`]) naming the writer that produced them.
+//!
+//! Writers are infallible (they build a `Vec<u8>`); every reader returns
+//! `Result<_, KbError>` and never panics on malformed input — corrupt
+//! snapshots are an *operational* condition (killed writer, wrong file),
+//! not a programming error.
+
+use crate::error::KbError;
+
+/// Serializer half of the codec: appends to an owned byte buffer.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish and take the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True before the first write.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a four-byte section tag (pad/truncate to 4 bytes).
+    pub fn tag(&mut self, tag: &str) {
+        let mut b = [b' '; 4];
+        for (dst, src) in b.iter_mut().zip(tag.bytes()) {
+            *dst = src;
+        }
+        self.buf.extend_from_slice(&b);
+    }
+
+    /// Write one `u64` (LE).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write one `usize` (as `u64`).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Write one `u32` (widened to `u64`).
+    pub fn u32(&mut self, v: u32) {
+        self.u64(v as u64);
+    }
+
+    /// Write one `bool` (as `u64` 0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.u64(u64::from(v));
+    }
+
+    /// Write one `f64` as raw bits (bit-exact round trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write a length-prefixed `f64` slice.
+    pub fn f64_slice(&mut self, xs: &[f64]) {
+        self.usize(xs.len());
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+
+    /// Write a length-prefixed `u32` slice.
+    pub fn u32_slice(&mut self, xs: &[u32]) {
+        self.usize(xs.len());
+        for &x in xs {
+            self.u32(x);
+        }
+    }
+
+    /// Write a length-prefixed bool slice.
+    pub fn bool_slice(&mut self, xs: &[bool]) {
+        self.usize(xs.len());
+        for &x in xs {
+            self.bool(x);
+        }
+    }
+}
+
+/// Deserializer half: a cursor over a byte slice. Every accessor checks
+/// bounds and reports the failing offset.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current byte offset (for error context).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Error constructor pinned to the current offset.
+    pub fn corrupt(&self, msg: impl Into<String>) -> KbError {
+        KbError::Snapshot { offset: self.pos, msg: msg.into() }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], KbError> {
+        if self.buf.len() - self.pos < n {
+            return Err(self.corrupt(format!(
+                "truncated: need {n} more bytes for {what}, {} left",
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read and verify a four-byte section tag.
+    pub fn expect_tag(&mut self, tag: &str) -> Result<(), KbError> {
+        let at = self.pos;
+        let got = self.take(4, "section tag")?;
+        let mut want = [b' '; 4];
+        for (dst, src) in want.iter_mut().zip(tag.bytes()) {
+            *dst = src;
+        }
+        if got != want {
+            return Err(KbError::Snapshot {
+                offset: at,
+                msg: format!("expected section {tag:?}, found {:?}", String::from_utf8_lossy(got)),
+            });
+        }
+        Ok(())
+    }
+
+    /// Read one `u64`.
+    pub fn u64(&mut self) -> Result<u64, KbError> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// Read one `usize` (written as `u64`).
+    pub fn usize(&mut self) -> Result<usize, KbError> {
+        let at = self.pos;
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| KbError::Snapshot { offset: at, msg: format!("{v} overflows usize") })
+    }
+
+    /// Read one `u32` (written widened).
+    pub fn u32(&mut self) -> Result<u32, KbError> {
+        let at = self.pos;
+        let v = self.u64()?;
+        u32::try_from(v)
+            .map_err(|_| KbError::Snapshot { offset: at, msg: format!("{v} overflows u32") })
+    }
+
+    /// Read one bool (0/1).
+    pub fn bool(&mut self) -> Result<bool, KbError> {
+        let at = self.pos;
+        match self.u64()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(KbError::Snapshot { offset: at, msg: format!("bool must be 0/1, got {v}") }),
+        }
+    }
+
+    /// Read one `f64` from raw bits.
+    pub fn f64(&mut self) -> Result<f64, KbError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a sequence length, sanity-capped against the remaining bytes
+    /// (`min_elem_bytes` per element) so corrupt lengths fail here rather
+    /// than in an allocation.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, KbError> {
+        let at = self.pos;
+        let n = self.usize()?;
+        let left = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes.max(1)) > left {
+            return Err(KbError::Snapshot {
+                offset: at,
+                msg: format!("sequence length {n} exceeds the {left} bytes remaining"),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, KbError> {
+        let n = self.seq_len(1)?;
+        let at = self.pos;
+        let b = self.take(n, "string payload")?;
+        String::from_utf8(b.to_vec())
+            .map_err(|e| KbError::Snapshot { offset: at, msg: format!("invalid utf-8: {e}") })
+    }
+
+    /// Read a length-prefixed `f64` vector.
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, KbError> {
+        let n = self.seq_len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Read a length-prefixed `u32` vector.
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, KbError> {
+        let n = self.seq_len(8)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Read a length-prefixed bool vector.
+    pub fn bool_vec(&mut self) -> Result<Vec<bool>, KbError> {
+        let n = self.seq_len(8)?;
+        (0..n).map(|_| self.bool()).collect()
+    }
+
+    /// Fail unless every byte was consumed — a snapshot with trailing
+    /// garbage was produced by a different writer than this reader.
+    pub fn expect_end(&self) -> Result<(), KbError> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(self.corrupt(format!(
+                "{} trailing bytes after the last section",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// FNV-1a checksum over a byte slice — cheap integrity guard appended to
+/// snapshot files so a torn write fails loudly at restore time.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip_is_bit_exact() {
+        let mut w = SnapWriter::new();
+        w.tag("TEST");
+        w.u64(u64::MAX);
+        w.u32(7);
+        w.bool(true);
+        w.f64(0.1 + 0.2);
+        w.f64(-0.0);
+        w.str("universität 🦀");
+        w.f64_slice(&[1.5, f64::MIN_POSITIVE]);
+        w.u32_slice(&[0, 42]);
+        w.bool_slice(&[true, false]);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        r.expect_tag("TEST").unwrap();
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.f64().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.str().unwrap(), "universität 🦀");
+        assert_eq!(r.f64_vec().unwrap(), vec![1.5, f64::MIN_POSITIVE]);
+        assert_eq!(r.u32_vec().unwrap(), vec![0, 42]);
+        assert_eq!(r.bool_vec().unwrap(), vec![true, false]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_reports_offset() {
+        let mut w = SnapWriter::new();
+        w.u64(1);
+        let mut bytes = w.into_bytes();
+        bytes.truncate(5);
+        let mut r = SnapReader::new(&bytes);
+        match r.u64() {
+            Err(KbError::Snapshot { offset: 0, msg }) => {
+                assert!(msg.contains("truncated"), "{msg}")
+            }
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_tag_names_both_sections() {
+        let mut w = SnapWriter::new();
+        w.tag("OKB");
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let msg = r.expect_tag("PLAN").unwrap_err().to_string();
+        assert!(msg.contains("PLAN") && msg.contains("OKB"), "{msg}");
+    }
+
+    #[test]
+    fn hostile_length_is_rejected_before_allocation() {
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX); // claimed sequence length
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let msg = r.f64_vec().unwrap_err().to_string();
+        assert!(msg.contains("exceeds"), "{msg}");
+    }
+
+    #[test]
+    fn non_utf8_string_is_a_typed_error() {
+        let mut w = SnapWriter::new();
+        w.usize(2);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = SnapReader::new(&bytes);
+        assert!(r.str().unwrap_err().to_string().contains("utf-8"));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut w = SnapWriter::new();
+        w.u64(3);
+        let mut bytes = w.into_bytes();
+        bytes.push(0);
+        let mut r = SnapReader::new(&bytes);
+        r.u64().unwrap();
+        assert!(r.expect_end().unwrap_err().to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn fnv_detects_single_bit_flips() {
+        let mut w = SnapWriter::new();
+        w.f64_slice(&[1.0, 2.0, 3.0]);
+        let mut bytes = w.into_bytes();
+        let sum = fnv1a(&bytes);
+        bytes[9] ^= 1;
+        assert_ne!(fnv1a(&bytes), sum);
+    }
+}

@@ -1,0 +1,336 @@
+//! # jocl-serve
+//!
+//! The durable serving subsystem (ROADMAP "deletion + revision deltas"
+//! and "session persistence"): a [`ServeSession`] wraps the warm
+//! incremental canonicalization session
+//! ([`jocl_core::IncrementalJocl`]) into something a long-running
+//! process can actually operate —
+//!
+//! * **full delta vocabulary** — [`DeltaOp::Add`], [`DeltaOp::Retract`]
+//!   and [`DeltaOp::Revise`] flow through [`ServeSession::apply`];
+//!   retractions tombstone their factors (the graph shrinks
+//!   semantically while staying append-only physically) and the live
+//!   decode keeps parity with a from-scratch batch run on the
+//!   survivors;
+//! * **automatic compaction** — tombstones accumulate wasted capacity;
+//!   when the dead-factor density crosses
+//!   [`ServeConfig::compact_threshold`], the session is rebuilt cold
+//!   from the survivors (same decode, compact graph) and the delta that
+//!   triggered it reports [`jocl_core::DeltaStats::compacted`];
+//! * **warm snapshots** — [`ServeSession::snapshot_to`] /
+//!   [`ServeSession::restore_from`] persist the entire session through
+//!   the [`snapshot`] envelope (magic + config fingerprint + checksum
+//!   around `IncrementalJocl::{export,import}_state`), so a restarted
+//!   process resumes with **bitwise-identical** LBP messages instead of
+//!   a cold rebuild;
+//! * **queries** — [`ServeSession::live_view`] exposes the decoded
+//!   output re-indexed over the live triples (the natural serving
+//!   read), [`ServeSession::query_phrase`] answers "what cluster is
+//!   this phrase in, and where does it link" per mention.
+//!
+//! The CKB, the frozen [`Signals`](jocl_core::Signals) and the
+//! [`JoclConfig`] are shared serving resources provided at open/restore
+//! time, exactly like pretrained weights in the batch serving path; the
+//! snapshot fingerprints the config so a restore under a different
+//! configuration fails loudly instead of silently diverging.
+//!
+//! The interactive command loop over stdin lives in the `serve` binary
+//! of `jocl_bench` (it needs the dataset generator); the `serve_scale`
+//! gate certifies retraction parity, warm-retract savings and restore
+//! savings at CI scale.
+
+pub mod snapshot;
+
+use jocl_cluster::Clustering;
+use jocl_core::{DeltaOp, DeltaOutput, IncrementalJocl, JoclConfig, JoclOutput, Signals};
+use jocl_kb::{Ckb, EntityId, KbError, NpMention, NpSlot, RelationId, RpMention, TripleId};
+use jocl_text::fx::FxHashMap;
+use std::path::Path;
+
+/// Serving-layer policy knobs (the model configuration stays in
+/// [`JoclConfig`]).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Tombstone (dead-factor) density above which
+    /// [`ServeSession::apply`] compacts the session after the delta.
+    /// Density never exceeds 1.0, so `f64::INFINITY` disables automatic
+    /// compaction (manual [`ServeSession::compact`] still works).
+    pub compact_threshold: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        // Past half the factors being tombstones, every sweep does more
+        // dead work than live work — rebuild.
+        Self { compact_threshold: 0.5 }
+    }
+}
+
+/// The decoded serving state re-indexed over **live** triples: survivor
+/// `k` is `triples[k]`, its mentions occupy the dense slots a batch run
+/// on the survivors would give them (subject `2k`, object `2k+1`,
+/// predicate `k`). This is both the natural read model for serving and
+/// the exact shape of the batch-parity contract — compare it field by
+/// field against a `Jocl` run on the survivors.
+#[derive(Debug, Clone)]
+pub struct LiveView {
+    /// Live session triple ids, ascending.
+    pub triples: Vec<TripleId>,
+    /// Entity link per live NP mention (2 per live triple).
+    pub np_links: Vec<Option<EntityId>>,
+    /// Relation link per live RP mention.
+    pub rp_links: Vec<Option<RelationId>>,
+    /// Clustering over live NP mentions (canonical labels).
+    pub np_clustering: Clustering,
+    /// Clustering over live RP mentions.
+    pub rp_clustering: Clustering,
+}
+
+/// One live mention matching a [`ServeSession::query_phrase`] query.
+#[derive(Debug, Clone)]
+pub struct MentionReport {
+    /// Owning session triple.
+    pub triple: TripleId,
+    /// `"subject"`, `"object"` or `"predicate"`.
+    pub role: &'static str,
+    /// The mention's surface phrase.
+    pub phrase: String,
+    /// Live mentions sharing its cluster (including itself).
+    pub cluster_size: usize,
+    /// Distinct phrases of the cluster's live members, sorted.
+    pub cluster_phrases: Vec<String>,
+    /// Linked entity (NP) — `None` for predicates or unlinked mentions.
+    pub entity: Option<EntityId>,
+    /// Linked relation (RP mentions only).
+    pub relation: Option<RelationId>,
+}
+
+/// A durable, restartable serving session.
+#[derive(Debug)]
+pub struct ServeSession<'a> {
+    inner: IncrementalJocl<'a>,
+    serve: ServeConfig,
+    last: Option<JoclOutput>,
+    /// Delta operations applied over the session's lifetime.
+    pub ops_applied: u64,
+    /// Automatic + manual compactions performed.
+    pub compactions: u64,
+}
+
+impl<'a> ServeSession<'a> {
+    /// Open a fresh session over shared serving resources.
+    pub fn open(
+        config: JoclConfig,
+        serve: ServeConfig,
+        ckb: &'a Ckb,
+        signals: &'a Signals,
+    ) -> Self {
+        Self {
+            inner: IncrementalJocl::new(config, ckb, signals),
+            serve,
+            last: None,
+            ops_applied: 0,
+            compactions: 0,
+        }
+    }
+
+    /// Apply one delta of add/retract/revise operations; compacts
+    /// afterwards when the tombstone density crossed the threshold
+    /// (reported via `stats.compacted` — the decode is the same either
+    /// way, that is the parity contract).
+    pub fn apply(&mut self, ops: &[DeltaOp]) -> DeltaOutput {
+        let mut out = self.inner.apply_ops(ops);
+        self.ops_applied += ops.len() as u64;
+        if self.inner.tombstone_density() > self.serve.compact_threshold {
+            let compacted = self.inner.compact();
+            self.compactions += 1;
+            // Keep the op-level stats (what *this* delta did), but the
+            // post-compaction decode and the flag.
+            out.stats.compacted = true;
+            out.output = compacted.output;
+        }
+        self.last = Some(Self::cache_output(&out.output));
+        out
+    }
+
+    /// Convenience: apply a pure-append delta.
+    pub fn add_all(&mut self, triples: &[jocl_kb::Triple]) -> DeltaOutput {
+        let ops: Vec<DeltaOp> = triples.iter().cloned().map(DeltaOp::Add).collect();
+        self.apply(&ops)
+    }
+
+    /// Rebuild cold from the survivors now, regardless of density.
+    pub fn compact(&mut self) -> DeltaOutput {
+        let out = self.inner.compact();
+        self.compactions += 1;
+        self.last = Some(Self::cache_output(&out.output));
+        out
+    }
+
+    /// Clone the fields the read model actually serves (links +
+    /// clusterings + diagnostics); the parameter vector attached for
+    /// persistence is deliberately dropped — the session owns the live
+    /// copy, and cloning it per delta would be pure heap churn.
+    fn cache_output(out: &JoclOutput) -> JoclOutput {
+        JoclOutput {
+            np_clustering: out.np_clustering.clone(),
+            rp_clustering: out.rp_clustering.clone(),
+            np_links: out.np_links.clone(),
+            rp_links: out.rp_links.clone(),
+            learned_params: None,
+            diagnostics: out.diagnostics.clone(),
+        }
+    }
+
+    /// The wrapped incremental session (read access for stats/tests).
+    pub fn session(&self) -> &IncrementalJocl<'a> {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped session — state export and the
+    /// lazily materialized OKB dedup index need `&mut`.
+    pub fn session_mut(&mut self) -> &mut IncrementalJocl<'a> {
+        &mut self.inner
+    }
+
+    /// The serving policy in force.
+    pub fn serve_config(&self) -> &ServeConfig {
+        &self.serve
+    }
+
+    /// The decode of the most recent delta (or restore), if any.
+    pub fn last_output(&self) -> Option<&JoclOutput> {
+        self.last.as_ref()
+    }
+
+    /// The live-indexed read model (see [`LiveView`]); `None` before the
+    /// first delta.
+    pub fn live_view(&self) -> Option<LiveView> {
+        let out = self.last.as_ref()?;
+        let triples: Vec<TripleId> =
+            (0..self.inner.len() as u32).map(TripleId).filter(|&t| self.inner.is_live(t)).collect();
+        let mut np_links = Vec::with_capacity(triples.len() * 2);
+        let mut rp_links = Vec::with_capacity(triples.len());
+        let mut np_labels = Vec::with_capacity(triples.len() * 2);
+        let mut rp_labels = Vec::with_capacity(triples.len());
+        for &t in &triples {
+            for slot in [NpSlot::Subject, NpSlot::Object] {
+                let d = NpMention { triple: t, slot }.dense();
+                np_links.push(out.np_links[d]);
+                np_labels.push(out.np_clustering.cluster_of(d));
+            }
+            let d = RpMention(t).dense();
+            rp_links.push(out.rp_links[d]);
+            rp_labels.push(out.rp_clustering.cluster_of(d));
+        }
+        Some(LiveView {
+            triples,
+            np_links,
+            rp_links,
+            np_clustering: Clustering::from_labels(&np_labels),
+            rp_clustering: Clustering::from_labels(&rp_labels),
+        })
+    }
+
+    /// Every live mention whose phrase equals `phrase`
+    /// (case-insensitively), with its cluster and link. Empty before the
+    /// first delta or when nothing matches.
+    pub fn query_phrase(&self, phrase: &str) -> Vec<MentionReport> {
+        let Some(out) = self.last.as_ref() else { return Vec::new() };
+        let needle = phrase.trim().to_lowercase();
+        let okb = self.inner.okb();
+        let live = |t: TripleId| self.inner.is_live(t);
+        let mut reports = Vec::new();
+        // Live cluster membership, built in one pass per family (not one
+        // scan per matching mention).
+        let mut np_members: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+        for d in 0..okb.num_np_mentions() {
+            if live(NpMention::from_dense(d).triple) {
+                np_members.entry(out.np_clustering.cluster_of(d)).or_default().push(d);
+            }
+        }
+        let mut rp_members: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+        for d in 0..okb.num_rp_mentions() {
+            if live(TripleId(d as u32)) {
+                rp_members.entry(out.rp_clustering.cluster_of(d)).or_default().push(d);
+            }
+        }
+        for (t, triple) in okb.triples() {
+            if !live(t) {
+                continue;
+            }
+            for (slot, role, text) in [
+                (NpSlot::Subject, "subject", &triple.subject),
+                (NpSlot::Object, "object", &triple.object),
+            ] {
+                if text.to_lowercase() != needle {
+                    continue;
+                }
+                let d = NpMention { triple: t, slot }.dense();
+                let members = &np_members[&out.np_clustering.cluster_of(d)];
+                let mut phrases: Vec<String> = members
+                    .iter()
+                    .map(|&m| okb.np_phrase(NpMention::from_dense(m)).to_string())
+                    .collect();
+                phrases.sort_unstable();
+                phrases.dedup();
+                reports.push(MentionReport {
+                    triple: t,
+                    role,
+                    phrase: text.clone(),
+                    cluster_size: members.len(),
+                    cluster_phrases: phrases,
+                    entity: out.np_links[d],
+                    relation: None,
+                });
+            }
+            if triple.predicate.to_lowercase() == needle {
+                let d = RpMention(t).dense();
+                let members = &rp_members[&out.rp_clustering.cluster_of(d)];
+                let mut phrases: Vec<String> = members
+                    .iter()
+                    .map(|&m| okb.rp_phrase(RpMention(TripleId(m as u32))).to_string())
+                    .collect();
+                phrases.sort_unstable();
+                phrases.dedup();
+                reports.push(MentionReport {
+                    triple: t,
+                    role: "predicate",
+                    phrase: triple.predicate.clone(),
+                    cluster_size: members.len(),
+                    cluster_phrases: phrases,
+                    entity: None,
+                    relation: out.rp_links[d],
+                });
+            }
+        }
+        reports
+    }
+
+    /// Persist the warm session to `path` (see [`snapshot`] for the file
+    /// format). Returns the snapshot size in bytes. All failures carry
+    /// the path ([`KbError::WithPath`]).
+    pub fn snapshot_to(&mut self, path: &Path) -> Result<u64, KbError> {
+        snapshot::save_session(&mut self.inner, path)
+    }
+
+    /// Restore a session persisted with [`ServeSession::snapshot_to`].
+    /// `config` must match the snapshot's fingerprint. The restored
+    /// session resumes with bitwise-identical messages; its last decode
+    /// is reproduced from the restored marginals **without inference**
+    /// ([`IncrementalJocl::decode_current`] — even an
+    /// unconverged-at-snapshot session restores untouched; the next real
+    /// delta re-primes it), so queries work immediately.
+    pub fn restore_from(
+        path: &Path,
+        config: JoclConfig,
+        serve: ServeConfig,
+        ckb: &'a Ckb,
+        signals: &'a Signals,
+    ) -> Result<Self, KbError> {
+        let inner = snapshot::load_session(path, config, ckb, signals)?;
+        let last =
+            if inner.is_empty() { None } else { Some(Self::cache_output(&inner.decode_current())) };
+        Ok(Self { inner, serve, last, ops_applied: 0, compactions: 0 })
+    }
+}

@@ -1,0 +1,233 @@
+//! Snapshot files: the durable envelope around
+//! [`IncrementalJocl::export_state`].
+//!
+//! ```text
+//! ┌──────────────────────────────┐
+//! │ magic  "JOCLSNP1"            │  8 bytes — format + version in one
+//! │ config fingerprint section   │  named scalars, checked field by field
+//! │ payload length + payload     │  IncrementalJocl::export_state bytes
+//! │ FNV-1a checksum of payload   │  torn/corrupt writes fail loudly
+//! └──────────────────────────────┘
+//! ```
+//!
+//! Restore failures are **operational** errors: every one is a typed
+//! [`KbError`] wrapped with the offending file's path
+//! ([`KbError::WithPath`], the same pattern `jocl_core::persist` uses
+//! for weight files), so an operator greps the path out of the error —
+//! never a panic, never silently wrong state. The config fingerprint
+//! pins every scalar that changes inference or decode (variant,
+//! features, blocking caps, LBP tolerances, candidate options…); thread
+//! counts are deliberately excluded — results are thread-invariant, and
+//! restoring on a box with different parallelism is the point of the
+//! exercise.
+
+use jocl_core::{IncrementalJocl, JoclConfig, Signals};
+use jocl_kb::snap::{fnv1a, SnapReader, SnapWriter};
+use jocl_kb::{Ckb, KbError};
+use std::path::Path;
+
+/// File magic; the trailing digit is the format version.
+const MAGIC: &[u8; 8] = b"JOCLSNP1";
+
+/// The config scalars a snapshot is only valid under, as named values.
+/// Floats are fingerprinted by bit pattern: "almost the same tolerance"
+/// is not the same fixed point.
+fn fingerprint(config: &JoclConfig) -> Vec<(&'static str, u64)> {
+    let variant = match config.variant {
+        jocl_core::Variant::Full => 0u64,
+        jocl_core::Variant::CanoOnly => 1,
+        jocl_core::Variant::LinkOnly => 2,
+        jocl_core::Variant::NoConsistency => 3,
+    };
+    let features = match config.features {
+        jocl_core::FeatureSet::Single => 0u64,
+        jocl_core::FeatureSet::Double => 1,
+        jocl_core::FeatureSet::All => 2,
+    };
+    let mode = match config.lbp.mode {
+        jocl_core::ScheduleMode::Synchronous => 0u64,
+        jocl_core::ScheduleMode::Residual => 1,
+    };
+    // Weights are part of the configuration a session is only valid
+    // under: the snapshot carries the *active* params, but a later
+    // compaction rebuilds the session from `config.pretrained_params` —
+    // restoring under different weights must fail at restore time, not
+    // silently switch weight sets at the next compaction.
+    let pretrained = match &config.pretrained_params {
+        None => 0u64,
+        Some(p) => {
+            let mut w = SnapWriter::new();
+            w.usize(p.num_groups());
+            for g in 0..p.num_groups() {
+                w.f64_slice(p.group(g));
+            }
+            fnv1a(&w.into_bytes())
+        }
+    };
+    vec![
+        ("variant", variant),
+        ("features", features),
+        ("pretrained_params", pretrained),
+        ("blocking_threshold", config.blocking_threshold.to_bits()),
+        ("max_triangles", config.max_triangles as u64),
+        ("max_group_clique", config.max_group_clique as u64),
+        ("cross_cap", config.cross_cap as u64),
+        ("merge_by_link", u64::from(config.merge_by_link)),
+        ("lbp_max_iters", config.lbp.max_iters as u64),
+        ("lbp_tol", config.lbp.tol.to_bits()),
+        ("lbp_damping", config.lbp.damping.to_bits()),
+        ("lbp_mode", mode),
+        ("lbp_residual_batch", config.lbp.residual_batch as u64),
+        ("top_k_entities", config.candidates.top_k_entities as u64),
+        ("top_k_relations", config.candidates.top_k_relations as u64),
+        ("cand_min_score", config.candidates.min_score.to_bits()),
+        ("cand_lexical_weight", config.candidates.lexical_weight.to_bits()),
+        ("seed", config.seed),
+    ]
+}
+
+/// Serialize a session into snapshot-file bytes (envelope + payload).
+pub fn session_to_bytes(session: &mut IncrementalJocl<'_>) -> Vec<u8> {
+    let payload = session.export_state();
+    let mut w = SnapWriter::new();
+    w.tag("FPRT");
+    let fp = fingerprint(session.config());
+    w.usize(fp.len());
+    for (name, value) in fp {
+        w.str(name);
+        w.u64(value);
+    }
+    w.usize(payload.len());
+    let mut bytes = Vec::with_capacity(MAGIC.len() + w.len() + payload.len() + 8);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&w.into_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    bytes
+}
+
+/// Rebuild a session from snapshot-file bytes under `config`.
+pub fn session_from_bytes<'a>(
+    bytes: &[u8],
+    config: JoclConfig,
+    ckb: &'a Ckb,
+    signals: &'a Signals,
+) -> Result<IncrementalJocl<'a>, KbError> {
+    let corrupt = |offset: usize, msg: String| KbError::Snapshot { offset, msg };
+    // Sub-readers report offsets relative to the slice they were handed;
+    // shift them so every reported offset is **file-absolute** (the
+    // number an operator can hexdump at).
+    let shift = |e: KbError, by: usize| match e {
+        KbError::Snapshot { offset, msg } => KbError::Snapshot { offset: offset + by, msg },
+        e => e,
+    };
+    if bytes.len() < MAGIC.len() {
+        return Err(corrupt(0, "file shorter than the magic header".into()));
+    }
+    let (magic, rest) = bytes.split_at(MAGIC.len());
+    if magic != MAGIC {
+        return Err(corrupt(
+            0,
+            format!(
+                "bad magic {:?} (expected {:?} — not a snapshot, or a different format version)",
+                String::from_utf8_lossy(magic),
+                String::from_utf8_lossy(MAGIC)
+            ),
+        ));
+    }
+    let mut r = SnapReader::new(rest);
+    let envelope = (|r: &mut SnapReader<'_>| -> Result<usize, KbError> {
+        r.expect_tag("FPRT")?;
+        let expected = fingerprint(&config);
+        let n = r.seq_len(16)?;
+        if n != expected.len() {
+            return Err(r.corrupt(format!(
+                "fingerprint has {n} fields, this build expects {}",
+                expected.len()
+            )));
+        }
+        for (name, value) in &expected {
+            let got_name = r.str()?;
+            let got_value = r.u64()?;
+            if got_name != *name {
+                return Err(r.corrupt(format!(
+                    "fingerprint field {got_name:?} where {name:?} was expected"
+                )));
+            }
+            if got_value != *value {
+                return Err(r.corrupt(format!(
+                    "config mismatch on {name}: snapshot has {got_value}, the supplied config \
+                     has {value} — restore under the configuration the session was running"
+                )));
+            }
+        }
+        r.seq_len(1)
+    })(&mut r)
+    .map_err(|e| shift(e, MAGIC.len()))?;
+    let payload_len = envelope;
+    let payload_start = MAGIC.len() + r.offset();
+    let payload_end = payload_start + payload_len;
+    if payload_end + 8 != bytes.len() {
+        return Err(corrupt(
+            payload_start,
+            format!(
+                "payload of {payload_len} bytes + checksum does not fill the file ({} bytes)",
+                bytes.len()
+            ),
+        ));
+    }
+    let payload = &bytes[payload_start..payload_end];
+    let stored = u64::from_le_bytes(bytes[payload_end..].try_into().expect("8 bytes"));
+    let actual = fnv1a(payload);
+    if stored != actual {
+        return Err(corrupt(
+            payload_end,
+            format!("checksum mismatch (stored {stored:#018x}, computed {actual:#018x}) — torn or corrupted write"),
+        ));
+    }
+    IncrementalJocl::import_state(payload, config, ckb, signals)
+        .map_err(|e| shift(e, payload_start))
+}
+
+/// Write a session snapshot to `path` (atomically: unique temp file +
+/// rename, so a crash mid-write never leaves a half-snapshot under the
+/// final name, and concurrent writers — other processes or other
+/// sessions in this one — never share a temp file). Returns the byte
+/// size. Failures name the file.
+pub fn save_session(session: &mut IncrementalJocl<'_>, path: &Path) -> Result<u64, KbError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let bytes = session_to_bytes(session);
+    let tmp = path.with_extension(format!(
+        "tmp-{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let write = || -> Result<(), std::io::Error> {
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)
+    };
+    write().map_err(|e| {
+        std::fs::remove_file(&tmp).ok();
+        KbError::from(e).with_path(path)
+    })?;
+    Ok(bytes.len() as u64)
+}
+
+/// Read a session snapshot from `path`. Every failure — I/O, bad magic,
+/// fingerprint mismatch, checksum, payload corruption — is wrapped with
+/// the file path.
+pub fn load_session<'a>(
+    path: &Path,
+    config: JoclConfig,
+    ckb: &'a Ckb,
+    signals: &'a Signals,
+) -> Result<IncrementalJocl<'a>, KbError> {
+    let bytes = std::fs::read(path).map_err(|e| KbError::from(e).with_path(path))?;
+    session_from_bytes(&bytes, config, ckb, signals).map_err(|e| match e {
+        // Already wrapped (shouldn't happen from byte-level parsing, but
+        // don't double-wrap defensively).
+        e @ KbError::WithPath { .. } => e,
+        e => e.with_path(path),
+    })
+}
