@@ -1,8 +1,8 @@
 //! **bench-regression** — the CI perf gate.
 //!
-//! Re-times the five hot-path metrics the project optimizes for
+//! Re-times the six hot-path metrics the project optimizes for
 //! (`lbp_sweep`, `graph_build`, `end_to_end`, `delta_ingest`,
-//! `snapshot_restore`) with criterion-style
+//! `snapshot_restore`, `replica_catchup`) with criterion-style
 //! median-of-N wall-clock sampling, then compares them against the
 //! checked-in `BENCH_BASELINE.json` at the repository root. Any metric
 //! slower than `baseline × (1 + tolerance)` fails the process (exit 1),
@@ -170,6 +170,24 @@ fn measure() -> Vec<(&'static str, u64)> {
                 )
                 .expect("snapshot restores"),
             );
+        }),
+    ));
+
+    // replica_catchup: the read-replica warm-boot path — restore the
+    // writer's snapshot, then replay the replication-log tail (the same
+    // 24-triple batch) exactly as the writer applied it. This is what a
+    // `serve --replica` pays on boot instead of a cold rebuild.
+    metrics.push((
+        "replica_catchup",
+        median_ns(9, || {
+            let mut replica = jocl_serve::snapshot::session_from_bytes(
+                &snapshot_bytes,
+                stream_config.clone(),
+                &dataset.ckb,
+                &signals,
+            )
+            .expect("snapshot restores");
+            black_box(replica.apply_delta(&triples[split..]));
         }),
     ));
     metrics

@@ -1,13 +1,25 @@
-//! **serve** — an interactive serving session over a generated OKB:
-//! the `jocl_serve` subsystem driven by a stdin command loop, with
-//! per-operation [`DeltaStats`] lines.
+//! **serve** — the serving plane over a generated OKB: the
+//! `jocl_serve` engine driven from stdin, or — with `JOCL_LISTEN` —
+//! behind the TCP / unix-socket line-protocol front-end, with
+//! `--replica` warm-restoring a read replica that follows the writer's
+//! replication log.
 //!
 //! ```text
+//! # interactive (PR-5 behavior)
 //! JOCL_SCALE=0.002 JOCL_SNAPSHOT_DIR=/tmp/jocl \
 //!     cargo run --release -p jocl_bench --bin serve
+//!
+//! # networked writer
+//! JOCL_LISTEN=unix:/tmp/jocl/serve.sock JOCL_SNAPSHOT_DIR=/tmp/jocl \
+//!     cargo run --release -p jocl_bench --bin serve
+//!
+//! # read replica (same snapshot dir; follows /tmp/jocl/feed.log)
+//! JOCL_LISTEN=tcp:127.0.0.1:7071 JOCL_SNAPSHOT_DIR=/tmp/jocl \
+//!     cargo run --release -p jocl_bench --bin serve -- --replica
 //! ```
 //!
-//! Commands (one per line; blank lines and `#` comments are ignored):
+//! Commands (one per line; blank lines and `#` comments are ignored;
+//! over a socket, responses are framed `OK <n>` / `ERR <code> <msg>`):
 //!
 //! ```text
 //! ingest N                     feed the next N generated triples as adds
@@ -19,87 +31,110 @@
 //! snapshot [PATH]              persist the warm session (default: JOCL_SNAPSHOT_DIR)
 //! restore [PATH]               restart from a snapshot
 //! compact                      rebuild cold from the survivors
-//! quit                         print totals and exit
+//! quit                         close this connection (stdin: exit)
+//! shutdown                     stop the whole server
 //! ```
 //!
 //! Knobs: `JOCL_SCALE`, `JOCL_SEED`, `JOCL_SCHEDULE`,
 //! `JOCL_COMPACT_THRESHOLD` (auto-compaction density, `off` disables),
-//! `JOCL_SNAPSHOT_DIR` (default snapshot location). The inference pool
-//! is the session config's `lbp.threads` (the `jocl_exec` pool), as in
-//! every other bin.
+//! `JOCL_SNAPSHOT_DIR` (snapshot + replication-log directory),
+//! `JOCL_LISTEN` (`tcp:HOST:PORT` / `unix:PATH`, `off` keeps stdin).
+//! The inference pool is the session config's `lbp.threads` (the
+//! `jocl_exec` pool), as in every other bin.
 
-use jocl_bench::runner::{
-    env_compact_threshold, env_scale, env_schedule_mode, env_seed, env_snapshot_dir,
+use jocl_bench::{
+    env_compact_threshold, env_listen, env_scale, env_schedule_mode, env_seed, env_snapshot_dir,
 };
 use jocl_core::signals::build_signals;
-use jocl_core::{DeltaOp, DeltaOutput, JoclConfig};
+use jocl_core::JoclConfig;
 use jocl_datagen::reverb45k_like;
 use jocl_embed::SgnsOptions;
-use jocl_kb::{Triple, TripleId};
-use jocl_serve::{ServeConfig, ServeSession};
+use jocl_kb::Triple;
+use jocl_serve::{
+    parse_command, Command, Engine, EngineOptions, FeedRole, ListenAddr, Response, ServeConfig,
+};
 use std::io::BufRead;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::atomic::AtomicBool;
 
-fn parse_triple(s: &str) -> Result<Triple, String> {
-    let parts: Vec<&str> = s.split('|').map(str::trim).collect();
-    match parts.as_slice() {
-        [s, p, o] if !s.is_empty() && !p.is_empty() && !o.is_empty() => Ok(Triple::new(s, p, o)),
-        _ => Err(format!("expected 'subject | predicate | object', got {s:?}")),
-    }
+fn snapshot_dir() -> PathBuf {
+    env_snapshot_dir()
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("jocl-serve-{}", std::process::id())))
 }
 
-/// `S | P | O` or `#ID` (resolved against the live session). A dead id
-/// is an error — its content may live on under a fresh id after a
-/// re-add, and expanding the reference would silently target that.
-fn parse_triple_ref(session: &ServeSession<'_>, s: &str) -> Result<Triple, String> {
-    let s = s.trim();
-    if let Some(id) = s.strip_prefix('#') {
-        let id: u32 = id.trim().parse().map_err(|_| format!("bad triple id {s:?}"))?;
-        if (id as usize) >= session.session().len() {
-            return Err(format!("triple #{id} does not exist (have {})", session.session().len()));
-        }
-        if !session.session().is_live(TripleId(id)) {
-            return Err(format!("triple #{id} is already retracted"));
-        }
-        return Ok(session.session().okb().triple(TripleId(id)).clone());
-    }
-    parse_triple(s)
-}
-
-fn stats_line(out: &DeltaOutput, ms: f64) {
-    let s = &out.stats;
+fn epilogue(engine: &Engine<'_>) {
     println!(
-        "  +{} -{} ~{} dup {} miss {} | vars+{} factors+{} tomb {} | live {} density {:.3} | \
-         {} msg {} | {:.1} ms{}",
-        s.appended,
-        s.retracted,
-        s.revised,
-        s.duplicates,
-        s.missed_retracts,
-        s.new_vars,
-        s.new_factors,
-        s.tombstoned_factors,
-        s.live_triples,
-        s.tombstone_density,
-        if s.warm_started { "warm" } else { "cold" },
-        s.lbp.message_updates,
-        ms,
-        if s.compacted { " [COMPACTED]" } else { "" }
+        "SERVE ok: {} ops, {} compactions, {} live / {} triples, {} total msg updates",
+        engine.session().ops_applied,
+        engine.session().compactions,
+        engine.session().session().num_live(),
+        engine.session().session().len(),
+        engine.session().session().total_message_updates,
     );
 }
 
-fn default_snapshot_path() -> PathBuf {
-    env_snapshot_dir()
-        .unwrap_or_else(|| std::env::temp_dir().join(format!("jocl-serve-{}", std::process::id())))
-        .join("session.snap")
+/// The PR-5 interactive loop, now a thin shell around the same engine
+/// the socket front-end drives: parse, execute, print the response
+/// payload (errors as their `ERR <code> <msg>` line).
+fn stdin_loop(mut engine: Engine<'_>) {
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        };
+        let cmd = match parse_command(&line) {
+            Ok(None) => continue,
+            Ok(Some(Command::Quit | Command::Shutdown)) => break,
+            Ok(Some(cmd)) => cmd,
+            Err(e) => {
+                println!("{e}");
+                continue;
+            }
+        };
+        match engine.execute_caught(&cmd) {
+            Response::Ok(lines) => {
+                for l in lines {
+                    println!("{l}");
+                }
+            }
+            Response::Err(e) => println!("{e}"),
+        }
+    }
+    epilogue(&engine);
+}
+
+/// The socket front-end: serve until a client sends `shutdown`.
+fn listen_loop(engine: Engine<'_>, addr: &ListenAddr) {
+    let stop = AtomicBool::new(false);
+    let result = jocl_serve::net::serve(engine, addr, &stop, &mut |resolved| {
+        println!("listening on {resolved}");
+    });
+    match result {
+        Ok((engine, stats)) => {
+            println!(
+                "NET ok: {} connections, {} requests, {} errors",
+                stats.connections, stats.requests, stats.errors
+            );
+            epilogue(&engine);
+        }
+        Err(e) => {
+            eprintln!("listener failed on {addr}: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
+    let replica = std::env::args().skip(1).any(|a| a == "--replica");
     let scale = env_scale();
     let seed = env_seed();
     let mode = env_schedule_mode();
     let threshold = env_compact_threshold();
+    let listen = env_listen();
 
     let dataset = reverb45k_like(seed, scale);
     let pool: Vec<Triple> = dataset.okb.triples().map(|(_, t)| t.clone()).collect();
@@ -114,185 +149,49 @@ fn main() {
     config.lbp.mode = mode;
     let serve_config = ServeConfig { compact_threshold: threshold };
 
+    let dir = snapshot_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create snapshot dir {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    let snapshot_path = dir.join("session.snap");
+    let feed_path = dir.join("feed.log");
+
     println!(
         "Serving session over a {}-triple feed (scale {scale}, seed {seed}, {mode:?}, \
-         compact threshold {threshold}); commands: ingest/add/retract/revise/query/stats/\
-         snapshot/restore/compact/quit",
-        pool.len()
+         compact threshold {threshold}, {}); commands: ingest/add/retract/revise/query/stats/\
+         snapshot/restore/compact/quit/shutdown",
+        pool.len(),
+        if replica { "replica" } else { "writer" },
     );
 
-    let mut session =
-        ServeSession::open(config.clone(), serve_config.clone(), &dataset.ckb, &signals);
-    let mut cursor = 0usize; // next unfed generated triple
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(e) => {
-                eprintln!("stdin error: {e}");
-                break;
-            }
+    if replica {
+        let opts = EngineOptions { snapshot_path, feed: FeedRole::Follower(feed_path) };
+        let engine =
+            match Engine::open_replica(config, serve_config, &dataset.ckb, &signals, pool, opts) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("replica warm-boot failed: {e}");
+                    std::process::exit(2);
+                }
+            };
+        println!(
+            "replica warm-boot: {} triples ({} live), feed offset {}",
+            engine.session().session().len(),
+            engine.session().session().num_live(),
+            engine.feed_offset(),
+        );
+        let Some(addr) = listen else {
+            eprintln!("--replica serves over the wire; set JOCL_LISTEN=tcp:HOST:PORT or unix:PATH");
+            std::process::exit(2);
         };
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let (cmd, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
-        let rest = rest.trim();
-        let t0 = Instant::now();
-        match cmd {
-            "ingest" => {
-                let n: usize = match rest.parse() {
-                    Ok(n) => n,
-                    Err(_) => {
-                        println!("error: ingest needs a count, got {rest:?}");
-                        continue;
-                    }
-                };
-                let end = (cursor + n).min(pool.len());
-                let out = session.add_all(&pool[cursor..end]);
-                println!("ingest {} (feed {}..{})", end - cursor, cursor, end);
-                cursor = end;
-                stats_line(&out, t0.elapsed().as_secs_f64() * 1e3);
-            }
-            "add" => match parse_triple(rest) {
-                Ok(t) => {
-                    let out = session.apply(&[DeltaOp::Add(t)]);
-                    stats_line(&out, t0.elapsed().as_secs_f64() * 1e3);
-                }
-                Err(e) => println!("error: {e}"),
-            },
-            "retract" => match parse_triple_ref(&session, rest) {
-                Ok(t) => {
-                    let out = session.apply(&[DeltaOp::Retract(t)]);
-                    stats_line(&out, t0.elapsed().as_secs_f64() * 1e3);
-                }
-                Err(e) => println!("error: {e}"),
-            },
-            "revise" => {
-                let Some((old, new)) = rest.split_once("=>") else {
-                    println!("error: revise needs 'OLD => NEW'");
-                    continue;
-                };
-                match (parse_triple_ref(&session, old), parse_triple(new.trim())) {
-                    (Ok(old), Ok(new)) => {
-                        let out = session.apply(&[DeltaOp::Revise { old, new }]);
-                        stats_line(&out, t0.elapsed().as_secs_f64() * 1e3);
-                    }
-                    (Err(e), _) | (_, Err(e)) => println!("error: {e}"),
-                }
-            }
-            "query" => {
-                let reports = session.query_phrase(rest);
-                if reports.is_empty() {
-                    println!("  no live mention of {rest:?}");
-                }
-                for r in reports {
-                    println!(
-                        "  triple #{} {}: cluster of {} {:?}{}{}",
-                        r.triple.0,
-                        r.role,
-                        r.cluster_size,
-                        r.cluster_phrases,
-                        r.entity.map(|e| format!(" -> entity {}", e.0)).unwrap_or_default(),
-                        r.relation.map(|x| format!(" -> relation {}", x.0)).unwrap_or_default(),
-                    );
-                }
-            }
-            "stats" => {
-                let s = session.session();
-                println!(
-                    "  {} triples ({} live), {} vars, {} factors, density {:.3}, \
-                     {} ops, {} compactions, {} total msg updates",
-                    s.len(),
-                    s.num_live(),
-                    s.num_vars(),
-                    s.num_factors(),
-                    s.tombstone_density(),
-                    session.ops_applied,
-                    session.compactions,
-                    s.total_message_updates,
-                );
-            }
-            "snapshot" => {
-                let path =
-                    if rest.is_empty() { default_snapshot_path() } else { PathBuf::from(rest) };
-                if let Some(dir) = path.parent() {
-                    if let Err(e) = std::fs::create_dir_all(dir) {
-                        println!("error: creating {}: {e}", dir.display());
-                        continue;
-                    }
-                }
-                match session.snapshot_to(&path) {
-                    Ok(bytes) => {
-                        // The feed cursor is a bin concept the snapshot
-                        // cannot carry; persist it in a sidecar so a
-                        // restore resumes the feed exactly (a seen-scan
-                        // fallback breaks once compaction has dropped
-                        // retracted texts).
-                        std::fs::write(path.with_extension("cursor"), cursor.to_string()).ok();
-                        println!(
-                            "  snapshot written: {} ({bytes} bytes, {:.1} ms)",
-                            path.display(),
-                            t0.elapsed().as_secs_f64() * 1e3
-                        );
-                    }
-                    Err(e) => println!("error: {e}"),
-                }
-            }
-            "restore" => {
-                let path =
-                    if rest.is_empty() { default_snapshot_path() } else { PathBuf::from(rest) };
-                match ServeSession::restore_from(
-                    &path,
-                    config.clone(),
-                    serve_config.clone(),
-                    &dataset.ckb,
-                    &signals,
-                ) {
-                    Ok(restored) => {
-                        session = restored;
-                        // Resync the feed cursor: prefer the sidecar the
-                        // snapshot command wrote; fall back to the
-                        // longest feed prefix present in the restored
-                        // store (exact unless a compaction has dropped
-                        // retracted texts — the sidecar covers that).
-                        cursor = std::fs::read_to_string(path.with_extension("cursor"))
-                            .ok()
-                            .and_then(|s| s.trim().parse::<usize>().ok())
-                            .unwrap_or_else(|| {
-                                let seen: std::collections::HashSet<&Triple> =
-                                    session.session().okb().triples().map(|(_, t)| t).collect();
-                                pool.iter().take_while(|t| seen.contains(t)).count()
-                            })
-                            .min(pool.len());
-                        println!(
-                            "  restored warm from {} ({} triples, {} live, feed cursor -> {}, \
-                             {:.1} ms)",
-                            path.display(),
-                            session.session().len(),
-                            session.session().num_live(),
-                            cursor,
-                            t0.elapsed().as_secs_f64() * 1e3
-                        );
-                    }
-                    Err(e) => println!("error: {e}"),
-                }
-            }
-            "compact" => {
-                let out = session.compact();
-                stats_line(&out, t0.elapsed().as_secs_f64() * 1e3);
-            }
-            "quit" | "exit" => break,
-            _ => println!("error: unknown command {cmd:?}"),
+        listen_loop(engine, &addr);
+    } else {
+        let opts = EngineOptions { snapshot_path, feed: FeedRole::Writer(feed_path) };
+        let engine = Engine::open(config, serve_config, &dataset.ckb, &signals, pool, opts);
+        match listen {
+            Some(addr) => listen_loop(engine, &addr),
+            None => stdin_loop(engine),
         }
     }
-    println!(
-        "SERVE ok: {} ops, {} compactions, {} live / {} triples, {} total msg updates",
-        session.ops_applied,
-        session.compactions,
-        session.session().num_live(),
-        session.session().len(),
-        session.session().total_message_updates,
-    );
 }

@@ -1,0 +1,243 @@
+//! The `JOCL_*` environment knobs, consolidated.
+//!
+//! Every bin, gate and bench reads its configuration through these
+//! helpers — one place owns the parsing discipline instead of each
+//! call site growing its own:
+//!
+//! * surrounding whitespace is trimmed and keywords are ASCII
+//!   case-folded (`JOCL_SCHEDULE=Residual`, `" off "` both work);
+//! * empty / blank values mean "unset" (the default applies);
+//! * `off` disables where a knob is disableable;
+//! * anything else invalid **panics loudly listing the valid forms** —
+//!   a typo must never silently select a different configuration.
+//!
+//! | Knob | Meaning | Default |
+//! |---|---|---|
+//! | `JOCL_SCALE` | dataset scale | `0.02` |
+//! | `JOCL_SEED` | generator seed | `42` |
+//! | `JOCL_SCHEDULE` | LBP schedule (`synchronous`/`residual`) | synchronous |
+//! | `JOCL_STREAM_BATCH` | streaming arrival batches | `4` |
+//! | `JOCL_SNAPSHOT_DIR` | warm-snapshot directory | process temp dir |
+//! | `JOCL_COMPACT_THRESHOLD` | auto-compaction density, `off` disables | `0.5` |
+//! | `JOCL_LISTEN` | serve socket (`tcp:HOST:PORT`/`unix:PATH`), `off` disables | stdin loop |
+
+use jocl_core::ScheduleMode;
+use jocl_serve::ListenAddr;
+
+/// `JOCL_SCALE` env var (default 0.02).
+pub fn env_scale() -> f64 {
+    std::env::var("JOCL_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.02)
+}
+
+/// `JOCL_SEED` env var (default 42).
+pub fn env_seed() -> u64 {
+    std::env::var("JOCL_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// `JOCL_SCHEDULE` env var: `residual` selects residual-scheduled message
+/// passing, `synchronous`/`sync` (or unset) the full sweeps. Parsed
+/// case-insensitively with surrounding whitespace trimmed (so
+/// `JOCL_SCHEDULE=Residual` and `JOCL_SCHEDULE=" residual "` both work);
+/// anything else aborts loudly listing the valid values — a typo must
+/// not silently time the wrong engine.
+pub fn env_schedule_mode() -> ScheduleMode {
+    match std::env::var("JOCL_SCHEDULE") {
+        Err(_) => ScheduleMode::Synchronous,
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "" | "sync" | "synchronous" => ScheduleMode::Synchronous,
+            "residual" => ScheduleMode::Residual,
+            _ => panic!("JOCL_SCHEDULE must be 'synchronous' or 'residual', got {v:?}"),
+        },
+    }
+}
+
+/// `JOCL_STREAM_BATCH` env var: how many arrival batches the streaming
+/// replay (`stream` bin, `stream_scale` gate) splits the dataset into.
+/// Default 4; whitespace-tolerant; anything but a positive integer
+/// aborts loudly listing the valid form.
+pub fn env_stream_batches() -> usize {
+    match std::env::var("JOCL_STREAM_BATCH") {
+        Err(_) => 4,
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() {
+                return 4;
+            }
+            match trimmed.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => panic!(
+                    "JOCL_STREAM_BATCH must be a positive integer (number of arrival \
+                     batches), got {v:?}"
+                ),
+            }
+        }
+    }
+}
+
+/// `JOCL_SNAPSHOT_DIR` env var: where the `serve` bin writes/reads warm
+/// session snapshots (and, in listen mode, the replication feed log).
+/// Whitespace-trimmed; unset or empty means "use a process-scoped temp
+/// directory". The serve bin creates the directory on first snapshot;
+/// an uncreatable path fails there with the offending path in the
+/// error, never a silent fallback elsewhere.
+pub fn env_snapshot_dir() -> Option<std::path::PathBuf> {
+    match std::env::var("JOCL_SNAPSHOT_DIR") {
+        Err(_) => None,
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() {
+                None
+            } else {
+                Some(std::path::PathBuf::from(trimmed))
+            }
+        }
+    }
+}
+
+/// `JOCL_COMPACT_THRESHOLD` env var: the tombstone (dead-factor) density
+/// above which the serving session compacts (cold rebuild from the
+/// survivors). Default 0.5; whitespace-tolerant; `off` (case-folded)
+/// disables automatic compaction. Anything else must parse as a finite
+/// number in `[0, 1]` or the process aborts loudly listing the valid
+/// forms — a typo must not silently pick a different compaction policy.
+pub fn env_compact_threshold() -> f64 {
+    match std::env::var("JOCL_COMPACT_THRESHOLD") {
+        Err(_) => 0.5,
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() {
+                return 0.5;
+            }
+            if trimmed.eq_ignore_ascii_case("off") {
+                return f64::INFINITY;
+            }
+            match trimmed.parse::<f64>() {
+                Ok(t) if t.is_finite() && (0.0..=1.0).contains(&t) => t,
+                _ => {
+                    panic!("JOCL_COMPACT_THRESHOLD must be a density in [0, 1] or 'off', got {v:?}")
+                }
+            }
+        }
+    }
+}
+
+/// `JOCL_LISTEN` env var: where the `serve` bin listens for the line
+/// protocol. Unset, blank or `off` (case-folded) means the PR-5
+/// interactive stdin loop; otherwise `tcp:HOST:PORT` or `unix:PATH`
+/// (port 0 picks a free port, reported on startup). A malformed spec
+/// aborts loudly listing the valid forms — a typo must not silently
+/// serve on stdin with no listener.
+pub fn env_listen() -> Option<ListenAddr> {
+    match std::env::var("JOCL_LISTEN") {
+        Err(_) => None,
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("off") {
+                return None;
+            }
+            match ListenAddr::parse(trimmed) {
+                Ok(addr) => Some(addr),
+                Err(e) => {
+                    panic!("JOCL_LISTEN must be 'tcp:HOST:PORT', 'unix:PATH' or 'off': {e}")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite regression: the env knobs must accept mixed case and
+    /// stray whitespace (`JOCL_SCHEDULE=Residual` used to panic), and
+    /// still reject garbage with the typed message listing valid values.
+    /// One sequential test so the process-global env is never torn.
+    #[test]
+    fn env_knobs_trim_and_ignore_case() {
+        let check_schedule = |value: &str, expect: ScheduleMode| {
+            std::env::set_var("JOCL_SCHEDULE", value);
+            assert_eq!(env_schedule_mode(), expect, "JOCL_SCHEDULE={value:?}");
+        };
+        check_schedule("Residual", ScheduleMode::Residual);
+        check_schedule(" residual\t", ScheduleMode::Residual);
+        check_schedule("SYNCHRONOUS", ScheduleMode::Synchronous);
+        check_schedule("  Sync ", ScheduleMode::Synchronous);
+        check_schedule("", ScheduleMode::Synchronous);
+        std::env::set_var("JOCL_SCHEDULE", "residul");
+        let err = std::panic::catch_unwind(env_schedule_mode).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("'synchronous' or 'residual'"), "panic lists valid values: {msg}");
+        std::env::remove_var("JOCL_SCHEDULE");
+        assert_eq!(env_schedule_mode(), ScheduleMode::Synchronous);
+
+        let check_batches = |value: &str, expect: usize| {
+            std::env::set_var("JOCL_STREAM_BATCH", value);
+            assert_eq!(env_stream_batches(), expect, "JOCL_STREAM_BATCH={value:?}");
+        };
+        check_batches("8", 8);
+        check_batches("  16\t", 16);
+        check_batches("", 4);
+        std::env::set_var("JOCL_STREAM_BATCH", "zero");
+        let err = std::panic::catch_unwind(env_stream_batches).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("positive integer"), "panic lists the valid form: {msg}");
+        std::env::set_var("JOCL_STREAM_BATCH", "0");
+        assert!(std::panic::catch_unwind(env_stream_batches).is_err(), "zero batches rejected");
+        std::env::remove_var("JOCL_STREAM_BATCH");
+        assert_eq!(env_stream_batches(), 4);
+
+        // Serving knobs (PR-5 satellites): same trim/case-fold + typed
+        // panic discipline.
+        let check_threshold = |value: &str, expect: f64| {
+            std::env::set_var("JOCL_COMPACT_THRESHOLD", value);
+            assert_eq!(env_compact_threshold(), expect, "JOCL_COMPACT_THRESHOLD={value:?}");
+        };
+        check_threshold("0.25", 0.25);
+        check_threshold(" 0.75\t", 0.75);
+        check_threshold("0", 0.0);
+        check_threshold("1", 1.0);
+        check_threshold("", 0.5);
+        check_threshold("OFF", f64::INFINITY);
+        check_threshold(" off ", f64::INFINITY);
+        for bad in ["1.5", "-0.1", "NaN", "inf", "half"] {
+            std::env::set_var("JOCL_COMPACT_THRESHOLD", bad);
+            let err = std::panic::catch_unwind(env_compact_threshold).unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("[0, 1]"), "{bad:?} must list the valid form: {msg}");
+        }
+        std::env::remove_var("JOCL_COMPACT_THRESHOLD");
+        assert_eq!(env_compact_threshold(), 0.5);
+
+        std::env::set_var("JOCL_SNAPSHOT_DIR", "  /tmp/jocl snapshots ");
+        assert_eq!(
+            env_snapshot_dir(),
+            Some(std::path::PathBuf::from("/tmp/jocl snapshots")),
+            "inner whitespace survives, outer is trimmed"
+        );
+        std::env::set_var("JOCL_SNAPSHOT_DIR", "   ");
+        assert_eq!(env_snapshot_dir(), None, "blank means unset");
+        std::env::remove_var("JOCL_SNAPSHOT_DIR");
+        assert_eq!(env_snapshot_dir(), None);
+
+        // The networked-serving knob (PR-6): same discipline, `off`
+        // keeps the stdin loop.
+        let check_listen = |value: &str, expect: Option<ListenAddr>| {
+            std::env::set_var("JOCL_LISTEN", value);
+            assert_eq!(env_listen(), expect, "JOCL_LISTEN={value:?}");
+        };
+        check_listen("tcp:127.0.0.1:0", Some(ListenAddr::Tcp("127.0.0.1:0".into())));
+        check_listen(" tcp:0.0.0.0:7070\t", Some(ListenAddr::Tcp("0.0.0.0:7070".into())));
+        check_listen("unix:/tmp/jocl.sock", Some(ListenAddr::Unix("/tmp/jocl.sock".into())));
+        check_listen("", None);
+        check_listen("  OFF ", None);
+        for bad in ["7070", "tcp:", "udp:1:2", "unix:"] {
+            std::env::set_var("JOCL_LISTEN", bad);
+            let err = std::panic::catch_unwind(env_listen).unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("tcp:HOST:PORT"), "{bad:?} must list the valid forms: {msg}");
+        }
+        std::env::remove_var("JOCL_LISTEN");
+        assert_eq!(env_listen(), None);
+    }
+}

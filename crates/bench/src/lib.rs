@@ -17,9 +17,11 @@
 //! `1.0` = paper scale), `JOCL_SEED` (default 42). Runs print ASCII tables
 //! that are archived in `EXPERIMENTS.md`.
 
+pub mod env;
 pub mod runner;
 
-pub use runner::{
-    env_compact_threshold, env_scale, env_schedule_mode, env_seed, env_snapshot_dir,
-    ExperimentContext, MethodScores,
+pub use env::{
+    env_compact_threshold, env_listen, env_scale, env_schedule_mode, env_seed, env_snapshot_dir,
+    env_stream_batches,
 };
+pub use runner::{ExperimentContext, MethodScores};

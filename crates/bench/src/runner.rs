@@ -4,108 +4,20 @@
 use jocl_cluster::Clustering;
 use jocl_core::pipeline::ValidationLabels;
 use jocl_core::signals::{build_signals, Signals};
-use jocl_core::{FeatureSet, Jocl, JoclConfig, JoclInput, ScheduleMode, Variant};
+use jocl_core::{FeatureSet, Jocl, JoclConfig, JoclInput, Variant};
 use jocl_datagen::Dataset;
 use jocl_embed::SgnsOptions;
 use jocl_eval::clustering::{evaluate_clustering_on, ClusteringScores};
 use jocl_eval::linking_accuracy;
 use jocl_kb::{EntityId, NpMention, NpSlot, RelationId, RpMention, TripleId};
 
-/// `JOCL_SCALE` env var (default 0.02).
-pub fn env_scale() -> f64 {
-    std::env::var("JOCL_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.02)
-}
-
-/// `JOCL_SEED` env var (default 42).
-pub fn env_seed() -> u64 {
-    std::env::var("JOCL_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
-}
-
-/// `JOCL_SCHEDULE` env var: `residual` selects residual-scheduled message
-/// passing, `synchronous`/`sync` (or unset) the full sweeps. Parsed
-/// case-insensitively with surrounding whitespace trimmed (so
-/// `JOCL_SCHEDULE=Residual` and `JOCL_SCHEDULE=" residual "` both work);
-/// anything else aborts loudly listing the valid values — a typo must
-/// not silently time the wrong engine.
-pub fn env_schedule_mode() -> ScheduleMode {
-    match std::env::var("JOCL_SCHEDULE") {
-        Err(_) => ScheduleMode::Synchronous,
-        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-            "" | "sync" | "synchronous" => ScheduleMode::Synchronous,
-            "residual" => ScheduleMode::Residual,
-            _ => panic!("JOCL_SCHEDULE must be 'synchronous' or 'residual', got {v:?}"),
-        },
-    }
-}
-
-/// `JOCL_STREAM_BATCH` env var: how many arrival batches the streaming
-/// replay (`stream` bin, `stream_scale` gate) splits the dataset into.
-/// Default 4; whitespace-tolerant; anything but a positive integer
-/// aborts loudly listing the valid form.
-pub fn env_stream_batches() -> usize {
-    match std::env::var("JOCL_STREAM_BATCH") {
-        Err(_) => 4,
-        Ok(v) => {
-            let trimmed = v.trim();
-            if trimmed.is_empty() {
-                return 4;
-            }
-            match trimmed.parse::<usize>() {
-                Ok(n) if n >= 1 => n,
-                _ => panic!(
-                    "JOCL_STREAM_BATCH must be a positive integer (number of arrival \
-                     batches), got {v:?}"
-                ),
-            }
-        }
-    }
-}
-
-/// `JOCL_SNAPSHOT_DIR` env var: where the `serve` bin writes/reads warm
-/// session snapshots. Whitespace-trimmed; unset or empty means "use a
-/// process-scoped temp directory". The serve bin creates the directory
-/// on first snapshot; an uncreatable path fails there with the
-/// offending path in the error, never a silent fallback elsewhere.
-pub fn env_snapshot_dir() -> Option<std::path::PathBuf> {
-    match std::env::var("JOCL_SNAPSHOT_DIR") {
-        Err(_) => None,
-        Ok(v) => {
-            let trimmed = v.trim();
-            if trimmed.is_empty() {
-                None
-            } else {
-                Some(std::path::PathBuf::from(trimmed))
-            }
-        }
-    }
-}
-
-/// `JOCL_COMPACT_THRESHOLD` env var: the tombstone (dead-factor) density
-/// above which the serving session compacts (cold rebuild from the
-/// survivors). Default 0.5; whitespace-tolerant; `off` (case-folded)
-/// disables automatic compaction. Anything else must parse as a finite
-/// number in `[0, 1]` or the process aborts loudly listing the valid
-/// forms — a typo must not silently pick a different compaction policy.
-pub fn env_compact_threshold() -> f64 {
-    match std::env::var("JOCL_COMPACT_THRESHOLD") {
-        Err(_) => 0.5,
-        Ok(v) => {
-            let trimmed = v.trim();
-            if trimmed.is_empty() {
-                return 0.5;
-            }
-            if trimmed.eq_ignore_ascii_case("off") {
-                return f64::INFINITY;
-            }
-            match trimmed.parse::<f64>() {
-                Ok(t) if t.is_finite() && (0.0..=1.0).contains(&t) => t,
-                _ => {
-                    panic!("JOCL_COMPACT_THRESHOLD must be a density in [0, 1] or 'off', got {v:?}")
-                }
-            }
-        }
-    }
-}
+// The `JOCL_*` env knobs historically lived here; they are consolidated
+// in [`crate::env`] (PR-6 satellite) and re-exported so every
+// `jocl_bench::runner::env_*` import keeps working.
+pub use crate::env::{
+    env_compact_threshold, env_listen, env_scale, env_schedule_mode, env_seed, env_snapshot_dir,
+    env_stream_batches,
+};
 
 /// One method's clustering scores plus a label.
 pub struct MethodScores {
@@ -258,78 +170,6 @@ mod tests {
             let d = NpMention { triple: t, slot: NpSlot::Subject }.dense();
             assert!(ctx.labels.np_cluster[d].is_none());
         }
-    }
-
-    /// Satellite regression: the env knobs must accept mixed case and
-    /// stray whitespace (`JOCL_SCHEDULE=Residual` used to panic), and
-    /// still reject garbage with the typed message listing valid values.
-    /// One sequential test so the process-global env is never torn.
-    #[test]
-    fn env_knobs_trim_and_ignore_case() {
-        let check_schedule = |value: &str, expect: ScheduleMode| {
-            std::env::set_var("JOCL_SCHEDULE", value);
-            assert_eq!(env_schedule_mode(), expect, "JOCL_SCHEDULE={value:?}");
-        };
-        check_schedule("Residual", ScheduleMode::Residual);
-        check_schedule(" residual\t", ScheduleMode::Residual);
-        check_schedule("SYNCHRONOUS", ScheduleMode::Synchronous);
-        check_schedule("  Sync ", ScheduleMode::Synchronous);
-        check_schedule("", ScheduleMode::Synchronous);
-        std::env::set_var("JOCL_SCHEDULE", "residul");
-        let err = std::panic::catch_unwind(env_schedule_mode).unwrap_err();
-        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("'synchronous' or 'residual'"), "panic lists valid values: {msg}");
-        std::env::remove_var("JOCL_SCHEDULE");
-        assert_eq!(env_schedule_mode(), ScheduleMode::Synchronous);
-
-        let check_batches = |value: &str, expect: usize| {
-            std::env::set_var("JOCL_STREAM_BATCH", value);
-            assert_eq!(env_stream_batches(), expect, "JOCL_STREAM_BATCH={value:?}");
-        };
-        check_batches("8", 8);
-        check_batches("  16\t", 16);
-        check_batches("", 4);
-        std::env::set_var("JOCL_STREAM_BATCH", "zero");
-        let err = std::panic::catch_unwind(env_stream_batches).unwrap_err();
-        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(msg.contains("positive integer"), "panic lists the valid form: {msg}");
-        std::env::set_var("JOCL_STREAM_BATCH", "0");
-        assert!(std::panic::catch_unwind(env_stream_batches).is_err(), "zero batches rejected");
-        std::env::remove_var("JOCL_STREAM_BATCH");
-        assert_eq!(env_stream_batches(), 4);
-
-        // Serving knobs (PR-5 satellites): same trim/case-fold + typed
-        // panic discipline.
-        let check_threshold = |value: &str, expect: f64| {
-            std::env::set_var("JOCL_COMPACT_THRESHOLD", value);
-            assert_eq!(env_compact_threshold(), expect, "JOCL_COMPACT_THRESHOLD={value:?}");
-        };
-        check_threshold("0.25", 0.25);
-        check_threshold(" 0.75\t", 0.75);
-        check_threshold("0", 0.0);
-        check_threshold("1", 1.0);
-        check_threshold("", 0.5);
-        check_threshold("OFF", f64::INFINITY);
-        check_threshold(" off ", f64::INFINITY);
-        for bad in ["1.5", "-0.1", "NaN", "inf", "half"] {
-            std::env::set_var("JOCL_COMPACT_THRESHOLD", bad);
-            let err = std::panic::catch_unwind(env_compact_threshold).unwrap_err();
-            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-            assert!(msg.contains("[0, 1]"), "{bad:?} must list the valid form: {msg}");
-        }
-        std::env::remove_var("JOCL_COMPACT_THRESHOLD");
-        assert_eq!(env_compact_threshold(), 0.5);
-
-        std::env::set_var("JOCL_SNAPSHOT_DIR", "  /tmp/jocl snapshots ");
-        assert_eq!(
-            env_snapshot_dir(),
-            Some(std::path::PathBuf::from("/tmp/jocl snapshots")),
-            "inner whitespace survives, outer is trimmed"
-        );
-        std::env::set_var("JOCL_SNAPSHOT_DIR", "   ");
-        assert_eq!(env_snapshot_dir(), None, "blank means unset");
-        std::env::remove_var("JOCL_SNAPSHOT_DIR");
-        assert_eq!(env_snapshot_dir(), None);
     }
 
     #[test]

@@ -102,3 +102,89 @@ fn serve_runs() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// With `JOCL_LISTEN` the same bin becomes the socket front-end: this
+/// drives the line protocol over a unix socket — framed `OK`/`ERR`
+/// responses, a malformed line surviving as a typed error, `shutdown`
+/// stopping the server — and checks the `NET ok` epilogue.
+#[test]
+#[ignore = "miniature but complete experiment; run with -- --ignored"]
+fn serve_listens() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::process::{Command, Stdio};
+    use std::time::{Duration, Instant};
+
+    let dir = std::env::temp_dir().join(format!("jocl-serve-net-smoke-{}", std::process::id()));
+    let sock = dir.join("serve.sock");
+    std::fs::create_dir_all(&dir).unwrap();
+    let child = Command::new(env!("CARGO_BIN_EXE_serve"))
+        .env("JOCL_SCALE", "0.002")
+        .env("JOCL_SEED", "5")
+        .env("JOCL_TRAIN_EPOCHS", "0")
+        .env("JOCL_SNAPSHOT_DIR", &dir)
+        .env("JOCL_LISTEN", format!("unix:{}", sock.display()))
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+
+    // The world builds before the listener comes up; poll for the socket.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let stream = loop {
+        match UnixStream::connect(&sock) {
+            Ok(s) => break s,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            Err(e) => panic!("serve never listened on {}: {e}", sock.display()),
+        }
+    };
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut stream = stream;
+    let mut request = |line: &str| -> Vec<String> {
+        writeln!(stream, "{line}").unwrap();
+        stream.flush().unwrap();
+        let mut head = String::new();
+        reader.read_line(&mut head).unwrap();
+        let head = head.trim_end().to_string();
+        if let Some(n) = head.strip_prefix("OK ") {
+            let n: usize = n.parse().unwrap_or_else(|_| panic!("bad frame {head:?}"));
+            let mut lines = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut l = String::new();
+                reader.read_line(&mut l).unwrap();
+                lines.push(l.trim_end().to_string());
+            }
+            lines
+        } else {
+            vec![head]
+        }
+    };
+
+    let ingested = request("ingest 20").join("\n");
+    assert!(ingested.contains("ingest 20"), "{ingested}");
+    let added = request("add Acme Corp | be base in | Springfield").join("\n");
+    assert!(added.contains("+1 -0"), "{added}");
+    let err = request("retract #99999").join("\n");
+    assert!(err.starts_with("ERR badid"), "{err}");
+    let err = request("no such command").join("\n");
+    assert!(err.starts_with("ERR unknown"), "{err}");
+    let stats = request("stats").join("\n");
+    assert!(stats.contains("21 triples") && stats.contains("view v"), "{stats}");
+    let query = request("query acme corp").join("\n");
+    assert!(query.contains("Acme Corp"), "{query}");
+    assert_eq!(request("shutdown"), ["shutting down"]);
+
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "serve exited with {:?}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    for expect in ["listening on unix:", "NET ok: 1 connections", "SERVE ok"] {
+        assert!(stdout.contains(expect), "serve output missing {expect:?}:\n{stdout}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,344 @@
+//! The delta-feed log: an append-only file of serving deltas that read
+//! replicas follow.
+//!
+//! The networked serving plane has exactly one writer. Every delta it
+//! commits — one [`DeltaOp`] batch per [`IncrementalJocl::apply_ops`]
+//! call, or a manual compaction — is appended here as a framed record,
+//! and a replica that warm-restored the writer's snapshot replays the
+//! records *after* the snapshot's feed offset to catch up. Because the
+//! warm-start work of a delta depends on its batch boundaries, records
+//! preserve them: a replica that applies the same batches from the same
+//! restored state converges to **bitwise-identical** session state (the
+//! PR-5 `snapshot → restore → delta` contract, applied per record).
+//!
+//! Record framing (all little-endian, via [`jocl_kb::snap`]):
+//!
+//! ```text
+//! ┌────────────────────────────┐
+//! │ magic "FDR1"               │  4 bytes
+//! │ payload length   (u64)     │
+//! │ FNV-1a of payload (u64)    │
+//! │ payload                    │  SnapWriter-encoded FeedEntry
+//! └────────────────────────────┘
+//! ```
+//!
+//! The reader distinguishes a **torn tail** (the writer died or is
+//! still mid-append: fewer bytes than the header + payload promise)
+//! from **corruption** (a complete record whose checksum or framing is
+//! wrong). A torn tail is an operational non-event — the replica simply
+//! stops before it and retries on the next poll — while corruption is a
+//! typed [`KbError`] naming the byte offset, because replaying a
+//! half-trusted log would silently fork the replica.
+//!
+//! [`IncrementalJocl`]: crate::IncrementalJocl
+
+use crate::incremental::DeltaOp;
+use jocl_kb::snap::{fnv1a, SnapReader, SnapWriter};
+use jocl_kb::{KbError, Triple};
+use std::io::Write;
+use std::path::Path;
+
+/// Record magic; the trailing digit is the format version.
+const MAGIC: &[u8; 4] = b"FDR1";
+/// Bytes before the payload: magic + length + checksum.
+const HEADER: usize = 4 + 8 + 8;
+
+/// One replicated event: a delta batch as the writer applied it, or a
+/// manual compaction. (Threshold-triggered auto-compaction is *not* an
+/// event — it is a deterministic function of the config both sides
+/// share, so replicas re-derive it.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeedEntry {
+    /// One `apply_ops` batch, in application order.
+    Ops(Vec<DeltaOp>),
+    /// A manual cold rebuild from the survivors.
+    Compact,
+}
+
+fn write_triple(w: &mut SnapWriter, t: &Triple) {
+    w.str(&t.subject);
+    w.str(&t.predicate);
+    w.str(&t.object);
+}
+
+fn read_triple(r: &mut SnapReader<'_>) -> Result<Triple, KbError> {
+    let subject = r.str()?;
+    let predicate = r.str()?;
+    let object = r.str()?;
+    Ok(Triple { subject, predicate, object })
+}
+
+/// Serialize one entry into a framed record.
+pub fn encode_entry(entry: &FeedEntry) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    match entry {
+        FeedEntry::Compact => w.u64(1),
+        FeedEntry::Ops(ops) => {
+            w.u64(0);
+            w.usize(ops.len());
+            for op in ops {
+                match op {
+                    DeltaOp::Add(t) => {
+                        w.u64(0);
+                        write_triple(&mut w, t);
+                    }
+                    DeltaOp::Retract(t) => {
+                        w.u64(1);
+                        write_triple(&mut w, t);
+                    }
+                    DeltaOp::Revise { old, new } => {
+                        w.u64(2);
+                        write_triple(&mut w, old);
+                        write_triple(&mut w, new);
+                    }
+                }
+            }
+        }
+    }
+    let payload = w.into_bytes();
+    let mut bytes = Vec::with_capacity(HEADER + payload.len());
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+fn decode_payload(payload: &[u8], at: usize) -> Result<FeedEntry, KbError> {
+    // Report offsets file-absolute: `at` is where the payload starts.
+    let shift = |e: KbError| match e {
+        KbError::Snapshot { offset, msg } => KbError::Snapshot { offset: offset + at, msg },
+        e => e,
+    };
+    let mut r = SnapReader::new(payload);
+    let entry = (|r: &mut SnapReader<'_>| -> Result<FeedEntry, KbError> {
+        match r.u64()? {
+            1 => Ok(FeedEntry::Compact),
+            0 => {
+                let n = r.seq_len(8)?;
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let op = match r.u64()? {
+                        0 => DeltaOp::Add(read_triple(r)?),
+                        1 => DeltaOp::Retract(read_triple(r)?),
+                        2 => {
+                            let old = read_triple(r)?;
+                            let new = read_triple(r)?;
+                            DeltaOp::Revise { old, new }
+                        }
+                        k => return Err(r.corrupt(format!("unknown op kind {k}"))),
+                    };
+                    ops.push(op);
+                }
+                Ok(FeedEntry::Ops(ops))
+            }
+            k => Err(r.corrupt(format!("unknown feed-entry kind {k}"))),
+        }
+    })(&mut r)
+    .map_err(shift)?;
+    r.expect_end().map_err(shift)?;
+    Ok(entry)
+}
+
+/// Append one entry to the log at `path` (creating it if absent) and
+/// return the byte offset of the log end after the append — the cursor
+/// a fully-caught-up replica would hold. The record bytes are written
+/// in one `write_all` on an `O_APPEND` handle; a reader polling
+/// concurrently sees either the whole record or a torn tail it skips.
+pub fn append_entry(path: &Path, entry: &FeedEntry) -> Result<u64, KbError> {
+    let with_path = |e: std::io::Error| KbError::from(e).with_path(path);
+    let mut file =
+        std::fs::OpenOptions::new().create(true).append(true).open(path).map_err(with_path)?;
+    file.write_all(&encode_entry(entry)).map_err(with_path)?;
+    file.flush().map_err(with_path)?;
+    Ok(file.metadata().map_err(with_path)?.len())
+}
+
+/// Read every *complete* entry starting at byte `offset`, returning the
+/// entries and the offset just past the last complete record (the next
+/// poll's starting point). A missing file reads as an empty feed at
+/// offset `offset` — the writer simply has not committed anything yet.
+/// A torn tail stops the scan; corruption (bad magic, bad checksum on a
+/// complete record, offsets past the end of the file) is a typed error
+/// naming the log file.
+pub fn read_entries(path: &Path, offset: u64) -> Result<(Vec<FeedEntry>, u64), KbError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            if offset == 0 {
+                return Ok((Vec::new(), 0));
+            }
+            return Err(KbError::from(e).with_path(path));
+        }
+        Err(e) => return Err(KbError::from(e).with_path(path)),
+    };
+    let corrupt = |offset: usize, msg: String| KbError::Snapshot { offset, msg }.with_path(path);
+    let mut pos = usize::try_from(offset)
+        .map_err(|_| corrupt(0, format!("cursor offset {offset} overflows usize")))?;
+    if pos > bytes.len() {
+        return Err(corrupt(
+            pos,
+            format!("cursor offset {pos} is past the end of the {}-byte log", bytes.len()),
+        ));
+    }
+    let mut entries = Vec::new();
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < HEADER {
+            break; // torn (or exactly-consumed) tail
+        }
+        if &rest[..4] != MAGIC {
+            return Err(corrupt(
+                pos,
+                format!(
+                    "bad record magic {:?} (expected {:?}) — cursor desynchronized or log \
+                     corrupted",
+                    String::from_utf8_lossy(&rest[..4]),
+                    String::from_utf8_lossy(MAGIC)
+                ),
+            ));
+        }
+        let len = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes")) as usize;
+        let stored = u64::from_le_bytes(rest[12..20].try_into().expect("8 bytes"));
+        if rest.len() - HEADER < len {
+            break; // torn tail: the writer is mid-append
+        }
+        let payload = &rest[HEADER..HEADER + len];
+        let actual = fnv1a(payload);
+        if stored != actual {
+            return Err(corrupt(
+                pos + HEADER,
+                format!(
+                    "record checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
+                ),
+            ));
+        }
+        entries.push(decode_payload(payload, pos + HEADER).map_err(|e| e.with_path(path))?);
+        pos += HEADER + len;
+    }
+    Ok((entries, pos as u64))
+}
+
+/// Truncate the log to `offset` bytes — the writer calls this when a
+/// `restore` rewinds the session to a snapshot: operations past the
+/// snapshot's feed offset are being discarded, so replicas must never
+/// see them either.
+pub fn truncate_to(path: &Path, offset: u64) -> Result<(), KbError> {
+    let with_path = |e: std::io::Error| KbError::from(e).with_path(path);
+    match std::fs::OpenOptions::new().write(true).open(path) {
+        Ok(file) => file.set_len(offset).map_err(with_path),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound && offset == 0 => Ok(()),
+        Err(e) => Err(with_path(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(s, p, o)
+    }
+
+    fn sample_entries() -> Vec<FeedEntry> {
+        vec![
+            FeedEntry::Ops(vec![
+                DeltaOp::Add(t("albert einstein", "be bear in", "ulm")),
+                DeltaOp::Retract(t("einstein", "live in", "bern")),
+            ]),
+            FeedEntry::Compact,
+            FeedEntry::Ops(vec![DeltaOp::Revise { old: t("a", "b", "c"), new: t("a", "b", "d") }]),
+            FeedEntry::Ops(Vec::new()),
+        ]
+    }
+
+    #[test]
+    fn log_roundtrips_with_incremental_cursors() {
+        let dir = std::env::temp_dir().join(format!("jocl-feed-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("feed.log");
+        std::fs::remove_file(&path).ok();
+
+        // Missing log reads as empty at offset 0.
+        assert_eq!(read_entries(&path, 0).unwrap(), (Vec::new(), 0));
+
+        let entries = sample_entries();
+        let mut offsets = vec![0u64];
+        for e in &entries {
+            offsets.push(append_entry(&path, e).unwrap());
+        }
+        // Full replay.
+        let (all, end) = read_entries(&path, 0).unwrap();
+        assert_eq!(all, entries);
+        assert_eq!(end, *offsets.last().unwrap());
+        // Tail replay from every committed cursor.
+        for (i, &off) in offsets.iter().enumerate() {
+            let (tail, end_i) = read_entries(&path, off).unwrap();
+            assert_eq!(tail, entries[i..]);
+            assert_eq!(end_i, end);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_stops_cleanly_and_corruption_fails_loudly() {
+        let dir = std::env::temp_dir().join(format!("jocl-feed-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("feed.log");
+        std::fs::remove_file(&path).ok();
+        let first = FeedEntry::Ops(vec![DeltaOp::Add(t("x", "y", "z"))]);
+        let mid = append_entry(&path, &first).unwrap();
+        append_entry(&path, &FeedEntry::Compact).unwrap();
+
+        // Tear the second record (simulate a writer killed mid-append):
+        // the reader returns the first and parks the cursor before the
+        // tear, and once the writer finishes the record a re-poll
+        // resumes exactly there.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..mid as usize + HEADER - 3]).unwrap();
+        let (entries, next) = read_entries(&path, 0).unwrap();
+        assert_eq!(entries, vec![first.clone()]);
+        assert_eq!(next, mid);
+        std::fs::write(&path, &full).unwrap();
+        let (entries, next) = read_entries(&path, next).unwrap();
+        assert_eq!(entries, vec![FeedEntry::Compact]);
+        assert_eq!(next, full.len() as u64);
+
+        // A flipped payload bit in a *complete* record is corruption.
+        let mut bad = full.clone();
+        let flip = HEADER + 9; // inside the first record's payload
+        bad[flip] ^= 1;
+        std::fs::write(&path, &bad).unwrap();
+        let msg = read_entries(&path, 0).unwrap_err().to_string();
+        assert!(msg.contains("checksum") && msg.contains("feed.log"), "{msg}");
+
+        // A desynchronized cursor hits non-magic bytes.
+        std::fs::write(&path, &full).unwrap();
+        let msg = read_entries(&path, 2).unwrap_err().to_string();
+        assert!(msg.contains("magic"), "{msg}");
+
+        // A cursor past the end of the log is corruption, not a tail.
+        let msg = read_entries(&path, full.len() as u64 + 40).unwrap_err().to_string();
+        assert!(msg.contains("past the end"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncate_discards_the_tail() {
+        let dir = std::env::temp_dir().join(format!("jocl-feed-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("feed.log");
+        std::fs::remove_file(&path).ok();
+        let first = FeedEntry::Ops(vec![DeltaOp::Add(t("s", "p", "o"))]);
+        let keep = append_entry(&path, &first).unwrap();
+        append_entry(&path, &FeedEntry::Compact).unwrap();
+        truncate_to(&path, keep).unwrap();
+        assert_eq!(read_entries(&path, 0).unwrap(), (vec![first], keep));
+        // Truncating a missing log to 0 is a no-op, to any other offset
+        // an error.
+        std::fs::remove_file(&path).ok();
+        truncate_to(&path, 0).unwrap();
+        assert!(truncate_to(&path, 5).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -33,6 +33,7 @@ pub mod builder;
 pub mod config;
 pub mod decode;
 pub mod example;
+pub mod feed;
 pub mod incremental;
 pub mod persist;
 pub mod pipeline;
@@ -42,6 +43,7 @@ pub use blocking::{block_pairs, Blocking, BlockingDelta, BlockingIndex};
 pub use builder::{build_graph, GraphPlan};
 pub use config::{FeatureSet, JoclConfig, Variant};
 pub use decode::JoclOutput;
+pub use feed::FeedEntry;
 pub use incremental::{DeltaOp, DeltaOutput, DeltaStats, IncrementalJocl};
 pub use jocl_fg::ScheduleMode;
 pub use persist::{load_params, save_params};

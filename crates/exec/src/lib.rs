@@ -94,6 +94,18 @@ struct Shared {
 }
 
 impl Shared {
+    /// Lock the pool state, **recovering** from mutex poisoning. The
+    /// state is a plain counter struct with no invariants that a panic
+    /// mid-critical-section could tear (every field is written atomically
+    /// under the lock, and the panic still propagates to the submitter
+    /// via the `poisoned` flag / unwind). Before this, a single panic
+    /// that poisoned the mutex turned *every* subsequent pool call into
+    /// an `expect` panic — in a server, one bad request would take down
+    /// the listener instead of failing that request.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn new(workers: usize) -> Self {
         Self {
             state: Mutex::new(State {
@@ -135,7 +147,7 @@ impl Shared {
         let mut seen_epoch = 0u64;
         loop {
             let job = {
-                let mut g = self.state.lock().expect("exec pool mutex poisoned");
+                let mut g = self.lock_state();
                 loop {
                     if g.shutdown {
                         return;
@@ -143,13 +155,13 @@ impl Shared {
                     if g.epoch != seen_epoch {
                         break;
                     }
-                    g = self.start_cv.wait(g).expect("exec pool mutex poisoned");
+                    g = self.start_cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
                 seen_epoch = g.epoch;
                 g.job.expect("job must be set for a new epoch")
             };
             self.run_chunks(job);
-            let mut g = self.state.lock().expect("exec pool mutex poisoned");
+            let mut g = self.lock_state();
             g.idle_workers += 1;
             if g.idle_workers == self.workers {
                 self.done_cv.notify_all();
@@ -170,7 +182,7 @@ impl Shared {
         let task = DynTask(f);
         let job = Job { data: (&raw const task).cast(), call: call_dyn };
         {
-            let mut g = self.state.lock().expect("exec pool mutex poisoned");
+            let mut g = self.lock_state();
             debug_assert_eq!(g.idle_workers, self.workers, "pool reentered mid-job");
             self.next_chunk.store(0, Ordering::Relaxed);
             self.n_chunks.store(n_chunks, Ordering::Release);
@@ -181,9 +193,9 @@ impl Shared {
         }
         self.run_chunks(job);
         {
-            let mut g = self.state.lock().expect("exec pool mutex poisoned");
+            let mut g = self.lock_state();
             while g.idle_workers < self.workers {
-                g = self.done_cv.wait(g).expect("exec pool mutex poisoned");
+                g = self.done_cv.wait(g).unwrap_or_else(std::sync::PoisonError::into_inner);
             }
             g.job = None;
         }
@@ -193,7 +205,7 @@ impl Shared {
     }
 
     fn shutdown(&self) {
-        let mut g = self.state.lock().expect("exec pool mutex poisoned");
+        let mut g = self.lock_state();
         g.shutdown = true;
         self.start_cv.notify_all();
     }
@@ -435,6 +447,59 @@ mod tests {
             });
         });
         assert!(caught.is_err());
+    }
+
+    /// The serving regression: a panicking chunk (e.g. one bad LBP block
+    /// inside a server request) must fail *that job* and leave the pool
+    /// fully usable for the next request — not take down the listener.
+    #[test]
+    fn pool_survives_a_failed_job_and_serves_the_next() {
+        with_pool(4, |pool| {
+            for round in 0..3 {
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    pool.chunked_for_each(32, 1, |c, _| {
+                        if c == 9 {
+                            panic!("request {round} exploded");
+                        }
+                    });
+                }));
+                assert!(caught.is_err(), "round {round} must propagate the chunk panic");
+                // The next "request" on the same pool succeeds and still
+                // covers every chunk exactly once.
+                let hits: Vec<AtomicUsize> = (0..48).map(|_| AtomicUsize::new(0)).collect();
+                pool.chunked_for_each(hits.len(), 5, |_, range| {
+                    for i in range {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            }
+        });
+    }
+
+    /// Panic injection for the poisoned-lock path: poison the state
+    /// mutex directly (a panic while holding it), then prove the pool
+    /// recovers the lock and keeps scheduling jobs instead of cascading
+    /// `expect` panics through every later call.
+    #[test]
+    fn poisoned_state_mutex_is_recovered() {
+        with_pool(4, |pool| {
+            let shared = pool.shared.expect("4-thread pool has shared state");
+            std::thread::scope(|s| {
+                let _ = s
+                    .spawn(|| {
+                        let _guard = shared.state.lock().unwrap();
+                        panic!("deliberate poison while holding the state lock");
+                    })
+                    .join();
+            });
+            assert!(shared.state.lock().is_err(), "mutex must actually be poisoned");
+            let total = AtomicU64::new(0);
+            pool.chunked_for_each(64, 8, |_, range| {
+                total.fetch_add(range.len() as u64, Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 64);
+        });
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod candidates;
 pub mod ckb;
 pub mod error;
+pub mod feed;
 pub mod okb;
 pub mod snap;
 pub mod tsv;
@@ -30,4 +31,5 @@ pub mod tsv;
 pub use candidates::{CandidateGen, CandidateOptions};
 pub use ckb::{Ckb, CkbRelation, Entity, EntityId, RelationId};
 pub use error::KbError;
+pub use feed::FeedCursor;
 pub use okb::{NpMention, NpSlot, Okb, RpMention, SideInfo, Triple, TripleId};

@@ -34,17 +34,30 @@
 //! snapshot fingerprints the config so a restore under a different
 //! configuration fails loudly instead of silently diverging.
 //!
-//! The interactive command loop over stdin lives in the `serve` binary
-//! of `jocl_bench` (it needs the dataset generator); the `serve_scale`
-//! gate certifies retraction parity, warm-retract savings and restore
-//! savings at CI scale.
+//! The serve loop itself is transport-agnostic ([`engine::Engine`]
+//! executes parsed [`protocol::Command`]s): the `serve` binary of
+//! `jocl_bench` drives it from stdin or — with `JOCL_LISTEN` — behind
+//! the [`net`] socket front-end, which serves concurrent reads from an
+//! atomically-swapped [`view::ReadView`] while the single writer
+//! applies deltas and feeds read replicas through the [`engine`]'s
+//! replication log. The `serve_scale` and `serve_net` gates certify
+//! retraction parity, warm-restore savings, replica bitwise parity and
+//! serve-loop robustness at CI scale.
 
+pub mod engine;
+pub mod net;
+pub mod protocol;
 pub mod snapshot;
+pub mod view;
+
+pub use engine::{Engine, EngineOptions, FeedRole};
+pub use net::{ListenAddr, NetStats};
+pub use protocol::{parse_command, Command, ErrCode, Response, TripleRef, WireError};
+pub use view::{ReadView, SessionStats, SharedView};
 
 use jocl_cluster::Clustering;
 use jocl_core::{DeltaOp, DeltaOutput, IncrementalJocl, JoclConfig, JoclOutput, Signals};
-use jocl_kb::{Ckb, EntityId, KbError, NpMention, NpSlot, RelationId, RpMention, TripleId};
-use jocl_text::fx::FxHashMap;
+use jocl_kb::{Ckb, EntityId, KbError, RelationId, TripleId};
 use std::path::Path;
 
 /// Serving-layer policy knobs (the model configuration stays in
@@ -207,29 +220,7 @@ impl<'a> ServeSession<'a> {
     /// first delta.
     pub fn live_view(&self) -> Option<LiveView> {
         let out = self.last.as_ref()?;
-        let triples: Vec<TripleId> =
-            (0..self.inner.len() as u32).map(TripleId).filter(|&t| self.inner.is_live(t)).collect();
-        let mut np_links = Vec::with_capacity(triples.len() * 2);
-        let mut rp_links = Vec::with_capacity(triples.len());
-        let mut np_labels = Vec::with_capacity(triples.len() * 2);
-        let mut rp_labels = Vec::with_capacity(triples.len());
-        for &t in &triples {
-            for slot in [NpSlot::Subject, NpSlot::Object] {
-                let d = NpMention { triple: t, slot }.dense();
-                np_links.push(out.np_links[d]);
-                np_labels.push(out.np_clustering.cluster_of(d));
-            }
-            let d = RpMention(t).dense();
-            rp_links.push(out.rp_links[d]);
-            rp_labels.push(out.rp_clustering.cluster_of(d));
-        }
-        Some(LiveView {
-            triples,
-            np_links,
-            rp_links,
-            np_clustering: Clustering::from_labels(&np_labels),
-            rp_clustering: Clustering::from_labels(&rp_labels),
-        })
+        Some(view::live_view_of(self.inner.okb(), &|t| self.inner.is_live(t), out))
     }
 
     /// Every live mention whose phrase equals `phrase`
@@ -237,74 +228,7 @@ impl<'a> ServeSession<'a> {
     /// first delta or when nothing matches.
     pub fn query_phrase(&self, phrase: &str) -> Vec<MentionReport> {
         let Some(out) = self.last.as_ref() else { return Vec::new() };
-        let needle = phrase.trim().to_lowercase();
-        let okb = self.inner.okb();
-        let live = |t: TripleId| self.inner.is_live(t);
-        let mut reports = Vec::new();
-        // Live cluster membership, built in one pass per family (not one
-        // scan per matching mention).
-        let mut np_members: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
-        for d in 0..okb.num_np_mentions() {
-            if live(NpMention::from_dense(d).triple) {
-                np_members.entry(out.np_clustering.cluster_of(d)).or_default().push(d);
-            }
-        }
-        let mut rp_members: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
-        for d in 0..okb.num_rp_mentions() {
-            if live(TripleId(d as u32)) {
-                rp_members.entry(out.rp_clustering.cluster_of(d)).or_default().push(d);
-            }
-        }
-        for (t, triple) in okb.triples() {
-            if !live(t) {
-                continue;
-            }
-            for (slot, role, text) in [
-                (NpSlot::Subject, "subject", &triple.subject),
-                (NpSlot::Object, "object", &triple.object),
-            ] {
-                if text.to_lowercase() != needle {
-                    continue;
-                }
-                let d = NpMention { triple: t, slot }.dense();
-                let members = &np_members[&out.np_clustering.cluster_of(d)];
-                let mut phrases: Vec<String> = members
-                    .iter()
-                    .map(|&m| okb.np_phrase(NpMention::from_dense(m)).to_string())
-                    .collect();
-                phrases.sort_unstable();
-                phrases.dedup();
-                reports.push(MentionReport {
-                    triple: t,
-                    role,
-                    phrase: text.clone(),
-                    cluster_size: members.len(),
-                    cluster_phrases: phrases,
-                    entity: out.np_links[d],
-                    relation: None,
-                });
-            }
-            if triple.predicate.to_lowercase() == needle {
-                let d = RpMention(t).dense();
-                let members = &rp_members[&out.rp_clustering.cluster_of(d)];
-                let mut phrases: Vec<String> = members
-                    .iter()
-                    .map(|&m| okb.rp_phrase(RpMention(TripleId(m as u32))).to_string())
-                    .collect();
-                phrases.sort_unstable();
-                phrases.dedup();
-                reports.push(MentionReport {
-                    triple: t,
-                    role: "predicate",
-                    phrase: triple.predicate.clone(),
-                    cluster_size: members.len(),
-                    cluster_phrases: phrases,
-                    entity: None,
-                    relation: out.rp_links[d],
-                });
-            }
-        }
-        reports
+        view::query_phrase_of(self.inner.okb(), &|t| self.inner.is_live(t), out, phrase)
     }
 
     /// Persist the warm session to `path` (see [`snapshot`] for the file

@@ -1,0 +1,256 @@
+//! The serving read model behind the networked front-end.
+//!
+//! A [`ServeSession`] is single-writer: every delta mutates the factor
+//! graph in place, so readers cannot touch it while a write is in
+//! flight. The network plane therefore serves queries from a
+//! [`ReadView`] — an immutable capture of the last **committed** decode
+//! (cloned OKB + live mask + cached output) — published through a
+//! [`SharedView`]. Publication swaps one `Arc` pointer under a
+//! short-lived lock; readers clone the `Arc` and then work entirely on
+//! immutable data, so a view is observed either wholly pre-delta or
+//! wholly post-delta. A torn view is structurally impossible — there is
+//! no moment at which a reader holds half-updated state.
+//!
+//! The query/live-view logic itself lives in the free functions
+//! [`live_view_of`] and [`query_phrase_of`], shared verbatim between
+//! the in-place session reads ([`ServeSession::query_phrase`]) and the
+//! captured view, so both planes answer identically by construction.
+
+use crate::{LiveView, MentionReport, ServeSession};
+use jocl_cluster::Clustering;
+use jocl_core::JoclOutput;
+use jocl_kb::{NpMention, NpSlot, Okb, RpMention, TripleId};
+use jocl_text::fx::FxHashMap;
+use std::sync::{Arc, RwLock};
+
+/// Session summary served by `stats` (both planes format the same
+/// struct, so writer and view stats lines stay comparable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionStats {
+    /// Total session triples (live + tombstoned).
+    pub triples: usize,
+    /// Live (non-retracted) triples.
+    pub live: usize,
+    /// Factor-graph variables.
+    pub vars: usize,
+    /// Factor-graph factors.
+    pub factors: usize,
+    /// Dead-factor density (compaction pressure).
+    pub tombstone_density: f64,
+    /// Delta operations applied over the session's lifetime.
+    pub ops_applied: u64,
+    /// Automatic + manual compactions.
+    pub compactions: u64,
+    /// Cumulative LBP message updates.
+    pub total_message_updates: u64,
+    /// Committed-write version the stats describe (0 = pristine).
+    pub version: u64,
+    /// Whether the serving plane is a read replica.
+    pub replica: bool,
+}
+
+impl SessionStats {
+    /// Capture the summary of a session at write version `version`.
+    pub fn of(session: &ServeSession<'_>, version: u64, replica: bool) -> Self {
+        let inner = session.session();
+        Self {
+            triples: inner.len(),
+            live: inner.num_live(),
+            vars: inner.num_vars(),
+            factors: inner.num_factors(),
+            tombstone_density: inner.tombstone_density(),
+            ops_applied: session.ops_applied,
+            compactions: session.compactions,
+            total_message_updates: inner.total_message_updates,
+            version,
+            replica,
+        }
+    }
+}
+
+/// An immutable capture of a committed decode, self-contained enough to
+/// answer `query` and `stats` without touching the live session.
+#[derive(Debug, Clone)]
+pub struct ReadView {
+    okb: Okb,
+    live: Vec<bool>,
+    output: Option<JoclOutput>,
+    /// Summary at capture time (carries the view's version).
+    pub stats: SessionStats,
+}
+
+impl ReadView {
+    /// Capture the current committed state of `session`.
+    pub fn capture(session: &ServeSession<'_>, version: u64, replica: bool) -> Self {
+        let inner = session.session();
+        let live: Vec<bool> = (0..inner.len() as u32).map(|i| inner.is_live(TripleId(i))).collect();
+        Self {
+            okb: inner.okb().clone(),
+            live,
+            output: session.last_output().cloned(),
+            stats: SessionStats::of(session, version, replica),
+        }
+    }
+
+    fn is_live(&self, t: TripleId) -> bool {
+        self.live.get(t.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// The live-indexed read model; `None` before the first delta.
+    pub fn live_view(&self) -> Option<LiveView> {
+        let out = self.output.as_ref()?;
+        Some(live_view_of(&self.okb, &|t| self.is_live(t), out))
+    }
+
+    /// Every live mention whose phrase equals `phrase`
+    /// (case-insensitively). Empty before the first delta.
+    pub fn query_phrase(&self, phrase: &str) -> Vec<MentionReport> {
+        let Some(out) = self.output.as_ref() else { return Vec::new() };
+        query_phrase_of(&self.okb, &|t| self.is_live(t), out, phrase)
+    }
+}
+
+/// The atomically-swapped published view: the writer [`store`]s a fresh
+/// capture after each committed write, readers [`load`] an `Arc` and
+/// never block each other or the writer for longer than the pointer
+/// swap.
+///
+/// [`store`]: SharedView::store
+/// [`load`]: SharedView::load
+#[derive(Debug)]
+pub struct SharedView(RwLock<Arc<ReadView>>);
+
+impl SharedView {
+    /// Publish an initial view.
+    pub fn new(view: ReadView) -> Self {
+        Self(RwLock::new(Arc::new(view)))
+    }
+
+    /// The current committed view. The lock is held only for the `Arc`
+    /// clone; all query work happens on the returned immutable view.
+    pub fn load(&self) -> Arc<ReadView> {
+        // A poisoned lock only means a reader/writer panicked while
+        // holding it for the pointer copy — the Arc itself is intact.
+        match self.0.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(p) => Arc::clone(&p.into_inner()),
+        }
+    }
+
+    /// Publish a new committed view (single writer).
+    pub fn store(&self, view: ReadView) {
+        let arc = Arc::new(view);
+        match self.0.write() {
+            Ok(mut g) => *g = arc,
+            Err(p) => *p.into_inner() = arc,
+        }
+    }
+}
+
+/// Shared implementation of [`ServeSession::live_view`]: re-index the
+/// decode over the live triples (survivor `k` gets the dense slots a
+/// batch run on the survivors would assign).
+pub(crate) fn live_view_of(
+    okb: &Okb,
+    is_live: &dyn Fn(TripleId) -> bool,
+    out: &JoclOutput,
+) -> LiveView {
+    let triples: Vec<TripleId> =
+        (0..okb.len() as u32).map(TripleId).filter(|&t| is_live(t)).collect();
+    let mut np_links = Vec::with_capacity(triples.len() * 2);
+    let mut rp_links = Vec::with_capacity(triples.len());
+    let mut np_labels = Vec::with_capacity(triples.len() * 2);
+    let mut rp_labels = Vec::with_capacity(triples.len());
+    for &t in &triples {
+        for slot in [NpSlot::Subject, NpSlot::Object] {
+            let d = NpMention { triple: t, slot }.dense();
+            np_links.push(out.np_links[d]);
+            np_labels.push(out.np_clustering.cluster_of(d));
+        }
+        let d = RpMention(t).dense();
+        rp_links.push(out.rp_links[d]);
+        rp_labels.push(out.rp_clustering.cluster_of(d));
+    }
+    LiveView {
+        triples,
+        np_links,
+        rp_links,
+        np_clustering: Clustering::from_labels(&np_labels),
+        rp_clustering: Clustering::from_labels(&rp_labels),
+    }
+}
+
+/// Shared implementation of [`ServeSession::query_phrase`].
+pub(crate) fn query_phrase_of(
+    okb: &Okb,
+    is_live: &dyn Fn(TripleId) -> bool,
+    out: &JoclOutput,
+    phrase: &str,
+) -> Vec<MentionReport> {
+    let needle = phrase.trim().to_lowercase();
+    let mut reports = Vec::new();
+    // Live cluster membership, built in one pass per family (not one
+    // scan per matching mention).
+    let mut np_members: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+    for d in 0..okb.num_np_mentions() {
+        if is_live(NpMention::from_dense(d).triple) {
+            np_members.entry(out.np_clustering.cluster_of(d)).or_default().push(d);
+        }
+    }
+    let mut rp_members: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
+    for d in 0..okb.num_rp_mentions() {
+        if is_live(TripleId(d as u32)) {
+            rp_members.entry(out.rp_clustering.cluster_of(d)).or_default().push(d);
+        }
+    }
+    for (t, triple) in okb.triples() {
+        if !is_live(t) {
+            continue;
+        }
+        for (slot, role, text) in [
+            (NpSlot::Subject, "subject", &triple.subject),
+            (NpSlot::Object, "object", &triple.object),
+        ] {
+            if text.to_lowercase() != needle {
+                continue;
+            }
+            let d = NpMention { triple: t, slot }.dense();
+            let members = &np_members[&out.np_clustering.cluster_of(d)];
+            let mut phrases: Vec<String> = members
+                .iter()
+                .map(|&m| okb.np_phrase(NpMention::from_dense(m)).to_string())
+                .collect();
+            phrases.sort_unstable();
+            phrases.dedup();
+            reports.push(MentionReport {
+                triple: t,
+                role,
+                phrase: text.clone(),
+                cluster_size: members.len(),
+                cluster_phrases: phrases,
+                entity: out.np_links[d],
+                relation: None,
+            });
+        }
+        if triple.predicate.to_lowercase() == needle {
+            let d = RpMention(t).dense();
+            let members = &rp_members[&out.rp_clustering.cluster_of(d)];
+            let mut phrases: Vec<String> = members
+                .iter()
+                .map(|&m| okb.rp_phrase(RpMention(TripleId(m as u32))).to_string())
+                .collect();
+            phrases.sort_unstable();
+            phrases.dedup();
+            reports.push(MentionReport {
+                triple: t,
+                role: "predicate",
+                phrase: triple.predicate.clone(),
+                cluster_size: members.len(),
+                cluster_phrases: phrases,
+                entity: None,
+                relation: out.rp_links[d],
+            });
+        }
+    }
+    reports
+}
