@@ -24,6 +24,13 @@
 //! and the gate compares *calibrated* ratios:
 //! `(metric / calibration) vs (baseline_metric / baseline_calibration)`.
 //!
+//! Since PR 7 the gate also covers **memory**: `session_heap_bytes`
+//! (accounted resident bytes of the warm serving session) and
+//! `snapshot_bytes` (its snapshot envelope), plus `peak_memory_kb`
+//! (`VmHWM` from `/proc/self/status` where available). Byte counts are
+//! machine-independent, so they are compared **raw** — no calibration
+//! ratio — which makes them the sharpest regression tripwires here.
+//!
 //! Knobs: `JOCL_BENCH_TOLERANCE` (relative slack, default `0.30`;
 //! timings are medians and calibration absorbs first-order machine
 //! differences, so the gate only trips on real regressions) and
@@ -87,14 +94,40 @@ fn build_ring(n: usize) -> (FactorGraph, Params) {
     (g, params)
 }
 
-/// The gated metrics, measured the same way every run.
-fn measure() -> Vec<(&'static str, u64)> {
-    let mut metrics = Vec::new();
+/// Peak resident set of this process in KiB (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux. Recorded after the timed
+/// workloads so it covers the full measured footprint.
+fn peak_memory_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Units-aware push helpers: wall-clock medians compare via the
+/// calibration ratio; byte counts are machine-independent and compare
+/// raw.
+trait PushMetric {
+    fn push_calibrated(&mut self, metric: (&'static str, u64));
+    fn push_raw(&mut self, metric: (&'static str, u64));
+}
+
+impl PushMetric for Vec<(&'static str, u64, bool)> {
+    fn push_calibrated(&mut self, (name, value): (&'static str, u64)) {
+        self.push((name, value, true));
+    }
+    fn push_raw(&mut self, (name, value): (&'static str, u64)) {
+        self.push((name, value, false));
+    }
+}
+
+/// The gated metrics: `(name, value, calibrated)`.
+fn measure() -> Vec<(&'static str, u64, bool)> {
+    let mut metrics: Vec<(&'static str, u64, bool)> = Vec::new();
 
     // lbp_sweep: 10 synchronous iterations over the 400-var ring.
     let (g, params) = build_ring(400);
     let opts = LbpOptions { max_iters: 10, ..Default::default() };
-    metrics.push((
+    metrics.push_calibrated((
         "lbp_sweep",
         median_ns(15, || {
             let mut eng = LbpEngine::new(&g);
@@ -113,7 +146,7 @@ fn measure() -> Vec<(&'static str, u64)> {
     );
     let config = JoclConfig::default();
     let blocking = block_pairs(&dataset.okb, &signals, &config);
-    metrics.push((
+    metrics.push_calibrated((
         "graph_build",
         median_ns(7, || {
             black_box(build_graph(&dataset.okb, &dataset.ckb, &signals, &blocking, &config));
@@ -127,7 +160,7 @@ fn measure() -> Vec<(&'static str, u64)> {
         corpus: &dataset.corpus,
     };
     let e2e_config = JoclConfig { train_epochs: 0, ..Default::default() };
-    metrics.push((
+    metrics.push_calibrated((
         "end_to_end",
         median_ns(7, || {
             black_box(Jocl::new(e2e_config.clone()).run_with_signals(input, &signals, None));
@@ -145,7 +178,7 @@ fn measure() -> Vec<(&'static str, u64)> {
     let mut warm_base =
         jocl_core::IncrementalJocl::new(stream_config.clone(), &dataset.ckb, &signals);
     warm_base.apply_delta(&triples[..split]);
-    metrics.push((
+    metrics.push_calibrated((
         "delta_ingest",
         median_ns(9, || {
             let mut session = warm_base.clone();
@@ -158,7 +191,7 @@ fn measure() -> Vec<(&'static str, u64)> {
     // inference) — the serving restart path whose headline is "≥10x
     // cheaper than a cold build".
     let snapshot_bytes = jocl_serve::snapshot::session_to_bytes(&mut warm_base);
-    metrics.push((
+    metrics.push_calibrated((
         "snapshot_restore",
         median_ns(9, || {
             black_box(
@@ -177,7 +210,7 @@ fn measure() -> Vec<(&'static str, u64)> {
     // writer's snapshot, then replay the replication-log tail (the same
     // 24-triple batch) exactly as the writer applied it. This is what a
     // `serve --replica` pays on boot instead of a cold rebuild.
-    metrics.push((
+    metrics.push_calibrated((
         "replica_catchup",
         median_ns(9, || {
             let mut replica = jocl_serve::snapshot::session_from_bytes(
@@ -190,6 +223,19 @@ fn measure() -> Vec<(&'static str, u64)> {
             black_box(replica.apply_delta(&triples[split..]));
         }),
     ));
+
+    // Memory metrics (raw comparison): the warm serving session's
+    // accounted resident bytes and its snapshot envelope size. Both are
+    // pure functions of the code + workload, so any drift is a real
+    // storage-layer change, not machine noise.
+    metrics.push_raw(("session_heap_bytes", warm_base.heap_bytes() as u64));
+    metrics.push_raw(("snapshot_bytes", snapshot_bytes.len() as u64));
+    if let Some(kb) = peak_memory_kb() {
+        // Peak RSS tracks allocator behaviour too, so it is noisier
+        // than the accounted metrics — still raw (bytes are bytes),
+        // still inside the same tolerance.
+        metrics.push_raw(("peak_memory_kb", kb));
+    }
     metrics
 }
 
@@ -202,15 +248,18 @@ fn baseline_path() -> PathBuf {
 }
 
 /// Serialize metrics as the flat JSON object the gate reads back.
-fn to_json(calibration: u64, metrics: &[(&'static str, u64)]) -> String {
+/// Calibrated metrics keep the `_ns` suffix; raw byte metrics carry
+/// their unit in the name already and get `_raw`.
+fn to_json(calibration: u64, metrics: &[(&'static str, u64, bool)]) -> String {
     let mut out = String::from("{\n");
     out.push_str(
-        "  \"comment\": \"medians in ns, compared per-machine via the calibration ratio; refresh via scripts/update_bench_baseline.sh\",\n",
+        "  \"comment\": \"_ns metrics are medians compared per-machine via the calibration ratio; _raw metrics (bytes) compare raw; refresh via scripts/update_bench_baseline.sh\",\n",
     );
     out.push_str(&format!("  \"calibration_ns\": {calibration},\n"));
-    for (i, (name, ns)) in metrics.iter().enumerate() {
+    for (i, (name, value, calibrated)) in metrics.iter().enumerate() {
         let sep = if i + 1 == metrics.len() { "" } else { "," };
-        out.push_str(&format!("  \"{name}_ns\": {ns}{sep}\n"));
+        let suffix = if *calibrated { "ns" } else { "raw" };
+        out.push_str(&format!("  \"{name}_{suffix}\": {value}{sep}\n"));
     }
     out.push_str("}\n");
     out
@@ -219,8 +268,8 @@ fn to_json(calibration: u64, metrics: &[(&'static str, u64)]) -> String {
 /// Extract `"<name>_ns": <digits>` from the baseline JSON. Hand-rolled
 /// (the offline dependency set has no JSON crate) but strict: a missing
 /// or malformed entry is a hard error, not a silent pass.
-fn parse_baseline(json: &str, name: &str) -> Result<u64, String> {
-    let key = format!("\"{name}_ns\"");
+fn parse_baseline(json: &str, name: &str, suffix: &str) -> Result<u64, String> {
+    let key = format!("\"{name}_{suffix}\"");
     let at = json.find(&key).ok_or_else(|| format!("baseline is missing {key}"))?;
     let rest = &json[at + key.len()..];
     let colon = rest.find(':').ok_or_else(|| format!("no ':' after {key}"))?;
@@ -242,8 +291,9 @@ fn main() {
 
     if update {
         std::fs::write(&path, to_json(calibration, &metrics)).expect("write BENCH_BASELINE.json");
-        for (name, ns) in &metrics {
-            println!("  {name:<12} {ns:>12} ns  (recorded)");
+        for (name, value, calibrated) in &metrics {
+            let unit = if *calibrated { "ns" } else { "" };
+            println!("  {name:<18} {value:>12} {unit:<2} (recorded)");
         }
         println!("baseline written to {}", path.display());
         return;
@@ -255,19 +305,35 @@ fn main() {
             path.display()
         )
     });
-    let base_calibration = parse_baseline(&json, "calibration").unwrap_or_else(|e| panic!("{e}"));
+    let base_calibration =
+        parse_baseline(&json, "calibration", "ns").unwrap_or_else(|e| panic!("{e}"));
     println!(
         "  machine vs baseline machine: {:.2}x (calibrated comparison)",
         calibration as f64 / base_calibration.max(1) as f64
     );
     let mut failed = false;
-    for (name, ns) in &metrics {
-        let base = parse_baseline(&json, name).unwrap_or_else(|e| panic!("{e}"));
+    for (name, value, calibrated) in &metrics {
+        let suffix = if *calibrated { "ns" } else { "raw" };
+        let base = match parse_baseline(&json, name, suffix) {
+            Ok(b) => b,
+            // `peak_memory_kb` only exists on baselines recorded on
+            // Linux; a baseline without it simply doesn't gate it.
+            Err(_) if *name == "peak_memory_kb" => {
+                println!("  {name:<18} {value:>12}     (no baseline entry — skipped)");
+                continue;
+            }
+            Err(e) => panic!("{e}"),
+        };
         // Calibrated ratio: how much slower this metric got relative to
         // how much slower this *machine* is — hardware differences
         // between the baseline recorder and this runner divide out.
-        let ratio = (*ns as f64 / calibration.max(1) as f64)
-            / (base.max(1) as f64 / base_calibration.max(1) as f64);
+        // Byte metrics skip the denominator: bytes are bytes on any box.
+        let ratio = if *calibrated {
+            (*value as f64 / calibration.max(1) as f64)
+                / (base.max(1) as f64 / base_calibration.max(1) as f64)
+        } else {
+            *value as f64 / base.max(1) as f64
+        };
         let verdict = if ratio > 1.0 + tolerance {
             failed = true;
             "REGRESSION"
@@ -276,8 +342,9 @@ fn main() {
         } else {
             "ok"
         };
+        let kind = if *calibrated { "calibrated" } else { "raw" };
         println!(
-            "  {name:<12} {ns:>12} ns  vs baseline {base:>12} ns  (calibrated {ratio:>5.2}x)  {verdict}"
+            "  {name:<18} {value:>12}  vs baseline {base:>12}  ({kind} {ratio:>5.2}x)  {verdict}"
         );
     }
     if failed {

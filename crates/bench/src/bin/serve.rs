@@ -38,12 +38,14 @@
 //! Knobs: `JOCL_SCALE`, `JOCL_SEED`, `JOCL_SCHEDULE`,
 //! `JOCL_COMPACT_THRESHOLD` (auto-compaction density, `off` disables),
 //! `JOCL_SNAPSHOT_DIR` (snapshot + replication-log directory),
-//! `JOCL_LISTEN` (`tcp:HOST:PORT` / `unix:PATH`, `off` keeps stdin).
+//! `JOCL_LISTEN` (`tcp:HOST:PORT` / `unix:PATH`, `off` keeps stdin),
+//! `JOCL_MSG_STORE` (`exact` / `quantized` committed-message arena).
 //! The inference pool is the session config's `lbp.threads` (the
 //! `jocl_exec` pool), as in every other bin.
 
 use jocl_bench::{
-    env_compact_threshold, env_listen, env_scale, env_schedule_mode, env_seed, env_snapshot_dir,
+    env_compact_threshold, env_listen, env_message_store, env_scale, env_schedule_mode, env_seed,
+    env_snapshot_dir,
 };
 use jocl_core::signals::build_signals;
 use jocl_core::JoclConfig;
@@ -64,12 +66,13 @@ fn snapshot_dir() -> PathBuf {
 
 fn epilogue(engine: &Engine<'_>) {
     println!(
-        "SERVE ok: {} ops, {} compactions, {} live / {} triples, {} total msg updates",
+        "SERVE ok: {} ops, {} compactions, {} live / {} triples, {} total msg updates, {} heap KiB",
         engine.session().ops_applied,
         engine.session().compactions,
         engine.session().session().num_live(),
         engine.session().session().len(),
         engine.session().session().total_message_updates,
+        engine.session().session().heap_bytes() / 1024,
     );
 }
 
@@ -147,6 +150,7 @@ fn main() {
     );
     let mut config = JoclConfig { train_epochs: 0, ..Default::default() };
     config.lbp.mode = mode;
+    config.message_store = env_message_store();
     let serve_config = ServeConfig { compact_threshold: threshold };
 
     let dir = snapshot_dir();

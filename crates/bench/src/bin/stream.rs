@@ -13,7 +13,9 @@
 //! with what `JOCL_STREAM_BATCH` cold batch re-runs would have paid, and
 //! exits non-zero on any decode mismatch.
 
-use jocl_bench::runner::{env_scale, env_schedule_mode, env_seed, env_stream_batches};
+use jocl_bench::runner::{
+    env_message_store, env_scale, env_schedule_mode, env_seed, env_stream_batches,
+};
 use jocl_core::signals::build_signals;
 use jocl_core::{IncrementalJocl, Jocl, JoclConfig, JoclInput};
 use jocl_datagen::reverb45k_like;
@@ -44,6 +46,8 @@ fn main() {
     );
     let mut config = JoclConfig { train_epochs: 0, ..Default::default() };
     config.lbp.mode = mode;
+    let store = env_message_store();
+    config.message_store = store;
 
     println!(
         "Streaming ingestion: {} triples ({} distinct) as {batches} arrival batches \
@@ -103,6 +107,11 @@ fn main() {
         cold_total as f64 / session.total_message_updates.max(1) as f64,
         last.stats.lbp.message_updates,
         batch.diagnostics.lbp.message_updates as f64 / last.stats.lbp.message_updates.max(1) as f64,
+    );
+
+    println!(
+        "session heap: {} KiB accounted ({store:?} message store)",
+        session.heap_bytes() / 1024
     );
 
     let parity = last.output.np_links == batch.np_links

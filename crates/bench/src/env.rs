@@ -20,8 +20,10 @@
 //! | `JOCL_SNAPSHOT_DIR` | warm-snapshot directory | process temp dir |
 //! | `JOCL_COMPACT_THRESHOLD` | auto-compaction density, `off` disables | `0.5` |
 //! | `JOCL_LISTEN` | serve socket (`tcp:HOST:PORT`/`unix:PATH`), `off` disables | stdin loop |
+//! | `JOCL_MSG_STORE` | committed-message arena (`exact`/`quantized`) | exact |
 
 use jocl_core::ScheduleMode;
+use jocl_fg::MessageStore;
 use jocl_serve::ListenAddr;
 
 /// `JOCL_SCALE` env var (default 0.02).
@@ -145,6 +147,23 @@ pub fn env_listen() -> Option<ListenAddr> {
     }
 }
 
+/// `JOCL_MSG_STORE` env var: which committed-message representation a
+/// long-lived session keeps between deltas. `exact` (or unset) commits
+/// the engine's f64 arenas bit-for-bit; `quantized` halves their
+/// resident bytes (per-block f64 anchors + f32 residuals). Trimmed and
+/// case-folded; anything else aborts loudly listing the valid values —
+/// a typo must not silently benchmark the wrong arena.
+pub fn env_message_store() -> MessageStore {
+    match std::env::var("JOCL_MSG_STORE") {
+        Err(_) => MessageStore::Exact,
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "" | "exact" => MessageStore::Exact,
+            "quantized" | "quant" => MessageStore::Quantized,
+            _ => panic!("JOCL_MSG_STORE must be 'exact' or 'quantized', got {v:?}"),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,5 +258,21 @@ mod tests {
         }
         std::env::remove_var("JOCL_LISTEN");
         assert_eq!(env_listen(), None);
+
+        // The message-arena knob (PR-7): same discipline.
+        let check_store = |value: &str, expect: MessageStore| {
+            std::env::set_var("JOCL_MSG_STORE", value);
+            assert_eq!(env_message_store(), expect, "JOCL_MSG_STORE={value:?}");
+        };
+        check_store("exact", MessageStore::Exact);
+        check_store(" Quantized\t", MessageStore::Quantized);
+        check_store("QUANT", MessageStore::Quantized);
+        check_store("", MessageStore::Exact);
+        std::env::set_var("JOCL_MSG_STORE", "f32");
+        let err = std::panic::catch_unwind(env_message_store).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("'exact' or 'quantized'"), "panic lists valid values: {msg}");
+        std::env::remove_var("JOCL_MSG_STORE");
+        assert_eq!(env_message_store(), MessageStore::Exact);
     }
 }

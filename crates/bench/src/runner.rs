@@ -15,8 +15,8 @@ use jocl_kb::{EntityId, NpMention, NpSlot, RelationId, RpMention, TripleId};
 // in [`crate::env`] (PR-6 satellite) and re-exported so every
 // `jocl_bench::runner::env_*` import keeps working.
 pub use crate::env::{
-    env_compact_threshold, env_listen, env_scale, env_schedule_mode, env_seed, env_snapshot_dir,
-    env_stream_batches,
+    env_compact_threshold, env_listen, env_message_store, env_scale, env_schedule_mode, env_seed,
+    env_snapshot_dir, env_stream_batches,
 };
 
 /// One method's clustering scores plus a label.

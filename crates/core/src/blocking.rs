@@ -34,12 +34,31 @@
 //! * a token stops proposing candidate phrase pairs once
 //!   [`MAX_TOKEN_DF`] phrases carry it (pairs it proposed earlier
 //!   persist).
+//!
+//! # Memory layout
+//!
+//! At paper scale the blocking index dominated resident memory when it
+//! stored tokens as owned strings and the cumulative pair log as plain
+//! `(u32, u32)` tuples. The index is therefore ID-compressed:
+//!
+//! * all tokens live once in a shared [`jocl_text::Interner`] owned by
+//!   [`BlockingIndex`]; per-phrase token lists are `Vec<Sym>` sorted by
+//!   symbol id, and similarity is a linear merge over two sorted symbol
+//!   runs;
+//! * per-family IDF weights are cached per symbol (`Vec<f64>`, NaN =
+//!   not yet computed) — sound because a session's [`Signals`] are
+//!   frozen, so a token's weight never changes;
+//! * the cumulative pair log is run-encoded bytes: every pair emitted
+//!   by an append is `(b, t)` with the new triple `t` on the right, so
+//!   one append stores one varint run — `t`, a count, then ascending
+//!   delta-coded `b`s — instead of `count` tuples.
 
 use crate::config::JoclConfig;
 use crate::signals::Signals;
 use jocl_kb::{NpSlot, Okb, Triple, TripleId};
 use jocl_text::fx::FxHashMap;
 use jocl_text::tokenize;
+use jocl_text::{Interner, Sym};
 
 /// Blocked mention pairs for the three canonicalization variable
 /// families. Pairs are ordered (`t_i < t_j`) and deduplicated.
@@ -112,6 +131,10 @@ impl BlockingDelta {
 /// construction no matter how arrivals are batched.
 #[derive(Debug, Clone)]
 pub struct BlockingIndex {
+    /// Token arena shared by all three families (subjects and objects
+    /// draw from the same NP vocabulary, so sharing roughly halves the
+    /// distinct-string count versus per-family arenas).
+    interner: Interner,
     subj: FamilyIndex,
     pred: FamilyIndex,
     obj: FamilyIndex,
@@ -124,6 +147,7 @@ impl BlockingIndex {
     /// Empty index under `config`'s caps and threshold.
     pub fn new(config: &JoclConfig) -> Self {
         Self {
+            interner: Interner::new(),
             subj: FamilyIndex::default(),
             pred: FamilyIndex::default(),
             obj: FamilyIndex::default(),
@@ -153,25 +177,46 @@ impl BlockingIndex {
             cross: self.cross_cap,
         };
         BlockingDelta {
-            subj_pairs: self.subj.append(t, triple.subject.to_lowercase(), &signals.idf_np, caps),
+            subj_pairs: self.subj.append(
+                t,
+                triple.subject.to_lowercase(),
+                &signals.idf_np,
+                &mut self.interner,
+                caps,
+            ),
             pred_pairs: self.pred.append(
                 t,
                 jocl_text::normalize::morph_normalize_rp(&triple.predicate),
                 &signals.idf_rp,
+                &mut self.interner,
                 caps,
             ),
-            obj_pairs: self.obj.append(t, triple.object.to_lowercase(), &signals.idf_np, caps),
+            obj_pairs: self.obj.append(
+                t,
+                triple.object.to_lowercase(),
+                &signals.idf_np,
+                &mut self.interner,
+                caps,
+            ),
         }
     }
 
     /// Serialize the full blocking state into a snapshot section. The
-    /// per-phrase token lists and the token inverted index are *not*
-    /// written — both are pure functions of the phrase texts and are
-    /// rebuilt on import — but owners, threshold-passing links and the
-    /// cumulative pair log are arrival-time decisions and are part of
-    /// the state.
+    /// shared token interner **is** written: symbol-id assignment depends
+    /// on how arrivals interleaved across the three families, so
+    /// re-interning on import would reassign ids and break the
+    /// restored-versus-uninterrupted parity contract. Per-phrase token
+    /// lists, the token inverted indexes and the IDF weight caches are
+    /// *not* written — they are pure functions of the phrase texts and
+    /// the restored interner — but owners, threshold-passing links and
+    /// the run-encoded pair logs are arrival-time decisions and are part
+    /// of the state.
     pub fn export_state(&self, w: &mut jocl_kb::snap::SnapWriter) {
         w.tag("BLK");
+        w.usize(self.interner.len());
+        for (_, s) in self.interner.iter() {
+            w.str(s);
+        }
         for fam in [&self.subj, &self.pred, &self.obj] {
             fam.export_state(w);
         }
@@ -186,10 +231,19 @@ impl BlockingIndex {
         num_triples: usize,
     ) -> Result<Self, jocl_kb::KbError> {
         r.expect_tag("BLK")?;
-        let subj = FamilyIndex::import_state(r, num_triples)?;
-        let pred = FamilyIndex::import_state(r, num_triples)?;
-        let obj = FamilyIndex::import_state(r, num_triples)?;
+        let n = r.seq_len(8)?;
+        let mut interner = Interner::with_capacity(n);
+        for i in 0..n {
+            let s = r.str()?;
+            if interner.intern(&s).idx() != i {
+                return Err(r.corrupt(format!("duplicate interned token {s:?}")));
+            }
+        }
+        let subj = FamilyIndex::import_state(r, &interner, num_triples)?;
+        let pred = FamilyIndex::import_state(r, &interner, num_triples)?;
+        let obj = FamilyIndex::import_state(r, &interner, num_triples)?;
         Ok(Self {
+            interner,
             subj,
             pred,
             obj,
@@ -201,8 +255,8 @@ impl BlockingIndex {
 
     /// The cumulative pair set, sorted per family.
     pub fn blocking(&self) -> Blocking {
-        let sorted = |v: &Vec<(TripleId, TripleId)>| {
-            let mut v = v.clone();
+        let sorted = |log: &PairLog| {
+            let mut v = log.decode().expect("pair log is self-produced or import-validated");
             v.sort_unstable();
             v
         };
@@ -211,6 +265,16 @@ impl BlockingIndex {
             pred_pairs: sorted(&self.pred.pairs),
             obj_pairs: sorted(&self.obj.pairs),
         }
+    }
+
+    /// Resident heap bytes: the shared token interner plus the three
+    /// family indexes (phrase entries, text map, token inverted index,
+    /// lazy IDF weight caches and the run-encoded pair logs).
+    pub fn heap_bytes(&self) -> usize {
+        self.interner.heap_bytes()
+            + self.subj.heap_bytes()
+            + self.pred.heap_bytes()
+            + self.obj.heap_bytes()
     }
 }
 
@@ -226,10 +290,13 @@ struct Caps {
 struct PhraseEntry {
     /// Triples carrying the phrase, in arrival (= id) order.
     owners: Vec<TripleId>,
-    /// Sorted, deduplicated tokens.
-    tokens: Vec<String>,
+    /// Deduplicated tokens, sorted by symbol id (similarity is a merge
+    /// over two such runs).
+    tokens: Vec<Sym>,
     /// Phrase ids whose IDF similarity passed the threshold when one of
-    /// the two phrases arrived.
+    /// the two phrases arrived. Ascending by construction: a phrase's
+    /// initial links are sorted earlier ids, and every later link is
+    /// pushed by a newly arriving phrase with a larger id.
     links: Vec<u32>,
 }
 
@@ -238,73 +305,90 @@ struct PhraseEntry {
 struct FamilyIndex {
     phrases: Vec<PhraseEntry>,
     by_text: FxHashMap<String, u32>,
-    /// token → phrase ids carrying it (arrival order).
-    token_index: FxHashMap<String, Vec<u32>>,
-    /// Cumulative emitted pairs (unsorted; no duplicates by construction).
-    pairs: Vec<(TripleId, TripleId)>,
+    /// token symbol → phrase ids carrying it (arrival order).
+    token_index: FxHashMap<Sym, Vec<u32>>,
+    /// Lazy per-symbol IDF weight cache (NaN = not yet computed).
+    /// Transient: sound because the session's signals are frozen, and
+    /// rebuilt on demand after an import.
+    weights: Vec<f64>,
+    /// Cumulative emitted pairs (run-encoded; no duplicates by
+    /// construction).
+    pairs: PairLog,
 }
 
 impl FamilyIndex {
     /// Serialize this family: phrase texts (in id order) with owners and
-    /// links, plus the cumulative pair log.
+    /// links, plus the run-encoded pair log.
     fn export_state(&self, w: &mut jocl_kb::snap::SnapWriter) {
         let mut texts: Vec<Option<&str>> = vec![None; self.phrases.len()];
         for (text, &pi) in &self.by_text {
             texts[pi as usize] = Some(text);
         }
         w.usize(self.phrases.len());
+        let mut ids: Vec<u32> = Vec::new();
         for (pi, p) in self.phrases.iter().enumerate() {
             w.str(texts[pi].expect("every phrase id has a by_text entry"));
-            w.usize(p.owners.len());
-            for t in &p.owners {
-                w.u32(t.0);
-            }
-            w.u32_slice(&p.links);
+            ids.clear();
+            ids.extend(p.owners.iter().map(|t| t.0));
+            w.u32_slice_delta(&ids);
+            w.u32_slice_delta(&p.links);
         }
-        w.usize(self.pairs.len());
-        for &(a, b) in &self.pairs {
-            w.u32(a.0);
-            w.u32(b.0);
-        }
+        w.usize(self.pairs.len);
+        w.bytes(&self.pairs.bytes);
     }
 
-    /// Inverse of [`FamilyIndex::export_state`]; tokens and the token
-    /// inverted index are recomputed from the phrase texts.
+    /// Inverse of [`FamilyIndex::export_state`]; tokens, the token
+    /// inverted index and the weight cache are recomputed from the
+    /// phrase texts and the restored interner.
     fn import_state(
         r: &mut jocl_kb::snap::SnapReader<'_>,
+        interner: &Interner,
         num_triples: usize,
     ) -> Result<Self, jocl_kb::KbError> {
-        let n = r.seq_len(24)?;
+        let n = r.seq_len(10)?;
         let mut fam = FamilyIndex::default();
         for pi in 0..n {
             let text = r.str()?;
-            let owners: Vec<TripleId> =
-                (0..r.seq_len(8)?).map(|_| r.u32().map(TripleId)).collect::<Result<_, _>>()?;
-            let links = r.u32_vec()?;
-            if let Some(bad) = owners.iter().find(|t| t.idx() >= num_triples) {
-                return Err(r.corrupt(format!("owner triple {} out of range", bad.0)));
+            let owner_ids = r.u32_vec_delta()?;
+            let links = r.u32_vec_delta()?;
+            if let Some(&bad) = owner_ids.iter().find(|&&t| t as usize >= num_triples) {
+                return Err(r.corrupt(format!("owner triple {bad} out of range")));
+            }
+            if owner_ids.windows(2).any(|w| w[0] == w[1]) {
+                return Err(r.corrupt(format!("duplicate owner in phrase {pi}")));
             }
             if let Some(&bad) = links.iter().find(|&&l| l as usize >= n) {
                 return Err(r.corrupt(format!("phrase link {bad} out of range")));
             }
-            let mut tokens = tokenize(&text);
+            if links.windows(2).any(|w| w[0] == w[1]) {
+                return Err(r.corrupt(format!("duplicate link in phrase {pi}")));
+            }
+            let mut tokens = Vec::new();
+            for tok in tokenize(&text) {
+                match interner.get(&tok) {
+                    Some(sym) => tokens.push(sym),
+                    None => return Err(r.corrupt(format!("phrase token {tok:?} not interned"))),
+                }
+            }
             tokens.sort_unstable();
             tokens.dedup();
-            for tok in &tokens {
-                fam.token_index.entry(tok.clone()).or_default().push(pi as u32);
+            for &tok in &tokens {
+                fam.token_index.entry(tok).or_default().push(pi as u32);
             }
             if fam.by_text.insert(text, pi as u32).is_some() {
                 return Err(r.corrupt(format!("duplicate phrase text for id {pi}")));
             }
+            let owners = owner_ids.into_iter().map(TripleId).collect();
             fam.phrases.push(PhraseEntry { owners, tokens, links });
         }
-        for _ in 0..r.seq_len(16)? {
-            let (a, b) = (r.u32()?, r.u32()?);
-            if a as usize >= num_triples || b as usize >= num_triples {
-                return Err(r.corrupt(format!("pair ({a}, {b}) out of range")));
-            }
-            fam.pairs.push((TripleId(a), TripleId(b)));
+        let len = r.seq_len(1)?;
+        let bytes = r.bytes()?;
+        let pairs = PairLog { bytes, len };
+        let decoded = pairs.decode().map_err(|e| r.corrupt(e))?;
+        if let Some(&(_, b)) = decoded.iter().find(|&&(_, b)| b.idx() >= num_triples) {
+            return Err(r.corrupt(format!("pair triple {} out of range", b.0)));
         }
+        fam.pairs = pairs;
         Ok(fam)
     }
 
@@ -314,6 +398,7 @@ impl FamilyIndex {
         t: TripleId,
         key: String,
         idf: &jocl_text::IdfIndex,
+        interner: &mut Interner,
         caps: Caps,
     ) -> Vec<(TripleId, TripleId)> {
         let ordered = |a: TripleId, b: TripleId| if a.0 < b.0 { (a, b) } else { (b, a) };
@@ -343,7 +428,8 @@ impl FamilyIndex {
                 self.phrases[pi].owners.push(t);
             }
             None => {
-                let mut tokens = tokenize(&key);
+                let mut tokens: Vec<Sym> =
+                    tokenize(&key).iter().map(|tok| interner.intern(tok)).collect();
                 tokens.sort_unstable();
                 tokens.dedup();
                 // Candidate phrases through shared non-hub tokens. A
@@ -351,7 +437,7 @@ impl FamilyIndex {
                 // MAX_TOKEN_DF at arrival time (monotone hub-out).
                 let mut cands: Vec<u32> = Vec::new();
                 for tok in &tokens {
-                    if let Some(list) = self.token_index.get(tok.as_str()) {
+                    if let Some(list) = self.token_index.get(tok) {
                         if list.len() < MAX_TOKEN_DF {
                             cands.extend_from_slice(list);
                         }
@@ -362,7 +448,13 @@ impl FamilyIndex {
                 let pi = self.phrases.len() as u32;
                 let mut links: Vec<u32> = Vec::new();
                 for pb in cands {
-                    let sim = idf.sim_tokens(&tokens, &self.phrases[pb as usize].tokens);
+                    let sim = sim_cached(
+                        &tokens,
+                        &self.phrases[pb as usize].tokens,
+                        &mut self.weights,
+                        interner,
+                        idf,
+                    );
                     if sim < caps.threshold {
                         continue;
                     }
@@ -373,8 +465,8 @@ impl FamilyIndex {
                         fresh.push(ordered(t, b));
                     }
                 }
-                for tok in &tokens {
-                    self.token_index.entry(tok.clone()).or_default().push(pi);
+                for &tok in &tokens {
+                    self.token_index.entry(tok).or_default().push(pi);
                 }
                 self.by_text.insert(key, pi);
                 self.phrases.push(PhraseEntry { owners: vec![t], tokens, links });
@@ -382,8 +474,188 @@ impl FamilyIndex {
         }
         fresh.sort_unstable();
         fresh.dedup();
-        self.pairs.extend_from_slice(&fresh);
+        if !fresh.is_empty() {
+            self.pairs.push_run(t, &fresh);
+        }
         fresh
+    }
+
+    /// Resident heap bytes of this family.
+    fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let phrase_heap: usize = self
+            .phrases
+            .iter()
+            .map(|p| {
+                p.owners.capacity() * size_of::<TripleId>()
+                    + p.tokens.capacity() * size_of::<Sym>()
+                    + p.links.capacity() * size_of::<u32>()
+            })
+            .sum();
+        self.phrases.capacity() * size_of::<PhraseEntry>()
+            + phrase_heap
+            + self.by_text.capacity() * (size_of::<String>() + size_of::<u32>() + 1)
+            + self.by_text.keys().map(|k| k.capacity()).sum::<usize>()
+            + self.token_index.capacity() * (size_of::<Sym>() + size_of::<Vec<u32>>() + 1)
+            + self.token_index.values().map(|v| v.capacity() * size_of::<u32>()).sum::<usize>()
+            + self.weights.capacity() * size_of::<f64>()
+            + self.pairs.heap_bytes()
+    }
+}
+
+/// `Sim_idf` over two symbol runs sorted by id: a linear merge, reading
+/// per-token weights through the family's lazy cache. Matches
+/// [`jocl_text::IdfIndex::sim_tokens`] up to floating-point summation
+/// order (the merge sums in symbol order, not lexicographic order).
+fn sim_cached(
+    wa: &[Sym],
+    wb: &[Sym],
+    weights: &mut Vec<f64>,
+    interner: &Interner,
+    idf: &jocl_text::IdfIndex,
+) -> f64 {
+    if wa.is_empty() || wb.is_empty() {
+        return 0.0;
+    }
+    let mut w = |s: Sym| {
+        if s.idx() >= weights.len() {
+            weights.resize(s.idx() + 1, f64::NAN);
+        }
+        if weights[s.idx()].is_nan() {
+            weights[s.idx()] = idf.weight(interner.resolve(s));
+        }
+        weights[s.idx()]
+    };
+    let (mut inter, mut union) = (0.0, 0.0);
+    let (mut i, mut j) = (0, 0);
+    while i < wa.len() && j < wb.len() {
+        match wa[i].cmp(&wb[j]) {
+            std::cmp::Ordering::Less => {
+                union += w(wa[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                union += w(wb[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let x = w(wa[i]);
+                inter += x;
+                union += x;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &s in &wa[i..] {
+        union += w(s);
+    }
+    for &s in &wb[j..] {
+        union += w(s);
+    }
+    if union <= 0.0 {
+        0.0
+    } else {
+        inter / union
+    }
+}
+
+/// Run-encoded cumulative pair log. Every pair a [`FamilyIndex::append`]
+/// emits has the newly appended triple on the right, so one append is one
+/// run: varint `t`, varint count, then the ascending left-hand ids
+/// delta-coded (first id raw, then gaps).
+#[derive(Debug, Clone, Default)]
+struct PairLog {
+    bytes: Vec<u8>,
+    /// Total pairs across all runs.
+    len: usize,
+}
+
+impl PairLog {
+    /// Append one run: the pairs `(b, t)` for each `b` in `fresh` (which
+    /// is sorted, deduplicated, and entirely left of `t`).
+    fn push_run(&mut self, t: TripleId, fresh: &[(TripleId, TripleId)]) {
+        push_vu64(&mut self.bytes, u64::from(t.0));
+        push_vu64(&mut self.bytes, fresh.len() as u64);
+        let mut prev = 0u32;
+        for (i, &(b, hi)) in fresh.iter().enumerate() {
+            debug_assert_eq!(hi, t, "every emitted pair carries the new triple on the right");
+            let d = if i == 0 { b.0 } else { b.0 - prev };
+            push_vu64(&mut self.bytes, u64::from(d));
+            prev = b.0;
+        }
+        self.len += fresh.len();
+    }
+
+    /// Decode all runs back to `(b, t)` pairs, in emission order.
+    /// Validates structure (ascending `b < t`, declared count) so import
+    /// can reject corrupt logs with a typed error instead of panicking.
+    fn decode(&self) -> Result<Vec<(TripleId, TripleId)>, String> {
+        let mut out = Vec::with_capacity(self.len.min(self.bytes.len()));
+        let mut pos = 0;
+        while pos < self.bytes.len() {
+            let t = u32::try_from(read_vu64(&self.bytes, &mut pos)?)
+                .map_err(|_| "pair run id exceeds u32".to_string())?;
+            let count = read_vu64(&self.bytes, &mut pos)?;
+            let mut b = 0u64;
+            for i in 0..count {
+                let d = read_vu64(&self.bytes, &mut pos)?;
+                if i > 0 && d == 0 {
+                    return Err(format!("duplicate pair in run for {t}"));
+                }
+                b = if i == 0 {
+                    d
+                } else {
+                    b.checked_add(d).ok_or_else(|| format!("pair run for {t} overflows"))?
+                };
+                if b >= u64::from(t) {
+                    return Err(format!("pair run for {t} climbs to {b}"));
+                }
+                out.push((TripleId(b as u32), TripleId(t)));
+            }
+        }
+        if out.len() != self.len {
+            return Err(format!("pair log holds {} pairs, declared {}", out.len(), self.len));
+        }
+        Ok(out)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.bytes.capacity()
+    }
+}
+
+/// LEB128-append `v` to `out`.
+fn push_vu64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// LEB128-read one value from `bytes` at `*pos`, advancing it.
+fn read_vu64(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if shift >= 64 {
+            return Err("pair log varint too long".to_string());
+        }
+        let &b = bytes.get(*pos).ok_or_else(|| "pair log truncated".to_string())?;
+        *pos += 1;
+        if shift == 63 && (b & 0x7f) > 1 {
+            return Err("pair log varint exceeds u64".to_string());
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
     }
 }
 
@@ -581,5 +853,88 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Exporting mid-stream, importing, and continuing must be
+    /// indistinguishable from never stopping — including the re-exported
+    /// bytes, which is what the session snapshot parity tests lean on.
+    /// This is why the shared interner is serialized: re-interning on
+    /// import would reassign symbol ids by family instead of by arrival
+    /// interleaving.
+    #[test]
+    fn import_resumes_bitwise_identical_to_uninterrupted() {
+        let mut okb = Okb::new();
+        for i in 0..10 {
+            okb.add_triple(Triple::new(
+                &format!("University of State {i}"),
+                "be a member of",
+                "Universitas 21",
+            ));
+            okb.add_triple(Triple::new("Warren Buffett", &format!("rel {i}"), "Omaha"));
+        }
+        let s = signals(&okb);
+        let config = JoclConfig::default();
+
+        let mut uninterrupted = BlockingIndex::new(&config);
+        let mut resumed: Option<BlockingIndex> = None;
+        for (t, triple) in okb.triples() {
+            let want = uninterrupted.append_triple(t, triple, &s);
+            if let Some(idx) = resumed.as_mut() {
+                let got = idx.append_triple(t, triple, &s);
+                assert_eq!(got.subj_pairs, want.subj_pairs, "delta diverged at {t:?}");
+                assert_eq!(got.pred_pairs, want.pred_pairs, "delta diverged at {t:?}");
+                assert_eq!(got.obj_pairs, want.obj_pairs, "delta diverged at {t:?}");
+            }
+            if t.idx() == 9 {
+                let mut w = jocl_kb::snap::SnapWriter::new();
+                uninterrupted.export_state(&mut w);
+                let bytes = w.into_bytes();
+                let mut r = jocl_kb::snap::SnapReader::new(&bytes);
+                resumed = Some(BlockingIndex::import_state(&mut r, &config, okb.len()).unwrap());
+            }
+        }
+        let resumed = resumed.expect("snapshot point was reached");
+        let mut wa = jocl_kb::snap::SnapWriter::new();
+        uninterrupted.export_state(&mut wa);
+        let mut wb = jocl_kb::snap::SnapWriter::new();
+        resumed.export_state(&mut wb);
+        assert_eq!(wa.into_bytes(), wb.into_bytes(), "re-export must be bit-identical");
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_content() {
+        let okb = okb();
+        let s = signals(&okb);
+        let mut index = BlockingIndex::new(&JoclConfig::default());
+        let empty = index.heap_bytes();
+        for (t, triple) in okb.triples() {
+            index.append_triple(t, triple, &s);
+        }
+        assert!(index.heap_bytes() > empty, "appending triples must grow the accounted heap");
+    }
+
+    #[test]
+    fn corrupt_blocking_sections_are_typed_errors() {
+        let okb = okb();
+        let s = signals(&okb);
+        let config = JoclConfig::default();
+        let mut index = BlockingIndex::new(&config);
+        for (t, triple) in okb.triples() {
+            index.append_triple(t, triple, &s);
+        }
+        let mut w = jocl_kb::snap::SnapWriter::new();
+        index.export_state(&mut w);
+        let bytes = w.into_bytes();
+        // Sanity: intact bytes import.
+        let mut r = jocl_kb::snap::SnapReader::new(&bytes);
+        BlockingIndex::import_state(&mut r, &config, okb.len()).unwrap();
+        // Truncations at every prefix are typed errors, never panics.
+        for cut in 0..bytes.len() {
+            let mut r = jocl_kb::snap::SnapReader::new(&bytes[..cut]);
+            assert!(BlockingIndex::import_state(&mut r, &config, okb.len()).is_err());
+        }
+        // Too few triples for the recorded owners is rejected.
+        let mut r = jocl_kb::snap::SnapReader::new(&bytes);
+        assert!(BlockingIndex::import_state(&mut r, &config, 1).is_err());
     }
 }

@@ -98,6 +98,25 @@ pub struct GraphPlan {
 }
 
 impl GraphPlan {
+    /// Resident heap bytes of the plan: the factor graph (structure +
+    /// potential tables) plus the link/candidate maps and pair
+    /// registries. Capacity-based.
+    pub fn heap_bytes(&self) -> usize {
+        fn rows<T>(v: &[Vec<T>]) -> usize {
+            std::mem::size_of_val(v)
+                + v.iter().map(|c| c.capacity() * std::mem::size_of::<T>()).sum::<usize>()
+        }
+        self.graph.heap_bytes()
+            + self.np_link_vars.capacity() * std::mem::size_of::<Option<VarId>>()
+            + self.rp_link_vars.capacity() * std::mem::size_of::<Option<VarId>>()
+            + rows(&self.np_candidates)
+            + rows(&self.rp_candidates)
+            + (self.subj_pair_vars.capacity()
+                + self.pred_pair_vars.capacity()
+                + self.obj_pair_vars.capacity())
+                * std::mem::size_of::<(TripleId, TripleId, VarId)>()
+    }
+
     /// Serialize the whole plan — graph structure with potentials,
     /// parameters, link/candidate maps, pair-variable registries and
     /// build stats — into a snapshot section. Floats are written as raw
@@ -116,30 +135,29 @@ impl GraphPlan {
         for f in 0..g.num_factors() {
             let f = jocl_fg::FactorId(f as u32);
             w.u64(g.factor_class(f) as u64);
-            let vars = g.factor_vars(f);
-            w.usize(vars.len());
-            for v in vars {
-                w.u32(v.0);
-            }
+            let vars: Vec<u32> = g.factor_vars(f).iter().map(|v| v.0).collect();
+            w.u32_slice_packed(&vars);
             match g.factor_potential(f) {
                 Potential::Features { group, feats } => {
                     w.u64(0);
                     w.usize(*group);
                     w.usize(feats.len());
                     for row in feats {
-                        w.f64_slice(row);
+                        w.f64_slice_packed(row);
                     }
                 }
                 Potential::Scores { group, scores } => {
                     w.u64(1);
                     w.usize(*group);
-                    w.f64_slice(scores);
+                    w.f64_slice_packed(scores);
                 }
                 Potential::TwoLevelScores { group, size, high_configs, high, low } => {
                     w.u64(2);
                     w.usize(*group);
                     w.usize(*size);
-                    w.u32_slice(high_configs);
+                    // Strictly sorted by construction (validated on
+                    // import), so delta varints apply.
+                    w.u32_slice_delta(high_configs);
                     w.f64(*high);
                     w.f64(*low);
                 }
@@ -149,41 +167,36 @@ impl GraphPlan {
         for gi in 0..self.params.num_groups() {
             w.f64_slice(self.params.group(gi));
         }
+        // Link maps: a presence bitset plus the present variable ids —
+        // 1 bit + ~2 varint bytes per mention instead of 16 bytes.
         let link_vars = |w: &mut jocl_kb::snap::SnapWriter, vars: &[Option<VarId>]| {
-            w.usize(vars.len());
-            for v in vars {
-                match v {
-                    None => w.bool(false),
-                    Some(v) => {
-                        w.bool(true);
-                        w.u32(v.0);
-                    }
-                }
-            }
+            let present: Vec<bool> = vars.iter().map(Option::is_some).collect();
+            let ids: Vec<u32> = vars.iter().flatten().map(|v| v.0).collect();
+            w.bool_slice_packed(&present);
+            w.u32_slice_packed(&ids);
         };
         link_vars(w, &self.np_link_vars);
         w.usize(self.np_candidates.len());
         for c in &self.np_candidates {
-            w.usize(c.len());
-            for e in c {
-                w.u32(e.0);
-            }
+            let ids: Vec<u32> = c.iter().map(|e| e.0).collect();
+            w.u32_slice_packed(&ids);
         }
         link_vars(w, &self.rp_link_vars);
         w.usize(self.rp_candidates.len());
         for c in &self.rp_candidates {
-            w.usize(c.len());
-            for r in c {
-                w.u32(r.0);
-            }
+            let ids: Vec<u32> = c.iter().map(|r| r.0).collect();
+            w.u32_slice_packed(&ids);
         }
+        // Pair registries columnar: the first column is sorted (the
+        // lists are kept in batch order), so it delta-packs to ~1 byte
+        // per pair.
         for pairs in [&self.subj_pair_vars, &self.pred_pair_vars, &self.obj_pair_vars] {
-            w.usize(pairs.len());
-            for &(a, b, v) in pairs.iter() {
-                w.u32(a.0);
-                w.u32(b.0);
-                w.u32(v.0);
-            }
+            let a: Vec<u32> = pairs.iter().map(|p| p.0 .0).collect();
+            let b: Vec<u32> = pairs.iter().map(|p| p.1 .0).collect();
+            let v: Vec<u32> = pairs.iter().map(|p| p.2 .0).collect();
+            w.u32_slice_delta(&a);
+            w.u32_slice_packed(&b);
+            w.u32_slice_packed(&v);
         }
         w.usize(self.stats.triangles);
         w.usize(self.stats.fact_factors);
@@ -217,11 +230,10 @@ impl GraphPlan {
             let class = r.u64()?;
             let class = u8::try_from(class)
                 .map_err(|_| r.corrupt(format!("factor class {class} overflows u8")))?;
-            let arity = r.seq_len(8)?;
-            let mut vars = Vec::with_capacity(arity);
+            let raw_vars = r.u32_vec_packed()?;
+            let mut vars = Vec::with_capacity(raw_vars.len());
             let mut table = 1usize;
-            for _ in 0..arity {
-                let v = r.u32()?;
+            for v in raw_vars {
                 if v as usize >= num_vars {
                     return Err(r.corrupt(format!("factor variable {v} out of range")));
                 }
@@ -235,16 +247,16 @@ impl GraphPlan {
             let potential = match r.u64()? {
                 0 => {
                     let group = r.usize()?;
-                    let rows = r.seq_len(8)?;
+                    let rows = r.seq_len(2)?;
                     let feats: Vec<Vec<f64>> =
-                        (0..rows).map(|_| r.f64_vec()).collect::<Result<_, _>>()?;
+                        (0..rows).map(|_| r.f64_vec_packed()).collect::<Result<_, _>>()?;
                     Potential::Features { group, feats }
                 }
-                1 => Potential::Scores { group: r.usize()?, scores: r.f64_vec()? },
+                1 => Potential::Scores { group: r.usize()?, scores: r.f64_vec_packed()? },
                 2 => {
                     let group = r.usize()?;
                     let size = r.usize()?;
-                    let high_configs = r.u32_vec()?;
+                    let high_configs = r.u32_vec_delta()?;
                     let (high, low) = (r.f64()?, r.f64()?);
                     if high_configs.iter().any(|&c| c as usize >= size) {
                         return Err(r.corrupt("two-level high config out of range"));
@@ -317,11 +329,20 @@ impl GraphPlan {
             }
         };
         let link_vars = |r: &mut jocl_kb::snap::SnapReader<'_>| {
-            let n = r.seq_len(8)?;
-            let mut out = Vec::with_capacity(n);
-            for _ in 0..n {
-                out.push(if r.bool()? {
-                    let v = r.u32()?;
+            let present = r.bool_vec_packed()?;
+            let ids = r.u32_vec_packed()?;
+            if ids.len() != present.iter().filter(|&&p| p).count() {
+                return Err(r.corrupt(format!(
+                    "link map has {} ids for {} present mentions",
+                    ids.len(),
+                    present.iter().filter(|&&p| p).count()
+                )));
+            }
+            let mut ids = ids.into_iter();
+            let mut out = Vec::with_capacity(present.len());
+            for p in present {
+                out.push(if p {
+                    let v = ids.next().expect("counted above");
                     Some(var_in_range(r, v)?)
                 } else {
                     None
@@ -330,20 +351,28 @@ impl GraphPlan {
             Ok::<_, jocl_kb::KbError>(out)
         };
         let np_link_vars = link_vars(r)?;
-        let np_candidates: Vec<Vec<EntityId>> = (0..r.seq_len(8)?)
-            .map(|_| (0..r.seq_len(8)?).map(|_| r.u32().map(EntityId)).collect())
-            .collect::<Result<_, _>>()?;
+        let np_candidates: Vec<Vec<EntityId>> = (0..r.seq_len(1)?)
+            .map(|_| Ok(r.u32_vec_packed()?.into_iter().map(EntityId).collect()))
+            .collect::<Result<_, jocl_kb::KbError>>()?;
         let rp_link_vars = link_vars(r)?;
-        let rp_candidates: Vec<Vec<RelationId>> = (0..r.seq_len(8)?)
-            .map(|_| (0..r.seq_len(8)?).map(|_| r.u32().map(RelationId)).collect())
-            .collect::<Result<_, _>>()?;
+        let rp_candidates: Vec<Vec<RelationId>> = (0..r.seq_len(1)?)
+            .map(|_| Ok(r.u32_vec_packed()?.into_iter().map(RelationId).collect()))
+            .collect::<Result<_, jocl_kb::KbError>>()?;
         let mut pair_lists: Vec<Vec<(TripleId, TripleId, VarId)>> = Vec::with_capacity(3);
         for _ in 0..3 {
-            let n = r.seq_len(24)?;
-            let mut list = Vec::with_capacity(n);
-            for _ in 0..n {
-                let (a, b) = (r.u32()?, r.u32()?);
-                let v = r.u32()?;
+            let a = r.u32_vec_delta()?;
+            let b = r.u32_vec_packed()?;
+            let v = r.u32_vec_packed()?;
+            if a.len() != b.len() || a.len() != v.len() {
+                return Err(r.corrupt(format!(
+                    "pair registry columns disagree: {} / {} / {}",
+                    a.len(),
+                    b.len(),
+                    v.len()
+                )));
+            }
+            let mut list = Vec::with_capacity(a.len());
+            for ((a, b), v) in a.into_iter().zip(b).zip(v) {
                 list.push((TripleId(a), TripleId(b), var_in_range(r, v)?));
             }
             pair_lists.push(list);

@@ -113,6 +113,15 @@ pub struct JoclConfig {
     pub sgns: SgnsOptions,
     /// Seed for any stochastic tie-breaking.
     pub seed: u64,
+    /// Committed-message representation a long-lived session keeps
+    /// between deltas ([`jocl_fg::MessageStore`]). `Exact` (the default)
+    /// commits the engine's f64 arenas bit-for-bit; `Quantized` halves
+    /// their resident bytes (per-block f64 anchors + f32 residuals) at
+    /// the cost of a bounded quantization error on resume. Restart and
+    /// replica parity hold under either value, but a snapshot taken
+    /// under one store cannot restore into a session configured with
+    /// the other (the serve envelope fingerprints this field).
+    pub message_store: jocl_fg::MessageStore,
     /// Previously learned weights (see `crate::persist`). When set,
     /// training is skipped and these weights drive inference directly —
     /// the serving-mode path. The pipeline **panics** if their shape does
@@ -145,6 +154,7 @@ impl Default for JoclConfig {
             build_threads: 0,
             sgns: SgnsOptions::default(),
             seed: 7,
+            message_store: jocl_fg::MessageStore::Exact,
             pretrained_params: None,
         }
     }

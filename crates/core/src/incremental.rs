@@ -552,7 +552,7 @@ impl<'a> IncrementalJocl<'a> {
                 refreshed += 1;
             }
         }
-        self.messages = Some(engine.export_messages());
+        self.messages = Some(engine.export_messages_with(self.config.message_store));
         self.prior_converged = lbp.converged;
         drop(engine);
 
@@ -758,24 +758,23 @@ impl<'a> IncrementalJocl<'a> {
             None => w.bool(false),
             Some(m) => {
                 w.bool(true);
-                let (fv, vf, edges) = m.export_state();
-                w.usize(edges);
-                w.f64_slice(fv);
-                w.f64_slice(vf);
+                w.usize(m.num_edges());
+                write_arena(&mut w, m.fv());
+                write_arena(&mut w, m.vf());
             }
         }
         w.tag("SESS");
         w.bool(self.prior_converged);
         w.usize(self.marginals.len());
         for m in &self.marginals {
-            w.f64_slice(m);
+            w.f64_slice_packed(m);
         }
         let (parent, size, components) = self.components.export_state();
-        w.u32_slice(parent);
-        w.u32_slice(size);
+        w.u32_slice_packed(parent);
+        w.u32_slice_packed(size);
         w.usize(components);
-        w.bool_slice(&self.live);
-        w.bool_slice(&self.dead_factors);
+        w.bool_slice_packed(&self.live);
+        w.bool_slice_packed(&self.dead_factors);
         w.usize(self.triangle_budget);
         w.bool(self.triangles_skipped);
         w.u64(self.total_message_updates);
@@ -832,8 +831,8 @@ impl<'a> IncrementalJocl<'a> {
         r.expect_tag("MSG")?;
         let messages = if r.bool()? {
             let edges = r.usize()?;
-            let fv = r.f64_vec()?;
-            let vf = r.f64_vec()?;
+            let fv = read_arena(&mut r, &config)?;
+            let vf = read_arena(&mut r, &config)?;
             let expected_edges: usize =
                 (0..num_factors).map(|f| plan.graph.factor_vars(FactorId(f as u32)).len()).sum();
             let expected_arena: usize = (0..num_factors)
@@ -853,7 +852,7 @@ impl<'a> IncrementalJocl<'a> {
         };
         r.expect_tag("SESS")?;
         let prior_converged = r.bool()?;
-        let num_marginals = r.seq_len(8)?;
+        let num_marginals = r.seq_len(1)?;
         if num_marginals != num_vars {
             return Err(
                 r.corrupt(format!("{num_marginals} cached marginals for {num_vars} variables"))
@@ -861,14 +860,14 @@ impl<'a> IncrementalJocl<'a> {
         }
         let mut marginals = Vec::with_capacity(num_marginals);
         for v in 0..num_marginals {
-            let m = r.f64_vec()?;
+            let m = r.f64_vec_packed()?;
             if !m.is_empty() && m.len() != plan.graph.cardinality(VarId(v as u32)) as usize {
                 return Err(r.corrupt(format!("marginal {v} has the wrong cardinality")));
             }
             marginals.push(m);
         }
-        let parent = r.u32_vec()?;
-        let size = r.u32_vec()?;
+        let parent = r.u32_vec_packed()?;
+        let size = r.u32_vec_packed()?;
         let num_components = r.usize()?;
         let components =
             UnionFind::import_state(parent, size, num_components).map_err(|msg| r.corrupt(msg))?;
@@ -878,7 +877,7 @@ impl<'a> IncrementalJocl<'a> {
                 components.len()
             )));
         }
-        let live = r.bool_vec()?;
+        let live = r.bool_vec_packed()?;
         if live.len() != okb.len() {
             return Err(r.corrupt(format!(
                 "live mask covers {} of {} triples",
@@ -886,7 +885,7 @@ impl<'a> IncrementalJocl<'a> {
                 okb.len()
             )));
         }
-        let dead_factors = r.bool_vec()?;
+        let dead_factors = r.bool_vec_packed()?;
         if dead_factors.len() != num_factors {
             return Err(r.corrupt(format!(
                 "tombstone mask covers {} of {num_factors} factors",
@@ -938,6 +937,31 @@ impl<'a> IncrementalJocl<'a> {
             triangles_skipped,
             total_message_updates,
         })
+    }
+
+    /// Resident heap bytes of the session's owned state: OKB, blocking
+    /// index, graph plan, committed messages, cached marginals and the
+    /// liveness masks. The per-phrase feature caches are excluded — they
+    /// are transient, refillable functions of the frozen signals, not
+    /// part of the state a snapshot persists.
+    pub fn heap_bytes(&self) -> usize {
+        self.okb.heap_bytes()
+            + self.blocking.heap_bytes()
+            + self.plan.heap_bytes()
+            + self.messages.as_ref().map_or(0, |m| m.heap_bytes())
+            + self.marginals.iter().map(|m| m.capacity() * 8).sum::<usize>()
+            + self.marginals.capacity() * std::mem::size_of::<Vec<f64>>()
+            + self.live.capacity()
+            + self.dead_factors.capacity()
+    }
+
+    /// Resident heap bytes of just the committed message arenas (the
+    /// component the [`jocl_fg::MessageStore`] choice governs); 0 on a
+    /// cold session. The `memory_scale` gate compares this across
+    /// stores, isolated from the OKB/blocking/plan bytes the store
+    /// cannot change.
+    pub fn message_heap_bytes(&self) -> usize {
+        self.messages.as_ref().map_or(0, |m| m.heap_bytes())
     }
 
     /// Append the delta's variables and factors to the plan. Mirrors the
@@ -1218,6 +1242,65 @@ impl<'a> IncrementalJocl<'a> {
                 );
                 self.plan.stats.fact_factors += 1;
             }
+        }
+    }
+}
+
+/// Serialize one committed message arena: a kind word, then the stored
+/// representation bit-exactly. Exact arenas XOR-delta pack (near-
+/// converged messages compress hard); quantized arenas write packed
+/// anchors plus raw f32 residual bits.
+fn write_arena(w: &mut SnapWriter, arena: &jocl_fg::MessageArena) {
+    match arena {
+        jocl_fg::MessageArena::Exact(v) => {
+            w.u64(0);
+            w.f64_slice_packed(v);
+        }
+        jocl_fg::MessageArena::Quantized(q) => {
+            w.u64(1);
+            let (anchors, residuals) = q.state();
+            w.f64_slice_packed(anchors);
+            w.f32_slice(residuals);
+        }
+    }
+}
+
+/// Deserialize one committed message arena and reject a representation
+/// that disagrees with the session's configured [`jocl_fg::MessageStore`]
+/// — resuming a quantized snapshot into an exact session (or vice versa)
+/// would silently change every later commit's bits.
+fn read_arena(r: &mut SnapReader, config: &JoclConfig) -> Result<jocl_fg::MessageArena, KbError> {
+    let at = r.offset();
+    let kind = r.u64()?;
+    let stored = match kind {
+        0 => jocl_fg::MessageStore::Exact,
+        1 => jocl_fg::MessageStore::Quantized,
+        k => {
+            return Err(KbError::Snapshot {
+                offset: at,
+                msg: format!("unknown message-arena kind {k}"),
+            })
+        }
+    };
+    if stored != config.message_store {
+        return Err(KbError::Snapshot {
+            offset: at,
+            msg: format!(
+                "snapshot committed messages are {stored:?} but the session is configured \
+                 for {:?}",
+                config.message_store
+            ),
+        });
+    }
+    match stored {
+        jocl_fg::MessageStore::Exact => Ok(jocl_fg::MessageArena::Exact(r.f64_vec_packed()?)),
+        jocl_fg::MessageStore::Quantized => {
+            let at = r.offset();
+            let anchors = r.f64_vec_packed()?;
+            let residuals = r.f32_vec()?;
+            let q = jocl_fg::QuantArena::from_state(anchors, residuals)
+                .map_err(|msg| KbError::Snapshot { offset: at, msg })?;
+            Ok(jocl_fg::MessageArena::Quantized(q))
         }
     }
 }

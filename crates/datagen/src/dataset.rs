@@ -338,6 +338,39 @@ pub fn reverb45k_like(seed: u64, scale: f64) -> Dataset {
     Dataset::generate("ReVerb45K-like", &opts)
 }
 
+/// Stress preset: the ReVerb45K-like regime blown up to **millions of
+/// triples** (`scale = 1.0` ≈ 2.25M triples, ~350K entities) for
+/// memory-wall profiling. The corpus knob is turned down — at this size
+/// the embedding corpus would dominate generation time without changing
+/// what the storage layer is being stressed on — and the rates stay the
+/// paper regime's, so the per-triple arena shapes match the benchmark
+/// presets. Sub-sample with `scale` like the other presets
+/// (`stress_like(seed, 0.5)` ≈ 1.1M triples).
+pub fn stress_like(seed: u64, scale: f64) -> Dataset {
+    let opts = WorldOptions {
+        seed,
+        num_entities: 350_000,
+        num_relations: 5_000,
+        num_facts: 1_500_000,
+        num_triples: 2_250_000,
+        zipf_exponent: 1.05,
+        typo_rate: 0.03,
+        determiner_rate: 0.10,
+        modifier_rate: 0.10,
+        oov_rate: 0.06,
+        anchor_noise: 0.55,
+        ckb_alias_gap: 0.35,
+        fact_coverage: 0.55,
+        ppdb_recall: 0.7,
+        ppdb_noise: 0.02,
+        corpus_sentences_per_fact: 1,
+        num_categories: 400,
+        side_info_confusers: 2,
+    }
+    .scaled(scale);
+    Dataset::generate("Stress", &opts)
+}
+
 /// NYTimes2018-like preset: unannotated-news regime — high OOV, noisier
 /// surface forms, sparser resources. `scale = 1.0` ≈ 34K triples.
 pub fn nytimes2018_like(seed: u64, scale: f64) -> Dataset {

@@ -33,6 +33,6 @@ pub mod options;
 pub mod words;
 pub mod world;
 
-pub use dataset::{nytimes2018_like, reverb45k_like, Dataset, Gold};
+pub use dataset::{nytimes2018_like, reverb45k_like, stress_like, Dataset, Gold};
 pub use options::WorldOptions;
 pub use world::World;

@@ -314,6 +314,30 @@ impl FactorGraph {
         self.factors.len()
     }
 
+    /// Resident heap bytes of the graph structure: cardinalities,
+    /// classes, adjacency, factor metadata and potential tables
+    /// (capacity-based — what the allocator actually holds).
+    pub fn heap_bytes(&self) -> usize {
+        let potential = |p: &Potential| match p {
+            Potential::Features { feats, .. } => {
+                feats.capacity() * std::mem::size_of::<Vec<f64>>()
+                    + feats.iter().map(|row| row.capacity() * 8).sum::<usize>()
+            }
+            Potential::Scores { scores, .. } => scores.capacity() * 8,
+            Potential::TwoLevelScores { high_configs, .. } => high_configs.capacity() * 4,
+        };
+        self.cards.capacity() * 4
+            + self.var_classes.capacity()
+            + self.factors.capacity() * std::mem::size_of::<FactorData>()
+            + self
+                .factors
+                .iter()
+                .map(|f| f.vars.capacity() * 4 + f.strides.capacity() * 8 + potential(&f.potential))
+                .sum::<usize>()
+            + self.var_adj.capacity() * std::mem::size_of::<Vec<(u32, u32)>>()
+            + self.var_adj.iter().map(|a| a.capacity() * 8).sum::<usize>()
+    }
+
     /// Cardinality of variable `v`.
     pub fn cardinality(&self, v: VarId) -> u32 {
         self.cards[v.idx()]

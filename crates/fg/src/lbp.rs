@@ -32,6 +32,7 @@
 use crate::graph::{FactorGraph, FactorId, Potential, VarId};
 use crate::logspace::{log_normalize, logsumexp, max_abs_diff, to_probs};
 use crate::params::Params;
+use crate::store::{MessageArena, MessageStore};
 
 /// Log-potential treated as "probability zero" while keeping additions
 /// well-conditioned (exp(-1e4) underflows to exactly 0.0).
@@ -256,9 +257,20 @@ impl<'g> LbpEngine<'g> {
 
     /// Snapshot the current messages for a later [`LbpEngine::resume`] on
     /// a graph that *extends* this one (same variables and factors as a
-    /// prefix, new ones appended).
+    /// prefix, new ones appended). Commits under the exact `f64` store;
+    /// see [`LbpEngine::export_messages_with`] for the quantized form.
     pub fn export_messages(&self) -> LbpMessages {
-        LbpMessages { fv: self.fv.clone(), vf: self.vf.clone(), edges: self.num_edges() }
+        self.export_messages_with(MessageStore::Exact)
+    }
+
+    /// Snapshot the current messages under the given committed-arena
+    /// representation (the [`MessageStore`] seam — see [`crate::store`]).
+    pub fn export_messages_with(&self, store: MessageStore) -> LbpMessages {
+        LbpMessages {
+            fv: MessageArena::encode(&self.fv, store),
+            vf: MessageArena::encode(&self.vf, store),
+            edges: self.num_edges(),
+        }
     }
 
     /// Install a prior snapshot into this engine. The prior's edges must
@@ -288,8 +300,8 @@ impl<'g> LbpEngine<'g> {
             prior.fv.len(),
             "resumed graph must extend the prior graph by appending vars/factors"
         );
-        self.fv[..arena].copy_from_slice(&prior.fv);
-        self.vf[..arena].copy_from_slice(&prior.vf);
+        prior.fv.decode_into(&mut self.fv[..arena]);
+        prior.vf.decode_into(&mut self.vf[..arena]);
     }
 
     /// Warm-started run: seed from `prior`, then converge with only
@@ -1258,13 +1270,15 @@ impl<'g> LbpEngine<'g> {
 /// into a later engine over a graph that appends to the snapshot's graph
 /// (see [`LbpEngine::export_messages`] / [`LbpEngine::resume`]). The
 /// snapshot is tied to the edge enumeration, not to a borrow of the
-/// graph, so a long-lived session can own it across graph growth.
+/// graph, so a long-lived session can own it across graph growth. Each
+/// arena is stored behind the [`MessageStore`] seam — exact `f64` or
+/// quantized (see [`crate::store`]).
 #[derive(Debug, Clone)]
 pub struct LbpMessages {
     /// factor→variable messages (log domain), factor-major arena.
-    fv: Vec<f64>,
+    fv: MessageArena,
     /// variable→factor messages, same arena layout.
-    vf: Vec<f64>,
+    vf: MessageArena,
     /// Number of edges the snapshot covers.
     edges: usize,
 }
@@ -1275,20 +1289,36 @@ impl LbpMessages {
         self.edges
     }
 
-    /// The raw state for persistence: `(factor→variable arena,
-    /// variable→factor arena, edge count)`, both arenas in the
-    /// factor-major layout of the engine that exported them. Serialize
-    /// the floats bit-exactly — a restored session must resume from the
-    /// *identical* committed fixed point.
-    pub fn export_state(&self) -> (&[f64], &[f64], usize) {
-        (&self.fv, &self.vf, self.edges)
+    /// The committed factor→variable arena (for persistence: serialize
+    /// the stored representation bit-exactly — a restored session must
+    /// resume from the *identical* committed state).
+    pub fn fv(&self) -> &MessageArena {
+        &self.fv
+    }
+
+    /// The committed variable→factor arena.
+    pub fn vf(&self) -> &MessageArena {
+        &self.vf
+    }
+
+    /// Which store the committed arenas use.
+    pub fn store(&self) -> MessageStore {
+        match self.fv {
+            MessageArena::Exact(_) => MessageStore::Exact,
+            MessageArena::Quantized(_) => MessageStore::Quantized,
+        }
+    }
+
+    /// Heap bytes resident in the two committed arenas.
+    pub fn heap_bytes(&self) -> usize {
+        self.fv.heap_bytes() + self.vf.heap_bytes()
     }
 
     /// Rebuild a snapshot from persisted state. The two arenas must have
-    /// equal length (they share one edge layout); the edge count is
-    /// validated against the graph when the snapshot is imported into an
-    /// engine.
-    pub fn import_state(fv: Vec<f64>, vf: Vec<f64>, edges: usize) -> Result<Self, String> {
+    /// equal length and matching representation (they share one edge
+    /// layout); the edge count is validated against the graph when the
+    /// snapshot is imported into an engine.
+    pub fn import_state(fv: MessageArena, vf: MessageArena, edges: usize) -> Result<Self, String> {
         if fv.len() != vf.len() {
             return Err(format!(
                 "message arenas disagree: {} fv values vs {} vf values",
@@ -1296,22 +1326,21 @@ impl LbpMessages {
                 vf.len()
             ));
         }
+        if std::mem::discriminant(&fv) != std::mem::discriminant(&vf) {
+            return Err("message arenas disagree on their store representation".into());
+        }
         if edges > fv.len() {
             return Err(format!("{edges} edges cannot exceed the {} arena slots", fv.len()));
         }
         Ok(Self { fv, vf, edges })
     }
 
-    /// Bitwise equality of two snapshots — the restart-parity criterion
-    /// (value equality would also accept `-0.0 == 0.0` and reject equal
-    /// NaNs; restart parity means the restored process resumes from the
-    /// *same bits*).
+    /// Bitwise equality of two snapshots — the restart-parity criterion,
+    /// defined over the **stored representation** (value equality would
+    /// also accept `-0.0 == 0.0` and reject equal NaNs; restart parity
+    /// means the restored process resumes from the *same bits*).
     pub fn bitwise_eq(&self, other: &LbpMessages) -> bool {
-        self.edges == other.edges
-            && self.fv.len() == other.fv.len()
-            && self.vf.len() == other.vf.len()
-            && self.fv.iter().zip(&other.fv).all(|(a, b)| a.to_bits() == b.to_bits())
-            && self.vf.iter().zip(&other.vf).all(|(a, b)| a.to_bits() == b.to_bits())
+        self.edges == other.edges && self.fv.bitwise_eq(&other.fv) && self.vf.bitwise_eq(&other.vf)
     }
 }
 
@@ -2042,22 +2071,61 @@ mod tests {
         let mut eng = LbpEngine::new(&g);
         eng.run(&params, &LbpOptions::default());
         let snap = eng.export_messages();
-        let (fv, vf, edges) = snap.export_state();
-        let restored = LbpMessages::import_state(fv.to_vec(), vf.to_vec(), edges).unwrap();
+        let (fv, vf, edges) = (snap.fv().to_vec(), snap.vf().to_vec(), snap.num_edges());
+        let restored = LbpMessages::import_state(
+            MessageArena::Exact(fv.clone()),
+            MessageArena::Exact(vf.clone()),
+            edges,
+        )
+        .unwrap();
         assert!(snap.bitwise_eq(&restored));
         assert_eq!(restored.num_edges(), snap.num_edges());
+        assert_eq!(restored.store(), MessageStore::Exact);
         // A restored snapshot drives an engine to the identical state.
         let mut eng2 = LbpEngine::new(&g);
         eng2.import_messages(&restored);
         assert!(eng2.export_messages().bitwise_eq(&snap));
         // Mismatched arenas are a typed error, not a panic.
-        assert!(LbpMessages::import_state(vec![0.0; 3], vec![0.0; 2], 1).is_err());
-        assert!(LbpMessages::import_state(vec![0.0; 2], vec![0.0; 2], 9).is_err());
+        let exact = |n: usize| MessageArena::Exact(vec![0.0; n]);
+        assert!(LbpMessages::import_state(exact(3), exact(2), 1).is_err());
+        assert!(LbpMessages::import_state(exact(2), exact(2), 9).is_err());
+        let quant = MessageArena::encode(&[0.0, 0.0], MessageStore::Quantized);
+        assert!(LbpMessages::import_state(exact(2), quant, 2).is_err(), "mixed stores");
         // A single flipped bit breaks bitwise equality.
-        let mut fv2 = fv.to_vec();
+        let mut fv2 = fv.clone();
         fv2[0] = f64::from_bits(fv2[0].to_bits() ^ 1);
-        let tweaked = LbpMessages::import_state(fv2, vf.to_vec(), edges).unwrap();
+        let tweaked =
+            LbpMessages::import_state(MessageArena::Exact(fv2), MessageArena::Exact(vf), edges)
+                .unwrap();
         assert!(!snap.bitwise_eq(&tweaked));
+    }
+
+    /// The quantized store round-trips through an engine: committing the
+    /// same converged state twice yields bitwise-identical quantized
+    /// snapshots (idempotence at the engine level), and the decoded
+    /// messages stay within quantization tolerance of the exact store.
+    #[test]
+    fn quantized_export_is_stable_and_close_to_exact() {
+        let (g, params, _) = chain_graph();
+        let mut eng = LbpEngine::new(&g);
+        eng.run(&params, &LbpOptions::default());
+        let exact = eng.export_messages();
+        let quant = eng.export_messages_with(MessageStore::Quantized);
+        assert_eq!(quant.store(), MessageStore::Quantized);
+        assert!(quant.heap_bytes() < exact.heap_bytes());
+        // Decode error bounded by block spread × f32 eps (messages are
+        // normalized log-probs; no clamps in this graph, so spreads are
+        // a few nats at most).
+        let (de, dq) = (exact.fv().to_vec(), quant.fv().to_vec());
+        for (a, b) in de.iter().zip(&dq) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+        // Import the quantized snapshot and re-commit without running:
+        // the stored representation must be a fixed point.
+        let mut eng2 = LbpEngine::new(&g);
+        eng2.import_messages(&quant);
+        let recommit = eng2.export_messages_with(MessageStore::Quantized);
+        assert!(recommit.bitwise_eq(&quant));
     }
 
     #[test]

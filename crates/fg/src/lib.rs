@@ -43,8 +43,10 @@ pub mod lbp;
 pub mod learn;
 pub mod logspace;
 pub mod params;
+pub mod store;
 
 pub use graph::{FactorGraph, FactorId, FactorSpec, Potential, VarId};
 pub use lbp::{LbpMessages, LbpOptions, LbpResult, Marginals, Schedule, ScheduleMode};
 pub use learn::{train, TrainOptions, TrainReport};
 pub use params::Params;
+pub use store::{MessageArena, MessageStore, QuantArena};

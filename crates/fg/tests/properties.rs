@@ -2,7 +2,7 @@
 
 use jocl_fg::exact::exact_marginals;
 use jocl_fg::lbp::run_lbp;
-use jocl_fg::{FactorGraph, LbpOptions, Params, Potential, VarId};
+use jocl_fg::{FactorGraph, LbpOptions, MessageStore, Params, Potential, VarId};
 use proptest::prelude::*;
 
 /// A random tree-structured pairwise model over binary variables.
@@ -344,6 +344,92 @@ proptest! {
         for v in 0..g.num_vars() {
             let v = VarId(v as u32);
             prop_assert!((m0.prob(v, 1) - m1.prob(v, 1)).abs() < 1e-6);
+        }
+    }
+
+    /// The memory-wall certification gate: on random mixed graphs, under
+    /// every thread count × both schedule modes, the quantized committed
+    /// arena decodes within the **explicit tolerance** the store
+    /// documents — per slot, `|x - anchor| · ε_f32` against the block's
+    /// anchor (the block's first finite value), with a small absolute
+    /// floor for the `anchor + r` rounding step — and the quantized
+    /// bytes themselves are bit-identical across thread counts, which is
+    /// what lets a writer and a replica commit the same representation.
+    #[test]
+    fn quantized_commit_within_tolerance_across_threads_and_schedules(
+        (g, params, clamps, schedule) in pooled_model(),
+        residual_mode in 0usize..2,
+    ) {
+        use jocl_fg::lbp::LbpEngine;
+        use jocl_fg::store::QUANT_BLOCK;
+
+        let mode = if residual_mode == 1 {
+            jocl_fg::ScheduleMode::Residual
+        } else {
+            jocl_fg::ScheduleMode::Synchronous
+        };
+        let mut reference: Option<jocl_fg::LbpMessages> = None;
+        for threads in [1usize, 2, 4] {
+            let opts = LbpOptions {
+                threads,
+                exact_threads: threads > 1,
+                max_iters: 60,
+                tol: 1e-8,
+                mode,
+                schedule: schedule.clone(),
+                ..Default::default()
+            };
+            let mut eng = LbpEngine::new(&g);
+            for &(v, s) in &clamps {
+                eng.set_clamp(v, Some(s));
+            }
+            eng.run(&params, &opts);
+            let exact = eng.export_messages();
+            let quant = eng.export_messages_with(MessageStore::Quantized);
+
+            // Explicit tolerance gate, one direction (fv — vf is the
+            // same code path): decode error is bounded by the residual's
+            // f32 rounding against the block anchor.
+            for (exact_arena, quant_arena) in
+                [(exact.fv(), quant.fv()), (exact.vf(), quant.vf())]
+            {
+                let xs = exact_arena.to_vec();
+                let ys = quant_arena.to_vec();
+                prop_assert_eq!(xs.len(), ys.len());
+                for (block_idx, block) in xs.chunks(QUANT_BLOCK).enumerate() {
+                    let anchor =
+                        block.iter().copied().find(|x| x.is_finite()).unwrap_or(0.0);
+                    for (i, &x) in block.iter().enumerate() {
+                        let y = ys[block_idx * QUANT_BLOCK + i];
+                        if x.is_nan() {
+                            prop_assert!(y.is_nan());
+                        } else if x.is_infinite() {
+                            prop_assert_eq!(x, y);
+                        } else {
+                            let tol =
+                                (x - anchor).abs() * f32::EPSILON as f64 + 1e-12;
+                            prop_assert!(
+                                (x - y).abs() <= tol,
+                                "block {} slot {} ({:?}, {} threads): {} decoded as {} \
+                                 (tolerance {:e})",
+                                block_idx, i, mode, threads, x, y, tol
+                            );
+                        }
+                    }
+                }
+            }
+
+            // Writer/replica determinism: the quantized representation
+            // is a pure function of the converged state, which is
+            // itself bit-identical across thread counts.
+            match &reference {
+                None => reference = Some(quant),
+                Some(first) => prop_assert!(
+                    first.bitwise_eq(&quant),
+                    "quantized commit differs across thread counts ({:?})",
+                    mode
+                ),
+            }
         }
     }
 }

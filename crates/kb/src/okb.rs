@@ -280,6 +280,30 @@ impl Okb {
         self.triples.len()
     }
 
+    /// Resident heap bytes: triple strings, side info, and the dedup
+    /// index (whose keys clone the triple strings). Capacity-based, so
+    /// it reports what the allocator actually holds.
+    pub fn heap_bytes(&self) -> usize {
+        fn strings(t: &Triple) -> usize {
+            t.subject.capacity() + t.predicate.capacity() + t.object.capacity()
+        }
+        self.triples.capacity() * std::mem::size_of::<Triple>()
+            + self.triples.iter().map(strings).sum::<usize>()
+            + self.side_info.capacity() * std::mem::size_of::<Option<SideInfo>>()
+            + self
+                .side_info
+                .iter()
+                .flatten()
+                .map(|si| {
+                    si.subject_candidates.capacity() * 4
+                        + si.object_candidates.capacity() * 4
+                        + si.domain.capacity()
+                })
+                .sum::<usize>()
+            + self.dedup.capacity() * (std::mem::size_of::<(Triple, TripleId)>() + 1)
+            + self.dedup.keys().map(strings).sum::<usize>()
+    }
+
     /// Serialize the full OKB state — triples, side information and the
     /// dedup index (`&mut` because the index is materialized first) —
     /// into a snapshot section. With retraction in play the index is
@@ -300,21 +324,17 @@ impl Okb {
                 None => w.bool(false),
                 Some(si) => {
                     w.bool(true);
-                    w.usize(si.subject_candidates.len());
-                    for e in &si.subject_candidates {
-                        w.u32(e.0);
-                    }
-                    w.usize(si.object_candidates.len());
-                    for e in &si.object_candidates {
-                        w.u32(e.0);
-                    }
+                    let subj: Vec<u32> = si.subject_candidates.iter().map(|e| e.0).collect();
+                    let obj: Vec<u32> = si.object_candidates.iter().map(|e| e.0).collect();
+                    w.u32_slice_packed(&subj);
+                    w.u32_slice_packed(&obj);
                     w.str(&si.domain);
                 }
             }
         }
         let mut indexed: Vec<u32> = self.dedup.values().map(|t| t.0).collect();
         indexed.sort_unstable();
-        w.u32_slice(&indexed);
+        w.u32_slice_delta(&indexed);
     }
 
     /// Rebuild an OKB from [`Okb::export_state`] bytes. Validates that
@@ -329,10 +349,8 @@ impl Okb {
         }
         for _ in 0..n {
             if r.bool()? {
-                let subj =
-                    (0..r.seq_len(8)?).map(|_| r.u32().map(EntityId)).collect::<Result<_, _>>()?;
-                let obj =
-                    (0..r.seq_len(8)?).map(|_| r.u32().map(EntityId)).collect::<Result<_, _>>()?;
+                let subj = r.u32_vec_packed()?.into_iter().map(EntityId).collect();
+                let obj = r.u32_vec_packed()?.into_iter().map(EntityId).collect();
                 let domain = r.str()?;
                 okb.side_info.push(Some(SideInfo {
                     subject_candidates: subj,
@@ -343,7 +361,7 @@ impl Okb {
                 okb.side_info.push(None);
             }
         }
-        for id in r.u32_vec()? {
+        for id in r.u32_vec_delta()? {
             if id as usize >= n {
                 return Err(r.corrupt(format!("dedup id {id} out of range (have {n} triples)")));
             }
@@ -563,9 +581,11 @@ mod tests {
         let mut w = crate::snap::SnapWriter::new();
         okb.export_state(&mut w);
         let mut bytes = w.into_bytes();
-        // The dedup id is the trailing u64; corrupt it out of range.
-        let at = bytes.len() - 8;
-        bytes[at..].copy_from_slice(&99u64.to_le_bytes());
+        // The dedup list trails the section as varints: count 1, id 0.
+        // Corrupt the id (a single varint byte) out of range.
+        assert_eq!(&bytes[bytes.len() - 2..], &[1, 0]);
+        let at = bytes.len() - 1;
+        bytes[at] = 99;
         let mut r = crate::snap::SnapReader::new(&bytes);
         let msg = Okb::import_state(&mut r).unwrap_err().to_string();
         assert!(msg.contains("out of range"), "{msg}");

@@ -96,6 +96,13 @@ impl SnapWriter {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    /// Write a varint-length-prefixed UTF-8 string (one length byte for
+    /// anything under 128 bytes, vs. the fixed 8 of [`SnapWriter::str`]).
+    pub fn vstr(&mut self, s: &str) {
+        self.vu64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
     /// Write a length-prefixed `f64` slice.
     pub fn f64_slice(&mut self, xs: &[f64]) {
         self.usize(xs.len());
@@ -119,6 +126,114 @@ impl SnapWriter {
             self.bool(x);
         }
     }
+
+    /// Write one `u64` as a LEB128 varint (1–10 bytes; small values
+    /// dominate snapshot payloads, so this is the packed-section
+    /// workhorse).
+    pub fn vu64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Write a `u32` slice as varints (length + values). ~1–2 bytes per
+    /// small id instead of the 8 the legacy [`SnapWriter::u32_slice`]
+    /// spends.
+    pub fn u32_slice_packed(&mut self, xs: &[u32]) {
+        self.vu64(xs.len() as u64);
+        for &x in xs {
+            self.vu64(x as u64);
+        }
+    }
+
+    /// Write a **non-decreasing** `u32` slice as first value + varint
+    /// deltas. Sorted id runs (owners, links, pair columns) collapse to
+    /// ~1 byte per element. Panics in debug builds if the input is not
+    /// sorted; release builds would produce a stream the reader rejects.
+    pub fn u32_slice_delta(&mut self, xs: &[u32]) {
+        self.vu64(xs.len() as u64);
+        let mut prev = 0u32;
+        for (i, &x) in xs.iter().enumerate() {
+            debug_assert!(i == 0 || x >= prev, "u32_slice_delta input must be non-decreasing");
+            self.vu64(if i == 0 { x as u64 } else { (x - prev) as u64 });
+            prev = x;
+        }
+    }
+
+    /// Write an `f64` slice XOR-delta packed: each value's bits are
+    /// XORed with the previous value's bits and written as a varint.
+    /// Near-converged arenas (runs of equal or close values sharing
+    /// sign/exponent/high-mantissa bits) collapse to a byte or two per
+    /// element; incompressible data falls back to the raw image via a
+    /// mode byte, so the packed form is never more than one byte worse.
+    /// Bit-exact either way.
+    pub fn f64_slice_packed(&mut self, xs: &[f64]) {
+        let mut packed = 0usize;
+        let mut prev = 0u64;
+        for &x in xs {
+            let word = x.to_bits() ^ prev;
+            packed += varint_len(word);
+            prev = x.to_bits();
+        }
+        if packed < xs.len() * 8 {
+            self.buf.push(1);
+            self.vu64(xs.len() as u64);
+            let mut prev = 0u64;
+            for &x in xs {
+                self.vu64(x.to_bits() ^ prev);
+                prev = x.to_bits();
+            }
+        } else {
+            self.buf.push(0);
+            self.vu64(xs.len() as u64);
+            for &x in xs {
+                self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+        }
+    }
+
+    /// Write an `f32` slice as raw bits (bit-exact; quantized residuals
+    /// are already dense, so no further packing).
+    pub fn f32_slice(&mut self, xs: &[f32]) {
+        self.vu64(xs.len() as u64);
+        for &x in xs {
+            self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Write a bool slice as a bitset (1 bit per flag instead of the
+    /// 8 bytes the legacy [`SnapWriter::bool_slice`] spends).
+    pub fn bool_slice_packed(&mut self, xs: &[bool]) {
+        self.vu64(xs.len() as u64);
+        let mut byte = 0u8;
+        for (i, &x) in xs.iter().enumerate() {
+            byte |= (x as u8) << (i % 8);
+            if i % 8 == 7 {
+                self.buf.push(byte);
+                byte = 0;
+            }
+        }
+        if !xs.len().is_multiple_of(8) {
+            self.buf.push(byte);
+        }
+    }
+
+    /// Write a raw byte blob (length-prefixed, verbatim).
+    pub fn bytes(&mut self, xs: &[u8]) {
+        self.vu64(xs.len() as u64);
+        self.buf.extend_from_slice(xs);
+    }
+}
+
+/// Encoded length of one LEB128 varint.
+fn varint_len(v: u64) -> usize {
+    (64 - (v | 1).leading_zeros() as usize).div_ceil(7).max(1)
 }
 
 /// Deserializer half: a cursor over a byte slice. Every accessor checks
@@ -241,6 +356,15 @@ impl<'a> SnapReader<'a> {
             .map_err(|e| KbError::Snapshot { offset: at, msg: format!("invalid utf-8: {e}") })
     }
 
+    /// Read a varint-length-prefixed UTF-8 string.
+    pub fn vstr(&mut self) -> Result<String, KbError> {
+        let n = self.vseq_len(1)?;
+        let at = self.pos;
+        let b = self.take(n, "string payload")?;
+        String::from_utf8(b.to_vec())
+            .map_err(|e| KbError::Snapshot { offset: at, msg: format!("invalid utf-8: {e}") })
+    }
+
     /// Read a length-prefixed `f64` vector.
     pub fn f64_vec(&mut self) -> Result<Vec<f64>, KbError> {
         let n = self.seq_len(8)?;
@@ -257,6 +381,155 @@ impl<'a> SnapReader<'a> {
     pub fn bool_vec(&mut self) -> Result<Vec<bool>, KbError> {
         let n = self.seq_len(8)?;
         (0..n).map(|_| self.bool()).collect()
+    }
+
+    /// Read one LEB128 varint `u64`.
+    pub fn vu64(&mut self) -> Result<u64, KbError> {
+        let at = self.pos;
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.take(1, "varint byte")?[0];
+            let low = (b & 0x7f) as u64;
+            if shift == 63 && low > 1 {
+                return Err(KbError::Snapshot {
+                    offset: at,
+                    msg: "varint overflows u64".to_string(),
+                });
+            }
+            v |= low << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(KbError::Snapshot { offset: at, msg: "varint runs past 10 bytes".to_string() })
+    }
+
+    /// Read a packed-sequence length (varint), sanity-capped against the
+    /// remaining bytes at `min_elem_bytes` per element.
+    pub fn vseq_len(&mut self, min_elem_bytes: usize) -> Result<usize, KbError> {
+        let at = self.pos;
+        let v = self.vu64()?;
+        let n = usize::try_from(v)
+            .map_err(|_| KbError::Snapshot { offset: at, msg: format!("{v} overflows usize") })?;
+        let left = self.buf.len() - self.pos;
+        if n.saturating_mul(min_elem_bytes.max(1)) > left {
+            return Err(KbError::Snapshot {
+                offset: at,
+                msg: format!("packed sequence length {n} exceeds the {left} bytes remaining"),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Read a varint-packed `u32` vector ([`SnapWriter::u32_slice_packed`]).
+    pub fn u32_vec_packed(&mut self) -> Result<Vec<u32>, KbError> {
+        let n = self.vseq_len(1)?;
+        (0..n)
+            .map(|_| {
+                let at = self.pos;
+                let v = self.vu64()?;
+                u32::try_from(v).map_err(|_| KbError::Snapshot {
+                    offset: at,
+                    msg: format!("{v} overflows u32"),
+                })
+            })
+            .collect()
+    }
+
+    /// Read a delta-packed non-decreasing `u32` vector
+    /// ([`SnapWriter::u32_slice_delta`]).
+    pub fn u32_vec_delta(&mut self) -> Result<Vec<u32>, KbError> {
+        let n = self.vseq_len(1)?;
+        let mut out = Vec::with_capacity(n);
+        let mut prev = 0u64;
+        for i in 0..n {
+            let at = self.pos;
+            let d = self.vu64()?;
+            let v = if i == 0 { d } else { prev + d };
+            if v > u32::MAX as u64 {
+                return Err(KbError::Snapshot {
+                    offset: at,
+                    msg: format!("delta sequence climbs past u32 ({v})"),
+                });
+            }
+            out.push(v as u32);
+            prev = v;
+        }
+        Ok(out)
+    }
+
+    /// Read a packed `f64` vector ([`SnapWriter::f64_slice_packed`]).
+    pub fn f64_vec_packed(&mut self) -> Result<Vec<f64>, KbError> {
+        let at = self.pos;
+        let mode = self.take(1, "f64 slice mode byte")?[0];
+        match mode {
+            0 => {
+                let n = self.vseq_len(8)?;
+                (0..n)
+                    .map(|_| {
+                        let b = self.take(8, "raw f64")?;
+                        Ok(f64::from_bits(u64::from_le_bytes(b.try_into().expect("8-byte slice"))))
+                    })
+                    .collect()
+            }
+            1 => {
+                let n = self.vseq_len(1)?;
+                let mut out = Vec::with_capacity(n);
+                let mut prev = 0u64;
+                for _ in 0..n {
+                    prev ^= self.vu64()?;
+                    out.push(f64::from_bits(prev));
+                }
+                Ok(out)
+            }
+            m => Err(KbError::Snapshot { offset: at, msg: format!("unknown f64 slice mode {m}") }),
+        }
+    }
+
+    /// Read an `f32` vector ([`SnapWriter::f32_slice`]).
+    pub fn f32_vec(&mut self) -> Result<Vec<f32>, KbError> {
+        let n = self.vseq_len(4)?;
+        (0..n)
+            .map(|_| {
+                let b = self.take(4, "raw f32")?;
+                Ok(f32::from_bits(u32::from_le_bytes(b.try_into().expect("4-byte slice"))))
+            })
+            .collect()
+    }
+
+    /// Read a bitset-packed bool vector ([`SnapWriter::bool_slice_packed`]).
+    pub fn bool_vec_packed(&mut self) -> Result<Vec<bool>, KbError> {
+        let at = self.pos;
+        let v = self.vu64()?;
+        let n = usize::try_from(v)
+            .map_err(|_| KbError::Snapshot { offset: at, msg: format!("{v} overflows usize") })?;
+        // The bitset spends one *bit* per flag, so cap against bitset
+        // bytes rather than the 1-byte-per-element vseq_len floor.
+        let nb = n.div_ceil(8);
+        if nb > self.buf.len() - self.pos {
+            return Err(KbError::Snapshot {
+                offset: at,
+                msg: format!(
+                    "bitset length {n} needs {nb} bytes, {} remaining",
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        let at = self.pos;
+        let bytes = self.take(nb, "bool bitset")?;
+        if !n.is_multiple_of(8) && bytes[nb - 1] >> (n % 8) != 0 {
+            return Err(KbError::Snapshot {
+                offset: at + nb - 1,
+                msg: "nonzero padding bits in bool bitset".to_string(),
+            });
+        }
+        Ok((0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect())
+    }
+
+    /// Read a length-prefixed raw byte blob ([`SnapWriter::bytes`]).
+    pub fn bytes(&mut self) -> Result<Vec<u8>, KbError> {
+        let n = self.vseq_len(1)?;
+        Ok(self.take(n, "byte blob")?.to_vec())
     }
 
     /// Fail unless every byte was consumed — a snapshot with trailing
@@ -370,6 +643,127 @@ mod tests {
         let mut r = SnapReader::new(&bytes);
         r.u64().unwrap();
         assert!(r.expect_end().unwrap_err().to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn packed_roundtrip_is_bit_exact() {
+        let ids: Vec<u32> = vec![0, 1, 127, 128, 16384, u32::MAX];
+        let sorted: Vec<u32> = vec![0, 0, 3, 900, 900, 1_000_000, u32::MAX];
+        let floats = vec![-0.69, -0.69, -0.6900000001, f64::NEG_INFINITY, f64::NAN, -0.0, 1e300];
+        let small: Vec<f32> = vec![0.5, -0.0, f32::NAN, f32::INFINITY];
+        let flags: Vec<bool> = (0..19).map(|i| i % 3 == 0).collect();
+        let mut w = SnapWriter::new();
+        w.vu64(0);
+        w.vu64(u64::MAX);
+        w.u32_slice_packed(&ids);
+        w.u32_slice_delta(&sorted);
+        w.f64_slice_packed(&floats);
+        w.f32_slice(&small);
+        w.bool_slice_packed(&flags);
+        w.bytes(&[7, 0, 255]);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.vu64().unwrap(), 0);
+        assert_eq!(r.vu64().unwrap(), u64::MAX);
+        assert_eq!(r.u32_vec_packed().unwrap(), ids);
+        assert_eq!(r.u32_vec_delta().unwrap(), sorted);
+        let back = r.f64_vec_packed().unwrap();
+        assert_eq!(back.len(), floats.len());
+        for (a, b) in floats.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let back = r.f32_vec().unwrap();
+        for (a, b) in small.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(r.bool_vec_packed().unwrap(), flags);
+        assert_eq!(r.bytes().unwrap(), vec![7, 0, 255]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn packed_encodings_actually_shrink() {
+        // Sorted ids: delta varints ≈ 1 byte each vs 8.
+        let sorted: Vec<u32> = (0..1000).map(|i| i * 3).collect();
+        let mut w = SnapWriter::new();
+        w.u32_slice_delta(&sorted);
+        assert!(w.len() < 1000 * 2, "{} bytes for 1000 sorted ids", w.len());
+        // A near-converged arena: long runs of identical values XOR to
+        // zero words.
+        let arena: Vec<f64> = (0..1000).map(|i| -0.693 - ((i / 100) as f64) * 1e-9).collect();
+        let mut w = SnapWriter::new();
+        w.f64_slice_packed(&arena);
+        assert!(w.len() < 1000 * 4, "{} bytes for 1000 near-equal f64s", w.len());
+        // Incompressible data falls back to raw + mode byte.
+        let noise: Vec<f64> = (0..100)
+            .map(|i| f64::from_bits(0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 | 1)))
+            .collect();
+        let mut w = SnapWriter::new();
+        w.f64_slice_packed(&noise);
+        assert!(w.len() <= 100 * 8 + 3, "{} bytes for 100 raw f64s", w.len());
+        // Bitset: 8 flags per byte.
+        let mut w = SnapWriter::new();
+        w.bool_slice_packed(&vec![true; 800]);
+        assert_eq!(w.len(), 2 + 100);
+    }
+
+    #[test]
+    fn packed_corruption_is_typed_never_a_panic() {
+        // Unterminated varint (all continuation bits).
+        let mut r = SnapReader::new(&[0xff; 11]);
+        assert!(r.vu64().unwrap_err().to_string().contains("varint"));
+        // Varint overflowing u64 in the 10th byte.
+        let mut r = SnapReader::new(&[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f]);
+        assert!(r.vu64().unwrap_err().to_string().contains("overflows u64"));
+        // Hostile packed length.
+        let mut w = SnapWriter::new();
+        w.vu64(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        assert!(SnapReader::new(&bytes)
+            .u32_vec_packed()
+            .unwrap_err()
+            .to_string()
+            .contains("exceeds"));
+        // Delta sequence climbing past u32.
+        let mut w = SnapWriter::new();
+        w.vu64(2);
+        w.vu64(u32::MAX as u64);
+        w.vu64(1);
+        let bytes = w.into_bytes();
+        assert!(SnapReader::new(&bytes)
+            .u32_vec_delta()
+            .unwrap_err()
+            .to_string()
+            .contains("past u32"));
+        // Unknown f64 mode byte.
+        let mut r = SnapReader::new(&[9]);
+        assert!(r.f64_vec_packed().unwrap_err().to_string().contains("mode"));
+        // Nonzero padding bits in a bitset.
+        let mut w = SnapWriter::new();
+        w.vu64(3);
+        let mut bytes = w.into_bytes();
+        bytes.push(0xf0);
+        assert!(SnapReader::new(&bytes)
+            .bool_vec_packed()
+            .unwrap_err()
+            .to_string()
+            .contains("padding"));
+        // Hostile bitset length against a short buffer.
+        let mut w = SnapWriter::new();
+        w.vu64(1 << 40);
+        let bytes = w.into_bytes();
+        assert!(SnapReader::new(&bytes)
+            .bool_vec_packed()
+            .unwrap_err()
+            .to_string()
+            .contains("bitset"));
+        // Truncated f32 payload: the length sanity cap catches it before
+        // any element read.
+        let mut w = SnapWriter::new();
+        w.f32_slice(&[1.0, 2.0]);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes[..bytes.len() - 2]);
+        assert!(r.f32_vec().unwrap_err().to_string().contains("exceeds"));
     }
 
     #[test]

@@ -352,7 +352,7 @@ pub fn format_delta(out: &DeltaOutput, ms: f64) -> String {
 pub fn format_stats(s: &SessionStats) -> String {
     format!(
         "  {} triples ({} live), {} vars, {} factors, density {:.3}, {} ops, {} compactions, \
-         {} total msg updates, view v{}{}",
+         {} total msg updates, {} heap KiB, view v{}{}",
         s.triples,
         s.live,
         s.vars,
@@ -361,6 +361,7 @@ pub fn format_stats(s: &SessionStats) -> String {
         s.ops_applied,
         s.compactions,
         s.total_message_updates,
+        s.heap_bytes / 1024,
         s.version,
         if s.replica { " (replica)" } else { "" }
     )

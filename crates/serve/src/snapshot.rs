@@ -83,6 +83,17 @@ fn fingerprint(config: &JoclConfig) -> Vec<(&'static str, u64)> {
         ("cand_min_score", config.candidates.min_score.to_bits()),
         ("cand_lexical_weight", config.candidates.lexical_weight.to_bits()),
         ("seed", config.seed),
+        // The committed-message representation is part of the wire
+        // format: a quantized arena cannot restore into an exact
+        // session (or vice versa), so mismatches must fail at the
+        // envelope, naming the field, not deep in the MSG section.
+        (
+            "message_store",
+            match config.message_store {
+                jocl_fg::MessageStore::Exact => 0u64,
+                jocl_fg::MessageStore::Quantized => 1,
+            },
+        ),
     ]
 }
 

@@ -47,6 +47,9 @@ pub struct SessionStats {
     pub version: u64,
     /// Whether the serving plane is a read replica.
     pub replica: bool,
+    /// Accounted resident heap bytes of the session state (OKB,
+    /// blocking index, graph plan, committed messages, marginals).
+    pub heap_bytes: usize,
 }
 
 impl SessionStats {
@@ -64,6 +67,7 @@ impl SessionStats {
             total_message_updates: inner.total_message_updates,
             version,
             replica,
+            heap_bytes: inner.heap_bytes(),
         }
     }
 }

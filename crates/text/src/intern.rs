@@ -84,6 +84,17 @@ impl Interner {
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
         self.strings.iter().enumerate().map(|(i, s)| (Sym(i as u32), s.as_ref()))
     }
+
+    /// Approximate resident heap bytes: string storage (each string is
+    /// held twice — once in the id-order vector, once as a map key) plus
+    /// the map and vector tables themselves.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let text: usize = self.strings.iter().map(|s| s.len()).sum();
+        2 * text
+            + self.strings.capacity() * size_of::<Box<str>>()
+            + self.map.capacity() * (size_of::<Box<str>>() + size_of::<Sym>() + 1)
+    }
 }
 
 #[cfg(test)]
