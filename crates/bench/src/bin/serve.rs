@@ -27,6 +27,10 @@
 //! retract S | P | O            retract by content (also: retract #ID)
 //! revise S | P | O => S | P | O   correct a triple (also: revise #ID => …)
 //! query PHRASE                 cluster + link of live mentions with PHRASE
+//! link TARGET [limit=N] [threshold=X]
+//!                              resolve a phrase or jocl://|ckb:// URI to ranked
+//!                              link candidates (link.v1 frame; side-information
+//!                              dictionary candidates included when imported)
 //! stats                        session summary
 //! snapshot [PATH]              persist the warm session (default: JOCL_SNAPSHOT_DIR)
 //! restore [PATH]               restart from a snapshot
@@ -39,13 +43,17 @@
 //! `JOCL_COMPACT_THRESHOLD` (auto-compaction density, `off` disables),
 //! `JOCL_SNAPSHOT_DIR` (snapshot + replication-log directory),
 //! `JOCL_LISTEN` (`tcp:HOST:PORT` / `unix:PATH`, `off` keeps stdin),
-//! `JOCL_MSG_STORE` (`exact` / `quantized` committed-message arena).
-//! The inference pool is the session config's `lbp.threads` (the
+//! `JOCL_MSG_STORE` (`exact` / `quantized` committed-message arena),
+//! `JOCL_LINK_THRESHOLD` (min `link` candidate confidence, `off`
+//! reports all), `JOCL_SIDE_INFO` (side-information TSV to import —
+//! threaded into inference as S1/S2 potentials *and* into `link`
+//! dictionary candidates; the snapshot fingerprint pins it). The
+//! inference pool is the session config's `lbp.threads` (the
 //! `jocl_exec` pool), as in every other bin.
 
 use jocl_bench::{
-    env_compact_threshold, env_listen, env_message_store, env_scale, env_schedule_mode, env_seed,
-    env_snapshot_dir,
+    env_compact_threshold, env_link_threshold, env_listen, env_message_store, env_scale,
+    env_schedule_mode, env_seed, env_side_info, env_snapshot_dir,
 };
 use jocl_core::signals::build_signals;
 use jocl_core::JoclConfig;
@@ -151,7 +159,28 @@ fn main() {
     let mut config = JoclConfig { train_epochs: 0, ..Default::default() };
     config.lbp.mode = mode;
     config.message_store = env_message_store();
-    let serve_config = ServeConfig { compact_threshold: threshold };
+    if let Some(path) = env_side_info() {
+        match jocl_kb::tsv::read_side_kb(&path) {
+            Ok(side) => {
+                println!(
+                    "side info: {} entity + {} relation rows from {} (fingerprint {:#018x})",
+                    side.num_entity_links(),
+                    side.num_relation_links(),
+                    path.display(),
+                    side.fingerprint(),
+                );
+                config.side_info = Some(std::sync::Arc::new(side));
+            }
+            Err(e) => {
+                eprintln!("cannot import side info from {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    let serve_config = ServeConfig::builder()
+        .compact_threshold(threshold)
+        .link_threshold(env_link_threshold())
+        .build();
 
     let dir = snapshot_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -163,8 +192,8 @@ fn main() {
 
     println!(
         "Serving session over a {}-triple feed (scale {scale}, seed {seed}, {mode:?}, \
-         compact threshold {threshold}, {}); commands: ingest/add/retract/revise/query/stats/\
-         snapshot/restore/compact/quit/shutdown",
+         compact threshold {threshold}, {}); commands: ingest/add/retract/revise/query/link/\
+         stats/snapshot/restore/compact/quit/shutdown",
         pool.len(),
         if replica { "replica" } else { "writer" },
     );

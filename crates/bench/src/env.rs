@@ -21,6 +21,8 @@
 //! | `JOCL_COMPACT_THRESHOLD` | auto-compaction density, `off` disables | `0.5` |
 //! | `JOCL_LISTEN` | serve socket (`tcp:HOST:PORT`/`unix:PATH`), `off` disables | stdin loop |
 //! | `JOCL_MSG_STORE` | committed-message arena (`exact`/`quantized`) | exact |
+//! | `JOCL_LINK_THRESHOLD` | min `link` candidate confidence, `off` reports all | `0.0` |
+//! | `JOCL_SIDE_INFO` | side-information TSV to import, `off` disables | none |
 
 use jocl_core::ScheduleMode;
 use jocl_fg::MessageStore;
@@ -164,6 +166,51 @@ pub fn env_message_store() -> MessageStore {
     }
 }
 
+/// `JOCL_LINK_THRESHOLD` env var: the default minimum calibrated
+/// confidence a `link` candidate must reach to be reported
+/// (`ServeConfig::link_threshold`). Default 0.0 (report everything);
+/// whitespace-tolerant; `off` (case-folded) also reports everything.
+/// Anything else must parse as a finite confidence in `[0, 1]` or the
+/// process aborts loudly listing the valid forms.
+pub fn env_link_threshold() -> f64 {
+    match std::env::var("JOCL_LINK_THRESHOLD") {
+        Err(_) => 0.0,
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("off") {
+                return 0.0;
+            }
+            match trimmed.parse::<f64>() {
+                Ok(t) if t.is_finite() && (0.0..=1.0).contains(&t) => t,
+                _ => {
+                    panic!("JOCL_LINK_THRESHOLD must be a confidence in [0, 1] or 'off', got {v:?}")
+                }
+            }
+        }
+    }
+}
+
+/// `JOCL_SIDE_INFO` env var: path of a side-information TSV
+/// (`jocl_kb::tsv::read_side_kb` format — alias tables / external-KB
+/// link imports) the `serve` bin threads into inference and the `link`
+/// command. Whitespace-trimmed; unset, blank or `off` (case-folded)
+/// means no side information. The path is read at startup; a missing or
+/// malformed file fails there with the offending path and line in the
+/// error, never a silent fallback to side-info-free serving.
+pub fn env_side_info() -> Option<std::path::PathBuf> {
+    match std::env::var("JOCL_SIDE_INFO") {
+        Err(_) => None,
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("off") {
+                None
+            } else {
+                Some(std::path::PathBuf::from(trimmed))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +321,39 @@ mod tests {
         assert!(msg.contains("'exact' or 'quantized'"), "panic lists valid values: {msg}");
         std::env::remove_var("JOCL_MSG_STORE");
         assert_eq!(env_message_store(), MessageStore::Exact);
+
+        // The entity-linking knobs (PR-8): same discipline.
+        let check_link = |value: &str, expect: f64| {
+            std::env::set_var("JOCL_LINK_THRESHOLD", value);
+            assert_eq!(env_link_threshold(), expect, "JOCL_LINK_THRESHOLD={value:?}");
+        };
+        check_link("0.25", 0.25);
+        check_link(" 0.9\t", 0.9);
+        check_link("0", 0.0);
+        check_link("1", 1.0);
+        check_link("", 0.0);
+        check_link("OFF", 0.0);
+        check_link(" off ", 0.0);
+        for bad in ["1.5", "-0.1", "NaN", "inf", "maybe"] {
+            std::env::set_var("JOCL_LINK_THRESHOLD", bad);
+            let err = std::panic::catch_unwind(env_link_threshold).unwrap_err();
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.contains("[0, 1]"), "{bad:?} must list the valid form: {msg}");
+        }
+        std::env::remove_var("JOCL_LINK_THRESHOLD");
+        assert_eq!(env_link_threshold(), 0.0);
+
+        std::env::set_var("JOCL_SIDE_INFO", "  /tmp/side info.tsv ");
+        assert_eq!(
+            env_side_info(),
+            Some(std::path::PathBuf::from("/tmp/side info.tsv")),
+            "inner whitespace survives, outer is trimmed"
+        );
+        std::env::set_var("JOCL_SIDE_INFO", "   ");
+        assert_eq!(env_side_info(), None, "blank means unset");
+        std::env::set_var("JOCL_SIDE_INFO", " Off ");
+        assert_eq!(env_side_info(), None, "'off' disables side information");
+        std::env::remove_var("JOCL_SIDE_INFO");
+        assert_eq!(env_side_info(), None);
     }
 }

@@ -21,7 +21,7 @@ pub mod env;
 pub mod runner;
 
 pub use env::{
-    env_compact_threshold, env_listen, env_message_store, env_scale, env_schedule_mode, env_seed,
-    env_snapshot_dir, env_stream_batches,
+    env_compact_threshold, env_link_threshold, env_listen, env_message_store, env_scale,
+    env_schedule_mode, env_seed, env_side_info, env_snapshot_dir, env_stream_batches,
 };
 pub use runner::{ExperimentContext, MethodScores};

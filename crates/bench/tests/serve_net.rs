@@ -91,7 +91,7 @@ fn open_writer(dir: &Path) -> Engine<'static> {
     let w = world();
     Engine::open(
         gate_config(),
-        ServeConfig { compact_threshold: f64::INFINITY },
+        ServeConfig::builder().compact_threshold(f64::INFINITY).build(),
         &w.ckb,
         &w.signals,
         w.pool.clone(),
@@ -138,7 +138,7 @@ fn replica_parity_is_bitwise_and_catchup_beats_cold_rebuild() {
     // Replica warm-boot from the snapshot + cursor sidecar.
     let mut replica = Engine::open_replica(
         gate_config(),
-        ServeConfig { compact_threshold: f64::INFINITY },
+        ServeConfig::builder().compact_threshold(f64::INFINITY).build(),
         &w.ckb,
         &w.signals,
         w.pool.clone(),

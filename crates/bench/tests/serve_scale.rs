@@ -60,7 +60,7 @@ fn retraction_parity_with_warm_and_restore_savings() {
     // Ingest everything in arrival batches, then warm-retract the tail.
     let mut session = ServeSession::open(
         config.clone(),
-        ServeConfig { compact_threshold: f64::INFINITY },
+        ServeConfig::builder().compact_threshold(f64::INFINITY).build(),
         &dataset.ckb,
         &signals,
     );

@@ -55,6 +55,12 @@ pub struct ParamGroups {
     pub alpha6: usize,
     /// β1–β7 — U1–U7 scalar weights (index 0 = β1).
     pub beta: [usize; 7],
+    /// γ — scalar weight of the S1/S2 side-information potentials
+    /// (imported alias/link tables). Allocated unconditionally so the
+    /// parameter layout never depends on whether side info is present;
+    /// without S1/S2 factors the group receives zero gradient and stays
+    /// at its initial value.
+    pub gamma: usize,
 }
 
 /// Build statistics (reported in diagnostics).
@@ -530,8 +536,100 @@ pub(crate) fn init_params(fs: FeatureSet) -> (Params, ParamGroups) {
             params.add_group(1, 2.0),
             params.add_group(1, 2.0),
         ],
+        gamma: params.add_group(1, 2.0),
     };
     (params, groups)
+}
+
+/// Imported links matching `key`, with a determiner-stripped fallback
+/// for NP surfaces ("the acme corp" hits an imported "acme corp" row).
+fn side_lookup<'a>(side: &'a jocl_kb::SideKb, key: &str, entity: bool) -> &'a [jocl_kb::SideLink] {
+    let links = if entity { side.entity_links(key) } else { side.relation_links(key) };
+    if links.is_empty() && entity {
+        if let Some(stripped) = key.strip_prefix("the ") {
+            return side.entity_links(stripped);
+        }
+    }
+    links
+}
+
+/// Resolve imported side links into candidate-space probabilities:
+/// append resolved targets missing from `cands` (imported evidence may
+/// introduce candidates retrieval missed), then score every candidate —
+/// imported targets at `0.5 + w/2`, the rest at `0.5 - wmax/2`. `None`
+/// (no table, no row for this surface, or nothing resolvable against
+/// the CKB) means **no factor**, leaving the graph untouched.
+fn side_probs<T: Copy + PartialEq>(
+    links: &[jocl_kb::SideLink],
+    side: &jocl_kb::SideKb,
+    resolve: impl Fn(&str) -> Option<T>,
+    cands: &mut Vec<T>,
+) -> Option<Vec<f64>> {
+    let mut matched: Vec<(T, f64)> = Vec::new();
+    for l in links {
+        if let Some(id) = resolve(side.resolve(l.target)) {
+            if !matched.iter().any(|&(e, _)| e == id) {
+                matched.push((id, l.weight));
+            }
+        }
+    }
+    if matched.is_empty() {
+        return None;
+    }
+    for &(id, _) in &matched {
+        if !cands.contains(&id) {
+            cands.push(id);
+        }
+    }
+    let wmax = matched.iter().map(|&(_, w)| w).fold(0.0, f64::max);
+    Some(
+        cands
+            .iter()
+            .map(|c| match matched.iter().find(|&&(e, _)| e == *c) {
+                Some(&(_, w)) => 0.5 + w / 2.0,
+                None => 0.5 - wmax / 2.0,
+            })
+            .collect(),
+    )
+}
+
+/// NP-side injection: see [`side_probs`]. Shared verbatim by the batch
+/// builder and the incremental session so their per-key caches stay
+/// bit-identical.
+pub(crate) fn entity_side_probs(
+    side: Option<&jocl_kb::SideKb>,
+    ckb: &Ckb,
+    key: &str,
+    cands: &mut Vec<EntityId>,
+) -> Option<Vec<f64>> {
+    let side = side?;
+    let links = side_lookup(side, key, true);
+    if links.is_empty() {
+        return None;
+    }
+    side_probs(links, side, |name| ckb.entity_by_name(name), cands)
+}
+
+/// RP-side injection: see [`side_probs`].
+pub(crate) fn relation_side_probs(
+    side: Option<&jocl_kb::SideKb>,
+    ckb: &Ckb,
+    key: &str,
+    cands: &mut Vec<RelationId>,
+) -> Option<Vec<f64>> {
+    let side = side?;
+    let links = side_lookup(side, key, false);
+    if links.is_empty() {
+        return None;
+    }
+    side_probs(links, side, |name| ckb.relation_by_name(name), cands)
+}
+
+/// The active side-information table of a config: `None` when unset
+/// **or empty** — an empty table must leave inference bitwise-identical
+/// to the side-info-free pipeline.
+pub(crate) fn active_side_info(config: &JoclConfig) -> Option<&jocl_kb::SideKb> {
+    config.side_info.as_deref().filter(|s| !s.is_empty())
 }
 
 fn build_graph_sharded(
@@ -560,6 +658,7 @@ fn build_graph_sharded(
     let mut rp_candidates: Vec<Vec<RelationId>> = vec![Vec::new(); okb.num_rp_mentions()];
     if with_linking {
         let gen = CandidateGen::new(ckb, config.candidates.clone());
+        let side = active_side_info(config);
         // Candidates + features per distinct phrase, computed **from the
         // lowercase key itself**: every signal is case-insensitive (the
         // cache conflates case variants by construction), and deriving
@@ -573,18 +672,18 @@ fn build_graph_sharded(
             let phrase = okb.np_phrase(m);
             (phrase.to_lowercase(), ())
         }));
-        let np_values: Vec<(Vec<EntityId>, Vec<Vec<f64>>)> =
-            sharded_map(pool, &np_keys, |(key, ())| {
-                let scored = gen.entity_candidates(key);
-                let cands: Vec<EntityId> = scored.iter().map(|s| s.id).collect();
-                let feats: Vec<Vec<f64>> =
-                    cands.iter().map(|&e| entity_link_features(signals, ckb, key, e, fs)).collect();
-                (cands, feats)
-            });
+        let np_values: Vec<LinkValues<EntityId>> = sharded_map(pool, &np_keys, |(key, ())| {
+            let scored = gen.entity_candidates(key);
+            let mut cands: Vec<EntityId> = scored.iter().map(|s| s.id).collect();
+            let side_probs = entity_side_probs(side, ckb, key, &mut cands);
+            let feats: Vec<Vec<f64>> =
+                cands.iter().map(|&e| entity_link_features(signals, ckb, key, e, fs)).collect();
+            (cands, feats, side_probs)
+        });
         graph.reserve(okb.num_np_mentions(), okb.num_np_mentions());
         for m in okb.np_mentions() {
             let key = okb.np_phrase(m).to_lowercase();
-            let (cands, feats) = &np_values[np_index[&key]];
+            let (cands, feats, side_probs) = &np_values[np_index[&key]];
             if cands.is_empty() {
                 continue;
             }
@@ -594,6 +693,13 @@ fn build_graph_sharded(
                 NpSlot::Object => (groups.alpha6, classes::F6),
             };
             graph.add_factor(&[var], Potential::Features { group, feats: feats.clone() }, class);
+            if let Some(probs) = side_probs {
+                graph.add_factor(
+                    &[var],
+                    Potential::from_probs(groups.gamma, probs.clone()),
+                    classes::S1,
+                );
+            }
             np_link_vars[m.dense()] = Some(var);
             np_candidates[m.dense()] = cands.clone();
         }
@@ -607,10 +713,14 @@ fn build_graph_sharded(
             let phrase = okb.rp_phrase(m);
             (phrase.to_lowercase(), ())
         }));
-        let rp_cands: Vec<Vec<RelationId>> = sharded_map(pool, &rp_keys, |(key, ())| {
-            gen.relation_candidates(key).iter().map(|s| s.id).collect()
-        });
-        let mut used_rels: Vec<u32> = rp_cands.iter().flatten().map(|r| r.0).collect();
+        let rp_cands: Vec<(Vec<RelationId>, Option<Vec<f64>>)> =
+            sharded_map(pool, &rp_keys, |(key, ())| {
+                let mut cands: Vec<RelationId> =
+                    gen.relation_candidates(key).iter().map(|s| s.id).collect();
+                let side_probs = relation_side_probs(side, ckb, key, &mut cands);
+                (cands, side_probs)
+            });
+        let mut used_rels: Vec<u32> = rp_cands.iter().flat_map(|(c, _)| c).map(|r| r.0).collect();
         used_rels.sort_unstable();
         used_rels.dedup();
         let used_ctx: Vec<Vec<(PhraseCtx, PhraseCtx)>> = sharded_map(pool, &used_rels, |&rid| {
@@ -626,23 +736,23 @@ fn build_graph_sharded(
         let ctx_of = |r: RelationId| -> &Vec<(PhraseCtx, PhraseCtx)> {
             &used_ctx[used_rels.binary_search(&r.0).expect("candidate relation has a context")]
         };
-        let rp_values: Vec<(Vec<RelationId>, Vec<Vec<f64>>)> = sharded_map(
+        let rp_values: Vec<LinkValues<RelationId>> = sharded_map(
             pool,
             &rp_cands.iter().zip(&rp_keys).collect::<Vec<_>>(),
-            |(cands, (key, ()))| {
+            |((cands, side_probs), (key, ()))| {
                 let pctx = signals.phrase_ctx(key);
                 let nctx = signals.phrase_ctx(&jocl_text::normalize::morph_normalize_rp(key));
                 let feats: Vec<Vec<f64>> = cands
                     .iter()
                     .map(|&r| relation_link_features_ctx(signals, &pctx, &nctx, ctx_of(r), fs))
                     .collect();
-                ((*cands).clone(), feats)
+                ((*cands).clone(), feats, (*side_probs).clone())
             },
         );
         graph.reserve(okb.num_rp_mentions(), okb.num_rp_mentions());
         for m in okb.rp_mentions() {
             let key = okb.rp_phrase(m).to_lowercase();
-            let (cands, feats) = &rp_values[rp_index[&key]];
+            let (cands, feats, side_probs) = &rp_values[rp_index[&key]];
             if cands.is_empty() {
                 continue;
             }
@@ -652,6 +762,13 @@ fn build_graph_sharded(
                 Potential::Features { group: groups.alpha5, feats: feats.clone() },
                 classes::F5,
             );
+            if let Some(probs) = side_probs {
+                graph.add_factor(
+                    &[var],
+                    Potential::from_probs(groups.gamma, probs.clone()),
+                    classes::S2,
+                );
+            }
             rp_link_vars[m.dense()] = Some(var);
             rp_candidates[m.dense()] = cands.clone();
         }
@@ -860,6 +977,10 @@ fn build_graph_sharded(
         stats,
     }
 }
+
+/// Per-phrase linking cache entry: candidate ids, per-candidate feature
+/// vectors, and the optional side-information probability row.
+pub(crate) type LinkValues<Id> = (Vec<Id>, Vec<Vec<f64>>, Option<Vec<f64>>);
 
 /// `(a_state, b_state, equal?)` for all candidate combinations.
 pub(crate) type EqualityTable = Vec<(usize, usize, bool)>;

@@ -129,6 +129,17 @@ pub struct JoclConfig {
     /// persisted under a different `FeatureSet`): stale weights should
     /// fail fast, not silently retrain or mis-infer.
     pub pretrained_params: Option<jocl_fg::Params>,
+    /// Imported external-KB side information (alias tables, link
+    /// dictionaries — [`jocl_kb::SideKb`]). When set, every surface form
+    /// with an imported link gains an extra unary potential on its
+    /// linking variable (classes [`classes::S1`]/[`classes::S2`],
+    /// parameter group γ), and imported targets missing from the
+    /// retrieved candidate list are appended to it. `None` — or an
+    /// **empty** table — leaves inference bitwise-identical to the
+    /// side-info-free pipeline. Shared by `Arc` so batch, incremental
+    /// and serving planes pin the same table; the serve snapshot
+    /// fingerprint records its [`jocl_kb::SideKb::fingerprint`].
+    pub side_info: Option<std::sync::Arc<jocl_kb::SideKb>>,
 }
 
 impl Default for JoclConfig {
@@ -156,6 +167,7 @@ impl Default for JoclConfig {
             seed: 7,
             message_store: jocl_fg::MessageStore::Exact,
             pretrained_params: None,
+            side_info: None,
         }
     }
 }
@@ -189,6 +201,11 @@ pub mod classes {
     pub const U6: u8 = 12;
     /// U7: object consistency.
     pub const U7: u8 = 13;
+    /// S1: NP side-information potentials (imported alias/link tables on
+    /// entity-linking variables).
+    pub const S1: u8 = 14;
+    /// S2: RP side-information potentials.
+    pub const S2: u8 = 15;
 
     /// Variable class of canonicalization variables.
     pub const VAR_CANON: u8 = 0;
@@ -197,15 +214,18 @@ pub mod classes {
 }
 
 /// The paper's phased LBP schedule (§3.4): canonicalization factors →
-/// transitivity → linking factors → fact inclusion → consistency; then
-/// canonicalization variables → linking variables.
+/// transitivity → linking factors (side-information potentials ride in
+/// the same phase — they are extra unary evidence on the same linking
+/// variables) → fact inclusion → consistency; then canonicalization
+/// variables → linking variables. A class with no factors is a no-op, so
+/// runs without side information are untouched by S1/S2.
 pub fn paper_schedule() -> jocl_fg::Schedule {
     use classes::*;
     jocl_fg::Schedule::Phased {
         factor_phases: vec![
             vec![F1, F2, F3],
             vec![U1, U2, U3],
-            vec![F4, F5, F6],
+            vec![F4, F5, F6, S1, S2],
             vec![U4],
             vec![U5, U6, U7],
         ],
@@ -244,6 +264,11 @@ mod tests {
         };
         assert_eq!(factor_phases.len(), 5);
         assert_eq!(factor_phases[0], vec![F1, F2, F3]);
+        assert_eq!(
+            factor_phases[2],
+            vec![F4, F5, F6, S1, S2],
+            "side-information potentials ride the linking phase"
+        );
         assert_eq!(factor_phases[4], vec![U5, U6, U7]);
         assert_eq!(var_phases, vec![vec![VAR_CANON], vec![VAR_LINK]]);
     }

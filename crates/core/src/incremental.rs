@@ -114,7 +114,7 @@ use crate::blocking::{BlockingDelta, BlockingIndex};
 use crate::builder::{
     entity_link_features, equality_table, init_params, np_canon_features, ordered_key,
     pair_potential, relation_link_features, rp_canon_features, transitivity_scores, BuildStats,
-    GraphPlan,
+    GraphPlan, LinkValues,
 };
 use crate::config::{classes, JoclConfig, Variant};
 use crate::decode::{decode_live, Diagnostics, JoclOutput};
@@ -253,10 +253,12 @@ pub struct IncrementalJocl<'a> {
     marginals: Vec<Vec<f64>>,
     /// Connected components over variables (factors union their vars).
     components: UnionFind,
-    /// Candidate + feature cache per distinct lowercase NP phrase.
-    np_values: FxHashMap<String, (Vec<EntityId>, Vec<Vec<f64>>)>,
-    /// Candidate + feature cache per distinct lowercase RP phrase.
-    rp_values: FxHashMap<String, (Vec<RelationId>, Vec<Vec<f64>>)>,
+    /// Candidate + feature (+ side-information probability) cache per
+    /// distinct lowercase NP phrase.
+    np_values: FxHashMap<String, LinkValues<EntityId>>,
+    /// Candidate + feature (+ side-information probability) cache per
+    /// distinct lowercase RP phrase.
+    rp_values: FxHashMap<String, LinkValues<RelationId>>,
     /// F1/F3 similarity cache per ordered lowercase phrase pair.
     np_pair_sims: FxHashMap<(String, String), Vec<f64>>,
     /// F2 similarity cache per ordered lowercase phrase pair.
@@ -365,6 +367,11 @@ impl<'a> IncrementalJocl<'a> {
     /// The active configuration.
     pub fn config(&self) -> &JoclConfig {
         &self.config
+    }
+
+    /// The shared curated KB this session links against.
+    pub fn ckb(&self) -> &'a Ckb {
+        self.ckb
     }
 
     /// Triples currently in the session.
@@ -999,15 +1006,19 @@ impl<'a> IncrementalJocl<'a> {
                     // refills (including after a snapshot restore)
                     // bit-for-bit reproducible.
                     let key = self.okb.np_phrase(m).to_lowercase();
-                    let (cands, feats) = self.np_values.entry(key.clone()).or_insert_with(|| {
-                        let scored = gen.entity_candidates(&key);
-                        let cands: Vec<EntityId> = scored.iter().map(|s| s.id).collect();
-                        let feats: Vec<Vec<f64>> = cands
-                            .iter()
-                            .map(|&e| entity_link_features(self.signals, self.ckb, &key, e, fs))
-                            .collect();
-                        (cands, feats)
-                    });
+                    let side = crate::builder::active_side_info(&self.config);
+                    let (cands, feats, side_probs) =
+                        self.np_values.entry(key.clone()).or_insert_with(|| {
+                            let scored = gen.entity_candidates(&key);
+                            let mut cands: Vec<EntityId> = scored.iter().map(|s| s.id).collect();
+                            let side_probs =
+                                crate::builder::entity_side_probs(side, self.ckb, &key, &mut cands);
+                            let feats: Vec<Vec<f64>> = cands
+                                .iter()
+                                .map(|&e| entity_link_features(self.signals, self.ckb, &key, e, fs))
+                                .collect();
+                            (cands, feats, side_probs)
+                        });
                     if cands.is_empty() {
                         continue;
                     }
@@ -1022,20 +1033,34 @@ impl<'a> IncrementalJocl<'a> {
                         Potential::Features { group, feats: feats.clone() },
                         class,
                     );
+                    if let Some(probs) = side_probs {
+                        // An appended factor lands in the dirty range
+                        // `first_new_factor..`, so new side info primes
+                        // only dirty blocks — exactly like F4/F6.
+                        self.plan.graph.add_factor(
+                            &[var],
+                            Potential::from_probs(groups.gamma, probs.clone()),
+                            classes::S1,
+                        );
+                    }
                     self.plan.np_link_vars[m.dense()] = Some(var);
                     self.plan.np_candidates[m.dense()] = cands.clone();
                 }
                 let m = RpMention(t);
                 let key = self.okb.rp_phrase(m).to_lowercase();
-                let (cands, feats) = self.rp_values.entry(key.clone()).or_insert_with(|| {
-                    let scored = gen.relation_candidates(&key);
-                    let cands: Vec<RelationId> = scored.iter().map(|s| s.id).collect();
-                    let feats: Vec<Vec<f64>> = cands
-                        .iter()
-                        .map(|&r| relation_link_features(self.signals, self.ckb, &key, r, fs))
-                        .collect();
-                    (cands, feats)
-                });
+                let side = crate::builder::active_side_info(&self.config);
+                let (cands, feats, side_probs) =
+                    self.rp_values.entry(key.clone()).or_insert_with(|| {
+                        let scored = gen.relation_candidates(&key);
+                        let mut cands: Vec<RelationId> = scored.iter().map(|s| s.id).collect();
+                        let side_probs =
+                            crate::builder::relation_side_probs(side, self.ckb, &key, &mut cands);
+                        let feats: Vec<Vec<f64>> = cands
+                            .iter()
+                            .map(|&r| relation_link_features(self.signals, self.ckb, &key, r, fs))
+                            .collect();
+                        (cands, feats, side_probs)
+                    });
                 if !cands.is_empty() {
                     let var =
                         self.plan.graph.add_var_with_class(cands.len() as u32, classes::VAR_LINK);
@@ -1044,6 +1069,13 @@ impl<'a> IncrementalJocl<'a> {
                         Potential::Features { group: groups.alpha5, feats: feats.clone() },
                         classes::F5,
                     );
+                    if let Some(probs) = side_probs {
+                        self.plan.graph.add_factor(
+                            &[var],
+                            Potential::from_probs(groups.gamma, probs.clone()),
+                            classes::S2,
+                        );
+                    }
                     self.plan.rp_link_vars[m.dense()] = Some(var);
                     self.plan.rp_candidates[m.dense()] = cands.clone();
                 }

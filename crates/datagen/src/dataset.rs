@@ -4,7 +4,9 @@ use crate::options::WorldOptions;
 use crate::words::Zipf;
 use crate::world::World;
 use jocl_cluster::Clustering;
-use jocl_kb::{Ckb, CkbRelation, Entity, EntityId, Okb, RelationId, SideInfo, Triple, TripleId};
+use jocl_kb::{
+    Ckb, CkbRelation, Entity, EntityId, Okb, RelationId, SideInfo, SideKb, Triple, TripleId,
+};
 use jocl_rules::ParaphraseStore;
 use jocl_text::tokenize;
 use rand::rngs::StdRng;
@@ -272,6 +274,46 @@ impl Dataset {
         (validation, test)
     }
 
+    /// The **alias-dictionary preset**: an external side-information
+    /// table that recovers exactly the aliases and relation paraphrases
+    /// `ckb_alias_gap` dropped from the curated KB. The world knows the
+    /// full inventory; the CKB kept an incomplete subset; the diff is
+    /// what a CESI-style imported dictionary (Wikipedia redirects, PPDB)
+    /// would contribute — surface forms the OKB keeps using that string
+    /// match against the CKB can no longer resolve. Every row maps the
+    /// dropped surface to the entity's (relation's) canonical CKB name
+    /// with confidence `weight`.
+    ///
+    /// # Panics
+    /// Panics unless `weight` is finite and in `(0, 1]` (the
+    /// [`SideKb`] row contract).
+    pub fn alias_side_kb(&self, weight: f64) -> SideKb {
+        let mut side = SideKb::new();
+        for i in 0..self.world.num_ckb_entities() {
+            let id = EntityId(i as u32);
+            let kept: std::collections::HashSet<String> =
+                self.ckb.entity(id).aliases.iter().map(|a| a.to_lowercase()).collect();
+            let name = &self.ckb.entity(id).name;
+            for alias in &self.world.entities[i].aliases {
+                if !kept.contains(&alias.to_lowercase()) {
+                    side.add_entity_link(alias, name, weight);
+                }
+            }
+        }
+        for (r, rel) in self.world.relations.iter().enumerate() {
+            let id = RelationId(r as u32);
+            let kept: std::collections::HashSet<String> =
+                self.ckb.relation(id).surface_forms.iter().map(|s| s.to_lowercase()).collect();
+            let name = &self.ckb.relation(id).name;
+            for sf in rel.surface_forms() {
+                if !kept.contains(&sf.to_lowercase()) {
+                    side.add_relation_link(&sf, name, weight);
+                }
+            }
+        }
+        side
+    }
+
     /// Sample `n` NP mention indexes with gold labels (the paper's
     /// "randomly sample 100 … and manually label them" protocol for
     /// NYTimes2018).
@@ -529,6 +571,40 @@ mod tests {
         // NYTimes regime: more OOV.
         let oov = d.gold.np_entity.iter().filter(|e| e.is_none()).count();
         assert!(oov as f64 / d.gold.np_entity.len() as f64 > 0.1);
+    }
+
+    #[test]
+    fn alias_side_kb_recovers_exactly_the_gap() {
+        let d = reverb45k_like(5, 0.01);
+        let side = d.alias_side_kb(0.9);
+        assert!(!side.is_empty(), "gap 0.35 must drop some aliases at this scale");
+        for (kind, surface, target, weight) in side.canonical_rows() {
+            assert_eq!(weight, 0.9);
+            if kind == 'e' {
+                let id = d.ckb.entity_by_name(target).expect("targets are canonical CKB names");
+                // Recovered rows are exactly the dropped aliases: known to
+                // the world, absent from the CKB inventory.
+                assert!(
+                    d.ckb.entity(id).aliases.iter().all(|a| a.to_lowercase() != surface),
+                    "{surface:?} was not dropped from {target:?}"
+                );
+                assert!(
+                    d.world.entities[id.idx()].aliases.iter().any(|a| a.to_lowercase() == surface),
+                    "{surface:?} is not a world alias of {target:?}"
+                );
+            } else {
+                let id = d.ckb.relation_by_name(target).expect("canonical relation names");
+                assert!(d
+                    .ckb
+                    .relation(id)
+                    .surface_forms
+                    .iter()
+                    .all(|s| s.to_lowercase() != surface));
+            }
+        }
+        // Deterministic: the dictionary is a pure function of the dataset.
+        assert_eq!(side.fingerprint(), d.alias_side_kb(0.9).fingerprint());
+        assert_ne!(side.fingerprint(), d.alias_side_kb(0.5).fingerprint());
     }
 
     #[test]

@@ -17,5 +17,5 @@ pub mod linking;
 pub mod report;
 
 pub use clustering::{evaluate_clustering, ClusteringScores, PrecisionRecallF1};
-pub use linking::{linking_accuracy, LinkingScore};
+pub use linking::{linking_accuracy, linking_prf, LinkPrf, LinkingScore};
 pub use report::{BarChart, Table};

@@ -29,6 +29,79 @@ impl LinkingScore {
     }
 }
 
+/// Abstention-aware linking quality: precision, recall and F1 over the
+/// labeled mentions. Accuracy treats an abstained (`None`) prediction
+/// and a wrong one identically; serving a `link` endpoint they are very
+/// different failure modes, so the link gate reports all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkPrf {
+    /// Labeled mentions predicted with the gold target.
+    pub tp: usize,
+    /// Labeled mentions predicted with a *wrong* target.
+    pub fp: usize,
+    /// Labeled mentions missed: wrong target or abstained.
+    pub fn_: usize,
+}
+
+impl LinkPrf {
+    /// `tp / (tp + fp)` — of the links asserted, how many were right.
+    /// 0 when nothing was asserted.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// `tp / (tp + fn)` — of the gold links, how many were found.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Precision/recall/F1 against gold, under the same sampled-ground-truth
+/// protocol as [`linking_accuracy`]: unlabeled (`None` gold) mentions
+/// are excluded entirely. A wrong assertion costs both precision (fp)
+/// and recall (fn); an abstention costs recall only.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn linking_prf<T: PartialEq>(predicted: &[Option<T>], gold: &[Option<T>]) -> LinkPrf {
+    assert_eq!(
+        predicted.len(),
+        gold.len(),
+        "predicted and gold link vectors must cover the same mentions"
+    );
+    let mut prf = LinkPrf { tp: 0, fp: 0, fn_: 0 };
+    for (p, g) in predicted.iter().zip(gold) {
+        let Some(g) = g else { continue };
+        match p {
+            Some(p) if p == g => prf.tp += 1,
+            Some(_) => {
+                prf.fp += 1;
+                prf.fn_ += 1;
+            }
+            None => prf.fn_ += 1,
+        }
+    }
+    prf
+}
+
 /// Compare predictions against gold. Both are per-mention optional targets
 /// (`None` prediction = abstained / NIL; `None` gold = unlabeled).
 ///
@@ -103,5 +176,35 @@ mod tests {
         let p = vec![Some(1u32)];
         let g: Vec<Option<u32>> = vec![];
         linking_accuracy(&p, &g);
+    }
+
+    #[test]
+    fn prf_separates_wrong_from_abstained() {
+        // gold: 4 labeled + 1 unlabeled; predictions: 2 right, 1 wrong,
+        // 1 abstained, 1 asserted-on-unlabeled (ignored).
+        let p = vec![Some(1u32), Some(2), Some(9), None, Some(7)];
+        let g = vec![Some(1u32), Some(2), Some(3), Some(4), None];
+        let prf = linking_prf(&p, &g);
+        assert_eq!(prf, LinkPrf { tp: 2, fp: 1, fn_: 2 });
+        assert!((prf.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(prf.recall(), 0.5);
+        let f1 = 2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5);
+        assert!((prf.f1() - f1).abs() < 1e-12);
+        // Accuracy on the same vectors cannot tell the wrong from the
+        // abstained mention; precision can.
+        assert_eq!(linking_accuracy(&p, &g).accuracy(), 0.5);
+    }
+
+    #[test]
+    fn prf_edge_cases_are_zero_not_nan() {
+        let e: Vec<Option<u32>> = vec![];
+        let prf = linking_prf(&e, &e);
+        assert_eq!((prf.precision(), prf.recall(), prf.f1()), (0.0, 0.0, 0.0));
+        let all_abstain = linking_prf(&[None, None], &[Some(1u32), Some(2)]);
+        assert_eq!(all_abstain.precision(), 0.0);
+        assert_eq!(all_abstain.recall(), 0.0);
+        assert_eq!(all_abstain.f1(), 0.0);
+        let perfect = linking_prf(&[Some(3u32)], &[Some(3u32)]);
+        assert_eq!(perfect.f1(), 1.0);
     }
 }

@@ -140,6 +140,30 @@ impl Potential {
         );
         Potential::TwoLevelScores { group, size, high_configs, high, low }
     }
+
+    /// Build a [`Potential::Scores`] from per-configuration probabilities
+    /// in `[0, 1]` — the **side-information injection seam**: imported
+    /// evidence (alias tables, external-KB links) enters inference as one
+    /// of these unary score potentials on a linking variable, `u(c)` the
+    /// calibrated belief that configuration `c` is the imported target,
+    /// scaled by the side-information weight group like every other
+    /// score factor. Centered at 0.5 so an uninformative probability
+    /// contributes nothing relative to its alternatives.
+    ///
+    /// # Panics
+    /// Panics on an empty table or any probability outside `[0, 1]`
+    /// (non-finite included) — imported side information is validated at
+    /// the boundary, never silently clamped.
+    pub fn from_probs(group: usize, probs: Vec<f64>) -> Potential {
+        assert!(!probs.is_empty(), "side-information potential needs at least one configuration");
+        for &p in &probs {
+            assert!(
+                p.is_finite() && (0.0..=1.0).contains(&p),
+                "side-information probability must be in [0, 1], got {p}"
+            );
+        }
+        Potential::Scores { group, scores: probs }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -601,6 +625,28 @@ mod tests {
         assert_eq!(g.var_degree(a), 1, "adjacency survives the tombstone");
         g.neutralize_factor(f); // idempotent
         assert_eq!(g.factor_potential(f).log_phi(&params, 0), 0.0);
+    }
+
+    /// The side-information seam: `from_probs` is an ordinary unary
+    /// score potential (`log φ = β · p`), and out-of-range or non-finite
+    /// probabilities are rejected at the boundary.
+    #[test]
+    fn from_probs_is_a_scaled_score_potential() {
+        let p = Potential::from_probs(3, vec![0.95, 0.05, 0.5]);
+        assert_eq!(p.group(), 3);
+        assert_eq!(p.table_len(), 3);
+        let mut params = Params::new();
+        for _ in 0..4 {
+            params.add_group(1, 2.0);
+        }
+        assert_eq!(p.log_phi(&params, 0), 2.0 * 0.95);
+        assert_eq!(p.score(1), Some(0.05));
+        for bad in [vec![1.5], vec![-0.1], vec![f64::NAN], vec![f64::INFINITY], vec![]] {
+            assert!(
+                std::panic::catch_unwind(|| Potential::from_probs(0, bad.clone())).is_err(),
+                "{bad:?} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -87,6 +87,11 @@ pub struct Ckb {
     rel_surface_index: FxHashMap<String, Vec<RelationId>>,
     /// entity → entities co-occurring in at least one fact.
     cooccur: Vec<FxHashSet<u32>>,
+    /// lowercased canonical name → entity (first entity wins; canonical
+    /// names are unique by convention). Resolves external side-info rows.
+    name_index: FxHashMap<String, EntityId>,
+    /// lowercased canonical name → relation (first relation wins).
+    rel_name_index: FxHashMap<String, RelationId>,
 }
 
 impl Ckb {
@@ -108,6 +113,7 @@ impl Ckb {
                 }
             }
         }
+        self.name_index.entry(entity.name.to_lowercase()).or_insert(id);
         self.entities.push(entity);
         self.cooccur.push(FxHashSet::default());
         id
@@ -119,6 +125,7 @@ impl Ckb {
         for sf in &relation.surface_forms {
             self.rel_surface_index.entry(sf.to_lowercase()).or_default().push(id);
         }
+        self.rel_name_index.entry(relation.name.to_lowercase()).or_insert(id);
         self.relations.push(relation);
         id
     }
@@ -186,6 +193,17 @@ impl Ckb {
     /// Relations whose surface form equals `surface` (case-insensitive).
     pub fn relations_by_surface(&self, surface: &str) -> &[RelationId] {
         self.rel_surface_index.get(&surface.to_lowercase()).map_or(&[], Vec::as_slice)
+    }
+
+    /// The entity whose **canonical name** equals `name`
+    /// (case-insensitive). Resolves imported side-information targets.
+    pub fn entity_by_name(&self, name: &str) -> Option<EntityId> {
+        self.name_index.get(&name.to_lowercase()).copied()
+    }
+
+    /// The relation whose canonical name equals `name` (case-insensitive).
+    pub fn relation_by_name(&self, name: &str) -> Option<RelationId> {
+        self.rel_name_index.get(&name.to_lowercase()).copied()
     }
 
     /// Entity accessor.
@@ -305,6 +323,16 @@ mod tests {
     fn relation_surface_lookup() {
         let (ckb, _, _, member) = sample();
         assert_eq!(ckb.relations_by_surface("Be A Member Of"), &[member]);
+    }
+
+    #[test]
+    fn canonical_name_lookup_is_case_insensitive() {
+        let (ckb, umd, u21, member) = sample();
+        assert_eq!(ckb.entity_by_name("University of Maryland"), Some(umd));
+        assert_eq!(ckb.entity_by_name("universitas 21"), Some(u21));
+        assert_eq!(ckb.relation_by_name("ORGANIZATIONS_FOUNDED"), Some(member));
+        assert_eq!(ckb.entity_by_name("umd"), None, "aliases are not canonical names");
+        assert_eq!(ckb.relation_by_name("nope"), None);
     }
 
     #[test]

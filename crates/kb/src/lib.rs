@@ -14,6 +14,9 @@
 //!   source-text side information (consumed by the SIST baseline).
 //! * [`candidates`] — candidate entity/relation generation for linking
 //!   variables (`|e_si|` states per mention, §3.2.1).
+//! * [`side`] — imported external-KB side information (alias tables,
+//!   link dictionaries à la CESI), interned and fingerprinted, fed into
+//!   inference as additional factor potentials by `jocl_core`.
 //! * [`tsv`] — a small, tested TSV codec so datasets can be persisted and
 //!   reloaded without pulling in a serialization dependency.
 //! * [`snap`] — the binary snapshot codec behind warm serving-session
@@ -25,6 +28,7 @@ pub mod ckb;
 pub mod error;
 pub mod feed;
 pub mod okb;
+pub mod side;
 pub mod snap;
 pub mod tsv;
 
@@ -33,3 +37,4 @@ pub use ckb::{Ckb, CkbRelation, Entity, EntityId, RelationId};
 pub use error::KbError;
 pub use feed::FeedCursor;
 pub use okb::{NpMention, NpSlot, Okb, RpMention, SideInfo, Triple, TripleId};
+pub use side::{SideKb, SideLink};

@@ -1,0 +1,284 @@
+//! External-KB **side information**: imported alias tables and link
+//! dictionaries, in the CESI style — outside knowledge that is fed into
+//! inference as additional factor potentials rather than bolted on
+//! beside it.
+//!
+//! A [`SideKb`] maps *surface forms* to curated-KB *target names* with a
+//! confidence weight in `(0, 1]`:
+//!
+//! * entity rows back NP linking variables (alias dictionaries,
+//!   external-KB link imports);
+//! * relation rows back RP linking variables (paraphrase dictionaries).
+//!
+//! All strings are interned through [`jocl_text::Interner`] and keys are
+//! canonicalized to lowercase, so lookups on the inference hot path
+//! compare 4-byte symbols, not strings. Iteration order is the sorted
+//! canonical order — deterministic regardless of insertion order — and
+//! [`SideKb::fingerprint`] hashes exactly that canonical serialization,
+//! which is what the serve snapshot config fingerprint pins.
+
+use jocl_text::{Interner, Sym};
+
+/// One imported link: a target name in the curated KB plus the import's
+/// confidence weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SideLink {
+    /// Interned lowercase target name (entity or relation canonical name).
+    pub target: Sym,
+    /// Import confidence in `(0, 1]`.
+    pub weight: f64,
+}
+
+/// An imported side-information table (alias dictionaries, external-KB
+/// links). See the module docs.
+#[derive(Debug, Default, Clone)]
+pub struct SideKb {
+    strings: Interner,
+    /// surface → imported entity links (first import of a
+    /// (surface, target) pair wins; later duplicates are ignored).
+    entity_links: jocl_text::fx::FxHashMap<Sym, Vec<SideLink>>,
+    /// surface → imported relation links.
+    relation_links: jocl_text::fx::FxHashMap<Sym, Vec<SideLink>>,
+    num_entity_rows: usize,
+    num_relation_rows: usize,
+}
+
+fn validate_weight(weight: f64) -> f64 {
+    assert!(
+        weight.is_finite() && weight > 0.0 && weight <= 1.0,
+        "side-information weight must be in (0, 1], got {weight}"
+    );
+    weight
+}
+
+impl SideKb {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn add(
+        strings: &mut Interner,
+        links: &mut jocl_text::fx::FxHashMap<Sym, Vec<SideLink>>,
+        surface: &str,
+        target: &str,
+        weight: f64,
+    ) -> bool {
+        let weight = validate_weight(weight);
+        let surface = strings.intern(surface.to_lowercase().trim());
+        let target = strings.intern(target.to_lowercase().trim());
+        let list = links.entry(surface).or_default();
+        if list.iter().any(|l| l.target == target) {
+            return false; // first import wins
+        }
+        list.push(SideLink { target, weight });
+        true
+    }
+
+    /// Import `surface → entity_name` with confidence `weight`. Keys are
+    /// trimmed and lowercased; re-importing an existing (surface, target)
+    /// pair is ignored (first import wins). Returns whether the row was
+    /// new.
+    ///
+    /// # Panics
+    /// Panics unless `weight` is finite and in `(0, 1]`.
+    pub fn add_entity_link(&mut self, surface: &str, entity_name: &str, weight: f64) -> bool {
+        let added =
+            Self::add(&mut self.strings, &mut self.entity_links, surface, entity_name, weight);
+        self.num_entity_rows += added as usize;
+        added
+    }
+
+    /// Import `surface → relation_name` with confidence `weight`. Same
+    /// contract as [`SideKb::add_entity_link`].
+    pub fn add_relation_link(&mut self, surface: &str, relation_name: &str, weight: f64) -> bool {
+        let added =
+            Self::add(&mut self.strings, &mut self.relation_links, surface, relation_name, weight);
+        self.num_relation_rows += added as usize;
+        added
+    }
+
+    /// Imported entity links for a surface form (`surface` is lowercased
+    /// for lookup; the empty slice when none).
+    pub fn entity_links(&self, surface: &str) -> &[SideLink] {
+        self.lookup(&self.entity_links, surface)
+    }
+
+    /// Imported relation links for a surface form.
+    pub fn relation_links(&self, surface: &str) -> &[SideLink] {
+        self.lookup(&self.relation_links, surface)
+    }
+
+    fn lookup<'a>(
+        &'a self,
+        links: &'a jocl_text::fx::FxHashMap<Sym, Vec<SideLink>>,
+        surface: &str,
+    ) -> &'a [SideLink] {
+        let key = surface.trim().to_lowercase();
+        self.strings.get(&key).and_then(|sym| links.get(&sym)).map_or(&[], Vec::as_slice)
+    }
+
+    /// Resolve an interned name back to its string.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.strings.resolve(sym)
+    }
+
+    /// Number of imported entity rows.
+    pub fn num_entity_links(&self) -> usize {
+        self.num_entity_rows
+    }
+
+    /// Number of imported relation rows.
+    pub fn num_relation_links(&self) -> usize {
+        self.num_relation_rows
+    }
+
+    /// True when no rows were imported. An empty table is contractually
+    /// inert: inference with `Some(empty)` is bitwise-identical to
+    /// inference with `None`.
+    pub fn is_empty(&self) -> bool {
+        self.num_entity_rows == 0 && self.num_relation_rows == 0
+    }
+
+    /// All rows in canonical order: `(kind, surface, target, weight)`
+    /// sorted by `(kind, surface, target)` with kind `'e'` before `'r'`.
+    /// This is the serialization the TSV writer emits and the
+    /// [`fingerprint`](SideKb::fingerprint) hashes.
+    pub fn canonical_rows(&self) -> Vec<(char, &str, &str, f64)> {
+        let mut rows = Vec::with_capacity(self.num_entity_rows + self.num_relation_rows);
+        for (kind, links) in [('e', &self.entity_links), ('r', &self.relation_links)] {
+            for (&surface, list) in links {
+                for l in list {
+                    rows.push((
+                        kind,
+                        self.strings.resolve(surface),
+                        self.resolve(l.target),
+                        l.weight,
+                    ));
+                }
+            }
+        }
+        rows.sort_by(|a, b| (a.0, a.1, a.2).cmp(&(b.0, b.1, b.2)));
+        rows
+    }
+
+    /// FNV-1a hash of the canonical serialization — stable across
+    /// insertion orders, sensitive to every row and weight bit. The serve
+    /// snapshot config fingerprint stores this to pin the side-info
+    /// source a session was built with.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for (kind, surface, target, weight) in self.canonical_rows() {
+            eat(&[kind as u8]);
+            eat(surface.as_bytes());
+            eat(&[0]);
+            eat(target.as_bytes());
+            eat(&[0]);
+            eat(&weight.to_bits().to_le_bytes());
+        }
+        h
+    }
+
+    /// Approximate resident heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let links: usize = self
+            .entity_links
+            .values()
+            .chain(self.relation_links.values())
+            .map(|v| v.capacity() * size_of::<SideLink>())
+            .sum();
+        self.strings.heap_bytes()
+            + links
+            + (self.entity_links.capacity() + self.relation_links.capacity())
+                * (size_of::<Sym>() + size_of::<Vec<SideLink>>() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SideKb {
+        let mut side = SideKb::new();
+        assert!(side.add_entity_link("UMD", "University of Maryland", 0.9));
+        assert!(side.add_entity_link("the terps", "university of maryland", 0.6));
+        assert!(side.add_relation_link("be part of", "member_of", 0.8));
+        side
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive_and_trimmed() {
+        let side = sample();
+        let links = side.entity_links("  umd ");
+        assert_eq!(links.len(), 1);
+        assert_eq!(side.resolve(links[0].target), "university of maryland");
+        assert_eq!(links[0].weight, 0.9);
+        assert!(side.entity_links("unknown").is_empty());
+        assert_eq!(side.relation_links("BE PART OF").len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rows_first_import_wins() {
+        let mut side = sample();
+        assert!(!side.add_entity_link("umd", "UNIVERSITY OF MARYLAND", 0.1));
+        assert_eq!(side.num_entity_links(), 2);
+        assert_eq!(side.entity_links("umd")[0].weight, 0.9, "original weight kept");
+    }
+
+    #[test]
+    fn fingerprint_is_insertion_order_invariant() {
+        let a = sample();
+        let mut b = SideKb::new();
+        b.add_relation_link("be part of", "member_of", 0.8);
+        b.add_entity_link("the terps", "university of maryland", 0.6);
+        b.add_entity_link("UMD", "University of Maryland", 0.9);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = sample();
+        c.add_entity_link("umd", "u21", 0.9);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "new row changes the hash");
+        let mut d = SideKb::new();
+        d.add_entity_link("UMD", "University of Maryland", 0.91);
+        d.add_entity_link("the terps", "university of maryland", 0.6);
+        d.add_relation_link("be part of", "member_of", 0.8);
+        assert_ne!(a.fingerprint(), d.fingerprint(), "weight bits change the hash");
+    }
+
+    #[test]
+    fn empty_table_is_flagged_inert() {
+        assert!(SideKb::new().is_empty());
+        assert_eq!(SideKb::new().fingerprint(), SideKb::default().fingerprint());
+        assert!(!sample().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn zero_weight_is_rejected() {
+        SideKb::new().add_entity_link("a", "b", 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn non_finite_weight_is_rejected() {
+        SideKb::new().add_relation_link("a", "b", f64::NAN);
+    }
+
+    #[test]
+    fn canonical_rows_are_sorted() {
+        let side = sample();
+        let rows = side.canonical_rows();
+        let keys: Vec<_> = rows.iter().map(|r| (r.0, r.1, r.2)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], ('e', "the terps", "university of maryland", 0.6));
+        assert_eq!(rows[2], ('r', "be part of", "member_of", 0.8));
+    }
+}

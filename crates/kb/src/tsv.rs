@@ -18,6 +18,7 @@
 use crate::ckb::{Ckb, CkbRelation, Entity, EntityId, RelationId};
 use crate::error::KbError;
 use crate::okb::{Okb, SideInfo, Triple};
+use crate::side::SideKb;
 use std::fs;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
@@ -226,6 +227,72 @@ pub fn read_weight_groups(path: &Path) -> Result<Vec<Vec<f64>>, KbError> {
         groups.push(weights);
     }
     Ok(groups)
+}
+
+/// Write a side-information table as TSV: one row per imported link,
+/// 4 columns `kind  surface  target  weight` with kind `e` (entity) or
+/// `r` (relation), in the table's canonical order. Weights use Rust's
+/// shortest-roundtrip formatting, so [`read_side_kb`] restores them (and
+/// the table's [`SideKb::fingerprint`]) bit-exactly.
+pub fn write_side_kb(side: &SideKb, path: &Path) -> Result<(), KbError> {
+    let mut w = BufWriter::new(fs::File::create(path)?);
+    for (kind, surface, target, weight) in side.canonical_rows() {
+        writeln!(w, "{kind}\t{}\t{}\t{weight}", escape(surface), escape(target))?;
+    }
+    Ok(())
+}
+
+/// Read a side-information table written by [`write_side_kb`] (or by
+/// hand — external alias dictionaries import through this). Every
+/// malformed row is a typed per-line [`KbError::Parse`]: wrong column
+/// count, unknown kind, blank surface/target, or a weight outside
+/// `(0, 1]` (non-finite included).
+pub fn read_side_kb(path: &Path) -> Result<SideKb, KbError> {
+    let mut side = SideKb::new();
+    let reader = BufReader::new(fs::File::open(path)?);
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f = split_fields(&line);
+        if f.len() != 4 {
+            return Err(KbError::Parse {
+                line: lineno,
+                msg: format!(
+                    "side table expects 4 columns (kind surface target weight), got {}",
+                    f.len()
+                ),
+            });
+        }
+        let surface = unescape(f[1], lineno)?;
+        let target = unescape(f[2], lineno)?;
+        if surface.trim().is_empty() || target.trim().is_empty() {
+            return Err(KbError::Parse { line: lineno, msg: "blank surface or target".into() });
+        }
+        let weight = f[3].parse::<f64>().map_err(|_| KbError::Parse {
+            line: lineno,
+            msg: format!("invalid weight: {:?}", f[3]),
+        })?;
+        if !(weight.is_finite() && weight > 0.0 && weight <= 1.0) {
+            return Err(KbError::Parse {
+                line: lineno,
+                msg: format!("weight must be in (0, 1], got {:?}", f[3]),
+            });
+        }
+        match f[0] {
+            "e" => side.add_entity_link(&surface, &target, weight),
+            "r" => side.add_relation_link(&surface, &target, weight),
+            other => {
+                return Err(KbError::Parse {
+                    line: lineno,
+                    msg: format!("kind must be 'e' or 'r', got {other:?}"),
+                })
+            }
+        };
+    }
+    Ok(side)
 }
 
 /// Write a CKB into a directory (created if absent).
@@ -491,6 +558,51 @@ mod tests {
         assert!(matches!(read_weight_groups(&path), Err(KbError::Parse { line: 1, .. })));
         fs::write(&path, "1\tnot-a-number\n").unwrap();
         assert!(read_weight_groups(&path).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn side_kb_roundtrip_preserves_fingerprint() {
+        let dir = std::env::temp_dir().join(format!("jocl-side-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("side.tsv");
+        let mut side = SideKb::new();
+        side.add_entity_link("UMD", "University of Maryland", 0.9);
+        side.add_entity_link("pipe|alias", "tab\tname", 1.0 / 3.0);
+        side.add_relation_link("be part of", "member_of", 1.0);
+        write_side_kb(&side, &path).unwrap();
+        let loaded = read_side_kb(&path).unwrap();
+        assert_eq!(loaded.num_entity_links(), 2);
+        assert_eq!(loaded.num_relation_links(), 1);
+        assert_eq!(loaded.fingerprint(), side.fingerprint(), "bit-exact roundtrip");
+        assert_eq!(loaded.entity_links("umd")[0].weight, 0.9);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn side_kb_malformed_rows_are_typed_errors() {
+        let dir = std::env::temp_dir().join(format!("jocl-side-bad-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.tsv");
+        for (bad, what) in [
+            ("e\tumd\tuniversity of maryland\n", "3 columns"),
+            ("x\tumd\tu\t0.5\n", "unknown kind"),
+            ("e\t \tu\t0.5\n", "blank surface"),
+            ("e\tumd\tu\tlots\n", "non-numeric weight"),
+            ("e\tumd\tu\t0\n", "zero weight"),
+            ("e\tumd\tu\t1.5\n", "out-of-range weight"),
+            ("e\tumd\tu\tNaN\n", "non-finite weight"),
+            ("e\tbad\\q\tu\t0.5\n", "invalid escape"),
+        ] {
+            fs::write(&path, format!("e\tok\tfine\t0.5\n{bad}")).unwrap();
+            match read_side_kb(&path) {
+                Err(KbError::Parse { line, .. }) => assert_eq!(line, 2, "{what}"),
+                other => panic!("{what}: expected line-2 parse error, got {other:?}"),
+            }
+        }
+        // Comments and blank lines are fine.
+        fs::write(&path, "# alias dictionary\n\ne\tumd\tuniversity of maryland\t0.9\n").unwrap();
+        assert_eq!(read_side_kb(&path).unwrap().num_entity_links(), 1);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -26,8 +26,9 @@
 //! `ERR panic …` so one bad request can never take down the loop or the
 //! listener.
 
+use crate::api::{format_link, format_query};
 use crate::protocol::{
-    format_delta, format_query, format_stats, Command, ErrCode, Response, TripleRef, WireError,
+    format_delta, format_stats, Command, ErrCode, Response, TripleRef, WireError,
 };
 use crate::view::{ReadView, SessionStats};
 use crate::{ServeConfig, ServeSession};
@@ -246,6 +247,7 @@ impl<'a> Engine<'a> {
             Command::Query(phrase) => {
                 Response::Ok(format_query(phrase, &self.session.query_phrase(phrase)))
             }
+            Command::Link(req) => Response::Ok(format_link(&self.session.link(req))),
             Command::Stats => Response::line(format_stats(&self.session_stats())),
             Command::Snapshot(path) => self.snapshot(path.as_deref(), t0),
             Command::Restore(path) => self.restore(path.as_deref(), t0),

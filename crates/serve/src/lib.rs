@@ -44,12 +44,17 @@
 //! retraction parity, warm-restore savings, replica bitwise parity and
 //! serve-loop robustness at CI scale.
 
+pub mod api;
 pub mod engine;
 pub mod net;
 pub mod protocol;
 pub mod snapshot;
 pub mod view;
 
+pub use api::{
+    format_link, format_query, parse_link, parse_link_target, parse_query, LinkCandidate,
+    LinkReport, LinkRequest, LinkTarget, MentionReport,
+};
 pub use engine::{Engine, EngineOptions, FeedRole};
 pub use net::{ListenAddr, NetStats};
 pub use protocol::{parse_command, Command, ErrCode, Response, TripleRef, WireError};
@@ -61,7 +66,9 @@ use jocl_kb::{Ckb, EntityId, KbError, RelationId, TripleId};
 use std::path::Path;
 
 /// Serving-layer policy knobs (the model configuration stays in
-/// [`JoclConfig`]).
+/// [`JoclConfig`]). Construct via [`ServeConfig::builder`] — bins and
+/// tests should not hand-assemble the struct, so new knobs can land
+/// without touching every call site.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Tombstone (dead-factor) density above which
@@ -69,13 +76,66 @@ pub struct ServeConfig {
     /// Density never exceeds 1.0, so `f64::INFINITY` disables automatic
     /// compaction (manual [`ServeSession::compact`] still works).
     pub compact_threshold: f64,
+    /// Minimum calibrated confidence a `link` candidate must reach to be
+    /// reported (the request's own `threshold=` overrides it). `0.0`
+    /// reports everything.
+    pub link_threshold: f64,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         // Past half the factors being tombstones, every sweep does more
         // dead work than live work — rebuild.
-        Self { compact_threshold: 0.5 }
+        Self { compact_threshold: 0.5, link_threshold: 0.0 }
+    }
+}
+
+impl ServeConfig {
+    /// Start from the defaults and override what you need.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder { config: Self::default() }
+    }
+}
+
+/// Builder for [`ServeConfig`]; every setter validates its knob at
+/// construction time, so a misconfigured serving plane fails before it
+/// opens a session.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Set the auto-compaction density threshold (`f64::INFINITY`
+    /// disables auto-compaction).
+    ///
+    /// # Panics
+    /// Panics when the value is NaN or negative.
+    pub fn compact_threshold(mut self, density: f64) -> Self {
+        assert!(
+            !density.is_nan() && density >= 0.0,
+            "compact_threshold must be a non-negative density (or +inf to disable), got {density}"
+        );
+        self.config.compact_threshold = density;
+        self
+    }
+
+    /// Set the default minimum `link` candidate confidence.
+    ///
+    /// # Panics
+    /// Panics unless the value is finite and in `[0, 1]`.
+    pub fn link_threshold(mut self, confidence: f64) -> Self {
+        assert!(
+            confidence.is_finite() && (0.0..=1.0).contains(&confidence),
+            "link_threshold must be a confidence in [0, 1], got {confidence}"
+        );
+        self.config.link_threshold = confidence;
+        self
+    }
+
+    /// Finish the configuration.
+    pub fn build(self) -> ServeConfig {
+        self.config
     }
 }
 
@@ -97,25 +157,6 @@ pub struct LiveView {
     pub np_clustering: Clustering,
     /// Clustering over live RP mentions.
     pub rp_clustering: Clustering,
-}
-
-/// One live mention matching a [`ServeSession::query_phrase`] query.
-#[derive(Debug, Clone)]
-pub struct MentionReport {
-    /// Owning session triple.
-    pub triple: TripleId,
-    /// `"subject"`, `"object"` or `"predicate"`.
-    pub role: &'static str,
-    /// The mention's surface phrase.
-    pub phrase: String,
-    /// Live mentions sharing its cluster (including itself).
-    pub cluster_size: usize,
-    /// Distinct phrases of the cluster's live members, sorted.
-    pub cluster_phrases: Vec<String>,
-    /// Linked entity (NP) — `None` for predicates or unlinked mentions.
-    pub entity: Option<EntityId>,
-    /// Linked relation (RP mentions only).
-    pub relation: Option<RelationId>,
 }
 
 /// A durable, restartable serving session.
@@ -229,6 +270,25 @@ impl<'a> ServeSession<'a> {
     pub fn query_phrase(&self, phrase: &str) -> Vec<MentionReport> {
         let Some(out) = self.last.as_ref() else { return Vec::new() };
         view::query_phrase_of(self.inner.okb(), &|t| self.inner.is_live(t), out, phrase)
+    }
+
+    /// Resolve a surface form (or a canonical URI) to ranked link
+    /// candidates — see [`api`] for the target grammar, URI scheme and
+    /// confidence calibration. Answers identically to
+    /// [`ReadView::link`] over the same committed state; an imported
+    /// side table ([`JoclConfig::side_info`]) contributes dictionary
+    /// candidates even before the first delta.
+    pub fn link(&self, req: &LinkRequest) -> LinkReport {
+        let side = self.inner.config().side_info.as_deref().filter(|s| !s.is_empty());
+        let ctx = api::CkbLinkContext::new(self.inner.ckb(), side);
+        api::link_of(
+            self.inner.okb(),
+            &|t| self.inner.is_live(t),
+            self.last.as_ref(),
+            &ctx,
+            req,
+            self.serve.link_threshold,
+        )
     }
 
     /// Persist the warm session to `path` (see [`snapshot`] for the file

@@ -8,7 +8,7 @@
 //!   answered with a per-request reply channel, so writes serialize by
 //!   construction (no lock on the factor graph at all);
 //! * each accepted connection gets a **handler thread** that parses
-//!   lines and answers `query`/`stats` directly from the published
+//!   lines and answers `query`/`link`/`stats` directly from the published
 //!   [`SharedView`] — readers never wait for an in-flight delta, they
 //!   see the last committed decode;
 //! * after each committed write (and each replica catch-up batch) the
@@ -25,8 +25,9 @@
 //! returns the engine so the caller can print totals / export state —
 //! the serve loop *returns*, it does not `exit()`.
 
+use crate::api::{format_link, format_query};
 use crate::engine::Engine;
-use crate::protocol::{format_query, format_stats, parse_command, Command, Response, WireError};
+use crate::protocol::{format_stats, parse_command, Command, Response, WireError};
 use crate::view::SharedView;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -359,6 +360,10 @@ fn answer(line: &str, tx: &mpsc::Sender<WriteReq>, view: &SharedView) -> (Option
         Command::Query(phrase) => {
             let v = view.load();
             (Some(Response::Ok(format_query(&phrase, &v.query_phrase(&phrase)))), false)
+        }
+        Command::Link(req) => {
+            let v = view.load();
+            (Some(Response::Ok(format_link(&v.link(&req)))), false)
         }
         Command::Stats => {
             let v = view.load();

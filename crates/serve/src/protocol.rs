@@ -17,8 +17,8 @@
 //! contract a remote client can dispatch on. Payload `\n`s are escaped
 //! on the wire so framing can never be broken by content.
 
+use crate::api::{parse_link_target, LinkRequest};
 use crate::view::SessionStats;
-use crate::MentionReport;
 use jocl_core::DeltaOutput;
 use jocl_kb::{KbError, Triple};
 use std::io::{BufRead, Write};
@@ -53,6 +53,11 @@ pub enum Command {
     },
     /// Cluster + link of live mentions with this phrase.
     Query(String),
+    /// Entity-linking resolution: `link <phrase-or-uri> [limit=N]
+    /// [threshold=X]` (see [`crate::api`] for the target grammar and
+    /// the `link.v1` response frame). A read — served from the
+    /// published view, never the writer.
+    Link(LinkRequest),
     /// Session summary line.
     Stats,
     /// Persist the warm session (default path when `None`).
@@ -275,6 +280,7 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, WireError> {
             }
             Command::Query(rest.to_string())
         }
+        "link" => Command::Link(parse_link_request(rest)?),
         "stats" => {
             no_args("stats")?;
             Command::Stats
@@ -309,6 +315,48 @@ pub fn parse_triple(s: &str) -> Result<Triple, WireError> {
             format!("expected 'subject | predicate | object', got {s:?}"),
         )),
     }
+}
+
+/// Parse the `link` argument: a target (phrase or URI), optionally
+/// followed by trailing `limit=N` / `threshold=X` options. Options are
+/// popped off the end so the target itself may contain spaces.
+fn parse_link_request(rest: &str) -> Result<LinkRequest, WireError> {
+    let mut rest = rest.trim();
+    let mut limit = None;
+    let mut threshold = None;
+    loop {
+        // A lone option token is still an option — `link limit=3` is a
+        // missing target, not a phrase spelled "limit=3".
+        let (head, tail) = rest.rsplit_once(char::is_whitespace).unwrap_or(("", rest));
+        if let Some(v) = tail.strip_prefix("limit=") {
+            let n: usize = v.parse().map_err(|_| {
+                WireError::new(ErrCode::Parse, format!("link limit needs a count, got {tail:?}"))
+            })?;
+            if n == 0 {
+                return Err(WireError::new(ErrCode::Parse, "link limit must be at least 1"));
+            }
+            limit = Some(n);
+            rest = head.trim_end();
+        } else if let Some(v) = tail.strip_prefix("threshold=") {
+            let t: f64 = v.parse().map_err(|_| {
+                WireError::new(
+                    ErrCode::Parse,
+                    format!("link threshold needs a number, got {tail:?}"),
+                )
+            })?;
+            if !t.is_finite() || !(0.0..=1.0).contains(&t) {
+                return Err(WireError::new(
+                    ErrCode::Parse,
+                    format!("link threshold must be in [0, 1], got {v}"),
+                ));
+            }
+            threshold = Some(t);
+            rest = head.trim_end();
+        } else {
+            break;
+        }
+    }
+    Ok(LinkRequest { target: parse_link_target(rest)?, limit, threshold })
 }
 
 /// Parse `S | P | O` or `#ID` (the id is resolved later, by the engine).
@@ -367,28 +415,6 @@ pub fn format_stats(s: &SessionStats) -> String {
     )
 }
 
-/// The `query` payload lines (one per matching live mention, or a
-/// single no-match line — a miss is an answer, not an error).
-pub fn format_query(phrase: &str, reports: &[MentionReport]) -> Vec<String> {
-    if reports.is_empty() {
-        return vec![format!("  no live mention of {phrase:?}")];
-    }
-    reports
-        .iter()
-        .map(|r| {
-            format!(
-                "  triple #{} {}: cluster of {} {:?}{}{}",
-                r.triple.0,
-                r.role,
-                r.cluster_size,
-                r.cluster_phrases,
-                r.entity.map(|e| format!(" -> entity {}", e.0)).unwrap_or_default(),
-                r.relation.map(|x| format!(" -> relation {}", x.0)).unwrap_or_default(),
-            )
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +438,30 @@ mod tests {
             Some(Command::Revise { old: TripleRef::Id(3), new: Triple::new("A", "rel", "B") })
         );
         assert_eq!(parse_command("query Foo Inc").unwrap(), Some(Command::Query("Foo Inc".into())));
+        assert_eq!(
+            parse_command("link Foo Inc").unwrap(),
+            Some(Command::Link(LinkRequest {
+                target: crate::api::LinkTarget::Surface("Foo Inc".into()),
+                limit: None,
+                threshold: None,
+            }))
+        );
+        assert_eq!(
+            parse_command("link the terps limit=3 threshold=0.25").unwrap(),
+            Some(Command::Link(LinkRequest {
+                target: crate::api::LinkTarget::Surface("the terps".into()),
+                limit: Some(3),
+                threshold: Some(0.25),
+            }))
+        );
+        assert_eq!(
+            parse_command("link ckb://entity/7/umd limit=1").unwrap(),
+            Some(Command::Link(LinkRequest {
+                target: crate::api::LinkTarget::Entity(7),
+                limit: Some(1),
+                threshold: None,
+            }))
+        );
         assert_eq!(parse_command("stats").unwrap(), Some(Command::Stats));
         assert_eq!(parse_command("snapshot").unwrap(), Some(Command::Snapshot(None)));
         assert_eq!(
@@ -449,6 +499,16 @@ mod tests {
         parse_err("revise #1 => ");
         parse_err("revise => a | b | c");
         parse_err("query");
+        parse_err("link");
+        parse_err("link limit=3");
+        parse_err("link x limit=0");
+        parse_err("link x limit=lots");
+        parse_err("link x threshold=maybe");
+        parse_err("link x threshold=1.5");
+        parse_err("link x threshold=-0.1");
+        parse_err("link x threshold=nan");
+        parse_err("link jocl://banana/3");
+        parse_err("link jocl://np/notanum");
         parse_err("stats now");
         parse_err("compact hard");
         parse_err("quit now");

@@ -94,6 +94,17 @@ fn fingerprint(config: &JoclConfig) -> Vec<(&'static str, u64)> {
                 jocl_fg::MessageStore::Quantized => 1,
             },
         ),
+        // The imported side table shapes the factor graph itself (extra
+        // S1/S2 potentials, appended candidates), so a session is only
+        // valid under the exact table it was built with. `None` and an
+        // empty table are the same inert configuration — both pin 0.
+        (
+            "side_info",
+            match &config.side_info {
+                Some(s) if !s.is_empty() => s.fingerprint(),
+                _ => 0,
+            },
+        ),
     ]
 }
 

@@ -16,10 +16,11 @@
 //! the in-place session reads ([`ServeSession::query_phrase`]) and the
 //! captured view, so both planes answer identically by construction.
 
-use crate::{LiveView, MentionReport, ServeSession};
+use crate::api::{self, LinkContext, LinkReport, LinkRequest, MentionReport};
+use crate::{LiveView, ServeSession};
 use jocl_cluster::Clustering;
 use jocl_core::JoclOutput;
-use jocl_kb::{NpMention, NpSlot, Okb, RpMention, TripleId};
+use jocl_kb::{EntityId, NpMention, NpSlot, Okb, RelationId, RpMention, TripleId};
 use jocl_text::fx::FxHashMap;
 use std::sync::{Arc, RwLock};
 
@@ -79,6 +80,16 @@ pub struct ReadView {
     okb: Okb,
     live: Vec<bool>,
     output: Option<JoclOutput>,
+    /// Curated names for every entity id the decode or side table
+    /// references — captured so `link` answers without touching the
+    /// shared CKB (the view must stay self-contained).
+    entity_names: FxHashMap<u32, String>,
+    relation_names: FxHashMap<u32, String>,
+    /// Side-table rows pre-resolved to curated ids, keyed by the
+    /// imported (lowercased) surface form.
+    side_entities: FxHashMap<String, Vec<(EntityId, f64)>>,
+    side_relations: FxHashMap<String, Vec<(RelationId, f64)>>,
+    link_threshold: f64,
     /// Summary at capture time (carries the view's version).
     pub stats: SessionStats,
 }
@@ -87,11 +98,42 @@ impl ReadView {
     /// Capture the current committed state of `session`.
     pub fn capture(session: &ServeSession<'_>, version: u64, replica: bool) -> Self {
         let inner = session.session();
+        let ckb = inner.ckb();
         let live: Vec<bool> = (0..inner.len() as u32).map(|i| inner.is_live(TripleId(i))).collect();
+        let mut entity_names: FxHashMap<u32, String> = FxHashMap::default();
+        let mut relation_names: FxHashMap<u32, String> = FxHashMap::default();
+        if let Some(out) = session.last_output() {
+            for e in out.np_links.iter().flatten() {
+                entity_names.entry(e.0).or_insert_with(|| ckb.entity(*e).name.clone());
+            }
+            for r in out.rp_links.iter().flatten() {
+                relation_names.entry(r.0).or_insert_with(|| ckb.relation(*r).name.clone());
+            }
+        }
+        let mut side_entities: FxHashMap<String, Vec<(EntityId, f64)>> = FxHashMap::default();
+        let mut side_relations: FxHashMap<String, Vec<(RelationId, f64)>> = FxHashMap::default();
+        if let Some(side) = inner.config().side_info.as_deref().filter(|s| !s.is_empty()) {
+            for (kind, surface, target, weight) in side.canonical_rows() {
+                if kind == 'e' {
+                    if let Some(id) = ckb.entity_by_name(target) {
+                        entity_names.entry(id.0).or_insert_with(|| ckb.entity(id).name.clone());
+                        side_entities.entry(surface.to_string()).or_default().push((id, weight));
+                    }
+                } else if let Some(id) = ckb.relation_by_name(target) {
+                    relation_names.entry(id.0).or_insert_with(|| ckb.relation(id).name.clone());
+                    side_relations.entry(surface.to_string()).or_default().push((id, weight));
+                }
+            }
+        }
         Self {
             okb: inner.okb().clone(),
             live,
             output: session.last_output().cloned(),
+            entity_names,
+            relation_names,
+            side_entities,
+            side_relations,
+            link_threshold: session.serve_config().link_threshold,
             stats: SessionStats::of(session, version, replica),
         }
     }
@@ -111,6 +153,40 @@ impl ReadView {
     pub fn query_phrase(&self, phrase: &str) -> Vec<MentionReport> {
         let Some(out) = self.output.as_ref() else { return Vec::new() };
         query_phrase_of(&self.okb, &|t| self.is_live(t), out, phrase)
+    }
+
+    /// Resolve a link request against this committed view — the same
+    /// [`api::link_of`] the live session uses, so writer, stdin loop
+    /// and replica answer identically over identical state.
+    pub fn link(&self, req: &LinkRequest) -> LinkReport {
+        api::link_of(
+            &self.okb,
+            &|t| self.is_live(t),
+            self.output.as_ref(),
+            self,
+            req,
+            self.link_threshold,
+        )
+    }
+}
+
+impl LinkContext for ReadView {
+    fn entity_name(&self, id: EntityId) -> Option<String> {
+        self.entity_names.get(&id.0).cloned()
+    }
+
+    fn relation_name(&self, id: RelationId) -> Option<String> {
+        self.relation_names.get(&id.0).cloned()
+    }
+
+    fn side_entities(&self, surface: &str) -> Vec<(EntityId, f64)> {
+        api::with_determiner_fallback(surface, |key| {
+            self.side_entities.get(key.trim()).cloned().unwrap_or_default()
+        })
+    }
+
+    fn side_relations(&self, surface: &str) -> Vec<(RelationId, f64)> {
+        self.side_relations.get(surface.trim()).cloned().unwrap_or_default()
     }
 }
 

@@ -255,12 +255,39 @@ fn unix_socket_server_serves_and_survives_fuzz() {
         assert!(lines[0].starts_with("ingest 15"), "{lines:?}");
         ok_lines(c.request("add Foo Inc | be locate in | Bar City"));
         let q = ok_lines(c.request("query foo inc"));
+        assert!(q[0].starts_with("query.v1 matches=1"), "{q:?}");
         assert!(q.iter().any(|l| l.contains("Foo Inc")), "query finds the added triple: {q:?}");
+        // The typed link API over the same connection: the added phrase
+        // resolves to a canonical cluster URI with a confidence, and the
+        // frame round-trips through the client-side parser.
+        let l = ok_lines(c.request("link foo inc"));
+        assert!(l[0].starts_with("link.v1 "), "{l:?}");
+        let report = jocl_serve::parse_link(&l).expect("well-formed link.v1 frame");
+        assert_eq!(report.target, "foo inc");
+        assert!(!report.np.is_empty(), "the live mention yields an np candidate: {l:?}");
+        assert!(report.np[0].uri.starts_with("jocl://np/"), "{:?}", report.np[0]);
+        assert!(report.np[0].confidence > 0.0 && report.np[0].confidence <= 1.0);
+        // An unknown URI is an *empty* OK report, not an error.
+        let l = ok_lines(c.request("link ckb://entity/999999/nobody"));
+        let empty = jocl_serve::parse_link(&l).expect("well-formed link.v1 frame");
+        assert!(empty.is_empty(), "unknown targets answer empty, not ERR: {l:?}");
+        // Escaped/quoted payloads are ordinary surface text on this line
+        // protocol: a typed OK frame (empty alias hit here), never a
+        // closed connection.
+        let l = ok_lines(c.request("link \"weird \\\" payload\""));
+        let report = jocl_serve::parse_link(&l).expect("well-formed link.v1 frame");
+        assert_eq!(report.target, "\"weird \\\" payload\"");
+        assert!(report.is_empty(), "{l:?}");
         let st = ok_lines(c.request("stats"));
         assert!(st[0].contains("16 triples"), "{st:?}");
         ok_lines(c.request("retract #15"));
         let q = ok_lines(c.request("query foo inc"));
-        assert!(q[0].contains("no live mention"), "retract is visible to reads: {q:?}");
+        assert!(q[0].starts_with("query.v1 matches=0"), "retract is visible to reads: {q:?}");
+        let l = ok_lines(c.request("link foo inc"));
+        assert!(
+            jocl_serve::parse_link(&l).unwrap().is_empty(),
+            "retract is visible to link reads: {l:?}"
+        );
         ok_lines(c.request("snapshot"));
         let restored = ok_lines(c.request("restore"));
         assert!(restored[0].contains("restored warm"), "{restored:?}");
@@ -275,6 +302,14 @@ fn unix_socket_server_serves_and_survives_fuzz() {
             "retract #77777",
             "revise x => ",
             "query",
+            "link",
+            "link limit=3",
+            "link x limit=0",
+            "link x threshold=maybe",
+            "link x threshold=1.5",
+            "link jocl://banana/3",
+            "link jocl://np/notanum",
+            "link \"escaped \\\" payload\" limit=zero",
             "stats extra",
             "compact now",
             "%$#@!",

@@ -18,8 +18,8 @@ use jocl_core::signals::build_signals;
 use jocl_core::{DeltaOp, Jocl, JoclConfig, JoclInput, ScheduleMode, Signals};
 use jocl_datagen::reverb45k_like;
 use jocl_embed::SgnsOptions;
-use jocl_kb::{Ckb, KbError, Okb, Triple};
-use jocl_serve::{snapshot, ServeConfig, ServeSession};
+use jocl_kb::{Ckb, EntityId, KbError, Okb, RelationId, SideKb, Triple};
+use jocl_serve::{parse_link_target, snapshot, LinkRequest, ReadView, ServeConfig, ServeSession};
 use proptest::prelude::*;
 use std::collections::HashSet;
 use std::sync::OnceLock;
@@ -138,8 +138,12 @@ proptest! {
             })
             .collect();
 
-        let mut session =
-            ServeSession::open(config.clone(), ServeConfig { compact_threshold: f64::INFINITY }, &world.ckb, &world.signals);
+        let mut session = ServeSession::open(
+            config.clone(),
+            ServeConfig::builder().compact_threshold(f64::INFINITY).build(),
+            &world.ckb,
+            &world.signals,
+        );
         for delta in ops.chunks(delta_len) {
             let out = session.apply(delta);
             prop_assert!(out.output.diagnostics.lbp.converged, "every delta must converge");
@@ -186,7 +190,7 @@ proptest! {
         let mode = if residual_mode == 1 { ScheduleMode::Residual } else { ScheduleMode::Synchronous };
         let config = parity_config(mode, threads);
         let split = 1 + split % (n - 2);
-        let serve = ServeConfig { compact_threshold: f64::INFINITY };
+        let serve = ServeConfig::builder().compact_threshold(f64::INFINITY).build();
 
         // Warm a session on a prefix and retract one triple of it.
         let mut uninterrupted =
@@ -233,6 +237,90 @@ proptest! {
             replay.session_mut().export_state(),
             restored_inner.export_state(),
             "post-tail states must be bitwise identical"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Side-information parity: with an imported alias table active the
+    /// decode is **thread-invariant** and the warm incremental path
+    /// matches a from-scratch batch run, across both schedule modes.
+    /// And `Some(empty table)` exports **bitwise-identical** state to
+    /// `None` — adding the subsystem changed nothing for sessions that
+    /// do not use it.
+    #[test]
+    fn side_info_decode_is_thread_invariant_and_matches_batch(
+        world_idx in 0usize..2,
+        rows in proptest::collection::vec((0usize..997, 0usize..997, 1u32..=10), 1..6),
+        prefix in 4usize..40,
+        threads in 1usize..3,
+        residual_mode in 0usize..2,
+    ) {
+        let world = &worlds()[world_idx];
+        let n = world.pool.len();
+        prop_assume!(n > 4);
+        let mode = if residual_mode == 1 { ScheduleMode::Residual } else { ScheduleMode::Synchronous };
+
+        // A deterministic alias table over the world's own surface forms
+        // and curated names, so the imported rows actually bind factors.
+        let mut side = SideKb::new();
+        for &(i, j, w) in &rows {
+            let t = &world.pool[i % n];
+            let e = EntityId((j % world.ckb.num_entities()) as u32);
+            side.add_entity_link(&t.subject, &world.ckb.entity(e).name, f64::from(w) / 10.0);
+            let r = RelationId((j % world.ckb.num_relations()) as u32);
+            side.add_relation_link(&t.predicate, &world.ckb.relation(r).name, f64::from(w) / 10.0);
+        }
+        let side = std::sync::Arc::new(side);
+        let prefix = prefix.min(n);
+        let survivors: Vec<Triple> = world.pool[..prefix].to_vec();
+
+        let mut config = parity_config(mode, threads);
+        config.side_info = Some(side.clone());
+        let batch = batch_on(world, &survivors, &config);
+
+        // Thread invariance of the batch decode under side info.
+        let mut config1 = parity_config(mode, 1);
+        config1.side_info = Some(side);
+        let single = batch_on(world, &survivors, &config1);
+        prop_assert_eq!(&batch.np_links, &single.np_links, "np links thread-variant");
+        prop_assert_eq!(&batch.rp_links, &single.rp_links, "rp links thread-variant");
+        prop_assert_eq!(batch.np_clustering.assignment(), single.np_clustering.assignment());
+        prop_assert_eq!(batch.rp_clustering.assignment(), single.rp_clustering.assignment());
+
+        // Incremental (chunked arrival) with side info decodes like batch.
+        let mut session =
+            ServeSession::open(config, ServeConfig::default(), &world.ckb, &world.signals);
+        let split = prefix / 2;
+        session.add_all(&survivors[..split]);
+        session.add_all(&survivors[split..]);
+        let view = session.live_view().expect("session decoded");
+        prop_assert_eq!(&view.np_links, &batch.np_links, "np links diverged from batch");
+        prop_assert_eq!(&view.rp_links, &batch.rp_links, "rp links diverged from batch");
+        prop_assert_eq!(view.np_clustering.assignment(), batch.np_clustering.assignment());
+        prop_assert_eq!(view.rp_clustering.assignment(), batch.rp_clustering.assignment());
+
+        // The no-silent-behavior-change contract, at full strength:
+        // `Some(empty)` and `None` export bitwise-identical sessions.
+        let empty_cfg = {
+            let mut c = parity_config(mode, threads);
+            c.side_info = Some(std::sync::Arc::new(SideKb::new()));
+            c
+        };
+        let mut a = ServeSession::open(
+            parity_config(mode, threads), ServeConfig::default(), &world.ckb, &world.signals);
+        let mut b =
+            ServeSession::open(empty_cfg, ServeConfig::default(), &world.ckb, &world.signals);
+        a.add_all(&survivors[..split]);
+        a.add_all(&survivors[split..]);
+        b.add_all(&survivors[..split]);
+        b.add_all(&survivors[split..]);
+        prop_assert_eq!(
+            a.session_mut().export_state(),
+            b.session_mut().export_state(),
+            "an empty side table must be byte-for-byte inert"
         );
     }
 }
@@ -391,8 +479,12 @@ fn auto_compaction_triggers_and_preserves_live_decode() {
     let signals = build_signals(&ex.okb, &ex.ckb, &ex.ppdb, &ex.corpus, &ex.config().sgns);
     let triples: Vec<Triple> = ex.okb.triples().map(|(_, t)| t.clone()).collect();
     // Threshold 0: any tombstone triggers compaction.
-    let mut session =
-        ServeSession::open(ex.config(), ServeConfig { compact_threshold: 0.0 }, &ex.ckb, &signals);
+    let mut session = ServeSession::open(
+        ex.config(),
+        ServeConfig::builder().compact_threshold(0.0).build(),
+        &ex.ckb,
+        &signals,
+    );
     session.add_all(&triples);
     let view_before: Vec<_> = {
         let v = session.live_view().unwrap();
@@ -451,4 +543,115 @@ fn query_phrase_reports_clusters_and_respects_retraction() {
         "dead phrases must leave live clusters: {:?}",
         reports[0].cluster_phrases
     );
+}
+
+/// The tentpole acceptance on the Figure 1 fixture: `link` resolves
+/// surface forms to canonical cluster URIs and calibrated CKB
+/// candidates; the live-session plane and the captured [`ReadView`]
+/// plane answer **identically**; side-information dictionary rows
+/// surface as candidates even without a live mention; unknown URIs
+/// answer empty rather than erroring; and thresholds filter.
+#[test]
+fn link_resolves_surfaces_identically_on_both_planes() {
+    let ex = figure1();
+    let signals = build_signals(&ex.okb, &ex.ckb, &ex.ppdb, &ex.corpus, &ex.config().sgns);
+    let triples: Vec<Triple> = ex.okb.triples().map(|(_, t)| t.clone()).collect();
+    let mut config = ex.config();
+    let mut side = SideKb::new();
+    // A dictionary row for a surface that never occurs in the OKB, and a
+    // paraphrase row for one that does.
+    side.add_entity_link("the terrapins", "university of maryland", 0.7);
+    side.add_relation_link("be an early member of", "organizations_founded", 0.8);
+    config.side_info = Some(std::sync::Arc::new(side));
+    let mut session = ServeSession::open(config, ServeConfig::default(), &ex.ckb, &signals);
+    assert!(
+        session.link(&LinkRequest::surface("umd")).is_empty(),
+        "no candidates before the first delta"
+    );
+    session.add_all(&triples);
+
+    // A live surface form: the cluster URI candidate covers the
+    // {UMD, University of Maryland} group, and the link votes put the
+    // CKB entity candidate at full confidence.
+    let report = session.link(&LinkRequest::surface("UMD"));
+    assert_eq!(report.target, "UMD");
+    assert!(report.rp.is_empty(), "an NP surface yields no relation candidates: {report:?}");
+    let cluster = report
+        .np
+        .iter()
+        .find(|c| c.uri.starts_with("jocl://np/"))
+        .expect("a canonical cluster URI candidate");
+    assert!(cluster.cluster_size >= 2, "UMD must cluster with University of Maryland");
+    assert!(cluster.confidence > 0.0 && cluster.confidence <= 1.0);
+    let entity = report
+        .np
+        .iter()
+        .find(|c| c.uri.starts_with(&format!("ckb://entity/{}/", ex.e_umd.idx())))
+        .expect("the e_umd link candidate");
+    assert_eq!(entity.confidence, 1.0, "both mentions vote e_umd: {entity:?}");
+    assert!(entity.support >= 1);
+
+    // Dictionary-only surface: no live mention, but the imported alias
+    // row yields the CKB candidate at the import's weight.
+    let dict = session.link(&LinkRequest::surface("The Terrapins"));
+    assert_eq!(dict.np.len(), 1, "{dict:?}");
+    assert!(dict.np[0].uri.starts_with(&format!("ckb://entity/{}/", ex.e_umd.idx())));
+    assert_eq!(dict.np[0].confidence, 0.7);
+    assert_eq!(dict.np[0].support, 0, "no live mention backs a dictionary row");
+
+    // RP surface: clusters with its paraphrase and links to r_member.
+    let rp = session.link(&LinkRequest::surface("be an early member of"));
+    assert!(rp.np.is_empty(), "{rp:?}");
+    assert!(
+        rp.rp.iter().any(|c| c.uri.starts_with(&format!("ckb://relation/{}/", ex.r_member.idx()))),
+        "{rp:?}"
+    );
+
+    // Round-trip through the URI grammar: asking about the cluster URI
+    // itself answers with the cluster at confidence 1 plus its links.
+    let req = LinkRequest {
+        target: parse_link_target(&cluster.uri).expect("self-produced URIs parse"),
+        limit: None,
+        threshold: None,
+    };
+    let by_uri = session.link(&req);
+    let selfc =
+        by_uri.np.iter().find(|c| c.uri == cluster.uri).expect("the cluster answers for itself");
+    assert_eq!(selfc.confidence, 1.0, "{by_uri:?}");
+    assert!(by_uri.np.iter().any(|c| c.uri == entity.uri), "member links ride along: {by_uri:?}");
+
+    // Unknown ids answer empty — a miss is not an error.
+    let missing = LinkRequest {
+        target: parse_link_target("ckb://entity/999999/nobody").unwrap(),
+        limit: None,
+        threshold: None,
+    };
+    assert!(session.link(&missing).is_empty());
+
+    // A request-level threshold filters candidates below it.
+    let strict = LinkRequest {
+        target: jocl_serve::LinkTarget::Surface("the terrapins".into()),
+        limit: None,
+        threshold: Some(0.9),
+    };
+    assert!(session.link(&strict).is_empty(), "0.7 dictionary row filtered at 0.9");
+
+    // Plane parity: the captured ReadView answers every request
+    // identically to the live session.
+    let view = ReadView::capture(&session, 1, false);
+    for target in
+        ["UMD", "The Terrapins", "be an early member of", "locate in", "U21", "never seen"]
+    {
+        let req = LinkRequest::surface(target);
+        assert_eq!(view.link(&req), session.link(&req), "plane divergence on {target:?}");
+    }
+    assert_eq!(view.link(&req), session.link(&req));
+    assert_eq!(view.link(&missing), session.link(&missing));
+
+    // Retraction is visible to link reads on a fresh capture.
+    session.apply(&[DeltaOp::Retract(triples[1].clone())]);
+    let after = session.link(&LinkRequest::surface("umd"));
+    assert!(after.is_empty(), "retracted mentions must not vote: {after:?}");
+    let view = ReadView::capture(&session, 2, false);
+    assert_eq!(view.link(&LinkRequest::surface("umd")), after);
 }
