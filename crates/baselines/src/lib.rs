@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # jocl-baselines
 //!
 //! Reimplementations of every system the paper compares against

@@ -240,8 +240,8 @@ fn measure() -> Vec<(&'static str, u64, bool)> {
 }
 
 fn baseline_path() -> PathBuf {
-    if let Ok(p) = std::env::var("JOCL_BENCH_BASELINE") {
-        return PathBuf::from(p);
+    if let Some(p) = jocl_bench::env_bench_baseline() {
+        return p;
     }
     // crates/bench → repository root.
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_BASELINE.json")
@@ -280,8 +280,7 @@ fn parse_baseline(json: &str, name: &str, suffix: &str) -> Result<u64, String> {
 
 fn main() {
     let update = std::env::args().any(|a| a == "--update");
-    let tolerance: f64 =
-        std::env::var("JOCL_BENCH_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.30);
+    let tolerance: f64 = jocl_bench::env_bench_tolerance();
     let path = baseline_path();
 
     println!("bench-regression gate (tolerance {:.0}%)", tolerance * 100.0);

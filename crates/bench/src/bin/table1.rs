@@ -5,7 +5,7 @@
 //! string-similarity baselines in average F1 on both datasets.
 
 use jocl_baselines as baselines;
-use jocl_bench::{env_scale, env_seed, ExperimentContext};
+use jocl_bench::{env_cesi_threshold, env_scale, env_seed, env_sist_threshold, ExperimentContext};
 use jocl_core::{FeatureSet, Variant};
 use jocl_datagen::{nytimes2018_like, reverb45k_like};
 use jocl_eval::Table;
@@ -19,10 +19,8 @@ fn main() {
             format!("Table 1 — NP canonicalization on {name} (scale {scale})"),
             &["Method", "Macro F1", "Micro F1", "Pairwise F1", "Average F1"],
         );
-        let cesi_t: f64 =
-            std::env::var("JOCL_CESI_T").ok().and_then(|v| v.parse().ok()).unwrap_or(0.84);
-        let sist_t: f64 =
-            std::env::var("JOCL_SIST_T").ok().and_then(|v| v.parse().ok()).unwrap_or(0.45);
+        let cesi_t: f64 = env_cesi_threshold();
+        let sist_t: f64 = env_sist_threshold();
         let mut add = |label: &str, c: &jocl_cluster::Clustering| {
             let s = ctx.score_np(c);
             table.row_scores(label, &[s.macro_.f1, s.micro.f1, s.pairwise.f1, s.average_f1()]);

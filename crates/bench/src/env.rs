@@ -23,6 +23,15 @@
 //! | `JOCL_MSG_STORE` | committed-message arena (`exact`/`quantized`) | exact |
 //! | `JOCL_LINK_THRESHOLD` | min `link` candidate confidence, `off` reports all | `0.0` |
 //! | `JOCL_SIDE_INFO` | side-information TSV to import, `off` disables | none |
+//! | `JOCL_TRAIN_EPOCHS` | joint train/inference epochs, `0` skips refinement | `4` |
+//! | `JOCL_CESI_T` | CESI baseline clustering threshold | `0.84` |
+//! | `JOCL_SIST_T` | SIST baseline clustering threshold | `0.45` |
+//! | `JOCL_BENCH_BASELINE` | bench-regression baseline JSON path | `BENCH_BASELINE.json` |
+//! | `JOCL_BENCH_TOLERANCE` | bench-regression relative tolerance | `0.30` |
+//! | `JOCL_MEM_CEILING_MB` | memory-gate ceiling in MiB | per-gate preset |
+//!
+//! The `jocl-lint` R1 rule (env-confinement) machine-enforces this
+//! consolidation: `JOCL_*` reads anywhere else fail CI.
 
 use jocl_core::ScheduleMode;
 use jocl_fg::MessageStore;
@@ -211,6 +220,124 @@ pub fn env_side_info() -> Option<std::path::PathBuf> {
     }
 }
 
+/// `JOCL_TRAIN_EPOCHS` env var: how many joint train/inference epochs
+/// the pipeline runs (0 skips iterative refinement entirely, useful for
+/// ablations). Default 4; whitespace-tolerant; anything but a
+/// non-negative integer aborts loudly listing the valid form.
+pub fn env_train_epochs() -> usize {
+    match std::env::var("JOCL_TRAIN_EPOCHS") {
+        Err(_) => 4,
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() {
+                return 4;
+            }
+            match trimmed.parse::<usize>() {
+                Ok(n) => n,
+                _ => panic!(
+                    "JOCL_TRAIN_EPOCHS must be a non-negative integer (0 skips \
+                     refinement), got {v:?}"
+                ),
+            }
+        }
+    }
+}
+
+/// Shared parser for the unit-interval baseline thresholds
+/// (`JOCL_CESI_T`, `JOCL_SIST_T`): trimmed, default on unset/blank,
+/// typed panic outside `[0, 1]`.
+fn env_unit_threshold(name: &str, default: f64) -> f64 {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() {
+                return default;
+            }
+            match trimmed.parse::<f64>() {
+                Ok(t) if t.is_finite() && (0.0..=1.0).contains(&t) => t,
+                _ => panic!("{name} must be a threshold in [0, 1], got {v:?}"),
+            }
+        }
+    }
+}
+
+/// `JOCL_CESI_T` env var: the CESI-baseline hierarchical-clustering
+/// cut threshold used by the `table1` bin (default 0.84, the paper's
+/// reported operating point).
+pub fn env_cesi_threshold() -> f64 {
+    env_unit_threshold("JOCL_CESI_T", 0.84)
+}
+
+/// `JOCL_SIST_T` env var: the SIST-baseline clustering threshold used
+/// by the `table1` bin (default 0.45).
+pub fn env_sist_threshold() -> f64 {
+    env_unit_threshold("JOCL_SIST_T", 0.45)
+}
+
+/// `JOCL_BENCH_BASELINE` env var: where the bench-regression gate reads
+/// (and `--update` writes) its baseline JSON. Whitespace-trimmed; unset
+/// or blank means the checked-in `BENCH_BASELINE.json` at the repo root.
+pub fn env_bench_baseline() -> Option<std::path::PathBuf> {
+    match std::env::var("JOCL_BENCH_BASELINE") {
+        Err(_) => None,
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() {
+                None
+            } else {
+                Some(std::path::PathBuf::from(trimmed))
+            }
+        }
+    }
+}
+
+/// `JOCL_BENCH_TOLERANCE` env var: the relative slack the
+/// bench-regression gate allows around each calibrated baseline metric.
+/// Default 0.30 (±30%); whitespace-tolerant; anything but a finite
+/// non-negative number aborts loudly listing the valid form.
+pub fn env_bench_tolerance() -> f64 {
+    match std::env::var("JOCL_BENCH_TOLERANCE") {
+        Err(_) => 0.30,
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() {
+                return 0.30;
+            }
+            match trimmed.parse::<f64>() {
+                Ok(t) if t.is_finite() && t >= 0.0 => t,
+                _ => panic!(
+                    "JOCL_BENCH_TOLERANCE must be a non-negative relative slack \
+                     (e.g. 0.30 for ±30%), got {v:?}"
+                ),
+            }
+        }
+    }
+}
+
+/// `JOCL_MEM_CEILING_MB` env var: the resident-memory ceiling (MiB) a
+/// memory gate asserts against. Each gate passes its own `default`
+/// preset (the paper-scale gates budget differently from the stress
+/// preset). Whitespace-tolerant; anything but a positive integer aborts
+/// loudly listing the valid form.
+pub fn env_mem_ceiling_mb(default: u64) -> u64 {
+    match std::env::var("JOCL_MEM_CEILING_MB") {
+        Err(_) => default,
+        Ok(v) => {
+            let trimmed = v.trim();
+            if trimmed.is_empty() {
+                return default;
+            }
+            match trimmed.parse::<u64>() {
+                Ok(n) if n >= 1 => n,
+                _ => panic!(
+                    "JOCL_MEM_CEILING_MB must be a positive integer (ceiling in MiB), got {v:?}"
+                ),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,5 +482,61 @@ mod tests {
         assert_eq!(env_side_info(), None, "'off' disables side information");
         std::env::remove_var("JOCL_SIDE_INFO");
         assert_eq!(env_side_info(), None);
+
+        // The consolidated stragglers (PR-9, flushed out by jocl-lint R1):
+        // same discipline as every knob above.
+        std::env::set_var("JOCL_TRAIN_EPOCHS", " 2\t");
+        assert_eq!(env_train_epochs(), 2);
+        std::env::set_var("JOCL_TRAIN_EPOCHS", "0");
+        assert_eq!(env_train_epochs(), 0, "zero epochs skips refinement");
+        std::env::set_var("JOCL_TRAIN_EPOCHS", "four");
+        let err = std::panic::catch_unwind(env_train_epochs).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("non-negative integer"), "panic lists the valid form: {msg}");
+        std::env::remove_var("JOCL_TRAIN_EPOCHS");
+        assert_eq!(env_train_epochs(), 4);
+
+        std::env::set_var("JOCL_CESI_T", " 0.5 ");
+        assert_eq!(env_cesi_threshold(), 0.5);
+        std::env::set_var("JOCL_CESI_T", "1.5");
+        let err = std::panic::catch_unwind(env_cesi_threshold).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("[0, 1]"), "panic lists the valid form: {msg}");
+        std::env::remove_var("JOCL_CESI_T");
+        assert_eq!(env_cesi_threshold(), 0.84);
+        std::env::set_var("JOCL_SIST_T", "0.6");
+        assert_eq!(env_sist_threshold(), 0.6);
+        std::env::remove_var("JOCL_SIST_T");
+        assert_eq!(env_sist_threshold(), 0.45);
+
+        std::env::set_var("JOCL_BENCH_BASELINE", "  /tmp/base line.json ");
+        assert_eq!(
+            env_bench_baseline(),
+            Some(std::path::PathBuf::from("/tmp/base line.json")),
+            "inner whitespace survives, outer is trimmed"
+        );
+        std::env::set_var("JOCL_BENCH_BASELINE", "   ");
+        assert_eq!(env_bench_baseline(), None, "blank means unset");
+        std::env::remove_var("JOCL_BENCH_BASELINE");
+        assert_eq!(env_bench_baseline(), None);
+
+        std::env::set_var("JOCL_BENCH_TOLERANCE", " 0.5\t");
+        assert_eq!(env_bench_tolerance(), 0.5);
+        std::env::set_var("JOCL_BENCH_TOLERANCE", "-0.1");
+        let err = std::panic::catch_unwind(env_bench_tolerance).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("non-negative"), "panic lists the valid form: {msg}");
+        std::env::remove_var("JOCL_BENCH_TOLERANCE");
+        assert_eq!(env_bench_tolerance(), 0.30);
+
+        std::env::set_var("JOCL_MEM_CEILING_MB", " 1024 ");
+        assert_eq!(env_mem_ceiling_mb(8192), 1024);
+        std::env::set_var("JOCL_MEM_CEILING_MB", "0");
+        let err = std::panic::catch_unwind(|| env_mem_ceiling_mb(8192)).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("positive integer"), "panic lists the valid form: {msg}");
+        std::env::remove_var("JOCL_MEM_CEILING_MB");
+        assert_eq!(env_mem_ceiling_mb(8192), 8192, "per-gate preset is the default");
+        assert_eq!(env_mem_ceiling_mb(32_768), 32_768);
     }
 }

@@ -65,8 +65,7 @@ impl ExperimentContext {
 
     /// Default JOCL configuration for experiments at the current scale.
     pub fn jocl_config(&self) -> JoclConfig {
-        let train_epochs =
-            std::env::var("JOCL_TRAIN_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+        let train_epochs = crate::env::env_train_epochs();
         let mut config = JoclConfig {
             sgns: SgnsOptions { dim: 48, epochs: 4, ..Default::default() },
             train_epochs,

@@ -110,7 +110,8 @@ fn serve_runs() {
 #[test]
 #[ignore = "miniature but complete experiment; run with -- --ignored"]
 fn serve_listens() {
-    use std::io::{BufRead, BufReader, Write};
+    use jocl_serve::{ErrCode, Response};
+    use std::io::{BufReader, Write};
     use std::os::unix::net::UnixStream;
     use std::process::{Command, Stdio};
     use std::time::{Duration, Instant};
@@ -141,39 +142,37 @@ fn serve_listens() {
     };
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut stream = stream;
-    let mut request = |line: &str| -> Vec<String> {
+    // Frames are decoded through the one serialization path (R5): the
+    // client never pattern-matches raw "OK "/"ERR " literals itself.
+    let mut request = |line: &str| -> Response {
         writeln!(stream, "{line}").unwrap();
         stream.flush().unwrap();
-        let mut head = String::new();
-        reader.read_line(&mut head).unwrap();
-        let head = head.trim_end().to_string();
-        if let Some(n) = head.strip_prefix("OK ") {
-            let n: usize = n.parse().unwrap_or_else(|_| panic!("bad frame {head:?}"));
-            let mut lines = Vec::with_capacity(n);
-            for _ in 0..n {
-                let mut l = String::new();
-                reader.read_line(&mut l).unwrap();
-                lines.push(l.trim_end().to_string());
-            }
-            lines
-        } else {
-            vec![head]
+        Response::read_from(&mut reader).expect("well-formed response frame")
+    };
+    let ok = |resp: Response| -> Vec<String> {
+        match resp {
+            Response::Ok(lines) => lines,
+            Response::Err(e) => panic!("expected an OK frame, got {e}"),
+        }
+    };
+    let err_code = |resp: Response| -> ErrCode {
+        match resp {
+            Response::Err(e) => e.code,
+            Response::Ok(lines) => panic!("expected an ERR frame, got OK {lines:?}"),
         }
     };
 
-    let ingested = request("ingest 20").join("\n");
+    let ingested = ok(request("ingest 20")).join("\n");
     assert!(ingested.contains("ingest 20"), "{ingested}");
-    let added = request("add Acme Corp | be base in | Springfield").join("\n");
+    let added = ok(request("add Acme Corp | be base in | Springfield")).join("\n");
     assert!(added.contains("+1 -0"), "{added}");
-    let err = request("retract #99999").join("\n");
-    assert!(err.starts_with("ERR badid"), "{err}");
-    let err = request("no such command").join("\n");
-    assert!(err.starts_with("ERR unknown"), "{err}");
-    let stats = request("stats").join("\n");
+    assert_eq!(err_code(request("retract #99999")), ErrCode::BadId);
+    assert_eq!(err_code(request("no such command")), ErrCode::Unknown);
+    let stats = ok(request("stats")).join("\n");
     assert!(stats.contains("21 triples") && stats.contains("view v"), "{stats}");
-    let query = request("query acme corp").join("\n");
+    let query = ok(request("query acme corp")).join("\n");
     assert!(query.contains("Acme Corp"), "{query}");
-    assert_eq!(request("shutdown"), ["shutting down"]);
+    assert_eq!(ok(request("shutdown")), ["shutting down"]);
 
     let out = child.wait_with_output().expect("serve exits");
     assert!(

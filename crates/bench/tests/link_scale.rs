@@ -218,7 +218,11 @@ fn writer_and_replica_serve_identical_link_reports() {
         let req = LinkRequest::surface(probe);
         let (w, r) = (wv.link(&req), rv.link(&req));
         assert_eq!(w, r, "planes diverged on surface {probe:?}");
-        assert_eq!(format_link(&w), format_link(&r), "link.v1 frames must be byte-identical");
+        assert_eq!(
+            format_link(&w),
+            format_link(&r),
+            "serialized link frames must be byte-identical"
+        );
         nonempty += usize::from(!w.is_empty());
         compared += 1;
         uris.extend(w.np.iter().chain(&w.rp).map(|c| c.uri.clone()).take(2));

@@ -16,7 +16,7 @@
 //! JOCL_SCALE=1.0 JOCL_SCHEDULE=residual cargo test -p jocl_bench --release --test memory_scale -- --ignored scale_full
 //! ```
 
-use jocl_bench::runner::{env_scale, env_schedule_mode, env_seed};
+use jocl_bench::{env_mem_ceiling_mb, env_scale, env_schedule_mode, env_seed};
 use jocl_core::signals::build_signals;
 use jocl_core::{BlockingIndex, IncrementalJocl, JoclConfig};
 use jocl_datagen::{reverb45k_like, stress_like};
@@ -157,8 +157,7 @@ fn scale_full() {
     let scale = env_scale();
     let seed = env_seed();
     let mode = env_schedule_mode();
-    let ceiling_mb: u64 =
-        std::env::var("JOCL_MEM_CEILING_MB").ok().and_then(|v| v.parse().ok()).unwrap_or(8192);
+    let ceiling_mb: u64 = env_mem_ceiling_mb(8192);
 
     let t0 = Instant::now();
     let dataset = reverb45k_like(seed, scale);
@@ -223,8 +222,7 @@ fn scale_full() {
 fn stress_ingest() {
     let scale = env_scale();
     let seed = env_seed();
-    let ceiling_mb: u64 =
-        std::env::var("JOCL_MEM_CEILING_MB").ok().and_then(|v| v.parse().ok()).unwrap_or(32_768);
+    let ceiling_mb: u64 = env_mem_ceiling_mb(32_768);
 
     let t0 = Instant::now();
     let dataset = stress_like(seed, scale);

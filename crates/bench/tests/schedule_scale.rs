@@ -22,8 +22,8 @@ use jocl_fg::VarId;
 #[test]
 #[ignore = "experiment-scale graph; run with -- --ignored"]
 fn residual_halves_message_updates_at_scale_002() {
-    let scale = std::env::var("JOCL_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.02);
-    let seed = std::env::var("JOCL_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let scale = jocl_bench::env_scale();
+    let seed = jocl_bench::env_seed();
     let dataset = reverb45k_like(seed, scale);
     let signals = build_signals(
         &dataset.okb,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # jocl-cluster
 //!
 //! Clustering substrate for the JOCL reproduction.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # jocl-core
 //!
 //! The paper's primary contribution: **JOCL**, joint Open Knowledge Base

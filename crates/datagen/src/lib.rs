@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # jocl-datagen
 //!
 //! Synthetic benchmark generator for the JOCL reproduction.

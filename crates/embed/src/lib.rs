@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # jocl-embed
 //!
 //! Word-embedding substrate for the JOCL reproduction.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # jocl-eval
 //!
 //! Evaluation suite for the JOCL reproduction.

@@ -63,6 +63,9 @@ pub fn chunk_range(n_items: usize, chunk_size: usize, index: usize) -> Range<usi
 #[derive(Clone, Copy)]
 struct Job {
     data: *const (),
+    // SAFETY contract: `call` may only be invoked while `data` points at
+    // the live closure it was erased from (enforced by the submit/wait
+    // epoch protocol in `chunked_for_each`).
     call: unsafe fn(*const (), usize),
 }
 
@@ -270,7 +273,11 @@ impl Pool<'_> {
         M: Fn(usize, Range<usize>) -> T + Sync,
     {
         struct SlotPtr<T>(*mut Option<T>);
+        // SAFETY: the pointer targets `slots`, which outlives the scoped
+        // dispatch below; each chunk index writes a disjoint slot, so
+        // sharing the base pointer across workers races nothing.
         unsafe impl<T: Send> Send for SlotPtr<T> {}
+        // SAFETY: as above — workers only `.add(c)` to disjoint slots.
         unsafe impl<T: Send> Sync for SlotPtr<T> {}
         let n_chunks = chunk_count(n_items, chunk_size);
         let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
@@ -485,20 +492,37 @@ mod tests {
     fn poisoned_state_mutex_is_recovered() {
         with_pool(4, |pool| {
             let shared = pool.shared.expect("4-thread pool has shared state");
-            std::thread::scope(|s| {
-                let _ = s
-                    .spawn(|| {
-                        let _guard = shared.state.lock().unwrap();
-                        panic!("deliberate poison while holding the state lock");
-                    })
-                    .join();
-            });
-            assert!(shared.state.lock().is_err(), "mutex must actually be poisoned");
+            let poison = || {
+                std::thread::scope(|s| {
+                    let _ = s
+                        .spawn(|| {
+                            // The R2 recovery pattern even here: the guard
+                            // is healthy at this point, and the deliberate
+                            // panic below is what poisons it.
+                            let _guard = shared
+                                .state
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            panic!("deliberate poison while holding the state lock");
+                        })
+                        .join();
+                });
+                assert!(shared.state.lock().is_err(), "mutex must actually be poisoned");
+            };
+            poison();
             let total = AtomicU64::new(0);
             pool.chunked_for_each(64, 8, |_, range| {
                 total.fetch_add(range.len() as u64, Ordering::Relaxed);
             });
             assert_eq!(total.load(Ordering::Relaxed), 64);
+            // Recovery is not one-shot: poison again and the pool must
+            // still schedule (every lock site recovers, none unwraps).
+            poison();
+            let again = AtomicU64::new(0);
+            pool.chunked_for_each(96, 16, |_, range| {
+                again.fetch_add(range.len() as u64, Ordering::Relaxed);
+            });
+            assert_eq!(again.load(Ordering::Relaxed), 96);
         });
     }
 

@@ -1458,7 +1458,13 @@ struct Scratch {
 /// Raw-pointer wrapper for the disjoint-region writes of the pooled
 /// sweeps. Soundness rests on factors never sharing edge regions.
 struct SendPtr(*mut f64);
+// SAFETY: the pointer targets an arena owned by the caller of the pooled
+// sweep, which blocks until every worker finishes; each factor writes
+// only its own disjoint edge region (offsets from `FactorGraph::edges`),
+// so cross-thread access never aliases a write.
 unsafe impl Send for SendPtr {}
+// SAFETY: as above — shared access only ever `.add()`s into disjoint
+// per-factor regions.
 unsafe impl Sync for SendPtr {}
 
 /// One-shot convenience: build an engine, run, return marginals + stats.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # jocl-kb
 //!
 //! Knowledge-base substrate for the JOCL reproduction: the data models for

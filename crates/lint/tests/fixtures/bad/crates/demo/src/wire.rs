@@ -1,0 +1,6 @@
+//! Fixture: an R5 true positive — a wire-frame literal outside the
+//! serialization path.
+
+pub fn frame(n: usize) -> String {
+    format!("OK {n}")
+}

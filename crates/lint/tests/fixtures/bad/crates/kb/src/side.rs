@@ -1,0 +1,12 @@
+//! Fixture: an R4 true positive — hash-map iteration in a designated
+//! serialization module with no adjacent sort and no allowlist entry.
+
+use std::collections::HashMap;
+
+pub fn snapshot(rows: &HashMap<u32, u64>) -> Vec<(u32, u64)> {
+    let mut out = Vec::new();
+    for (&k, &v) in rows {
+        out.push((k, v));
+    }
+    out
+}

@@ -1,0 +1,5 @@
+//! Fixture: the one file allowed to touch `JOCL_*` env knobs.
+
+pub fn env_scale() -> f64 {
+    std::env::var("JOCL_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.02)
+}

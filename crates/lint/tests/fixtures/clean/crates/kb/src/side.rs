@@ -1,0 +1,15 @@
+//! Fixture: conforming R4 samples in a designated module — a
+//! sort-adjacent iteration, and an order-insensitive sum covered by an
+//! allowlist entry in `lint/r4_determinism.toml`.
+
+use std::collections::HashMap;
+
+pub fn snapshot(rows: &HashMap<u32, u64>) -> Vec<(u32, u64)> {
+    let mut out: Vec<(u32, u64)> = rows.iter().map(|(&k, &v)| (k, v)).collect();
+    out.sort_unstable_by_key(|&(k, _)| k);
+    out
+}
+
+pub fn total(rows: &HashMap<u32, u64>) -> u64 {
+    rows.values().sum()
+}

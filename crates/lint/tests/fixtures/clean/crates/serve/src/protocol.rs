@@ -1,0 +1,10 @@
+//! Fixture: wire-frame literals are fine *here* — this path is the one
+//! serialization home R5 confines them to.
+
+pub fn frame(n: usize) -> String {
+    format!("OK {n}")
+}
+
+pub fn err(msg: &str) -> String {
+    format!("ERR parse {msg}")
+}

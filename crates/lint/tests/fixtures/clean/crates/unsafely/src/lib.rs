@@ -1,0 +1,9 @@
+//! Fixture: a crate that legitimately needs `unsafe` — the site carries
+//! a SAFETY comment and is registered in `lint/unsafe_inventory.toml`.
+
+pub fn first(xs: &[u64]) -> u64 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees the slice is non-empty, so
+    // index 0 is in bounds.
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,101 @@
+//! Rule coverage against the fixture corpus — at least one violating
+//! and one conforming sample per rule family — plus the
+//! allowlist-staleness contract and a live run over the real workspace
+//! (the same gate CI's `lint` job enforces through the bin).
+
+use jocl_lint::{lint_root, Finding, Rule};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+fn render(findings: &[Finding]) -> String {
+    findings.iter().map(|f| format!("  {f}\n")).collect()
+}
+
+#[test]
+fn bad_fixture_trips_every_rule() {
+    let report = lint_root(&fixture("bad")).expect("bad fixture lints");
+    let has = |rule: Rule, file: &str, line: usize| {
+        report.findings.iter().any(|f| f.rule == rule && f.file == file && f.line == line)
+    };
+    let all = render(&report.findings);
+    assert!(has(Rule::EnvConfinement, "crates/demo/src/lib.rs", 5), "R1 missing:\n{all}");
+    assert!(has(Rule::PoisonRecovery, "crates/demo/src/lib.rs", 9), "R2 missing:\n{all}");
+    // The unsafe line earns two R3 findings: no SAFETY comment AND not
+    // registered in the (absent) inventory.
+    let r3: Vec<&Finding> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::UnsafeInventory && f.file == "crates/demo/src/lib.rs")
+        .collect();
+    assert_eq!(r3.len(), 2, "expected SAFETY + inventory findings:\n{all}");
+    assert!(r3.iter().all(|f| f.line == 13), "both anchor the unsafe line:\n{all}");
+    assert!(has(Rule::Determinism, "crates/kb/src/side.rs", 8), "R4 missing:\n{all}");
+    assert!(has(Rule::WirePath, "crates/demo/src/wire.rs", 5), "R5 missing:\n{all}");
+    assert_eq!(report.findings.len(), 6, "exactly the seeded violations:\n{all}");
+}
+
+#[test]
+fn clean_fixture_is_quiet() {
+    let report = lint_root(&fixture("clean")).expect("clean fixture lints");
+    assert!(
+        report.findings.is_empty(),
+        "conforming samples must not be flagged:\n{}",
+        render(&report.findings)
+    );
+    assert!(report.files_scanned >= 5, "all fixture files scanned");
+}
+
+#[test]
+fn stale_allowlist_entries_fail_the_run() {
+    let report = lint_root(&fixture("stale")).expect("stale fixture lints");
+    let all = render(&report.findings);
+    assert_eq!(report.findings.len(), 2, "both rotted entries reported:\n{all}");
+    assert!(
+        report.findings.iter().all(|f| f.rule == Rule::Config && f.file == "lint/r2_locks.toml"),
+        "findings anchor the allowlist file itself:\n{all}"
+    );
+    assert!(
+        report.findings.iter().any(|f| f.msg.contains("`count` says 2")),
+        "miscount reported:\n{all}"
+    );
+    assert!(report.findings.iter().any(|f| f.msg.contains("stale")), "rot reported:\n{all}");
+    // The allowlisted violation itself is suppressed — the only noise
+    // is the allowlist rot.
+    assert!(
+        !report.findings.iter().any(|f| f.rule == Rule::PoisonRecovery),
+        "matched entry suppresses its finding:\n{all}"
+    );
+}
+
+#[test]
+fn malformed_allowlist_is_a_hard_error() {
+    let dir = std::env::temp_dir().join(format!("jocl-lint-bad-toml-{}", std::process::id()));
+    let lint_dir = dir.join("lint");
+    std::fs::create_dir_all(&lint_dir).unwrap();
+    std::fs::write(lint_dir.join("r1_env.toml"), "[[allow]]\nfile = unquoted\n").unwrap();
+    let err = lint_root(&dir).expect_err("malformed allowlist must fail the run");
+    assert!(err.contains("double-quoted"), "syntax error surfaced: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The live gate: the real workspace must lint clean. This runs in the
+/// ordinary test matrix (not `--ignored`), so re-introducing a raw
+/// `JOCL_*` read, a lock unwrap, an undocumented unsafe site, or a
+/// stray wire literal fails `cargo test` even before the CI lint job.
+#[test]
+fn real_workspace_is_clean() {
+    let report = lint_root(&workspace_root()).expect("workspace lints");
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must satisfy its own invariants:\n{}",
+        render(&report.findings)
+    );
+    assert!(report.files_scanned > 50, "the whole workspace was scanned");
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # jocl-rules
 //!
 //! Rule-mining and lexical-resource substrates for the JOCL reproduction.

@@ -478,7 +478,11 @@ fn surface_family<F: Family>(
                     *labels.entry(c).or_default().entry(F::phrase(okb, d)).or_default() += 1;
                 }
             }
-            for (&c, &votes) in &cluster_votes {
+            // Candidates are emitted in sorted id order: the response
+            // bytes must not depend on hash-map iteration order (R4).
+            let mut ordered_clusters: Vec<(u32, usize)> = cluster_votes.into_iter().collect();
+            ordered_clusters.sort_unstable_by_key(|&(c, _)| c);
+            for (c, votes) in ordered_clusters {
                 let label = cluster_label(&labels[&c]);
                 cands.push(LinkCandidate {
                     uri: jocl_uri::<F>(c, &label),
@@ -488,7 +492,9 @@ fn surface_family<F: Family>(
                     cluster_size: sizes[&c],
                 });
             }
-            for (&t, &votes) in &target_votes {
+            let mut ordered_targets: Vec<(F::Target, usize)> = target_votes.into_iter().collect();
+            ordered_targets.sort_unstable_by_key(|&(t, _)| F::target_id(t));
+            for (t, votes) in ordered_targets {
                 let label = F::target_name(ctx, t).unwrap_or_else(|| "?".to_string());
                 cands.push(LinkCandidate {
                     uri: ckb_uri::<F>(F::target_id(t), &label),
@@ -563,7 +569,11 @@ fn cluster_candidates<F: Family>(
         support: members,
         cluster_size: members,
     }];
-    for (&t, &votes) in &target_votes {
+    // Sorted target order: response bytes must not depend on hash-map
+    // iteration order (R4).
+    let mut ordered_targets: Vec<(F::Target, usize)> = target_votes.into_iter().collect();
+    ordered_targets.sort_unstable_by_key(|&(t, _)| F::target_id(t));
+    for (t, votes) in ordered_targets {
         let label = F::target_name(ctx, t).unwrap_or_else(|| "?".to_string());
         cands.push(LinkCandidate {
             uri: ckb_uri::<F>(F::target_id(t), &label),
@@ -599,9 +609,13 @@ fn reverse_candidates<F: Family>(
             *votes.entry(c).or_default() += 1;
         }
     }
-    votes
-        .iter()
-        .map(|(&c, &v)| {
+    // Sorted cluster order: response bytes must not depend on hash-map
+    // iteration order (R4).
+    let mut ordered_votes: Vec<(u32, usize)> = votes.into_iter().collect();
+    ordered_votes.sort_unstable_by_key(|&(c, _)| c);
+    ordered_votes
+        .into_iter()
+        .map(|(c, v)| {
             let label = cluster_label(&labels[&c]);
             LinkCandidate {
                 uri: jocl_uri::<F>(c, &label),

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # jocl-serve
 //!
 //! The durable serving subsystem (ROADMAP "deletion + revision deltas"

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # jocl-text
 //!
 //! Text and string-similarity substrate for the JOCL reproduction
