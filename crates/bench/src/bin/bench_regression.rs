@@ -13,6 +13,8 @@
 //! cargo run --release -p jocl_bench --bin bench_regression            # gate
 //! cargo run --release -p jocl_bench --bin bench_regression -- --update # refresh
 //! scripts/update_bench_baseline.sh                                    # ditto
+//! cargo run --release -p jocl_bench --bin bench_regression -- --json out.json
+//!                                       # gate + archive the measurements
 //! ```
 //!
 //! The baseline and the gated run rarely share hardware (laptop vs CI
@@ -278,6 +280,25 @@ fn parse_baseline(json: &str, name: &str, suffix: &str) -> Result<u64, String> {
     digits.parse::<u64>().map_err(|_| format!("no integer value for {key}"))
 }
 
+/// `--json PATH` / `--json=PATH`: where to write this run's
+/// measurements as the same flat JSON the baseline uses — so CI can
+/// archive every run machine-readably, not just the pass/fail verdict.
+fn json_out_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if let Some(p) = a.strip_prefix("--json=") {
+            return Some(PathBuf::from(p));
+        }
+        if a == "--json" {
+            let p = args.next().unwrap_or_else(|| {
+                panic!("--json needs a path (write measurements as JSON there)")
+            });
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
 fn main() {
     let update = std::env::args().any(|a| a == "--update");
     let tolerance: f64 = jocl_bench::env_bench_tolerance();
@@ -287,6 +308,14 @@ fn main() {
     let calibration = calibration_ns();
     println!("  calibration  {calibration:>12} ns  (machine speed reference)");
     let metrics = measure();
+
+    // Written before the gate verdict, so a regressing run still leaves
+    // its measurements behind for the archaeology.
+    if let Some(out) = json_out_path() {
+        std::fs::write(&out, to_json(calibration, &metrics))
+            .unwrap_or_else(|e| panic!("cannot write measurements to {}: {e}", out.display()));
+        println!("  measurements written to {}", out.display());
+    }
 
     if update {
         std::fs::write(&path, to_json(calibration, &metrics)).expect("write BENCH_BASELINE.json");

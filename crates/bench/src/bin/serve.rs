@@ -31,7 +31,8 @@
 //!                              resolve a phrase or jocl://|ckb:// URI to ranked
 //!                              link candidates (link.v1 frame; side-information
 //!                              dictionary candidates included when imported)
-//! stats                        session summary
+//! stats                        session summary (stats.v1 line)
+//! metrics                      metrics.v1 exposition of the whole registry
 //! snapshot [PATH]              persist the warm session (default: JOCL_SNAPSHOT_DIR)
 //! restore [PATH]               restart from a snapshot
 //! compact                      rebuild cold from the survivors
@@ -45,15 +46,17 @@
 //! `JOCL_LISTEN` (`tcp:HOST:PORT` / `unix:PATH`, `off` keeps stdin),
 //! `JOCL_MSG_STORE` (`exact` / `quantized` committed-message arena),
 //! `JOCL_LINK_THRESHOLD` (min `link` candidate confidence, `off`
-//! reports all), `JOCL_SIDE_INFO` (side-information TSV to import —
+//! reports all), `JOCL_METRICS` (`off` disables metric recording),
+//! `JOCL_TRACE` (`on` records spans, dumped as TSV to stderr on exit),
+//! `JOCL_SIDE_INFO` (side-information TSV to import —
 //! threaded into inference as S1/S2 potentials *and* into `link`
 //! dictionary candidates; the snapshot fingerprint pins it). The
 //! inference pool is the session config's `lbp.threads` (the
 //! `jocl_exec` pool), as in every other bin.
 
 use jocl_bench::{
-    env_compact_threshold, env_link_threshold, env_listen, env_message_store, env_scale,
-    env_schedule_mode, env_seed, env_side_info, env_snapshot_dir,
+    env_compact_threshold, env_link_threshold, env_listen, env_message_store, env_metrics,
+    env_scale, env_schedule_mode, env_seed, env_side_info, env_snapshot_dir, env_trace,
 };
 use jocl_core::signals::build_signals;
 use jocl_core::JoclConfig;
@@ -82,6 +85,7 @@ fn epilogue(engine: &Engine<'_>) {
         engine.session().session().total_message_updates,
         engine.session().session().heap_bytes() / 1024,
     );
+    dump_trace();
 }
 
 /// The PR-5 interactive loop, now a thin shell around the same engine
@@ -139,8 +143,18 @@ fn listen_loop(engine: Engine<'_>, addr: &ListenAddr) {
     }
 }
 
+/// Dump the span-trace ring as TSV to stderr (stdout carries the
+/// protocol / epilogue lines the smoke tests parse).
+fn dump_trace() {
+    if jocl_obs::trace_enabled() {
+        eprint!("{}", jocl_obs::take_trace_tsv());
+    }
+}
+
 fn main() {
     let replica = std::env::args().skip(1).any(|a| a == "--replica");
+    jocl_obs::set_metrics_enabled(env_metrics());
+    jocl_obs::set_trace_enabled(env_trace());
     let scale = env_scale();
     let seed = env_seed();
     let mode = env_schedule_mode();

@@ -24,6 +24,8 @@ use jocl_kb::{Okb, Triple};
 use std::time::Instant;
 
 fn main() {
+    jocl_obs::set_metrics_enabled(jocl_bench::env_metrics());
+    jocl_obs::set_trace_enabled(jocl_bench::env_trace());
     let scale = env_scale();
     let seed = env_seed();
     let batches = env_stream_batches();
@@ -118,6 +120,9 @@ fn main() {
         && last.output.rp_links == batch.rp_links
         && last.output.np_clustering.assignment() == batch.np_clustering.assignment()
         && last.output.rp_clustering.assignment() == batch.rp_clustering.assignment();
+    if jocl_obs::trace_enabled() {
+        eprint!("{}", jocl_obs::take_trace_tsv());
+    }
     if parity {
         println!("PARITY ok: streamed decode is identical to the batch decode on the union");
     } else {

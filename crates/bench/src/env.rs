@@ -29,6 +29,8 @@
 //! | `JOCL_BENCH_BASELINE` | bench-regression baseline JSON path | `BENCH_BASELINE.json` |
 //! | `JOCL_BENCH_TOLERANCE` | bench-regression relative tolerance | `0.30` |
 //! | `JOCL_MEM_CEILING_MB` | memory-gate ceiling in MiB | per-gate preset |
+//! | `JOCL_METRICS` | metrics recording (`on`/`off`) | on |
+//! | `JOCL_TRACE` | span tracing + TSV dump on exit (`on`/`off`) | off |
 //!
 //! The `jocl-lint` R1 rule (env-confinement) machine-enforces this
 //! consolidation: `JOCL_*` reads anywhere else fail CI.
@@ -338,6 +340,38 @@ pub fn env_mem_ceiling_mb(default: u64) -> u64 {
     }
 }
 
+/// Shared parser for the observability switches (`JOCL_METRICS`,
+/// `JOCL_TRACE`): trimmed, case-folded, `on`/`1`/`true` and
+/// `off`/`0`/`false` accepted, default on unset/blank, typed panic on
+/// anything else.
+fn env_switch(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "" => default,
+            "on" | "1" | "true" => true,
+            "off" | "0" | "false" => false,
+            _ => panic!("{name} must be 'on' or 'off', got {v:?}"),
+        },
+    }
+}
+
+/// `JOCL_METRICS` env var: whether the `jocl_obs` metric registry
+/// records events (counters / histograms on the hot paths). Default on;
+/// `off` makes every recording site a branch-and-return, for overhead
+/// A/B runs — the `obs_scale` gate certifies inference is bitwise
+/// identical either way.
+pub fn env_metrics() -> bool {
+    env_switch("JOCL_METRICS", true)
+}
+
+/// `JOCL_TRACE` env var: whether `jocl_obs` span tracing records into
+/// its bounded ring (and the bins dump the span TSV to stderr on exit).
+/// Default off.
+pub fn env_trace() -> bool {
+    env_switch("JOCL_TRACE", false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,6 +562,34 @@ mod tests {
         assert!(msg.contains("non-negative"), "panic lists the valid form: {msg}");
         std::env::remove_var("JOCL_BENCH_TOLERANCE");
         assert_eq!(env_bench_tolerance(), 0.30);
+
+        // The observability switches (PR-10): same discipline.
+        let check_metrics = |value: &str, expect: bool| {
+            std::env::set_var("JOCL_METRICS", value);
+            assert_eq!(env_metrics(), expect, "JOCL_METRICS={value:?}");
+        };
+        check_metrics("on", true);
+        check_metrics(" OFF\t", false);
+        check_metrics("1", true);
+        check_metrics("0", false);
+        check_metrics("True", true);
+        check_metrics("false", false);
+        check_metrics("", true);
+        std::env::set_var("JOCL_METRICS", "maybe");
+        let err = std::panic::catch_unwind(env_metrics).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("'on' or 'off'"), "panic lists valid values: {msg}");
+        std::env::remove_var("JOCL_METRICS");
+        assert!(env_metrics(), "metrics default on");
+
+        std::env::set_var("JOCL_TRACE", " On ");
+        assert!(env_trace());
+        std::env::set_var("JOCL_TRACE", "off");
+        assert!(!env_trace());
+        std::env::set_var("JOCL_TRACE", "yes");
+        assert!(std::panic::catch_unwind(env_trace).is_err(), "'yes' is not a valid switch");
+        std::env::remove_var("JOCL_TRACE");
+        assert!(!env_trace(), "tracing default off");
 
         std::env::set_var("JOCL_MEM_CEILING_MB", " 1024 ");
         assert_eq!(env_mem_ceiling_mb(8192), 1024);

@@ -23,8 +23,8 @@ pub mod runner;
 
 pub use env::{
     env_bench_baseline, env_bench_tolerance, env_cesi_threshold, env_compact_threshold,
-    env_link_threshold, env_listen, env_mem_ceiling_mb, env_message_store, env_scale,
+    env_link_threshold, env_listen, env_mem_ceiling_mb, env_message_store, env_metrics, env_scale,
     env_schedule_mode, env_seed, env_side_info, env_sist_threshold, env_snapshot_dir,
-    env_stream_batches, env_train_epochs,
+    env_stream_batches, env_trace, env_train_epochs,
 };
 pub use runner::{ExperimentContext, MethodScores};

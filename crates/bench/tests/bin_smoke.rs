@@ -169,7 +169,9 @@ fn serve_listens() {
     assert_eq!(err_code(request("retract #99999")), ErrCode::BadId);
     assert_eq!(err_code(request("no such command")), ErrCode::Unknown);
     let stats = ok(request("stats")).join("\n");
-    assert!(stats.contains("21 triples") && stats.contains("view v"), "{stats}");
+    assert!(stats.contains("triples=21") && stats.contains("version="), "{stats}");
+    let metrics = ok(request("metrics"));
+    jocl_serve::parse_metrics(&metrics).expect("well-formed metrics frame");
     let query = ok(request("query acme corp")).join("\n");
     assert!(query.contains("Acme Corp"), "{query}");
     assert_eq!(ok(request("shutdown")), ["shutting down"]);

@@ -285,7 +285,7 @@ fn socket_readers_never_block_and_fuzz_never_kills_the_server() {
                 barrier_ref.wait();
                 for _ in 0..25 {
                     let st = c.ok("stats");
-                    assert!(st[0].contains("view v"), "{st:?}");
+                    jocl_serve::parse_stats(&st[0]).expect("well-formed stats line");
                     c.ok("query the gate");
                 }
                 Instant::now()
@@ -336,7 +336,19 @@ fn socket_readers_never_block_and_fuzz_never_kills_the_server() {
             }
         }
         let after = c.ok("stats");
-        assert_eq!(before, after, "fuzz must not change session state");
+        // Uptime and request/error totals advance with every request —
+        // that's the point of the observability plane — so the "state
+        // unchanged" claim is made on the parsed session fields, with
+        // the registry-sourced fields normalized out.
+        let normalize = |lines: &[String]| {
+            let mut s = jocl_serve::parse_stats(&lines[0]).expect("well-formed stats line");
+            s.uptime_ms = 0;
+            s.requests = 0;
+            s.errors = 0;
+            s.last_compaction_ms = 0;
+            s
+        };
+        assert_eq!(normalize(&before), normalize(&after), "fuzz must not change session state");
 
         c.ok("shutdown");
         let (engine, stats) = server.join().expect("server thread");

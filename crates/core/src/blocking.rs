@@ -87,11 +87,22 @@ impl Blocking {
 /// Generate blocked pairs for an OKB under `config`: a full replay of
 /// the OKB through a fresh [`BlockingIndex`].
 pub fn block_pairs(okb: &Okb, signals: &Signals, config: &JoclConfig) -> Blocking {
+    let sw = jocl_obs::Stopwatch::start();
+    let _span = jocl_obs::span!("blocking");
     let mut index = BlockingIndex::new(config);
     for (t, triple) in okb.triples() {
         index.append_triple(t, triple, signals);
     }
-    index.blocking()
+    let blocking = index.blocking();
+    blocking_ns().record(sw.ns());
+    blocking
+}
+
+/// Cached handle for the blocking-phase latency histogram (registered
+/// once; never locks on the replay path).
+fn blocking_ns() -> &'static std::sync::Arc<jocl_obs::Histogram> {
+    static H: std::sync::OnceLock<std::sync::Arc<jocl_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| jocl_obs::registry().histogram("jocl_blocking_ns", &[]))
 }
 
 /// Cap on how many distinct phrases a token may touch before it is

@@ -468,10 +468,21 @@ pub fn build_graph(
     blocking: &Blocking,
     config: &JoclConfig,
 ) -> GraphPlan {
+    let sw = jocl_obs::Stopwatch::start();
+    let _span = jocl_obs::span!("graph_build");
     let threads = jocl_exec::effective_threads(config.build_threads);
-    jocl_exec::with_pool(threads, |pool| {
+    let plan = jocl_exec::with_pool(threads, |pool| {
         build_graph_sharded(okb, ckb, signals, blocking, config, pool)
-    })
+    });
+    graph_build_ns().record(sw.ns());
+    plan
+}
+
+/// Cached handle for the graph-build latency histogram (registered
+/// once; never locks inside the build pool).
+fn graph_build_ns() -> &'static std::sync::Arc<jocl_obs::Histogram> {
+    static H: std::sync::OnceLock<std::sync::Arc<jocl_obs::Histogram>> = std::sync::OnceLock::new();
+    H.get_or_init(|| jocl_obs::registry().histogram("jocl_graph_build_ns", &[]))
 }
 
 /// Shard size for pooled per-key computation: ~4 shards per worker.

@@ -130,6 +130,27 @@ use jocl_kb::{
 };
 use jocl_text::fx::{FxHashMap, FxHashSet};
 
+/// Cached handles for the incremental-engine metrics, registered once
+/// so `apply_ops`/`compact` never touch the registry mutex. Purely
+/// observational: nothing here feeds back into inference, so decode is
+/// bitwise-identical with metrics on or off.
+struct DeltaMetrics {
+    apply_ops_ns: std::sync::Arc<jocl_obs::Histogram>,
+    compaction_ns: std::sync::Arc<jocl_obs::Histogram>,
+    compactions_total: std::sync::Arc<jocl_obs::Counter>,
+    last_compaction_ms: std::sync::Arc<jocl_obs::Gauge>,
+}
+
+fn delta_metrics() -> &'static DeltaMetrics {
+    static M: std::sync::OnceLock<DeltaMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| DeltaMetrics {
+        apply_ops_ns: jocl_obs::registry().histogram("jocl_apply_ops_ns", &[]),
+        compaction_ns: jocl_obs::registry().histogram("jocl_compaction_ns", &[]),
+        compactions_total: jocl_obs::registry().counter("jocl_compactions_total", &[]),
+        last_compaction_ms: jocl_obs::registry().gauge("jocl_last_compaction_ms", &[]),
+    })
+}
+
 /// One serving-delta operation. Operations address triples by
 /// **content** (the natural key of an OIE feed); ids are internal.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -400,6 +421,14 @@ impl<'a> IncrementalJocl<'a> {
     /// triple set. See the module docs for append semantics and the
     /// retraction/tombstone semantics.
     pub fn apply_ops(&mut self, ops: &[DeltaOp]) -> DeltaOutput {
+        let sw = jocl_obs::Stopwatch::start();
+        let _span = jocl_obs::span!("apply_ops");
+        let out = self.apply_ops_inner(ops);
+        delta_metrics().apply_ops_ns.record(sw.ns());
+        out
+    }
+
+    fn apply_ops_inner(&mut self, ops: &[DeltaOp]) -> DeltaOutput {
         // --- 1. sequential op scan: idempotent ingest + retraction ------
         let mut new_ids: Vec<TripleId> = Vec::new();
         let mut retracted_ids: Vec<TripleId> = Vec::new();
@@ -736,6 +765,8 @@ impl<'a> IncrementalJocl<'a> {
     /// pure functions of the frozen signals), as does the session-total
     /// message-update counter.
     pub fn compact(&mut self) -> DeltaOutput {
+        let sw = jocl_obs::Stopwatch::start();
+        let _span = jocl_obs::span!("compaction");
         let survivors = self.live_triples();
         let mut fresh = IncrementalJocl::new(self.config.clone(), self.ckb, self.signals);
         fresh.np_values = std::mem::take(&mut self.np_values);
@@ -746,6 +777,10 @@ impl<'a> IncrementalJocl<'a> {
         let mut out = fresh.apply_delta(&survivors);
         out.stats.compacted = true;
         *self = fresh;
+        let m = delta_metrics();
+        m.compaction_ns.record(sw.ns());
+        m.compactions_total.inc();
+        m.last_compaction_ms.set(sw.ms_u64());
         out
     }
 

@@ -33,10 +33,52 @@ use crate::graph::{FactorGraph, FactorId, Potential, VarId};
 use crate::logspace::{log_normalize, logsumexp, max_abs_diff, to_probs};
 use crate::params::Params;
 use crate::store::{MessageArena, MessageStore};
+use jocl_obs::{Counter, Histogram, Stopwatch};
+use std::sync::{Arc, OnceLock};
 
 /// Log-potential treated as "probability zero" while keeping additions
 /// well-conditioned (exp(-1e4) underflows to exactly 0.0).
 pub const LOG_ZERO: f64 = -1.0e4;
+
+/// Per-mode sweep metrics, registered once and cached so the LBP hot
+/// path never touches the registry mutex. Metrics are observational
+/// only — recording them cannot perturb message values, so marginals
+/// are bitwise-identical with metrics on or off.
+struct SweepMetrics {
+    sweep_ns: Arc<Histogram>,
+    message_updates: Arc<Counter>,
+}
+
+fn sweep_metrics(mode: &ScheduleMode) -> &'static SweepMetrics {
+    static SYNC: OnceLock<SweepMetrics> = OnceLock::new();
+    static RESIDUAL: OnceLock<SweepMetrics> = OnceLock::new();
+    let (cell, label) = match mode {
+        ScheduleMode::Synchronous => (&SYNC, "synchronous"),
+        ScheduleMode::Residual => (&RESIDUAL, "residual"),
+    };
+    cell.get_or_init(|| {
+        let labels = [("mode", label)];
+        SweepMetrics {
+            sweep_ns: jocl_obs::registry().histogram("jocl_lbp_sweep_ns", &labels),
+            message_updates: jocl_obs::registry()
+                .counter("jocl_lbp_message_updates_total", &labels),
+        }
+    })
+}
+
+/// Record one converged LBP run (cold or warm) into the per-mode
+/// histogram/counter and fold the update count into the enclosing span.
+fn record_sweep(
+    mode: &ScheduleMode,
+    sw: &Stopwatch,
+    result: &LbpResult,
+    span: &mut jocl_obs::SpanGuard,
+) {
+    span.add_count(result.message_updates);
+    let m = sweep_metrics(mode);
+    m.sweep_ns.record(sw.ns());
+    m.message_updates.add(result.message_updates);
+}
 
 /// How message updates are *selected* within the [`Schedule`]'s class
 /// structure.
@@ -359,11 +401,15 @@ impl<'g> LbpEngine<'g> {
             .collect();
         vars.sort_unstable();
         vars.dedup();
+        let sw = Stopwatch::start();
+        let mut span = jocl_obs::span!("lbp_sweep");
         self.update_var_messages(&vars);
-        match opts.mode {
+        let result = match opts.mode {
             ScheduleMode::Synchronous => self.run_synchronous_from(params, opts, false),
             ScheduleMode::Residual => self.run_residual_from(params, opts, Some(dirty)),
-        }
+        };
+        record_sweep(&opts.mode, &sw, &result, &mut span);
+        result
     }
 
     /// Reset the factor→variable messages of the given factors to
@@ -505,10 +551,14 @@ impl<'g> LbpEngine<'g> {
     /// reused for every sweep/batch, and marginals are bit-identical for
     /// any `opts.threads`.
     pub fn run(&mut self, params: &Params, opts: &LbpOptions) -> LbpResult {
-        match opts.mode {
+        let sw = Stopwatch::start();
+        let mut span = jocl_obs::span!("lbp_sweep");
+        let result = match opts.mode {
             ScheduleMode::Synchronous => self.run_synchronous_from(params, opts, true),
             ScheduleMode::Residual => self.run_residual_from(params, opts, None),
-        }
+        };
+        record_sweep(&opts.mode, &sw, &result, &mut span);
+        result
     }
 
     /// Synchronous mode: full factor + variable sweeps per iteration.

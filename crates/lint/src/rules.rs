@@ -116,8 +116,9 @@ impl Rule {
             }
             Rule::WirePath => {
                 "R5 one-serialization-path: the wire-frame literals (\"OK \", \"ERR \", \
-                 \"query.v1\", \"link.v1\", \"jocl://\", \"ckb://\") may appear in string \
-                 literals only in crates/serve/src/protocol.rs, crates/serve/src/api.rs and \
+                 \"query.v1\", \"link.v1\", \"stats.v1\", \"metrics.v1\", \"jocl://\", \
+                 \"ckb://\") may appear in string literals only in \
+                 crates/serve/src/protocol.rs, crates/serve/src/api.rs and \
                  crates/serve/tests/. Everyone else — bins, gates, replicas — must call the \
                  format_*/parse_* helpers, so there is exactly one serialization path and \
                  writer/replica frames stay byte-identical by construction."
@@ -469,7 +470,7 @@ pub fn check_determinism(f: &ScannedFile) -> Vec<Finding> {
 pub const WIRE_HOMES: [&str; 2] = ["crates/serve/src/protocol.rs", "crates/serve/src/api.rs"];
 
 fn wire_token(s: &str) -> Option<&'static str> {
-    for t in ["query.v1", "link.v1", "jocl://", "ckb://"] {
+    for t in ["query.v1", "link.v1", "stats.v1", "metrics.v1", "jocl://", "ckb://"] {
         if s.contains(t) {
             return Some(t);
         }

@@ -1,0 +1,62 @@
+//! The one timing idiom: a monotonic [`Stopwatch`] wrapping
+//! `Instant::now()`, replacing the ad-hoc `ms(t0)` helpers that had
+//! accumulated in `serve::engine` and the bench bins.
+//!
+//! Wall-clock (`SystemTime`) is deliberately absent — nothing in this
+//! workspace may read it on a serialization path (lint rule R4), and
+//! monotonic elapsed time is what every caller actually wants.
+
+use std::time::Instant;
+
+/// A started monotonic timer.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    t0: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch { t0: Instant::now() }
+    }
+
+    /// Elapsed nanoseconds, saturating at `u64::MAX` (histograms and
+    /// counters speak `u64`).
+    pub fn ns(&self) -> u64 {
+        u64::try_from(self.t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed whole milliseconds (for gauges and stats lines).
+    pub fn ms_u64(&self) -> u64 {
+        u64::try_from(self.t0.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Elapsed fractional milliseconds (for human-facing log lines;
+    /// this is the old `ms(t0)` helper).
+    pub fn ms(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Elapsed fractional seconds.
+    pub fn secs(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_is_monotone_and_consistent() {
+        let sw = Stopwatch::start();
+        let a = sw.ns();
+        let b = sw.ns();
+        assert!(b >= a, "elapsed must be monotone");
+        // The unit conversions agree to within rounding.
+        let ms = sw.ms();
+        let ns = sw.ns();
+        assert!(ms >= 0.0);
+        assert!(ns as f64 / 1e6 >= ms - 1.0, "ns and ms must describe the same clock");
+    }
+}

@@ -10,11 +10,17 @@
 //!   command's entity-linking answer (`link.v1` frames): canonical
 //!   cluster URIs with calibrated confidences, backed by the decoded
 //!   clustering *and* any imported external-KB side information
-//!   ([`jocl_kb::SideKb`]).
+//!   ([`jocl_kb::SideKb`]);
+//! * [`format_stats`]/[`parse_stats`] — the `stats` command's session
+//!   summary (`stats.v1`, one line of `key=value` fields in fixed
+//!   order);
+//! * [`format_metrics`]/[`parse_metrics`] — the `metrics` command's
+//!   registry exposition (`metrics.v1`, Prometheus-style
+//!   `name{label="v"} value` lines in sorted key order).
 //!
 //! ## Wire formats (versioned field order)
 //!
-//! Both frames are payload lines inside the protocol's `OK <n>` framing.
+//! All frames are payload lines inside the protocol's `OK <n>` framing.
 //! The first payload line is a versioned header; the version token is
 //! the contract — fields are only ever *appended* within a version, and
 //! any reordering bumps it.
@@ -26,7 +32,24 @@
 //! link.v1 np=<n> rp=<m> <target>
 //! np <uri> <confidence> <support> <cluster_size> <label…>
 //! rp <uri> <confidence> <support> <cluster_size> <label…>
+//!
+//! stats.v1 triples=<n> live=<n> vars=<n> factors=<n> density=<f> ops=<n> compactions=<n>
+//!          msg=<n> heap_bytes=<n> version=<n> plane=<writer|replica> uptime_ms=<n>
+//!          requests=<n> errors=<n> last_compaction_ms=<n>          (one line)
+//!
+//! metrics.v1 entries=<n>
+//! <name>{<k>="<v>",…} <u64>                                        (counters, gauges)
+//! <name>_bucket{…,le="<2^k|+Inf>"} <cumulative>                    (histograms, then)
+//! <name>_count{…} <n>
+//! <name>_sum{…} <n>
 //! ```
+//!
+//! `metrics.v1` values are integers only (nanoseconds, bytes, counts)
+//! and the registry snapshot iterates in sorted canonical-key order, so
+//! an idle server's frame is **byte-identical** across reads — the
+//! determinism the `obs_scale` gate certifies. Histogram buckets are
+//! cumulative, log-base-2 upper bounds, elided after the last occupied
+//! bucket (the `+Inf` bucket always closes the series).
 //!
 //! Variable-width text (phrases, labels) always sits **last** on its
 //! line so the fixed prefix parses with plain `split`; confidences are
@@ -57,8 +80,10 @@
 //! same ranked list.
 
 use crate::protocol::{ErrCode, WireError};
+use crate::view::SessionStats;
 use jocl_core::JoclOutput;
 use jocl_kb::{Ckb, EntityId, NpMention, Okb, RelationId, RpMention, SideKb, TripleId};
+use jocl_obs::{MetricValue, MetricsSnapshot};
 use jocl_text::fx::FxHashMap;
 
 /// Candidates returned per family when the request does not say.
@@ -836,6 +861,168 @@ pub fn parse_link(lines: &[String]) -> Result<LinkReport, WireError> {
     Ok(LinkReport { target, np, rp })
 }
 
+/// Serialize the `stats` answer (`stats.v1` — one line, fixed field
+/// order; see the module docs). The density uses `f64`'s
+/// shortest-roundtrip `Display`, so [`parse_stats`] reproduces the
+/// server's float bit for bit.
+pub fn format_stats(s: &SessionStats) -> String {
+    format!(
+        "stats.v1 triples={} live={} vars={} factors={} density={} ops={} compactions={} msg={} \
+         heap_bytes={} version={} plane={} uptime_ms={} requests={} errors={} \
+         last_compaction_ms={}",
+        s.triples,
+        s.live,
+        s.vars,
+        s.factors,
+        s.tombstone_density,
+        s.ops_applied,
+        s.compactions,
+        s.total_message_updates,
+        s.heap_bytes,
+        s.version,
+        if s.replica { "replica" } else { "writer" },
+        s.uptime_ms,
+        s.requests,
+        s.errors,
+        s.last_compaction_ms,
+    )
+}
+
+/// Parse a `stats.v1` line (client side). Every malformed variant is a
+/// typed [`ErrCode::Parse`] error; a parsed line reproduces the
+/// server's [`SessionStats`] exactly.
+pub fn parse_stats(line: &str) -> Result<SessionStats, WireError> {
+    let bad = |msg: String| WireError::new(ErrCode::Parse, msg);
+    let rest = line
+        .trim()
+        .strip_prefix("stats.v1 ")
+        .ok_or_else(|| bad(format!("not a stats.v1 line: {line:?}")))?;
+    let mut fields = rest.split_whitespace();
+    let mut field = |key: &str| -> Result<&str, WireError> {
+        fields
+            .next()
+            .and_then(|tok| tok.strip_prefix(key))
+            .and_then(|rest| rest.strip_prefix('='))
+            .ok_or_else(|| bad(format!("stats.v1 line is missing {key}=<v>: {line:?}")))
+    };
+    fn num<T: std::str::FromStr>(s: &str, key: &str, line: &str) -> Result<T, WireError> {
+        s.parse().map_err(|_| {
+            WireError::new(ErrCode::Parse, format!("bad {key} field {s:?} in {line:?}"))
+        })
+    }
+    let stats = SessionStats {
+        triples: num(field("triples")?, "triples", line)?,
+        live: num(field("live")?, "live", line)?,
+        vars: num(field("vars")?, "vars", line)?,
+        factors: num(field("factors")?, "factors", line)?,
+        tombstone_density: num(field("density")?, "density", line)?,
+        ops_applied: num(field("ops")?, "ops", line)?,
+        compactions: num(field("compactions")?, "compactions", line)?,
+        total_message_updates: num(field("msg")?, "msg", line)?,
+        heap_bytes: num(field("heap_bytes")?, "heap_bytes", line)?,
+        version: num(field("version")?, "version", line)?,
+        replica: match field("plane")? {
+            "writer" => false,
+            "replica" => true,
+            other => return Err(bad(format!("bad plane field {other:?} in {line:?}"))),
+        },
+        uptime_ms: num(field("uptime_ms")?, "uptime_ms", line)?,
+        requests: num(field("requests")?, "requests", line)?,
+        errors: num(field("errors")?, "errors", line)?,
+        last_compaction_ms: num(field("last_compaction_ms")?, "last_compaction_ms", line)?,
+    };
+    if let Some(extra) = fields.next() {
+        return Err(bad(format!("trailing field {extra:?} in a stats.v1 line")));
+    }
+    Ok(stats)
+}
+
+/// `name` or `name{labels}` with `suffix` appended to the bare name
+/// (histogram series derive `_bucket`/`_count`/`_sum` keys this way).
+fn suffix_key(key: &str, suffix: &str) -> String {
+    match key.find('{') {
+        Some(pos) => format!("{}{}{}", &key[..pos], suffix, &key[pos..]),
+        None => format!("{key}{suffix}"),
+    }
+}
+
+/// A histogram bucket key: the `_bucket` series with `le="…"` appended
+/// to the label set (after the sorted registry labels).
+fn bucket_key(key: &str, le: &str) -> String {
+    let base = suffix_key(key, "_bucket");
+    match base.strip_suffix('}') {
+        Some(open) => format!("{open},le=\"{le}\"}}"),
+        None => format!("{base}{{le=\"{le}\"}}"),
+    }
+}
+
+/// Serialize a registry snapshot (`metrics.v1` — see the module docs
+/// for the grammar and the byte-stability contract).
+pub fn format_metrics(snap: &MetricsSnapshot) -> Vec<String> {
+    let mut lines = Vec::with_capacity(snap.entries.len() + 1);
+    for (key, value) in &snap.entries {
+        match value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => lines.push(format!("{key} {v}")),
+            MetricValue::Histogram(h) => {
+                // Finite bounds up to the last occupied one, elided
+                // past it; the +Inf bucket (cumulative == count by
+                // construction) always closes the series.
+                let finite = &h.buckets[..h.buckets.len() - 1];
+                let mut cumulative = 0u64;
+                if let Some(last) = finite.iter().rposition(|&c| c != 0) {
+                    for (i, &count) in finite.iter().enumerate().take(last + 1) {
+                        cumulative += count;
+                        let le = jocl_obs::metrics::bucket_le(i)
+                            .expect("finite buckets have finite bounds")
+                            .to_string();
+                        lines.push(format!("{} {cumulative}", bucket_key(key, &le)));
+                    }
+                }
+                lines.push(format!("{} {}", bucket_key(key, "+Inf"), h.count));
+                lines.push(format!("{} {}", suffix_key(key, "_count"), h.count));
+                lines.push(format!("{} {}", suffix_key(key, "_sum"), h.sum));
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(lines.len() + 1);
+    out.push(format!("metrics.v1 entries={}", lines.len()));
+    out.extend(lines);
+    out
+}
+
+/// Parse a `metrics.v1` frame (client side) into `(series_key, value)`
+/// rows. Every malformed variant is a typed [`ErrCode::Parse`] error.
+pub fn parse_metrics(lines: &[String]) -> Result<Vec<(String, u64)>, WireError> {
+    let bad = |msg: String| WireError::new(ErrCode::Parse, msg);
+    let header = lines.first().ok_or_else(|| bad("empty metrics frame".into()))?;
+    let entries: usize = header
+        .strip_prefix("metrics.v1 ")
+        .and_then(|rest| rest.strip_prefix("entries="))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| bad(format!("not a metrics.v1 header: {header:?}")))?;
+    if lines.len() != entries + 1 {
+        return Err(bad(format!(
+            "metrics.v1 frame announces {entries} series but carries {}",
+            lines.len() - 1
+        )));
+    }
+    lines[1..]
+        .iter()
+        .map(|line| {
+            let (key, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| bad(format!("metrics.v1 series line needs a value: {line:?}")))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|_| bad(format!("bad value {value:?} in a metrics.v1 frame")))?;
+            if key.is_empty() {
+                return Err(bad(format!("metrics.v1 series line has no key: {line:?}")));
+            }
+            Ok((key.to_string(), value))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1017,6 +1204,151 @@ mod tests {
         ];
         for frame in bad_frames {
             let e = parse_query(&frame).unwrap_err();
+            assert_eq!(e.code, ErrCode::Parse, "{frame:?} -> {e:?}");
+        }
+    }
+
+    fn sample_stats() -> SessionStats {
+        SessionStats {
+            triples: 21,
+            live: 19,
+            vars: 40,
+            factors: 77,
+            tombstone_density: 0.096_774_193_548_387_1,
+            ops_applied: 9,
+            compactions: 1,
+            total_message_updates: 123_456,
+            version: 7,
+            replica: false,
+            heap_bytes: 1_234_567,
+            uptime_ms: 98_765,
+            requests: 42,
+            errors: 3,
+            last_compaction_ms: 12,
+        }
+    }
+
+    /// One-path discipline, same as `query.v1`/`link.v1`: the client
+    /// parser reproduces the server struct exactly — the f64 density
+    /// included, via shortest-roundtrip `Display`.
+    #[test]
+    fn stats_frames_roundtrip_bit_for_bit() {
+        let stats = sample_stats();
+        let line = format_stats(&stats);
+        assert!(line.starts_with("stats.v1 triples=21 live=19 "), "{line}");
+        assert_eq!(parse_stats(&line).unwrap(), stats);
+
+        let replica = SessionStats { replica: true, ..stats };
+        let line = format_stats(&replica);
+        assert!(line.contains("plane=replica"), "{line}");
+        assert_eq!(parse_stats(&line).unwrap(), replica);
+    }
+
+    #[test]
+    fn malformed_stats_lines_are_typed_errors() {
+        let good = format_stats(&sample_stats());
+        let bad_lines: Vec<String> = vec![
+            String::new(),
+            "stats.v2 triples=1".into(),
+            good.replacen("stats.v1 ", "", 1), // no version tag
+            good.replacen("triples=", "triple=", 1), // wrong key
+            good.replacen("triples=21", "triples=x", 1), // non-numeric
+            good.replacen("density=", "density=not", 1), // bad f64
+            good.replacen("plane=writer", "plane=cache", 1), // unknown plane
+            good.replacen(" live=19", "", 1),  // missing field
+            format!("{good} extra=1"),         // trailing field
+            good.replacen(" uptime_ms=", " requests=0 uptime_ms=", 1), // reordered/extra
+        ];
+        for line in bad_lines {
+            let e = parse_stats(&line).unwrap_err();
+            assert_eq!(e.code, ErrCode::Parse, "{line:?} -> {e:?}");
+        }
+    }
+
+    fn sample_metrics_snapshot() -> MetricsSnapshot {
+        let mut hist = jocl_obs::HistogramSnapshot {
+            buckets: [0; jocl_obs::metrics::BUCKETS],
+            count: 7,
+            sum: 74,
+        };
+        hist.buckets[0] = 3; // values ≤ 1
+        hist.buckets[3] = 3; // values in (4, 8]
+        hist.buckets[jocl_obs::metrics::BUCKETS - 1] = 1; // overflow
+        MetricsSnapshot {
+            entries: vec![
+                ("jocl_err_total{code=\"parse\",plane=\"writer\"}".into(), MetricValue::Counter(2)),
+                ("jocl_net_active_connections".into(), MetricValue::Gauge(4)),
+                (
+                    "jocl_request_ns{cmd=\"query\",plane=\"writer\"}".into(),
+                    MetricValue::Histogram(Box::new(hist)),
+                ),
+            ],
+        }
+    }
+
+    /// The `metrics.v1` grammar: a counted header, `key value` series
+    /// lines, histograms as cumulative finite buckets (elided past the
+    /// last occupied) closed by `+Inf` == `_count`, then `_sum` — with
+    /// the suffix inserted before the label set.
+    #[test]
+    fn metrics_frames_expose_histograms_cumulatively_and_roundtrip() {
+        let frame = format_metrics(&sample_metrics_snapshot());
+        let expected = vec![
+            "metrics.v1 entries=9".to_string(),
+            "jocl_err_total{code=\"parse\",plane=\"writer\"} 2".into(),
+            "jocl_net_active_connections 4".into(),
+            "jocl_request_ns_bucket{cmd=\"query\",plane=\"writer\",le=\"1\"} 3".into(),
+            "jocl_request_ns_bucket{cmd=\"query\",plane=\"writer\",le=\"2\"} 3".into(),
+            "jocl_request_ns_bucket{cmd=\"query\",plane=\"writer\",le=\"4\"} 3".into(),
+            "jocl_request_ns_bucket{cmd=\"query\",plane=\"writer\",le=\"8\"} 6".into(),
+            "jocl_request_ns_bucket{cmd=\"query\",plane=\"writer\",le=\"+Inf\"} 7".into(),
+            "jocl_request_ns_count{cmd=\"query\",plane=\"writer\"} 7".into(),
+            "jocl_request_ns_sum{cmd=\"query\",plane=\"writer\"} 74".into(),
+        ];
+        assert_eq!(frame, expected);
+        let parsed = parse_metrics(&frame).unwrap();
+        assert_eq!(parsed.len(), 9);
+        assert_eq!(parsed[0], ("jocl_err_total{code=\"parse\",plane=\"writer\"}".to_string(), 2));
+        assert_eq!(
+            parsed[8],
+            ("jocl_request_ns_sum{cmd=\"query\",plane=\"writer\"}".to_string(), 74)
+        );
+
+        // An empty histogram still closes its series: +Inf, _count, _sum.
+        let empty = MetricsSnapshot {
+            entries: vec![(
+                "jocl_blocking_ns".into(),
+                MetricValue::Histogram(Box::new(jocl_obs::HistogramSnapshot {
+                    buckets: [0; jocl_obs::metrics::BUCKETS],
+                    count: 0,
+                    sum: 0,
+                })),
+            )],
+        };
+        assert_eq!(
+            format_metrics(&empty),
+            vec![
+                "metrics.v1 entries=3".to_string(),
+                "jocl_blocking_ns_bucket{le=\"+Inf\"} 0".into(),
+                "jocl_blocking_ns_count 0".into(),
+                "jocl_blocking_ns_sum 0".into(),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_metrics_frames_are_typed_errors() {
+        let bad_frames: Vec<Vec<String>> = vec![
+            vec![],
+            vec!["metrics.v2 entries=0".into()],
+            vec!["metrics.v1 entries=two".into()],
+            vec!["metrics.v1 entries=2".into(), "jocl_x 1".into()], // count mismatch
+            vec!["metrics.v1 entries=1".into(), "jocl_x".into()],   // no value
+            vec!["metrics.v1 entries=1".into(), "jocl_x one".into()], // bad value
+            vec!["metrics.v1 entries=1".into(), " 1".into()],       // no key
+        ];
+        for frame in bad_frames {
+            let e = parse_metrics(&frame).unwrap_err();
             assert_eq!(e.code, ErrCode::Parse, "{frame:?} -> {e:?}");
         }
     }

@@ -26,17 +26,16 @@
 //! `ERR panic …` so one bad request can never take down the loop or the
 //! listener.
 
-use crate::api::{format_link, format_query};
-use crate::protocol::{
-    format_delta, format_stats, Command, ErrCode, Response, TripleRef, WireError,
-};
+use crate::api::{format_link, format_metrics, format_query, format_stats};
+use crate::obs;
+use crate::protocol::{format_delta, Command, ErrCode, Response, TripleRef, WireError};
 use crate::view::{ReadView, SessionStats};
 use crate::{ServeConfig, ServeSession};
 use jocl_core::feed::{append_entry, read_entries, truncate_to, FeedEntry};
 use jocl_core::{DeltaOp, DeltaOutput, JoclConfig, Signals};
 use jocl_kb::{Ckb, FeedCursor, KbError, Triple, TripleId};
+use jocl_obs::Stopwatch;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 /// The engine's relationship to the replication feed log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +93,8 @@ impl<'a> Engine<'a> {
         pool: Vec<Triple>,
         opts: EngineOptions,
     ) -> Self {
+        // Pin the uptime epoch before the first request can ask for it.
+        obs::process_start();
         let session = ServeSession::open(config.clone(), serve.clone(), ckb, signals);
         Self {
             session,
@@ -128,6 +129,7 @@ impl<'a> Engine<'a> {
         );
         let mut engine = Self::open(config, serve, ckb, signals, pool, opts);
         if engine.opts.snapshot_path.exists() {
+            let sw = Stopwatch::start();
             let cursor_path = engine.opts.snapshot_path.with_extension("cursor");
             let cursor = FeedCursor::load(&cursor_path)?;
             engine.session = ServeSession::restore_from(
@@ -138,8 +140,9 @@ impl<'a> Engine<'a> {
                 engine.signals,
             )?;
             engine.pool_cursor = (cursor.pool_cursor as usize).min(engine.pool.len());
-            engine.feed_offset = cursor.feed_offset;
+            engine.set_feed_offset(cursor.feed_offset);
             engine.version = 1;
+            obs::plane(true).snapshot_restore_ns.record(sw.ns());
         }
         Ok(engine)
     }
@@ -174,14 +177,30 @@ impl<'a> Engine<'a> {
         self.version
     }
 
-    /// Capture the committed state as an immutable read view.
+    /// Capture the committed state as an immutable read view. The
+    /// registry-sourced stats fields are stamped at capture time, so a
+    /// socket `stats` read reports totals as of the last published
+    /// view (readers stay lock-free; the next commit refreshes them).
     pub fn read_view(&self) -> ReadView {
-        ReadView::capture(&self.session, self.version, self.is_replica())
+        let mut view = ReadView::capture(&self.session, self.version, self.is_replica());
+        view.stats = self.decorate_stats(view.stats);
+        view
     }
 
     /// Current session summary.
     pub fn session_stats(&self) -> SessionStats {
-        SessionStats::of(&self.session, self.version, self.is_replica())
+        self.decorate_stats(SessionStats::of(&self.session, self.version, self.is_replica()))
+    }
+
+    /// Fill the registry-sourced summary fields (uptime, this plane's
+    /// request/error totals, last compaction duration).
+    fn decorate_stats(&self, mut stats: SessionStats) -> SessionStats {
+        let m = obs::plane(self.is_replica());
+        stats.uptime_ms = obs::process_start().ms_u64();
+        stats.requests = m.requests_total.get();
+        stats.errors = m.errors_total.get();
+        stats.last_compaction_ms = obs::last_compaction_ms().get();
+        stats
     }
 
     /// Execute one command, converting a panic into `ERR panic …` so a
@@ -197,6 +216,10 @@ impl<'a> Engine<'a> {
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
+                // The panic unwound past `execute`'s bookkeeping, so the
+                // error is counted here (the request itself was already
+                // counted on entry).
+                obs::plane(self.is_replica()).record_err(ErrCode::Panic);
                 Response::Err(WireError::new(
                     ErrCode::Panic,
                     format!("request panicked ({msg}); session may be degraded"),
@@ -208,8 +231,21 @@ impl<'a> Engine<'a> {
     /// Execute one command against the session. Every failure is a
     /// typed [`Response::Err`] that leaves the session consistent (the
     /// checks run before any mutation).
+    ///
+    /// Every request except `metrics` records into this plane's
+    /// request counter, per-command latency histogram and (for `ERR`s)
+    /// per-code counter; `metrics` records nothing so that two reads of
+    /// an idle server return byte-identical frames.
     pub fn execute(&mut self, cmd: &Command) -> Response {
-        let t0 = Instant::now();
+        let m = obs::plane(self.is_replica());
+        m.record_request(cmd);
+        let sw = Stopwatch::start();
+        let resp = self.execute_inner(cmd, sw);
+        m.record_response(cmd, &resp, &sw);
+        resp
+    }
+
+    fn execute_inner(&mut self, cmd: &Command, t0: Stopwatch) -> Response {
         if cmd.is_write() && self.is_replica() {
             return Response::Err(WireError::new(
                 ErrCode::ReadOnly,
@@ -230,7 +266,7 @@ impl<'a> Engine<'a> {
                 match self.apply_logged(ops) {
                     Ok(out) => {
                         self.pool_cursor = end;
-                        Response::Ok(vec![head, format_delta(&out, ms(t0))])
+                        Response::Ok(vec![head, format_delta(&out, t0.ms())])
                     }
                     Err(e) => Response::Err(e),
                 }
@@ -249,6 +285,9 @@ impl<'a> Engine<'a> {
             }
             Command::Link(req) => Response::Ok(format_link(&self.session.link(req))),
             Command::Stats => Response::line(format_stats(&self.session_stats())),
+            // A point-in-time read of the process-wide registry. Never
+            // routed through any recording path (see `execute`).
+            Command::Metrics => Response::Ok(format_metrics(&jocl_obs::registry().snapshot())),
             Command::Snapshot(path) => self.snapshot(path.as_deref(), t0),
             Command::Restore(path) => self.restore(path.as_deref(), t0),
             Command::Compact => {
@@ -260,12 +299,12 @@ impl<'a> Engine<'a> {
                     // `apply` is deterministic from the shared config
                     // and needs no log entry).
                     match append_entry(path, &FeedEntry::Compact) {
-                        Ok(end) => self.feed_offset = end,
+                        Ok(end) => self.set_feed_offset(end),
                         Err(e) => return Response::Err(feed_append_failed(&e)),
                     }
                 }
                 self.version += 1;
-                Response::line(format_delta(&out, ms(t0)))
+                Response::line(format_delta(&out, t0.ms()))
             }
             Command::Quit => Response::line("bye"),
             Command::Shutdown => Response::line("shutting down"),
@@ -279,9 +318,16 @@ impl<'a> Engine<'a> {
     pub fn poll_feed(&mut self) -> Result<usize, KbError> {
         let FeedRole::Follower(path) = &self.opts.feed else { return Ok(0) };
         let (entries, end) = read_entries(path, self.feed_offset)?;
+        // The lag gauge tracks bytes of writer log this follower has
+        // not yet incorporated; it stays at the pre-catch-up value
+        // while the batch applies and drops to zero after.
+        let m = obs::plane(true);
+        m.replication_lag.set(end.saturating_sub(self.feed_offset));
         if entries.is_empty() {
             return Ok(0);
         }
+        let mut span = jocl_obs::span!("replica_catchup");
+        span.add_count(entries.len() as u64);
         let applied = entries.len();
         for entry in entries {
             match entry {
@@ -297,8 +343,16 @@ impl<'a> Engine<'a> {
             }
             self.version += 1;
         }
-        self.feed_offset = end;
+        self.set_feed_offset(end);
+        m.replication_lag.set(0);
         Ok(applied)
+    }
+
+    /// Advance the incorporated log offset and mirror it to this
+    /// plane's gauge.
+    fn set_feed_offset(&mut self, end: u64) {
+        self.feed_offset = end;
+        obs::plane(self.is_replica()).feed_offset.set(end);
     }
 
     /// Resolve a triple reference against the live session. A dead id
@@ -335,7 +389,7 @@ impl<'a> Engine<'a> {
             // append failed) is surfaced as an error so the operator
             // knows replicas are now behind until the next snapshot.
             match append_entry(path, &FeedEntry::Ops(ops)) {
-                Ok(end) => self.feed_offset = end,
+                Ok(end) => self.set_feed_offset(end),
                 Err(e) => {
                     self.version += 1;
                     return Err(feed_append_failed(&e));
@@ -346,14 +400,14 @@ impl<'a> Engine<'a> {
         Ok(out)
     }
 
-    fn delta_response(&mut self, ops: Vec<DeltaOp>, t0: Instant) -> Response {
+    fn delta_response(&mut self, ops: Vec<DeltaOp>, t0: Stopwatch) -> Response {
         match self.apply_logged(ops) {
-            Ok(out) => Response::line(format_delta(&out, ms(t0))),
+            Ok(out) => Response::line(format_delta(&out, t0.ms())),
             Err(e) => Response::Err(e),
         }
     }
 
-    fn snapshot(&mut self, path: Option<&Path>, t0: Instant) -> Response {
+    fn snapshot(&mut self, path: Option<&Path>, t0: Stopwatch) -> Response {
         let path = path.map(Path::to_path_buf).unwrap_or_else(|| self.opts.snapshot_path.clone());
         if let Some(dir) = path.parent() {
             if let Err(e) = std::fs::create_dir_all(dir) {
@@ -367,6 +421,7 @@ impl<'a> Engine<'a> {
             Ok(b) => b,
             Err(e) => return Response::Err(WireError::from_kb(&e)),
         };
+        obs::plane(self.is_replica()).snapshot_save_ns.record(t0.ns());
         // The feeds' positions are process state the snapshot cannot
         // carry; the sidecar pins both so a restore (or a replica
         // warm-boot) resumes the generator feed and the replication log
@@ -379,11 +434,11 @@ impl<'a> Engine<'a> {
         Response::line(format!(
             "  snapshot written: {} ({bytes} bytes, {:.1} ms)",
             path.display(),
-            ms(t0)
+            t0.ms()
         ))
     }
 
-    fn restore(&mut self, path: Option<&Path>, t0: Instant) -> Response {
+    fn restore(&mut self, path: Option<&Path>, t0: Stopwatch) -> Response {
         let path = path.map(Path::to_path_buf).unwrap_or_else(|| self.opts.snapshot_path.clone());
         let restored = match ServeSession::restore_from(
             &path,
@@ -427,21 +482,18 @@ impl<'a> Engine<'a> {
         }
         self.session = restored;
         self.pool_cursor = pool_cursor;
-        self.feed_offset = feed_offset;
+        self.set_feed_offset(feed_offset);
         self.version += 1;
+        obs::plane(self.is_replica()).snapshot_restore_ns.record(t0.ns());
         Response::line(format!(
             "  restored warm from {} ({} triples, {} live, feed cursor -> {}, {:.1} ms)",
             path.display(),
             self.session.session().len(),
             self.session.session().num_live(),
             self.pool_cursor,
-            ms(t0)
+            t0.ms()
         ))
     }
-}
-
-fn ms(t0: Instant) -> f64 {
-    t0.elapsed().as_secs_f64() * 1e3
 }
 
 fn feed_append_failed(e: &KbError) -> WireError {

@@ -48,13 +48,15 @@
 pub mod api;
 pub mod engine;
 pub mod net;
+pub(crate) mod obs;
 pub mod protocol;
 pub mod snapshot;
 pub mod view;
 
 pub use api::{
-    format_link, format_query, parse_link, parse_link_target, parse_query, LinkCandidate,
-    LinkReport, LinkRequest, LinkTarget, MentionReport,
+    format_link, format_metrics, format_query, format_stats, parse_link, parse_link_target,
+    parse_metrics, parse_query, parse_stats, LinkCandidate, LinkReport, LinkRequest, LinkTarget,
+    MentionReport,
 };
 pub use engine::{Engine, EngineOptions, FeedRole};
 pub use net::{ListenAddr, NetStats};
@@ -296,6 +298,10 @@ impl<'a> ServeSession<'a> {
     /// format). Returns the snapshot size in bytes. All failures carry
     /// the path ([`KbError::WithPath`]).
     pub fn snapshot_to(&mut self, path: &Path) -> Result<u64, KbError> {
+        // The span lives here, NOT in `snapshot` — that module is a
+        // designated determinism module (lint R4) and may not read the
+        // clock; timing wraps the codec from outside.
+        let _span = jocl_obs::span!("snapshot_save");
         snapshot::save_session(&mut self.inner, path)
     }
 
@@ -313,6 +319,7 @@ impl<'a> ServeSession<'a> {
         ckb: &'a Ckb,
         signals: &'a Signals,
     ) -> Result<Self, KbError> {
+        let _span = jocl_obs::span!("snapshot_restore");
         let inner = snapshot::load_session(path, config, ckb, signals)?;
         let last =
             if inner.is_empty() { None } else { Some(Self::cache_output(&inner.decode_current())) };

@@ -25,10 +25,12 @@
 //! returns the engine so the caller can print totals / export state —
 //! the serve loop *returns*, it does not `exit()`.
 
-use crate::api::{format_link, format_query};
+use crate::api::{format_link, format_metrics, format_query, format_stats};
 use crate::engine::Engine;
-use crate::protocol::{format_stats, parse_command, Command, Response, WireError};
+use crate::obs;
+use crate::protocol::{parse_command, Command, Response, WireError};
 use crate::view::SharedView;
+use jocl_obs::Stopwatch;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
@@ -310,6 +312,16 @@ fn handle_connection(
     stop: &AtomicBool,
     counters: &Counters,
 ) {
+    obs::net().connections_total.inc();
+    obs::net().active_connections.add(1);
+    // Decrement on every exit path, including the early returns below.
+    struct ConnGuard;
+    impl Drop for ConnGuard {
+        fn drop(&mut self) {
+            obs::net().active_connections.sub(1);
+        }
+    }
+    let _guard = ConnGuard;
     if stream.set_read_timeout(TICK).is_err() {
         return;
     }
@@ -353,21 +365,36 @@ fn answer(line: &str, tx: &mpsc::Sender<WriteReq>, view: &SharedView) -> (Option
     let cmd = match parse_command(line) {
         Ok(None) => return (None, false),
         Ok(Some(cmd)) => cmd,
-        Err(e) => return (Some(Response::Err(e)), false),
+        Err(e) => {
+            let m = obs::plane(view.load().stats.replica);
+            m.requests_total.inc();
+            m.record_err(e.code);
+            return (Some(Response::Err(e)), false);
+        }
     };
     match cmd {
         Command::Quit => (Some(Response::line("bye")), true),
-        Command::Query(phrase) => {
-            let v = view.load();
-            (Some(Response::Ok(format_query(&phrase, &v.query_phrase(&phrase)))), false)
+        // Served straight from the registry, never recorded, so two
+        // reads of an idle server return byte-identical frames.
+        Command::Metrics => {
+            (Some(Response::Ok(format_metrics(&jocl_obs::registry().snapshot()))), false)
         }
-        Command::Link(req) => {
+        // View-served reads record on the plane the view was published
+        // by; writes are recorded by the engine on the writer thread.
+        cmd @ (Command::Query(_) | Command::Link(_) | Command::Stats) => {
             let v = view.load();
-            (Some(Response::Ok(format_link(&v.link(&req)))), false)
-        }
-        Command::Stats => {
-            let v = view.load();
-            (Some(Response::line(format_stats(&v.stats))), false)
+            let m = obs::plane(v.stats.replica);
+            m.record_request(&cmd);
+            let sw = Stopwatch::start();
+            let resp = match &cmd {
+                Command::Query(phrase) => {
+                    Response::Ok(format_query(phrase, &v.query_phrase(phrase)))
+                }
+                Command::Link(req) => Response::Ok(format_link(&v.link(req))),
+                _ => Response::line(format_stats(&v.stats)),
+            };
+            m.record_response(&cmd, &resp, &sw);
+            (Some(resp), false)
         }
         // Everything else — writes, snapshot/restore, shutdown — runs
         // on the single writer thread, in arrival order.

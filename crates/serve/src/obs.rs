@@ -1,0 +1,178 @@
+//! Serving-plane metric handles, registered once per plane and cached
+//! in statics so neither the writer loop nor the socket readers ever
+//! touch the registry mutex per request.
+//!
+//! Both planes of a colocated writer/replica test process share one
+//! global registry, so every serving metric carries a
+//! `plane="writer"|"replica"` label — the stats of one plane never leak
+//! into the other's.
+//!
+//! The one deliberate hole: the `metrics` command itself records
+//! **nothing** (no request counter, no latency sample). A metrics read
+//! must not change the next metrics read, or two reads of an idle
+//! server could never be byte-identical — which is exactly the
+//! determinism the `obs_scale` gate certifies.
+
+use jocl_obs::{Counter, Gauge, Histogram, Stopwatch};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use crate::protocol::{Command, ErrCode, Response};
+
+/// Every command word that records a per-command latency series
+/// (`metrics` is deliberately absent — see the module docs).
+const COMMAND_WORDS: [&str; 12] = [
+    "ingest", "add", "retract", "revise", "query", "link", "stats", "snapshot", "restore",
+    "compact", "quit", "shutdown",
+];
+
+/// Every `ERR` code word, pre-registered so the metric inventory is
+/// stable from the first snapshot (lazy registration would make the
+/// exposition grow between reads).
+const ERR_CODES: [ErrCode; 7] = [
+    ErrCode::Parse,
+    ErrCode::Unknown,
+    ErrCode::BadId,
+    ErrCode::ReadOnly,
+    ErrCode::Io,
+    ErrCode::Snapshot,
+    ErrCode::Panic,
+];
+
+/// The stable word a command records under.
+pub(crate) fn command_word(cmd: &Command) -> Option<&'static str> {
+    Some(match cmd {
+        Command::Ingest(_) => "ingest",
+        Command::Add(_) => "add",
+        Command::Retract(_) => "retract",
+        Command::Revise { .. } => "revise",
+        Command::Query(_) => "query",
+        Command::Link(_) => "link",
+        Command::Stats => "stats",
+        Command::Snapshot(_) => "snapshot",
+        Command::Restore(_) => "restore",
+        Command::Compact => "compact",
+        Command::Quit => "quit",
+        Command::Shutdown => "shutdown",
+        // Self-observation would break metrics-read byte-stability.
+        Command::Metrics => return None,
+    })
+}
+
+/// One serving plane's cached handles.
+pub(crate) struct PlaneMetrics {
+    /// Requests answered (every command except `metrics`).
+    pub requests_total: Arc<Counter>,
+    /// `ERR` responses sent.
+    pub errors_total: Arc<Counter>,
+    /// Per-command request latency.
+    request_ns: HashMap<&'static str, Arc<Histogram>>,
+    /// Per-code `ERR` counts.
+    err_total: HashMap<&'static str, Arc<Counter>>,
+    /// Replication-log byte offset this plane has incorporated.
+    pub feed_offset: Arc<Gauge>,
+    /// Follower only: writer log end minus this plane's cursor.
+    pub replication_lag: Arc<Gauge>,
+    /// Warm snapshot save/restore latency.
+    pub snapshot_save_ns: Arc<Histogram>,
+    pub snapshot_restore_ns: Arc<Histogram>,
+}
+
+impl PlaneMetrics {
+    fn register(plane: &'static str) -> Self {
+        let reg = jocl_obs::registry();
+        let labels = [("plane", plane)];
+        let request_ns = COMMAND_WORDS
+            .iter()
+            .map(|&cmd| (cmd, reg.histogram("jocl_request_ns", &[("cmd", cmd), ("plane", plane)])))
+            .collect();
+        let err_total = ERR_CODES
+            .iter()
+            .map(|&code| {
+                let word = code.as_str();
+                (word, reg.counter("jocl_err_total", &[("code", word), ("plane", plane)]))
+            })
+            .collect();
+        Self {
+            requests_total: reg.counter("jocl_requests_total", &labels),
+            errors_total: reg.counter("jocl_errors_total", &labels),
+            request_ns,
+            err_total,
+            feed_offset: reg.gauge("jocl_feed_offset_bytes", &labels),
+            replication_lag: reg.gauge("jocl_replication_lag_bytes", &labels),
+            snapshot_save_ns: reg.histogram("jocl_snapshot_save_ns", &labels),
+            snapshot_restore_ns: reg.histogram("jocl_snapshot_restore_ns", &labels),
+        }
+    }
+
+    /// Count one arriving request (called on entry, so a request that
+    /// later panics is still counted). No-op for `metrics`.
+    pub fn record_request(&self, cmd: &Command) {
+        if command_word(cmd).is_some() {
+            self.requests_total.inc();
+        }
+    }
+
+    /// Record one answered request: per-command latency and — for an
+    /// `ERR` — the per-code counter. No-op for `metrics`.
+    pub fn record_response(&self, cmd: &Command, resp: &Response, sw: &Stopwatch) {
+        let Some(word) = command_word(cmd) else { return };
+        if let Some(h) = self.request_ns.get(word) {
+            h.record(sw.ns());
+        }
+        if let Response::Err(e) = resp {
+            self.record_err(e.code);
+        }
+    }
+
+    /// Count one `ERR` response (also used for panics caught outside
+    /// [`crate::engine::Engine::execute`]).
+    pub fn record_err(&self, code: ErrCode) {
+        self.errors_total.inc();
+        if let Some(c) = self.err_total.get(code.as_str()) {
+            c.inc();
+        }
+    }
+}
+
+/// The cached per-plane handles (registered on first use).
+pub(crate) fn plane(replica: bool) -> &'static PlaneMetrics {
+    static WRITER: OnceLock<PlaneMetrics> = OnceLock::new();
+    static REPLICA: OnceLock<PlaneMetrics> = OnceLock::new();
+    if replica {
+        REPLICA.get_or_init(|| PlaneMetrics::register("replica"))
+    } else {
+        WRITER.get_or_init(|| PlaneMetrics::register("writer"))
+    }
+}
+
+/// Socket front-end gauges/counters (shared by every listener in the
+/// process; connection churn is per-process state, not per-plane).
+pub(crate) struct NetMetrics {
+    /// Connections accepted over the process lifetime.
+    pub connections_total: Arc<Counter>,
+    /// Currently-open connection handler threads.
+    pub active_connections: Arc<Gauge>,
+}
+
+pub(crate) fn net() -> &'static NetMetrics {
+    static M: OnceLock<NetMetrics> = OnceLock::new();
+    M.get_or_init(|| NetMetrics {
+        connections_total: jocl_obs::registry().counter("jocl_net_connections_total", &[]),
+        active_connections: jocl_obs::registry().gauge("jocl_net_active_connections", &[]),
+    })
+}
+
+/// Process start, pinned on first use (the engine constructor), so
+/// `stats` uptime is monotonic and never a wall-clock read.
+pub(crate) fn process_start() -> Stopwatch {
+    static START: OnceLock<Stopwatch> = OnceLock::new();
+    *START.get_or_init(Stopwatch::start)
+}
+
+/// The `jocl_last_compaction_ms` gauge, set by `jocl_core`'s compaction
+/// path and read back for the `stats` response.
+pub(crate) fn last_compaction_ms() -> &'static Arc<Gauge> {
+    static G: OnceLock<Arc<Gauge>> = OnceLock::new();
+    G.get_or_init(|| jocl_obs::registry().gauge("jocl_last_compaction_ms", &[]))
+}

@@ -18,7 +18,6 @@
 //! on the wire so framing can never be broken by content.
 
 use crate::api::{parse_link_target, LinkRequest};
-use crate::view::SessionStats;
 use jocl_core::DeltaOutput;
 use jocl_kb::{KbError, Triple};
 use std::io::{BufRead, Write};
@@ -58,8 +57,13 @@ pub enum Command {
     /// the `link.v1` response frame). A read — served from the
     /// published view, never the writer.
     Link(LinkRequest),
-    /// Session summary line.
+    /// Session summary line (`stats.v1` — see [`crate::api`]).
     Stats,
+    /// Observability exposition: the full registry as a `metrics.v1`
+    /// frame (see [`crate::api`]). A read on either plane; deliberately
+    /// records nothing about itself so two idle reads are
+    /// byte-identical.
+    Metrics,
     /// Persist the warm session (default path when `None`).
     Snapshot(Option<PathBuf>),
     /// Restart from a snapshot.
@@ -285,6 +289,10 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, WireError> {
             no_args("stats")?;
             Command::Stats
         }
+        "metrics" => {
+            no_args("metrics")?;
+            Command::Metrics
+        }
         "snapshot" => Command::Snapshot(opt_path()),
         "restore" => Command::Restore(opt_path()),
         "compact" => {
@@ -396,25 +404,6 @@ pub fn format_delta(out: &DeltaOutput, ms: f64) -> String {
     )
 }
 
-/// The `stats` summary line.
-pub fn format_stats(s: &SessionStats) -> String {
-    format!(
-        "  {} triples ({} live), {} vars, {} factors, density {:.3}, {} ops, {} compactions, \
-         {} total msg updates, {} heap KiB, view v{}{}",
-        s.triples,
-        s.live,
-        s.vars,
-        s.factors,
-        s.tombstone_density,
-        s.ops_applied,
-        s.compactions,
-        s.total_message_updates,
-        s.heap_bytes / 1024,
-        s.version,
-        if s.replica { " (replica)" } else { "" }
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,6 +452,7 @@ mod tests {
             }))
         );
         assert_eq!(parse_command("stats").unwrap(), Some(Command::Stats));
+        assert_eq!(parse_command("metrics").unwrap(), Some(Command::Metrics));
         assert_eq!(parse_command("snapshot").unwrap(), Some(Command::Snapshot(None)));
         assert_eq!(
             parse_command("snapshot /tmp/x.snap").unwrap(),
@@ -510,6 +500,7 @@ mod tests {
         parse_err("link jocl://banana/3");
         parse_err("link jocl://np/notanum");
         parse_err("stats now");
+        parse_err("metrics now");
         parse_err("compact hard");
         parse_err("quit now");
         parse_err("shutdown please");

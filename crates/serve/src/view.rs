@@ -51,6 +51,21 @@ pub struct SessionStats {
     /// Accounted resident heap bytes of the session state (OKB,
     /// blocking index, graph plan, committed messages, marginals).
     pub heap_bytes: usize,
+    /// Milliseconds since the serving process started (monotonic —
+    /// never a wall-clock read). Sourced from the metrics plane by the
+    /// engine; `0` as captured here.
+    pub uptime_ms: u64,
+    /// Requests answered on this plane (`metrics` reads excluded —
+    /// they record nothing, by the byte-stability contract). Sourced
+    /// from the registry by the engine; `0` as captured here.
+    pub requests: u64,
+    /// `ERR` responses sent on this plane. Sourced from the registry by
+    /// the engine; `0` as captured here.
+    pub errors: u64,
+    /// Duration of the most recent compaction (any plane in this
+    /// process), `0` before the first. Sourced from the registry by the
+    /// engine; `0` as captured here.
+    pub last_compaction_ms: u64,
 }
 
 impl SessionStats {
@@ -69,6 +84,10 @@ impl SessionStats {
             version,
             replica,
             heap_bytes: inner.heap_bytes(),
+            uptime_ms: 0,
+            requests: 0,
+            errors: 0,
+            last_compaction_ms: 0,
         }
     }
 }

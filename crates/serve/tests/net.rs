@@ -279,7 +279,7 @@ fn unix_socket_server_serves_and_survives_fuzz() {
         assert_eq!(report.target, "\"weird \\\" payload\"");
         assert!(report.is_empty(), "{l:?}");
         let st = ok_lines(c.request("stats"));
-        assert!(st[0].contains("16 triples"), "{st:?}");
+        assert!(st[0].contains("triples=16"), "{st:?}");
         ok_lines(c.request("retract #15"));
         let q = ok_lines(c.request("query foo inc"));
         assert!(q[0].starts_with("query.v1 matches=0"), "retract is visible to reads: {q:?}");
@@ -325,7 +325,20 @@ fn unix_socket_server_serves_and_survives_fuzz() {
         // A second connection still works after the fuzz.
         let mut c2 = Client::connect(&sock);
         let st = ok_lines(c2.request("stats"));
-        assert!(st[0].contains("triples"), "{st:?}");
+        assert!(st[0].starts_with("stats.v1 triples="), "{st:?}");
+        jocl_serve::parse_stats(&st[0]).expect("well-formed stats.v1 line");
+        // The metrics exposition plane is served straight from the view
+        // thread: a versioned frame, byte-identical across two reads of
+        // an idle server (a metrics read records nothing).
+        let m1 = ok_lines(c2.request("metrics"));
+        assert!(m1[0].starts_with("metrics.v1 entries="), "{m1:?}");
+        let m2 = ok_lines(c2.request("metrics"));
+        assert_eq!(m1, m2, "idle metrics reads must be byte-identical");
+        let parsed = jocl_serve::parse_metrics(&m1).expect("well-formed metrics.v1 frame");
+        assert!(
+            parsed.iter().any(|(k, v)| k == "jocl_net_connections_total" && *v >= 2),
+            "{parsed:?}"
+        );
         assert_eq!(ok_lines(c2.request("quit")), vec!["bye".to_string()]);
 
         ok_lines(c.request("shutdown"));
@@ -377,11 +390,9 @@ fn concurrent_readers_complete_during_a_write() {
                 let mut seen_versions = Vec::new();
                 for _ in 0..20 {
                     let st = ok_lines(c.request("stats"));
-                    let v: u64 = st[0]
-                        .rsplit_once("view v")
-                        .and_then(|(_, v)| v.trim().parse().ok())
-                        .expect("stats line carries the view version");
-                    seen_versions.push(v);
+                    let parsed =
+                        jocl_serve::parse_stats(&st[0]).expect("stats line carries the version");
+                    seen_versions.push(parsed.version);
                 }
                 (Instant::now(), seen_versions)
             }));
@@ -408,7 +419,7 @@ fn concurrent_readers_complete_during_a_write() {
         }
         let mut c = Client::connect(&sock);
         let st = ok_lines(c.request("stats"));
-        assert!(st[0].contains("view v2"), "the write committed and published: {st:?}");
+        assert!(st[0].contains("version=2"), "the write committed and published: {st:?}");
         ok_lines(c.request("shutdown"));
         server.join().unwrap();
     });

@@ -325,6 +325,51 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Observability parity (PR-10): metric recording is purely
+    /// observational — the same ingest produces a bitwise-identical
+    /// exported session with recording off and on, across both schedule
+    /// modes and thread counts. (The toggle is the process-global
+    /// `JOCL_METRICS` switch the bins set; decode code never reads it,
+    /// which is exactly what this pins down.)
+    #[test]
+    fn decode_is_bitwise_identical_with_metrics_off_and_on(
+        world_idx in 0usize..2,
+        prefix in 4usize..120,
+        split_frac in 1usize..4,
+        threads in 1usize..3,
+        residual_mode in 0usize..2,
+    ) {
+        let world = &worlds()[world_idx];
+        let n = world.pool.len();
+        prop_assume!(n > 6);
+        let mode = if residual_mode == 1 { ScheduleMode::Residual } else { ScheduleMode::Synchronous };
+        let config = parity_config(mode, threads);
+        let serve = ServeConfig::builder().compact_threshold(f64::INFINITY).build();
+        let prefix = (1 + prefix % (n - 1)).max(2);
+        let split = (prefix * split_frac / 4).clamp(1, prefix - 1);
+
+        let run = |enabled: bool| {
+            jocl_obs::set_metrics_enabled(enabled);
+            let mut s =
+                ServeSession::open(config.clone(), serve.clone(), &world.ckb, &world.signals);
+            s.add_all(&world.pool[..split]);
+            s.add_all(&world.pool[split..prefix]);
+            let state = s.session_mut().export_state();
+            jocl_obs::set_metrics_enabled(true);
+            state
+        };
+        prop_assert_eq!(
+            run(false),
+            run(true),
+            "metric recording must never reach the decode (mode {:?})",
+            mode
+        );
+    }
+}
+
 /// File-level round trip plus the `KbError::WithPath` failure modes —
 /// every restore failure must name the offending file (the satellite
 /// extension of PR 4's `load_params` fix).

@@ -25,6 +25,7 @@ pub use jocl_eval as eval;
 pub use jocl_exec as exec;
 pub use jocl_fg as fg;
 pub use jocl_kb as kb;
+pub use jocl_obs as obs;
 pub use jocl_rules as rules;
 pub use jocl_serve as serve;
 pub use jocl_text as text;
